@@ -1,0 +1,441 @@
+// Package rfdump's top-level benchmarks regenerate the cost side of every
+// table and figure in the paper's evaluation (run the full experiment
+// drivers via cmd/rfbench for the accuracy numbers):
+//
+//	Table 1  — per-block CPU cost: BenchmarkTable1_*
+//	Figure 6 — 802.11 unicast detectors: BenchmarkFigure6_*
+//	Figure 7 — 802.11 broadcast detector: BenchmarkFigure7_DIFS
+//	Figure 8 — Bluetooth detectors: BenchmarkFigure8_*
+//	Table 3  — traffic-mix detection: BenchmarkTable3_Mix
+//	Figure 9 — the nine architectures: BenchmarkFigure9_*
+//	Table 4  — real-world DBPSK selectivity: BenchmarkTable4_DBPSK
+//	Ablations: BenchmarkAblation* (chunk granularity, averaging window,
+//	BT cache, in-burst sampling)
+//	Extensions: BenchmarkExtension* (multi-threaded scheduler, OFDM
+//	detection, piconet discovery, header-only analysis, streaming mode).
+//
+// Each benchmark reports ns/op over a fixed pre-generated trace and
+// MB/s of IQ samples processed, so relative block costs (the paper's
+// CPU-time/real-time ratios) can be read directly from the output.
+package rfdump
+
+import (
+	"sync"
+	"testing"
+
+	"rfdump/internal/arch"
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/experiments"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/frontend"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+)
+
+const (
+	benchLAP = experiments.PiconetLAP
+	benchUAP = experiments.PiconetUAP
+)
+
+func benchAddr(b byte) (a [6]byte) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+// trace cache: each workload is generated once per process.
+var (
+	traceMu    sync.Mutex
+	traceCache = map[string]*ether.Result{}
+)
+
+func cachedTrace(b *testing.B, key string, gen func() (*ether.Result, error)) *ether.Result {
+	b.Helper()
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if res, ok := traceCache[key]; ok {
+		return res
+	}
+	res, err := gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	traceCache[key] = res
+	return res
+}
+
+// unicastTrace: ~100 ms at moderate utilization.
+func benchUnicast(b *testing.B) *ether.Result {
+	return cachedTrace(b, "unicast", func() (*ether.Result, error) {
+		return ether.Run(ether.Config{
+			Duration: 800_000,
+			SNRdB:    20,
+			Seed:     1,
+			Sources: []mac.Source{&mac.WiFiUnicast{
+				Rate: protocols.WiFi80211b1M, Pings: 1 << 20, PayloadBytes: 500,
+				InterPing: 38_000,
+				Requester: benchAddr(1), Responder: benchAddr(2), BSSID: benchAddr(3),
+				CFOHz: 2000,
+			}},
+		})
+	})
+}
+
+func benchBroadcast(b *testing.B) *ether.Result {
+	return cachedTrace(b, "broadcast", func() (*ether.Result, error) {
+		return ether.Run(ether.Config{
+			Duration: 800_000,
+			SNRdB:    20,
+			Seed:     2,
+			Sources: []mac.Source{&mac.WiFiBroadcast{
+				Rate: protocols.WiFi80211b1M, Count: 1 << 20, PayloadBytes: 500,
+				Sender: benchAddr(1), BSSID: benchAddr(3),
+			}},
+		})
+	})
+}
+
+func benchBT(b *testing.B) *ether.Result {
+	return cachedTrace(b, "bt", func() (*ether.Result, error) {
+		return ether.Run(ether.Config{
+			Duration: 1_600_000,
+			SNRdB:    20,
+			Seed:     3,
+			Sources: []mac.Source{&mac.BluetoothPiconet{
+				LAP: benchLAP, UAP: benchUAP, Pings: 1 << 16, InterPingSlots: 2,
+			}},
+		})
+	})
+}
+
+func benchMix(b *testing.B) *ether.Result {
+	return cachedTrace(b, "mix", func() (*ether.Result, error) {
+		return ether.Run(ether.Config{
+			Duration: 1_600_000,
+			SNRdB:    20,
+			Seed:     4,
+			Sources: []mac.Source{
+				&mac.WiFiUnicast{
+					Rate: protocols.WiFi80211b1M, Pings: 1 << 20, PayloadBytes: 500,
+					InterPing: 100_000,
+					Requester: benchAddr(1), Responder: benchAddr(2), BSSID: benchAddr(3),
+				},
+				&mac.BluetoothPiconet{LAP: benchLAP, UAP: benchUAP, Pings: 1 << 16, InterPingSlots: 20},
+			},
+		})
+	})
+}
+
+func benchRealWorld(b *testing.B) *ether.Result {
+	return cachedTrace(b, "realworld", func() (*ether.Result, error) {
+		return experiments.RealWorldTrace(experiments.Options{Scale: 0.05})
+	})
+}
+
+func setBytes(b *testing.B, res *ether.Result) {
+	b.SetBytes(int64(len(res.Samples) * 8)) // complex64 = 8 bytes
+}
+
+// --- Table 1: per-block cost ---
+
+func BenchmarkTable1_WiFiDemod(b *testing.B) {
+	res := benchUnicast(b)
+	setBytes(b, res)
+	d := demod.NewWiFiDemod()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Demodulate(res.Samples, 0)
+	}
+}
+
+func BenchmarkTable1_BTDemodChannel(b *testing.B) {
+	res := benchUnicast(b)
+	setBytes(b, res)
+	d := demod.NewBTDemod(benchLAP, benchUAP, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DemodulateChannel(res.Samples, 0, 3)
+	}
+}
+
+func BenchmarkTable1_PeakDetection(b *testing.B) {
+	res := benchUnicast(b)
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pd := core.NewPeakDetector(core.PeakConfig{})
+		drain := func(flowgraph.Item) {}
+		n := len(res.Samples)
+		for s := 0; s < n; s += iq.ChunkSamples {
+			e := s + iq.ChunkSamples
+			if e > n {
+				e = n
+			}
+			_ = pd.Process(core.Chunk{
+				Seq:     s / iq.ChunkSamples,
+				Span:    iq.Interval{Start: iq.Tick(s), End: iq.Tick(e)},
+				Samples: res.Samples[s:e],
+			}, drain)
+		}
+		_ = pd.Flush(drain)
+	}
+}
+
+// --- Figures 6-8, Table 3: detector cost on their workloads ---
+
+func runPipeline(b *testing.B, res *ether.Result, cfg core.Config, analyzers ...core.Analyzer) {
+	b.Helper()
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipeline(res.Clock, cfg, analyzers...)
+		if _, err := p.Run(res.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6_SIFSTiming(b *testing.B) {
+	runPipeline(b, benchUnicast(b), core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableDIFS: true}})
+}
+
+func BenchmarkFigure6_Phase(b *testing.B) {
+	runPipeline(b, benchUnicast(b), core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+}
+
+func BenchmarkFigure7_DIFS(b *testing.B) {
+	runPipeline(b, benchBroadcast(b), core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableSIFS: true}})
+}
+
+func BenchmarkFigure8_BTTiming(b *testing.B) {
+	runPipeline(b, benchBT(b), core.Config{BTTiming: &core.BTTimingConfig{}})
+}
+
+func BenchmarkFigure8_BTPhase(b *testing.B) {
+	runPipeline(b, benchBT(b), core.Config{BTPhase: &core.BTPhaseConfig{}})
+}
+
+func BenchmarkFigure8_BTFreq(b *testing.B) {
+	runPipeline(b, benchBT(b), core.Config{BTFreq: &core.BTFreqConfig{}})
+}
+
+func BenchmarkTable3_MixTimingPhase(b *testing.B) {
+	runPipeline(b, benchMix(b), core.TimingAndPhase())
+}
+
+// --- Figure 9: the nine architectures over the same trace ---
+
+func benchArch(b *testing.B, mon arch.Monitor, res *ether.Result) {
+	b.Helper()
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Process(res.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fig9Analyzers() []core.Analyzer {
+	return []core.Analyzer{
+		demod.NewWiFiDemod(),
+		demod.NewBTDemod(benchLAP, benchUAP, 8),
+	}
+}
+
+func BenchmarkFigure9_Naive(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewNaive(res.Clock, fig9Analyzers()...), res)
+}
+
+func BenchmarkFigure9_NaiveEnergy(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewNaiveEnergy(res.Clock, true, fig9Analyzers()...), res)
+}
+
+func BenchmarkFigure9_NaiveEnergyNoDemod(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewNaiveEnergy(res.Clock, false), res)
+}
+
+func BenchmarkFigure9_RFDumpTiming(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("t", res.Clock, core.TimingOnly(), fig9Analyzers()...), res)
+}
+
+func BenchmarkFigure9_RFDumpPhase(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("p", res.Clock, core.PhaseOnly(), fig9Analyzers()...), res)
+}
+
+func BenchmarkFigure9_RFDumpTimingPhase(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("tp", res.Clock, core.TimingAndPhase(), fig9Analyzers()...), res)
+}
+
+func BenchmarkFigure9_RFDumpTimingNoDemod(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("tn", res.Clock, core.TimingOnly()), res)
+}
+
+func BenchmarkFigure9_RFDumpPhaseNoDemod(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("pn", res.Clock, core.PhaseOnly()), res)
+}
+
+func BenchmarkFigure9_RFDumpTimingPhaseNoDemod(b *testing.B) {
+	res := benchUnicast(b)
+	benchArch(b, arch.NewRFDump("tpn", res.Clock, core.TimingAndPhase()), res)
+}
+
+// --- Table 4: real-world selectivity ---
+
+func BenchmarkTable4_DBPSKSelectivity(b *testing.B) {
+	res := benchRealWorld(b)
+	runPipeline(b, res, core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+func BenchmarkAblationChunkSize(b *testing.B) {
+	res := benchUnicast(b)
+	for _, slack := range []int{25, 200, 1600} {
+		b.Run(itoa(slack), func(b *testing.B) {
+			cfg := core.TimingAndPhase()
+			cfg.Dispatch.SlackSamples = iq.Tick(slack)
+			runPipeline(b, res, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationAvgWindow(b *testing.B) {
+	res := benchUnicast(b)
+	for _, win := range []int{5, 20, 80} {
+		b.Run(itoa(win), func(b *testing.B) {
+			cfg := core.Config{
+				Peak:       core.PeakConfig{AvgWindow: win},
+				WiFiTiming: &core.WiFiTimingConfig{},
+			}
+			runPipeline(b, res, cfg)
+		})
+	}
+}
+
+func BenchmarkAblationBTCache(b *testing.B) {
+	res := benchBT(b)
+	for _, disable := range []bool{false, true} {
+		name := "cache"
+		if disable {
+			name = "scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			runPipeline(b, res, core.Config{BTTiming: &core.BTTimingConfig{DisableCache: disable}})
+		})
+	}
+}
+
+func BenchmarkAblationSampling(b *testing.B) {
+	res := benchUnicast(b)
+	for _, stride := range []int{1, 4} {
+		b.Run(itoa(stride), func(b *testing.B) {
+			cfg := core.Config{
+				Peak:       core.PeakConfig{SampleStride: stride},
+				WiFiTiming: &core.WiFiTimingConfig{},
+			}
+			runPipeline(b, res, cfg)
+		})
+	}
+}
+
+func BenchmarkExtensionParallel(b *testing.B) {
+	res := benchUnicast(b)
+	for _, parallel := range []bool{false, true} {
+		name := "single"
+		if parallel {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.TimingAndPhase()
+			cfg.Parallel = parallel
+			runPipeline(b, res, cfg)
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Extensions ---
+
+func benchOFDM(b *testing.B) *ether.Result {
+	return cachedTrace(b, "ofdm", func() (*ether.Result, error) {
+		return ether.Run(ether.Config{
+			Duration: 800_000,
+			SNRdB:    20,
+			Seed:     5,
+			Sources: []mac.Source{&mac.WiFiGUnicast{
+				Pings: 1 << 20, PayloadBytes: 500, InterPing: 38_000,
+				Requester: benchAddr(4), Responder: benchAddr(5), BSSID: benchAddr(6),
+			}},
+		})
+	})
+}
+
+func BenchmarkExtensionOFDMDetector(b *testing.B) {
+	runPipeline(b, benchOFDM(b), core.Config{OFDM: &core.OFDMConfig{}})
+}
+
+func BenchmarkExtensionBTDiscovery(b *testing.B) {
+	res := benchBT(b)
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipeline(res.Clock, core.PhaseOnly(), demod.NewBTDiscover(8))
+		if _, err := p.Run(res.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionHeaderOnly(b *testing.B) {
+	res := benchUnicast(b)
+	for _, hdrOnly := range []bool{false, true} {
+		name := "full"
+		mk := func() core.Analyzer { return demod.NewWiFiDemod() }
+		if hdrOnly {
+			name = "header"
+			mk = func() core.Analyzer { return demod.NewWiFiHeaderDemod() }
+		}
+		b.Run(name, func(b *testing.B) {
+			runPipeline(b, res, core.TimingAndPhase(), mk())
+		})
+	}
+}
+
+func BenchmarkExtensionStreaming(b *testing.B) {
+	res := benchUnicast(b)
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPipeline(res.Clock, core.TimingOnly())
+		src := frontend.NewMemorySource(res.Samples)
+		if _, err := p.RunStream(src, core.StreamConfig{WindowSamples: 400_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command rfbench regenerates every table and figure of the paper's
+// evaluation from the Go reproduction.
+//
+// Usage:
+//
+//	rfbench -experiment all -scale 0.2
+//	rfbench -experiment fig9 -scale 1 -v
+//
+// Experiments: table1 table2 fig6 fig7 fig8 table3 fig9 table4
+// ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rfdump/internal/experiments"
+	"rfdump/internal/protocols"
+	"rfdump/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment to run (scorecard,table1,table2,fig6,fig7,fig8,table3,fig9,table4,ofdm,ablations,all)")
+		scale   = flag.Float64("scale", 0.25, "workload scale; 1.0 = paper-size workloads")
+		seed    = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		verbose = flag.Bool("v", false, "progress logging")
+		csv     = flag.Bool("csv", false, "also print figure data as CSV")
+	)
+	flag.Parse()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	opt := experiments.Options{Seed: *seed, Scale: *scale, Log: logw}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	runTable := func(name string, fn func(experiments.Options) (*report.Table, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		t, err := fn(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	runFigure := func(name string, fn func(experiments.Options) (*report.Figure, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		f, err := fn(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(f.String())
+		if *csv {
+			fmt.Println(f.CSV())
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if all || want["table2"] {
+		ran++
+		fmt.Println("=== Table 2: Relevant features for wireless protocols in the 2.4 GHz ISM band ===")
+		fmt.Println(protocols.FormatTable2())
+	}
+	runTable("scorecard", experiments.Scorecard)
+	runTable("table1", experiments.Table1)
+	runFigure("fig6", experiments.Figure6)
+	runFigure("fig7", experiments.Figure7)
+	runFigure("fig8", experiments.Figure8)
+	runTable("table3", experiments.Table3)
+	runFigure("fig9", experiments.Figure9)
+	runTable("table4", experiments.Table4)
+	runFigure("ofdm", experiments.ExtensionOFDM)
+
+	if all || want["ablations"] {
+		for _, n := range []string{"ablation-chunk", "ablation-avgwin", "ablation-btcache", "ablation-sampling", "ablation-headeronly", "ablation-subband", "extension-parallel", "ofdm"} {
+			want[n] = true
+		}
+	}
+	runTable("ablation-chunk", experiments.AblationChunkSize)
+	runTable("ablation-avgwin", experiments.AblationAvgWindow)
+	runTable("ablation-btcache", experiments.AblationBTCache)
+	runTable("ablation-sampling", experiments.AblationSampling)
+	runTable("ablation-headeronly", experiments.AblationHeaderOnly)
+	runTable("ablation-subband", experiments.AblationSubband)
+	runTable("extension-parallel", experiments.ExtensionParallel)
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

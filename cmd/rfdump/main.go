@@ -1,0 +1,295 @@
+// Command rfdump is the monitoring tool itself: the tcpdump of the
+// wireless ether. It reads an IQ trace (recorded by rfgen, or by any
+// front end writing the trace format), runs the RFDump detection →
+// dispatch → analysis pipeline, and prints one line per classified
+// transmission plus decoded link-layer frames.
+//
+// Usage:
+//
+//	rfdump -r trace.rfd                  # detect + demodulate
+//	rfdump -r trace.rfd -detectors phase # phase detection only
+//	rfdump -r trace.rfd -no-demod        # classification only
+//	rfdump -r trace.rfd -stats           # per-block CPU accounting
+//	rfdump -r trace.rfd -truth trace.rfd.truth   # score vs ground truth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"rfdump/internal/arch"
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/experiments"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+	"rfdump/internal/report"
+	"rfdump/internal/trace"
+	"rfdump/internal/truth"
+)
+
+// blockSource adapts an in-memory trace to the streaming BlockReader.
+type blockSource struct {
+	s   iq.Samples
+	pos int
+}
+
+func (b *blockSource) ReadBlock(dst iq.Samples) (int, error) {
+	if b.pos >= len(b.s) {
+		return 0, io.EOF
+	}
+	n := copy(dst, b.s[b.pos:])
+	b.pos += n
+	if b.pos >= len(b.s) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// discoverPiconets runs a detection pass with only the discovery
+// analyzer attached and returns the LAPs heard, busiest first.
+func discoverPiconets(clock iq.Clock, cfg core.Config, samples iq.Samples) ([]uint32, error) {
+	disc := demod.NewBTDiscover(8)
+	p := core.NewPipeline(clock, cfg, disc)
+	if _, err := p.Run(samples); err != nil {
+		return nil, err
+	}
+	return disc.KnownLAPs(), nil
+}
+
+// resultFromPipeline converts a pipeline result for the shared printers.
+func resultFromPipeline(res *core.Result, clock iq.Clock) *arch.Result {
+	out := &arch.Result{
+		Detections: res.Detections,
+		Forwarded:  map[protocols.ID][]iq.Interval{},
+		CPU:        res.Busy,
+		PerBlock:   res.Stats,
+		StreamLen:  res.StreamLen,
+		Clock:      clock,
+	}
+	for _, item := range res.Outputs {
+		if pkt, ok := item.(demod.Packet); ok {
+			out.Packets = append(out.Packets, pkt)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		read      = flag.String("r", "", "trace file to read (required)")
+		detectors = flag.String("detectors", "timing,phase", "comma list: timing,phase,freq,microwave,zigbee,ofdm")
+		noDemod   = flag.Bool("no-demod", false, "skip the analysis stage (classification only)")
+		stats     = flag.Bool("stats", false, "print per-block CPU accounting")
+		truthPath = flag.String("truth", "", "ground-truth sidecar to score against")
+		lap       = flag.Uint64("lap", experiments.PiconetLAP, "Bluetooth piconet LAP to follow (0 = discover automatically)")
+		uap       = flag.Uint64("uap", experiments.PiconetUAP, "Bluetooth piconet UAP")
+		quiet     = flag.Bool("q", false, "suppress per-packet lines")
+		spectrum  = flag.Bool("spectrum", false, "print a text waterfall of the trace before monitoring")
+		stream    = flag.Bool("stream", false, "process in streaming mode with a bounded sample window")
+		window    = flag.Int("window", 1_600_000, "sliding window size in samples for -stream")
+		writeLog  = flag.String("w", "", "write decoded packets to a JSONL packet log")
+	)
+	flag.Parse()
+	if *read == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	hdr, samples, err := trace.ReadFile(*read)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdump:", err)
+		os.Exit(1)
+	}
+	clock := iq.NewClock(hdr.Rate)
+
+	cfg, err := detectorConfig(*detectors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdump:", err)
+		os.Exit(2)
+	}
+	if *lap == 0 && !*noDemod {
+		// Auto-discovery: a fast pass with the discovery analyzer names
+		// the piconets on the air; the busiest one is then followed.
+		found, err := discoverPiconets(clock, cfg, samples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump: discovery:", err)
+			os.Exit(1)
+		}
+		if len(found) == 0 {
+			fmt.Fprintln(os.Stderr, "rfdump: no piconets discovered; Bluetooth payloads will not decode")
+		} else {
+			fmt.Printf("discovered piconets:")
+			for _, l := range found {
+				fmt.Printf(" %06x", l)
+			}
+			fmt.Printf("; following %06x\n\n", found[0])
+			*lap = uint64(found[0])
+		}
+	}
+	var analyzers []core.Analyzer
+	if !*noDemod {
+		analyzers = []core.Analyzer{
+			demod.NewWiFiDemod(),
+			demod.NewBTDemod(uint32(*lap), byte(*uap), 8),
+		}
+	}
+	if *spectrum {
+		fmt.Print(report.Waterfall(samples, clock.Rate, 24, 64))
+		fmt.Println()
+	}
+
+	var out *arch.Result
+	if *stream {
+		// Streaming mode: bounded memory, same detectors/analyzers.
+		p := core.NewPipeline(clock, cfg, analyzers...)
+		res, err := p.RunStream(&blockSource{s: samples}, core.StreamConfig{WindowSamples: *window})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump:", err)
+			os.Exit(1)
+		}
+		out = resultFromPipeline(res, clock)
+	} else {
+		mon := arch.NewRFDump("rfdump", clock, cfg, analyzers...)
+		var err error
+		out, err = mon.Process(samples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*quiet {
+		printTimeline(clock, out)
+	}
+
+	if *writeLog != "" {
+		if err := trace.WritePacketLogFile(*writeLog, clock, out.Packets); err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump: packet log:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d packets to %s\n", len(out.Packets), *writeLog)
+	}
+
+	fmt.Printf("\n%d detections, %d packets decoded, CPU/real-time %.2fx over %.2f s\n",
+		len(out.Detections), len(out.Packets), out.CPUPerRealTime(),
+		float64(len(samples))/float64(clock.Rate))
+
+	if *stats {
+		fmt.Println("\nper-block CPU:")
+		for _, b := range out.PerBlock {
+			fmt.Printf("  %-20s %12v  (%d items)\n", b.Name, b.Busy, b.Items)
+		}
+	}
+
+	if *truthPath != "" {
+		ts, err := trace.ReadTruthFile(*truthPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump: truth:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\naccuracy vs ground truth:")
+		for _, fam := range []protocols.ID{protocols.WiFi80211b1M, protocols.Bluetooth, protocols.ZigBee, protocols.Microwave} {
+			st := truth.Match(ts, out.TruthDetections(), fam)
+			if st.Total == 0 {
+				continue
+			}
+			fmt.Printf("  %s\n", st)
+		}
+	}
+}
+
+func detectorConfig(list string) (core.Config, error) {
+	cfg := core.Config{}
+	any := false
+	for _, d := range strings.Split(list, ",") {
+		switch strings.TrimSpace(d) {
+		case "timing":
+			cfg.WiFiTiming = &core.WiFiTimingConfig{}
+			cfg.BTTiming = &core.BTTimingConfig{}
+		case "phase":
+			cfg.WiFiPhase = &core.WiFiPhaseConfig{}
+			cfg.BTPhase = &core.BTPhaseConfig{}
+		case "freq":
+			cfg.BTFreq = &core.BTFreqConfig{}
+		case "microwave":
+			cfg.Microwave = true
+		case "zigbee":
+			cfg.ZigBee = true
+		case "ofdm":
+			cfg.OFDM = &core.OFDMConfig{}
+		case "":
+			continue
+		default:
+			return cfg, fmt.Errorf("unknown detector %q", d)
+		}
+		any = true
+	}
+	if !any {
+		return cfg, fmt.Errorf("no detectors selected")
+	}
+	return cfg, nil
+}
+
+// event is one printable line, time-ordered.
+type event struct {
+	at   iq.Tick
+	line string
+}
+
+func printTimeline(clock iq.Clock, out *arch.Result) {
+	var events []event
+	for _, d := range out.Detections {
+		events = append(events, event{d.Span.Start, fmt.Sprintf(
+			"%12.6f  DETECT %-10s %-14s %6.0fus conf=%.2f%s",
+			secs(clock, d.Span.Start), d.Family.FamilyName(), d.Detector,
+			clock.Micros(d.Span.Len()), d.Confidence, chanSuffix(d.Channel))})
+	}
+	for _, p := range out.Packets {
+		events = append(events, event{p.Span.Start, packetLine(clock, p)})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	for _, e := range events {
+		fmt.Println(e.line)
+	}
+}
+
+func packetLine(clock iq.Clock, p demod.Packet) string {
+	status := "ok"
+	if !p.Valid {
+		status = "bad"
+	}
+	detail := p.Note
+	if p.Proto.Family() == protocols.WiFi80211b1M && len(p.Frame) > 0 {
+		if m, err := wifi.ParseMPDU(p.Frame); err == nil {
+			switch {
+			case m.IsAck():
+				detail = fmt.Sprintf("ACK ra=%s", m.Addr1)
+			case m.IsCTS():
+				detail = fmt.Sprintf("CTS ra=%s nav=%dus", m.Addr1, m.Duration)
+			case m.IsBeacon():
+				detail = fmt.Sprintf("Beacon bssid=%s", m.Addr3)
+			default:
+				detail = fmt.Sprintf("Data %s -> %s seq=%d len=%d", m.Addr2, m.Addr1, m.Seq, len(m.Payload))
+			}
+		}
+	}
+	return fmt.Sprintf("%12.6f  PACKET %-10s %-4s %4d bytes [%s] %s%s",
+		secs(clock, p.Span.Start), p.Proto, status, len(p.Frame), p.Proto.FamilyName(), detail, chanSuffix(p.Channel))
+}
+
+func chanSuffix(ch int) string {
+	if ch < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" ch=%d", ch)
+}
+
+func secs(clock iq.Clock, t iq.Tick) float64 {
+	return float64(t) / float64(clock.Rate)
+}

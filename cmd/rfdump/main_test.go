@@ -1,0 +1,78 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"rfdump/internal/core"
+	"rfdump/internal/iq"
+)
+
+func TestDetectorConfig(t *testing.T) {
+	cfg, err := detectorConfig("timing,phase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WiFiTiming == nil || cfg.BTTiming == nil || cfg.WiFiPhase == nil || cfg.BTPhase == nil {
+		t.Error("timing,phase did not enable the four detectors")
+	}
+	if cfg.BTFreq != nil || cfg.Microwave || cfg.ZigBee || cfg.OFDM != nil {
+		t.Error("unrequested detectors enabled")
+	}
+
+	cfg, err = detectorConfig("freq, microwave ,zigbee,ofdm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BTFreq == nil || !cfg.Microwave || !cfg.ZigBee || cfg.OFDM == nil {
+		t.Error("freq/microwave/zigbee/ofdm not enabled")
+	}
+
+	if _, err := detectorConfig("bogus"); err == nil {
+		t.Error("unknown detector accepted")
+	}
+	if _, err := detectorConfig(""); err == nil {
+		t.Error("empty detector list accepted")
+	}
+}
+
+func TestBlockSource(t *testing.T) {
+	src := &blockSource{s: make(iq.Samples, 450)}
+	buf := make(iq.Samples, 200)
+	total := 0
+	for {
+		n, err := src.ReadBlock(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 450 {
+		t.Errorf("read %d samples", total)
+	}
+}
+
+func TestResultFromPipeline(t *testing.T) {
+	clock := iq.NewClock(0)
+	res := &core.Result{StreamLen: 800, Clock: clock}
+	out := resultFromPipeline(res, clock)
+	if out.StreamLen != 800 || out.Clock.Rate != clock.Rate {
+		t.Error("conversion lost fields")
+	}
+}
+
+func TestChanSuffix(t *testing.T) {
+	if chanSuffix(-1) != "" || chanSuffix(3) != " ch=3" {
+		t.Error("chanSuffix")
+	}
+}
+
+func TestSecs(t *testing.T) {
+	clock := iq.NewClock(8_000_000)
+	if got := secs(clock, 4_000_000); got != 0.5 {
+		t.Errorf("secs = %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Command rfgen synthesizes IQ traces of the wireless ether (the role the
+// USRP + emulator testbed play in the paper) and writes them as trace
+// files with ground-truth sidecars.
+//
+// Usage:
+//
+//	rfgen -profile unicast -snr 20 -out trace.rfd
+//	rfgen -profile mix -pings 100 -out mix.rfd        # + mix.rfd.truth
+//	rfgen -profile realworld -scale 0.2 -out rw.rfd
+//
+// Profiles: unicast broadcast bluetooth mix realworld zigbee microwave ofdm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfdump/internal/ether"
+	"rfdump/internal/experiments"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+	"rfdump/internal/trace"
+)
+
+func addr(b byte) (a wifi.Addr) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "mix", "workload profile: unicast broadcast bluetooth mix realworld zigbee microwave ofdm")
+		out     = flag.String("out", "trace.rfd", "output trace path (ground truth written to <out>.truth)")
+		snr     = flag.Float64("snr", 20, "per-burst SNR in dB")
+		pings   = flag.Int("pings", 100, "packet/exchange count for packetized profiles")
+		seed    = flag.Uint64("seed", 1, "PRNG seed")
+		scale   = flag.Float64("scale", 0.25, "scale for the realworld profile")
+	)
+	flag.Parse()
+
+	res, err := generate(*profile, *snr, *pings, *seed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfgen:", err)
+		os.Exit(1)
+	}
+	if err := trace.WriteFile(*out, res.Clock.Rate, res.Samples); err != nil {
+		fmt.Fprintln(os.Stderr, "rfgen: writing trace:", err)
+		os.Exit(1)
+	}
+	if err := trace.WriteTruthFile(*out+".truth", res.Truth); err != nil {
+		fmt.Fprintln(os.Stderr, "rfgen: writing truth:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d samples (%.2f s), %d transmissions, %.1f%% busy\n",
+		*out, len(res.Samples),
+		float64(len(res.Samples))/float64(res.Clock.Rate),
+		len(res.Truth.Records), 100*res.Utilization())
+}
+
+func generate(profile string, snr float64, pings int, seed uint64, scale float64) (*ether.Result, error) {
+	cfg := ether.Config{SNRdB: snr, Seed: seed}
+	switch profile {
+	case "unicast":
+		cfg.Sources = []mac.Source{&mac.WiFiUnicast{
+			Rate: protocols.WiFi80211b1M, Pings: pings, PayloadBytes: 500,
+			InterPing: 8000, Requester: addr(0x11), Responder: addr(0x22),
+			BSSID: addr(0x33), CFOHz: 2500,
+		}}
+	case "broadcast":
+		cfg.Sources = []mac.Source{&mac.WiFiBroadcast{
+			Rate: protocols.WiFi80211b1M, Count: pings, PayloadBytes: 500,
+			Sender: addr(0x11), BSSID: addr(0x33), CFOHz: -1800,
+		}}
+	case "bluetooth":
+		cfg.Sources = []mac.Source{&mac.BluetoothPiconet{
+			LAP: experiments.PiconetLAP, UAP: experiments.PiconetUAP,
+			Pings: pings, InterPingSlots: 2, CFOHz: 1200,
+		}}
+	case "mix":
+		cfg.Sources = []mac.Source{
+			&mac.WiFiUnicast{
+				Rate: protocols.WiFi80211b1M, Pings: pings, PayloadBytes: 500,
+				InterPing: 260_000, Requester: addr(0x11), Responder: addr(0x22),
+				BSSID: addr(0x33), CFOHz: 2500,
+			},
+			&mac.BluetoothPiconet{
+				LAP: experiments.PiconetLAP, UAP: experiments.PiconetUAP,
+				Pings: pings * 2, InterPingSlots: 84, CFOHz: -900,
+			},
+		}
+	case "ofdm":
+		cfg.Sources = []mac.Source{&mac.WiFiGUnicast{
+			Pings: pings, PayloadBytes: 500, InterPing: 8000, Protection: true,
+			Requester: addr(0x51), Responder: addr(0x52), BSSID: addr(0x53),
+		}}
+	case "zigbee":
+		cfg.Sources = []mac.Source{&mac.ZigBeeSource{
+			Reports: pings, PayloadBytes: 48, OffsetHz: 1_500_000,
+		}}
+	case "microwave":
+		cfg.Sources = []mac.Source{&mac.MicrowaveSource{SNROffsetDB: 8}}
+		cfg.Duration = iq.Tick(8_000_000) // 1 s of oven cycles
+	case "realworld":
+		return experiments.RealWorldTrace(experiments.Options{Seed: seed, Scale: scale})
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	return ether.Run(cfg)
+}

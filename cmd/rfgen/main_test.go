@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"rfdump/internal/protocols"
+)
+
+func TestGenerateProfiles(t *testing.T) {
+	for _, profile := range []string{"unicast", "broadcast", "bluetooth", "mix", "zigbee", "microwave", "ofdm"} {
+		res, err := generate(profile, 20, 4, 1, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if len(res.Samples) == 0 {
+			t.Errorf("%s: empty trace", profile)
+		}
+		if len(res.Truth.Records) == 0 {
+			t.Errorf("%s: no ground truth", profile)
+		}
+	}
+	if _, err := generate("bogus", 20, 4, 1, 0.05); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateRealWorldComposition(t *testing.T) {
+	res, err := generate("realworld", 18, 0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := map[protocols.ID]bool{}
+	for _, r := range res.Truth.Records {
+		fams[r.Proto.Family()] = true
+	}
+	if !fams[protocols.WiFi80211b1M] || !fams[protocols.Bluetooth] {
+		t.Errorf("realworld families %v", fams)
+	}
+}

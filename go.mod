@@ -1,0 +1,3 @@
+module rfdump
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package arch assembles the three monitoring architectures the paper
+// compares (Section 5.2 / Figure 9): the naïve design that demodulates
+// everything, the naïve design with an energy-detection filter, and
+// RFDump itself — all behind one Monitor interface with per-block CPU
+// accounting so the efficiency experiments treat them identically.
+package arch
+
+import (
+	"sort"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+	"rfdump/internal/truth"
+)
+
+// Result is a monitoring run's output.
+type Result struct {
+	// Detections is the fast-detection output (empty for architectures
+	// without a detection stage).
+	Detections []core.Detection
+	// Forwarded is the per-family merged sample ranges handed to the
+	// analysis stage.
+	Forwarded map[protocols.ID][]iq.Interval
+	// Packets is everything the demodulators decoded.
+	Packets []demod.Packet
+	// CPU is total processing time (single-threaded).
+	CPU time.Duration
+	// PerBlock breaks CPU down by block.
+	PerBlock []flowgraph.BlockStat
+	// StreamLen and Clock describe the processed trace.
+	StreamLen iq.Tick
+	Clock     iq.Clock
+}
+
+// CPUPerRealTime is the Figure 9 y-axis: CPU time over trace real time.
+func (r *Result) CPUPerRealTime() float64 {
+	rt := r.Clock.Duration(r.StreamLen)
+	if rt <= 0 {
+		return 0
+	}
+	return float64(r.CPU) / float64(rt)
+}
+
+// TruthDetections converts detections for accuracy matching.
+func (r *Result) TruthDetections() []truth.Detection {
+	out := make([]truth.Detection, len(r.Detections))
+	for i, d := range r.Detections {
+		out[i] = truth.Detection{
+			Family:     d.Family,
+			Span:       d.Span,
+			Detector:   d.Detector,
+			Confidence: d.Confidence,
+			Channel:    d.Channel,
+		}
+	}
+	return out
+}
+
+// PacketDetections converts decoded packets into detections, which is how
+// architectures without a detection stage (the naïve ones) participate in
+// accuracy comparisons.
+func (r *Result) PacketDetections() []truth.Detection {
+	out := make([]truth.Detection, 0, len(r.Packets))
+	for _, p := range r.Packets {
+		out = append(out, truth.Detection{
+			Family:     p.Proto.Family(),
+			Span:       p.Span,
+			Detector:   "demod",
+			Confidence: 1,
+			Channel:    p.Channel,
+		})
+	}
+	return out
+}
+
+// Monitor is one monitoring architecture.
+type Monitor interface {
+	// Name identifies the configuration ("naive", "rfdump-timing", ...).
+	Name() string
+	// Process runs the architecture over a trace.
+	Process(stream iq.Samples) (*Result, error)
+}
+
+// collectEmit gathers analyzer outputs, keeping decoded packets.
+type collector struct {
+	packets []demod.Packet
+}
+
+func (c *collector) emit(item flowgraph.Item) {
+	if p, ok := item.(demod.Packet); ok {
+		c.packets = append(c.packets, p)
+	}
+}
+
+// analyzerFamilies returns the families an analyzer set covers, in a
+// stable order.
+func analyzerFamilies(analyzers []core.Analyzer) []protocols.ID {
+	known := []protocols.ID{
+		protocols.WiFi80211b1M,
+		protocols.Bluetooth,
+		protocols.ZigBee,
+		protocols.Microwave,
+	}
+	var out []protocols.ID
+	for _, f := range known {
+		for _, a := range analyzers {
+			if a.Accepts(f) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sortedBlockStats(m map[string]time.Duration, items map[string]int64) []flowgraph.BlockStat {
+	out := make([]flowgraph.BlockStat, 0, len(m))
+	for name, busy := range m {
+		out = append(out, flowgraph.BlockStat{Name: name, Busy: busy, Items: items[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
+	return out
+}

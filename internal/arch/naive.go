@@ -1,0 +1,193 @@
+package arch
+
+import (
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// Naive is Figure 1: the entire input stream goes to the demodulators of
+// every technology. Expensive and flat in cost regardless of how busy the
+// ether is.
+type Naive struct {
+	clock     iq.Clock
+	analyzers []core.Analyzer
+}
+
+// NewNaive returns the naïve architecture over the given demodulators.
+func NewNaive(clock iq.Clock, analyzers ...core.Analyzer) *Naive {
+	return &Naive{clock: clock, analyzers: analyzers}
+}
+
+// Name implements Monitor.
+func (n *Naive) Name() string { return "naive" }
+
+// Process implements Monitor.
+func (n *Naive) Process(stream iq.Samples) (*Result, error) {
+	src := &core.StreamAccessor{Stream: stream}
+	span := iq.Interval{Start: 0, End: iq.Tick(len(stream))}
+	col := &collector{}
+	busy := map[string]time.Duration{}
+	items := map[string]int64{}
+	forwarded := map[protocols.ID][]iq.Interval{}
+
+	for _, fam := range analyzerFamilies(n.analyzers) {
+		forwarded[fam] = []iq.Interval{span}
+		req := core.AnalysisRequest{Family: fam, Span: span, Channel: -1, Confidence: 1}
+		for _, a := range n.analyzers {
+			if !a.Accepts(fam) {
+				continue
+			}
+			start := time.Now()
+			err := a.Analyze(src, req, col.emit)
+			busy[a.Name()] += time.Since(start)
+			items[a.Name()]++
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var total time.Duration
+	for _, d := range busy {
+		total += d
+	}
+	return &Result{
+		Forwarded: forwarded,
+		Packets:   col.packets,
+		CPU:       total,
+		PerBlock:  sortedBlockStats(busy, items),
+		StreamLen: iq.Tick(len(stream)),
+		Clock:     n.clock,
+	}, nil
+}
+
+// NaiveEnergy is the naïve design with an energy-detection stage: only
+// chunks above the energy threshold are forwarded, but they still go to
+// every demodulator ("all the demodulators process every signal that
+// passes the energy filter", Section 5.2).
+type NaiveEnergy struct {
+	clock iq.Clock
+	// Demodulate false gives the "energy filtering without demodulation"
+	// curve of Figure 9.
+	Demodulate bool
+	peakCfg    core.PeakConfig
+	analyzers  []core.Analyzer
+}
+
+// NewNaiveEnergy returns the energy-filtered naïve architecture.
+func NewNaiveEnergy(clock iq.Clock, demodulate bool, analyzers ...core.Analyzer) *NaiveEnergy {
+	return &NaiveEnergy{clock: clock, Demodulate: demodulate, analyzers: analyzers}
+}
+
+// Name implements Monitor.
+func (n *NaiveEnergy) Name() string {
+	if n.Demodulate {
+		return "naive-energy"
+	}
+	return "naive-energy-nodemod"
+}
+
+// Process implements Monitor.
+func (n *NaiveEnergy) Process(stream iq.Samples) (*Result, error) {
+	busy := map[string]time.Duration{}
+	items := map[string]int64{}
+
+	// Energy filter: chunk-level average power against the calibrated
+	// noise floor, the same primitive the peak detector integrates.
+	start := time.Now()
+	spans := energySpans(stream, n.peakCfg)
+	busy["energy-filter"] += time.Since(start)
+	items["energy-filter"] = int64(len(stream) / iq.ChunkSamples)
+
+	col := &collector{}
+	src := &core.StreamAccessor{Stream: stream}
+	forwarded := map[protocols.ID][]iq.Interval{}
+
+	if n.Demodulate {
+		for _, fam := range analyzerFamilies(n.analyzers) {
+			forwarded[fam] = spans
+			for _, span := range spans {
+				req := core.AnalysisRequest{Family: fam, Span: span, Channel: -1, Confidence: 1}
+				for _, a := range n.analyzers {
+					if !a.Accepts(fam) {
+						continue
+					}
+					t0 := time.Now()
+					err := a.Analyze(src, req, col.emit)
+					busy[a.Name()] += time.Since(t0)
+					items[a.Name()]++
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	var total time.Duration
+	for _, d := range busy {
+		total += d
+	}
+	return &Result{
+		Forwarded: forwarded,
+		Packets:   col.packets,
+		CPU:       total,
+		PerBlock:  sortedBlockStats(busy, items),
+		StreamLen: iq.Tick(len(stream)),
+		Clock:     n.clock,
+	}, nil
+}
+
+// energySpans returns merged busy-chunk intervals using the same noise
+// calibration rules as the peak detector.
+func energySpans(stream iq.Samples, cfg core.PeakConfig) []iq.Interval {
+	noise := cfg.NoiseFloor
+	thrDB := cfg.ThresholdDB
+	if thrDB == 0 {
+		thrDB = core.DefaultThresholdDB
+	}
+	nchunks := len(stream) / iq.ChunkSamples
+	avgs := make([]float64, 0, nchunks+1)
+	for start := 0; start < len(stream); start += iq.ChunkSamples {
+		end := start + iq.ChunkSamples
+		if end > len(stream) {
+			end = len(stream)
+		}
+		avgs = append(avgs, stream[start:end].MeanPower())
+	}
+	if noise <= 0 {
+		// Calibrate: the minimum chunk average approximates the floor.
+		noise = 0
+		for i, a := range avgs {
+			if i == 0 || a < noise {
+				noise = a
+			}
+		}
+		if noise <= 0 {
+			noise = 1e-12
+		}
+	}
+	thr := noise * iq.FromDB(thrDB)
+	var out []iq.Interval
+	for i, a := range avgs {
+		if a <= thr {
+			continue
+		}
+		iv := iq.Interval{
+			Start: iq.Tick(i * iq.ChunkSamples),
+			End:   iq.Tick((i + 1) * iq.ChunkSamples),
+		}
+		if iv.End > iq.Tick(len(stream)) {
+			iv.End = iq.Tick(len(stream))
+		}
+		if len(out) > 0 && out[len(out)-1].End >= iv.Start {
+			out[len(out)-1].End = iv.End
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package arch
+
+import (
+	"testing"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+	"rfdump/internal/truth"
+)
+
+// TestERPProtectionScenario reproduces the Table 2 footnote end to end:
+// an 802.11g station with protection on sends a CTS-to-self at an
+// 802.11b rate before each OFDM exchange. The DSSS phase detector must
+// classify (and the demodulator decode) the CTS frames, while the OFDM
+// detector classifies the OFDM frames — two detectors, two physical
+// layers, one station.
+func TestERPProtectionScenario(t *testing.T) {
+	res, err := ether.Run(ether.Config{
+		SNRdB: 20,
+		Seed:  71,
+		Sources: []mac.Source{&mac.WiFiGUnicast{
+			Pings: 6, PayloadBytes: 300, InterPing: 40_000, Protection: true,
+			Requester: addr(0x61), Responder: addr(0x62), BSSID: addr(0x63),
+			CFOHz: 1100,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.PhaseOnly()
+	cfg.OFDM = &core.OFDMConfig{}
+	mon := NewRFDump("erp", res.Clock, cfg, demod.NewWiFiDemod())
+	out, err := mon.Process(res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every CTS-to-self (an 802.11b transmission) found by the DSSS side.
+	stB := truth.Match(res.Truth, out.TruthDetections(), protocols.WiFi80211b1M)
+	if stB.Total != 6 {
+		t.Fatalf("expected 6 CTS-to-self in truth, have %d", stB.Total)
+	}
+	if stB.MissRateNonCollided() > 0.2 {
+		t.Errorf("CTS-to-self miss %.2f (found %d/%d)", stB.MissRateNonCollided(), stB.Found, stB.Total)
+	}
+
+	// Every OFDM frame found by the OFDM side.
+	stG := truth.Match(res.Truth, out.TruthDetections(), protocols.WiFi80211g)
+	if stG.Total != 24 {
+		t.Fatalf("expected 24 OFDM frames in truth, have %d", stG.Total)
+	}
+	if stG.MissRateNonCollided() > 0.1 {
+		t.Errorf("OFDM miss %.2f (found %d/%d)", stG.MissRateNonCollided(), stG.Found, stG.Total)
+	}
+
+	// The demodulator actually decodes the CTS frames.
+	ctsDecoded := 0
+	for _, p := range out.Packets {
+		if !p.Valid || len(p.Frame) == 0 {
+			continue
+		}
+		if m, err := wifi.ParseMPDU(p.Frame); err == nil && m.IsCTS() {
+			ctsDecoded++
+			if m.Duration == 0 {
+				t.Error("decoded CTS has zero NAV")
+			}
+		}
+	}
+	if ctsDecoded < 5 {
+		t.Errorf("decoded %d CTS-to-self frames, want ~6", ctsDecoded)
+	}
+}
+
+// TestDiscoveryPipeline wires BTDiscover into the full pipeline: unknown
+// piconets on the air are named by LAP without any prior configuration.
+func TestDiscoveryPipeline(t *testing.T) {
+	res, err := ether.Run(ether.Config{
+		SNRdB: 20,
+		Seed:  72,
+		Sources: []mac.Source{
+			&mac.BluetoothPiconet{LAP: 0x5A17E3, UAP: 0x21, Pings: 40, InterPingSlots: 2, CFOHz: 800},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visible := res.Truth.VisibleCount(protocols.Bluetooth)
+	if visible < 3 {
+		t.Skip("hop luck: too few audible packets")
+	}
+	disc := demod.NewBTDiscover(8)
+	mon := NewRFDump("discover", res.Clock, core.PhaseOnly(), disc)
+	if _, err := mon.Process(res.Samples); err != nil {
+		t.Fatal(err)
+	}
+	laps := disc.KnownLAPs()
+	if len(laps) != 1 || laps[0] != 0x5A17E3 {
+		t.Fatalf("discovered LAPs %06x, want [5a17e3]", laps)
+	}
+}

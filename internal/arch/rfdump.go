@@ -1,0 +1,64 @@
+package arch
+
+import (
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// RFDump wraps the core pipeline as a Monitor.
+type RFDump struct {
+	// Label distinguishes configurations in reports
+	// ("rfdump-timing", "rfdump-phase", ...).
+	Label     string
+	clock     iq.Clock
+	cfg       core.Config
+	analyzers []core.Analyzer
+}
+
+// NewRFDump returns the RFDump architecture with the given detector
+// configuration and analyzers (pass none for the detection-only
+// "no demodulation" variants of Figure 9).
+func NewRFDump(label string, clock iq.Clock, cfg core.Config, analyzers ...core.Analyzer) *RFDump {
+	return &RFDump{Label: label, clock: clock, cfg: cfg, analyzers: analyzers}
+}
+
+// Name implements Monitor.
+func (r *RFDump) Name() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return "rfdump"
+}
+
+// Process implements Monitor.
+func (r *RFDump) Process(stream iq.Samples) (*Result, error) {
+	p := core.NewPipeline(r.clock, r.cfg, r.analyzers...)
+	res, err := p.Run(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Detections: res.Detections,
+		Forwarded:  map[protocols.ID][]iq.Interval{},
+		CPU:        res.Busy,
+		PerBlock:   res.Stats,
+		StreamLen:  res.StreamLen,
+		Clock:      r.clock,
+	}
+	for _, fam := range []protocols.ID{
+		protocols.WiFi80211b1M, protocols.Bluetooth,
+		protocols.ZigBee, protocols.Microwave,
+	} {
+		if spans := res.ForwardedSpans(fam); len(spans) > 0 {
+			out.Forwarded[fam] = spans
+		}
+	}
+	for _, item := range res.Outputs {
+		if pkt, ok := item.(demod.Packet); ok {
+			out.Packets = append(out.Packets, pkt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package arch
+
+import (
+	"testing"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+)
+
+// TestRFDumpForwardsFarLessThanEnergyFilter pins the architecture's core
+// selectivity claim: on a mixed trace the per-family forwarded sample
+// count of RFDump is well below what the energy filter forwards to every
+// demodulator.
+func TestRFDumpForwardsFarLessThanEnergyFilter(t *testing.T) {
+	res := unicastTrace(t, 20, 8)
+
+	rf := NewRFDump("rf", res.Clock, core.TimingAndPhase(), demod.NewWiFiDemod())
+	outRF, err := rf.Process(res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := NewNaiveEnergy(res.Clock, true, demod.NewWiFiDemod(), demod.NewBTDemod(testLAP, testUAP, 8))
+	outNE, err := ne.Process(res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The energy filter forwards its busy spans to EVERY family; RFDump
+	// forwards Bluetooth only where a Bluetooth detector fired.
+	neBT := iq.TotalLen(outNE.Forwarded[protocols.Bluetooth])
+	rfBT := iq.TotalLen(outRF.Forwarded[protocols.Bluetooth])
+	if rfBT*2 >= neBT {
+		t.Errorf("RFDump forwarded %d BT samples vs energy filter's %d — no selectivity", rfBT, neBT)
+	}
+
+	// And the 802.11 forwarding must still cover the real packets.
+	for _, r := range res.Truth.Records {
+		if !r.Visible || r.Collided {
+			continue
+		}
+		cov := iq.CoverageOf(r.Span, outRF.Forwarded[protocols.WiFi80211b1M])
+		if cov < r.Span.Len()*8/10 {
+			t.Errorf("packet %v only %d/%d covered", r.Span, cov, r.Span.Len())
+		}
+	}
+}
+
+// TestCrossDemodRejection feeds each demodulator the other technology's
+// clean signal: no valid packets may come out (the false-positive
+// tolerance of the detectors rests on demodulators being strict).
+func TestCrossDemodRejection(t *testing.T) {
+	// A Bluetooth-only ether.
+	btRes := bluetoothOnlyTrace(t)
+	wifiD := demod.NewWiFiDemod()
+	if pkts := wifiD.Demodulate(btRes.Samples, 0); countValid(pkts) != 0 {
+		t.Errorf("WiFi demod decoded %d valid packets from Bluetooth traffic", countValid(pkts))
+	}
+
+	// An 802.11-only ether.
+	wifiRes := unicastTrace(t, 22, 3)
+	btD := demod.NewBTDemod(testLAP, testUAP, 8)
+	total := 0
+	for ch := 0; ch < 8; ch++ {
+		total += countValid(btD.DemodulateChannel(wifiRes.Samples, 0, ch))
+	}
+	if total != 0 {
+		t.Errorf("BT demod decoded %d valid packets from 802.11 traffic", total)
+	}
+}
+
+func countValid(pkts []demod.Packet) int {
+	n := 0
+	for _, p := range pkts {
+		if p.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+func bluetoothOnlyTrace(t *testing.T) *ether.Result {
+	t.Helper()
+	res, err := ether.Run(ether.Config{
+		SNRdB: 22,
+		Seed:  81,
+		Sources: []mac.Source{
+			&mac.BluetoothPiconet{LAP: testLAP, UAP: testUAP, Pings: 30, InterPingSlots: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// AnalysisRequest asks the analysis stage to process a span of samples
+// tentatively classified to a protocol family. Overlapping detections of
+// one family are merged before dispatch so demodulators never see the
+// same samples twice ("avoid redundant computation", Section 2.1).
+type AnalysisRequest struct {
+	// Family is the claimed protocol family.
+	Family protocols.ID
+	// Span is the merged sample range to analyze.
+	Span iq.Interval
+	// Channel is the claimed protocol channel when every contributing
+	// detection agreed on one, else -1 (analyze all channels).
+	Channel int
+	// Confidence is the maximum contributing confidence.
+	Confidence float64
+	// Detectors lists the modules that contributed.
+	Detectors []string
+}
+
+// DispatcherConfig tunes the dispatcher.
+type DispatcherConfig struct {
+	// SlackSamples joins detections separated by up to this many samples
+	// and pads request spans so demodulators see the burst edges
+	// (defaults to one chunk, the paper's forwarding granularity: "we
+	// send on an average about 12 us of excess samples along with each
+	// packet due to the chunk granularity").
+	SlackSamples iq.Tick
+	// MaxPending bounds latency: a pending merged span is flushed once a
+	// newer detection starts this many samples later (the architecture
+	// tolerates delay but not unbounded buffering).
+	MaxPending iq.Tick
+}
+
+func (c DispatcherConfig) withDefaults() DispatcherConfig {
+	if c.SlackSamples <= 0 {
+		c.SlackSamples = iq.ChunkSamples
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 80_000 // 10 ms at 8 Msps
+	}
+	return c
+}
+
+// pendingSpan is a per-family merge buffer.
+type pendingSpan struct {
+	span       iq.Interval
+	channel    int
+	chanMixed  bool
+	confidence float64
+	detectors  map[string]bool
+}
+
+// Dispatcher is the protocol-specific detection stage's output side: it
+// records every Detection, merges them per family on the fly, and emits
+// AnalysisRequests for the analysis stage (Figure 2's arrows from the
+// detection stage into per-protocol analysis).
+type Dispatcher struct {
+	cfg     DispatcherConfig
+	pending map[protocols.ID]*pendingSpan
+
+	// All accumulates every detection seen (the experiments read this
+	// for accuracy metrics).
+	All []Detection
+	// Requests accumulates every emitted request.
+	Requests []AnalysisRequest
+}
+
+// NewDispatcher returns a dispatcher.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	return &Dispatcher{
+		cfg:     cfg.withDefaults(),
+		pending: make(map[protocols.ID]*pendingSpan),
+	}
+}
+
+// Name implements flowgraph.Block.
+func (d *Dispatcher) Name() string { return "dispatcher" }
+
+// Process implements flowgraph.Block: consumes Detection items, emits
+// AnalysisRequest items.
+func (d *Dispatcher) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	det := item.(Detection)
+	d.All = append(d.All, det)
+	fam := det.Family.Family()
+	p := d.pending[fam]
+	if p != nil {
+		// Extend the pending span when the new detection is close enough.
+		if det.Span.Start <= p.span.End+d.cfg.SlackSamples && det.Span.End+d.cfg.MaxPending >= p.span.Start {
+			if det.Span.End > p.span.End {
+				p.span.End = det.Span.End
+			}
+			if det.Span.Start < p.span.Start {
+				p.span.Start = det.Span.Start
+			}
+			if det.Confidence > p.confidence {
+				p.confidence = det.Confidence
+			}
+			if det.Channel >= 0 {
+				if p.channel < 0 {
+					p.channel = det.Channel
+				} else if p.channel != det.Channel {
+					p.chanMixed = true
+				}
+			}
+			p.detectors[det.Detector] = true
+			return nil
+		}
+		d.flush(fam, emit)
+	}
+	d.pending[fam] = &pendingSpan{
+		span:       det.Span,
+		channel:    det.Channel,
+		confidence: det.Confidence,
+		detectors:  map[string]bool{det.Detector: true},
+	}
+	return nil
+}
+
+func (d *Dispatcher) flush(fam protocols.ID, emit func(flowgraph.Item)) {
+	p := d.pending[fam]
+	if p == nil {
+		return
+	}
+	delete(d.pending, fam)
+	ch := p.channel
+	if p.chanMixed {
+		ch = -1
+	}
+	names := make([]string, 0, len(p.detectors))
+	for n := range p.detectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	req := AnalysisRequest{
+		Family:     fam,
+		Span:       p.span.Expand(d.cfg.SlackSamples / 2),
+		Channel:    ch,
+		Confidence: p.confidence,
+		Detectors:  names,
+	}
+	d.Requests = append(d.Requests, req)
+	emit(req)
+}
+
+// Flush implements flowgraph.Block.
+func (d *Dispatcher) Flush(emit func(flowgraph.Item)) error {
+	fams := make([]protocols.ID, 0, len(d.pending))
+	for fam := range d.pending {
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	for _, fam := range fams {
+		d.flush(fam, emit)
+	}
+	return nil
+}
+
+// ForwardedSpans returns the merged per-family forwarded intervals for
+// false-positive accounting.
+func (d *Dispatcher) ForwardedSpans(family protocols.ID) []iq.Interval {
+	var out []iq.Interval
+	for _, r := range d.Requests {
+		if r.Family.Family() == family.Family() {
+			out = append(out, r.Span)
+		}
+	}
+	return iq.Merge(out)
+}

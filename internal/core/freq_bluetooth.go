@@ -1,0 +1,140 @@
+package core
+
+import (
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// BTFreqConfig tunes the frequency-domain Bluetooth detector.
+type BTFreqConfig struct {
+	// FFTSize is the transform size per chunk (power of two).
+	FFTSize int
+	// Bins divides the band; 8 bins over 8 MHz puts one Bluetooth
+	// channel per bin (Section 4.6).
+	Bins int
+	// Concentration is the fraction of chunk spectral energy a single
+	// bin must hold to declare a narrowband (Bluetooth-width) signal.
+	Concentration float64
+}
+
+func (c BTFreqConfig) withDefaults() BTFreqConfig {
+	if c.FFTSize <= 0 {
+		c.FFTSize = 256
+	}
+	if !dsp.IsPow2(c.FFTSize) {
+		c.FFTSize = dsp.NextPow2(c.FFTSize)
+	}
+	if c.Bins <= 0 {
+		c.Bins = 8
+	}
+	if c.Concentration == 0 {
+		c.Concentration = 0.5
+	}
+	return c
+}
+
+// BTFreq is the frequency-analysis detector of Section 4.6: per busy
+// chunk it FFTs the samples, folds the spectrum into one bin per
+// Bluetooth channel, and when exactly one bin dominates it attributes the
+// chunk to that channel. A start/end state machine per channel merges
+// consecutive chunks into packet-long detections.
+type BTFreq struct {
+	cfg BTFreqConfig
+
+	// per-channel ongoing run state
+	runStart []iq.Tick
+	runEnd   []iq.Tick
+
+	binBuf []float64
+}
+
+// NewBTFreq returns the detector.
+func NewBTFreq(cfg BTFreqConfig) *BTFreq {
+	cfg = cfg.withDefaults()
+	b := &BTFreq{cfg: cfg}
+	b.runStart = make([]iq.Tick, cfg.Bins)
+	b.runEnd = make([]iq.Tick, cfg.Bins)
+	for i := range b.runStart {
+		b.runStart[i] = -1
+	}
+	return b
+}
+
+// Name implements flowgraph.Block.
+func (b *BTFreq) Name() string { return "bt-freq" }
+
+// Process implements flowgraph.Block.
+func (b *BTFreq) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	meta := item.(*ChunkMeta)
+	hot := -1
+	if meta.Busy && len(meta.Chunk.Samples) > 0 {
+		hot = b.classifyChunk(meta)
+	}
+	for ch := 0; ch < b.cfg.Bins; ch++ {
+		if ch == hot {
+			if b.runStart[ch] < 0 {
+				b.runStart[ch] = meta.Chunk.Span.Start
+			}
+			b.runEnd[ch] = meta.Chunk.Span.End
+		} else if b.runStart[ch] >= 0 {
+			b.emitRun(ch, emit)
+		}
+	}
+	return nil
+}
+
+// classifyChunk returns the dominating channel bin, or -1.
+func (b *BTFreq) classifyChunk(meta *ChunkMeta) int {
+	bins := dsp.BinPowers(meta.Chunk.Samples, b.cfg.FFTSize, b.cfg.Bins)
+	var total, best, second float64
+	bestIdx := -1
+	for i, p := range bins {
+		total += p
+		if p > best {
+			second = best
+			best = p
+			bestIdx = i
+		} else if p > second {
+			second = p
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	if best/total < b.cfg.Concentration {
+		return -1 // energy spread across bins: wideband (802.11) or noise
+	}
+	if second/total > b.cfg.Concentration/2 {
+		return -1 // two hot bins: overlapping signals
+	}
+	return bestIdx
+}
+
+func (b *BTFreq) emitRun(ch int, emit func(flowgraph.Item)) {
+	span := iq.Interval{Start: b.runStart[ch], End: b.runEnd[ch]}
+	b.runStart[ch] = -1
+	// Ignore one-chunk blips shorter than the shortest Bluetooth packet
+	// (an ID packet is 68 us ≈ 2.7 chunks).
+	if span.Len() < 2*iq.ChunkSamples {
+		return
+	}
+	emit(Detection{
+		Family:     protocols.Bluetooth,
+		Span:       span,
+		Detector:   "bt-freq",
+		Confidence: 0.6,
+		Channel:    ch,
+	})
+}
+
+// Flush implements flowgraph.Block: close any open runs.
+func (b *BTFreq) Flush(emit func(flowgraph.Item)) error {
+	for ch := 0; ch < b.cfg.Bins; ch++ {
+		if b.runStart[ch] >= 0 {
+			b.emitRun(ch, emit)
+		}
+	}
+	return nil
+}

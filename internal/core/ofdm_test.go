@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/ofdm"
+	"rfdump/internal/protocols"
+)
+
+func ofdmBurstStream(t *testing.T, payload int, snrDB float64) (iq.Samples, iq.Interval) {
+	t.Helper()
+	mod := ofdm.NewModulator()
+	psdu := make([]byte, payload)
+	r := dsp.NewRand(41)
+	r.Bytes(psdu)
+	burst := mod.Modulate(psdu)
+	ch := phy.Channel{SNRdB: snrDB, CFOHz: 1800, PhaseRad: 0.4}
+	ch.Apply(burst, 1, phy.SampleRate)
+	stream := make(iq.Samples, 400+len(burst.Samples)+400)
+	span := iq.Interval{Start: 400, End: iq.Tick(400 + len(burst.Samples))}
+	stream.Add(span.Start, burst.Samples)
+	dsp.AWGN(dsp.NewRand(42), stream, 1)
+	return stream, span
+}
+
+func TestOFDMDetectorFindsOFDM(t *testing.T) {
+	stream, span := ofdmBurstStream(t, 600, 20)
+	det := NewOFDMDetector(&memAccessor{s: stream}, OFDMConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 1 {
+		t.Fatalf("detections = %v", dets)
+	}
+	if dets[0].Family != protocols.WiFi80211g || dets[0].Detector != "802.11g-cp" {
+		t.Errorf("detection %v", dets[0])
+	}
+	if dets[0].Span != span {
+		t.Errorf("span %v", dets[0].Span)
+	}
+}
+
+func TestOFDMDetectorRejectsDSSS(t *testing.T) {
+	stream, span := wifiBurstStream(t, protocols.WiFi80211b1M, 300, 20, 400)
+	det := NewOFDMDetector(&memAccessor{s: stream}, OFDMConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("DSSS classified as OFDM: %v", dets)
+	}
+}
+
+func TestOFDMDetectorRejectsGFSK(t *testing.T) {
+	stream, span := btBurstStream(t, 4, 20)
+	det := NewOFDMDetector(&memAccessor{s: stream}, OFDMConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("GFSK classified as OFDM: %v", dets)
+	}
+}
+
+func TestOFDMDetectorRejectsNoise(t *testing.T) {
+	stream := dsp.NoiseBlock(dsp.NewRand(43), 20000, 1)
+	det := NewOFDMDetector(&memAccessor{s: stream}, OFDMConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: iq.Interval{Start: 0, End: 20000}},
+		func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("noise classified as OFDM: %v", dets)
+	}
+}
+
+func TestOFDMDetectorLowSNRMisses(t *testing.T) {
+	// Like the other detectors, a knee: at -2 dB the CP metric drowns.
+	stream, span := ofdmBurstStream(t, 600, -3)
+	det := NewOFDMDetector(&memAccessor{s: stream}, OFDMConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("-3 dB OFDM detected (suspicious threshold): %v", dets)
+	}
+}
+
+func TestOFDMInPipeline(t *testing.T) {
+	stream, span := ofdmBurstStream(t, 600, 20)
+	cfg := Config{OFDM: &OFDMConfig{}}
+	p := NewPipeline(testClock, cfg)
+	res, err := p.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Detections {
+		if d.Family == protocols.WiFi80211g && d.Span.Overlaps(span) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pipeline missed OFDM burst: %v", res.Detections)
+	}
+}
+
+func TestWiFiPhaseDoesNotClaimOFDM(t *testing.T) {
+	// Cross-rejection: an OFDM burst must not be classified as DSSS by
+	// the Barker-signature detector.
+	stream, span := ofdmBurstStream(t, 600, 20)
+	det := NewWiFiPhase(&memAccessor{s: stream}, WiFiPhaseConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("OFDM classified as DSSS: %v", dets)
+	}
+}
+
+func TestBTPhaseDoesNotClaimOFDM(t *testing.T) {
+	stream, span := ofdmBurstStream(t, 100, 20)
+	det := NewBTPhase(&memAccessor{s: stream}, testClock, BTPhaseConfig{})
+	var dets []Detection
+	det.analyzePeak(Peak{Span: span}, func(it flowgraph.Item) { dets = append(dets, it.(Detection)) })
+	if len(dets) != 0 {
+		t.Errorf("OFDM classified as GFSK: %v", dets)
+	}
+}

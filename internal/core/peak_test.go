@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// runPeaks drives the detector over a stream and returns completed peaks
+// and all metas.
+func runPeaks(t *testing.T, pd *PeakDetector, stream iq.Samples) ([]Peak, []*ChunkMeta) {
+	t.Helper()
+	var peaks []Peak
+	var metas []*ChunkMeta
+	emit := func(it flowgraph.Item) {
+		m := it.(*ChunkMeta)
+		metas = append(metas, m)
+		peaks = append(peaks, m.Completed...)
+	}
+	n := len(stream)
+	for s := 0; s < n; s += iq.ChunkSamples {
+		e := s + iq.ChunkSamples
+		if e > n {
+			e = n
+		}
+		if err := pd.Process(Chunk{
+			Seq:     s / iq.ChunkSamples,
+			Span:    iq.Interval{Start: iq.Tick(s), End: iq.Tick(e)},
+			Samples: stream[s:e],
+		}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pd.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	return peaks, metas
+}
+
+// burstStream builds noise with constant-envelope bursts at given spans.
+func burstStream(n int, snrDB float64, seed uint64, spans ...iq.Interval) iq.Samples {
+	r := dsp.NewRand(seed)
+	stream := make(iq.Samples, n)
+	amp := math.Sqrt(iq.FromDB(snrDB))
+	for _, span := range spans {
+		ph := r.Float64() * 2 * math.Pi
+		for t := span.Start; t < span.End && int(t) < n; t++ {
+			ph += 0.3
+			stream[t] = complex(float32(amp*math.Cos(ph)), float32(amp*math.Sin(ph)))
+		}
+	}
+	dsp.AWGN(r, stream, 1.0)
+	return stream
+}
+
+func TestPeakDetectorFindsBursts(t *testing.T) {
+	spans := []iq.Interval{{Start: 1000, End: 3000}, {Start: 5000, End: 5400}, {Start: 9000, End: 14000}}
+	stream := burstStream(20000, 20, 1, spans...)
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != len(spans) {
+		t.Fatalf("found %d peaks, want %d: %v", len(peaks), len(spans), peaks)
+	}
+	for i, pk := range peaks {
+		if absTick(pk.Span.Start-spans[i].Start) > 20 {
+			t.Errorf("peak %d start %d, want ~%d", i, pk.Span.Start, spans[i].Start)
+		}
+		if absTick(pk.Span.End-spans[i].End) > 25 {
+			t.Errorf("peak %d end %d, want ~%d", i, pk.Span.End, spans[i].End)
+		}
+		if pk.MeanPower < 50 {
+			t.Errorf("peak %d power %v", i, pk.MeanPower)
+		}
+	}
+}
+
+func TestPeakDetectorNoiseOnly(t *testing.T) {
+	stream := dsp.NoiseBlock(dsp.NewRand(2), 100_000, 1.0)
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, metas := runPeaks(t, pd, stream)
+	if len(peaks) > 2 {
+		t.Errorf("noise produced %d peaks", len(peaks))
+	}
+	busy := 0
+	for _, m := range metas {
+		if m.Busy {
+			busy++
+		}
+	}
+	if busy > len(metas)/10 {
+		t.Errorf("%d of %d noise chunks flagged busy", busy, len(metas))
+	}
+}
+
+func TestPeakDetectorCalibratesNoiseFloor(t *testing.T) {
+	stream := burstStream(40000, 15, 3, iq.Interval{Start: 10000, End: 15000})
+	for i := range stream {
+		stream[i] *= 3 // noise floor power 9, burst power ~290
+	}
+	pd := NewPeakDetector(PeakConfig{}) // no floor given: calibrate
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Fatalf("found %d peaks with calibrated floor", len(peaks))
+	}
+	if nf := pd.NoiseFloor(); nf < 5 || nf > 14 {
+		t.Errorf("calibrated floor %v, want ~9", nf)
+	}
+}
+
+func TestPeakDetectorSIFSGapPreserved(t *testing.T) {
+	// Two bursts separated by exactly 80 samples (SIFS): the refined
+	// gap must stay within the SIFS detector's tolerance.
+	spans := []iq.Interval{{Start: 2000, End: 6000}, {Start: 6080, End: 7000}}
+	stream := burstStream(10000, 20, 4, spans...)
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 2 {
+		t.Fatalf("found %d peaks", len(peaks))
+	}
+	gap := peaks[1].Span.Start - peaks[0].Span.End
+	if absTick(gap-80) > 20 {
+		t.Errorf("gap %d, want 80±20", gap)
+	}
+}
+
+func TestPeakDetectorSplitsAtLowSNR(t *testing.T) {
+	// Below the energy threshold the burst is invisible.
+	stream := burstStream(20000, 1, 5, iq.Interval{Start: 5000, End: 10000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	// At SNR 1 dB the signal+noise average (~2.26) is below the 4 dB
+	// threshold (2.51): no stable peak.
+	whole := 0
+	for _, pk := range peaks {
+		if pk.Span.Len() > 4000 {
+			whole++
+		}
+	}
+	if whole != 0 {
+		t.Errorf("low-SNR burst detected whole %d times", whole)
+	}
+}
+
+func TestPeakDetectorCrossChunkPeaks(t *testing.T) {
+	// A peak spanning many chunks is reported once, in the chunk where
+	// it ends.
+	stream := burstStream(10000, 20, 6, iq.Interval{Start: 100, End: 9000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Fatalf("%d peaks", len(peaks))
+	}
+	if peaks[0].Span.Len() < 8800 {
+		t.Errorf("span %v", peaks[0].Span)
+	}
+}
+
+func TestPeakDetectorFlushClosesOpenPeak(t *testing.T) {
+	// Burst running to end of stream is closed by Flush.
+	stream := burstStream(4000, 20, 7, iq.Interval{Start: 1000, End: 4000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Fatalf("%d peaks", len(peaks))
+	}
+	if peaks[0].Span.End < 3900 {
+		t.Errorf("flush end %v", peaks[0].Span)
+	}
+}
+
+func TestPeakDetectorHistoryShared(t *testing.T) {
+	stream := burstStream(20000, 20, 8, iq.Interval{Start: 1000, End: 2000}, iq.Interval{Start: 5000, End: 6000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	_, metas := runPeaks(t, pd, stream)
+	if len(metas) == 0 {
+		t.Fatal("no metas")
+	}
+	hist := metas[0].History
+	for _, m := range metas {
+		if m.History != hist {
+			t.Fatal("history ring not shared across chunks")
+		}
+	}
+	if hist.Len() != 2 {
+		t.Errorf("history holds %d peaks", hist.Len())
+	}
+	// Newest first.
+	if hist.At(0).Span.Start < hist.At(1).Span.Start {
+		t.Error("history order")
+	}
+}
+
+func TestPeakDetectorSamplingStride(t *testing.T) {
+	// Stride 4 (the Section 3.1 sampling optimization) still finds the
+	// burst with similar boundaries.
+	stream := burstStream(20000, 20, 9, iq.Interval{Start: 4000, End: 12000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1, SampleStride: 4})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Fatalf("%d peaks with stride", len(peaks))
+	}
+	if absTick(peaks[0].Span.Start-4000) > 40 || absTick(peaks[0].Span.End-12000) > 60 {
+		t.Errorf("strided span %v", peaks[0].Span)
+	}
+}
+
+func TestPeakDetectorConstantEnvelopeMetadata(t *testing.T) {
+	stream := burstStream(20000, 20, 10, iq.Interval{Start: 2000, End: 10000})
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Fatal("peak count")
+	}
+	pk := peaks[0]
+	if pk.MinPower <= 0 || pk.MaxPower <= 0 {
+		t.Errorf("powers not tracked: max=%v min=%v", pk.MaxPower, pk.MinPower)
+	}
+	// The robust constant-envelope indicator is max/mean (MinPower can
+	// catch a lucky noise sample in the decay tail).
+	if pk.MaxPower/pk.MeanPower > 1.5 {
+		t.Errorf("max/mean = %v", pk.MaxPower/pk.MeanPower)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+)
+
+// ConstellationEstimate is the output of the generic PSK analysis of
+// paper Figure 4: an estimated constellation size plus the carrier drift.
+type ConstellationEstimate struct {
+	// Points is the estimated number of PSK constellation points
+	// (2 = BPSK/DBPSK, 4 = QPSK/DQPSK); 0 when no PSK structure found.
+	Points int
+	// DriftRadPerSym is the constant phase drift per symbol contributed
+	// by the carrier frequency offset ("the drift allows us to determine
+	// what channel is used", Section 3.3).
+	DriftRadPerSym float64
+	// Occupancy is the fraction of transitions falling in the dominant
+	// bins (quality of the estimate).
+	Occupancy float64
+}
+
+// EstimateConstellation implements the protocol-agnostic phase-histogram
+// constellation estimator: it computes symbol-spaced phase transitions,
+// removes the common drift, bins the result, and counts dominant bins.
+// sps is the samples-per-symbol of the candidate protocol.
+//
+// For differential schemes the symbol transitions themselves carry the
+// data, so the histogram of transition phases directly shows the
+// constellation (DBPSK: two bins pi apart; DQPSK: four bins pi/2 apart).
+func EstimateConstellation(samples iq.Samples, sps int, nbins int) ConstellationEstimate {
+	if sps < 1 || len(samples) < 3*sps {
+		return ConstellationEstimate{}
+	}
+	if nbins <= 0 {
+		nbins = 16
+	}
+	// Symbol-spaced transition phases.
+	n := len(samples)/sps - 1
+	trans := make([]float64, 0, n)
+	for k := 0; k+1 <= n; k++ {
+		a := samples[k*sps]
+		b := samples[(k+1)*sps]
+		re := float64(real(b))*float64(real(a)) + float64(imag(b))*float64(imag(a))
+		im := float64(imag(b))*float64(real(a)) - float64(real(b))*float64(imag(a))
+		trans = append(trans, math.Atan2(im, re))
+	}
+	if len(trans) < 8 {
+		return ConstellationEstimate{}
+	}
+
+	// Estimate drift with the M-power trick for the largest M we care
+	// about (M=4): multiplying transition phases by 4 collapses any
+	// BPSK/QPSK constellation to a single angle 4*drift.
+	quad := make([]float64, len(trans))
+	for i, t := range trans {
+		quad[i] = dsp.WrapPhase(4 * t)
+	}
+	drift := dsp.CircularMean(quad) / 4
+
+	centered := make([]float64, len(trans))
+	for i, t := range trans {
+		centered[i] = dsp.WrapPhase(t - drift)
+	}
+	counts := dsp.PhaseHistogram(centered, nbins)
+	// A constellation point near ±pi (or jittered across any bin edge)
+	// splits between adjacent bins, so cluster circularly-adjacent
+	// dominant bins before counting points.
+	dom := dsp.DominantBins(counts, 0.08)
+	clusters := clusterCircular(dom, nbins)
+
+	occ := 0
+	for _, b := range dom {
+		occ += counts[b]
+	}
+	est := ConstellationEstimate{
+		DriftRadPerSym: drift,
+		Occupancy:      float64(occ) / float64(len(trans)),
+	}
+	// Accept only clean constellations: most transitions concentrated in
+	// the dominant clusters, and a plausible PSK order.
+	if est.Occupancy < 0.8 {
+		return est
+	}
+	switch clusters {
+	case 1, 2:
+		// One cluster means every transition carries the same phase (a
+		// degenerate data pattern); report the minimal PSK order.
+		est.Points = 2
+	case 3, 4:
+		est.Points = 4
+	}
+	return est
+}
+
+// clusterCircular counts groups of circularly-adjacent bin indices.
+func clusterCircular(bins []int, nbins int) int {
+	if len(bins) == 0 {
+		return 0
+	}
+	member := make(map[int]bool, len(bins))
+	for _, b := range bins {
+		member[b] = true
+	}
+	clusters := 0
+	for _, b := range bins {
+		prev := (b - 1 + nbins) % nbins
+		if !member[prev] {
+			clusters++
+		}
+	}
+	if clusters == 0 {
+		// Every bin has a dominant predecessor: the whole circle is one
+		// cluster (uniform spread).
+		clusters = 1
+	}
+	return clusters
+}
+
+// IsGFSK reports whether the block looks like a continuous-phase
+// frequency modulation: the second derivative of phase stays near zero
+// (Section 3.3: "GFSK is a popular exception to the QAM pattern, but even
+// that can be detected by checking that the second derivative of phase is
+// always zero").
+func IsGFSK(samples iq.Samples, maxSecondDeriv float64) bool {
+	if len(samples) < 3 {
+		return false
+	}
+	d := dsp.PhaseDiff(samples, make([]float64, 0, len(samples)))
+	dd := dsp.SecondDiff(d, make([]float64, 0, len(d)))
+	return dsp.MeanAbs(dd) <= maxSecondDeriv
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// Analyzer is the analysis-stage plug-in interface (demodulators,
+// header-only decoders, deep packet inspection — "Functionality
+// Extensible", Section 2.1). Analyzers receive merged AnalysisRequests
+// and read samples through the accessor; whatever they emit is collected
+// in the run result's Outputs.
+type Analyzer interface {
+	// Name identifies the analyzer block in CPU accounting.
+	Name() string
+	// Accepts reports whether the analyzer handles the family.
+	Accepts(family protocols.ID) bool
+	// Analyze processes one request, emitting its products.
+	Analyze(src SampleAccessor, req AnalysisRequest, emit func(flowgraph.Item)) error
+}
+
+// StreamAccessor adapts an in-memory stream to SampleAccessor.
+type StreamAccessor struct {
+	Stream iq.Samples
+}
+
+// Slice implements SampleAccessor with clipping.
+func (s *StreamAccessor) Slice(iv iq.Interval) iq.Samples {
+	start, end := int64(iv.Start), int64(iv.End)
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(s.Stream)) {
+		end = int64(len(s.Stream))
+	}
+	if end <= start {
+		return nil
+	}
+	return s.Stream[start:end]
+}
+
+// Config selects which fast detectors the pipeline runs. The experiments
+// flip these to produce the paper's "RFDump with timing detection",
+// "... with phase detection" and "... with timing and phase" variants.
+type Config struct {
+	Peak       PeakConfig
+	Dispatch   DispatcherConfig
+	WiFiTiming *WiFiTimingConfig // nil disables
+	BTTiming   *BTTimingConfig
+	Microwave  bool
+	ZigBee     bool
+	WiFiPhase  *WiFiPhaseConfig
+	BTPhase    *BTPhaseConfig
+	BTFreq     *BTFreqConfig
+	// OFDM enables the 802.11g cyclic-prefix detector (the paper's
+	// future-work extension).
+	OFDM *OFDMConfig
+	// Parallel runs the flowgraph with the multi-threaded scheduler (the
+	// paper's future-work extension; default single-threaded like GNU
+	// Radio at the time).
+	Parallel bool
+}
+
+// TimingOnly returns the configuration using only timing detectors.
+func TimingOnly() Config {
+	return Config{WiFiTiming: &WiFiTimingConfig{}, BTTiming: &BTTimingConfig{}}
+}
+
+// PhaseOnly returns the configuration using only phase detectors.
+func PhaseOnly() Config {
+	return Config{WiFiPhase: &WiFiPhaseConfig{}, BTPhase: &BTPhaseConfig{}}
+}
+
+// TimingAndPhase returns the combined configuration.
+func TimingAndPhase() Config {
+	c := TimingOnly()
+	c.WiFiPhase = &WiFiPhaseConfig{}
+	c.BTPhase = &BTPhaseConfig{}
+	return c
+}
+
+// Result summarizes one pipeline run.
+type Result struct {
+	// Detections is every fast-detector verdict.
+	Detections []Detection
+	// Requests is every merged span forwarded to analysis.
+	Requests []AnalysisRequest
+	// Outputs collects everything the analyzers emitted (decoded
+	// packets, diagnostics).
+	Outputs []flowgraph.Item
+	// Stats is the per-block CPU accounting.
+	Stats []flowgraph.BlockStat
+	// Busy is the total single-thread CPU time.
+	Busy time.Duration
+	// StreamLen is the processed trace length.
+	StreamLen iq.Tick
+	// Clock converts ticks to time.
+	Clock iq.Clock
+}
+
+// CPUPerRealTime returns the paper's headline efficiency metric:
+// CPU time / real time of the trace.
+func (r *Result) CPUPerRealTime() float64 {
+	rt := r.Clock.Duration(r.StreamLen)
+	if rt <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(rt)
+}
+
+// ForwardedSpans returns merged forwarded intervals for a family.
+func (r *Result) ForwardedSpans(family protocols.ID) []iq.Interval {
+	var out []iq.Interval
+	for _, req := range r.Requests {
+		if req.Family.Family() == family.Family() {
+			out = append(out, req.Span)
+		}
+	}
+	return iq.Merge(out)
+}
+
+// Pipeline is the assembled RFDump architecture: chunk source → peak
+// detector (with integrated energy filter) → protocol-specific fast
+// detectors → dispatcher → analyzers (Figure 2).
+type Pipeline struct {
+	cfg       Config
+	clock     iq.Clock
+	analyzers []Analyzer
+}
+
+// NewPipeline builds a pipeline description; Run assembles a fresh
+// flowgraph per trace (detector state never leaks across runs).
+func NewPipeline(clock iq.Clock, cfg Config, analyzers ...Analyzer) *Pipeline {
+	return &Pipeline{cfg: cfg, clock: clock, analyzers: analyzers}
+}
+
+// analyzerBlock adapts an Analyzer to a flowgraph.Block, filtering
+// requests by family.
+type analyzerBlock struct {
+	a   Analyzer
+	src SampleAccessor
+}
+
+func (b *analyzerBlock) Name() string { return b.a.Name() }
+
+func (b *analyzerBlock) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	req, ok := item.(AnalysisRequest)
+	if !ok || !b.a.Accepts(req.Family) {
+		return nil
+	}
+	return b.a.Analyze(b.src, req, emit)
+}
+
+func (b *analyzerBlock) Flush(func(flowgraph.Item)) error { return nil }
+
+// sinkBlock collects analyzer outputs.
+type sinkBlock struct {
+	items *[]flowgraph.Item
+}
+
+func (s *sinkBlock) Name() string { return "sink" }
+func (s *sinkBlock) Process(item flowgraph.Item, _ func(flowgraph.Item)) error {
+	*s.items = append(*s.items, item)
+	return nil
+}
+func (s *sinkBlock) Flush(func(flowgraph.Item)) error { return nil }
+
+// assemble builds the flowgraph for one run over the given accessor:
+// peak detector -> enabled fast detectors -> dispatcher -> analyzers ->
+// sink.
+func (p *Pipeline) assemble(src SampleAccessor) (*flowgraph.Graph, *Dispatcher, *[]flowgraph.Item, error) {
+	graph := flowgraph.New()
+
+	peak := NewPeakDetector(p.cfg.Peak)
+	graph.MustAdd(peak)
+	graph.MustRoot("peak-detector")
+
+	dispatcher := NewDispatcher(p.cfg.Dispatch)
+	graph.MustAdd(dispatcher)
+
+	var detectorNames []string
+	addDetector := func(b flowgraph.Block) {
+		graph.MustAdd(b)
+		graph.MustConnect("peak-detector", b.Name())
+		graph.MustConnect(b.Name(), "dispatcher")
+		detectorNames = append(detectorNames, b.Name())
+	}
+	if p.cfg.WiFiTiming != nil {
+		addDetector(NewWiFiTiming(p.clock, *p.cfg.WiFiTiming))
+	}
+	if p.cfg.BTTiming != nil {
+		addDetector(NewBTTiming(p.clock, *p.cfg.BTTiming))
+	}
+	if p.cfg.Microwave {
+		addDetector(NewMicrowaveTiming(p.clock))
+	}
+	if p.cfg.ZigBee {
+		addDetector(NewZigBeeTiming(p.clock))
+	}
+	if p.cfg.WiFiPhase != nil {
+		addDetector(NewWiFiPhase(src, *p.cfg.WiFiPhase))
+	}
+	if p.cfg.BTPhase != nil {
+		addDetector(NewBTPhase(src, p.clock, *p.cfg.BTPhase))
+	}
+	if p.cfg.BTFreq != nil {
+		addDetector(NewBTFreq(*p.cfg.BTFreq))
+	}
+	if p.cfg.OFDM != nil {
+		addDetector(NewOFDMDetector(src, *p.cfg.OFDM))
+	}
+	if len(detectorNames) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: pipeline has no detectors enabled")
+	}
+
+	outputs := new([]flowgraph.Item)
+	sink := &sinkBlock{items: outputs}
+	graph.MustAdd(sink)
+	for _, a := range p.analyzers {
+		b := &analyzerBlock{a: a, src: src}
+		graph.MustAdd(b)
+		graph.MustConnect("dispatcher", b.Name())
+		graph.MustConnect(b.Name(), "sink")
+	}
+	return graph, dispatcher, outputs, nil
+}
+
+// Run processes a full trace.
+func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
+	src := &StreamAccessor{Stream: stream}
+	graph, dispatcher, outputs, err := p.assemble(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Chunk source.
+	nchunks := (len(stream) + iq.ChunkSamples - 1) / iq.ChunkSamples
+	seq := 0
+	source := func() (flowgraph.Item, bool) {
+		if seq >= nchunks {
+			return nil, false
+		}
+		start := seq * iq.ChunkSamples
+		end := start + iq.ChunkSamples
+		if end > len(stream) {
+			end = len(stream)
+		}
+		c := Chunk{
+			Seq:     seq,
+			Span:    iq.Interval{Start: iq.Tick(start), End: iq.Tick(end)},
+			Samples: stream[start:end],
+		}
+		seq++
+		return c, true
+	}
+
+	if p.cfg.Parallel {
+		err = graph.RunParallel(source, 128)
+	} else {
+		err = graph.Run(source)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Detections: dispatcher.All,
+		Requests:   dispatcher.Requests,
+		Outputs:    *outputs,
+		Stats:      graph.Stats(),
+		Busy:       graph.TotalBusy(),
+		StreamLen:  iq.Tick(len(stream)),
+		Clock:      p.clock,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// toneBurst writes a tone at offsetHz into stream over span.
+func toneBurst(stream iq.Samples, span iq.Interval, offsetHz, amp float64) {
+	ph := 0.0
+	for t := span.Start; t < span.End && int(t) < len(stream); t++ {
+		ph += 2 * math.Pi * offsetHz / 8e6
+		stream[t] += complex(float32(amp*math.Cos(ph)), float32(amp*math.Sin(ph)))
+	}
+}
+
+func runSubband(t *testing.T, sp *SubbandPeak, stream iq.Samples) []SubbandPeakResult {
+	t.Helper()
+	var out []SubbandPeakResult
+	emit := func(it flowgraph.Item) { out = append(out, it.(SubbandPeakResult)) }
+	for s := 0; s < len(stream); s += iq.ChunkSamples {
+		e := s + iq.ChunkSamples
+		if e > len(stream) {
+			e = len(stream)
+		}
+		if err := sp.Process(Chunk{
+			Seq:     s / iq.ChunkSamples,
+			Span:    iq.Interval{Start: iq.Tick(s), End: iq.Tick(e)},
+			Samples: stream[s:e],
+		}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSubbandSeparatesFrequencyOverlap(t *testing.T) {
+	// Two narrowband transmissions overlapping in TIME but in different
+	// subbands — the Section 5.4 scenario. The single-band peak detector
+	// coalesces them; the subband detector must report two.
+	stream := dsp.NoiseBlock(dsp.NewRand(61), 60_000, 1.0)
+	spanA := iq.Interval{Start: 10_000, End: 30_000}
+	spanB := iq.Interval{Start: 20_000, End: 45_000} // overlaps A in time
+	toneBurst(stream, spanA, -3e6, 10)               // band 0
+	toneBurst(stream, spanB, +3e6, 10)               // band 3
+
+	// Baseline: the fine-grained detector sees one merged peak.
+	pd := NewPeakDetector(PeakConfig{NoiseFloor: 1})
+	peaks, _ := runPeaks(t, pd, stream)
+	if len(peaks) != 1 {
+		t.Logf("note: single-band detector produced %d peaks", len(peaks))
+	}
+
+	sp := NewSubbandPeak(4)
+	results := runSubband(t, sp, stream)
+	byBand := map[int][]SubbandPeakResult{}
+	for _, r := range results {
+		byBand[r.Band] = append(byBand[r.Band], r)
+	}
+	if len(byBand[0]) != 1 || len(byBand[3]) != 1 {
+		t.Fatalf("subband results: %v", results)
+	}
+	// Chunk-granularity spans must bracket the true transmissions.
+	a := byBand[0][0].Span
+	if a.Start > spanA.Start || a.End < spanA.End-iq.ChunkSamples {
+		t.Errorf("band0 span %v vs truth %v", a, spanA)
+	}
+	b := byBand[3][0].Span
+	if b.Start > spanB.Start || b.End < spanB.End-iq.ChunkSamples {
+		t.Errorf("band3 span %v vs truth %v", b, spanB)
+	}
+	// No phantom activity in the quiet middle bands.
+	if len(byBand[1]) != 0 || len(byBand[2]) != 0 {
+		t.Errorf("phantom subband peaks: %v", results)
+	}
+}
+
+func TestSubbandWidebandHitsAllBands(t *testing.T) {
+	// A wideband (DSSS-like) burst occupies every subband.
+	stream := dsp.NoiseBlock(dsp.NewRand(62), 30_000, 1.0)
+	r := dsp.NewRand(63)
+	for ti := 8000; ti < 20000; ti++ {
+		stream[ti] += complex(float32(6*r.Norm()), float32(6*r.Norm()))
+	}
+	sp := NewSubbandPeak(4)
+	results := runSubband(t, sp, stream)
+	bands := map[int]bool{}
+	for _, res := range results {
+		bands[res.Band] = true
+	}
+	if len(bands) != 4 {
+		t.Errorf("wideband burst seen in %d/4 bands: %v", len(bands), results)
+	}
+}
+
+func TestSubbandQuiet(t *testing.T) {
+	stream := dsp.NoiseBlock(dsp.NewRand(64), 40_000, 1.0)
+	sp := NewSubbandPeak(4)
+	results := runSubband(t, sp, stream)
+	if len(results) > 2 {
+		t.Errorf("noise produced %d subband peaks", len(results))
+	}
+}
+
+func TestSubbandRejectsBadItem(t *testing.T) {
+	sp := NewSubbandPeak(2)
+	if err := sp.Process("bogus", func(flowgraph.Item) {}); err == nil {
+		t.Error("bad item accepted")
+	}
+}

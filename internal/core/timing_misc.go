@@ -1,0 +1,185 @@
+package core
+
+import (
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// MicrowaveTiming classifies long constant-envelope peaks recurring at
+// the AC line period as microwave-oven emission ("A microwave timing
+// block might look for peaks occurring at the rate of AC frequency ...
+// since the emitted signal from a residential microwave has constant
+// power, we can use signal strength information to verify whether the
+// amplitude of the signal is constant across peaks", Section 3.2).
+type MicrowaveTiming struct {
+	clock iq.Clock
+
+	minLen, maxLen iq.Tick
+	period         iq.Tick
+	tol            iq.Tick
+
+	prevSpan  iq.Interval
+	prevPower float64
+	havePrev  bool
+	streak    int
+}
+
+// NewMicrowaveTiming returns the detector (60 Hz AC assumed; a second
+// instance can watch the 50 Hz grid).
+func NewMicrowaveTiming(clock iq.Clock) *MicrowaveTiming {
+	period := clock.Ticks(protocols.MicrowaveACPeriodUS)
+	return &MicrowaveTiming{
+		clock:  clock,
+		minLen: period / 4,     // at least a quarter cycle of emission
+		maxLen: period * 3 / 4, // at most three quarters
+		period: period,
+		tol:    period / 20, // ±5% period jitter
+	}
+}
+
+// Name implements flowgraph.Block.
+func (m *MicrowaveTiming) Name() string { return "microwave-timing" }
+
+// Process implements flowgraph.Block.
+func (m *MicrowaveTiming) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	meta := item.(*ChunkMeta)
+	for _, pk := range meta.Completed {
+		m.observe(pk, emit)
+	}
+	return nil
+}
+
+func (m *MicrowaveTiming) observe(pk Peak, emit func(flowgraph.Item)) {
+	n := pk.Span.Len()
+	if n < m.minLen || n > m.maxLen {
+		return
+	}
+	// Constant-envelope check: the largest windowed average stays close
+	// to the mean (edge windows straddle the burst boundary, so the
+	// windowed minimum is not usable for this).
+	if pk.MeanPower <= 0 || pk.MaxPower/pk.MeanPower > 1.6 {
+		return
+	}
+	if m.havePrev {
+		dt := pk.Span.Start - m.prevSpan.Start
+		powerRatio := pk.MeanPower / m.prevPower
+		if absTick(dt-m.period) <= m.tol && powerRatio > 0.5 && powerRatio < 2 {
+			m.streak++
+			conf := 0.6 + 0.1*float64(m.streak)
+			if conf > 0.95 {
+				conf = 0.95
+			}
+			emit(Detection{
+				Family:     protocols.Microwave,
+				Span:       pk.Span,
+				Detector:   "microwave-timing",
+				Confidence: conf,
+				Channel:    -1,
+			})
+			// Report the anchor burst the first time a streak forms.
+			if m.streak == 1 {
+				emit(Detection{
+					Family:     protocols.Microwave,
+					Span:       m.prevSpan,
+					Detector:   "microwave-timing",
+					Confidence: 0.6,
+					Channel:    -1,
+				})
+			}
+		} else {
+			m.streak = 0
+		}
+	}
+	m.prevSpan = pk.Span
+	m.prevPower = pk.MeanPower
+	m.havePrev = true
+}
+
+// Flush implements flowgraph.Block.
+func (m *MicrowaveTiming) Flush(func(flowgraph.Item)) error { return nil }
+
+// ZigBeeTiming classifies peaks separated by the 802.15.4 turnaround
+// (tACK/SIFS) or whole backoff periods as ZigBee — the paper's worked
+// example of extending timing analysis to a new protocol ("a ZigBee
+// timing block would look for spacings that are a multiple of backoff
+// periods (slot time), LIFS, SIFS or tACK", Section 3.2). It is
+// registered by the examples/newprotocol demo.
+type ZigBeeTiming struct {
+	clock iq.Clock
+
+	sifs    iq.Tick
+	lifs    iq.Tick
+	backoff iq.Tick
+	tol     iq.Tick
+
+	prevEnd  iq.Tick
+	prevSpan iq.Interval
+	havePrev bool
+}
+
+// NewZigBeeTiming returns the detector.
+func NewZigBeeTiming(clock iq.Clock) *ZigBeeTiming {
+	return &ZigBeeTiming{
+		clock:   clock,
+		sifs:    clock.Ticks(protocols.ZigBeeSIFS),
+		lifs:    clock.Ticks(protocols.ZigBeeLIFS),
+		backoff: clock.Ticks(protocols.ZigBeeBackoffPeriod),
+		tol:     iq.Tick(8 * clock.Rate / 1e6), // ±8 us
+	}
+}
+
+// Name implements flowgraph.Block.
+func (z *ZigBeeTiming) Name() string { return "zigbee-timing" }
+
+// Process implements flowgraph.Block.
+func (z *ZigBeeTiming) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	meta := item.(*ChunkMeta)
+	for _, pk := range meta.Completed {
+		z.observe(pk, emit)
+	}
+	return nil
+}
+
+func (z *ZigBeeTiming) observe(pk Peak, emit func(flowgraph.Item)) {
+	defer func() {
+		z.prevEnd = pk.Span.End
+		z.prevSpan = pk.Span
+		z.havePrev = true
+	}()
+	if !z.havePrev {
+		return
+	}
+	gap := pk.Span.Start - z.prevEnd
+	if gap <= 0 {
+		return
+	}
+	match := false
+	switch {
+	case absTick(gap-z.sifs) <= z.tol:
+		match = true
+	case absTick(gap-z.lifs) <= z.tol:
+		match = true
+	default:
+		// Whole backoff periods, up to 8.
+		m := int((gap + z.backoff/2) / z.backoff)
+		if m >= 1 && m <= 8 && absTick(gap-iq.Tick(m)*z.backoff) <= z.tol {
+			match = true
+		}
+	}
+	if !match {
+		return
+	}
+	for _, span := range []iq.Interval{z.prevSpan, pk.Span} {
+		emit(Detection{
+			Family:     protocols.ZigBee,
+			Span:       span,
+			Detector:   "zigbee-timing",
+			Confidence: 0.6,
+			Channel:    -1,
+		})
+	}
+}
+
+// Flush implements flowgraph.Block.
+func (z *ZigBeeTiming) Flush(func(flowgraph.Item)) error { return nil }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// WiFiTimingConfig tunes the 802.11 timing detector.
+type WiFiTimingConfig struct {
+	// SIFSToleranceUS is the ± tolerance around SIFS (δ(SIFS)).
+	SIFSToleranceUS float64
+	// DIFSToleranceUS is the ± tolerance around DIFS + k*ST gaps.
+	DIFSToleranceUS float64
+	// CWMax bounds k (paper uses 64 "to bound our latency").
+	CWMax int
+	// EnableSIFS/EnableDIFS select which patterns to search; both default
+	// to on. The unicast microbenchmark isolates SIFS, the broadcast one
+	// DIFS.
+	DisableSIFS bool
+	DisableDIFS bool
+}
+
+func (c WiFiTimingConfig) withDefaults() WiFiTimingConfig {
+	if c.SIFSToleranceUS <= 0 {
+		c.SIFSToleranceUS = 2.5
+	}
+	if c.DIFSToleranceUS <= 0 {
+		c.DIFSToleranceUS = 4
+	}
+	if c.CWMax <= 0 {
+		c.CWMax = protocols.WiFiCWMax
+	}
+	return c
+}
+
+// WiFiTiming is the 802.11 protocol-specific timing detector of Sections
+// 3.2/4.4: it classifies a pair of peaks separated by SIFS (a data frame
+// and its MAC-level ACK) and peaks separated from their predecessor by
+// DIFS + k*SlotTime (contention) as 802.11. It operates purely on the
+// peak metadata.
+type WiFiTiming struct {
+	cfg   WiFiTimingConfig
+	clock iq.Clock
+
+	sifs iq.Tick
+	difs iq.Tick
+	slot iq.Tick
+	sTol iq.Tick
+	dTol iq.Tick
+
+	prevEnd   iq.Tick
+	prevSpan  iq.Interval
+	havePrev  bool
+	prevMatch bool // previous peak was already reported as 802.11
+}
+
+// NewWiFiTiming returns the detector for the given sample clock.
+func NewWiFiTiming(clock iq.Clock, cfg WiFiTimingConfig) *WiFiTiming {
+	cfg = cfg.withDefaults()
+	w := &WiFiTiming{cfg: cfg, clock: clock}
+	w.sifs = clock.Ticks(protocols.WiFiSIFS)
+	w.difs = clock.Ticks(protocols.WiFiDIFS)
+	w.slot = clock.Ticks(protocols.WiFiSlotTime)
+	w.sTol = iq.Tick(cfg.SIFSToleranceUS * float64(clock.Rate) / 1e6)
+	w.dTol = iq.Tick(cfg.DIFSToleranceUS * float64(clock.Rate) / 1e6)
+	return w
+}
+
+// Name implements flowgraph.Block.
+func (w *WiFiTiming) Name() string { return "802.11-timing" }
+
+// Process implements flowgraph.Block: consumes *ChunkMeta, emits
+// Detection items for classified peaks.
+func (w *WiFiTiming) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	meta := item.(*ChunkMeta)
+	for _, pk := range meta.Completed {
+		w.observe(pk, emit)
+	}
+	return nil
+}
+
+func (w *WiFiTiming) observe(pk Peak, emit func(flowgraph.Item)) {
+	defer func() {
+		w.prevEnd = pk.Span.End
+		w.prevSpan = pk.Span
+		w.havePrev = true
+	}()
+
+	if !w.havePrev {
+		w.prevMatch = false
+		return
+	}
+	gap := pk.Span.Start - w.prevEnd
+	if gap < 0 {
+		w.prevMatch = false
+		return
+	}
+
+	// SIFS pattern: this peak is the ACK of the previous peak. Forward
+	// both ("a packet and the MAC-level acknowledgment have a time gap
+	// corresponding to SIFS").
+	if !w.cfg.DisableSIFS && absTick(gap-w.sifs) <= w.sTol {
+		if !w.prevMatch {
+			emit(Detection{
+				Family:     protocols.WiFi80211b1M,
+				Span:       w.prevSpan,
+				Detector:   "802.11-sifs",
+				Confidence: 0.9,
+				Channel:    -1,
+			})
+		}
+		emit(Detection{
+			Family:     protocols.WiFi80211b1M,
+			Span:       pk.Span,
+			Detector:   "802.11-sifs",
+			Confidence: 0.9,
+			Channel:    -1,
+		})
+		w.prevMatch = true
+		return
+	}
+
+	// DIFS + k*ST pattern: contention spacing.
+	if !w.cfg.DisableDIFS && gap >= w.difs-w.dTol {
+		rem := gap - w.difs
+		k := int((rem + w.slot/2) / w.slot)
+		if k >= 0 && k <= w.cfg.CWMax {
+			offset := rem - iq.Tick(k)*w.slot
+			if absTick(offset) <= w.dTol {
+				emit(Detection{
+					Family:     protocols.WiFi80211b1M,
+					Span:       pk.Span,
+					Detector:   "802.11-difs",
+					Confidence: 0.7,
+					Channel:    -1,
+				})
+				w.prevMatch = true
+				return
+			}
+		}
+	}
+	w.prevMatch = false
+}
+
+// Flush implements flowgraph.Block.
+func (w *WiFiTiming) Flush(func(flowgraph.Item)) error { return nil }
+
+func absTick(t iq.Tick) iq.Tick {
+	if t < 0 {
+		return -t
+	}
+	return t
+}

@@ -1,0 +1,350 @@
+package demod
+
+import (
+	"math/bits"
+
+	"rfdump/internal/core"
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/bluetooth"
+	"rfdump/internal/protocols"
+)
+
+// BTDemod is the Bluetooth software demodulator (the BlueSniff role): for
+// each of the monitored channels it shifts the channel to baseband,
+// low-pass filters, FM-discriminates, slices symbols at every timing
+// phase, correlates the 64-bit sync word continuously, majority-decodes
+// the FEC-1/3 header (brute-forcing the whitening clock against the HEC,
+// as BlueSniff does), and decodes DH payloads with CRC verification.
+//
+// Like BlueSniff it must be told which piconet to follow (LAP/UAP); the
+// monitoring pipeline is passive and cannot page the devices to ask.
+type BTDemod struct {
+	// LAP/UAP identify the piconet whose access code is correlated.
+	LAP uint32
+	UAP byte
+	// Channels is how many 1 MHz channels the band holds (8).
+	Channels int
+	// MaxSyncErrors tolerated in the 64-bit sync correlation.
+	MaxSyncErrors int
+
+	sync    uint64
+	filter  *dsp.FIR
+	scratch iq.Samples
+	dbuf    []float64
+}
+
+// NewBTDemod returns a demodulator for one piconet.
+func NewBTDemod(lap uint32, uap byte, channels int) *BTDemod {
+	if channels <= 0 {
+		channels = 8
+	}
+	return &BTDemod{
+		LAP:           lap,
+		UAP:           uap,
+		Channels:      channels,
+		MaxSyncErrors: 7,
+		sync:          bluetooth.SyncWord(lap),
+		filter:        dsp.LowPass(700_000, float64(phy.SampleRate), 21),
+	}
+}
+
+// Name implements core.Analyzer.
+func (d *BTDemod) Name() string { return "bt-demod" }
+
+// Accepts implements core.Analyzer.
+func (d *BTDemod) Accepts(f protocols.ID) bool { return f.Family() == protocols.Bluetooth }
+
+// Analyze implements core.Analyzer: when the request names a channel only
+// that channel's demodulator runs (the efficiency edge phase and
+// frequency detection give, Section 5.2); otherwise all channels run.
+func (d *BTDemod) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
+	samples := src.Slice(req.Span)
+	if req.Channel >= 0 && req.Channel < d.Channels {
+		for _, p := range d.DemodulateChannel(samples, req.Span.Start, req.Channel) {
+			emit(p)
+		}
+		return nil
+	}
+	for ch := 0; ch < d.Channels; ch++ {
+		for _, p := range d.DemodulateChannel(samples, req.Span.Start, ch) {
+			emit(p)
+		}
+	}
+	return nil
+}
+
+// channelOffsetHz returns the channel center relative to band center.
+func (d *BTDemod) channelOffsetHz(ch int) float64 {
+	return (float64(ch) - (float64(d.Channels)-1)/2) * float64(protocols.BTChannelWidthHz)
+}
+
+// DemodulateChannel hunts and decodes Bluetooth packets on one channel
+// within the block.
+func (d *BTDemod) DemodulateChannel(samples iq.Samples, base iq.Tick, ch int) []Packet {
+	n := len(samples)
+	if n < bluetooth.AccessCodeBits*bluetooth.SPS {
+		return nil
+	}
+	// Shift channel to baseband and low-pass: the unconditional
+	// per-sample cost of a channel demodulator.
+	if cap(d.scratch) < n {
+		d.scratch = make(iq.Samples, n)
+		d.dbuf = make([]float64, n)
+	}
+	shifted := d.scratch[:n]
+	copy(shifted, samples)
+	shifted.FrequencyShift(-d.channelOffsetHz(ch), phy.SampleRate, 0)
+	d.filter.Reset()
+	d.filter.Process(shifted, shifted)
+
+	// FM discriminator.
+	diffs := dsp.PhaseDiff(shifted, d.dbuf[:0])
+
+	// Continuous sync-word correlation at every symbol phase: slice a
+	// bit at each sample against a slowly-adapting drift estimate, and
+	// keep one 64-bit shift register per timing phase.
+	drift := dsp.NewMovingAverage(256)
+	var regs [bluetooth.SPS]uint64
+	var packets []Packet
+	skipUntil := 0
+
+	for i, dv := range diffs {
+		mean := drift.Push(dv)
+		bit := uint64(0)
+		if dv > mean {
+			bit = 1
+		}
+		p := i % bluetooth.SPS
+		regs[p] = regs[p]>>1 | bit<<63
+		if i < skipUntil || i < 63*bluetooth.SPS {
+			continue
+		}
+		if bits.OnesCount64(regs[p]^d.sync) > d.MaxSyncErrors {
+			continue
+		}
+		// Sync word matched ending at sample i: decode from here.
+		pkt, endSample := d.decodePacket(diffs, i, mean, ch, base)
+		if pkt != nil {
+			packets = append(packets, *pkt)
+			skipUntil = endSample
+		} else {
+			skipUntil = i + bluetooth.SPS // avoid re-firing on same spot
+		}
+	}
+	return packets
+}
+
+// refineSync returns the offset in [0, SPS) to add to the firing index so
+// that bit slicing happens at the center of the timing eye. For each
+// candidate offset it counts sync-word bit errors when re-slicing at that
+// grid; the returned offset is the middle of the best run.
+func (d *BTDemod) refineSync(diffs []float64, syncEnd int, drift float64) int {
+	const span = bluetooth.SPS
+	errsAt := make([]int, span)
+	for cand := 0; cand < span; cand++ {
+		e := 0
+		for k := 0; k < 64; k++ {
+			idx := syncEnd + cand - (63-k)*bluetooth.SPS
+			if idx < 0 || idx >= len(diffs) {
+				e = 64
+				break
+			}
+			bit := uint64(0)
+			if diffs[idx] > drift {
+				bit = 1
+			}
+			if bit != (d.sync>>k)&1 {
+				e++
+			}
+		}
+		errsAt[cand] = e
+	}
+	// Find the minimum error value, then the longest contiguous run at
+	// (or within 1 of) the minimum, and return its middle.
+	minE := errsAt[0]
+	for _, e := range errsAt {
+		if e < minE {
+			minE = e
+		}
+	}
+	bestStart, bestLen := 0, 0
+	runStart, runLen := -1, 0
+	for c := 0; c < span; c++ {
+		if errsAt[c] <= minE+1 {
+			if runStart < 0 {
+				runStart = c
+			}
+			runLen++
+			if runLen > bestLen {
+				bestLen = runLen
+				bestStart = runStart
+			}
+		} else {
+			runStart, runLen = -1, 0
+		}
+	}
+	return bestStart + bestLen/2
+}
+
+// decodePacket decodes header+payload given the sync word's last sample
+// index. Returns the packet (nil on failure) and the sample index to
+// resume scanning at.
+func (d *BTDemod) decodePacket(diffs []float64, syncEnd int, drift float64, ch int, base iq.Tick) (*Packet, int) {
+	// Refine symbol timing: the sync correlator fires at the left edge
+	// of the eye (the first intra-symbol offset clearing the error
+	// budget), but a long DH5 needs center sampling. Re-slice the 64
+	// sync bits at each grid offset ahead of the firing point and move
+	// to the center of the zero-ish-error eye.
+	syncEnd += d.refineSync(diffs, syncEnd, drift)
+
+	sliceBit := func(sym int) (byte, bool) {
+		// Symbol k after the sync word: sample the symbol center.
+		idx := syncEnd + (sym+1)*bluetooth.SPS
+		if idx >= len(diffs) {
+			return 0, false
+		}
+		if diffs[idx] > drift {
+			return 1, true
+		}
+		return 0, true
+	}
+
+	// Trailer: 4 bits between sync word and header.
+	const trailerBits = 4
+	readBits := func(off, n int) ([]byte, bool) {
+		out := make([]byte, n)
+		for k := 0; k < n; k++ {
+			b, ok := sliceBit(off + k)
+			if !ok {
+				return nil, false
+			}
+			out[k] = b
+		}
+		return out, true
+	}
+
+	hdrAir, ok := readBits(trailerBits, bluetooth.HeaderAirBits)
+	if !ok {
+		return nil, syncEnd + bluetooth.SPS
+	}
+
+	spanStart := base + iq.Tick(syncEnd) - iq.Tick((bluetooth.AccessCodeBits-trailerBits)*bluetooth.SPS)
+	if spanStart < base {
+		spanStart = base
+	}
+
+	// Brute-force the whitening clock against the HEC (the receiver does
+	// not know CLK; 64 candidate inits, exactly what BlueSniff does). An
+	// 8-bit HEC passes by chance for ~1 in 4 wrong clocks across 64
+	// trials, so a candidate is only accepted outright when the payload
+	// CRC also validates; the first HEC-passing candidate is kept as a
+	// fallback for header-only packets.
+	var fallback *Packet
+	fallbackEnd := 0
+	for c := 0; c < 64; c++ {
+		w := phy.NewWhitener(byte(c) | 0x40)
+		tmp := make([]byte, len(hdrAir))
+		copy(tmp, hdrAir)
+		w.XorStream(tmp)
+		hdr, hecOK := bluetooth.DecodeHeader(tmp, d.UAP)
+		if !hecOK {
+			continue
+		}
+		pkt, end := d.decodePayload(diffs, syncEnd, spanStart, base, ch, hdr, w, readBits)
+		if pkt == nil {
+			continue
+		}
+		if pkt.Valid {
+			return pkt, end
+		}
+		if fallback == nil {
+			fallback, fallbackEnd = pkt, end
+		}
+	}
+	if fallback != nil {
+		return fallback, fallbackEnd
+	}
+	return nil, syncEnd + bluetooth.SPS
+}
+
+// decodePayload decodes the payload portion under one whitening
+// hypothesis. whit must be positioned just past the header bits.
+func (d *BTDemod) decodePayload(diffs []float64, syncEnd int, spanStart, base iq.Tick, ch int,
+	hdr bluetooth.Header, whit *phy.Whitener, readBits func(off, n int) ([]byte, bool)) (*Packet, int) {
+
+	const trailerBits = 4
+	pkt := &Packet{
+		Proto:   protocols.Bluetooth,
+		Channel: ch,
+		Note:    hdr.Type.String(),
+	}
+	maxPayload := hdr.Type.MaxPayload()
+	if maxPayload == 0 {
+		// NULL/POLL: header-only packet; nothing further to verify, so
+		// it is reported but never outranks a CRC-verified candidate.
+		end := syncEnd + (trailerBits+bluetooth.HeaderAirBits+1)*bluetooth.SPS
+		pkt.Span = iq.Interval{Start: spanStart, End: base + iq.Tick(end)}
+		pkt.Valid = false
+		pkt.Note += " (header only, unverified)"
+		return pkt, end
+	}
+
+	// Payload: header(2) + data + CRC(2); length is in the payload
+	// header, so peek it first with a whitener copy. DM payloads are
+	// rate-2/3 FEC coded under the whitening, so the peek spans two
+	// (15,10) blocks.
+	isDM := hdr.Type.IsDM()
+	peekAir := 16
+	if isDM {
+		peekAir = 30
+	}
+	plHdrAir, ok := readBits(trailerBits+bluetooth.HeaderAirBits, peekAir)
+	if !ok {
+		return nil, 0
+	}
+	whitCopy := *whit
+	tmp := make([]byte, peekAir)
+	copy(tmp, plHdrAir)
+	whitCopy.XorStream(tmp)
+	if isDM {
+		tmp, _ = phy.FEC23Decode(tmp)
+	}
+	raw := phy.BitsToBytesLSB(tmp[:16])
+	length := int(raw[0]>>2) | int(raw[1])<<6
+	if length > maxPayload {
+		return nil, 0
+	}
+	totalPlainBits := (2 + length + 2) * 8
+	totalAirBits := totalPlainBits
+	if isDM {
+		totalAirBits = phy.FEC23AirBits(totalPlainBits)
+	}
+	plAir, ok := readBits(trailerBits+bluetooth.HeaderAirBits, totalAirBits)
+	if !ok {
+		pkt.Span = iq.Interval{Start: spanStart, End: base + iq.Tick(len(diffs))}
+		pkt.Note += " truncated"
+		return pkt, len(diffs)
+	}
+	whit.XorStream(plAir)
+	plain := plAir
+	if isDM {
+		var fecOK bool
+		plain, fecOK = phy.FEC23Decode(plAir)
+		if !fecOK {
+			pkt.Note += " FEC uncorrectable"
+		}
+		plain = plain[:totalPlainBits]
+	}
+	data, crcOK := bluetooth.ParsePayloadBits(plain, d.UAP)
+	pkt.Frame = data
+	pkt.Valid = crcOK
+	if !crcOK {
+		pkt.Note += " CRC mismatch"
+	}
+	end := syncEnd + (trailerBits+bluetooth.HeaderAirBits+totalAirBits+1)*bluetooth.SPS
+	pkt.Span = iq.Interval{Start: spanStart, End: base + iq.Tick(end)}
+	return pkt, end
+}

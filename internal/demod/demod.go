@@ -1,0 +1,47 @@
+// Package demod implements the analysis stage of the architecture: full
+// software demodulators for 802.11b and Bluetooth, written from scratch
+// (standing in for the BBN/ADROIT 802.11 decoder and the BlueSniff
+// Bluetooth decoder the paper plugs in). They are deliberately complete —
+// continuous preamble/access-code search over every input sample, real
+// descrambling/de-whitening, header and frame CRC verification — because
+// the architecture's efficiency argument rests on demodulation being
+// expensive relative to fast detection (Table 1).
+package demod
+
+import (
+	"fmt"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// Packet is a decoded (or partially decoded) link-layer packet.
+type Packet struct {
+	// Proto is the decoded technology and rate.
+	Proto protocols.ID
+	// Span is the packet's position in the stream.
+	Span iq.Interval
+	// Frame is the recovered link-layer frame (nil when only the
+	// physical header could be decoded).
+	Frame []byte
+	// Valid reports whether all applicable checksums passed.
+	Valid bool
+	// Channel is the protocol channel (Bluetooth hop), or -1.
+	Channel int
+	// Note carries diagnostics ("CCK payload undecodable at 8 Msps",
+	// "FCS mismatch", ...).
+	Note string
+}
+
+// String implements fmt.Stringer in a tcpdump-ish one-liner.
+func (p Packet) String() string {
+	status := "ok"
+	if !p.Valid {
+		status = "BAD"
+	}
+	ch := ""
+	if p.Channel >= 0 {
+		ch = fmt.Sprintf(" ch=%d", p.Channel)
+	}
+	return fmt.Sprintf("%s%s %d bytes [%s] %s", p.Proto, ch, len(p.Frame), status, p.Note)
+}

@@ -1,0 +1,145 @@
+package demod
+
+import (
+	"sort"
+
+	"rfdump/internal/core"
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/bluetooth"
+	"rfdump/internal/protocols"
+)
+
+// PiconetSighting is BTDiscover's product: an unknown piconet identified
+// purely from the air.
+type PiconetSighting struct {
+	// LAP recovered from the BCH-verified sync word.
+	LAP uint32
+	// Channel the sighting was heard on.
+	Channel int
+	// At is the sample position of the sync word's end.
+	At iq.Tick
+}
+
+// BTDiscover is the piconet-discovery analyzer: unlike BTDemod (which
+// follows one known piconet, like BlueSniff's target mode), it slices
+// GFSK bits on each monitored channel, hunts for *any* valid BCH(64,30)
+// sync word, and recovers the transmitting piconet's LAP — turning
+// "there is Bluetooth here" (the fast detectors' verdict) into "piconet
+// 0x9e8b33 is here". Plug it into the pipeline next to the demodulators.
+type BTDiscover struct {
+	// Channels in the monitored band.
+	Channels int
+
+	filter  *dsp.FIR
+	scratch iq.Samples
+	dbuf    []float64
+
+	// Seen accumulates distinct LAPs across the run.
+	Seen map[uint32]int
+}
+
+// NewBTDiscover returns the discovery analyzer.
+func NewBTDiscover(channels int) *BTDiscover {
+	if channels <= 0 {
+		channels = 8
+	}
+	return &BTDiscover{
+		Channels: channels,
+		filter:   dsp.LowPass(700_000, float64(phy.SampleRate), 21),
+		Seen:     map[uint32]int{},
+	}
+}
+
+// Name implements core.Analyzer.
+func (d *BTDiscover) Name() string { return "bt-discover" }
+
+// Accepts implements core.Analyzer.
+func (d *BTDiscover) Accepts(f protocols.ID) bool { return f.Family() == protocols.Bluetooth }
+
+// Analyze implements core.Analyzer.
+func (d *BTDiscover) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
+	samples := src.Slice(req.Span)
+	if req.Channel >= 0 && req.Channel < d.Channels {
+		for _, s := range d.DiscoverChannel(samples, req.Span.Start, req.Channel) {
+			emit(s)
+		}
+		return nil
+	}
+	for ch := 0; ch < d.Channels; ch++ {
+		for _, s := range d.DiscoverChannel(samples, req.Span.Start, ch) {
+			emit(s)
+		}
+	}
+	return nil
+}
+
+// DiscoverChannel hunts sync words of any piconet on one channel.
+func (d *BTDiscover) DiscoverChannel(samples iq.Samples, base iq.Tick, ch int) []PiconetSighting {
+	n := len(samples)
+	if n < 64*bluetooth.SPS {
+		return nil
+	}
+	if cap(d.scratch) < n {
+		d.scratch = make(iq.Samples, n)
+		d.dbuf = make([]float64, n)
+	}
+	shifted := d.scratch[:n]
+	copy(shifted, samples)
+	offset := (float64(ch) - (float64(d.Channels)-1)/2) * float64(protocols.BTChannelWidthHz)
+	shifted.FrequencyShift(-offset, phy.SampleRate, 0)
+	d.filter.Reset()
+	d.filter.Process(shifted, shifted)
+	diffs := dsp.PhaseDiff(shifted, d.dbuf[:0])
+
+	drift := dsp.NewMovingAverage(256)
+	var regs [bluetooth.SPS]uint64
+	var out []PiconetSighting
+	lastAt := iq.Tick(-1)
+	var lastLAP uint32
+
+	for i, dv := range diffs {
+		mean := drift.Push(dv)
+		bit := uint64(0)
+		if dv > mean {
+			bit = 1
+		}
+		p := i % bluetooth.SPS
+		regs[p] = regs[p]>>1 | bit<<63
+		if i < 63*bluetooth.SPS {
+			continue
+		}
+		lap, ok := bluetooth.RecoverLAP(regs[p])
+		if !ok {
+			continue
+		}
+		at := base + iq.Tick(i)
+		// The eye is several samples wide: collapse duplicate hits of
+		// the same sync word.
+		if lap == lastLAP && lastAt >= 0 && at-lastAt < iq.Tick(2*bluetooth.SPS) {
+			lastAt = at
+			continue
+		}
+		out = append(out, PiconetSighting{LAP: lap, Channel: ch, At: at})
+		d.Seen[lap]++
+		lastLAP, lastAt = lap, at
+	}
+	return out
+}
+
+// KnownLAPs returns the distinct LAPs seen so far, most-sighted first.
+func (d *BTDiscover) KnownLAPs() []uint32 {
+	out := make([]uint32, 0, len(d.Seen))
+	for lap := range d.Seen {
+		out = append(out, lap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d.Seen[out[i]] != d.Seen[out[j]] {
+			return d.Seen[out[i]] > d.Seen[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,340 @@
+package demod
+
+import (
+	"math"
+
+	"rfdump/internal/core"
+	"rfdump/internal/dsp"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+// WiFiDemod is the 802.11b software demodulator. It continuously
+// correlates the Barker phase signature against the input (the sync
+// search runs on every sample, like the BBN decoder), locks symbol
+// timing, differential-decodes DBPSK/DQPSK, descrambles, hunts the PLCP
+// SFD, validates the PLCP header CRC, decodes the PSDU at 1 or 2 Mbps
+// and verifies the MAC FCS. 5.5/11 Mbps CCK payloads are reported
+// header-only: the 8 MHz capture of the 22 MHz channel cannot carry them
+// (the same limitation the paper's USRP imposes).
+type WiFiDemod struct {
+	// LockThreshold is the signature correlation needed to consider a
+	// sample a symbol start.
+	LockThreshold float64
+	// HeaderOnly makes the analyzer decode just the PLCP preamble and
+	// header of each packet — the cheap analysis-stage variant the paper
+	// names ("other analysis tools could be used, e.g. demodulation of
+	// headers only", Section 2.2). Rate, airtime and position are still
+	// reported; the PSDU is skipped entirely.
+	HeaderOnly bool
+	// sig is the intra-symbol transition sign pattern.
+	sig [wifi.SymbolSPS - 1]float64
+	// template is the 8-sample chip pattern.
+	template [wifi.SymbolSPS]float64
+
+	// scratch
+	diffs []float64
+	coss  []float64
+}
+
+// NewWiFiDemod returns a demodulator.
+func NewWiFiDemod() *WiFiDemod {
+	d := &WiFiDemod{LockThreshold: 0.72}
+	d.init()
+	return d
+}
+
+// NewWiFiHeaderDemod returns the header-only analyzer variant.
+func NewWiFiHeaderDemod() *WiFiDemod {
+	d := &WiFiDemod{LockThreshold: 0.72, HeaderOnly: true}
+	d.init()
+	return d
+}
+
+func (d *WiFiDemod) init() {
+	sig := wifi.PhaseSignature()
+	for m := range d.sig {
+		if sig[m] == 0 {
+			d.sig[m] = 1
+		} else {
+			d.sig[m] = -1
+		}
+	}
+	t := wifi.SymbolTemplate()
+	copy(d.template[:], t)
+}
+
+// Name implements core.Analyzer.
+func (d *WiFiDemod) Name() string {
+	if d.HeaderOnly {
+		return "802.11-hdr-demod"
+	}
+	return "802.11-demod"
+}
+
+// Accepts implements core.Analyzer.
+func (d *WiFiDemod) Accepts(f protocols.ID) bool {
+	return f.Family() == protocols.WiFi80211b1M
+}
+
+// Analyze implements core.Analyzer.
+func (d *WiFiDemod) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
+	samples := src.Slice(req.Span)
+	for _, p := range d.Demodulate(samples, req.Span.Start) {
+		emit(p)
+	}
+	return nil
+}
+
+// Demodulate hunts and decodes every 802.11b packet in the block. base
+// is the block's position in the stream (for packet spans).
+func (d *WiFiDemod) Demodulate(samples iq.Samples, base iq.Tick) []Packet {
+	n := len(samples)
+	if n < 4*wifi.SymbolSPS {
+		return nil
+	}
+	// Phase transitions and their cosines for the whole block: this is
+	// the unconditional per-sample work of the demodulator.
+	if cap(d.diffs) < n {
+		d.diffs = make([]float64, n)
+		d.coss = make([]float64, n)
+	}
+	diffs := dsp.PhaseDiff(samples, d.diffs[:0])
+	coss := d.coss[:len(diffs)]
+	for i, v := range diffs {
+		coss[i] = math.Cos(v)
+	}
+
+	// corr(i) = signature correlation for a symbol starting at sample i.
+	corr := func(i int) float64 {
+		if i+wifi.SymbolSPS-1 > len(coss) {
+			return 0
+		}
+		var acc float64
+		for m := 0; m < wifi.SymbolSPS-1; m++ {
+			acc += d.sig[m] * coss[i+m]
+		}
+		return acc / float64(wifi.SymbolSPS-1)
+	}
+
+	var packets []Packet
+	i := 0
+	for i+16*wifi.SymbolSPS < n {
+		if corr(i) < d.LockThreshold {
+			i++
+			continue
+		}
+		// Verify the lock over the next 16 symbol periods.
+		good := 0
+		for k := 0; k < 16; k++ {
+			if corr(i+k*wifi.SymbolSPS) > d.LockThreshold-0.1 {
+				good++
+			}
+		}
+		if good < 12 {
+			i++
+			continue
+		}
+		pkt, consumed := d.decodeFrom(samples, i, base)
+		if pkt != nil {
+			packets = append(packets, *pkt)
+			i += consumed
+			continue
+		}
+		// Lock did not yield a packet; skip ahead to avoid rescanning
+		// the same false lock sample by sample.
+		i += 8 * wifi.SymbolSPS
+	}
+	return packets
+}
+
+// decodeFrom attempts to decode one PPDU whose symbol grid starts at
+// sample offset start. It returns the packet (nil if none) and how many
+// samples to skip.
+func (d *WiFiDemod) decodeFrom(samples iq.Samples, start int, base iq.Tick) (*Packet, int) {
+	n := len(samples)
+	maxSyms := (n - start) / wifi.SymbolSPS
+	if maxSyms < 60 {
+		return nil, 0
+	}
+	// Cap: preamble+header+max PSDU duration at 1 Mbps — or, for the
+	// header-only analyzer, just past the PLCP (the cost saving).
+	capSyms := wifi.PLCPBits + 18000
+	if d.HeaderOnly {
+		capSyms = wifi.PLCPBits + 80
+	}
+	if maxSyms > capSyms {
+		maxSyms = capSyms
+	}
+
+	// Complex per-symbol correlations against the chip template.
+	corrs := make([]complex128, 0, maxSyms)
+	var energyRef float64
+	lowRun := 0
+	for k := 0; k < maxSyms; k++ {
+		var accRe, accIm float64
+		off := start + k*wifi.SymbolSPS
+		for m := 0; m < wifi.SymbolSPS; m++ {
+			s := samples[off+m]
+			accRe += float64(real(s)) * d.template[m]
+			accIm += float64(imag(s)) * d.template[m]
+		}
+		c := complex(accRe, accIm)
+		mag := math.Hypot(accRe, accIm)
+		if k < 20 {
+			energyRef += mag / 20
+		} else if mag < 0.15*energyRef {
+			// Tolerate a single noise dip; two in a row means the burst
+			// (or its Barker-modulated portion) ended.
+			lowRun++
+			if lowRun >= 2 {
+				break
+			}
+		} else {
+			lowRun = 0
+		}
+		corrs = append(corrs, c)
+	}
+	if len(corrs) < 60 {
+		return nil, 0
+	}
+
+	// Differential phases and CFO estimate (M-power over the DBPSK
+	// region; the first 192 symbols are always DBPSK).
+	deltas := make([]float64, len(corrs)-1)
+	for k := 1; k < len(corrs); k++ {
+		deltas[k-1] = phaseOfProduct(corrs[k], corrs[k-1])
+	}
+	cfoRegion := deltas
+	if len(cfoRegion) > wifi.PLCPBits {
+		cfoRegion = cfoRegion[:wifi.PLCPBits]
+	}
+	doubled := make([]float64, len(cfoRegion))
+	for i, v := range cfoRegion {
+		doubled[i] = dsp.WrapPhase(2 * v)
+	}
+	cfo := dsp.CircularMean(doubled) / 2
+
+	// DBPSK hard decisions over everything (payload re-decided for 2M).
+	bits := make([]byte, len(deltas))
+	for k, v := range deltas {
+		if math.Abs(dsp.WrapPhase(v-cfo)) > math.Pi/2 {
+			bits[k] = 1
+		}
+	}
+
+	// Descramble and hunt the SFD.
+	scr := phy.NewScramble802(0)
+	desc := make([]byte, len(bits))
+	copy(desc, bits)
+	scr.Descramble(desc)
+	sfd := wifi.SFDPattern()
+	sfdPos := -1
+	huntEnd := len(desc) - wifi.HeaderBits - len(sfd) + 1
+	if huntEnd > 200 {
+		huntEnd = 200
+	}
+	for p := 8; p < huntEnd; p++ {
+		if dsp.BitCorrelate(desc, p, sfd) >= len(sfd)-1 {
+			sfdPos = p
+			break
+		}
+	}
+	if sfdPos < 0 {
+		return nil, 0
+	}
+	hdrStart := sfdPos + len(sfd)
+	hdr, err := wifi.ParseHeaderBits(desc[hdrStart : hdrStart+wifi.HeaderBits])
+	if err != nil || !hdr.CRCValid() {
+		return nil, 0
+	}
+	rate, err := hdr.Rate()
+	if err != nil {
+		return nil, 0
+	}
+
+	payloadSym := hdrStart + wifi.HeaderBits // symbol index where PSDU starts
+	// +1: deltas[k] carries the bit of symbol k+1, so symbol index i maps
+	// to delta index i-1; desc was indexed by delta position already.
+	spanStart := base + iq.Tick(start)
+	durationUS := int(hdr.LengthUS)
+	spanEnd := spanStart + iq.Tick((payloadSym+1+durationUS)*wifi.SymbolSPS)
+	consumed := (payloadSym + 1 + durationUS) * wifi.SymbolSPS
+
+	pkt := &Packet{
+		Proto:   rate,
+		Span:    iq.Interval{Start: spanStart, End: spanEnd},
+		Channel: -1,
+	}
+
+	if d.HeaderOnly {
+		pkt.Valid = true
+		pkt.Note = "header only"
+		return pkt, consumed
+	}
+
+	switch rate {
+	case protocols.WiFi80211b1M:
+		nbits := durationUS
+		if payloadSym+nbits > len(desc) {
+			pkt.Note = "truncated payload"
+			return pkt, consumed
+		}
+		frame := phy.BitsToBytesLSB(desc[payloadSym : payloadSym+nbits])
+		pkt.Frame = frame
+		pkt.Valid = fcsOK(frame)
+		if !pkt.Valid {
+			pkt.Note = "FCS mismatch"
+		}
+	case protocols.WiFi80211b2M:
+		nsym := durationUS
+		if payloadSym+nsym > len(deltas) {
+			pkt.Note = "truncated payload"
+			return pkt, consumed
+		}
+		// Re-decide payload symbols as DQPSK and continue the
+		// descrambler from the header's state.
+		raw := make([]byte, 0, nsym*2)
+		for k := payloadSym; k < payloadSym+nsym; k++ {
+			d0, d1 := wifi.DQPSKDecide(deltas[k] - cfo)
+			raw = append(raw, d0, d1)
+		}
+		// The descrambler state after the header: rebuild by replaying
+		// the scrambled bits up to payloadSym.
+		scr2 := phy.NewScramble802(0)
+		replay := make([]byte, payloadSym)
+		copy(replay, bits[:payloadSym])
+		scr2.Descramble(replay)
+		scr2.Descramble(raw)
+		frame := phy.BitsToBytesLSB(raw)
+		pkt.Frame = frame
+		pkt.Valid = fcsOK(frame)
+		if !pkt.Valid {
+			pkt.Note = "FCS mismatch"
+		}
+	default:
+		// 5.5/11 Mbps CCK: headers only at this capture bandwidth.
+		pkt.Valid = true
+		pkt.Note = "CCK payload undecodable at 8 Msps"
+	}
+	return pkt, consumed
+}
+
+func fcsOK(frame []byte) bool {
+	if len(frame) < 8 {
+		return false
+	}
+	body := frame[:len(frame)-4]
+	want := uint32(frame[len(frame)-4]) | uint32(frame[len(frame)-3])<<8 |
+		uint32(frame[len(frame)-2])<<16 | uint32(frame[len(frame)-1])<<24
+	return phy.CRC32(body) == want
+}
+
+func phaseOfProduct(b, a complex128) float64 {
+	re := real(b)*real(a) + imag(b)*imag(a)
+	im := imag(b)*real(a) - real(b)*imag(a)
+	return math.Atan2(im, re)
+}

@@ -1,0 +1,101 @@
+package dsp
+
+import "math"
+
+// Barker11 is the 11-chip Barker sequence used by 802.11b DSSS spreading
+// at 1 and 2 Mbps. Each data symbol is spread by these 11 chips at
+// 11 Mchip/s, giving the 22 MHz channel width of Table 2.
+var Barker11 = [11]int8{+1, -1, +1, +1, -1, +1, +1, +1, -1, -1, -1}
+
+// CrossCorrelate computes the normalized cross-correlation of pattern
+// against signal at every lag in [0, len(signal)-len(pattern)], returning
+// the correlation values. Both inputs are real. Normalization divides by
+// the L2 norms so a perfect match scores 1.0 regardless of amplitude.
+func CrossCorrelate(signal, pattern []float64) []float64 {
+	n := len(signal) - len(pattern) + 1
+	if n <= 0 {
+		return nil
+	}
+	var pNorm float64
+	for _, v := range pattern {
+		pNorm += v * v
+	}
+	pNorm = math.Sqrt(pNorm)
+	out := make([]float64, n)
+	for lag := 0; lag < n; lag++ {
+		var acc, sNorm float64
+		for k, pv := range pattern {
+			sv := signal[lag+k]
+			acc += sv * pv
+			sNorm += sv * sv
+		}
+		if sNorm == 0 || pNorm == 0 {
+			out[lag] = 0
+			continue
+		}
+		out[lag] = acc / (math.Sqrt(sNorm) * pNorm)
+	}
+	return out
+}
+
+// MaxAbs returns the index and value of the element with the largest
+// absolute value (index -1 for empty input).
+func MaxAbs(xs []float64) (int, float64) {
+	idx, best := -1, 0.0
+	for i, v := range xs {
+		if a := math.Abs(v); a > best {
+			best = a
+			idx = i
+		}
+	}
+	return idx, best
+}
+
+// ComplexCorrelate computes |sum(signal[lag+k] * conj(pattern[k]))| at
+// every lag, normalized by the product of L2 norms. It is invariant under
+// a global phase rotation of the signal, which is why the demodulators use
+// it for preamble/access-code hunting on unsynchronized captures.
+func ComplexCorrelate(signal, pattern []complex64) []float64 {
+	n := len(signal) - len(pattern) + 1
+	if n <= 0 {
+		return nil
+	}
+	var pNorm float64
+	for _, v := range pattern {
+		pNorm += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+	}
+	pNorm = math.Sqrt(pNorm)
+	out := make([]float64, n)
+	for lag := 0; lag < n; lag++ {
+		var accRe, accIm, sNorm float64
+		for k, pv := range pattern {
+			sv := signal[lag+k]
+			sr, si := float64(real(sv)), float64(imag(sv))
+			pr, pi := float64(real(pv)), float64(imag(pv))
+			// sv * conj(pv)
+			accRe += sr*pr + si*pi
+			accIm += si*pr - sr*pi
+			sNorm += sr*sr + si*si
+		}
+		if sNorm == 0 || pNorm == 0 {
+			continue
+		}
+		out[lag] = math.Hypot(accRe, accIm) / (math.Sqrt(sNorm) * pNorm)
+	}
+	return out
+}
+
+// BitCorrelate counts matching bits between pattern and the window of
+// stream starting at off. Returns matches out of len(pattern).
+func BitCorrelate(stream []byte, off int, pattern []byte) int {
+	if off < 0 || off+len(pattern) > len(stream) {
+		return 0
+	}
+	m := 0
+	for i, p := range pattern {
+		if stream[off+i] == p {
+			m++
+		}
+	}
+	return m
+}

@@ -1,0 +1,707 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	FFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1 (flat spectrum)", k, v)
+		}
+	}
+}
+
+func TestFFTDC(t *testing.T) {
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = 2
+	}
+	FFT(x)
+	if cmplx.Abs(x[0]-16) > 1e-12 {
+		t.Errorf("DC bin = %v, want 16", x[0])
+	}
+	for k := 1; k < 8; k++ {
+		if cmplx.Abs(x[k]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", k, x[k])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * bin * float64(i) / n
+		x[i] = cmplx.Rect(1, ph)
+	}
+	FFT(x)
+	for k := range x {
+		want := 0.0
+		if k == bin {
+			want = n
+		}
+		if cmplx.Abs(x[k]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", k, x[k], want)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		x := make([]complex128, 32)
+		orig := make([]complex128, 32)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		const n = 64
+		x := make([]complex128, n)
+		var timeE float64
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+			timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		FFT(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqE/float64(n)-timeE) < 1e-6*timeE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		const n = 16
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(r.Norm(), r.Norm())
+			b[i] = complex(r.Norm(), r.Norm())
+			sum[i] = a[i] + b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 12")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestBinPowersTone(t *testing.T) {
+	// Tone at +2.5 MHz of an 8 MHz band should land in bin 6 of 8
+	// (bins cover [-4,-3) ... [3,4) MHz).
+	const n = 256
+	block := make([]complex64, n)
+	for i := range block {
+		ph := 2 * math.Pi * 2.5e6 * float64(i) / 8e6
+		block[i] = complex64(cmplx.Rect(1, ph))
+	}
+	bins := BinPowers(block, 256, 8)
+	best, bestIdx := 0.0, -1
+	var total float64
+	for i, p := range bins {
+		total += p
+		if p > best {
+			best, bestIdx = p, i
+		}
+	}
+	if bestIdx != 6 {
+		t.Errorf("tone in bin %d, want 6 (bins: %v)", bestIdx, bins)
+	}
+	if best/total < 0.9 {
+		t.Errorf("tone not concentrated: %.2f", best/total)
+	}
+}
+
+func TestPow2Helpers(t *testing.T) {
+	if !IsPow2(64) || IsPow2(63) || IsPow2(0) {
+		t.Error("IsPow2")
+	}
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {129, 256}} {
+		if got := NextPow2(tc.in); got != tc.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLowPassDCGain(t *testing.T) {
+	f := LowPass(1e6, 8e6, 31)
+	var sum float64
+	for _, tap := range f.Taps() {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("DC gain = %v", sum)
+	}
+}
+
+func TestLowPassAttenuation(t *testing.T) {
+	fir := LowPass(500e3, 8e6, 63)
+	// In-band tone passes, out-of-band tone is attenuated.
+	mkTone := func(freq float64) []complex64 {
+		s := make([]complex64, 2000)
+		for i := range s {
+			ph := 2 * math.Pi * freq * float64(i) / 8e6
+			s[i] = complex64(cmplx.Rect(1, ph))
+		}
+		return s
+	}
+	power := func(s []complex64) float64 {
+		var p float64
+		for _, v := range s[200:] { // skip transient
+			p += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+		}
+		return p / float64(len(s)-200)
+	}
+	in := fir.Apply(mkTone(100e3))
+	out := fir.Apply(mkTone(3e6))
+	if power(in) < 0.8 {
+		t.Errorf("in-band power = %v", power(in))
+	}
+	if power(out) > 0.01 {
+		t.Errorf("out-of-band power = %v", power(out))
+	}
+}
+
+func TestFIRStreamingMatchesBatch(t *testing.T) {
+	r := NewRand(3)
+	sig := make([]complex64, 500)
+	for i := range sig {
+		sig[i] = complex(float32(r.Norm()), float32(r.Norm()))
+	}
+	f1 := LowPass(1e6, 8e6, 21)
+	batch := f1.Apply(sig)
+
+	f2 := NewFIR(f1.Taps())
+	stream := make([]complex64, 500)
+	f2.Process(sig[:123], stream[:123])
+	f2.Process(sig[123:400], stream[123:400])
+	f2.Process(sig[400:], stream[400:])
+	for i := range batch {
+		d := batch[i] - stream[i]
+		if math.Hypot(float64(real(d)), float64(imag(d))) > 1e-5 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	f := LowPass(1e6, 8e6, 11)
+	in := []complex64{1, 1, 1, 1}
+	out1 := make([]complex64, 4)
+	out2 := make([]complex64, 4)
+	f.Process(in, out1)
+	f.Reset()
+	f.Process(in, out2)
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatal("Reset did not clear state")
+		}
+	}
+}
+
+func TestGaussianTaps(t *testing.T) {
+	taps := GaussianTaps(0.5, 8, 3)
+	if len(taps) != 25 {
+		t.Fatalf("len = %d", len(taps))
+	}
+	var sum float64
+	for i, v := range taps {
+		sum += v
+		if v < 0 {
+			t.Errorf("negative tap %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+	// Symmetric with the peak in the middle.
+	for i := 0; i < len(taps)/2; i++ {
+		if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+			t.Errorf("asymmetric at %d", i)
+		}
+	}
+	if taps[12] < taps[0] {
+		t.Error("peak not centered")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(4)
+	if m.Mean() != 0 {
+		t.Error("fresh mean")
+	}
+	vals := []float64{4, 8, 12, 16, 20}
+	wants := []float64{4, 6, 8, 10, 14}
+	for i, v := range vals {
+		if got := m.Push(v); math.Abs(got-wants[i]) > 1e-12 {
+			t.Errorf("push %d: got %v want %v", i, got, wants[i])
+		}
+	}
+	if !m.Full() {
+		t.Error("should be full")
+	}
+	m.Reset()
+	if m.Full() || m.Mean() != 0 {
+		t.Error("reset")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	in := []complex64{0, 1, 2, 3, 4, 5, 6}
+	out := Decimate(in, 3)
+	if len(out) != 3 || out[0] != 0 || out[1] != 3 || out[2] != 6 {
+		t.Errorf("decimated = %v", out)
+	}
+	same := Decimate(in, 1)
+	if len(same) != len(in) {
+		t.Error("factor 1")
+	}
+	same[0] = 99
+	if in[0] == 99 {
+		t.Error("decimate aliases input")
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi}, // (-pi, pi] convention
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for _, tc := range cases {
+		if got := WrapPhase(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWrapPhaseRangeProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		p := float64(raw) / 1e6
+		w := WrapPhase(p)
+		return w > -math.Pi-1e-12 && w <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseDiffTone(t *testing.T) {
+	// A pure tone has constant phase diff = 2*pi*f/rate.
+	const freq, rate = 1e6, 8e6
+	s := make([]complex64, 100)
+	for i := range s {
+		s[i] = complex64(cmplx.Rect(1, 2*math.Pi*freq*float64(i)/rate))
+	}
+	d := PhaseDiff(s, nil)
+	want := 2 * math.Pi * freq / rate
+	for i, v := range d {
+		if math.Abs(v-want) > 1e-5 {
+			t.Fatalf("diff[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// Second derivative of a tone is zero.
+	dd := SecondDiff(d, nil)
+	if MeanAbs(dd) > 1e-5 {
+		t.Errorf("tone second derivative = %v", MeanAbs(dd))
+	}
+}
+
+func TestUnwrapInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		// Build a smooth continuous phase, wrap it, unwrap it back.
+		cont := make([]float64, 50)
+		acc := 0.0
+		for i := range cont {
+			acc += (r.Float64() - 0.5) * 2 // steps in (-1, 1), < pi
+			cont[i] = acc
+		}
+		wrapped := make([]float64, len(cont))
+		for i, v := range cont {
+			wrapped[i] = WrapPhase(v)
+		}
+		un := Unwrap(wrapped)
+		// Unwrapped differs from original by a constant multiple of 2pi.
+		off := un[0] - cont[0]
+		for i := range un {
+			if math.Abs(un[i]-cont[i]-off) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{1, -2, 3}
+	if got := MeanAbs(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MeanAbs = %v", got)
+	}
+	if got := Mean(xs); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("variance of singleton")
+	}
+	if got := Variance([]float64{1, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if MeanAbs(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty stats")
+	}
+}
+
+func TestCircularMean(t *testing.T) {
+	// Angles around the wrap point average correctly.
+	angles := []float64{math.Pi - 0.1, -math.Pi + 0.1}
+	got := CircularMean(angles)
+	if math.Abs(math.Abs(got)-math.Pi) > 1e-9 {
+		t.Errorf("circular mean = %v, want ±pi", got)
+	}
+}
+
+func TestPhaseHistogram(t *testing.T) {
+	angles := []float64{0, 0.01, math.Pi / 2, math.Pi/2 + 0.01, -math.Pi / 2}
+	counts := PhaseHistogram(angles, 4)
+	// Bins over (-pi, pi]: bin 2 = [0, pi/2), bin 3 = [pi/2, pi).
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(angles) {
+		t.Errorf("total = %d", total)
+	}
+	dom := DominantBins(counts, 0.3)
+	if len(dom) == 0 {
+		t.Error("no dominant bins")
+	}
+	if PhaseHistogram(angles, 0) == nil {
+		t.Error("zero bins should return empty slice")
+	}
+	if DominantBins([]int{0, 0}, 0.5) != nil {
+		t.Error("dominant of empty histogram")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+	if NewRand(0).Uint64() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v", mean)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < n/10-300 || c > n/10+300 {
+			t.Errorf("Intn digit %d count %d", d, c)
+		}
+	}
+}
+
+func TestRandNormMoments(t *testing.T) {
+	r := NewRand(11)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("norm variance = %v", variance)
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestAWGNPower(t *testing.T) {
+	r := NewRand(13)
+	block := make([]complex64, 50000)
+	AWGN(r, block, 2.0)
+	var p float64
+	for _, s := range block {
+		p += float64(real(s))*float64(real(s)) + float64(imag(s))*float64(imag(s))
+	}
+	p /= float64(len(block))
+	if math.Abs(p-2) > 0.1 {
+		t.Errorf("noise power = %v, want 2", p)
+	}
+	// Zero power is a no-op.
+	zero := make([]complex64, 10)
+	AWGN(r, zero, 0)
+	for _, s := range zero {
+		if s != 0 {
+			t.Fatal("AWGN(0) mutated block")
+		}
+	}
+}
+
+func TestCrossCorrelatePeak(t *testing.T) {
+	pattern := []float64{1, -1, 1, 1, -1}
+	signal := make([]float64, 40)
+	copy(signal[17:], pattern)
+	// Fill rest with small values so normalization is meaningful.
+	for i := range signal {
+		if signal[i] == 0 {
+			signal[i] = 0.01
+		}
+	}
+	corr := CrossCorrelate(signal, pattern)
+	idx, v := MaxAbs(corr)
+	if idx != 17 {
+		t.Errorf("peak at %d, want 17", idx)
+	}
+	if v < 0.99 {
+		t.Errorf("peak value %v", v)
+	}
+	if CrossCorrelate([]float64{1}, pattern) != nil {
+		t.Error("short signal should return nil")
+	}
+}
+
+func TestComplexCorrelateRotationInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		pattern := make([]complex64, 16)
+		for i := range pattern {
+			pattern[i] = complex(float32(r.Norm()), float32(r.Norm()))
+		}
+		signal := make([]complex64, 64)
+		copy(signal[20:], pattern)
+		for i := range signal {
+			if signal[i] == 0 {
+				signal[i] = complex(float32(r.Norm()*0.01), 0)
+			}
+		}
+		base := ComplexCorrelate(signal, pattern)
+
+		rot := complex64(cmplx.Rect(1, 2.1))
+		rotated := make([]complex64, len(signal))
+		for i, s := range signal {
+			rotated[i] = s * rot
+		}
+		after := ComplexCorrelate(rotated, pattern)
+		for i := range base {
+			if math.Abs(base[i]-after[i]) > 1e-4 {
+				return false
+			}
+		}
+		iBase, _ := MaxAbs(base)
+		return iBase == 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarkerAutocorrelation(t *testing.T) {
+	// Barker sequences have sidelobes bounded by 1/11 of the peak.
+	b := make([]float64, 11)
+	for i, v := range Barker11 {
+		b[i] = float64(v)
+	}
+	for lag := 1; lag < 11; lag++ {
+		var acc float64
+		for i := 0; i+lag < 11; i++ {
+			acc += b[i] * b[i+lag]
+		}
+		if math.Abs(acc) > 1.0+1e-9 {
+			t.Errorf("lag %d sidelobe %v", lag, acc)
+		}
+	}
+}
+
+func TestBitCorrelate(t *testing.T) {
+	stream := []byte{1, 0, 1, 1, 0, 0, 1}
+	pattern := []byte{1, 1, 0}
+	if got := BitCorrelate(stream, 2, pattern); got != 3 {
+		t.Errorf("exact match = %d", got)
+	}
+	if got := BitCorrelate(stream, 0, pattern); got != 1 {
+		t.Errorf("offset 0 = %d", got)
+	}
+	if BitCorrelate(stream, 5, pattern) != 0 {
+		t.Error("out of range must be 0")
+	}
+	if BitCorrelate(stream, -1, pattern) != 0 {
+		t.Error("negative offset must be 0")
+	}
+}
+
+func TestRandBytes(t *testing.T) {
+	r := NewRand(5)
+	b := make([]byte, 64)
+	r.Bytes(b)
+	zeros := 0
+	for _, v := range b {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros > 10 {
+		t.Errorf("suspiciously many zero bytes: %d", zeros)
+	}
+}
+
+func TestGoertzelDetectsTone(t *testing.T) {
+	const rate = 8e6
+	mk := func(freq float64) []complex64 {
+		s := make([]complex64, 800)
+		for i := range s {
+			ph := 2 * math.Pi * freq * float64(i) / rate
+			s[i] = complex64(cmplx.Rect(1, ph))
+		}
+		return s
+	}
+	tone := mk(1.5e6)
+	onBin := Goertzel(tone, 1.5e6, rate)
+	offBin := Goertzel(tone, 2.5e6, rate)
+	if onBin < 100*offBin {
+		t.Errorf("Goertzel on=%v off=%v", onBin, offBin)
+	}
+	// Matches the FFT bin power up to normalization: energy of a unit
+	// tone over n samples concentrates to ~n at the right bin.
+	if onBin < 700 {
+		t.Errorf("on-bin power %v, want ~800", onBin)
+	}
+	if Goertzel(nil, 1e6, rate) != 0 {
+		t.Error("empty block")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, fn := range map[string]func(int) []float64{
+		"hann":    HannWindow,
+		"hamming": HammingWindow,
+	} {
+		w := fn(64)
+		if len(w) != 64 {
+			t.Fatalf("%s length", name)
+		}
+		// Symmetric, peak in the middle, edges low.
+		for i := 0; i < 32; i++ {
+			if math.Abs(w[i]-w[63-i]) > 1e-12 {
+				t.Errorf("%s asymmetric at %d", name, i)
+			}
+		}
+		if w[32] < 0.9 || w[0] > 0.1 {
+			t.Errorf("%s shape: edge %v mid %v", name, w[0], w[32])
+		}
+		if one := fn(1); len(one) != 1 || one[0] != 1 {
+			t.Errorf("%s(1) = %v", name, one)
+		}
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	block := []complex64{2, 2, 2, 2}
+	win := []float64{0, 0.5, 1, 0.5}
+	ApplyWindow(block, win)
+	want := []complex64{0, 1, 2, 1}
+	for i := range want {
+		if block[i] != want[i] {
+			t.Fatalf("windowed %v", block)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package dsp implements the signal-processing primitives the RFDump
+// reproduction is built from: FFT, FIR filtering, Gaussian pulse shaping,
+// phase extraction and derivatives, correlation, moving averages and a
+// deterministic Gaussian noise source.
+//
+// Everything here is pure Go over float64/complex128 internals with
+// complex64 stream adapters, stdlib only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two; FFT panics otherwise (a programming
+// error, not a data error — callers size their buffers).
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N scale.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT size %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// FFT64 computes the FFT of a complex64 block into a freshly allocated
+// complex128 slice, zero-padding (or truncating) to size n.
+func FFT64(in []complex64, n int) []complex128 {
+	out := make([]complex128, n)
+	m := len(in)
+	if m > n {
+		m = n
+	}
+	for i := 0; i < m; i++ {
+		out[i] = complex128(in[i])
+	}
+	FFT(out)
+	return out
+}
+
+// PowerSpectrum writes |X[k]|^2 for each FFT bin of x into out (which must
+// have len(x) capacity) and returns it. x is destroyed (transformed in
+// place).
+func PowerSpectrum(x []complex128, out []float64) []float64 {
+	FFT(x)
+	out = out[:len(x)]
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// BinPowers computes the total power in nbins equal slices of the spectrum
+// of block, arranged so that bin 0 is the lowest frequency of the monitored
+// band and bin nbins-1 the highest (i.e. the FFT output is fftshift-ed
+// before binning). fftSize must be a power of two >= len(block) is not
+// required — the block is truncated or zero-padded.
+//
+// This is the workhorse of the Bluetooth frequency detector: with an 8 MHz
+// band and 8 bins, each bin is one 1 MHz Bluetooth channel.
+func BinPowers(block []complex64, fftSize, nbins int) []float64 {
+	x := FFT64(block, fftSize)
+	bins := make([]float64, nbins)
+	// fftshift: negative frequencies (second half of FFT output) come first.
+	for k := 0; k < fftSize; k++ {
+		shifted := (k + fftSize/2) % fftSize
+		p := real(x[shifted])*real(x[shifted]) + imag(x[shifted])*imag(x[shifted])
+		b := k * nbins / fftSize
+		bins[b] += p
+	}
+	return bins
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n - 1)))
+}

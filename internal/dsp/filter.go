@@ -1,0 +1,229 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real taps, applied to
+// complex streams. The zero value is unusable; construct with one of the
+// designers below or NewFIR.
+type FIR struct {
+	taps []float64
+	// delay line for streaming use
+	state []complex128
+	pos   int
+}
+
+// NewFIR returns a filter with the given taps.
+func NewFIR(taps []float64) *FIR {
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, state: make([]complex128, len(taps))}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []float64 {
+	out := make([]float64, len(f.taps))
+	copy(out, f.taps)
+	return out
+}
+
+// Reset clears the streaming delay line.
+func (f *FIR) Reset() {
+	for i := range f.state {
+		f.state[i] = 0
+	}
+	f.pos = 0
+}
+
+// Process filters in into out (same length), maintaining state across
+// calls so that a stream can be filtered block by block. in and out may
+// alias.
+func (f *FIR) Process(in, out []complex64) {
+	if len(in) != len(out) {
+		panic("dsp: FIR.Process length mismatch")
+	}
+	n := len(f.taps)
+	for i, v := range in {
+		f.state[f.pos] = complex128(v)
+		var acc complex128
+		idx := f.pos
+		for k := 0; k < n; k++ {
+			acc += f.state[idx] * complex(f.taps[k], 0)
+			idx--
+			if idx < 0 {
+				idx = n - 1
+			}
+		}
+		out[i] = complex64(acc)
+		f.pos++
+		if f.pos == n {
+			f.pos = 0
+		}
+	}
+}
+
+// Apply filters a whole block with zero initial state and returns a new
+// slice (convolution truncated to len(in), matching streaming semantics).
+func (f *FIR) Apply(in []complex64) []complex64 {
+	out := make([]complex64, len(in))
+	g := NewFIR(f.taps)
+	g.Process(in, out)
+	return out
+}
+
+// ApplyReal filters a real-valued block with zero initial state.
+func (f *FIR) ApplyReal(in []float64) []float64 {
+	out := make([]float64, len(in))
+	n := len(f.taps)
+	for i := range in {
+		var acc float64
+		for k := 0; k < n; k++ {
+			j := i - k
+			if j < 0 {
+				break
+			}
+			acc += in[j] * f.taps[k]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// LowPass designs a windowed-sinc (Hamming) low-pass FIR with the given
+// normalized cutoff (cutoffHz relative to sampleRate) and tap count
+// (forced odd so the filter has integer group delay).
+func LowPass(cutoffHz, sampleRate float64, taps int) *FIR {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoffHz / sampleRate
+	if fc <= 0 || fc >= 0.5 {
+		panic(fmt.Sprintf("dsp: LowPass cutoff %v out of (0, rate/2)", cutoffHz))
+	}
+	h := make([]float64, taps)
+	mid := float64(taps-1) / 2
+	var sum float64
+	for i := range h {
+		x := float64(i) - mid
+		var s float64
+		if x == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*x) / (math.Pi * x)
+		}
+		// Hamming window.
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = s * w
+		sum += h[i]
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return NewFIR(h)
+}
+
+// GaussianTaps returns the taps of a Gaussian pulse-shaping filter with
+// bandwidth-time product bt, sps samples per symbol, spanning span symbol
+// periods. This is the classic GFSK shaping filter (Bluetooth uses
+// BT = 0.5, h = 0.32).
+func GaussianTaps(bt float64, sps, span int) []float64 {
+	if sps < 1 {
+		sps = 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	n := sps*span + 1
+	taps := make([]float64, n)
+	// Standard Gaussian filter: h(t) = sqrt(2*pi/ln2) * B * exp(-2*pi^2*B^2*t^2/ln2)
+	// with t in symbol periods and B = bt.
+	alpha := 2 * math.Pi * math.Pi * bt * bt / math.Ln2
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range taps {
+		t := (float64(i) - mid) / float64(sps)
+		taps[i] = math.Exp(-alpha * t * t)
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// MovingAverage computes a streaming moving average over a fixed window of
+// real values. It is the energy-averaging primitive used by the peak
+// detector ("running average of energy over a window of consecutive
+// samples", paper Section 3.2).
+type MovingAverage struct {
+	window []float64
+	pos    int
+	filled int
+	sum    float64
+}
+
+// NewMovingAverage returns an averager over the given window size
+// (minimum 1).
+func NewMovingAverage(size int) *MovingAverage {
+	if size < 1 {
+		size = 1
+	}
+	return &MovingAverage{window: make([]float64, size)}
+}
+
+// Push adds a value and returns the current average over the values seen
+// so far (up to the window size).
+func (m *MovingAverage) Push(v float64) float64 {
+	m.sum -= m.window[m.pos]
+	m.window[m.pos] = v
+	m.sum += v
+	m.pos++
+	if m.pos == len(m.window) {
+		m.pos = 0
+	}
+	if m.filled < len(m.window) {
+		m.filled++
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Mean returns the current average without pushing.
+func (m *MovingAverage) Mean() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return m.sum / float64(m.filled)
+}
+
+// Full reports whether the window has been completely filled.
+func (m *MovingAverage) Full() bool { return m.filled == len(m.window) }
+
+// Reset clears the averager.
+func (m *MovingAverage) Reset() {
+	for i := range m.window {
+		m.window[i] = 0
+	}
+	m.pos, m.filled, m.sum = 0, 0, 0
+}
+
+// Decimate keeps every factor-th sample of in (starting at index 0),
+// returning a new slice. Used by the ether front end to model the USRP
+// FPGA decimating the ADC stream down to what USB can carry.
+func Decimate(in []complex64, factor int) []complex64 {
+	if factor <= 1 {
+		out := make([]complex64, len(in))
+		copy(out, in)
+		return out
+	}
+	out := make([]complex64, 0, len(in)/factor+1)
+	for i := 0; i < len(in); i += factor {
+		out = append(out, in[i])
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the power of a single DFT bin of block — the cheap
+// way to ask "is there energy at this exact frequency?" without a full
+// FFT. freqHz is relative to the sample rate. Used by detectors that
+// probe one known channel (e.g. confirming a Bluetooth hop) where an
+// 8-bin FFT would be wasteful.
+func Goertzel(block []complex64, freqHz, sampleRate float64) float64 {
+	n := len(block)
+	if n == 0 {
+		return 0
+	}
+	// Complex Goertzel: y += x[i] * e^{-j w i} accumulated recursively.
+	w := 2 * math.Pi * freqHz / sampleRate
+	cosw, sinw := math.Cos(w), math.Sin(w)
+	// Rotate a running conjugate phasor instead of calling sincos per
+	// sample.
+	pr, pi := 1.0, 0.0 // e^{-j w i}, starting at i=0
+	var accR, accI float64
+	for _, s := range block {
+		sr, si := float64(real(s)), float64(imag(s))
+		accR += sr*pr - si*pi
+		accI += sr*pi + si*pr
+		// p *= e^{-jw}
+		npr := pr*cosw + pi*sinw
+		npi := pi*cosw - pr*sinw
+		pr, pi = npr, npi
+	}
+	return (accR*accR + accI*accI) / float64(n)
+}
+
+// HannWindow returns the n-point Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// HammingWindow returns the n-point Hamming window.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// ApplyWindow multiplies block by the window in place and returns it
+// (lengths must match; the shorter bounds the operation).
+func ApplyWindow(block []complex64, window []float64) []complex64 {
+	n := len(block)
+	if len(window) < n {
+		n = len(window)
+	}
+	for i := 0; i < n; i++ {
+		w := float32(window[i])
+		block[i] = complex(real(block[i])*w, imag(block[i])*w)
+	}
+	return block
+}

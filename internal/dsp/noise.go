@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"math"
+)
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*), used everywhere
+// randomness is needed so that traces, workloads and tests are exactly
+// reproducible from a seed. It deliberately avoids math/rand so the
+// sequence is stable across Go versions.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed (0 is remapped to a fixed
+// non-zero constant because xorshift has an all-zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("dsp: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns a uniform random bit.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Norm returns a standard normal deviate (Box-Muller; one value per call,
+// the pair's second value is discarded for simplicity).
+func (r *Rand) Norm() float64 {
+	for {
+		u := r.Float64()
+		if u <= 1e-300 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Bytes fills b with pseudo-random bytes.
+func (r *Rand) Bytes(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			_ = r.Uint64() // decorrelate runs of length < 8
+		}
+		b[i] = byte(r.Uint64())
+	}
+}
+
+// AWGN adds complex white Gaussian noise with the given total noise power
+// (variance split evenly between I and Q) to block in place.
+func AWGN(r *Rand, block []complex64, noisePower float64) {
+	if noisePower <= 0 {
+		return
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range block {
+		block[i] += complex(float32(sigma*r.Norm()), float32(sigma*r.Norm()))
+	}
+}
+
+// NoiseBlock returns a freshly allocated block of complex Gaussian noise
+// with the given total power per sample.
+func NoiseBlock(r *Rand, n int, power float64) []complex64 {
+	out := make([]complex64, n)
+	AWGN(r, out, power)
+	return out
+}

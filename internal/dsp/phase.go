@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+)
+
+// grow resizes out to n entries, reallocating only when the capacity is
+// insufficient (callers pass reusable scratch buffers on hot paths).
+func grow(out []float64, n int) []float64 {
+	if cap(out) < n {
+		return make([]float64, n)
+	}
+	return out[:n]
+}
+
+// PhaseOf returns the instantaneous phase of a complex64 sample in
+// radians, in (-pi, pi].
+func PhaseOf(s complex64) float64 {
+	return math.Atan2(float64(imag(s)), float64(real(s)))
+}
+
+// WrapPhase wraps an angle into (-pi, pi].
+func WrapPhase(p float64) float64 {
+	for p > math.Pi {
+		p -= 2 * math.Pi
+	}
+	for p <= -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}
+
+// PhaseDiff computes the wrapped phase difference between consecutive
+// samples of block, i.e. the first derivative of phase scaled by the
+// sample period. out[i] = arg(block[i+1] * conj(block[i])), one entry per
+// adjacent pair (len(block)-1 values).
+//
+// Computing the difference via complex conjugate multiplication (one
+// complex multiply plus one arctan per sample, exactly as the paper's
+// Bluetooth detector costs it in Section 4.5) avoids explicit unwrapping.
+func PhaseDiff(block []complex64, out []float64) []float64 {
+	if len(block) < 2 {
+		return out[:0]
+	}
+	out = grow(out, len(block)-1)
+	for i := 0; i+1 < len(block); i++ {
+		a := block[i]
+		b := block[i+1]
+		// b * conj(a)
+		re := float64(real(b))*float64(real(a)) + float64(imag(b))*float64(imag(a))
+		im := float64(imag(b))*float64(real(a)) - float64(real(b))*float64(imag(a))
+		out[i] = math.Atan2(im, re)
+	}
+	return out
+}
+
+// SecondDiff computes out[i] = WrapPhase(d[i+1]-d[i]) for a first-derivative
+// sequence d, producing len(d)-1 values: the second derivative of phase.
+// GFSK (continuous-phase, Gaussian-smoothed) signals have a second
+// derivative near zero, which is the Bluetooth phase detector's test.
+func SecondDiff(d, out []float64) []float64 {
+	if len(d) < 2 {
+		return out[:0]
+	}
+	out = grow(out, len(d)-1)
+	for i := 0; i+1 < len(d); i++ {
+		out[i] = WrapPhase(d[i+1] - d[i])
+	}
+	return out
+}
+
+// Unwrap produces a continuous phase sequence from wrapped phases by
+// removing 2*pi jumps. Returns a new slice.
+func Unwrap(phases []float64) []float64 {
+	out := make([]float64, len(phases))
+	if len(phases) == 0 {
+		return out
+	}
+	out[0] = phases[0]
+	for i := 1; i < len(phases); i++ {
+		d := WrapPhase(phases[i] - phases[i-1])
+		out[i] = out[i-1] + d
+	}
+	return out
+}
+
+// MeanAbs returns the mean absolute value of xs (0 for empty input).
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += math.Abs(v)
+	}
+	return s / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// CircularMean returns the circular mean of a set of angles, which is the
+// right way to average phases near the wrap point.
+func CircularMean(angles []float64) float64 {
+	var sx, sy float64
+	for _, a := range angles {
+		sx += math.Cos(a)
+		sy += math.Sin(a)
+	}
+	return math.Atan2(sy, sx)
+}
+
+// PhaseHistogram bins wrapped angles into nbins equal bins over (-pi, pi]
+// and returns the counts. This implements the constellation estimator of
+// paper Figure 4: "computing a phase histogram with some number of bins,
+// and making sure the appropriate bins are filled while others are empty".
+func PhaseHistogram(angles []float64, nbins int) []int {
+	counts := make([]int, nbins)
+	if nbins <= 0 {
+		return counts
+	}
+	for _, a := range angles {
+		w := WrapPhase(a)
+		// Map (-pi, pi] to [0, nbins).
+		f := (w + math.Pi) / (2 * math.Pi)
+		idx := int(f * float64(nbins))
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+// DominantBins returns the indices of histogram bins holding at least
+// frac of the total count, sorted ascending. A PSK constellation with M
+// points concentrates symbol-transition phases into M (differential) or
+// 2M (offset) bins; counting the dominant bins estimates M.
+func DominantBins(counts []int, frac float64) []int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []int
+	for i, c := range counts {
+		if float64(c) >= frac*float64(total) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

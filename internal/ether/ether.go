@@ -1,0 +1,129 @@
+// Package ether is the wireless emulator substrate (the stand-in for the
+// CMU emulator testbed of Judd & Steenkiste the paper evaluates on): it
+// mixes the transmissions scheduled by MAC sources into one complex
+// baseband stream at the monitor sample rate, applies per-burst channel
+// impairments and the receiver noise floor, and emits exact ground truth.
+package ether
+
+import (
+	"fmt"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/truth"
+)
+
+// Config describes one emulation run.
+type Config struct {
+	// Rate is the sample rate (DefaultSampleRate when 0).
+	Rate int
+	// Duration is the trace length in samples. When 0 the trace is
+	// auto-sized to the last scheduled transmission (bounded by
+	// MaxDuration) plus a small tail of idle noise.
+	Duration iq.Tick
+	// MaxDuration caps auto-sizing (default 30 s of samples).
+	MaxDuration iq.Tick
+	// NoiseFloorPower is the mean power of the receiver noise floor.
+	// 1.0 keeps SNR arithmetic trivial: a burst at SNR x dB has mean
+	// power 10^(x/10).
+	NoiseFloorPower float64
+	// SNRdB is the default per-burst SNR handed to sources.
+	SNRdB float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Sources are the transmitters sharing the ether.
+	Sources []mac.Source
+}
+
+// Result is a completed emulation: the monitored stream plus ground truth.
+type Result struct {
+	Samples iq.Samples
+	Truth   *truth.Set
+	Clock   iq.Clock
+}
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NoiseFloorPower <= 0 {
+		cfg.NoiseFloorPower = 1.0
+	}
+	clock := iq.NewClock(cfg.Rate)
+	horizon := cfg.Duration
+	autoSize := horizon <= 0
+	if autoSize {
+		horizon = cfg.MaxDuration
+		if horizon <= 0 {
+			horizon = iq.Tick(30 * clock.Rate) // 30 s cap
+		}
+	}
+	rng := dsp.NewRand(cfg.Seed)
+	ctx := &mac.Context{
+		Clock:    clock,
+		Duration: horizon,
+		Rng:      rng,
+		SNRdB:    cfg.SNRdB,
+	}
+
+	// Phase 1: schedule everything so the trace can be auto-sized.
+	var placed []mac.Scheduled
+	var maxEnd iq.Tick
+	for _, src := range cfg.Sources {
+		scheds, err := src.Schedule(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("ether: %s: %w", src.Name(), err)
+		}
+		for _, sc := range scheds {
+			placed = append(placed, sc)
+			if sc.End() > maxEnd {
+				maxEnd = sc.End()
+			}
+		}
+	}
+	length := horizon
+	if autoSize {
+		length = maxEnd + iq.Tick(clock.Rate/1000) // 1 ms idle tail
+		if length > horizon {
+			length = horizon
+		}
+		if length <= 0 {
+			length = iq.Tick(clock.Rate / 100) // 10 ms of pure noise
+		}
+	}
+
+	// Phase 2: mix.
+	stream := make(iq.Samples, length)
+	ts := &truth.Set{TraceLen: length, Clock: clock}
+	for _, sc := range placed {
+		ts.Add(truth.Record{
+			Proto:   sc.Burst.Proto,
+			Kind:    sc.Burst.Kind,
+			Span:    iq.Interval{Start: sc.Start, End: sc.End()},
+			Channel: sc.Burst.Channel,
+			SNRdB:   sc.Chan.SNRdB,
+			Frame:   sc.Burst.Frame,
+			Visible: sc.Visible,
+		})
+		if !sc.Visible {
+			continue
+		}
+		sc.Chan.Apply(sc.Burst, cfg.NoiseFloorPower, clock.Rate)
+		stream.Add(sc.Start, sc.Burst.Samples)
+	}
+
+	// Receiver noise floor over the whole band.
+	dsp.AWGN(rng, stream, cfg.NoiseFloorPower)
+
+	ts.MarkCollisions()
+	return &Result{Samples: stream, Truth: ts, Clock: clock}, nil
+}
+
+// Utilization returns the fraction of trace samples covered by visible
+// transmissions — the "medium utilization" axis of Figure 9.
+func (r *Result) Utilization() float64 {
+	if r.Truth.TraceLen == 0 {
+		return 0
+	}
+	busy := iq.TotalLen(r.Truth.Spans())
+	return float64(busy) / float64(r.Truth.TraceLen)
+}

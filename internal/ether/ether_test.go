@@ -1,0 +1,198 @@
+package ether
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+func addr(b byte) (a wifi.Addr) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+func unicast(pings int) mac.Source {
+	return &mac.WiFiUnicast{
+		Rate: protocols.WiFi80211b1M, Pings: pings, PayloadBytes: 100,
+		InterPing: 20_000,
+		Requester: addr(1), Responder: addr(2), BSSID: addr(3),
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(Config{
+		Duration: 800_000,
+		SNRdB:    20,
+		Seed:     1,
+		Sources:  []mac.Source{unicast(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 800_000 {
+		t.Fatalf("trace length %d", len(res.Samples))
+	}
+	if res.Truth.TraceLen != 800_000 {
+		t.Error("truth length")
+	}
+	if len(res.Truth.Records) != 12 {
+		t.Errorf("truth records %d, want 12", len(res.Truth.Records))
+	}
+	u := res.Utilization()
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization %v", u)
+	}
+}
+
+func TestNoiseFloorPower(t *testing.T) {
+	// An empty ether must measure at the configured noise floor.
+	res, err := Run(Config{Duration: 200_000, NoiseFloorPower: 2.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Samples.MeanPower(); math.Abs(p-2.5) > 0.1 {
+		t.Errorf("noise power %v, want 2.5", p)
+	}
+}
+
+func TestSNRApplied(t *testing.T) {
+	res, err := Run(Config{
+		Duration: 1_600_000,
+		SNRdB:    13,
+		Seed:     3,
+		Sources:  []mac.Source{unicast(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure power inside the first data burst vs in a known idle gap.
+	rec := res.Truth.Records[0]
+	inBurst := res.Samples[rec.Span.Start:rec.Span.End].MeanPower()
+	// SNR 13 dB over floor 1.0: burst power ~ 20, plus noise ~ 21.
+	want := iq.FromDB(13) + 1
+	if math.Abs(inBurst-want)/want > 0.15 {
+		t.Errorf("in-burst power %v, want ~%v", inBurst, want)
+	}
+}
+
+func TestInvisibleBurstsNotMixed(t *testing.T) {
+	// A Bluetooth piconet: most packets are out of band; their spans
+	// must carry no signal power.
+	res, err := Run(Config{
+		Duration: 8_000_000,
+		SNRdB:    25,
+		Seed:     4,
+		Sources: []mac.Source{
+			&mac.BluetoothPiconet{LAP: 7, UAP: 8, Pings: 40},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, r := range res.Truth.Records {
+		if r.Visible || r.Span.End > iq.Tick(len(res.Samples)) {
+			continue
+		}
+		// Skip spans that overlap a visible record.
+		overlapsVisible := false
+		for _, o := range res.Truth.Records {
+			if o.Visible && o.Span.Overlaps(r.Span) {
+				overlapsVisible = true
+				break
+			}
+		}
+		if overlapsVisible {
+			continue
+		}
+		p := res.Samples[r.Span.Start:r.Span.End].MeanPower()
+		if p > 2 { // just noise (1.0) allowed
+			t.Fatalf("invisible burst has power %v", p)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no clean invisible spans with this seed")
+	}
+}
+
+func TestAutoDuration(t *testing.T) {
+	res, err := Run(Config{
+		SNRdB:   20,
+		Seed:    5,
+		Sources: []mac.Source{unicast(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxEnd iq.Tick
+	for _, r := range res.Truth.Records {
+		if r.Span.End > maxEnd {
+			maxEnd = r.Span.End
+		}
+	}
+	if iq.Tick(len(res.Samples)) < maxEnd {
+		t.Error("auto-sized trace truncates transmissions")
+	}
+	if iq.Tick(len(res.Samples)) > maxEnd+16_000 {
+		t.Errorf("auto-sized trace too long: %d vs %d", len(res.Samples), maxEnd)
+	}
+}
+
+func TestAutoDurationEmptyEther(t *testing.T) {
+	res, err := Run(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Error("empty ether should still produce noise")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{Duration: 400_000, SNRdB: 20, Seed: 7, Sources: []mac.Source{unicast(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestCollisionsMarked(t *testing.T) {
+	// Two broadcast sources talking over each other must produce
+	// collisions.
+	res, err := Run(Config{
+		Duration: 4_000_000,
+		SNRdB:    20,
+		Seed:     8,
+		Sources: []mac.Source{
+			&mac.WiFiBroadcast{Rate: protocols.WiFi80211b1M, Count: 20, PayloadBytes: 400, Sender: addr(1), BSSID: addr(3)},
+			&mac.WiFiBroadcast{Rate: protocols.WiFi80211b1M, Count: 20, PayloadBytes: 400, Sender: addr(2), BSSID: addr(3)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collided := 0
+	for _, r := range res.Truth.Records {
+		if r.Collided {
+			collided++
+		}
+	}
+	if collided == 0 {
+		t.Error("independent broadcast floods produced no collisions")
+	}
+}

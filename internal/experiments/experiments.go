@@ -1,0 +1,164 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 5), plus the ablation studies DESIGN.md
+// calls out. Each driver builds its workload on the ether emulator, runs
+// the architectures under test, and returns a report.Table or
+// report.Figure whose rows/series mirror the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfdump/internal/ether"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+// Piconet identity shared by all Bluetooth workloads (the monitor, like
+// BlueSniff, follows a known piconet).
+const (
+	PiconetLAP = 0x9E8B33
+	PiconetUAP = 0x47
+)
+
+// Options tunes experiment size and logging.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Scale multiplies workload sizes; 1.0 reproduces paper-scale
+	// workloads (250/4000/6000 packets), smaller values keep bench runs
+	// quick.
+	Scale float64
+	// SNRs overrides the SNR sweep points of the accuracy figures.
+	SNRs []float64
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+}
+
+// normalize fills defaults.
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 20091201 // CoNeXT'09 in Rome
+	}
+	if len(o.SNRs) == 0 {
+		// Dense at the low end where the miss-rate knee lives.
+		o.SNRs = []float64{0, 1, 2, 3, 4.5, 6, 9, 12, 15, 20, 25, 30}
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// scaled returns max(lo, round(n*Scale)).
+func (o Options) scaled(n, lo int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+func addr(b byte) (a wifi.Addr) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+// unicastTrace builds the 802.11 unicast microbenchmark workload
+// (Section 5.1.2): ping exchanges with SIFS-spaced MAC ACKs.
+func unicastTrace(o Options, snrDB float64, pings int, interPing iq.Tick, rate protocols.ID) (*ether.Result, error) {
+	if rate == protocols.Unknown {
+		rate = protocols.WiFi80211b1M
+	}
+	return ether.Run(ether.Config{
+		SNRdB: snrDB,
+		Seed:  o.Seed,
+		Sources: []mac.Source{
+			&mac.WiFiUnicast{
+				Rate:         rate,
+				Pings:        pings,
+				PayloadBytes: 500,
+				InterPing:    interPing,
+				Requester:    addr(0x11),
+				Responder:    addr(0x22),
+				BSSID:        addr(0x33),
+				CFOHz:        2500,
+			},
+		},
+	})
+}
+
+// broadcastTrace builds the 802.11 broadcast microbenchmark workload
+// (Section 5.1.3): a flood spaced DIFS + k*SlotTime.
+func broadcastTrace(o Options, snrDB float64, count int) (*ether.Result, error) {
+	return ether.Run(ether.Config{
+		SNRdB: snrDB,
+		Seed:  o.Seed + 1,
+		Sources: []mac.Source{
+			&mac.WiFiBroadcast{
+				Rate:         protocols.WiFi80211b1M,
+				Count:        count,
+				PayloadBytes: 500,
+				Sender:       addr(0x11),
+				BSSID:        addr(0x33),
+				CFOHz:        -1800,
+			},
+		},
+	})
+}
+
+// bluetoothTrace builds the Bluetooth l2ping microbenchmark workload
+// (Section 5.1.4).
+func bluetoothTrace(o Options, snrDB float64, pings int) (*ether.Result, error) {
+	return ether.Run(ether.Config{
+		SNRdB: snrDB,
+		Seed:  o.Seed + 2,
+		Sources: []mac.Source{
+			&mac.BluetoothPiconet{
+				LAP:            PiconetLAP,
+				UAP:            PiconetUAP,
+				Pings:          pings,
+				InterPingSlots: 2,
+				CFOHz:          1200,
+			},
+		},
+	})
+}
+
+// mixTrace builds the simultaneous 802.11 + Bluetooth workload of
+// Section 5.1.5.
+func mixTrace(o Options, snrDB float64, wifiPings, btPings int) (*ether.Result, error) {
+	return ether.Run(ether.Config{
+		SNRdB: snrDB,
+		Seed:  o.Seed + 3,
+		Sources: []mac.Source{
+			&mac.WiFiUnicast{
+				Rate:         protocols.WiFi80211b1M,
+				Pings:        wifiPings,
+				PayloadBytes: 500,
+				InterPing:    260_000, // periodic ICMP pings spread in time
+				Requester:    addr(0x11),
+				Responder:    addr(0x22),
+				BSSID:        addr(0x33),
+				CFOHz:        2500,
+			},
+			&mac.BluetoothPiconet{
+				LAP:            PiconetLAP,
+				UAP:            PiconetUAP,
+				Pings:          btPings,
+				InterPingSlots: 84,
+				CFOHz:          -900,
+			},
+		},
+	})
+}

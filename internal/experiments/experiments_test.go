@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rfdump/internal/protocols"
+	"rfdump/internal/report"
+)
+
+// tiny returns options small enough for CI-speed runs while keeping the
+// qualitative shapes intact.
+func tiny() Options {
+	return Options{Scale: 0.02, SNRs: []float64{3, 20}}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts CPU-time ratios")
+	}
+	tb, err := Table1(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Parse CPU/RT column and verify the Table 1 shape: each demodulator
+	// is much more expensive than peak/energy detection.
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := fscan(row[1], &v); err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		vals[row[0]] = v
+	}
+	peak := vals["Peak/Energy detection"]
+	if peak <= 0 {
+		t.Fatal("no peak detection cost measured")
+	}
+	for name, v := range vals {
+		if name == "Peak/Energy detection" {
+			continue
+		}
+		if v < 5*peak {
+			t.Errorf("%s (%.3f) not well above detection (%.3f)", name, v, peak)
+		}
+	}
+}
+
+func fscan(s string, v *float64) (int, error) {
+	return sscanf(s, v)
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig, err := Figure6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("series %s points = %d", s.Name, len(s.Y))
+		}
+		// Monotone: high SNR misses <= low SNR misses.
+		if s.Y[1] > s.Y[0]+1e-9 {
+			t.Errorf("%s: miss rises with SNR: %v", s.Name, s.Y)
+		}
+		// Near zero at 20 dB.
+		if s.Y[1] > 0.05 {
+			t.Errorf("%s: miss %.3f at 20 dB", s.Name, s.Y[1])
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	fig, err := Figure7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if s.Y[1] > 0.10 {
+		t.Errorf("DIFS miss %.3f at 20 dB", s.Y[1])
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	o := tiny()
+	o.Scale = 0.04 // needs enough hops to land in the monitored band
+	fig, err := Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// Timing keeps a small floor (first packet of the session);
+		// everything must still be far below 50% at 20 dB.
+		if s.Y[len(s.Y)-1] > 0.5 {
+			t.Errorf("%s: miss %.3f at 20 dB", s.Name, s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	o := Options{Scale: 0.05}
+	tb, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var missW, fpW float64
+		sscanf(row[1], &missW)
+		sscanf(row[5], &fpW)
+		if missW > 0.2 {
+			t.Errorf("%s wifi miss %.3f", row[0], missW)
+		}
+		if fpW > 0.05 {
+			t.Errorf("%s wifi fp %.4f", row[0], fpW)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tb, err := Table4(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	pct := func(row int) float64 {
+		var v float64
+		s := strings.TrimSuffix(tb.Rows[row][3], "%")
+		sscanf(s, &v)
+		return v
+	}
+	full, ideal1M, headers, detector := pct(0), pct(1), pct(2), pct(3)
+	if full != 100 {
+		t.Errorf("full trace %v%%", full)
+	}
+	// Ordering: headers < ideal 1 Mbps < detector << full.
+	if !(headers < ideal1M && ideal1M < detector && detector < 30) {
+		t.Errorf("selectivity ordering: headers %.2f, 1M %.2f, detector %.2f", headers, ideal1M, detector)
+	}
+}
+
+func TestRealWorldComposition(t *testing.T) {
+	res, err := RealWorldTrace(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, oneM := 0, 0
+	for _, r := range res.Truth.Records {
+		if !r.Visible {
+			continue
+		}
+		switch r.Proto.Family() {
+		case protoWiFi:
+			total++
+			if r.Proto == protoWiFi {
+				oneM++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no wifi packets")
+	}
+	frac := float64(oneM) / float64(total)
+	// Paper: 106/646 = 16.4% of long-PLCP packets at 1 Mbps.
+	if frac < 0.08 || frac > 0.35 {
+		t.Errorf("1 Mbps fraction %.2f, want ~0.16", frac)
+	}
+	if u := res.Utilization(); u > 0.2 {
+		t.Errorf("realworld utilization %.2f, want sparse", u)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	o := Options{Scale: 0.03}
+	for name, fn := range map[string]func(Options) (*tbl, error){
+		"chunk":    wrapT(AblationChunkSize),
+		"avgwin":   wrapT(AblationAvgWindow),
+		"btcache":  wrapT(AblationBTCache),
+		"sampling": wrapT(AblationSampling),
+		"parallel": wrapT(ExtensionParallel),
+	} {
+		tb, err := fn(o)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestBTCacheAblationShape(t *testing.T) {
+	tb, err := AblationBTCache(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 = with cache: must record cache hits > 0.
+	var hits float64
+	sscanf(tb.Rows[0][2], &hits)
+	if hits == 0 {
+		t.Error("cache never hit")
+	}
+	// Row 1 = without cache: zero hits.
+	var hits2 float64
+	sscanf(tb.Rows[1][2], &hits2)
+	if hits2 != 0 {
+		t.Error("cache hits without cache")
+	}
+}
+
+// --- test helpers ---
+
+type tbl = report.Table
+
+func wrapT(f func(Options) (*report.Table, error)) func(Options) (*tbl, error) { return f }
+
+const protoWiFi = protocols.WiFi80211b1M
+
+func sscanf(s string, v *float64) (int, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("empty cell")
+	}
+	return fmt.Sscanf(fields[0], "%g", v)
+}
+
+func TestExtensionOFDMShape(t *testing.T) {
+	o := Options{Scale: 0.03, SNRs: []float64{2, 20}}
+	fig, err := ExtensionOFDM(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.Y) != 2 {
+		t.Fatalf("points %d", len(s.Y))
+	}
+	// Near-perfect at 20 dB, degraded at 2 dB.
+	if s.Y[1] > 0.05 {
+		t.Errorf("OFDM miss %.3f at 20 dB", s.Y[1])
+	}
+	if s.Y[0] < s.Y[1] {
+		t.Errorf("miss not worse at low SNR: %v", s.Y)
+	}
+	if len(fig.Notes) == 0 {
+		t.Error("cross-rejection note missing")
+	}
+}
+
+func TestAblationHeaderOnlyShape(t *testing.T) {
+	tb, err := AblationHeaderOnly(Options{Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	var fullPkts, hdrPkts, fullBytes, hdrBytes float64
+	sscanf(tb.Rows[0][1], &fullPkts)
+	sscanf(tb.Rows[1][1], &hdrPkts)
+	sscanf(tb.Rows[0][2], &fullBytes)
+	sscanf(tb.Rows[1][2], &hdrBytes)
+	if fullPkts != hdrPkts {
+		t.Errorf("packet counts differ: %v vs %v", fullPkts, hdrPkts)
+	}
+	if hdrBytes != 0 || fullBytes == 0 {
+		t.Errorf("payload bytes: full %v hdr %v", fullBytes, hdrBytes)
+	}
+}
+
+func TestAblationSubbandShape(t *testing.T) {
+	tb, err := AblationSubband(Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, sub, truthN float64
+	sscanf(tb.Rows[0][1], &single)
+	sscanf(tb.Rows[1][1], &sub)
+	sscanf(tb.Rows[0][2], &truthN)
+	// The subband stage must resolve at least as many peaks as the
+	// single-band stage and come closer to the true count.
+	if sub < single {
+		t.Errorf("subband %v < single-band %v", sub, single)
+	}
+	if diff := abs(sub - truthN); diff > abs(single-truthN) {
+		t.Errorf("subband (%v) further from truth (%v) than single-band (%v)", sub, truthN, single)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestScorecardAllPass(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts CPU-time ratios")
+	}
+	tb, err := Scorecard(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 6 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[2] != "PASS" {
+			t.Errorf("claim %q: %s (%s)", row[0], row[2], row[1])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rfdump/internal/arch"
+	"rfdump/internal/core"
+	"rfdump/internal/ether"
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+	"rfdump/internal/report"
+	"rfdump/internal/truth"
+)
+
+// ExtensionOFDM evaluates the OFDM detector the paper leaves as future
+// work ("We believe it should be possible to build quick detectors for
+// OFDM", Section 3.3): miss rate vs SNR on an 802.11g unicast workload,
+// plus cross-rejection — the OFDM detector must stay silent on an
+// 802.11b DSSS workload of the same shape, and the DSSS detectors on
+// the OFDM one.
+func ExtensionOFDM(o Options) (*report.Figure, error) {
+	o = o.normalize()
+	pings := o.scaled(125, 6)
+	fig := &report.Figure{
+		Title:  "Extension: 802.11g OFDM cyclic-prefix detector",
+		XLabel: "SNR (dB)",
+		YLabel: "packet miss rate",
+		LogY:   true,
+	}
+	ofdmCfg := core.Config{OFDM: &core.OFDMConfig{}}
+
+	for _, snr := range o.SNRs {
+		res, err := ether.Run(ether.Config{
+			SNRdB: snr,
+			Seed:  o.Seed + 7,
+			Sources: []mac.Source{&mac.WiFiGUnicast{
+				Pings: pings, PayloadBytes: 500, InterPing: 8000,
+				Requester: addr(0x51), Responder: addr(0x52), BSSID: addr(0x53),
+				CFOHz: 1400,
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := runDetectors(res, ofdmCfg, protocols.WiFi80211g)
+		if err != nil {
+			return nil, err
+		}
+		fig.Add("OFDM CP detector", snr, floorRate(st.MissRate()))
+		o.logf("ofdm snr=%.0f: miss=%.4f (%d/%d) fp=%.5f",
+			snr, st.MissRate(), st.Found, st.Total, st.FalsePosRate)
+	}
+
+	// Cross-rejection at high SNR: run the OFDM detector on a DSSS
+	// workload and the DSSS detectors on the OFDM workload.
+	dsss, err := unicastTrace(o, 20, pings, 8000, protocols.WiFi80211b1M)
+	if err != nil {
+		return nil, err
+	}
+	monO := arch.NewRFDump("ofdm-on-dsss", dsss.Clock, ofdmCfg)
+	outO, err := monO.Process(dsss.Samples)
+	if err != nil {
+		return nil, err
+	}
+	stCross := truth.Match(dsss.Truth, outO.TruthDetections(), protocols.WiFi80211g)
+
+	g, err := ether.Run(ether.Config{
+		SNRdB: 20,
+		Seed:  o.Seed + 8,
+		Sources: []mac.Source{&mac.WiFiGUnicast{
+			Pings: pings, PayloadBytes: 500, InterPing: 8000,
+			Requester: addr(0x51), Responder: addr(0x52), BSSID: addr(0x53),
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	monB := arch.NewRFDump("dsss-on-ofdm", g.Clock, core.PhaseOnly())
+	outB, err := monB.Process(g.Samples)
+	if err != nil {
+		return nil, err
+	}
+	stB := truth.Match(g.Truth, outB.TruthDetections(), protocols.WiFi80211b1M)
+
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("cross-rejection at 20 dB: OFDM-detector fp on DSSS traffic %.5f; DSSS-phase fp on OFDM traffic %.5f",
+			stCross.FalsePosRate, stB.FalsePosRate),
+		fmt.Sprintf("%d OFDM echo exchanges per point", pings))
+	return fig, nil
+}

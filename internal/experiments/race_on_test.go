@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active: wall-clock cost
+// ratios are distorted by instrumentation, so shape tests that assert
+// CPU-time relationships skip themselves.
+const raceEnabled = true

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rfdump/internal/arch"
+	"rfdump/internal/core"
+	"rfdump/internal/ether"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+	"rfdump/internal/report"
+)
+
+// RealWorldTrace synthesizes the campus-building trace of Section 5.3:
+// sparse, mixed-rate 802.11b traffic (beacons, broadcast ARPs, unicast
+// bursts at 2/5.5/11 Mbps), plus Bluetooth and an unknown interferer in
+// the background. At Scale 1 it carries ~646 long-PLCP 802.11b packets of
+// which ~106 are 1 Mbps, matching Table 4's composition.
+func RealWorldTrace(o Options) (*ether.Result, error) {
+	o = o.normalize()
+	s := func(n int) int { return o.scaled(n, 2) }
+	// Fixed 35 s (scaled) sparse trace; every source spreads its packet
+	// budget over the whole duration so composition is scale-invariant.
+	duration := iq.Tick(35 * 8_000_000 * clampScale(o.Scale))
+	spread := func(count int) iq.Tick {
+		if count < 1 {
+			count = 1
+		}
+		return duration / iq.Tick(count)
+	}
+	return ether.Run(ether.Config{
+		Duration: duration,
+		SNRdB:    18,
+		Seed:     o.Seed + 4,
+		Sources: []mac.Source{
+			// 1 Mbps long-PLCP traffic: 20 beacons + 46 broadcast ARPs +
+			// 20 unicast exchanges (40 data + 40 ACKs) ≈ 146 packets...
+			// trimmed to keep the 1 Mbps share near the paper's 106/646.
+			&mac.WiFiBeacons{
+				Interval: spread(s(20)),
+				SSID:     "CS-Wireless",
+				BSSID:    addr(0xA0),
+				CFOHz:    900,
+			},
+			&mac.WiFiBroadcast{
+				Rate: protocols.WiFi80211b1M, Count: s(46),
+				PayloadBytes: 700, ExtraGap: spread(s(46)),
+				Sender: addr(0xB1), BSSID: addr(0xA0), CFOHz: -1400,
+			},
+			&mac.WiFiUnicast{
+				Rate: protocols.WiFi80211b1M, Pings: s(10),
+				PayloadBytes: 500, InterPing: spread(s(10)),
+				Requester: addr(0xB2), Responder: addr(0xB3), BSSID: addr(0xA0),
+				CFOHz: 1700,
+			},
+			// 2 Mbps unicast bursts: 40 exchanges = 160 packets, ACKs at
+			// 2 Mbps so they do not inflate the 1 Mbps census.
+			&mac.WiFiUnicast{
+				Rate: protocols.WiFi80211b2M, Pings: s(40),
+				PayloadBytes: 800, InterPing: spread(s(40)),
+				Requester: addr(0xC1), Responder: addr(0xC2), BSSID: addr(0xA0),
+				CFOHz: 2100, AckRate: protocols.WiFi80211b2M,
+			},
+			// 5.5 Mbps broadcast-heavy flows: 160 packets.
+			&mac.WiFiBroadcast{
+				Rate: protocols.WiFi80211b5M5, Count: s(160),
+				PayloadBytes: 1000, ExtraGap: spread(s(160)),
+				Sender: addr(0xD1), BSSID: addr(0xA0), CFOHz: 500,
+			},
+			// 11 Mbps bulk: 220 packets.
+			&mac.WiFiBroadcast{
+				Rate: protocols.WiFi80211b11M, Count: s(220),
+				PayloadBytes: 1400, ExtraGap: spread(s(220)),
+				Sender: addr(0xE1), BSSID: addr(0xA0), CFOHz: -700,
+			},
+			// Background clutter: a Bluetooth piconet and an unknown
+			// interferer ("noise, unknown signal sources, etc.").
+			&mac.BluetoothPiconet{
+				LAP: PiconetLAP, UAP: PiconetUAP, Pings: s(120),
+				InterPingSlots: int(spread(s(120)) / 5000), CFOHz: 600,
+			},
+			&mac.UnknownInterferer{Bursts: s(24), SNROffsetDB: -4},
+		},
+	})
+}
+
+func clampScale(s float64) float64 {
+	if s < 0.05 {
+		return 0.05
+	}
+	return s
+}
+
+// Table4 reproduces the real-world selectivity table: how many packets
+// and what fraction of trace samples pass (a) no filter, (b) an ideal
+// filter keeping only 1 Mbps transmissions, (c) an ideal filter keeping
+// only PLCP headers, and (d) the DBPSK phase detector (paper: 646/100%,
+// 106/3.97%, 0/0.35%, 106/6.05%).
+func Table4(o Options) (*report.Table, error) {
+	o = o.normalize()
+	res, err := RealWorldTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	traceLen := float64(len(res.Samples))
+	clock := res.Clock
+	headerTicks := clock.Ticks(wifiPLCPDuration())
+
+	// Census of the 802.11b ground truth.
+	var totalPkts, oneMbpsPkts int
+	var oneMbpsSamples, headerSamples iq.Tick
+	var oneMbpsSpans []iq.Interval
+	for _, r := range res.Truth.Records {
+		if !r.Visible || r.Proto.Family() != protocols.WiFi80211b1M {
+			continue
+		}
+		totalPkts++
+		headerSamples += headerTicks
+		if r.Proto == protocols.WiFi80211b1M {
+			oneMbpsPkts++
+			oneMbpsSamples += r.Span.Len()
+			oneMbpsSpans = append(oneMbpsSpans, r.Span)
+		} else {
+			oneMbpsSpans = append(oneMbpsSpans, iq.Interval{Start: r.Span.Start, End: r.Span.Start + headerTicks})
+		}
+	}
+
+	// DBPSK phase detector run.
+	mon := arch.NewRFDump("dbpsk", clock, core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+	out, err := mon.Process(res.Samples)
+	if err != nil {
+		return nil, err
+	}
+	forwarded := out.Forwarded[protocols.WiFi80211b1M]
+	var fwdSamples iq.Tick
+	for _, iv := range forwarded {
+		fwdSamples += iv.Len()
+	}
+	// Full 1 Mbps packets passed: 1 Mbps truth packets covered >= 90%.
+	fullPassed := 0
+	for _, r := range res.Truth.Records {
+		if !r.Visible || r.Proto != protocols.WiFi80211b1M {
+			continue
+		}
+		if iq.CoverageOf(r.Span, forwarded) >= r.Span.Len()*9/10 {
+			fullPassed++
+		}
+	}
+
+	pct := func(n iq.Tick) string {
+		return fmt.Sprintf("%.2f%%", 100*float64(n)/traceLen)
+	}
+	t := &report.Table{
+		Title:   "Table 4: Real-world results summary",
+		Headers: []string{"", "# PLCP headers", "# packets", "%age of trace"},
+	}
+	t.AddRow("Full trace", totalPkts, totalPkts, "100%")
+	t.AddRow("Ideal 1 Mbps only", totalPkts, oneMbpsPkts, pct(oneMbpsSamples))
+	t.AddRow("Ideal headers only", totalPkts, 0, pct(headerSamples))
+	t.AddRow("DBPSK detector", totalPkts, fullPassed, pct(fwdSamples))
+	idealCombined := iq.TotalLen(iq.Merge(oneMbpsSpans))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("ideal 1 Mbps + headers combined filter: %s (detector selectivity should land modestly above this)", pct(idealCombined)),
+		fmt.Sprintf("trace: %.1f s, %.1f%% busy", float64(len(res.Samples))/8e6, 100*res.Utilization()))
+	return t, nil
+}
+
+// wifiPLCPDuration is the 192 us long preamble + PLCP header airtime.
+func wifiPLCPDuration() time.Duration {
+	return time.Duration(wifi.PLCPBits) * time.Microsecond
+}

@@ -1,0 +1,275 @@
+// Package flowgraph is the GNU-Radio-analog runtime the monitoring
+// architectures are wired with: named processing blocks connected in a
+// DAG, a scheduler that pushes stream items through the graph, and
+// per-block CPU-time accounting (how Table 1 and Figure 9 measure "CPU
+// time / real time" per block).
+//
+// Like the paper's GNU Radio, the default scheduler is single-threaded
+// ("GNU Radio does not support multi-threading, so the measurements in
+// this paper only use a single core"); RunParallel exists as the
+// future-work extension and is benchmarked separately.
+package flowgraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Item is the unit flowing along edges. Concrete pipelines define their
+// own item types (sample chunks, peak metadata, decoded packets).
+type Item any
+
+// Block processes items. Process receives one input item and emits zero
+// or more items downstream via the emit callback. Flush is called once
+// after the input ends so blocks can drain internal state.
+type Block interface {
+	// Name identifies the block in accounting output.
+	Name() string
+	// Process handles one item.
+	Process(item Item, emit func(Item)) error
+	// Flush drains buffered state at end of stream.
+	Flush(emit func(Item)) error
+}
+
+// BlockFunc adapts a function to Block with a no-op Flush.
+type BlockFunc struct {
+	Label string
+	Fn    func(item Item, emit func(Item)) error
+}
+
+// Name implements Block.
+func (b BlockFunc) Name() string { return b.Label }
+
+// Process implements Block.
+func (b BlockFunc) Process(item Item, emit func(Item)) error { return b.Fn(item, emit) }
+
+// Flush implements Block.
+func (b BlockFunc) Flush(func(Item)) error { return nil }
+
+// node is one vertex of the graph.
+type node struct {
+	block Block
+	outs  []*node
+	// accounting
+	busy  time.Duration
+	items int64
+}
+
+// Graph is a DAG of blocks. Build with Add/Connect, then Run.
+type Graph struct {
+	nodes  []*node
+	byName map[string]*node
+	roots  []*node
+	mu     sync.Mutex
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]*node)}
+}
+
+// Add registers a block and returns its handle name. Adding two blocks
+// with the same name is an error.
+func (g *Graph) Add(b Block) error {
+	if _, dup := g.byName[b.Name()]; dup {
+		return fmt.Errorf("flowgraph: duplicate block %q", b.Name())
+	}
+	n := &node{block: b}
+	g.nodes = append(g.nodes, n)
+	g.byName[b.Name()] = n
+	return nil
+}
+
+// MustAdd is Add that panics on error (graph construction is programmer
+// controlled).
+func (g *Graph) MustAdd(b Block) {
+	if err := g.Add(b); err != nil {
+		panic(err)
+	}
+}
+
+// Connect wires from's output to to's input.
+func (g *Graph) Connect(from, to string) error {
+	f, ok := g.byName[from]
+	if !ok {
+		return fmt.Errorf("flowgraph: unknown block %q", from)
+	}
+	t, ok := g.byName[to]
+	if !ok {
+		return fmt.Errorf("flowgraph: unknown block %q", to)
+	}
+	f.outs = append(f.outs, t)
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(from, to string) {
+	if err := g.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Root marks a block as an entry point receiving source items.
+func (g *Graph) Root(name string) error {
+	n, ok := g.byName[name]
+	if !ok {
+		return fmt.Errorf("flowgraph: unknown block %q", name)
+	}
+	g.roots = append(g.roots, n)
+	return nil
+}
+
+// MustRoot is Root that panics on error.
+func (g *Graph) MustRoot(name string) {
+	if err := g.Root(name); err != nil {
+		panic(err)
+	}
+}
+
+// checkAcyclic verifies the graph is a DAG.
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*node]int, len(g.nodes))
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("flowgraph: cycle through %q", n.block.Name())
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, o := range n.outs {
+			if err := visit(o); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, n := range g.nodes {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// process pushes one item into n, timing the block and recursing into its
+// outputs depth-first (single-threaded, so per-block busy time sums to
+// total CPU time).
+func (g *Graph) process(n *node, item Item) error {
+	var emitted []Item
+	start := time.Now()
+	err := n.block.Process(item, func(out Item) { emitted = append(emitted, out) })
+	n.busy += time.Since(start)
+	n.items++
+	if err != nil {
+		return fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err)
+	}
+	for _, out := range emitted {
+		for _, next := range n.outs {
+			if err := g.process(next, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) flush(n *node, visited map[*node]bool) error {
+	if visited[n] {
+		return nil
+	}
+	visited[n] = true
+	var emitted []Item
+	start := time.Now()
+	err := n.block.Flush(func(out Item) { emitted = append(emitted, out) })
+	n.busy += time.Since(start)
+	if err != nil {
+		return fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err)
+	}
+	for _, out := range emitted {
+		for _, next := range n.outs {
+			if err := g.process(next, out); err != nil {
+				return err
+			}
+		}
+	}
+	for _, next := range n.outs {
+		if err := g.flush(next, visited); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run pulls items from source until it returns ok=false, pushing each into
+// every root block, then flushes the graph in topological order.
+func (g *Graph) Run(source func() (Item, bool)) error {
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	if len(g.roots) == 0 {
+		return fmt.Errorf("flowgraph: no root blocks")
+	}
+	for {
+		item, ok := source()
+		if !ok {
+			break
+		}
+		for _, r := range g.roots {
+			if err := g.process(r, item); err != nil {
+				return err
+			}
+		}
+	}
+	visited := make(map[*node]bool, len(g.nodes))
+	for _, r := range g.roots {
+		if err := g.flush(r, visited); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockStat is the per-block accounting snapshot.
+type BlockStat struct {
+	Name  string
+	Busy  time.Duration
+	Items int64
+}
+
+// Stats returns per-block accounting sorted by descending busy time.
+func (g *Graph) Stats() []BlockStat {
+	out := make([]BlockStat, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, BlockStat{Name: n.block.Name(), Busy: n.busy, Items: n.items})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
+	return out
+}
+
+// TotalBusy sums all block busy times (== CPU time for the single-threaded
+// scheduler).
+func (g *Graph) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, n := range g.nodes {
+		t += n.busy
+	}
+	return t
+}
+
+// ResetStats clears accounting.
+func (g *Graph) ResetStats() {
+	for _, n := range g.nodes {
+		n.busy = 0
+		n.items = 0
+	}
+}

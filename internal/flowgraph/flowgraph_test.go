@@ -1,0 +1,283 @@
+package flowgraph
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendBlock collects items; optionally transforms.
+type appendBlock struct {
+	name  string
+	mu    sync.Mutex
+	seen  []Item
+	xform func(Item) []Item
+	flush []Item
+	fail  error
+}
+
+func (b *appendBlock) Name() string { return b.name }
+func (b *appendBlock) Process(item Item, emit func(Item)) error {
+	b.mu.Lock()
+	b.seen = append(b.seen, item)
+	b.mu.Unlock()
+	if b.fail != nil {
+		return b.fail
+	}
+	if b.xform != nil {
+		for _, out := range b.xform(item) {
+			emit(out)
+		}
+	} else {
+		emit(item)
+	}
+	return nil
+}
+func (b *appendBlock) Flush(emit func(Item)) error {
+	for _, item := range b.flush {
+		emit(item)
+	}
+	return nil
+}
+
+func intSource(n int) func() (Item, bool) {
+	i := 0
+	return func() (Item, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		return i, true
+	}
+}
+
+func TestLinearPipeline(t *testing.T) {
+	g := New()
+	a := &appendBlock{name: "a", xform: func(i Item) []Item { return []Item{i.(int) * 2} }}
+	b := &appendBlock{name: "b"}
+	g.MustAdd(a)
+	g.MustAdd(b)
+	g.MustConnect("a", "b")
+	g.MustRoot("a")
+	if err := g.Run(intSource(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.seen) != 3 || b.seen[0] != 2 || b.seen[2] != 6 {
+		t.Errorf("b saw %v", b.seen)
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	g := New()
+	src := &appendBlock{name: "src"}
+	l := &appendBlock{name: "l"}
+	r := &appendBlock{name: "r"}
+	g.MustAdd(src)
+	g.MustAdd(l)
+	g.MustAdd(r)
+	g.MustConnect("src", "l")
+	g.MustConnect("src", "r")
+	g.MustRoot("src")
+	if err := g.Run(intSource(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.seen) != 5 || len(r.seen) != 5 {
+		t.Errorf("fanout: %d %d", len(l.seen), len(r.seen))
+	}
+}
+
+func TestFlushPropagates(t *testing.T) {
+	g := New()
+	a := &appendBlock{name: "a", flush: []Item{"tail"}}
+	b := &appendBlock{name: "b"}
+	g.MustAdd(a)
+	g.MustAdd(b)
+	g.MustConnect("a", "b")
+	g.MustRoot("a")
+	if err := g.Run(intSource(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.seen) != 2 || b.seen[1] != "tail" {
+		t.Errorf("b saw %v", b.seen)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := New()
+	g.MustAdd(&appendBlock{name: "a"})
+	g.MustAdd(&appendBlock{name: "b"})
+	g.MustConnect("a", "b")
+	g.MustConnect("b", "a")
+	g.MustRoot("a")
+	if err := g.Run(intSource(1)); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	g := New()
+	g.MustAdd(&appendBlock{name: "a"})
+	if err := g.Add(&appendBlock{name: "a"}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestUnknownBlockRejected(t *testing.T) {
+	g := New()
+	if err := g.Connect("x", "y"); err == nil {
+		t.Error("unknown connect accepted")
+	}
+	if err := g.Root("x"); err == nil {
+		t.Error("unknown root accepted")
+	}
+}
+
+func TestNoRoots(t *testing.T) {
+	g := New()
+	g.MustAdd(&appendBlock{name: "a"})
+	if err := g.Run(intSource(1)); err == nil {
+		t.Error("run without roots accepted")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	g := New()
+	failErr := errors.New("boom")
+	g.MustAdd(&appendBlock{name: "a", fail: failErr})
+	g.MustRoot("a")
+	err := g.Run(intSource(1))
+	if err == nil || !errors.Is(err, failErr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := New()
+	a := &appendBlock{name: "a"}
+	g.MustAdd(a)
+	g.MustRoot("a")
+	if err := g.Run(intSource(10)); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats()
+	if len(stats) != 1 || stats[0].Items != 10 {
+		t.Errorf("stats %v", stats)
+	}
+	if g.TotalBusy() <= 0 {
+		t.Error("no busy time accounted")
+	}
+	g.ResetStats()
+	if g.TotalBusy() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestBlockFunc(t *testing.T) {
+	g := New()
+	var got []int
+	g.MustAdd(BlockFunc{Label: "f", Fn: func(item Item, emit func(Item)) error {
+		got = append(got, item.(int))
+		return nil
+	}})
+	g.MustRoot("f")
+	if err := g.Run(intSource(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDiamondDelivery(t *testing.T) {
+	// a -> b, a -> c, b -> d, c -> d: d sees each item twice.
+	g := New()
+	for _, n := range []string{"a", "b", "c"} {
+		g.MustAdd(&appendBlock{name: n})
+	}
+	d := &appendBlock{name: "d"}
+	g.MustAdd(d)
+	g.MustConnect("a", "b")
+	g.MustConnect("a", "c")
+	g.MustConnect("b", "d")
+	g.MustConnect("c", "d")
+	g.MustRoot("a")
+	if err := g.Run(intSource(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.seen) != 6 {
+		t.Errorf("d saw %d items, want 6", len(d.seen))
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	build := func() (*Graph, *appendBlock) {
+		g := New()
+		a := &appendBlock{name: "a", xform: func(i Item) []Item { return []Item{i.(int) + 100} }}
+		b := &appendBlock{name: "b"}
+		sink := &appendBlock{name: "sink"}
+		g.MustAdd(a)
+		g.MustAdd(b)
+		g.MustAdd(sink)
+		g.MustConnect("a", "b")
+		g.MustConnect("b", "sink")
+		g.MustRoot("a")
+		return g, sink
+	}
+	g1, s1 := build()
+	if err := g1.Run(intSource(50)); err != nil {
+		t.Fatal(err)
+	}
+	g2, s2 := build()
+	if err := g2.RunParallel(intSource(50), 8); err != nil {
+		t.Fatal(err)
+	}
+	get := func(b *appendBlock) []int {
+		out := make([]int, len(b.seen))
+		for i, v := range b.seen {
+			out[i] = v.(int)
+		}
+		sort.Ints(out)
+		return out
+	}
+	v1, v2 := get(s1), get(s2)
+	if len(v1) != len(v2) {
+		t.Fatalf("counts differ: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("values differ at %d: %d vs %d", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestRunParallelError(t *testing.T) {
+	g := New()
+	failErr := errors.New("bad block")
+	g.MustAdd(&appendBlock{name: "a"})
+	g.MustAdd(&appendBlock{name: "b", fail: failErr})
+	g.MustConnect("a", "b")
+	g.MustRoot("a")
+	if err := g.RunParallel(intSource(10), 2); err == nil {
+		t.Error("parallel error lost")
+	}
+}
+
+func TestRunParallelUnconnectedBlock(t *testing.T) {
+	// A block with no inputs must not deadlock the parallel scheduler.
+	g := New()
+	g.MustAdd(&appendBlock{name: "a"})
+	g.MustAdd(&appendBlock{name: "orphan"})
+	g.MustRoot("a")
+	done := make(chan error, 1)
+	go func() { done <- g.RunParallel(intSource(3), 2) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel run deadlocked")
+	}
+}

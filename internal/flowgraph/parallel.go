@@ -1,0 +1,131 @@
+package flowgraph
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunParallel executes the graph with one goroutine per block connected by
+// buffered channels — the "inherent parallelism that can be exploited
+// using multi-threading" the paper notes as future work (Section 2.2).
+// Semantics match Run: every source item enters every root; items flow
+// along edges in order; Flush runs after a block's inputs close.
+//
+// Per-block busy time is still recorded (it then exceeds wall time on
+// multicore machines, which is the point of the extension benchmark).
+func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	if len(g.roots) == 0 {
+		return fmt.Errorf("flowgraph: no root blocks")
+	}
+	if buffer < 1 {
+		buffer = 64
+	}
+
+	// Each node gets one input channel; fan-in is counted so the channel
+	// closes only after all upstream blocks finish.
+	inCh := make(map[*node]chan Item, len(g.nodes))
+	fanIn := make(map[*node]int, len(g.nodes))
+	for _, n := range g.nodes {
+		inCh[n] = make(chan Item, buffer)
+	}
+	for _, n := range g.nodes {
+		for _, o := range n.outs {
+			fanIn[o]++
+		}
+	}
+	for _, r := range g.roots {
+		fanIn[r]++
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// Downstream close bookkeeping: when a producer finishes, it
+	// decrements each consumer's pending count; the last producer closes
+	// the channel.
+	var closeMu sync.Mutex
+	pending := make(map[*node]int, len(g.nodes))
+	for _, n := range g.nodes {
+		pending[n] = fanIn[n]
+		if fanIn[n] == 0 {
+			// Unconnected, non-root block: no producer will ever close
+			// its channel, so close it now.
+			close(inCh[n])
+		}
+	}
+	done := func(consumer *node) {
+		closeMu.Lock()
+		pending[consumer]--
+		if pending[consumer] == 0 {
+			close(inCh[consumer])
+		}
+		closeMu.Unlock()
+	}
+
+	for _, n := range g.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				for _, o := range n.outs {
+					done(o)
+				}
+			}()
+			emit := func(out Item) {
+				for _, o := range n.outs {
+					inCh[o] <- out
+				}
+			}
+			for item := range inCh[n] {
+				start := time.Now()
+				err := n.block.Process(item, emit)
+				n.busy += time.Since(start)
+				n.items++
+				if err != nil {
+					setErr(fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err))
+					// Drain remaining input so upstream does not block.
+					for range inCh[n] {
+					}
+					return
+				}
+			}
+			start := time.Now()
+			err := n.block.Flush(emit)
+			n.busy += time.Since(start)
+			if err != nil {
+				setErr(fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err))
+			}
+		}()
+	}
+
+	// Feed roots.
+	for {
+		item, ok := source()
+		if !ok {
+			break
+		}
+		for _, r := range g.roots {
+			inCh[r] <- item
+		}
+	}
+	for _, r := range g.roots {
+		done(r)
+	}
+	wg.Wait()
+	return firstErr
+}

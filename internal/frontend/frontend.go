@@ -1,0 +1,109 @@
+// Package frontend models the receive chain between the ether and the
+// monitoring host — the USRP role in the paper's setup: analog gain, ADC
+// quantization (12-bit on USRP 1), saturation, and the decimation that
+// squeezes the stream through the host link. It also adapts traces and
+// in-memory streams to a common SampleSource interface consumed by the
+// monitoring architectures.
+package frontend
+
+import (
+	"io"
+	"math"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+)
+
+// ADCBits is the USRP 1 ADC resolution.
+const ADCBits = 12
+
+// Frontend applies receive-chain impairments to a stream.
+type Frontend struct {
+	// Gain is a linear amplitude gain before the ADC.
+	Gain float64
+	// Quantize enables ADC quantization to ADCBits.
+	Quantize bool
+	// FullScale is the ADC full-scale amplitude; samples beyond it clip.
+	FullScale float64
+	// Decimation keeps every n-th sample (1 = none). The paper's USB
+	// bottleneck forces the FPGA to decimate to 8 Msps; our ether already
+	// synthesizes at 8 Msps, so this exists for bandwidth experiments.
+	Decimation int
+}
+
+// Default returns a transparent front end with quantization on and a
+// generous full scale.
+func Default() Frontend {
+	return Frontend{Gain: 1, Quantize: true, FullScale: 64, Decimation: 1}
+}
+
+// Process applies the chain to a stream, returning a new slice.
+func (f Frontend) Process(in iq.Samples) iq.Samples {
+	gain := f.Gain
+	if gain == 0 {
+		gain = 1
+	}
+	out := make(iq.Samples, len(in))
+	copy(out, in)
+	if gain != 1 {
+		out.Scale(gain)
+	}
+	if f.Quantize {
+		full := f.FullScale
+		if full <= 0 {
+			full = 64
+		}
+		levels := float64(int(1) << (ADCBits - 1))
+		step := full / levels
+		q := func(v float32) float32 {
+			x := float64(v)
+			if x > full {
+				x = full
+			} else if x < -full {
+				x = -full
+			}
+			return float32(math.Round(x/step) * step)
+		}
+		for i, s := range out {
+			out[i] = complex(q(real(s)), q(imag(s)))
+		}
+	}
+	if f.Decimation > 1 {
+		out = dsp.Decimate(out, f.Decimation)
+	}
+	return out
+}
+
+// SampleSource delivers a stream block by block, the way the monitoring
+// architectures consume input (from the USRP or from a trace file).
+type SampleSource interface {
+	// ReadBlock fills dst and returns the number of samples delivered;
+	// io.EOF (possibly with n > 0) ends the stream.
+	ReadBlock(dst iq.Samples) (int, error)
+}
+
+// MemorySource serves an in-memory stream.
+type MemorySource struct {
+	stream iq.Samples
+	pos    int
+}
+
+// NewMemorySource wraps a stream.
+func NewMemorySource(s iq.Samples) *MemorySource { return &MemorySource{stream: s} }
+
+// ReadBlock implements SampleSource.
+func (m *MemorySource) ReadBlock(dst iq.Samples) (int, error) {
+	if m.pos >= len(m.stream) {
+		return 0, io.EOF
+	}
+	n := copy(dst, m.stream[m.pos:])
+	m.pos += n
+	if m.pos >= len(m.stream) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Reset rewinds the source for another pass (used when comparing
+// architectures over the same trace).
+func (m *MemorySource) Reset() { m.pos = 0 }

@@ -1,0 +1,93 @@
+package frontend
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+func TestDefaultTransparentish(t *testing.T) {
+	f := Default()
+	in := iq.Samples{complex(0.5, -0.25), complex(1, 2)}
+	out := f.Process(in)
+	if len(out) != len(in) {
+		t.Fatal("length changed")
+	}
+	for i := range in {
+		d := out[i] - in[i]
+		if math.Hypot(float64(real(d)), float64(imag(d))) > 0.05 {
+			t.Errorf("sample %d moved: %v -> %v", i, in[i], out[i])
+		}
+	}
+	// Input must not be mutated.
+	if in[0] != complex(0.5, -0.25) {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	f := Frontend{Gain: 1, Quantize: true, FullScale: 1}
+	in := iq.Samples{complex(0.12345678, 0)}
+	out := f.Process(in)
+	step := 1.0 / float64(int(1)<<(ADCBits-1))
+	got := float64(real(out[0]))
+	// On the quantization grid: distance to the nearest multiple of step
+	// is ~0.
+	if d := math.Abs(got/step - math.Round(got/step)); d > 1e-6 {
+		t.Errorf("value %v not on quantization grid (frac %v)", got, d)
+	}
+	if math.Abs(got-0.12345678) > step {
+		t.Errorf("quantization error too large: %v", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	f := Frontend{Gain: 1, Quantize: true, FullScale: 1}
+	in := iq.Samples{complex(50, -50)}
+	out := f.Process(in)
+	if real(out[0]) > 1.01 || imag(out[0]) < -1.01 {
+		t.Errorf("no clipping: %v", out[0])
+	}
+}
+
+func TestGain(t *testing.T) {
+	f := Frontend{Gain: 2, Quantize: false, Decimation: 1}
+	out := f.Process(iq.Samples{complex(1, 1)})
+	if out[0] != complex(2, 2) {
+		t.Errorf("gain: %v", out[0])
+	}
+}
+
+func TestDecimation(t *testing.T) {
+	f := Frontend{Gain: 1, Decimation: 4}
+	out := f.Process(make(iq.Samples, 16))
+	if len(out) != 4 {
+		t.Errorf("decimated length %d", len(out))
+	}
+}
+
+func TestMemorySource(t *testing.T) {
+	src := NewMemorySource(iq.Samples{1, 2, 3, 4, 5})
+	buf := make(iq.Samples, 2)
+	n, err := src.ReadBlock(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("first read: %d %v", n, err)
+	}
+	n, err = src.ReadBlock(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("second read: %d %v", n, err)
+	}
+	n, err = src.ReadBlock(buf)
+	if n != 1 || err != io.EOF {
+		t.Fatalf("final read: %d %v", n, err)
+	}
+	if _, err = src.ReadBlock(buf); err != io.EOF {
+		t.Fatal("read past EOF")
+	}
+	src.Reset()
+	if n, _ := src.ReadBlock(buf); n != 2 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,47 @@
+package iq_test
+
+import (
+	"fmt"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// ExampleClock shows sample-tick arithmetic at the monitor rate.
+func ExampleClock() {
+	clock := iq.NewClock(8_000_000)
+	sifs := clock.Ticks(10 * time.Microsecond)
+	fmt.Println("SIFS =", sifs, "samples")
+	fmt.Println("625us slot =", clock.Ticks(625*time.Microsecond), "samples")
+	fmt.Println("80 samples =", clock.Duration(80))
+	// Output:
+	// SIFS = 80 samples
+	// 625us slot = 5000 samples
+	// 80 samples = 10µs
+}
+
+// ExampleMerge shows interval coalescing, the currency between detectors
+// and the dispatcher.
+func ExampleMerge() {
+	detections := []iq.Interval{
+		{Start: 100, End: 300},
+		{Start: 250, End: 500}, // overlaps the first
+		{Start: 900, End: 1000},
+	}
+	for _, iv := range iq.Merge(detections) {
+		fmt.Println(iv)
+	}
+	// Output:
+	// [100,500)
+	// [900,1000)
+}
+
+// ExampleCoverageOf computes how much of a ground-truth packet a set of
+// forwarded spans covers — the accuracy metric's building block.
+func ExampleCoverageOf() {
+	packet := iq.Interval{Start: 0, End: 1000}
+	forwarded := []iq.Interval{{Start: 0, End: 400}, {Start: 700, End: 2000}}
+	fmt.Println(iq.CoverageOf(packet, forwarded), "of", packet.Len(), "samples covered")
+	// Output:
+	// 700 of 1000 samples covered
+}

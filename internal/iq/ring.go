@@ -1,0 +1,84 @@
+package iq
+
+// HistoryRing is a fixed-capacity ring of intervals used by the peak
+// detector to expose "a pointer to the history of peaks detected" to the
+// protocol-specific detectors (paper Section 3.2). Appends overwrite the
+// oldest entry once the ring is full; lookups iterate from newest to
+// oldest, which matches how the timing detectors search backwards for a
+// peak that ended SIFS/DIFS/slot-times ago.
+type HistoryRing struct {
+	buf   []Interval
+	next  int // index the next Append writes to
+	count int // number of valid entries (<= len(buf))
+	total int // total entries ever appended (monotonic sequence number)
+}
+
+// NewHistoryRing returns a ring holding up to capacity intervals.
+// A capacity below 1 is raised to 1.
+func NewHistoryRing(capacity int) *HistoryRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HistoryRing{buf: make([]Interval, capacity)}
+}
+
+// Append records a new interval as the most recent entry.
+func (h *HistoryRing) Append(iv Interval) {
+	h.buf[h.next] = iv
+	h.next = (h.next + 1) % len(h.buf)
+	if h.count < len(h.buf) {
+		h.count++
+	}
+	h.total++
+}
+
+// Len returns the number of intervals currently held.
+func (h *HistoryRing) Len() int { return h.count }
+
+// Total returns the number of intervals ever appended.
+func (h *HistoryRing) Total() int { return h.total }
+
+// Cap returns the ring capacity.
+func (h *HistoryRing) Cap() int { return len(h.buf) }
+
+// At returns the i-th most recent interval (0 = newest). It panics if
+// i >= Len(), mirroring slice indexing semantics.
+func (h *HistoryRing) At(i int) Interval {
+	if i < 0 || i >= h.count {
+		panic("iq: HistoryRing index out of range")
+	}
+	idx := h.next - 1 - i
+	for idx < 0 {
+		idx += len(h.buf)
+	}
+	return h.buf[idx]
+}
+
+// Newest returns the most recent interval and true, or a zero interval and
+// false if the ring is empty.
+func (h *HistoryRing) Newest() (Interval, bool) {
+	if h.count == 0 {
+		return Interval{}, false
+	}
+	return h.At(0), true
+}
+
+// ScanBack calls fn for each held interval from newest to oldest until fn
+// returns false. It returns the number of intervals visited.
+func (h *HistoryRing) ScanBack(fn func(Interval) bool) int {
+	for i := 0; i < h.count; i++ {
+		if !fn(h.At(i)) {
+			return i + 1
+		}
+	}
+	return h.count
+}
+
+// Snapshot returns the held intervals ordered oldest to newest.
+func (h *HistoryRing) Snapshot() []Interval {
+	out := make([]Interval, h.count)
+	for i := 0; i < h.count; i++ {
+		out[h.count-1-i] = h.At(i)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package mac
+
+import (
+	"fmt"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/bluetooth"
+	"rfdump/internal/protocols"
+)
+
+// BluetoothPiconet models the l2ping microbenchmark of Section 5.1.4: a
+// master/slave pair exchanging DH5 packets in 625 us TDD slots while
+// frequency-hopping over the 79 BR channels. The monitor only captures 8
+// of those channels, so most packets are scheduled but invisible — the
+// paper's ground truth handles the same situation by identifying audible
+// packets via their varying sizes (225-339 bytes).
+type BluetoothPiconet struct {
+	// LAP/UAP identify the piconet.
+	LAP uint32
+	UAP byte
+	// Pings is the number of L2CAP echo exchanges (each is one master
+	// packet and one slave reply).
+	Pings int
+	// MinPayload/MaxPayload bound the varying DH5 payload sizes (the
+	// paper uses 225-339 so sizes encode sequence numbers).
+	MinPayload, MaxPayload int
+	// InterPing is the idle time between exchanges in slots.
+	InterPingSlots int
+	// MonitorBaseChannel is the first BT channel inside the monitored
+	// 8 MHz band; channels [base, base+8) are visible.
+	MonitorBaseChannel int
+	// SNROffsetDB shifts this piconet's bursts from the context default.
+	SNROffsetDB float64
+	// CFOHz is the radio's carrier offset.
+	CFOHz float64
+}
+
+// Name implements Source.
+func (b *BluetoothPiconet) Name() string { return fmt.Sprintf("bt-piconet-%06x", b.LAP) }
+
+// VisibleChannels is how many BT channels the 8 MHz front end hears.
+const VisibleChannels = 8
+
+// Schedule implements Source.
+func (b *BluetoothPiconet) Schedule(ctx *Context) ([]Scheduled, error) {
+	minP, maxP := b.MinPayload, b.MaxPayload
+	if minP <= 0 {
+		minP = 225
+	}
+	if maxP < minP {
+		maxP = 339
+	}
+	if maxP > bluetooth.TypeDH5.MaxPayload() {
+		return nil, fmt.Errorf("bluetooth: payload %d exceeds DH5 max", maxP)
+	}
+	mod := bluetooth.NewModulator()
+	hop := bluetooth.NewHopSequence(b.LAP)
+	dev := bluetooth.Device{LAP: b.LAP, UAP: b.UAP}
+	slotLen := ctx.Clock.Ticks(protocols.BTSlot)
+
+	var out []Scheduled
+	clk := uint32(0) // master clock in slots
+	payload := make([]byte, maxP)
+	sizeSpan := maxP - minP + 1
+
+	emit := func(master bool, seq int) {
+		ch := hop.ChannelAt(clk)
+		visible := ch >= b.MonitorBaseChannel && ch < b.MonitorBaseChannel+VisibleChannels
+		// Offset of the hop channel within the monitored band: channels
+		// [base, base+8) span the 8 MHz with centers at
+		// (ch-base-3.5) MHz from band center.
+		offsetHz := (float64(ch-b.MonitorBaseChannel) - 3.5) * float64(protocols.BTChannelWidthHz)
+		n := minP + seq%sizeSpan // size encodes the sequence number
+		ctx.Rng.Bytes(payload[:n])
+		h := bluetooth.Header{
+			LTAddr: 1,
+			Type:   bluetooth.TypeDH5,
+			SEQN:   byte(seq & 1),
+		}
+		kind := "l2ping-rsp"
+		if master {
+			kind = "l2ping-req"
+		}
+		start := iq.Tick(clk) * slotLen
+		dur := bluetooth.PacketDuration(n)
+		if start+dur > ctx.Duration {
+			return
+		}
+		var burst *phy.Burst
+		if visible {
+			// Only audible packets need a waveform; invisible hops exist
+			// purely as ground truth.
+			burst = mod.ModulatePacket(dev, h, payload[:n], clk, offsetHz, ch)
+		} else {
+			burst = &phy.Burst{
+				Proto:   protocols.Bluetooth,
+				Channel: ch,
+				Frame:   append([]byte(nil), payload[:n]...),
+			}
+		}
+		burst.Kind = kind
+		out = append(out, Scheduled{
+			Start:   start,
+			Burst:   burst,
+			Chan:    chanFor(ctx, b.SNROffsetDB, b.CFOHz, ctx.Rng.Float64()),
+			Visible: visible,
+			Dur:     dur,
+		})
+	}
+
+	slots := uint32(bluetooth.TypeDH5.Slots()) // 5 slots per DH5
+	for i := 0; i < b.Pings; i++ {
+		if iq.Tick(clk)*slotLen >= ctx.Duration {
+			break
+		}
+		emit(true, 2*i) // master request on an even slot
+		// A DH5 from an even slot occupies slots clk..clk+4; the first
+		// slave-to-master opportunity is the odd slot clk+5.
+		clk += slots
+		emit(false, 2*i+1)
+		// The slave's DH5 occupies clk..clk+4 (ending on an odd slot
+		// boundary region); the next master slot is clk+5, which is even
+		// again.
+		clk += slots
+		clk += uint32(b.InterPingSlots)
+		if clk%2 == 1 {
+			clk++ // master transmissions start on even slots
+		}
+	}
+	return out, nil
+}

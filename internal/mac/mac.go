@@ -1,0 +1,60 @@
+// Package mac contains the link-layer schedulers that turn traffic
+// descriptions ("250 unicast pings", "l2ping over a piconet") into timed
+// physical transmissions. Each Source emits Scheduled bursts on a shared
+// timeline; the ether emulator mixes them. Sources implement their own
+// protocol's medium timing (SIFS/DIFS/backoff for 802.11 DCF, 625 us TDD
+// slots and frequency hopping for Bluetooth, AC-cycle gating for
+// microwave ovens) so the fast detectors have the real patterns to find.
+package mac
+
+import (
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+)
+
+// Scheduled is one burst placed on the ether timeline.
+type Scheduled struct {
+	// Start is the first sample of the burst.
+	Start iq.Tick
+	// Burst is the modulated waveform and its ground-truth labels.
+	Burst *phy.Burst
+	// Chan carries per-burst channel impairments (SNR, CFO, phase).
+	Chan phy.Channel
+	// Visible is false for transmissions outside the monitored band
+	// (e.g. Bluetooth hops beyond the captured 8 MHz); the emulator
+	// skips mixing them but ground truth still records their existence.
+	Visible bool
+	// Dur carries the airtime for bursts whose waveform was never
+	// synthesized (invisible transmissions need only ground truth).
+	Dur iq.Tick
+}
+
+// End returns the first sample after the burst.
+func (s Scheduled) End() iq.Tick {
+	if len(s.Burst.Samples) == 0 && s.Dur > 0 {
+		return s.Start + s.Dur
+	}
+	return s.Start + s.Burst.Duration()
+}
+
+// Context carries everything a Source needs to build its schedule.
+type Context struct {
+	// Clock is the sample clock of the monitored stream.
+	Clock iq.Clock
+	// Duration bounds the timeline; bursts must end before it.
+	Duration iq.Tick
+	// Rng drives every random choice so schedules are reproducible.
+	Rng *dsp.Rand
+	// SNRdB is the default per-burst SNR; sources may override per
+	// station.
+	SNRdB float64
+}
+
+// Source produces a transmission schedule.
+type Source interface {
+	// Name identifies the source in diagnostics.
+	Name() string
+	// Schedule returns the source's transmissions within [0, ctx.Duration).
+	Schedule(ctx *Context) ([]Scheduled, error)
+}

@@ -1,0 +1,271 @@
+package mac
+
+import (
+	"testing"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy/bluetooth"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+func ctx(durationSec float64, snr float64) *Context {
+	clock := iq.NewClock(0)
+	return &Context{
+		Clock:    clock,
+		Duration: iq.Tick(durationSec * float64(clock.Rate)),
+		Rng:      dsp.NewRand(1),
+		SNRdB:    snr,
+	}
+}
+
+func addr(b byte) (a wifi.Addr) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+func TestWiFiUnicastSchedule(t *testing.T) {
+	c := ctx(1.0, 20)
+	src := &WiFiUnicast{
+		Rate: protocols.WiFi80211b1M, Pings: 5, PayloadBytes: 100,
+		InterPing: 10_000,
+		Requester: addr(1), Responder: addr(2), BSSID: addr(3),
+	}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 20 { // 4 frames per ping
+		t.Fatalf("scheduled %d frames, want 20", len(scheds))
+	}
+	sifs := c.Clock.Ticks(protocols.WiFiSIFS)
+	difs := c.Clock.Ticks(protocols.WiFiDIFS)
+	for i := 0; i+1 < len(scheds); i += 2 {
+		data, ack := scheds[i], scheds[i+1]
+		if data.Burst.Kind != "data" || ack.Burst.Kind != "ack" {
+			t.Fatalf("frame %d kinds: %q %q", i, data.Burst.Kind, ack.Burst.Kind)
+		}
+		// Every data frame is followed by its ACK after exactly SIFS.
+		if gap := ack.Start - data.End(); gap != sifs {
+			t.Errorf("data->ack gap = %d, want %d", gap, sifs)
+		}
+	}
+	// Between exchanges: at least DIFS (plus backoff and InterPing).
+	for i := 1; i+1 < len(scheds); i += 2 {
+		gap := scheds[i+1].Start - scheds[i].End()
+		if gap < difs {
+			t.Errorf("inter-exchange gap %d < DIFS", gap)
+		}
+	}
+	// No self-overlaps.
+	for i := 1; i < len(scheds); i++ {
+		if scheds[i].Start < scheds[i-1].End() {
+			t.Fatalf("overlap at %d", i)
+		}
+	}
+}
+
+func TestWiFiUnicastRespectsDuration(t *testing.T) {
+	c := ctx(0.01, 20) // 10 ms: room for ~2 exchanges only
+	src := &WiFiUnicast{
+		Pings: 1000, PayloadBytes: 100,
+		Requester: addr(1), Responder: addr(2), BSSID: addr(3),
+	}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scheds {
+		if s.End() > c.Duration {
+			t.Fatalf("burst extends past duration: %d > %d", s.End(), c.Duration)
+		}
+	}
+}
+
+func TestWiFiBroadcastGaps(t *testing.T) {
+	c := ctx(1.0, 20)
+	src := &WiFiBroadcast{
+		Rate: protocols.WiFi80211b1M, Count: 20, PayloadBytes: 100,
+		Sender: addr(1), BSSID: addr(3),
+	}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 20 {
+		t.Fatalf("scheduled %d", len(scheds))
+	}
+	difs := c.Clock.Ticks(protocols.WiFiDIFS)
+	slot := c.Clock.Ticks(protocols.WiFiSlotTime)
+	for i := 1; i < len(scheds); i++ {
+		gap := scheds[i].Start - scheds[i-1].End()
+		// gap must be exactly DIFS + k*ST for integer k in [0, CW].
+		rem := gap - difs
+		if rem < 0 || rem%slot != 0 || rem/slot > 31 {
+			t.Errorf("gap %d is not DIFS + k*ST", gap)
+		}
+	}
+}
+
+func TestWiFiBeacons(t *testing.T) {
+	c := ctx(1.05, 20)
+	src := &WiFiBeacons{SSID: "x", BSSID: addr(9)}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default interval 102.4 ms: ~10 beacons in 1.05 s.
+	if len(scheds) < 9 || len(scheds) > 11 {
+		t.Fatalf("beacons = %d", len(scheds))
+	}
+	for _, s := range scheds {
+		if s.Burst.Kind != "beacon" {
+			t.Error("kind")
+		}
+	}
+	// Evenly spaced.
+	d01 := scheds[1].Start - scheds[0].Start
+	d12 := scheds[2].Start - scheds[1].Start
+	if d01 != d12 {
+		t.Errorf("beacon spacing varies: %d vs %d", d01, d12)
+	}
+}
+
+func TestBluetoothPiconetSlotAlignment(t *testing.T) {
+	c := ctx(2.0, 20)
+	src := &BluetoothPiconet{LAP: 0x9E8B33, UAP: 0x47, Pings: 50}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	slot := c.Clock.Ticks(protocols.BTSlot)
+	visible := 0
+	for _, s := range scheds {
+		if s.Start%slot != 0 {
+			t.Fatalf("packet start %d not on slot grid", s.Start)
+		}
+		if s.Burst.Proto != protocols.Bluetooth {
+			t.Error("proto")
+		}
+		if s.Visible {
+			visible++
+			// Visible packets must be within the monitored 8 channels.
+			if s.Burst.Channel < 0 || s.Burst.Channel >= VisibleChannels {
+				t.Errorf("visible packet on channel %d", s.Burst.Channel)
+			}
+		}
+	}
+	// Roughly 8/79 of packets are audible.
+	frac := float64(visible) / float64(len(scheds))
+	if frac < 0.02 || frac > 0.30 {
+		t.Errorf("visible fraction %.3f, want ~0.10", frac)
+	}
+}
+
+func TestBluetoothPayloadSizesEncodeSeq(t *testing.T) {
+	c := ctx(2.0, 20)
+	src := &BluetoothPiconet{LAP: 1, UAP: 2, Pings: 10}
+	scheds, _ := src.Schedule(c)
+	// Paper Section 5.1.1: sizes 225-339 encode sequence numbers.
+	for i, s := range scheds {
+		n := len(s.Burst.Frame)
+		if n < 225 || n > 339 {
+			t.Fatalf("payload %d bytes", n)
+		}
+		want := 225 + i%(339-225+1)
+		if n != want {
+			t.Fatalf("packet %d payload %d, want %d", i, n, want)
+		}
+	}
+}
+
+func TestBluetoothRejectsOversizedPayload(t *testing.T) {
+	c := ctx(1, 20)
+	src := &BluetoothPiconet{LAP: 1, UAP: 2, Pings: 1, MinPayload: 400, MaxPayload: 400}
+	if _, err := src.Schedule(c); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestMicrowaveSourcePeriodicity(t *testing.T) {
+	c := ctx(0.2, 20)
+	src := &MicrowaveSource{}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) < 10 {
+		t.Fatalf("bursts = %d", len(scheds))
+	}
+	period := c.Clock.Ticks(protocols.MicrowaveACPeriodUS)
+	for i := 1; i < len(scheds); i++ {
+		if dt := scheds[i].Start - scheds[i-1].Start; dt != period {
+			t.Fatalf("burst spacing %d, want %d", dt, period)
+		}
+	}
+}
+
+func TestZigBeeSourceTurnaround(t *testing.T) {
+	c := ctx(1.0, 20)
+	src := &ZigBeeSource{Reports: 5, PayloadBytes: 40, Interval: 100_000}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 10 { // data + ack per report
+		t.Fatalf("scheduled %d", len(scheds))
+	}
+	tack := c.Clock.Ticks(protocols.ZigBeeSIFS)
+	for i := 0; i+1 < len(scheds); i += 2 {
+		if scheds[i].Burst.Kind != "zb-data" || scheds[i+1].Burst.Kind != "zb-ack" {
+			t.Fatal("kinds")
+		}
+		if gap := scheds[i+1].Start - scheds[i].End(); gap != tack {
+			t.Errorf("data->ack gap %d, want %d", gap, tack)
+		}
+	}
+}
+
+func TestUnknownInterferer(t *testing.T) {
+	c := ctx(0.5, 20)
+	src := &UnknownInterferer{Bursts: 10}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	for _, s := range scheds {
+		if s.Burst.Proto != protocols.Unknown {
+			t.Error("proto must be unknown")
+		}
+		if s.End() > c.Duration {
+			t.Error("burst past duration")
+		}
+	}
+}
+
+func TestBluetoothMastersOnEvenSlots(t *testing.T) {
+	c := ctx(2.0, 20)
+	src := &BluetoothPiconet{LAP: 3, UAP: 4, Pings: 8, InterPingSlots: 5}
+	scheds, _ := src.Schedule(c)
+	slot := c.Clock.Ticks(protocols.BTSlot)
+	for _, s := range scheds {
+		slotIdx := s.Start / slot
+		isMaster := s.Burst.Kind == "l2ping-req"
+		if isMaster && slotIdx%2 != 0 {
+			t.Fatalf("master packet on odd slot %d", slotIdx)
+		}
+		if !isMaster && slotIdx%2 != 1 {
+			t.Fatalf("slave packet on even slot %d", slotIdx)
+		}
+	}
+	_ = bluetooth.TypeDH5 // document the DH5 framing dependency
+}

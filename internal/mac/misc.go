@@ -1,0 +1,178 @@
+package mac
+
+import (
+	"fmt"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/microwave"
+	"rfdump/internal/phy/zigbee"
+	"rfdump/internal/protocols"
+)
+
+// MicrowaveSource schedules oven emission bursts at the AC line period.
+type MicrowaveSource struct {
+	// Oven overrides the default oven model when non-zero.
+	Oven *microwave.Oven
+	// SNROffsetDB shifts the oven's bursts from the context default
+	// (ovens are usually loud; +10 dB is a sensible default offset).
+	SNROffsetDB float64
+	// StartDelay offsets the first burst.
+	StartDelay iq.Tick
+}
+
+// Name implements Source.
+func (m *MicrowaveSource) Name() string { return "microwave" }
+
+// Schedule implements Source.
+func (m *MicrowaveSource) Schedule(ctx *Context) ([]Scheduled, error) {
+	oven := microwave.DefaultOven(ctx.Clock)
+	if m.Oven != nil {
+		oven = *m.Oven
+	}
+	var out []Scheduled
+	for t := m.StartDelay; t < ctx.Duration; t += oven.ACPeriod {
+		burst := oven.Burst(ctx.Rng)
+		if t+burst.Duration() > ctx.Duration {
+			break
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, m.SNROffsetDB, 0, ctx.Rng.Float64()),
+			Visible: true,
+		})
+	}
+	return out, nil
+}
+
+// ZigBeeSource models a periodic 802.15.4 sensor reporting to a
+// coordinator, with the MAC-level ACK following after tACK (aTurnaround),
+// used by the extensibility example.
+type ZigBeeSource struct {
+	// Reports is the number of data frames.
+	Reports int
+	// PayloadBytes per report.
+	PayloadBytes int
+	// Interval between reports in samples.
+	Interval iq.Tick
+	// OffsetHz within the monitored band.
+	OffsetHz float64
+	// SNROffsetDB shifts from the context default.
+	SNROffsetDB float64
+}
+
+// Name implements Source.
+func (z *ZigBeeSource) Name() string { return "zigbee" }
+
+// Schedule implements Source.
+func (z *ZigBeeSource) Schedule(ctx *Context) ([]Scheduled, error) {
+	payloadBytes := z.PayloadBytes
+	if payloadBytes <= 0 {
+		payloadBytes = 32
+	}
+	if payloadBytes > 100 {
+		return nil, fmt.Errorf("zigbee: payload %d too large", payloadBytes)
+	}
+	interval := z.Interval
+	if interval <= 0 {
+		interval = ctx.Clock.Ticks(protocols.ZigBeeLIFS) * 20
+	}
+	mod := zigbee.NewModulator()
+	tack := ctx.Clock.Ticks(protocols.ZigBeeSIFS)
+	var out []Scheduled
+
+	payload := make([]byte, payloadBytes)
+	t := iq.Tick(0)
+	for i := 0; i < z.Reports && t < ctx.Duration; i++ {
+		ctx.Rng.Bytes(payload)
+		ppdu, err := zigbee.BuildPPDU(payload)
+		if err != nil {
+			return nil, err
+		}
+		burst := mod.Modulate(ppdu, z.OffsetHz)
+		burst.Kind = "zb-data"
+		if t+burst.Duration() > ctx.Duration {
+			break
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, z.SNROffsetDB, 0, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += burst.Duration() + tack
+
+		// Coordinator ACK: a 3-byte imm-ack PSDU.
+		ackPPDU, err := zigbee.BuildPPDU([]byte{0x02, 0x00, byte(i)})
+		if err != nil {
+			return nil, err
+		}
+		ack := mod.Modulate(ackPPDU, z.OffsetHz)
+		ack.Kind = "zb-ack"
+		if t+ack.Duration() > ctx.Duration {
+			break
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   ack,
+			Chan:    chanFor(ctx, z.SNROffsetDB, 0, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += ack.Duration() + interval
+	}
+	return out, nil
+}
+
+// UnknownInterferer injects bursts of band-limited noise with no protocol
+// structure — the "unknown signal sources" of the real-world evaluation
+// (Section 5.3) and the failure-injection tests.
+type UnknownInterferer struct {
+	// Bursts is the number of noise bursts.
+	Bursts int
+	// MinLen/MaxLen bound burst length in samples.
+	MinLen, MaxLen iq.Tick
+	// SNROffsetDB shifts from the context default.
+	SNROffsetDB float64
+}
+
+// Name implements Source.
+func (u *UnknownInterferer) Name() string { return "unknown" }
+
+// Schedule implements Source.
+func (u *UnknownInterferer) Schedule(ctx *Context) ([]Scheduled, error) {
+	minLen := u.MinLen
+	if minLen <= 0 {
+		minLen = 400
+	}
+	maxLen := u.MaxLen
+	if maxLen < minLen {
+		maxLen = minLen * 8
+	}
+	var out []Scheduled
+	for i := 0; i < u.Bursts; i++ {
+		n := int(minLen) + ctx.Rng.Intn(int(maxLen-minLen)+1)
+		start := iq.Tick(ctx.Rng.Intn(int(ctx.Duration)))
+		if start+iq.Tick(n) > ctx.Duration {
+			continue
+		}
+		samples := make(iq.Samples, n)
+		for j := range samples {
+			samples[j] = complex(float32(ctx.Rng.Norm()), float32(ctx.Rng.Norm()))
+		}
+		burst := &phy.Burst{
+			Proto:   protocols.Unknown,
+			Samples: samples,
+			Channel: -1,
+			Kind:    "unknown",
+		}
+		burst.NormalizePower()
+		out = append(out, Scheduled{
+			Start:   start,
+			Burst:   burst,
+			Chan:    chanFor(ctx, u.SNROffsetDB, 0, ctx.Rng.Float64()),
+			Visible: true,
+		})
+	}
+	return out, nil
+}

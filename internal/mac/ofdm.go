@@ -1,0 +1,128 @@
+package mac
+
+import (
+	"rfdump/internal/iq"
+	"rfdump/internal/phy/ofdm"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+// WiFiGUnicast models an 802.11g ERP-OFDM station doing unicast
+// exchanges: OFDM data frames answered after SIFS by OFDM ACKs,
+// exchanges separated by DIFS (with the 802.11g 9 us short slot) plus
+// backoff. It drives the OFDM detector extension.
+type WiFiGUnicast struct {
+	// Pings is the number of echo exchanges (4 frames each).
+	Pings int
+	// PayloadBytes per data frame.
+	PayloadBytes int
+	// InterPing idle gap between exchanges in samples.
+	InterPing iq.Tick
+	// CW bounds backoff.
+	CW int
+	// Protection sends a CTS-to-self at 1 Mbps DSSS before each data
+	// frame (ERP protection; Table 2 footnote b).
+	Protection bool
+	// SNROffsetDB shifts from the context default.
+	SNROffsetDB float64
+	// CFOHz is the station carrier offset.
+	CFOHz float64
+	// Requester, Responder, BSSID identify the stations.
+	Requester, Responder, BSSID wifi.Addr
+}
+
+// Name implements Source.
+func (w *WiFiGUnicast) Name() string { return "wifi-g-unicast" }
+
+// Schedule implements Source.
+func (w *WiFiGUnicast) Schedule(ctx *Context) ([]Scheduled, error) {
+	cw := w.CW
+	if cw <= 0 {
+		cw = 15 // 802.11g aCWmin
+	}
+	mod := ofdm.NewModulator()
+	var ctsMod *wifi.Modulator
+	if w.Protection {
+		m, err := wifi.NewModulator(protocols.WiFi80211b1M)
+		if err != nil {
+			return nil, err
+		}
+		ctsMod = m
+	}
+	sifs := ctx.Clock.Ticks(protocols.WiFiSIFS)
+	slot := ctx.Clock.Ticks(protocols.WiFiSlotTimeG)
+	difs := sifs + 2*slot
+
+	var out []Scheduled
+	t := difs
+	payload := make([]byte, 8+w.PayloadBytes)
+
+	push := func(frame []byte, kind string) bool {
+		burst := mod.Modulate(frame)
+		burst.Kind = kind
+		if t+burst.Duration() > ctx.Duration {
+			t = ctx.Duration
+			return false
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, w.SNROffsetDB, w.CFOHz, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += burst.Duration()
+		return true
+	}
+
+	pushCTS := func(ra wifi.Addr) bool {
+		if ctsMod == nil {
+			return true
+		}
+		// The NAV covers the OFDM data + SIFS + ACK that follow.
+		dur := uint16(ofdm.AirtimeUS(len(payload)+28) + 10 + ofdm.AirtimeUS(14))
+		burst, err := ctsMod.Modulate(wifi.BuildCTS(ra, dur))
+		if err != nil {
+			return false
+		}
+		burst.Kind = "cts-to-self"
+		if t+burst.Duration() > ctx.Duration {
+			t = ctx.Duration
+			return false
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, w.SNROffsetDB, w.CFOHz, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += burst.Duration() + sifs
+		return true
+	}
+
+	for i := 0; i < w.Pings && t < ctx.Duration; i++ {
+		ctx.Rng.Bytes(payload)
+		seq := uint16(i*2) & 0xFFF
+		if !pushCTS(w.Requester) {
+			break
+		}
+		req := wifi.BuildDataFrame(w.Responder, w.Requester, w.BSSID, seq, payload)
+		if !push(req, "ofdm-data") {
+			break
+		}
+		t += sifs
+		if !push(wifi.BuildAck(w.Requester), "ofdm-ack") {
+			break
+		}
+		t += difs + iq.Tick(ctx.Rng.Intn(cw+1))*slot
+		rep := wifi.BuildDataFrame(w.Requester, w.Responder, w.BSSID, seq+1, payload)
+		if !push(rep, "ofdm-data") {
+			break
+		}
+		t += sifs
+		if !push(wifi.BuildAck(w.Responder), "ofdm-ack") {
+			break
+		}
+		t += w.InterPing + difs + iq.Tick(ctx.Rng.Intn(cw+1))*slot
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package mac
+
+import (
+	"testing"
+
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+func TestWiFiGUnicastSchedule(t *testing.T) {
+	c := ctx(0.5, 20)
+	src := &WiFiGUnicast{
+		Pings: 3, PayloadBytes: 200, InterPing: 20_000,
+		Requester: addr(1), Responder: addr(2), BSSID: addr(3),
+	}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 12 { // 4 OFDM frames per ping
+		t.Fatalf("scheduled %d", len(scheds))
+	}
+	sifs := c.Clock.Ticks(protocols.WiFiSIFS)
+	for i := 0; i+1 < len(scheds); i += 2 {
+		if gap := scheds[i+1].Start - scheds[i].End(); gap != sifs {
+			t.Errorf("data->ack gap %d, want SIFS %d", gap, sifs)
+		}
+	}
+	for _, s := range scheds {
+		if s.Burst.Proto != protocols.WiFi80211g {
+			t.Errorf("proto %v", s.Burst.Proto)
+		}
+	}
+}
+
+func TestWiFiGUnicastProtection(t *testing.T) {
+	c := ctx(0.5, 20)
+	src := &WiFiGUnicast{
+		Pings: 2, PayloadBytes: 200, InterPing: 20_000, Protection: true,
+		Requester: addr(1), Responder: addr(2), BSSID: addr(3),
+	}
+	scheds, err := src.Schedule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 pings x (CTS + data + ack + data + ack) = 10 bursts (CTS only
+	// before the requester's data frame).
+	cts := 0
+	for _, s := range scheds {
+		if s.Burst.Kind != "cts-to-self" {
+			continue
+		}
+		cts++
+		// CTS-to-self goes out at an 802.11b rate (Table 2 footnote).
+		if s.Burst.Proto != protocols.WiFi80211b1M {
+			t.Errorf("CTS proto %v", s.Burst.Proto)
+		}
+		m, err := wifi.ParseMPDU(s.Burst.Frame)
+		if err != nil || !m.IsCTS() {
+			t.Errorf("CTS frame parse: %v %v", m, err)
+		}
+		if m.Duration == 0 {
+			t.Error("CTS NAV duration zero")
+		}
+	}
+	if cts != 2 {
+		t.Errorf("CTS count %d, want 2", cts)
+	}
+}
+
+func TestBuildCTSParse(t *testing.T) {
+	ra := wifi.Addr{1, 2, 3, 4, 5, 6}
+	frame := wifi.BuildCTS(ra, 350)
+	m, err := wifi.ParseMPDU(frame)
+	if err != nil || !m.FCSValid || !m.IsCTS() {
+		t.Fatalf("CTS parse: %+v %v", m, err)
+	}
+	if m.Duration != 350 || m.Addr1 != ra {
+		t.Errorf("CTS fields: %+v", m)
+	}
+	if m.IsAck() {
+		t.Error("CTS misidentified as ACK")
+	}
+}

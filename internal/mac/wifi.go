@@ -1,0 +1,247 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/protocols"
+)
+
+// WiFiUnicast models the 802.11 unicast microbenchmark of Section 5.1.2:
+// ping exchanges where every data frame is followed after SIFS by a
+// MAC-level ACK, and consecutive exchanges are separated by
+// DIFS + k*SlotTime backoff plus the configured inter-ping spacing.
+type WiFiUnicast struct {
+	// Rate is the 802.11b PSDU rate.
+	Rate protocols.ID
+	// Pings is the number of echo requests; each produces a request, its
+	// ACK, a reply, and the reply's ACK (4 frames per ping, so the
+	// paper's 250 pings give 1000 packets).
+	Pings int
+	// PayloadBytes is the ICMP payload size (500 in the paper; the MPDU
+	// adds the 24-byte MAC header, 8-byte ICMP-ish header and 4-byte FCS).
+	PayloadBytes int
+	// InterPing is the idle gap between exchanges in samples (beyond
+	// DIFS + backoff); controls medium utilization in Figure 9.
+	InterPing iq.Tick
+	// CW bounds the random backoff (k in [0, CW]).
+	CW int
+	// AckRate selects the MAC ACK rate (default 1 Mbps, the basic rate).
+	AckRate protocols.ID
+	// SNROffsetDB shifts this source's bursts from the context default.
+	SNROffsetDB float64
+	// CFOHz is the station's carrier frequency offset.
+	CFOHz float64
+	// Requester, Responder, BSSID identify the stations.
+	Requester, Responder, BSSID wifi.Addr
+}
+
+// Name implements Source.
+func (w *WiFiUnicast) Name() string { return fmt.Sprintf("wifi-unicast-%v", w.Rate) }
+
+// Schedule implements Source.
+func (w *WiFiUnicast) Schedule(ctx *Context) ([]Scheduled, error) {
+	rate := w.Rate
+	if rate == protocols.Unknown {
+		rate = protocols.WiFi80211b1M
+	}
+	cw := w.CW
+	if cw <= 0 {
+		cw = 31
+	}
+	mod, err := wifi.NewModulator(rate)
+	if err != nil {
+		return nil, err
+	}
+	ackRate := w.AckRate
+	if ackRate == protocols.Unknown {
+		ackRate = protocols.WiFi80211b1M
+	}
+	ackMod, err := wifi.NewModulator(ackRate)
+	if err != nil {
+		return nil, err
+	}
+	sifs := ctx.Clock.Ticks(protocols.WiFiSIFS)
+	difs := ctx.Clock.Ticks(protocols.WiFiDIFS)
+	slot := ctx.Clock.Ticks(protocols.WiFiSlotTime)
+
+	var out []Scheduled
+	t := difs
+	payload := make([]byte, 8+w.PayloadBytes) // 8-byte echo header + data
+
+	push := func(m *wifi.Modulator, frame []byte, kind string) error {
+		burst, err := m.Modulate(frame)
+		if err != nil {
+			return err
+		}
+		burst.Kind = kind
+		if t+burst.Duration() > ctx.Duration {
+			t = ctx.Duration // stop scheduling
+			return nil
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, w.SNROffsetDB, w.CFOHz, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += burst.Duration()
+		return nil
+	}
+
+	for i := 0; i < w.Pings && t < ctx.Duration; i++ {
+		ctx.Rng.Bytes(payload)
+		seq := uint16(i*2) & 0xFFF
+
+		// Echo request.
+		req := wifi.BuildDataFrame(w.Responder, w.Requester, w.BSSID, seq, payload)
+		if err := push(mod, req, "data"); err != nil {
+			return nil, err
+		}
+		if t >= ctx.Duration {
+			break
+		}
+		// SIFS then MAC ACK from responder.
+		t += sifs
+		if err := push(ackMod, wifi.BuildAck(w.Requester), "ack"); err != nil {
+			return nil, err
+		}
+		if t >= ctx.Duration {
+			break
+		}
+		// Responder contends, then sends the echo reply.
+		t += difs + iq.Tick(ctx.Rng.Intn(cw+1))*slot
+		rep := wifi.BuildDataFrame(w.Requester, w.Responder, w.BSSID, seq+1, payload)
+		if err := push(mod, rep, "data"); err != nil {
+			return nil, err
+		}
+		if t >= ctx.Duration {
+			break
+		}
+		t += sifs
+		if err := push(ackMod, wifi.BuildAck(w.Responder), "ack"); err != nil {
+			return nil, err
+		}
+		// Idle gap plus next contention round.
+		t += w.InterPing + difs + iq.Tick(ctx.Rng.Intn(cw+1))*slot
+	}
+	return out, nil
+}
+
+// WiFiBroadcast models the broadcast microbenchmark of Section 5.1.3: a
+// single node floods broadcast frames, so consecutive packets are spaced
+// by exactly DIFS + k*SlotTime.
+type WiFiBroadcast struct {
+	Rate          protocols.ID
+	Count         int
+	PayloadBytes  int
+	CW            int
+	ExtraGap      iq.Tick
+	SNROffsetDB   float64
+	CFOHz         float64
+	Sender, BSSID wifi.Addr
+}
+
+// Name implements Source.
+func (w *WiFiBroadcast) Name() string { return fmt.Sprintf("wifi-broadcast-%v", w.Rate) }
+
+// Schedule implements Source.
+func (w *WiFiBroadcast) Schedule(ctx *Context) ([]Scheduled, error) {
+	rate := w.Rate
+	if rate == protocols.Unknown {
+		rate = protocols.WiFi80211b1M
+	}
+	cw := w.CW
+	if cw <= 0 {
+		cw = 31
+	}
+	mod, err := wifi.NewModulator(rate)
+	if err != nil {
+		return nil, err
+	}
+	difs := ctx.Clock.Ticks(protocols.WiFiDIFS)
+	slot := ctx.Clock.Ticks(protocols.WiFiSlotTime)
+
+	var out []Scheduled
+	t := difs
+	payload := make([]byte, 8+w.PayloadBytes)
+	for i := 0; i < w.Count; i++ {
+		ctx.Rng.Bytes(payload)
+		frame := wifi.BuildDataFrame(wifi.Broadcast, w.Sender, w.BSSID, uint16(i)&0xFFF, payload)
+		burst, err := mod.Modulate(frame)
+		if err != nil {
+			return nil, err
+		}
+		burst.Kind = "broadcast"
+		if t+burst.Duration() > ctx.Duration {
+			break
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, w.SNROffsetDB, w.CFOHz, ctx.Rng.Float64()),
+			Visible: true,
+		})
+		t += burst.Duration() + difs + iq.Tick(ctx.Rng.Intn(cw+1))*slot + w.ExtraGap
+	}
+	return out, nil
+}
+
+// WiFiBeacons emits AP beacons every interval (102.4 ms default), used by
+// the real-world profile (Table 4 mentions beacons among broadcast
+// 1 Mbps traffic).
+type WiFiBeacons struct {
+	Interval    iq.Tick
+	SSID        string
+	BSSID       wifi.Addr
+	SNROffsetDB float64
+	CFOHz       float64
+}
+
+// Name implements Source.
+func (w *WiFiBeacons) Name() string { return "wifi-beacons" }
+
+// Schedule implements Source.
+func (w *WiFiBeacons) Schedule(ctx *Context) ([]Scheduled, error) {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = ctx.Clock.Ticks(102400 * time.Microsecond)
+	}
+	mod, err := wifi.NewModulator(protocols.WiFi80211b1M)
+	if err != nil {
+		return nil, err
+	}
+	var out []Scheduled
+	seq := uint16(0)
+	for t := ctx.Clock.Ticks(time.Millisecond); t < ctx.Duration; t += interval {
+		frame := wifi.BuildBeacon(w.BSSID, seq, w.SSID)
+		seq++
+		burst, err := mod.Modulate(frame)
+		if err != nil {
+			return nil, err
+		}
+		burst.Kind = "beacon"
+		if t+burst.Duration() > ctx.Duration {
+			break
+		}
+		out = append(out, Scheduled{
+			Start:   t,
+			Burst:   burst,
+			Chan:    chanFor(ctx, w.SNROffsetDB, w.CFOHz, ctx.Rng.Float64()),
+			Visible: true,
+		})
+	}
+	return out, nil
+}
+
+func chanFor(ctx *Context, snrOffset, cfoHz, phase01 float64) phy.Channel {
+	return phy.Channel{
+		SNRdB:    ctx.SNRdB + snrOffset,
+		CFOHz:    cfoHz,
+		PhaseRad: 2 * math.Pi * phase01,
+	}
+}

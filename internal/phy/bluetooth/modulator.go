@@ -1,0 +1,113 @@
+package bluetooth
+
+import (
+	"math"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// GFSK parameters (Table 2 / Bluetooth core spec).
+const (
+	// ModIndex is the nominal modulation index h: peak-to-peak frequency
+	// deviation of h * symbol rate.
+	ModIndex = protocols.BTModIndex
+	// GaussBT is the Gaussian shaping bandwidth-time product.
+	GaussBT = protocols.BTGaussianBT
+	// shaperSpan is the shaping filter span in symbols.
+	shaperSpan = 3
+)
+
+// Modulator synthesizes Bluetooth GFSK bursts at 8 Msps. Not safe for
+// concurrent use.
+type Modulator struct {
+	shaper *dsp.FIR
+}
+
+// NewModulator returns a GFSK modulator.
+func NewModulator() *Modulator {
+	return &Modulator{shaper: phy.GaussianShaper(GaussBT, SPS, shaperSpan)}
+}
+
+// ModulateBits converts an air bit stream to a unit-power GFSK burst
+// centered at offsetHz within the monitored band. channel is recorded for
+// ground truth.
+func (m *Modulator) ModulateBits(bits []byte, offsetHz float64, channel int) *phy.Burst {
+	// NRZ upsample, Gaussian shape, integrate to phase, exponentiate.
+	nrz := phy.UpsampleBits(bits, SPS)
+	// Pad with half the filter span so the last symbol's energy is
+	// emitted before the burst ends.
+	pad := SPS * shaperSpan / 2
+	nrz = append(nrz, make([]float64, pad)...)
+	shaped := m.shaper.ApplyReal(nrz)
+
+	// Phase step per sample for a full-scale symbol: the total phase
+	// accumulated over one symbol must be pi * h.
+	step := math.Pi * ModIndex / float64(SPS)
+	samples := make(iq.Samples, len(shaped))
+	phase := 0.0
+	for i, v := range shaped {
+		phase += step * v
+		samples[i] = complex64(complex(math.Cos(phase), math.Sin(phase)))
+	}
+	if offsetHz != 0 {
+		samples.FrequencyShift(offsetHz, phy.SampleRate, 0)
+	}
+	b := &phy.Burst{
+		Proto:    protocols.Bluetooth,
+		Samples:  samples,
+		OffsetHz: offsetHz,
+		Channel:  channel,
+		Kind:     "bt",
+	}
+	b.NormalizePower()
+	return b
+}
+
+// ModulatePacket assembles and modulates a complete packet.
+func (m *Modulator) ModulatePacket(dev Device, h Header, payload []byte, clk uint32, offsetHz float64, channel int) *phy.Burst {
+	bits := AirBits(dev, h, payload, clk)
+	b := m.ModulateBits(bits, offsetHz, channel)
+	b.Frame = append([]byte(nil), payload...)
+	b.Kind = h.Type.String()
+	return b
+}
+
+// PacketAirBitsLen returns the number of air bits for a payload of n user
+// bytes (access code + header + payload header + data + CRC).
+func PacketAirBitsLen(n int) int {
+	if n < 0 {
+		return AccessCodeBits + HeaderAirBits
+	}
+	return AccessCodeBits + HeaderAirBits + (2+n+2)*8
+}
+
+// PacketDuration returns the airtime of a packet with n payload bytes in
+// samples at the monitor rate.
+func PacketDuration(n int) iq.Tick {
+	return iq.Tick(PacketAirBitsLen(n) * SPS)
+}
+
+// HopSequence is a deterministic pseudo-random frequency hop generator
+// over the 79 BR channels, seeded per piconet. It is not the spec's hop
+// selection kernel, but it has the property the monitor cares about:
+// uniform pseudo-random coverage of all 79 channels keyed by (LAP, clk).
+type HopSequence struct {
+	lap uint32
+}
+
+// NewHopSequence returns the hop generator for a piconet.
+func NewHopSequence(lap uint32) *HopSequence {
+	return &HopSequence{lap: lap}
+}
+
+// ChannelAt returns the hop channel in [0, 79) for master clock slot clk.
+func (hs *HopSequence) ChannelAt(clk uint32) int {
+	z := uint64(hs.lap)<<32 | uint64(clk)
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	z ^= z >> 33
+	return int(z % protocols.BTChannels)
+}

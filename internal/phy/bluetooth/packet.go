@@ -1,0 +1,257 @@
+// Package bluetooth implements a Bluetooth BR baseband physical layer:
+// access-code framing, FEC-1/3 packet headers with HEC, DH payloads with
+// CRC-16, data whitening, the 79-channel hop set, and GFSK modulation
+// (h = 0.32, Gaussian BT = 0.5) at 1 Msym/s.
+//
+// Sync words use the spec's BCH(64,30) + Barker-extension + PN-scramble
+// construction (see syncword.go), which makes them invertible: a passive
+// monitor can recover the LAP of an unknown piconet from a sync word it
+// hears — the BlueSniff discovery path (demod.BTDiscover).
+package bluetooth
+
+import (
+	"fmt"
+
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// Air interface constants.
+const (
+	// SymbolRate is 1 Msym/s GFSK.
+	SymbolRate = protocols.BTSymbolRate
+	// SPS is samples per symbol at the 8 Msps monitor rate.
+	SPS = phy.SampleRate / SymbolRate
+	// AccessCodeBits is preamble(4) + sync(64) + trailer(4).
+	AccessCodeBits = 72
+	// HeaderInfoBits is the unencoded packet header size.
+	HeaderInfoBits = 18
+	// HeaderAirBits is the FEC-1/3 encoded header size.
+	HeaderAirBits = HeaderInfoBits * 3
+	// MaxSlots is the longest packet we model (DH5).
+	MaxSlots = 5
+)
+
+// PacketType is the 4-bit TYPE field of the packet header.
+type PacketType byte
+
+// Packet types used by the reproduction (ACL, basic rate).
+const (
+	TypeNull PacketType = 0x0
+	TypePoll PacketType = 0x1
+	TypeDM1  PacketType = 0x3
+	TypeDH1  PacketType = 0x4
+	TypeDM3  PacketType = 0xA
+	TypeDH3  PacketType = 0xB
+	TypeDM5  PacketType = 0xE
+	TypeDH5  PacketType = 0xF
+)
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypePoll:
+		return "POLL"
+	case TypeDM1:
+		return "DM1"
+	case TypeDH1:
+		return "DH1"
+	case TypeDM3:
+		return "DM3"
+	case TypeDH3:
+		return "DH3"
+	case TypeDM5:
+		return "DM5"
+	case TypeDH5:
+		return "DH5"
+	default:
+		return fmt.Sprintf("TYPE(%d)", byte(t))
+	}
+}
+
+// Slots returns the number of 625 us slots the packet type occupies.
+func (t PacketType) Slots() int {
+	switch t {
+	case TypeDH3, TypeDM3:
+		return 3
+	case TypeDH5, TypeDM5:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// IsDM reports whether the payload is protected by the rate-2/3 FEC
+// (medium-rate packets trade capacity for robustness).
+func (t PacketType) IsDM() bool {
+	return t == TypeDM1 || t == TypeDM3 || t == TypeDM5
+}
+
+// MaxPayload returns the maximum user payload in bytes for the type.
+func (t PacketType) MaxPayload() int {
+	switch t {
+	case TypeDH1:
+		return 27
+	case TypeDM1:
+		return 17
+	case TypeDM3:
+		return 121
+	case TypeDH3:
+		return 183
+	case TypeDM5:
+		return 224
+	case TypeDH5:
+		return 339
+	default:
+		return 0
+	}
+}
+
+// Device identifies a Bluetooth device for framing purposes.
+type Device struct {
+	// LAP is the lower address part (24 bits) that determines the access
+	// code of the piconet.
+	LAP uint32
+	// UAP is the upper address part, seeding HEC and CRC.
+	UAP byte
+}
+
+// AccessCode returns the 72 access-code bits (LSB of the sync word first),
+// with the preamble chosen per spec from the sync word's first bit.
+func AccessCode(lap uint32) []byte {
+	sync := SyncWord(lap)
+	bits := make([]byte, 0, AccessCodeBits)
+	first := byte(sync & 1)
+	// Preamble alternates and ends opposite to the first sync bit.
+	for i := 0; i < 4; i++ {
+		bits = append(bits, first^byte((4-i)%2))
+	}
+	for k := 0; k < 64; k++ {
+		bits = append(bits, byte((sync>>k)&1))
+	}
+	last := byte((sync >> 63) & 1)
+	for i := 0; i < 4; i++ {
+		bits = append(bits, last^byte((i+1)%2))
+	}
+	return bits
+}
+
+// SyncPattern returns just the 64 sync-word bits for receiver correlation.
+func SyncPattern(lap uint32) []byte {
+	return AccessCode(lap)[4 : 4+64]
+}
+
+// Header is the decoded 18-bit packet header.
+type Header struct {
+	LTAddr byte // 3 bits
+	Type   PacketType
+	Flow   byte
+	ARQN   byte
+	SEQN   byte
+	HEC    byte
+}
+
+// headerInfoBits serializes the first 10 header bits (before HEC),
+// LSB-style field packing in transmission order.
+func (h Header) headerInfoBits() []byte {
+	bits := make([]byte, 0, 10)
+	for k := 0; k < 3; k++ {
+		bits = append(bits, (h.LTAddr>>k)&1)
+	}
+	for k := 0; k < 4; k++ {
+		bits = append(bits, (byte(h.Type)>>k)&1)
+	}
+	bits = append(bits, h.Flow&1, h.ARQN&1, h.SEQN&1)
+	return bits
+}
+
+// Encode produces the 54 air bits of the header (10 info + 8 HEC bits,
+// FEC-1/3 encoded), before whitening.
+func (h Header) Encode(uap byte) []byte {
+	info := h.headerInfoBits()
+	hec := phy.HEC8(info, uap)
+	all := make([]byte, 0, HeaderInfoBits)
+	all = append(all, info...)
+	for k := 0; k < 8; k++ {
+		all = append(all, (hec>>k)&1)
+	}
+	return phy.Repeat3(all)
+}
+
+// DecodeHeader majority-decodes 54 air bits (already de-whitened) and
+// verifies the HEC. ok is false when the HEC does not match.
+func DecodeHeader(airBits []byte, uap byte) (h Header, ok bool) {
+	if len(airBits) < HeaderAirBits {
+		return Header{}, false
+	}
+	info := phy.Majority3(airBits[:HeaderAirBits])
+	h.LTAddr = info[0] | info[1]<<1 | info[2]<<2
+	h.Type = PacketType(info[3] | info[4]<<1 | info[5]<<2 | info[6]<<3)
+	h.Flow, h.ARQN, h.SEQN = info[7], info[8], info[9]
+	var hec byte
+	for k := 0; k < 8; k++ {
+		hec |= info[10+k] << k
+	}
+	h.HEC = hec
+	ok = phy.HEC8(info[:10], uap) == hec
+	return h, ok
+}
+
+// BuildPayloadBits constructs the whitened-ready payload bit stream for a
+// DH packet: 2-byte payload header (LLID=2 "start", LENGTH) + data +
+// CRC-16 seeded with the UAP. Single-slot DH1 uses a 1-byte payload
+// header per spec; we use the 2-byte form uniformly for simplicity (the
+// demodulator mirrors this), which changes no timing or detection
+// behaviour.
+func BuildPayloadBits(data []byte, uap byte) []byte {
+	n := len(data)
+	hdr := []byte{byte(0x2 | (n&0x3F)<<2), byte(n >> 6)}
+	body := append(hdr, data...)
+	crc := phy.CRC16BT(body, uap)
+	body = append(body, byte(crc), byte(crc>>8))
+	return phy.BytesToBitsLSB(body)
+}
+
+// ParsePayloadBits inverts BuildPayloadBits, verifying the CRC.
+func ParsePayloadBits(bits []byte, uap byte) (data []byte, ok bool) {
+	raw := phy.BitsToBytesLSB(bits)
+	if len(raw) < 4 {
+		return nil, false
+	}
+	n := int(raw[0]>>2) | int(raw[1])<<6
+	if len(raw) < 2+n+2 {
+		return nil, false
+	}
+	body := raw[:2+n]
+	crc := uint16(raw[2+n]) | uint16(raw[2+n+1])<<8
+	if phy.CRC16BT(body, uap) != crc {
+		return nil, false
+	}
+	return body[2:], true
+}
+
+// WhiteningInit derives the whitening LFSR seed from the master clock
+// bits CLK[6:1], per spec with bit 6 forced to 1.
+func WhiteningInit(clk uint32) byte {
+	return byte(clk>>1)&0x3F | 0x40
+}
+
+// AirBits assembles the complete over-the-air bit stream of one packet:
+// access code + whitened (header + payload). DM payloads pass through
+// the rate-2/3 FEC before whitening, per the spec's TX chain order.
+func AirBits(dev Device, h Header, payload []byte, clk uint32) []byte {
+	bits := append([]byte(nil), AccessCode(dev.LAP)...)
+	body := h.Encode(dev.UAP)
+	if h.Type.MaxPayload() > 0 || len(payload) > 0 {
+		pl := BuildPayloadBits(payload, dev.UAP)
+		if h.Type.IsDM() {
+			pl = phy.FEC23Encode(pl)
+		}
+		body = append(body, pl...)
+	}
+	w := phy.NewWhitener(WhiteningInit(clk))
+	w.XorStream(body)
+	return append(bits, body...)
+}

@@ -1,0 +1,81 @@
+package phy
+
+import "math"
+
+// mathSqrt is split out so phy.go stays free of a direct math import in
+// its hot path helper.
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// CRC16CCITT computes the CRC-16/CCITT-FALSE over data (poly 0x1021,
+// init 0xFFFF, no reflection). 802.11b uses this (ones-complemented) for
+// the PLCP header CRC; Bluetooth uses the same polynomial with a
+// different init for payload CRCs.
+func CRC16CCITT(data []byte, init uint16) uint16 {
+	crc := init
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = (crc << 1) ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// CRC16PLCP is the 802.11b PLCP header CRC: CCITT with init 0xFFFF,
+// ones-complemented output.
+func CRC16PLCP(data []byte) uint16 {
+	return ^CRC16CCITT(data, 0xFFFF)
+}
+
+// CRC16BT is the Bluetooth payload CRC (poly 0x1021, init from UAP; the
+// spec seeds with the UAP in the high byte).
+func CRC16BT(data []byte, uap byte) uint16 {
+	return CRC16CCITT(data, uint16(uap)<<8)
+}
+
+// crc32Table is the reflected CRC-32 (IEEE 802.3) table, built lazily.
+var crc32Table [256]uint32
+
+func init() {
+	for i := range crc32Table {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = (c >> 1) ^ 0xEDB88320
+			} else {
+				c >>= 1
+			}
+		}
+		crc32Table[i] = c
+	}
+}
+
+// CRC32 computes the IEEE CRC-32 used as the 802.11 FCS.
+func CRC32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc32Table[byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
+}
+
+// HEC8 computes the Bluetooth 8-bit header error check
+// (poly x^8+x^7+x^5+x^2+x+1 = 0x1A7 with the leading term, i.e. 0xA7),
+// seeded with the UAP, over the 10 header bits (LSB-first order).
+func HEC8(headerBits []byte, uap byte) byte {
+	// LFSR implementation per Bluetooth core spec Figure: the register is
+	// initialized with the UAP and the header bits are shifted in.
+	reg := uap
+	for _, bit := range headerBits {
+		fb := ((reg >> 7) & 1) ^ (bit & 1)
+		reg <<= 1
+		if fb != 0 {
+			reg ^= 0xA7 // x^7+x^5+x^2+x+1 taps (plus implicit x^8)
+		}
+	}
+	return reg
+}

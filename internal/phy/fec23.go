@@ -1,0 +1,116 @@
+package phy
+
+// Bluetooth rate-2/3 FEC: the (15,10) shortened Hamming code used by DM
+// packets. Generator g(D) = (D+1)(D^4+D+1) = D^5+D^4+D^2+1; systematic
+// encoding appends 5 parity bits to each 10 information bits; the
+// decoder corrects any single bit error per 15-bit block.
+
+// fec23Gen is the degree-5 generator polynomial (0b110101).
+const fec23Gen = 0b110101
+
+// fec23Mod reduces a (up to 15-bit) polynomial modulo the generator.
+func fec23Mod(v uint32) uint32 {
+	for i := 14; i >= 5; i-- {
+		if v>>uint(i)&1 == 1 {
+			v ^= fec23Gen << (uint(i) - 5)
+		}
+	}
+	return v & 0x1F
+}
+
+// fec23Syndromes maps each nonzero syndrome to the bit position (0-14,
+// LSB = first parity bit) whose single flip produces it.
+var fec23Syndromes = func() [32]int8 {
+	var tbl [32]int8
+	for i := range tbl {
+		tbl[i] = -1
+	}
+	for pos := 0; pos < 15; pos++ {
+		s := fec23Mod(1 << pos)
+		tbl[s] = int8(pos)
+	}
+	return tbl
+}()
+
+// fec23EncodeBlock encodes 10 information bits into a 15-bit codeword
+// (information in bits 5-14, parity in bits 0-4).
+func fec23EncodeBlock(data uint32) uint32 {
+	data &= 0x3FF
+	return data<<5 | fec23Mod(data<<5)
+}
+
+// fec23DecodeBlock corrects up to one error and returns the 10
+// information bits; ok is false for uncorrectable (2+ error) patterns
+// whose syndrome matches no single-bit flip.
+func fec23DecodeBlock(cw uint32) (data uint32, ok bool) {
+	cw &= 0x7FFF
+	s := fec23Mod(cw)
+	if s != 0 {
+		pos := fec23Syndromes[s]
+		if pos < 0 {
+			return cw >> 5, false
+		}
+		cw ^= 1 << uint(pos)
+	}
+	return cw >> 5, true
+}
+
+// FEC23Encode encodes a bit slice with the (15,10) code, zero-padding
+// the last block. The output length is ceil(len/10)*15 bits.
+func FEC23Encode(bits []byte) []byte {
+	nblocks := (len(bits) + 9) / 10
+	out := make([]byte, 0, nblocks*15)
+	for b := 0; b < nblocks; b++ {
+		var data uint32
+		for k := 0; k < 10; k++ {
+			idx := b*10 + k
+			if idx < len(bits) && bits[idx] != 0 {
+				data |= 1 << k
+			}
+		}
+		cw := fec23EncodeBlock(data)
+		// Transmit information bits first, then parity (order is a
+		// shared TX/RX convention here).
+		for k := 0; k < 10; k++ {
+			out = append(out, byte(cw>>(5+uint(k))&1))
+		}
+		for k := 0; k < 5; k++ {
+			out = append(out, byte(cw>>uint(k)&1))
+		}
+	}
+	return out
+}
+
+// FEC23Decode decodes a (15,10)-coded bit slice, correcting up to one
+// error per block. ok reports whether every block was decodable; the
+// best-effort data is returned regardless. Input is truncated to a
+// multiple of 15 bits.
+func FEC23Decode(bits []byte) (data []byte, ok bool) {
+	nblocks := len(bits) / 15
+	data = make([]byte, 0, nblocks*10)
+	ok = true
+	for b := 0; b < nblocks; b++ {
+		var cw uint32
+		for k := 0; k < 10; k++ {
+			if bits[b*15+k] != 0 {
+				cw |= 1 << (5 + uint(k))
+			}
+		}
+		for k := 0; k < 5; k++ {
+			if bits[b*15+10+k] != 0 {
+				cw |= 1 << uint(k)
+			}
+		}
+		d, blockOK := fec23DecodeBlock(cw)
+		if !blockOK {
+			ok = false
+		}
+		for k := 0; k < 10; k++ {
+			data = append(data, byte(d>>uint(k)&1))
+		}
+	}
+	return data, ok
+}
+
+// FEC23AirBits returns the encoded length for n plain bits.
+func FEC23AirBits(n int) int { return (n + 9) / 10 * 15 }

@@ -1,0 +1,75 @@
+// Package microwave models a residential microwave oven as an RF source:
+// the magnetron radiates with near-constant power while the half-wave
+// rectified supply is above the firing threshold, so emission is gated at
+// the AC line period (16.67 ms in the US) with roughly 50% duty, and the
+// instantaneous frequency drifts across several MHz within each burst
+// (Table 2: "Residential Microwave / AC cycle 16667/20000 / 10-75 MHz").
+package microwave
+
+import (
+	"math"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// Oven describes one emitting oven.
+type Oven struct {
+	// ACPeriod is the supply period in samples (60 Hz US default).
+	ACPeriod iq.Tick
+	// Duty is the radiating fraction of each cycle.
+	Duty float64
+	// SweepHz is the peak-to-peak frequency excursion within a burst.
+	SweepHz float64
+	// CenterOffsetHz positions the emission within the monitored band.
+	CenterOffsetHz float64
+	// AmplitudeRipple adds small constant-power deviation (fractional).
+	AmplitudeRipple float64
+}
+
+// DefaultOven returns an oven with typical parameters.
+func DefaultOven(clock iq.Clock) Oven {
+	return Oven{
+		ACPeriod:        clock.Ticks(protocols.MicrowaveACPeriodUS),
+		Duty:            protocols.MicrowaveDuty,
+		SweepHz:         2_000_000,
+		CenterOffsetHz:  500_000,
+		AmplitudeRipple: 0.05,
+	}
+}
+
+// Burst synthesizes one AC-cycle emission burst (the "on" portion of one
+// cycle). The rng drives small cycle-to-cycle variation so bursts are not
+// bit-identical.
+func (o Oven) Burst(rng *dsp.Rand) *phy.Burst {
+	n := int(float64(o.ACPeriod) * o.Duty)
+	if n <= 0 {
+		n = 1
+	}
+	samples := make(iq.Samples, n)
+	// Frequency ramps up then down within the burst (thermal drift of the
+	// magnetron within the half-cycle), modelled as a parabolic sweep.
+	phase := 2 * math.Pi * rng.Float64()
+	jitter := 1 + 0.1*(rng.Float64()-0.5)
+	for i := range samples {
+		t := float64(i) / float64(n) // 0..1 within burst
+		freq := o.CenterOffsetHz + o.SweepHz*jitter*(t-t*t-0.125)
+		phase += 2 * math.Pi * freq / float64(phy.SampleRate)
+		amp := 1 + o.AmplitudeRipple*math.Sin(2*math.Pi*8*t)
+		samples[i] = complex(float32(amp*math.Cos(phase)), float32(amp*math.Sin(phase)))
+	}
+	b := &phy.Burst{
+		Proto:    protocols.Microwave,
+		Samples:  samples,
+		OffsetHz: o.CenterOffsetHz,
+		Channel:  -1,
+		Kind:     "microwave",
+	}
+	b.NormalizePower()
+	return b
+}
+
+// OnDuration returns the per-cycle emission length in samples.
+func (o Oven) OnDuration() iq.Tick { return iq.Tick(float64(o.ACPeriod) * o.Duty) }

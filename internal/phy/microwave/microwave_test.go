@@ -1,0 +1,84 @@
+package microwave
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+func TestDefaultOven(t *testing.T) {
+	clock := iq.NewClock(0)
+	o := DefaultOven(clock)
+	if o.ACPeriod != clock.Ticks(protocols.MicrowaveACPeriodUS) {
+		t.Errorf("AC period %d", o.ACPeriod)
+	}
+	if o.Duty != 0.5 {
+		t.Errorf("duty %v", o.Duty)
+	}
+}
+
+func TestBurstLengthMatchesDuty(t *testing.T) {
+	clock := iq.NewClock(0)
+	o := DefaultOven(clock)
+	b := o.Burst(dsp.NewRand(1))
+	if got, want := iq.Tick(len(b.Samples)), o.OnDuration(); got != want {
+		t.Errorf("burst %d samples, want %d", got, want)
+	}
+	if b.Proto != protocols.Microwave || b.Kind != "microwave" {
+		t.Error("labels")
+	}
+}
+
+func TestBurstNearConstantPower(t *testing.T) {
+	clock := iq.NewClock(0)
+	o := DefaultOven(clock)
+	b := o.Burst(dsp.NewRand(2))
+	if math.Abs(b.Samples.MeanPower()-1) > 1e-3 {
+		t.Errorf("mean power %v", b.Samples.MeanPower())
+	}
+	// Windowed power must stay close to the mean (the microwave timing
+	// detector checks constant envelope).
+	win := 100
+	for s := 0; s+win <= len(b.Samples); s += win {
+		p := b.Samples[s : s+win].MeanPower()
+		if p < 0.7 || p > 1.4 {
+			t.Fatalf("window %d power %v", s, p)
+		}
+	}
+}
+
+func TestBurstSweepsFrequency(t *testing.T) {
+	clock := iq.NewClock(0)
+	o := DefaultOven(clock)
+	o.SweepHz = 2e6
+	b := o.Burst(dsp.NewRand(3))
+	d := dsp.PhaseDiff(b.Samples, nil)
+	// The instantaneous frequency near the burst middle differs from the
+	// start (parabolic sweep): compare window means.
+	early := dsp.Mean(d[:2000])
+	mid := dsp.Mean(d[len(d)/2 : len(d)/2+2000])
+	if math.Abs(early-mid) < 1e-4 {
+		t.Errorf("no sweep: early %v mid %v", early, mid)
+	}
+}
+
+func TestBurstsVary(t *testing.T) {
+	clock := iq.NewClock(0)
+	o := DefaultOven(clock)
+	r := dsp.NewRand(4)
+	a := o.Burst(r)
+	b := o.Burst(r)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("consecutive cycles bit-identical; magnetron jitter missing")
+	}
+}

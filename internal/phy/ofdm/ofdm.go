@@ -1,0 +1,215 @@
+// Package ofdm implements an 802.11g (ERP-OFDM / 802.11a-style) physical
+// layer as the substrate for the paper's stated future work: "Since our
+// hardware did not support monitoring OFDM protocols, we did not explore
+// OFDM. We believe it should be possible to build quick detectors for
+// OFDM" (Section 3.3). The matching fast detector lives in
+// internal/core (OFDMDetector) and keys on the property that survives
+// band-limited capture: the cyclic prefix makes every 4 us symbol's last
+// 0.8 us a copy of the segment 3.2 us earlier, so the autocorrelation at
+// lag T_FFT spikes periodically even through an 8 MHz slice of the
+// 20 MHz channel.
+//
+// Simplifications vs IEEE 802.11-2007 clause 17 (documented per
+// DESIGN.md): no convolutional coding or interleaving — DATA subcarriers
+// carry raw scrambled bits. Through the 8 MHz front end the payload is
+// unrecoverable regardless (only 25 of 52 subcarriers survive), exactly
+// as the paper's USRP could not decode 22 MHz DSSS payloads; the burst's
+// detection-relevant structure (preambles, pilots, CP timing, spectral
+// occupancy) is faithful.
+package ofdm
+
+import (
+	"math"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// OFDM numerology (20 MHz 802.11a/g).
+const (
+	// NFFT is the subcarrier count / IFFT size at the native 20 Msps.
+	NFFT = 64
+	// CPLen is the cyclic prefix length in native samples (0.8 us).
+	CPLen = 16
+	// SymbolLen is one OFDM symbol in native samples (4 us).
+	SymbolLen = NFFT + CPLen
+	// NativeRate is the native sample rate (one sample per subcarrier
+	// spacing x NFFT = 20 MHz).
+	NativeRate = 20_000_000
+	// DataCarriers is the number of data subcarriers (52 used minus 4
+	// pilots).
+	DataCarriers = 48
+	// SymbolUS is the OFDM symbol duration in microseconds.
+	SymbolUS = 4
+	// MonitorSymbolLen is the symbol period as seen by the 8 Msps
+	// monitor (4 us = 32 samples).
+	MonitorSymbolLen = SymbolUS * phy.SampleRate / 1_000_000
+	// MonitorFFTLag is T_FFT (3.2 us) in monitor samples: 25.6, so the
+	// detector probes lags 25 and 26.
+	MonitorFFTLagLow  = 25
+	MonitorFFTLagHigh = 26
+)
+
+// usedCarriers lists the occupied subcarrier indices (-26..-1, 1..26).
+func usedCarriers() []int {
+	out := make([]int, 0, 52)
+	for k := -26; k <= 26; k++ {
+		if k != 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// pilotCarriers per 802.11a: ±7, ±21.
+var pilotSet = map[int]bool{-21: true, -7: true, 7: true, 21: true}
+
+// stfCarriers is the L-STF frequency-domain sequence (clause 17.3.3):
+// energy on every 4th subcarrier.
+var stfValues = map[int]complex128{
+	-24: 1 + 1i, -20: -1 - 1i, -16: 1 + 1i, -12: -1 - 1i, -8: -1 - 1i, -4: 1 + 1i,
+	4: -1 - 1i, 8: -1 - 1i, 12: 1 + 1i, 16: 1 + 1i, 20: 1 + 1i, 24: 1 + 1i,
+}
+
+// ltfValues is the L-LTF BPSK sequence on carriers -26..26 (clause
+// 17.3.3), index 0 = carrier -26.
+var ltfSeq = []int8{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	// carrier 0 skipped
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// Modulator synthesizes 802.11g OFDM bursts, generated at the native
+// 20 Msps and then observed through the 8 Msps monitor front end
+// (low-pass + fractional resampling), mirroring how the 22 MHz DSSS
+// modulators are band-limited to the capture bandwidth.
+type Modulator struct {
+	lpf *dsp.FIR
+}
+
+// NewModulator returns an OFDM modulator.
+func NewModulator() *Modulator {
+	// Anti-alias filter for the 20 -> 8 Msps resampling: cut at 3.8 MHz.
+	return &Modulator{lpf: dsp.LowPass(3.8e6, NativeRate, 63)}
+}
+
+// ifftSymbol converts a frequency-domain map to one time-domain symbol
+// with cyclic prefix at the native rate.
+func ifftSymbol(carriers map[int]complex128) []complex128 {
+	bins := make([]complex128, NFFT)
+	for k, v := range carriers {
+		idx := k
+		if idx < 0 {
+			idx += NFFT
+		}
+		bins[idx] = v
+	}
+	dsp.IFFT(bins)
+	out := make([]complex128, SymbolLen)
+	copy(out, bins[NFFT-CPLen:]) // cyclic prefix
+	copy(out[CPLen:], bins)
+	return out
+}
+
+// Modulate builds the burst for one PSDU at the nominal 6 Mbps BPSK
+// mapping (1 bit per data subcarrier per symbol, uncoded — see package
+// doc).
+func (m *Modulator) Modulate(psdu []byte) *phy.Burst {
+	var native []complex128
+
+	// L-STF: the short training field is 10 repetitions of a 0.8 us
+	// pattern; equivalently 2 symbols built from the STF carriers.
+	stf := map[int]complex128{}
+	scale := math.Sqrt(13.0 / 6.0)
+	for k, v := range stfValues {
+		stf[k] = v * complex(scale, 0)
+	}
+	stfSym := ifftSymbol(stf)
+	native = append(native, stfSym...)
+	native = append(native, stfSym...)
+
+	// L-LTF: two repetitions of the long training symbol.
+	ltf := map[int]complex128{}
+	i := 0
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		ltf[k] = complex(float64(ltfSeq[i]), 0)
+		i++
+	}
+	ltfSym := ifftSymbol(ltf)
+	native = append(native, ltfSym...)
+	native = append(native, ltfSym...)
+
+	// L-SIG + DATA symbols: BPSK data subcarriers, fixed pilots.
+	bits := phy.BytesToBitsLSB(psdu)
+	scr := phy.NewScramble802(0x5D)
+	scr.Scramble(bits)
+	pos := 0
+	nextBit := func() float64 {
+		if pos >= len(bits) {
+			return 1
+		}
+		b := bits[pos]
+		pos++
+		if b == 0 {
+			return -1
+		}
+		return 1
+	}
+	for pos < len(bits) {
+		sym := map[int]complex128{}
+		for _, k := range usedCarriers() {
+			if pilotSet[k] {
+				sym[k] = 1
+				continue
+			}
+			sym[k] = complex(nextBit(), 0)
+		}
+		native = append(native, ifftSymbol(sym)...)
+	}
+
+	// Observe through the monitor front end: low-pass then resample
+	// 20 Msps -> 8 Msps (factor 2.5) with linear interpolation.
+	filtered := make([]complex64, len(native))
+	for j, v := range native {
+		filtered[j] = complex64(v)
+	}
+	m.lpf.Reset()
+	m.lpf.Process(filtered, filtered)
+	ratio := float64(NativeRate) / float64(phy.SampleRate)
+	nOut := int(float64(len(filtered)) / ratio)
+	samples := make(iq.Samples, nOut)
+	for j := 0; j < nOut; j++ {
+		x := float64(j) * ratio
+		i0 := int(x)
+		frac := float32(x - float64(i0))
+		a := filtered[i0]
+		b := a
+		if i0+1 < len(filtered) {
+			b = filtered[i0+1]
+		}
+		samples[j] = a*(1-complex(frac, 0)) + b*complex(frac, 0)
+	}
+
+	burst := &phy.Burst{
+		Proto:   protocols.WiFi80211g,
+		Samples: samples,
+		Channel: -1,
+		Frame:   append([]byte(nil), psdu...),
+		Kind:    "ofdm-data",
+	}
+	burst.NormalizePower()
+	return burst
+}
+
+// AirtimeUS returns the burst airtime in microseconds for a PSDU of n
+// bytes at the uncoded-BPSK mapping: 16 us preamble + ceil(bits/48)
+// 4 us symbols.
+func AirtimeUS(n int) int {
+	syms := (n*8 + DataCarriers - 1) / DataCarriers
+	return 16 + syms*SymbolUS
+}

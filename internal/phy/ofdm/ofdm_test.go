@@ -1,0 +1,125 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/phy"
+)
+
+func TestModulateBasics(t *testing.T) {
+	mod := NewModulator()
+	psdu := make([]byte, 120)
+	for i := range psdu {
+		psdu[i] = byte(i * 3)
+	}
+	burst := mod.Modulate(psdu)
+	if burst.Proto.String() != "802.11g" {
+		t.Errorf("proto %v", burst.Proto)
+	}
+	if math.Abs(burst.Samples.MeanPower()-1) > 1e-3 {
+		t.Errorf("power %v", burst.Samples.MeanPower())
+	}
+	// Airtime: preamble 16 us + ceil(960/48)=20 symbols * 4 us = 96 us
+	// -> 768 monitor samples.
+	wantUS := AirtimeUS(len(psdu))
+	gotUS := len(burst.Samples) * 1_000_000 / phy.SampleRate
+	if gotUS < wantUS-2 || gotUS > wantUS+2 {
+		t.Errorf("airtime %d us, want %d", gotUS, wantUS)
+	}
+}
+
+func TestAirtimeUS(t *testing.T) {
+	if AirtimeUS(6) != 16+4 { // 48 bits = 1 symbol
+		t.Errorf("AirtimeUS(6) = %d", AirtimeUS(6))
+	}
+	if AirtimeUS(12) != 16+8 { // 96 bits = 2 symbols
+		t.Errorf("AirtimeUS(12) = %d", AirtimeUS(12))
+	}
+}
+
+func TestCyclicPrefixVisibleThroughMonitor(t *testing.T) {
+	// The detection-critical property: autocorrelation at the T_FFT lag
+	// (25-26 monitor samples), folded by the 32-sample symbol period,
+	// concentrates in a few fold phases.
+	mod := NewModulator()
+	psdu := make([]byte, 400)
+	for i := range psdu {
+		psdu[i] = byte(i*7 + 1)
+	}
+	burst := mod.Modulate(psdu)
+	s := burst.Samples
+	// Skip the preamble; analyze the data region.
+	data := s[16*8:]
+
+	best := 0.0
+	for _, lag := range []int{MonitorFFTLagLow, MonitorFFTLagHigh} {
+		accRe := make([]float64, MonitorSymbolLen)
+		accIm := make([]float64, MonitorSymbolLen)
+		var energy float64
+		for i := 0; i+lag < len(data); i++ {
+			a, b := data[i], data[i+lag]
+			ar, ai := float64(real(a)), float64(imag(a))
+			br, bi := float64(real(b)), float64(imag(b))
+			ph := i % MonitorSymbolLen
+			accRe[ph] += ar*br + ai*bi
+			accIm[ph] += ai*br - ar*bi
+			energy += ar*ar + ai*ai
+		}
+		for ph := 0; ph < MonitorSymbolLen; ph++ {
+			m := math.Hypot(accRe[ph], accIm[ph]) / (energy / MonitorSymbolLen)
+			if m > best {
+				best = m
+			}
+		}
+	}
+	if best < 0.5 {
+		t.Errorf("CP fold peak %.3f, want strong correlation", best)
+	}
+}
+
+func TestPreambleStructure(t *testing.T) {
+	// The L-STF is periodic with 0.8 us (16 native samples): through the
+	// monitor it repeats every 6.4 monitor samples; check the coarser
+	// property that the first 16 us (128 monitor samples) have much
+	// lower amplitude variance per short window than random data would
+	// after the repeating structure (the two LTF symbols are identical).
+	mod := NewModulator()
+	burst := mod.Modulate(make([]byte, 100))
+	s := burst.Samples
+	// LTF occupies monitor samples [64, 128): two identical 32-sample
+	// halves... at native rate LTF = 2 x 80 samples, so through the
+	// monitor the repetition lag is 25.6/32 — instead verify the STF's
+	// strong 6.4-sample periodicity via autocorrelation at lag 32
+	// (5 x 6.4, integer).
+	stf := s[:64]
+	var acc complex128
+	var energy float64
+	const lag = 32
+	for i := 0; i+lag < len(stf); i++ {
+		a, b := complex128(stf[i]), complex128(stf[i+lag])
+		acc += a * complexConj(b)
+		energy += real(a)*real(a) + imag(a)*imag(a)
+	}
+	corr := cmplxAbs128(acc) / energy
+	if corr < 0.7 {
+		t.Errorf("STF periodicity %.3f", corr)
+	}
+}
+
+func complexConj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+func cmplxAbs128(v complex128) float64    { return math.Hypot(real(v), imag(v)) }
+
+func TestDeterministic(t *testing.T) {
+	m := NewModulator()
+	a := m.Modulate([]byte{1, 2, 3})
+	b := m.Modulate([]byte{1, 2, 3})
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("length")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}

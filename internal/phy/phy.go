@@ -1,0 +1,263 @@
+// Package phy defines what all physical layers share: the Burst type (a
+// modulated transmission ready to be mixed into the ether), bit-stream
+// helpers, the CRC/FEC arithmetic used by 802.11b and Bluetooth framing,
+// and the channel model (gain, carrier offset, AWGN).
+//
+// Each concrete modulator lives in a subpackage (phy/wifi, phy/bluetooth,
+// phy/zigbee, phy/microwave) and produces Bursts; the ether emulator mixes
+// Bursts onto the monitored band.
+package phy
+
+import (
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// SampleRate is the emitter/monitor sample rate. Everything in the system
+// runs at the USRP-over-USB rate from the paper.
+const SampleRate = iq.DefaultSampleRate
+
+// Burst is one contiguous RF transmission: baseband samples (relative to
+// the monitored band center), plus everything ground truth needs to know
+// about it.
+type Burst struct {
+	// Proto identifies the transmitting technology and rate.
+	Proto protocols.ID
+	// Samples is the unit-power complex baseband waveform at SampleRate,
+	// already shifted to its channel offset within the band.
+	Samples iq.Samples
+	// OffsetHz is the burst's center frequency relative to the band
+	// center (informational; the shift is already applied to Samples).
+	OffsetHz float64
+	// Channel is the protocol-level channel number (e.g. Bluetooth hop
+	// channel 0-78), or -1 if not applicable.
+	Channel int
+	// Frame is the link-layer frame the burst carries (nil for
+	// non-packet sources like microwave ovens).
+	Frame []byte
+	// Kind labels the burst for ground truth ("data", "ack", "beacon",
+	// "l2ping", "noise", ...).
+	Kind string
+}
+
+// Duration returns the burst length in samples.
+func (b *Burst) Duration() iq.Tick { return iq.Tick(len(b.Samples)) }
+
+// NormalizePower scales the burst so its mean sample power is 1.0,
+// making per-burst SNR assignment in the ether emulator exact.
+func (b *Burst) NormalizePower() {
+	p := b.Samples.MeanPower()
+	if p <= 0 {
+		return
+	}
+	b.Samples.Scale(1 / sqrt(p))
+}
+
+func sqrt(x float64) float64 {
+	// Tiny wrapper so the hot path above reads cleanly.
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations seeded from a float64 bit trick would be
+	// overkill; math.Sqrt is fine.
+	return mathSqrt(x)
+}
+
+// Channel applies impairments to a burst in place: a gain chosen to hit a
+// target SNR against a known noise floor, a carrier frequency offset, and
+// an initial carrier phase. Noise itself is added once for the whole band
+// by the ether emulator, not per burst.
+type Channel struct {
+	// SNRdB is the per-burst signal-to-noise ratio relative to the
+	// ether's noise floor power.
+	SNRdB float64
+	// CFOHz is the residual carrier frequency offset of the transmitter.
+	CFOHz float64
+	// PhaseRad is the initial carrier phase.
+	PhaseRad float64
+}
+
+// Apply scales the (unit-power) burst to the target SNR given the noise
+// floor power and applies CFO/phase.
+func (c Channel) Apply(b *Burst, noiseFloorPower float64, rate int) {
+	gain := sqrt(noiseFloorPower * iq.FromDB(c.SNRdB))
+	b.Samples.Scale(gain)
+	if c.PhaseRad != 0 {
+		b.Samples.Rotate(c.PhaseRad)
+	}
+	if c.CFOHz != 0 {
+		b.Samples.FrequencyShift(c.CFOHz, rate, 0)
+	}
+}
+
+// UpsampleBits expands a ±1 symbol sequence to sps samples per symbol as a
+// real-valued NRZ waveform.
+func UpsampleBits(bits []byte, sps int) []float64 {
+	out := make([]float64, len(bits)*sps)
+	for i, b := range bits {
+		v := -1.0
+		if b != 0 {
+			v = 1.0
+		}
+		for k := 0; k < sps; k++ {
+			out[i*sps+k] = v
+		}
+	}
+	return out
+}
+
+// BytesToBitsLSB unpacks bytes into bits, least-significant bit first
+// (the 802.11 and Bluetooth over-the-air bit order).
+func BytesToBitsLSB(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, by := range data {
+		for k := 0; k < 8; k++ {
+			out = append(out, (by>>k)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytesLSB packs bits (LSB-first per byte) into bytes. Trailing bits
+// that do not fill a byte are dropped.
+func BitsToBytesLSB(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var by byte
+		for k := 0; k < 8; k++ {
+			if bits[i+k] != 0 {
+				by |= 1 << k
+			}
+		}
+		out = append(out, by)
+	}
+	return out
+}
+
+// Uint16ToBitsLSB unpacks a 16-bit value LSB first.
+func Uint16ToBitsLSB(v uint16) []byte {
+	out := make([]byte, 16)
+	for k := 0; k < 16; k++ {
+		out[k] = byte((v >> k) & 1)
+	}
+	return out
+}
+
+// BitsToUint16LSB packs up to 16 bits, LSB first.
+func BitsToUint16LSB(bits []byte) uint16 {
+	var v uint16
+	for k := 0; k < len(bits) && k < 16; k++ {
+		if bits[k] != 0 {
+			v |= 1 << k
+		}
+	}
+	return v
+}
+
+// Repeat3 encodes bits with the Bluetooth rate-1/3 repetition FEC: each
+// bit is sent three times.
+func Repeat3(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)*3)
+	for _, b := range bits {
+		out = append(out, b, b, b)
+	}
+	return out
+}
+
+// Majority3 decodes rate-1/3 repetition FEC by majority vote. The input
+// length is truncated to a multiple of 3.
+func Majority3(bits []byte) []byte {
+	n := len(bits) / 3
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		s := int(bits[3*i]) + int(bits[3*i+1]) + int(bits[3*i+2])
+		if s >= 2 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Whitener is the x^7 + x^4 + 1 LFSR used both by the 802.11b scrambler
+// and Bluetooth data whitening (with different initializations and
+// feedback arrangements; see the concrete modulators).
+type Whitener struct {
+	state byte // 7-bit state
+}
+
+// NewWhitener returns a whitener with the given 7-bit initial state.
+func NewWhitener(init byte) *Whitener {
+	return &Whitener{state: init & 0x7F}
+}
+
+// Next returns the next whitening bit and advances the LFSR
+// (x^7 + x^4 + 1, Fibonacci form).
+func (w *Whitener) Next() byte {
+	out := (w.state >> 6) & 1        // tap x^7
+	fb := out ^ ((w.state >> 3) & 1) // tap x^4
+	w.state = ((w.state << 1) | fb) & 0x7F
+	return out
+}
+
+// XorStream XORs a whitening sequence over bits in place and returns bits.
+func (w *Whitener) XorStream(bits []byte) []byte {
+	for i := range bits {
+		bits[i] ^= w.Next()
+	}
+	return bits
+}
+
+// Scramble802 implements the 802.11b self-synchronizing scrambler
+// s(x) = x^7 + x^4 + 1 operating on the data bits themselves (the output
+// feeds the shift register), so the receiver descrambles without knowing
+// the initial state after 7 bits.
+type Scramble802 struct {
+	state byte
+}
+
+// NewScramble802 returns a scrambler seeded with the standard 0x6C
+// initial state (the value 802.11 uses for long preambles is 0x1B for
+// descrambled-1s; the self-synchronizing property makes the choice
+// irrelevant to the receiver).
+func NewScramble802(init byte) *Scramble802 {
+	return &Scramble802{state: init & 0x7F}
+}
+
+// ScrambleBit scrambles one bit.
+func (s *Scramble802) ScrambleBit(b byte) byte {
+	fb := ((s.state >> 3) & 1) ^ ((s.state >> 6) & 1)
+	out := (b ^ fb) & 1
+	s.state = ((s.state << 1) | out) & 0x7F
+	return out
+}
+
+// DescrambleBit inverts ScrambleBit (self-synchronizing: the register is
+// fed with the received scrambled bit).
+func (s *Scramble802) DescrambleBit(b byte) byte {
+	fb := ((s.state >> 3) & 1) ^ ((s.state >> 6) & 1)
+	out := (b ^ fb) & 1
+	s.state = ((s.state << 1) | (b & 1)) & 0x7F
+	return out
+}
+
+// Scramble scrambles a bit slice in place and returns it.
+func (s *Scramble802) Scramble(bits []byte) []byte {
+	for i := range bits {
+		bits[i] = s.ScrambleBit(bits[i])
+	}
+	return bits
+}
+
+// Descramble descrambles a bit slice in place and returns it.
+func (s *Scramble802) Descramble(bits []byte) []byte {
+	for i := range bits {
+		bits[i] = s.DescrambleBit(bits[i])
+	}
+	return bits
+}
+
+// GaussianShaper builds the shared GFSK shaping filter once.
+func GaussianShaper(bt float64, sps, span int) *dsp.FIR {
+	return dsp.NewFIR(dsp.GaussianTaps(bt, sps, span))
+}

@@ -1,0 +1,328 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBitsLSB(data)
+		if len(bits) != len(data)*8 {
+			return false
+		}
+		return bytes.Equal(BitsToBytesLSB(bits), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsLSBOrder(t *testing.T) {
+	bits := BytesToBitsLSB([]byte{0x01, 0x80})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("bits = %v", bits)
+	}
+}
+
+func TestUint16Bits(t *testing.T) {
+	f := func(v uint16) bool {
+		return BitsToUint16LSB(Uint16ToBitsLSB(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeat3Majority3(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0}
+	enc := Repeat3(bits)
+	if len(enc) != 15 {
+		t.Fatalf("encoded len %d", len(enc))
+	}
+	if !bytes.Equal(Majority3(enc), bits) {
+		t.Error("clean round trip")
+	}
+	// One error per triplet is corrected.
+	for i := 0; i < len(enc); i += 3 {
+		enc[i] ^= 1
+	}
+	if !bytes.Equal(Majority3(enc), bits) {
+		t.Error("single-error correction")
+	}
+}
+
+func TestMajority3CorrectsAnySingleError(t *testing.T) {
+	f := func(data []byte, pos uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		bits := BytesToBitsLSB(data)
+		enc := Repeat3(bits)
+		enc[int(pos)%len(enc)] ^= 1
+		return bytes.Equal(Majority3(enc), bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16CCITTVector(t *testing.T) {
+	// Standard CRC-16/CCITT-FALSE check value: "123456789" -> 0x29B1.
+	if got := CRC16CCITT([]byte("123456789"), 0xFFFF); got != 0x29B1 {
+		t.Errorf("CRC16CCITT = %#04x, want 0x29B1", got)
+	}
+}
+
+func TestCRC32Vector(t *testing.T) {
+	// Standard IEEE CRC-32 check value: "123456789" -> 0xCBF43926.
+	if got := CRC32([]byte("123456789")); got != 0xCBF43926 {
+		t.Errorf("CRC32 = %#08x, want 0xCBF43926", got)
+	}
+}
+
+func TestCRCDetectsErrors(t *testing.T) {
+	f := func(data []byte, bit uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig16 := CRC16PLCP(data)
+		orig32 := CRC32(data)
+		origBT := CRC16BT(data, 0x47)
+		mut := append([]byte(nil), data...)
+		mut[int(bit)%len(mut)] ^= 1 << (bit % 8)
+		return CRC16PLCP(mut) != orig16 && CRC32(mut) != orig32 && CRC16BT(mut, 0x47) != origBT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHEC8Properties(t *testing.T) {
+	bits := []byte{1, 0, 0, 1, 1, 1, 0, 1, 0, 1}
+	h1 := HEC8(bits, 0x47)
+	// Deterministic.
+	if HEC8(bits, 0x47) != h1 {
+		t.Error("HEC not deterministic")
+	}
+	// Sensitive to any bit flip.
+	for i := range bits {
+		mut := append([]byte(nil), bits...)
+		mut[i] ^= 1
+		if HEC8(mut, 0x47) == h1 {
+			t.Errorf("HEC blind to flip at %d", i)
+		}
+	}
+	// Depends on the UAP seed.
+	if HEC8(bits, 0x48) == h1 {
+		t.Error("HEC ignores UAP")
+	}
+}
+
+func TestWhitenerInvolution(t *testing.T) {
+	f := func(data []byte, init byte) bool {
+		bits := BytesToBitsLSB(data)
+		w1 := NewWhitener(init)
+		w2 := NewWhitener(init)
+		work := append([]byte(nil), bits...)
+		w1.XorStream(work)
+		w2.XorStream(work)
+		return bytes.Equal(work, bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitenerSequencePeriod(t *testing.T) {
+	// x^7+x^4+1 is primitive: period 127.
+	w := NewWhitener(0x5A)
+	seq := make([]byte, 254)
+	for i := range seq {
+		seq[i] = w.Next()
+	}
+	if !bytes.Equal(seq[:127], seq[127:]) {
+		t.Error("whitener period != 127")
+	}
+	// Not all zero/one.
+	ones := 0
+	for _, b := range seq[:127] {
+		ones += int(b)
+	}
+	if ones != 64 { // maximal-length sequences have 2^(n-1) ones
+		t.Errorf("ones in period = %d, want 64", ones)
+	}
+}
+
+func TestScramblerSelfSynchronizing(t *testing.T) {
+	// A receiver with a *different* initial state still descrambles
+	// correctly after the first 7 bits.
+	f := func(data []byte, txInit, rxInit byte) bool {
+		if len(data) < 3 {
+			return true
+		}
+		bits := BytesToBitsLSB(data)
+		tx := NewScramble802(txInit)
+		scrambled := tx.Scramble(append([]byte(nil), bits...))
+		rx := NewScramble802(rxInit)
+		descrambled := rx.Descramble(append([]byte(nil), scrambled...))
+		return bytes.Equal(descrambled[7:], bits[7:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScramblerBreaksRuns(t *testing.T) {
+	// 128 ones must scramble to a balanced-ish sequence (the PLCP sync
+	// field relies on this).
+	bits := make([]byte, 128)
+	for i := range bits {
+		bits[i] = 1
+	}
+	s := NewScramble802(0x6C)
+	s.Scramble(bits)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	if ones < 40 || ones > 90 {
+		t.Errorf("scrambled ones = %d of 128", ones)
+	}
+}
+
+func TestChannelApplySNR(t *testing.T) {
+	// A unit-power burst at 10 dB over noise floor 2.0 must come out
+	// with mean power 20.
+	burst := &Burst{Samples: make(iq.Samples, 4000)}
+	r := dsp.NewRand(1)
+	for i := range burst.Samples {
+		ph := r.Float64() * 2 * math.Pi
+		burst.Samples[i] = complex(float32(math.Cos(ph)), float32(math.Sin(ph)))
+	}
+	burst.NormalizePower()
+	ch := Channel{SNRdB: 10}
+	ch.Apply(burst, 2.0, SampleRate)
+	if p := burst.Samples.MeanPower(); math.Abs(p-20) > 0.5 {
+		t.Errorf("power after channel = %v, want 20", p)
+	}
+}
+
+func TestChannelApplyCFO(t *testing.T) {
+	burst := &Burst{Samples: make(iq.Samples, 1000)}
+	for i := range burst.Samples {
+		burst.Samples[i] = 1
+	}
+	ch := Channel{SNRdB: 0, CFOHz: 100_000}
+	ch.Apply(burst, 1.0, SampleRate)
+	// The CFO turns DC into a tone: phase diff = 2*pi*f/rate.
+	d := dsp.PhaseDiff(burst.Samples, nil)
+	want := 2 * math.Pi * 100_000 / float64(SampleRate)
+	if got := dsp.Mean(d); math.Abs(got-want) > 1e-6 {
+		t.Errorf("CFO phase step = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizePowerIdempotent(t *testing.T) {
+	burst := &Burst{Samples: iq.Samples{3, 4, complex(0, 5)}}
+	burst.NormalizePower()
+	if p := burst.Samples.MeanPower(); math.Abs(p-1) > 1e-5 {
+		t.Errorf("power = %v", p)
+	}
+	burst.NormalizePower()
+	if p := burst.Samples.MeanPower(); math.Abs(p-1) > 1e-5 {
+		t.Errorf("power after second normalize = %v", p)
+	}
+	empty := &Burst{}
+	empty.NormalizePower() // must not panic
+}
+
+func TestUpsampleBits(t *testing.T) {
+	out := UpsampleBits([]byte{1, 0}, 3)
+	want := []float64{1, 1, 1, -1, -1, -1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("upsampled = %v", out)
+		}
+	}
+}
+
+func TestBurstDuration(t *testing.T) {
+	b := &Burst{Samples: make(iq.Samples, 123)}
+	if b.Duration() != 123 {
+		t.Error("Duration")
+	}
+}
+
+func TestFEC23RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBitsLSB(data)
+		enc := FEC23Encode(bits)
+		if len(enc) != FEC23AirBits(len(bits)) {
+			return false
+		}
+		dec, ok := FEC23Decode(enc)
+		if !ok {
+			return false
+		}
+		return bytes.Equal(dec[:len(bits)], bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFEC23CorrectsSingleErrors(t *testing.T) {
+	bits := BytesToBitsLSB([]byte("dm packet payload under fec"))
+	enc := FEC23Encode(bits)
+	// One error anywhere in any block is corrected.
+	for pos := 0; pos < len(enc); pos++ {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 1
+		dec, ok := FEC23Decode(mut)
+		if !ok {
+			t.Fatalf("flip at %d reported uncorrectable", pos)
+		}
+		if !bytes.Equal(dec[:len(bits)], bits) {
+			t.Fatalf("flip at %d not corrected", pos)
+		}
+	}
+}
+
+func TestFEC23DetectsDoubleErrors(t *testing.T) {
+	bits := BytesToBitsLSB([]byte{0xA5, 0x3C})
+	enc := FEC23Encode(bits)
+	failures := 0
+	trials := 0
+	// Two errors in one block: either flagged uncorrectable or
+	// miscorrected (Hamming distance 3-4 code); it must never silently
+	// return the original data claiming success after correcting.
+	for a := 0; a < 15; a++ {
+		for b := a + 1; b < 15; b++ {
+			mut := append([]byte(nil), enc...)
+			mut[a] ^= 1
+			mut[b] ^= 1
+			dec, ok := FEC23Decode(mut)
+			trials++
+			if !ok || !bytes.Equal(dec[:len(bits)], bits) {
+				failures++
+			}
+		}
+	}
+	if failures == 0 {
+		t.Error("no double error was ever noticed (code distance broken)")
+	}
+	_ = trials
+}
+
+func TestFEC23Expansion(t *testing.T) {
+	if FEC23AirBits(10) != 15 || FEC23AirBits(20) != 30 || FEC23AirBits(11) != 30 {
+		t.Error("air bit math")
+	}
+}

@@ -1,0 +1,158 @@
+package wifi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rfdump/internal/phy"
+)
+
+// MAC frame type/subtype constants (IEEE 802.11 frame control field).
+const (
+	TypeMgmt = 0
+	TypeCtrl = 1
+	TypeData = 2
+
+	SubtypeBeacon = 8
+	SubtypeCTS    = 12
+	SubtypeAck    = 13
+	SubtypeData   = 0
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// String formats the address in colon-hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// MPDU is a decoded 802.11 MAC frame.
+type MPDU struct {
+	FrameControl uint16
+	Duration     uint16
+	Addr1        Addr // receiver
+	Addr2        Addr // transmitter (absent in ACK)
+	Addr3        Addr // BSSID (absent in ACK)
+	Seq          uint16
+	Payload      []byte
+	FCS          uint32
+	FCSValid     bool
+}
+
+// Type returns the frame type field.
+func (m *MPDU) Type() int { return int(m.FrameControl>>2) & 3 }
+
+// Subtype returns the frame subtype field.
+func (m *MPDU) Subtype() int { return int(m.FrameControl>>4) & 0xF }
+
+// IsAck reports whether the frame is a control ACK.
+func (m *MPDU) IsAck() bool { return m.Type() == TypeCtrl && m.Subtype() == SubtypeAck }
+
+// IsCTS reports whether the frame is a CTS (incl. CTS-to-self).
+func (m *MPDU) IsCTS() bool { return m.Type() == TypeCtrl && m.Subtype() == SubtypeCTS }
+
+// IsBeacon reports whether the frame is a management beacon.
+func (m *MPDU) IsBeacon() bool { return m.Type() == TypeMgmt && m.Subtype() == SubtypeBeacon }
+
+// IsBroadcast reports whether the receiver address is broadcast.
+func (m *MPDU) IsBroadcast() bool { return m.Addr1 == Broadcast }
+
+func frameControl(ftype, subtype int) uint16 {
+	return uint16(ftype&3)<<2 | uint16(subtype&0xF)<<4
+}
+
+// BuildDataFrame constructs a data MPDU (24-byte MAC header + payload +
+// FCS) ready for modulation.
+func BuildDataFrame(dst, src, bssid Addr, seq uint16, payload []byte) []byte {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint16(hdr[0:2], frameControl(TypeData, SubtypeData))
+	binary.LittleEndian.PutUint16(hdr[2:4], 0) // duration filled by MAC if needed
+	copy(hdr[4:10], dst[:])
+	copy(hdr[10:16], src[:])
+	copy(hdr[16:22], bssid[:])
+	binary.LittleEndian.PutUint16(hdr[22:24], seq<<4)
+	body := append(hdr, payload...)
+	return appendFCS(body)
+}
+
+// BuildAck constructs a 14-byte control ACK addressed to ra.
+func BuildAck(ra Addr) []byte {
+	hdr := make([]byte, 10)
+	binary.LittleEndian.PutUint16(hdr[0:2], frameControl(TypeCtrl, SubtypeAck))
+	binary.LittleEndian.PutUint16(hdr[2:4], 0)
+	copy(hdr[4:10], ra[:])
+	return appendFCS(hdr)
+}
+
+// BuildCTS constructs a 14-byte CTS frame. With ra set to the sender's
+// own address this is the CTS-to-self protection frame 802.11g stations
+// transmit at an 802.11b rate so DSSS-only stations defer during the
+// following OFDM exchange (the Table 2 footnote: "CTS-to-self packets
+// use one of the 802.11b rates").
+func BuildCTS(ra Addr, durationUS uint16) []byte {
+	hdr := make([]byte, 10)
+	binary.LittleEndian.PutUint16(hdr[0:2], frameControl(TypeCtrl, SubtypeCTS))
+	binary.LittleEndian.PutUint16(hdr[2:4], durationUS)
+	copy(hdr[4:10], ra[:])
+	return appendFCS(hdr)
+}
+
+// BuildBeacon constructs a minimal beacon frame from bssid with the given
+// SSID element.
+func BuildBeacon(bssid Addr, seq uint16, ssid string) []byte {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint16(hdr[0:2], frameControl(TypeMgmt, SubtypeBeacon))
+	copy(hdr[4:10], Broadcast[:])
+	copy(hdr[10:16], bssid[:])
+	copy(hdr[16:22], bssid[:])
+	binary.LittleEndian.PutUint16(hdr[22:24], seq<<4)
+	// Fixed fields: timestamp(8) + beacon interval(2) + capabilities(2).
+	fixed := make([]byte, 12)
+	binary.LittleEndian.PutUint16(fixed[8:10], 100) // 102.4 ms units
+	body := append(hdr, fixed...)
+	// SSID information element.
+	body = append(body, 0, byte(len(ssid)))
+	body = append(body, ssid...)
+	return appendFCS(body)
+}
+
+func appendFCS(body []byte) []byte {
+	fcs := phy.CRC32(body)
+	out := make([]byte, len(body)+4)
+	copy(out, body)
+	binary.LittleEndian.PutUint32(out[len(body):], fcs)
+	return out
+}
+
+// ParseMPDU decodes an MPDU byte string (including FCS). It returns an
+// error only for frames too short to contain a header; FCS mismatches are
+// reported through MPDU.FCSValid so callers can still inspect corrupted
+// frames (the monitoring tool prints them flagged, like tcpdump does).
+func ParseMPDU(frame []byte) (*MPDU, error) {
+	if len(frame) < 14 {
+		return nil, fmt.Errorf("wifi: frame too short: %d bytes", len(frame))
+	}
+	m := &MPDU{}
+	m.FrameControl = binary.LittleEndian.Uint16(frame[0:2])
+	m.Duration = binary.LittleEndian.Uint16(frame[2:4])
+	copy(m.Addr1[:], frame[4:10])
+	body := frame[:len(frame)-4]
+	m.FCS = binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	m.FCSValid = phy.CRC32(body) == m.FCS
+	if m.IsAck() || m.IsCTS() {
+		return m, nil
+	}
+	if len(frame) < 28 {
+		// Non-ACK frames need the full 24-byte header.
+		return m, nil
+	}
+	copy(m.Addr2[:], frame[10:16])
+	copy(m.Addr3[:], frame[16:22])
+	m.Seq = binary.LittleEndian.Uint16(frame[22:24]) >> 4
+	m.Payload = frame[24 : len(frame)-4]
+	return m, nil
+}

@@ -1,0 +1,214 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// ScramblerInit is the scrambler seed used by the transmitter. The
+// receiver does not need to know it (the scrambler is self-synchronizing).
+const ScramblerInit byte = 0x6C
+
+// Modulator synthesizes 802.11b PPDUs as complex baseband bursts at
+// 8 Msps. One Modulator is safe for sequential reuse; it is not safe for
+// concurrent use.
+type Modulator struct {
+	// Rate selects the PSDU rate; the PLCP preamble and header are always
+	// DBPSK at 1 Mbps (Table 2 footnote a).
+	Rate protocols.ID
+	// CFOHz simulates transmitter carrier offset; applied by the channel,
+	// stored here so MAC schedulers can configure per-station offsets.
+	CFOHz float64
+}
+
+// NewModulator returns a modulator for the given 802.11b rate.
+func NewModulator(rate protocols.ID) (*Modulator, error) {
+	if _, err := SignalFor(rate); err != nil {
+		return nil, err
+	}
+	return &Modulator{Rate: rate}, nil
+}
+
+// Modulate builds the burst for one PSDU (a complete MPDU including FCS).
+func (m *Modulator) Modulate(psdu []byte) (*phy.Burst, error) {
+	sig, err := SignalFor(m.Rate)
+	if err != nil {
+		return nil, err
+	}
+	lengthUS, err := PayloadDurationUS(m.Rate, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the plaintext bit stream: sync + SFD + header + PSDU.
+	bits := make([]byte, 0, PLCPBits+len(psdu)*8)
+	for i := 0; i < PreambleSyncBits; i++ {
+		bits = append(bits, 1)
+	}
+	bits = append(bits, sfdBits()...)
+	bits = append(bits, headerBits(sig, 0, lengthUS)...)
+	bits = append(bits, phy.BytesToBitsLSB(psdu)...)
+
+	// Scramble everything with the self-synchronizing scrambler.
+	scr := phy.NewScramble802(ScramblerInit)
+	scr.Scramble(bits)
+
+	// Spread to the 11 Mchip/s chip stream.
+	chips, err := bitsToChips(bits, m.Rate)
+	if err != nil {
+		return nil, err
+	}
+
+	// Observe the chip stream through the 8 Msps front end: sample n
+	// carries chip floor(n*11/8).
+	nsamp := (len(chips)*SymbolSPS + ChipsPerSymbol - 1) / ChipsPerSymbol
+	samples := make(iq.Samples, nsamp)
+	for n := 0; n < nsamp; n++ {
+		ci := n * ChipsPerSymbol / SymbolSPS
+		if ci >= len(chips) {
+			ci = len(chips) - 1
+		}
+		samples[n] = chips[ci]
+	}
+
+	b := &phy.Burst{
+		Proto:   m.Rate,
+		Samples: samples,
+		Channel: -1,
+		Frame:   append([]byte(nil), psdu...),
+		Kind:    "data",
+	}
+	b.NormalizePower()
+	return b, nil
+}
+
+// bitsToChips maps scrambled bits to complex chips at 11 Mchip/s. The
+// first PLCPBits bits are always Barker/DBPSK; the remainder uses the
+// PSDU rate's spreading.
+func bitsToChips(bits []byte, rate protocols.ID) ([]complex64, error) {
+	chips := make([]complex64, 0, len(bits)*ChipsPerSymbol)
+	phase := 0.0
+
+	appendBarker := func(symPhase float64) {
+		c := complex64(cmplx.Rect(1, symPhase))
+		for _, v := range dsp.Barker11 {
+			chips = append(chips, c*complex(float32(v), 0))
+		}
+	}
+
+	// PLCP preamble + header: DBPSK.
+	n := PLCPBits
+	if n > len(bits) {
+		n = len(bits)
+	}
+	for _, b := range bits[:n] {
+		if b != 0 {
+			phase += math.Pi
+		}
+		appendBarker(phase)
+	}
+	payload := bits[n:]
+
+	switch rate {
+	case protocols.WiFi80211b1M:
+		for _, b := range payload {
+			if b != 0 {
+				phase += math.Pi
+			}
+			appendBarker(phase)
+		}
+	case protocols.WiFi80211b2M:
+		for i := 0; i < len(payload); i += 2 {
+			d0 := payload[i]
+			var d1 byte
+			if i+1 < len(payload) {
+				d1 = payload[i+1]
+			}
+			phase += dqpskPhase(d0, d1)
+			appendBarker(phase)
+		}
+	case protocols.WiFi80211b5M5:
+		for i := 0; i < len(payload); i += 4 {
+			var d [4]byte
+			copy(d[:], payload[i:minInt(i+4, len(payload))])
+			phi1 := dqpskPhase(d[0], d[1])
+			phase += phi1
+			phi2 := float64(d[2])*math.Pi + math.Pi/2
+			phi4 := float64(d[3]) * math.Pi
+			chips = append(chips, cckCodeword(phase, phi2, 0, phi4)...)
+		}
+	case protocols.WiFi80211b11M:
+		for i := 0; i < len(payload); i += 8 {
+			var d [8]byte
+			copy(d[:], payload[i:minInt(i+8, len(payload))])
+			phi1 := dqpskPhase(d[0], d[1])
+			phase += phi1
+			phi2 := dqpskPhase(d[2], d[3])
+			phi3 := dqpskPhase(d[4], d[5])
+			phi4 := dqpskPhase(d[6], d[7])
+			chips = append(chips, cckCodeword(phase, phi2, phi3, phi4)...)
+		}
+	default:
+		return nil, fmt.Errorf("wifi: unsupported rate %v", rate)
+	}
+	return chips, nil
+}
+
+// dqpskPhase maps a dibit to its DQPSK phase increment
+// (00→0, 01→pi/2, 11→pi, 10→3pi/2).
+func dqpskPhase(d0, d1 byte) float64 {
+	switch {
+	case d0 == 0 && d1 == 0:
+		return 0
+	case d0 == 0 && d1 != 0:
+		return math.Pi / 2
+	case d0 != 0 && d1 != 0:
+		return math.Pi
+	default:
+		return 3 * math.Pi / 2
+	}
+}
+
+// DQPSKDecide inverts dqpskPhase given a measured phase increment.
+func DQPSKDecide(delta float64) (d0, d1 byte) {
+	d := dsp.WrapPhase(delta)
+	switch {
+	case d > -math.Pi/4 && d <= math.Pi/4:
+		return 0, 0
+	case d > math.Pi/4 && d <= 3*math.Pi/4:
+		return 0, 1
+	case d > -3*math.Pi/4 && d <= -math.Pi/4:
+		return 1, 0
+	default:
+		return 1, 1
+	}
+}
+
+// cckCodeword produces the 8-chip CCK code word for the given phases
+// (phi1 is the cumulative carrier phase).
+func cckCodeword(phi1, phi2, phi3, phi4 float64) []complex64 {
+	e := func(p float64) complex64 { return complex64(cmplx.Rect(1, p)) }
+	return []complex64{
+		e(phi1 + phi2 + phi3 + phi4),
+		e(phi1 + phi3 + phi4),
+		e(phi1 + phi2 + phi4),
+		-e(phi1 + phi4),
+		e(phi1 + phi2 + phi3),
+		e(phi1 + phi3),
+		-e(phi1 + phi2),
+		e(phi1),
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

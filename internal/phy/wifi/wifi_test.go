@@ -1,0 +1,316 @@
+package wifi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+func TestSignalForInverse(t *testing.T) {
+	for _, rate := range []protocols.ID{
+		protocols.WiFi80211b1M, protocols.WiFi80211b2M,
+		protocols.WiFi80211b5M5, protocols.WiFi80211b11M,
+	} {
+		sig, err := SignalFor(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := RateFromSignal(sig)
+		if err != nil || back != rate {
+			t.Errorf("%v -> %#x -> %v (%v)", rate, sig, back, err)
+		}
+	}
+	if _, err := SignalFor(protocols.Bluetooth); err == nil {
+		t.Error("SIGNAL for Bluetooth should fail")
+	}
+	if _, err := RateFromSignal(0x42); err == nil {
+		t.Error("bogus SIGNAL should fail")
+	}
+}
+
+func TestPayloadDurationUS(t *testing.T) {
+	cases := []struct {
+		rate  protocols.ID
+		bytes int
+		want  uint16
+	}{
+		{protocols.WiFi80211b1M, 100, 800},
+		{protocols.WiFi80211b2M, 100, 400},
+		{protocols.WiFi80211b5M5, 55, 80},
+		{protocols.WiFi80211b11M, 11, 8},
+		{protocols.WiFi80211b11M, 100, 73}, // ceil(800/11)
+	}
+	for _, tc := range cases {
+		got, err := PayloadDurationUS(tc.rate, tc.bytes)
+		if err != nil || got != tc.want {
+			t.Errorf("PayloadDurationUS(%v, %d) = %d (%v), want %d", tc.rate, tc.bytes, got, err, tc.want)
+		}
+	}
+}
+
+func TestAirtimeIncludesPLCP(t *testing.T) {
+	a, err := AirtimeUS(protocols.WiFi80211b1M, 125) // 1000 bits
+	if err != nil || a != 192+1000 {
+		t.Errorf("airtime = %d (%v)", a, err)
+	}
+}
+
+func TestHeaderBitsRoundTrip(t *testing.T) {
+	f := func(service byte, length uint16) bool {
+		bits := headerBits(Signal2M, service, length)
+		if len(bits) != HeaderBits {
+			return false
+		}
+		h, err := ParseHeaderBits(bits)
+		if err != nil {
+			return false
+		}
+		return h.Signal == Signal2M && h.Service == service &&
+			h.LengthUS == length && h.CRCValid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderCRCDetectsCorruption(t *testing.T) {
+	bits := headerBits(Signal1M, 0, 1000)
+	for i := 0; i < HeaderBits; i++ {
+		mut := append([]byte(nil), bits...)
+		mut[i] ^= 1
+		h, err := ParseHeaderBits(mut)
+		if err != nil {
+			continue
+		}
+		if h.CRCValid() {
+			t.Errorf("header CRC blind to flip at bit %d", i)
+		}
+	}
+	if _, err := ParseHeaderBits(bits[:10]); err == nil {
+		t.Error("short header must error")
+	}
+}
+
+func TestSymbolTemplate(t *testing.T) {
+	tmpl := SymbolTemplate()
+	if len(tmpl) != SymbolSPS {
+		t.Fatalf("template len %d", len(tmpl))
+	}
+	for _, v := range tmpl {
+		if v != 1 && v != -1 {
+			t.Errorf("template value %v", v)
+		}
+	}
+	// The template is the Barker sequence sampled at the 11:8 ratio.
+	for m := 0; m < SymbolSPS; m++ {
+		want := float64(dsp.Barker11[m*ChipsPerSymbol/SymbolSPS])
+		if tmpl[m] != want {
+			t.Errorf("template[%d] = %v, want %v", m, tmpl[m], want)
+		}
+	}
+}
+
+func TestPhaseSignature(t *testing.T) {
+	sig := PhaseSignature()
+	tmpl := SymbolTemplate()
+	if len(sig) != SymbolSPS-1 {
+		t.Fatalf("signature len %d", len(sig))
+	}
+	for m, s := range sig {
+		flip := tmpl[m]*tmpl[m+1] < 0
+		if flip != (s == math.Pi) {
+			t.Errorf("signature[%d] = %v inconsistent with template", m, s)
+		}
+	}
+}
+
+func TestFrameBuildParseData(t *testing.T) {
+	payload := []byte("ping payload")
+	dst := Addr{1, 2, 3, 4, 5, 6}
+	src := Addr{6, 5, 4, 3, 2, 1}
+	bss := Addr{9, 9, 9, 9, 9, 9}
+	frame := BuildDataFrame(dst, src, bss, 1234&0xFFF, payload)
+	m, err := ParseMPDU(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.FCSValid {
+		t.Error("FCS invalid")
+	}
+	if m.Addr1 != dst || m.Addr2 != src || m.Addr3 != bss {
+		t.Error("addresses mangled")
+	}
+	if m.Seq != 1234&0xFFF {
+		t.Errorf("seq = %d", m.Seq)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Error("payload mangled")
+	}
+	if m.IsAck() || m.IsBeacon() || m.IsBroadcast() {
+		t.Error("type flags wrong")
+	}
+}
+
+func TestFrameBuildParseAck(t *testing.T) {
+	ra := Addr{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}
+	frame := BuildAck(ra)
+	if len(frame) != 14 {
+		t.Errorf("ACK length %d, want 14", len(frame))
+	}
+	m, err := ParseMPDU(frame)
+	if err != nil || !m.FCSValid || !m.IsAck() || m.Addr1 != ra {
+		t.Fatalf("ACK parse: %+v err=%v", m, err)
+	}
+}
+
+func TestFrameBuildParseBeacon(t *testing.T) {
+	bss := Addr{2, 2, 2, 2, 2, 2}
+	frame := BuildBeacon(bss, 77, "TestNet")
+	m, err := ParseMPDU(frame)
+	if err != nil || !m.FCSValid {
+		t.Fatal(err)
+	}
+	if !m.IsBeacon() || !m.IsBroadcast() {
+		t.Error("beacon flags")
+	}
+	if !bytes.Contains(m.Payload, []byte("TestNet")) {
+		t.Error("SSID missing")
+	}
+}
+
+func TestFrameFCSCorruption(t *testing.T) {
+	f := func(payload []byte, pos uint16) bool {
+		frame := BuildDataFrame(Broadcast, Addr{1}, Addr{2}, 0, payload)
+		frame[int(pos)%len(frame)] ^= 0x40
+		m, err := ParseMPDU(frame)
+		if err != nil {
+			return true // too-short after corruption is impossible here
+		}
+		return !m.FCSValid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMPDUTooShort(t *testing.T) {
+	if _, err := ParseMPDU(make([]byte, 8)); err == nil {
+		t.Error("short frame must error")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}
+	if a.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("Addr.String() = %q", a)
+	}
+}
+
+func TestModulatorBurstLength(t *testing.T) {
+	for _, rate := range []protocols.ID{
+		protocols.WiFi80211b1M, protocols.WiFi80211b2M,
+		protocols.WiFi80211b5M5, protocols.WiFi80211b11M,
+	} {
+		mod, err := NewModulator(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psdu := BuildDataFrame(Broadcast, Addr{1}, Addr{2}, 0, make([]byte, 100))
+		burst, err := mod.Modulate(psdu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantUS, _ := AirtimeUS(rate, len(psdu))
+		gotUS := len(burst.Samples) / SymbolSPS
+		if gotUS < wantUS-1 || gotUS > wantUS+1 {
+			t.Errorf("%v: burst %d us, want %d", rate, gotUS, wantUS)
+		}
+		if p := burst.Samples.MeanPower(); math.Abs(p-1) > 1e-3 {
+			t.Errorf("%v: burst power %v", rate, p)
+		}
+		if burst.Proto != rate {
+			t.Errorf("burst proto %v", burst.Proto)
+		}
+	}
+}
+
+func TestModulatorRejectsBadRate(t *testing.T) {
+	if _, err := NewModulator(protocols.Bluetooth); err == nil {
+		t.Error("NewModulator(Bluetooth) should fail")
+	}
+}
+
+func TestModulatedPreambleMatchesSignature(t *testing.T) {
+	// The first symbols of any burst must correlate with the Barker
+	// phase-change signature (that is what the fast detector relies on).
+	mod, _ := NewModulator(protocols.WiFi80211b1M)
+	burst, err := mod.Modulate(BuildAck(Addr{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := PhaseSignature()
+	d := dsp.PhaseDiff(burst.Samples[:SymbolSPS*20], nil)
+	var score float64
+	n := 0
+	for i, v := range d {
+		m := i % SymbolSPS
+		if m == SymbolSPS-1 {
+			continue
+		}
+		score += math.Cos(v - sig[m])
+		n++
+	}
+	if avg := score / float64(n); avg < 0.95 {
+		t.Errorf("clean burst signature correlation = %v", avg)
+	}
+}
+
+func TestDQPSKDecide(t *testing.T) {
+	cases := []struct {
+		delta  float64
+		d0, d1 byte
+	}{
+		{0, 0, 0},
+		{math.Pi / 2, 0, 1},
+		{math.Pi, 1, 1},
+		{-math.Pi / 2, 1, 0},
+		{3 * math.Pi / 2, 1, 0},
+	}
+	for _, tc := range cases {
+		d0, d1 := DQPSKDecide(tc.delta)
+		if d0 != tc.d0 || d1 != tc.d1 {
+			t.Errorf("DQPSKDecide(%v) = %d%d, want %d%d", tc.delta, d0, d1, tc.d0, tc.d1)
+		}
+	}
+}
+
+func TestScramblerConstantUsed(t *testing.T) {
+	// Two modulations of the same PSDU are identical (deterministic TX).
+	mod, _ := NewModulator(protocols.WiFi80211b1M)
+	psdu := BuildAck(Addr{7})
+	b1, _ := mod.Modulate(psdu)
+	b2, _ := mod.Modulate(psdu)
+	if len(b1.Samples) != len(b2.Samples) {
+		t.Fatal("length differs")
+	}
+	for i := range b1.Samples {
+		if b1.Samples[i] != b2.Samples[i] {
+			t.Fatal("modulator is not deterministic")
+		}
+	}
+}
+
+func TestSFDPattern(t *testing.T) {
+	sfd := SFDPattern()
+	if len(sfd) != 16 {
+		t.Fatalf("SFD bits = %d", len(sfd))
+	}
+	if got := phy.BitsToUint16LSB(sfd); got != SFD {
+		t.Errorf("SFD = %#04x", got)
+	}
+}

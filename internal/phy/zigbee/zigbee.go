@@ -1,0 +1,160 @@
+// Package zigbee implements the IEEE 802.15.4 2.4 GHz O-QPSK physical
+// layer: 32-chip DSSS symbol spreading at 2 Mchip/s, half-sine pulse
+// shaping with the half-chip Q offset, and PPDU framing (preamble, SFD,
+// PHR, FCS). It exists to demonstrate RFDump's protocol extensibility
+// (paper Sections 3.1-3.2 use ZigBee as the worked example of adding a
+// new protocol to existing protocol-agnostic detectors).
+package zigbee
+
+import (
+	"fmt"
+	"math"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/phy"
+	"rfdump/internal/protocols"
+)
+
+// PHY constants for the 2.4 GHz O-QPSK PHY.
+const (
+	// ChipRate is 2 Mchip/s.
+	ChipRate = protocols.ZigBeeChipRate
+	// SamplesPerChip at the 8 Msps monitor rate.
+	SamplesPerChip = phy.SampleRate / ChipRate
+	// ChipsPerSymbol is the DSSS spreading factor.
+	ChipsPerSymbol = 32
+	// SFD is the start-of-frame delimiter byte.
+	SFD byte = 0xA7
+	// PreambleBytes of zeros precede the SFD.
+	PreambleBytes = 4
+)
+
+// chipTable is the 802.15.4 symbol-to-chip mapping (symbol 0 sequence;
+// symbols 1-7 are cyclic shifts by 4 chips; symbols 8-15 are the
+// conjugated/odd-chip-inverted versions), given LSB-chip-first.
+var chipTable = buildChipTable()
+
+func buildChipTable() [16][ChipsPerSymbol]byte {
+	base := [ChipsPerSymbol]byte{
+		1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+		0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+	}
+	var tbl [16][ChipsPerSymbol]byte
+	for s := 0; s < 8; s++ {
+		for c := 0; c < ChipsPerSymbol; c++ {
+			tbl[s][c] = base[(c+ChipsPerSymbol-4*s)%ChipsPerSymbol]
+		}
+	}
+	for s := 8; s < 16; s++ {
+		for c := 0; c < ChipsPerSymbol; c++ {
+			v := tbl[s-8][c]
+			if c%2 == 1 { // invert odd (Q) chips
+				v ^= 1
+			}
+			tbl[s][c] = v
+		}
+	}
+	return tbl
+}
+
+// ChipSequence returns the 32-chip sequence of a 4-bit symbol.
+func ChipSequence(sym byte) [ChipsPerSymbol]byte { return chipTable[sym&0xF] }
+
+// FCS computes the 802.15.4 frame check sequence (CRC-16/CCITT, init 0).
+func FCS(data []byte) uint16 {
+	// 802.15.4 uses the reflected ITU CRC; CCITT with init 0 over
+	// bit-reversed bytes is equivalent. We use the direct form on both
+	// sides, which is self-consistent.
+	return phy.CRC16CCITT(data, 0)
+}
+
+// BuildPPDU assembles preamble + SFD + PHR + (PSDU + FCS) as a byte
+// string ready for chip spreading. PSDU length (incl. FCS) must fit the
+// 7-bit PHR.
+func BuildPPDU(psdu []byte) ([]byte, error) {
+	n := len(psdu) + 2
+	if n > 127 {
+		return nil, fmt.Errorf("zigbee: PSDU %d bytes exceeds 125", len(psdu))
+	}
+	out := make([]byte, 0, PreambleBytes+2+n)
+	out = append(out, make([]byte, PreambleBytes)...)
+	out = append(out, SFD, byte(n))
+	out = append(out, psdu...)
+	crc := FCS(psdu)
+	out = append(out, byte(crc), byte(crc>>8))
+	return out, nil
+}
+
+// Modulator synthesizes O-QPSK bursts. Not safe for concurrent use.
+type Modulator struct {
+	halfSine []float64 // one chip of half-sine pulse, 2*SamplesPerChip long
+}
+
+// NewModulator returns an O-QPSK modulator.
+func NewModulator() *Modulator {
+	hs := make([]float64, 2*SamplesPerChip)
+	for i := range hs {
+		hs[i] = math.Sin(math.Pi * float64(i) / float64(len(hs)))
+	}
+	return &Modulator{halfSine: hs}
+}
+
+// Modulate spreads and modulates a PPDU byte string into a unit-power
+// burst at offsetHz within the monitored band.
+func (m *Modulator) Modulate(ppdu []byte, offsetHz float64) *phy.Burst {
+	// Bytes to 4-bit symbols, low nibble first.
+	var chips []byte
+	for _, b := range ppdu {
+		lo := ChipSequence(b & 0xF)
+		hi := ChipSequence(b >> 4)
+		chips = append(chips, lo[:]...)
+		chips = append(chips, hi[:]...)
+	}
+	// O-QPSK: even chips on I, odd chips on Q delayed by half a chip.
+	// Each chip is a half-sine spanning 2 chip periods on its rail.
+	chipSpan := 2 * SamplesPerChip
+	total := len(chips)*SamplesPerChip + chipSpan
+	iRail := make([]float64, total)
+	qRail := make([]float64, total)
+	for ci, c := range chips {
+		v := -1.0
+		if c != 0 {
+			v = 1.0
+		}
+		// Chip ci occupies rail samples starting at its rail position.
+		// Even chips: I rail at ci*SamplesPerChip. Odd chips: Q rail,
+		// naturally offset by one chip period (= half the 2-chip pulse).
+		start := ci * SamplesPerChip
+		rail := iRail
+		if ci%2 == 1 {
+			rail = qRail
+		}
+		for k := 0; k < chipSpan && start+k < total; k++ {
+			rail[start+k] += v * m.halfSine[k]
+		}
+	}
+	samples := make(iq.Samples, total)
+	for i := range samples {
+		samples[i] = complex(float32(iRail[i]), float32(qRail[i]))
+	}
+	if offsetHz != 0 {
+		samples.FrequencyShift(offsetHz, phy.SampleRate, 0)
+	}
+	b := &phy.Burst{
+		Proto:    protocols.ZigBee,
+		Samples:  samples,
+		OffsetHz: offsetHz,
+		Channel:  -1,
+		Frame:    append([]byte(nil), ppdu...),
+		Kind:     "zigbee",
+	}
+	b.NormalizePower()
+	return b
+}
+
+// FrameAirtime returns the airtime in samples of a PPDU carrying a PSDU
+// of n bytes (excluding FCS).
+func FrameAirtime(n int) iq.Tick {
+	bytes := PreambleBytes + 2 + n + 2
+	return iq.Tick(bytes * 2 * ChipsPerSymbol * SamplesPerChip)
+}

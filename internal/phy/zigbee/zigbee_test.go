@@ -1,0 +1,161 @@
+package zigbee
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfdump/internal/dsp"
+)
+
+func TestChipTableProperties(t *testing.T) {
+	// All 16 sequences are distinct and pairwise distant (near-orthogonal
+	// DSSS codes: 802.15.4 sequences differ in >= 12 chip positions).
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			sa, sb := ChipSequence(byte(a)), ChipSequence(byte(b))
+			dist := 0
+			for c := 0; c < ChipsPerSymbol; c++ {
+				if sa[c] != sb[c] {
+					dist++
+				}
+			}
+			if dist < 10 {
+				t.Errorf("symbols %d and %d only %d chips apart", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestChipTableShiftStructure(t *testing.T) {
+	// Symbols 1-7 are 4-chip cyclic shifts of symbol 0.
+	s0 := ChipSequence(0)
+	s1 := ChipSequence(1)
+	for c := 0; c < ChipsPerSymbol; c++ {
+		if s1[(c+4)%ChipsPerSymbol] != s0[c] {
+			t.Fatalf("symbol 1 is not symbol 0 shifted by 4 (chip %d)", c)
+		}
+	}
+	// Symbols 8-15 invert the odd (Q) chips of symbols 0-7.
+	s8 := ChipSequence(8)
+	for c := 0; c < ChipsPerSymbol; c++ {
+		want := s0[c]
+		if c%2 == 1 {
+			want ^= 1
+		}
+		if s8[c] != want {
+			t.Fatalf("symbol 8 chip %d", c)
+		}
+	}
+}
+
+func TestFCS(t *testing.T) {
+	if FCS([]byte{1, 2, 3}) == FCS([]byte{1, 2, 4}) {
+		t.Error("FCS collision on single-byte change")
+	}
+}
+
+func TestBuildPPDU(t *testing.T) {
+	psdu := []byte("sensor report 42")
+	ppdu, err := BuildPPDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ppdu) != PreambleBytes+2+len(psdu)+2 {
+		t.Errorf("ppdu length %d", len(ppdu))
+	}
+	for i := 0; i < PreambleBytes; i++ {
+		if ppdu[i] != 0 {
+			t.Error("preamble not zeros")
+		}
+	}
+	if ppdu[PreambleBytes] != SFD {
+		t.Error("SFD missing")
+	}
+	if int(ppdu[PreambleBytes+1]) != len(psdu)+2 {
+		t.Error("PHR length wrong")
+	}
+	if !bytes.Equal(ppdu[PreambleBytes+2:PreambleBytes+2+len(psdu)], psdu) {
+		t.Error("psdu mangled")
+	}
+	if _, err := BuildPPDU(make([]byte, 130)); err == nil {
+		t.Error("oversized PSDU accepted")
+	}
+}
+
+func TestModulateProperties(t *testing.T) {
+	mod := NewModulator()
+	ppdu, _ := BuildPPDU([]byte{1, 2, 3, 4})
+	burst := mod.Modulate(ppdu, 0)
+	if math.Abs(burst.Samples.MeanPower()-1) > 1e-3 {
+		t.Errorf("power %v", burst.Samples.MeanPower())
+	}
+	// Length ~ chips * samples/chip (plus half-sine tail).
+	wantMin := len(ppdu) * 2 * ChipsPerSymbol * SamplesPerChip
+	if len(burst.Samples) < wantMin {
+		t.Errorf("burst %d samples < %d", len(burst.Samples), wantMin)
+	}
+	// O-QPSK with half-sine shaping is near constant envelope in the
+	// steady state (offset rails sum to ~constant power).
+	mid := burst.Samples[200 : len(burst.Samples)-200]
+	var minP, maxP float64 = math.Inf(1), 0
+	for _, s := range mid {
+		p := float64(real(s))*float64(real(s)) + float64(imag(s))*float64(imag(s))
+		minP = math.Min(minP, p)
+		maxP = math.Max(maxP, p)
+	}
+	if maxP/minP > 3 {
+		t.Errorf("envelope ratio %v", maxP/minP)
+	}
+}
+
+func TestModulateDeterministic(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > 100 {
+			payload = payload[:100]
+		}
+		ppdu, err := BuildPPDU(payload)
+		if err != nil {
+			return false
+		}
+		m := NewModulator()
+		a := m.Modulate(ppdu, 500_000)
+		b := m.Modulate(ppdu, 500_000)
+		if len(a.Samples) != len(b.Samples) {
+			return false
+		}
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	// 2 bytes/symbol-pair, 32 chips/symbol, 4 samples/chip.
+	got := FrameAirtime(10)
+	want := (PreambleBytes + 2 + 10 + 2) * 2 * ChipsPerSymbol * SamplesPerChip
+	if int(got) != want {
+		t.Errorf("airtime %d, want %d", got, want)
+	}
+}
+
+func TestOQPSKContinuousPhaseish(t *testing.T) {
+	// The MSK-like structure keeps the second phase derivative moderate;
+	// this is what lets the GFSK smoothness test accept ZigBee (a known
+	// cross-detection the demodulator resolves).
+	mod := NewModulator()
+	ppdu, _ := BuildPPDU(bytes.Repeat([]byte{0x5A}, 20))
+	burst := mod.Modulate(ppdu, 0)
+	d := dsp.PhaseDiff(burst.Samples[100:len(burst.Samples)-100], nil)
+	dd := dsp.SecondDiff(d, nil)
+	if m := dsp.MeanAbs(dd); m > 0.5 {
+		t.Errorf("mean |dd| = %v, expected smooth-ish", m)
+	}
+}

@@ -1,0 +1,266 @@
+// Package protocols encodes Table 2 of the RFDump paper — the timing,
+// modulation and channel features of the wireless protocols sharing the
+// 2.4 GHz ISM band — as shared constants and a queryable feature table.
+// Every layer of the system (modulators, MAC schedulers, detectors,
+// experiments) takes these numbers from here so they cannot drift apart.
+package protocols
+
+import (
+	"fmt"
+	"time"
+)
+
+// ID identifies a wireless technology known to the system.
+type ID int
+
+// Known protocol identifiers.
+const (
+	Unknown ID = iota
+	WiFi80211b1M
+	WiFi80211b2M
+	WiFi80211b5M5
+	WiFi80211b11M
+	WiFi80211g
+	Bluetooth
+	ZigBee
+	Microwave
+)
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	switch id {
+	case WiFi80211b1M:
+		return "802.11b/1Mbps"
+	case WiFi80211b2M:
+		return "802.11b/2Mbps"
+	case WiFi80211b5M5:
+		return "802.11b/5.5Mbps"
+	case WiFi80211b11M:
+		return "802.11b/11Mbps"
+	case WiFi80211g:
+		return "802.11g"
+	case Bluetooth:
+		return "Bluetooth"
+	case ZigBee:
+		return "ZigBee"
+	case Microwave:
+		return "Microwave"
+	default:
+		return "unknown"
+	}
+}
+
+// Family collapses the per-rate 802.11b IDs into one protocol family for
+// detection accounting (a detector classifies "802.11b", not a rate).
+// 802.11g OFDM is its own family: its physical layer shares nothing with
+// DSSS and it is detected by a different module (the OFDM extension).
+func (id ID) Family() ID {
+	switch id {
+	case WiFi80211b1M, WiFi80211b2M, WiFi80211b5M5, WiFi80211b11M:
+		return WiFi80211b1M
+	default:
+		return id
+	}
+}
+
+// FamilyName returns a short family label used in report tables.
+func (id ID) FamilyName() string {
+	switch id.Family() {
+	case WiFi80211b1M:
+		return "802.11b"
+	case WiFi80211g:
+		return "802.11g"
+	case Bluetooth:
+		return "Bluetooth"
+	case ZigBee:
+		return "ZigBee"
+	case Microwave:
+		return "Microwave"
+	default:
+		return "unknown"
+	}
+}
+
+// Modulation names the physical-layer modulation scheme.
+type Modulation int
+
+// Modulation schemes from Table 2.
+const (
+	ModUnknown Modulation = iota
+	ModDBPSK
+	ModDQPSK
+	ModCCK
+	ModOFDM
+	ModGFSK
+	ModOQPSK
+	ModConstantEnvelope // microwave magnetron: unmodulated constant power
+)
+
+func (m Modulation) String() string {
+	switch m {
+	case ModDBPSK:
+		return "DBPSK"
+	case ModDQPSK:
+		return "DQPSK"
+	case ModCCK:
+		return "CCK"
+	case ModOFDM:
+		return "OFDM"
+	case ModGFSK:
+		return "GFSK"
+	case ModOQPSK:
+		return "O-QPSK"
+	case ModConstantEnvelope:
+		return "CW"
+	default:
+		return "unknown"
+	}
+}
+
+// 802.11b/g MAC timing (Table 2 and Section 3.2/4.4).
+const (
+	// WiFiSlotTime is the 802.11b slot time (ST).
+	WiFiSlotTime = 20 * time.Microsecond
+	// WiFiSlotTimeG is the 802.11g short slot time.
+	WiFiSlotTimeG = 9 * time.Microsecond
+	// WiFiSIFS is the Short Interframe Space separating a data frame from
+	// its MAC-level acknowledgment.
+	WiFiSIFS = 10 * time.Microsecond
+	// WiFiDIFS = SIFS + 2*SlotTime (Section 4.4).
+	WiFiDIFS = WiFiSIFS + 2*WiFiSlotTime
+	// WiFiCWMax bounds the contention window the DIFS timing detector
+	// searches: gaps of DIFS + k*ST for k in [0, WiFiCWMax]. The paper
+	// uses 64 "to bound our latency".
+	WiFiCWMax = 64
+	// WiFiChannelWidthHz is the 22 MHz DSSS channel width.
+	WiFiChannelWidthHz = 22_000_000
+	// WiFiChipRate is the Barker/CCK chip rate.
+	WiFiChipRate = 11_000_000
+)
+
+// Bluetooth timing and channel plan (Table 2 and Sections 3.2/4.4).
+const (
+	// BTSlot is the Bluetooth TDD slot: 625 us, 1600 hops/s.
+	BTSlot = 625 * time.Microsecond
+	// BTChannels is the number of 1 MHz hop channels.
+	BTChannels = 79
+	// BTChannelWidthHz is the per-channel width.
+	BTChannelWidthHz = 1_000_000
+	// BTSymbolRate is the GFSK symbol rate (1 Msym/s).
+	BTSymbolRate = 1_000_000
+	// BTModIndex is the nominal GFSK modulation index h.
+	BTModIndex = 0.32
+	// BTGaussianBT is the Gaussian filter bandwidth-time product.
+	BTGaussianBT = 0.5
+)
+
+// ZigBee / 802.15.4 (2.4 GHz O-QPSK PHY) timing (Table 2).
+const (
+	// ZigBeeBackoffPeriod is the unit backoff (slot) period: 20 symbols.
+	ZigBeeBackoffPeriod = 320 * time.Microsecond
+	// ZigBeeSIFS: turnaround for short frames (12 symbols).
+	ZigBeeSIFS = 192 * time.Microsecond
+	// ZigBeeLIFS: long interframe space (40 symbols... per Table 2, 600us).
+	ZigBeeLIFS = 600 * time.Microsecond
+	// ZigBeeChannelWidthHz is the occupied bandwidth (~2 MHz; Table 2
+	// rounds channel spacing to 5 MHz).
+	ZigBeeChannelWidthHz = 2_000_000
+	// ZigBeeChipRate is the O-QPSK chip rate.
+	ZigBeeChipRate = 2_000_000
+	// ZigBeeSymbolRate: 62.5 ksym/s, 4 bits/symbol, 32 chips/symbol.
+	ZigBeeSymbolRate = 62_500
+)
+
+// Microwave oven emission timing (Table 2: "AC cycle 16667/20000 us",
+// i.e. the magnetron is gated at the 60 Hz (US) or 50 Hz line frequency;
+// channel width 10-75 MHz as it sweeps).
+const (
+	// MicrowaveACPeriodUS is the US 60 Hz AC period.
+	MicrowaveACPeriodUS = 16667 * time.Microsecond
+	// MicrowaveACPeriodEU is the EU 50 Hz AC period.
+	MicrowaveACPeriodEU = 20 * time.Millisecond
+	// MicrowaveDuty is the fraction of each AC cycle during which the
+	// magnetron radiates (half-wave rectified supply → about half).
+	MicrowaveDuty = 0.5
+)
+
+// Feature is one row of Table 2.
+type Feature struct {
+	Proto          ID
+	SlotTime       time.Duration // MAC slot, 0 if n/a
+	IFS            time.Duration // characteristic interframe space
+	Mod            Modulation
+	Spreading      string // Barker, CCK, FHSS, DSSS, ...
+	ChannelWidthHz int
+	Note           string
+}
+
+// Table2 returns the feature table exactly as the paper's Table 2 lays it
+// out, one entry per row.
+func Table2() []Feature {
+	return []Feature{
+		{WiFi80211b1M, WiFiSlotTime, WiFiSIFS, ModDBPSK, "Barker", WiFiChannelWidthHz, "preamble DBPSK"},
+		{WiFi80211b2M, WiFiSlotTime, WiFiSIFS, ModDQPSK, "Barker", WiFiChannelWidthHz, "preamble DBPSK"},
+		{WiFi80211b5M5, WiFiSlotTime, WiFiSIFS, ModDQPSK, "CCK", WiFiChannelWidthHz, "preamble DBPSK"},
+		{WiFi80211b11M, WiFiSlotTime, WiFiSIFS, ModDQPSK, "CCK", WiFiChannelWidthHz, "preamble DBPSK"},
+		{WiFi80211g, WiFiSlotTimeG, WiFiSIFS, ModOFDM, "", 20_000_000, "CTS-to-self at 802.11b rates"},
+		{Bluetooth, BTSlot, 0, ModGFSK, "FHSS", BTChannelWidthHz, "1600 hops/s TDD"},
+		{ZigBee, ZigBeeBackoffPeriod, ZigBeeSIFS, ModOQPSK, "DSSS", ZigBeeChannelWidthHz, "LIFS 600us"},
+		{Microwave, 0, MicrowaveACPeriodUS, ModConstantEnvelope, "", 40_000_000, "AC-gated magnetron sweep"},
+	}
+}
+
+// Lookup returns the Table 2 row for the given protocol (family rates map
+// to their own rows; unknown protocols return ok=false).
+func Lookup(id ID) (Feature, bool) {
+	for _, f := range Table2() {
+		if f.Proto == id {
+			return f, true
+		}
+	}
+	return Feature{}, false
+}
+
+// RateBPS returns the nominal air bit rate of a protocol variant in
+// bits/second (payload modulation rate, not counting preamble).
+func RateBPS(id ID) int {
+	switch id {
+	case WiFi80211b1M:
+		return 1_000_000
+	case WiFi80211b2M:
+		return 2_000_000
+	case WiFi80211b5M5:
+		return 5_500_000
+	case WiFi80211b11M:
+		return 11_000_000
+	case WiFi80211g:
+		return 54_000_000
+	case Bluetooth:
+		return 1_000_000
+	case ZigBee:
+		return 250_000
+	default:
+		return 0
+	}
+}
+
+// FormatTable2 renders Table 2 as fixed-width text for cmd/rfbench.
+func FormatTable2() string {
+	rows := Table2()
+	out := fmt.Sprintf("%-16s %-10s %-10s %-8s %-8s %-10s %s\n",
+		"Protocol", "Slot", "IFS", "Mod", "Spread", "Width", "Note")
+	for _, f := range rows {
+		slot := "-"
+		if f.SlotTime > 0 {
+			slot = f.SlotTime.String()
+		}
+		ifs := "-"
+		if f.IFS > 0 {
+			ifs = f.IFS.String()
+		}
+		out += fmt.Sprintf("%-16s %-10s %-10s %-8s %-8s %-10s %s\n",
+			f.Proto, slot, ifs, f.Mod, f.Spreading,
+			fmt.Sprintf("%.0fMHz", float64(f.ChannelWidthHz)/1e6), f.Note)
+	}
+	return out
+}

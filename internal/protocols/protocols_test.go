@@ -1,0 +1,128 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStringNames(t *testing.T) {
+	cases := map[ID]string{
+		WiFi80211b1M:  "802.11b/1Mbps",
+		WiFi80211b11M: "802.11b/11Mbps",
+		Bluetooth:     "Bluetooth",
+		ZigBee:        "ZigBee",
+		Microwave:     "Microwave",
+		Unknown:       "unknown",
+		ID(999):       "unknown",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestFamily(t *testing.T) {
+	for _, id := range []ID{WiFi80211b1M, WiFi80211b2M, WiFi80211b5M5, WiFi80211b11M} {
+		if id.Family() != WiFi80211b1M {
+			t.Errorf("%v.Family() = %v", id, id.Family())
+		}
+		if id.FamilyName() != "802.11b" {
+			t.Errorf("%v.FamilyName() = %q", id, id.FamilyName())
+		}
+	}
+	// 802.11g OFDM is its own family (detected by the OFDM extension).
+	if WiFi80211g.Family() != WiFi80211g || WiFi80211g.FamilyName() != "802.11g" {
+		t.Error("802.11g family")
+	}
+	if Bluetooth.Family() != Bluetooth {
+		t.Error("BT family")
+	}
+	if Unknown.FamilyName() != "unknown" {
+		t.Error("unknown family name")
+	}
+}
+
+func TestDerivedTimingConstants(t *testing.T) {
+	// DIFS = SIFS + 2*SlotTime (paper Section 4.4).
+	if WiFiDIFS != WiFiSIFS+2*WiFiSlotTime {
+		t.Errorf("DIFS = %v", WiFiDIFS)
+	}
+	if WiFiDIFS != 50*time.Microsecond {
+		t.Errorf("DIFS = %v, want 50us", WiFiDIFS)
+	}
+	// Bluetooth: 1600 hops/s.
+	if time.Second/BTSlot != 1600 {
+		t.Errorf("hops/s = %v", time.Second/BTSlot)
+	}
+	// Microwave 60 Hz.
+	if MicrowaveACPeriodUS < 16*time.Millisecond || MicrowaveACPeriodUS > 17*time.Millisecond {
+		t.Errorf("AC period = %v", MicrowaveACPeriodUS)
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("Table 2 has %d rows, want 8", len(rows))
+	}
+	seen := map[ID]bool{}
+	for _, f := range rows {
+		if seen[f.Proto] {
+			t.Errorf("duplicate row %v", f.Proto)
+		}
+		seen[f.Proto] = true
+		if f.ChannelWidthHz <= 0 {
+			t.Errorf("%v has no channel width", f.Proto)
+		}
+	}
+	// The protocols the paper's prototype detects must be present.
+	for _, id := range []ID{WiFi80211b1M, Bluetooth, Microwave, ZigBee} {
+		if !seen[id] {
+			t.Errorf("missing %v", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f, ok := Lookup(Bluetooth)
+	if !ok || f.Mod != ModGFSK || f.Spreading != "FHSS" {
+		t.Errorf("Bluetooth row = %+v ok=%v", f, ok)
+	}
+	if _, ok := Lookup(Unknown); ok {
+		t.Error("Lookup(Unknown) should fail")
+	}
+}
+
+func TestRateBPS(t *testing.T) {
+	cases := map[ID]int{
+		WiFi80211b1M:  1_000_000,
+		WiFi80211b2M:  2_000_000,
+		WiFi80211b5M5: 5_500_000,
+		WiFi80211b11M: 11_000_000,
+		Bluetooth:     1_000_000,
+		ZigBee:        250_000,
+		Microwave:     0,
+	}
+	for id, want := range cases {
+		if got := RateBPS(id); got != want {
+			t.Errorf("RateBPS(%v) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestModulationString(t *testing.T) {
+	if ModDBPSK.String() != "DBPSK" || ModGFSK.String() != "GFSK" || Modulation(99).String() != "unknown" {
+		t.Error("modulation names")
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	out := FormatTable2()
+	for _, want := range []string{"802.11b/1Mbps", "Bluetooth", "GFSK", "Barker", "625", "FHSS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable2 missing %q", want)
+		}
+	}
+}

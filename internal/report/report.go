@@ -1,0 +1,224 @@
+// Package report holds the result containers and text renderers the
+// experiment drivers and cmd/rfbench share: fixed-width tables mirroring
+// the paper's tables, and (x, y) series mirroring its figures, with an
+// ASCII plot renderer so figure shapes are visible in a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a titled set of curves.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots the Y axis logarithmically (the paper's miss-rate
+	// figures use a log scale from 0.001 to 1).
+	LogY   bool
+	Series []Series
+	Notes  []string
+}
+
+// Add appends a point to the named series, creating it if necessary.
+func (f *Figure) Add(name string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: name, X: []float64{x}, Y: []float64{y}})
+}
+
+// String renders the figure as a data table plus an ASCII plot.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", f.Title)
+	// Data listing.
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%s:\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %-10s %s\n", trimFloat(s.X[i]), trimFloat(s.Y[i]))
+		}
+	}
+	b.WriteString(f.Plot(64, 16))
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Plot renders an ASCII chart of all series.
+func (f *Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	yval := func(y float64) float64 {
+		if f.LogY {
+			if y < 1e-4 {
+				y = 1e-4
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := s.X[i], yval(s.Y[i])
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((yval(s.Y[i]) - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: %s%s)\n", f.Title, f.YLabel, map[bool]string{true: ", log", false: ""}[f.LogY])
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "  x: %s [%s .. %s]\n", f.XLabel, trimFloat(xmin), trimFloat(xmax))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// CSV renders the figure's series as csv (x, series1, series2...) for
+// external plotting; series are aligned on their own x values, one block
+// per series.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "# %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}

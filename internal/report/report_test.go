@@ -1,0 +1,123 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 42)
+	tb.Notes = append(tb.Notes, "a note")
+	out := tb.String()
+	for _, want := range []string{"=== T ===", "alpha", "1.500", "42", "note: a note", "name", "value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFloatFormats(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(0.00012)
+	tb.AddRow(1234.5678)
+	tb.AddRow(3.0)
+	out := tb.String()
+	if !strings.Contains(out, "0.00012") {
+		t.Errorf("small float lost precision:\n%s", out)
+	}
+	if !strings.Contains(out, "1234.6") {
+		t.Errorf("large float:\n%s", out)
+	}
+	if !strings.Contains(out, "3\n") && !strings.Contains(out, "3 ") {
+		t.Errorf("integral float:\n%s", out)
+	}
+}
+
+func TestFigureAddAndSeries(t *testing.T) {
+	f := &Figure{Title: "F", XLabel: "x", YLabel: "y"}
+	f.Add("a", 1, 10)
+	f.Add("a", 2, 20)
+	f.Add("b", 1, 5)
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	if len(f.Series[0].X) != 2 || f.Series[0].Name != "a" {
+		t.Error("series a")
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	f := &Figure{Title: "Miss rate", XLabel: "SNR", YLabel: "miss", LogY: true}
+	for snr := 0; snr <= 30; snr += 3 {
+		miss := 0.001
+		if snr < 9 {
+			miss = 0.5
+		}
+		f.Add("detector", float64(snr), miss)
+	}
+	out := f.String()
+	for _, want := range []string{"=== Miss rate ===", "detector", "SNR", "log"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+}
+
+func TestFigurePlotEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	if !strings.Contains(f.Plot(40, 10), "no data") {
+		t.Error("empty plot")
+	}
+}
+
+func TestFigurePlotDimensionClamping(t *testing.T) {
+	f := &Figure{Title: "x"}
+	f.Add("s", 1, 1)
+	out := f.Plot(1, 1) // must clamp, not panic
+	if out == "" {
+		t.Error("empty plot output")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{}
+	f.Add("s1", 1, 2)
+	f.Add("s1", 3, 4)
+	csv := f.CSV()
+	if !strings.Contains(csv, "# s1") || !strings.Contains(csv, "1,2") || !strings.Contains(csv, "3,4") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestFigureSinglePoint(t *testing.T) {
+	f := &Figure{Title: "p"}
+	f.Add("s", 5, 5)
+	if out := f.Plot(20, 8); out == "" {
+		t.Error("single point plot")
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	// A tone at +2 MHz must light up right-of-center bins.
+	stream := make([]complex64, 80_000)
+	for i := range stream {
+		ph := 2 * 3.14159265 * 2e6 * float64(i) / 8e6
+		stream[i] = complex(float32(10*cosf(ph)), float32(10*sinf(ph)))
+	}
+	out := Waterfall(stream, 8_000_000, 8, 32)
+	if !strings.Contains(out, "MHz") || !strings.Contains(out, "@") {
+		t.Errorf("waterfall output:\n%s", out)
+	}
+	if Waterfall(stream[:2], 8_000_000, 8, 32) == "" {
+		t.Error("short trace must still return a message")
+	}
+}
+
+func cosf(x float64) float64 { return math.Cos(x) }
+func sinf(x float64) float64 { return math.Sin(x) }

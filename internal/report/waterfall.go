@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+)
+
+// waterfallRamp maps normalized power to glyphs, dark to bright.
+const waterfallRamp = " .:-=+*#%@"
+
+// Waterfall renders a text spectrogram of an IQ stream: rows are time
+// slices (top = start), columns are frequency bins across the monitored
+// band (left = lowest). It is the monitoring tool's quick look at "what
+// is in the ether" before any protocol classification — the role a
+// spectrum analyzer plays in the paper's related-work comparison, built
+// into the free tool.
+func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
+	if rows < 4 {
+		rows = 4
+	}
+	if cols < 8 {
+		cols = 8
+	}
+	if len(stream) < rows {
+		return "(trace too short for a waterfall)\n"
+	}
+	fftSize := dsp.NextPow2(cols * 4)
+	slice := len(stream) / rows
+
+	// Compute per-cell powers in dB.
+	grid := make([][]float64, rows)
+	minDB, maxDB := 1e18, -1e18
+	for r := 0; r < rows; r++ {
+		seg := stream[r*slice : (r+1)*slice]
+		if len(seg) > fftSize {
+			// Average a few FFTs across the slice for stability.
+			sums := make([]float64, cols)
+			n := 0
+			for off := 0; off+fftSize <= len(seg) && n < 8; off += (len(seg) - fftSize) / 7 {
+				bins := dsp.BinPowers(seg[off:off+fftSize], fftSize, cols)
+				for i, p := range bins {
+					sums[i] += p
+				}
+				n++
+				if len(seg) == fftSize {
+					break
+				}
+			}
+			for i := range sums {
+				sums[i] /= float64(n)
+			}
+			grid[r] = sums
+		} else {
+			grid[r] = dsp.BinPowers(seg, fftSize, cols)
+		}
+		for i, p := range grid[r] {
+			db := iq.DB(p + 1e-12)
+			grid[r][i] = db
+			if db < minDB {
+				minDB = db
+			}
+			if db > maxDB {
+				maxDB = db
+			}
+		}
+	}
+	if maxDB-minDB < 1 {
+		maxDB = minDB + 1
+	}
+
+	var b strings.Builder
+	span := float64(rate) / 1e6
+	fmt.Fprintf(&b, "waterfall: %d rows x %d bins, band %.1f MHz, %.0f dB range\n",
+		rows, cols, span, maxDB-minDB)
+	for r := 0; r < rows; r++ {
+		b.WriteString("| ")
+		for c := 0; c < cols; c++ {
+			f := (grid[r][c] - minDB) / (maxDB - minDB)
+			idx := int(f * float64(len(waterfallRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(waterfallRamp) {
+				idx = len(waterfallRamp) - 1
+			}
+			b.WriteByte(waterfallRamp[idx])
+		}
+		tMS := float64(r*slice) / float64(rate) * 1000
+		fmt.Fprintf(&b, " | %7.1f ms\n", tMS)
+	}
+	b.WriteString("  ")
+	b.WriteString(strings.Repeat("-", cols))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  -%.1f MHz%s+%.1f MHz\n", span/2,
+		strings.Repeat(" ", maxInt(1, cols-14)), span/2)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

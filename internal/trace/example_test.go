@@ -1,0 +1,27 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/trace"
+)
+
+// Example shows the trace codec round trip the tools use to exchange
+// recorded ether.
+func Example() {
+	samples := iq.Samples{complex(1, 0), complex(0, -1), complex(0.5, 0.5)}
+
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, 8_000_000, samples); err != nil {
+		panic(err)
+	}
+	hdr, got, err := trace.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rate %d Hz, %d samples, first %v\n", hdr.Rate, hdr.Count, got[0])
+	// Output:
+	// rate 8000000 Hz, 3 samples, first (1+0i)
+}

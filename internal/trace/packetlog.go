@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rfdump/internal/demod"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// PacketRecord is the JSON shape of one decoded packet in a packet log —
+// rfdump's equivalent of a pcap entry: enough to replay analysis offline
+// (protocol, timing, channel, validity, raw frame bytes).
+type PacketRecord struct {
+	// TimeS is the packet start in seconds from trace start.
+	TimeS float64 `json:"t"`
+	// Proto is the decoded protocol/rate name.
+	Proto string `json:"proto"`
+	// Start/End are the sample positions.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Channel is the protocol channel, or -1.
+	Channel int `json:"channel"`
+	// Valid reports checksum status.
+	Valid bool `json:"valid"`
+	// Note carries demodulator diagnostics.
+	Note string `json:"note,omitempty"`
+	// Frame is the hex-encoded link-layer frame (empty if undecoded).
+	Frame string `json:"frame,omitempty"`
+}
+
+// PacketLogWriter streams decoded packets as JSON lines.
+type PacketLogWriter struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	clock iq.Clock
+	n     int
+}
+
+// NewPacketLogWriter wraps w; clock converts spans to seconds.
+func NewPacketLogWriter(w io.Writer, clock iq.Clock) *PacketLogWriter {
+	bw := bufio.NewWriter(w)
+	return &PacketLogWriter{w: bw, enc: json.NewEncoder(bw), clock: clock}
+}
+
+// Write appends one packet.
+func (l *PacketLogWriter) Write(p demod.Packet) error {
+	rec := PacketRecord{
+		TimeS:   float64(p.Span.Start) / float64(l.clock.Rate),
+		Proto:   p.Proto.String(),
+		Start:   int64(p.Span.Start),
+		End:     int64(p.Span.End),
+		Channel: p.Channel,
+		Valid:   p.Valid,
+		Note:    p.Note,
+		Frame:   hex.EncodeToString(p.Frame),
+	}
+	l.n++
+	return l.enc.Encode(rec)
+}
+
+// Count returns how many packets have been written.
+func (l *PacketLogWriter) Count() int { return l.n }
+
+// Flush drains the buffer.
+func (l *PacketLogWriter) Flush() error { return l.w.Flush() }
+
+// ReadPacketLog parses a packet log back into records.
+func ReadPacketLog(r io.Reader) ([]PacketRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []PacketRecord
+	for {
+		var rec PacketRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("trace: packet log entry %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// DecodePacket converts a record back to a demod.Packet (the inverse of
+// PacketLogWriter.Write, modulo the protocol name round trip).
+func (rec PacketRecord) DecodePacket() (demod.Packet, error) {
+	frame, err := hex.DecodeString(rec.Frame)
+	if err != nil {
+		return demod.Packet{}, fmt.Errorf("trace: bad frame hex: %w", err)
+	}
+	if len(frame) == 0 {
+		frame = nil
+	}
+	return demod.Packet{
+		Proto:   protoIDFromString(rec.Proto),
+		Span:    iq.Interval{Start: iq.Tick(rec.Start), End: iq.Tick(rec.End)},
+		Channel: rec.Channel,
+		Valid:   rec.Valid,
+		Note:    rec.Note,
+		Frame:   frame,
+	}, nil
+}
+
+// protoIDFromString inverts protocols.ID.String for log round trips.
+func protoIDFromString(s string) protocols.ID {
+	for _, id := range []protocols.ID{
+		protocols.WiFi80211b1M, protocols.WiFi80211b2M,
+		protocols.WiFi80211b5M5, protocols.WiFi80211b11M,
+		protocols.WiFi80211g, protocols.Bluetooth,
+		protocols.ZigBee, protocols.Microwave,
+	} {
+		if id.String() == s {
+			return id
+		}
+	}
+	return protocols.Unknown
+}
+
+// WritePacketLogFile writes a complete packet set to path.
+func WritePacketLogFile(path string, clock iq.Clock, packets []demod.Packet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	l := NewPacketLogWriter(f, clock)
+	for _, p := range packets {
+		if err := l.Write(p); err != nil {
+			return err
+		}
+	}
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,250 @@
+// Package trace implements the on-disk IQ trace format the tools exchange
+// — the stand-in for the paper's "files that store the streams of samples
+// recorded by the USRP" (Section 5) — plus a JSON-lines ground-truth
+// sidecar so accuracy experiments can run from files as well as from
+// in-memory emulation.
+//
+// Format (little-endian):
+//
+//	magic   [4]byte  "RFDT"
+//	version uint32   1
+//	rate    uint32   samples per second
+//	count   uint64   number of complex samples
+//	data    count x (float32 I, float32 Q)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+	"rfdump/internal/truth"
+)
+
+// Magic identifies trace files.
+var Magic = [4]byte{'R', 'F', 'D', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+// Header is the trace file header.
+type Header struct {
+	Rate  int
+	Count uint64
+}
+
+// Write stores a stream to w.
+func Write(w io.Writer, rate int, samples iq.Samples) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(Version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(rate)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(samples))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(real(s)))
+		binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(imag(s)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHeader parses and validates the header.
+func ReadHeader(r io.Reader) (Header, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Header{}, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return Header{}, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var version, rate uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return Header{}, err
+	}
+	if version != Version {
+		return Header{}, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rate); err != nil {
+		return Header{}, err
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return Header{}, err
+	}
+	return Header{Rate: int(rate), Count: count}, nil
+}
+
+// Read loads a complete trace from r.
+func Read(r io.Reader) (Header, iq.Samples, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	samples := make(iq.Samples, h.Count)
+	var buf [8]byte
+	for i := range samples {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return h, samples[:i], fmt.Errorf("trace: truncated at sample %d: %w", i, err)
+		}
+		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+		samples[i] = complex(re, im)
+	}
+	return h, samples, nil
+}
+
+// WriteFile stores a trace to path.
+func WriteFile(path string, rate int, samples iq.Samples) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, rate, samples); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace from path.
+func ReadFile(path string) (Header, iq.Samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// truthRecord is the sidecar JSON shape (stable field names).
+type truthRecord struct {
+	Proto   string  `json:"proto"`
+	Kind    string  `json:"kind"`
+	Start   int64   `json:"start"`
+	End     int64   `json:"end"`
+	Channel int     `json:"channel"`
+	SNRdB   float64 `json:"snr_db"`
+	Visible bool    `json:"visible"`
+}
+
+var protoNames = map[protocols.ID]string{
+	protocols.WiFi80211b1M:  "802.11b/1",
+	protocols.WiFi80211b2M:  "802.11b/2",
+	protocols.WiFi80211b5M5: "802.11b/5.5",
+	protocols.WiFi80211b11M: "802.11b/11",
+	protocols.WiFi80211g:    "802.11g",
+	protocols.Bluetooth:     "bluetooth",
+	protocols.ZigBee:        "zigbee",
+	protocols.Microwave:     "microwave",
+	protocols.Unknown:       "unknown",
+}
+
+func protoFromName(s string) protocols.ID {
+	for id, name := range protoNames {
+		if name == s {
+			return id
+		}
+	}
+	return protocols.Unknown
+}
+
+// WriteTruth stores a ground-truth sidecar as JSON lines.
+func WriteTruth(w io.Writer, ts *truth.Set) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	head := struct {
+		TraceLen int64 `json:"trace_len"`
+		Rate     int   `json:"rate"`
+	}{int64(ts.TraceLen), ts.Clock.Rate}
+	if err := enc.Encode(head); err != nil {
+		return err
+	}
+	for _, r := range ts.Records {
+		tr := truthRecord{
+			Proto:   protoNames[r.Proto],
+			Kind:    r.Kind,
+			Start:   int64(r.Span.Start),
+			End:     int64(r.Span.End),
+			Channel: r.Channel,
+			SNRdB:   r.SNRdB,
+			Visible: r.Visible,
+		}
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTruth loads a ground-truth sidecar.
+func ReadTruth(r io.Reader) (*truth.Set, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var head struct {
+		TraceLen int64 `json:"trace_len"`
+		Rate     int   `json:"rate"`
+	}
+	if err := dec.Decode(&head); err != nil {
+		return nil, fmt.Errorf("trace: truth header: %w", err)
+	}
+	ts := &truth.Set{TraceLen: iq.Tick(head.TraceLen), Clock: iq.NewClock(head.Rate)}
+	for {
+		var tr truthRecord
+		if err := dec.Decode(&tr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		ts.Add(truth.Record{
+			Proto:   protoFromName(tr.Proto),
+			Kind:    tr.Kind,
+			Span:    iq.Interval{Start: iq.Tick(tr.Start), End: iq.Tick(tr.End)},
+			Channel: tr.Channel,
+			SNRdB:   tr.SNRdB,
+			Visible: tr.Visible,
+		})
+	}
+	ts.MarkCollisions()
+	return ts, nil
+}
+
+// WriteTruthFile stores the sidecar to path.
+func WriteTruthFile(path string, ts *truth.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteTruth(f, ts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTruthFile loads the sidecar from path.
+func ReadTruthFile(path string) (*truth.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTruth(f)
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rfdump/internal/demod"
+	"rfdump/internal/dsp"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+	"rfdump/internal/truth"
+)
+
+func TestRoundTrip(t *testing.T) {
+	samples := iq.Samples{complex(1, -2), complex(0.5, 0.25), complex(-3, 4)}
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, samples); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rate != 8_000_000 || h.Count != 3 {
+		t.Errorf("header %+v", h)
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Errorf("sample %d: %v != %v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := dsp.NewRand(seed)
+		samples := make(iq.Samples, n%500)
+		for i := range samples {
+			samples[i] = complex(float32(r.Norm()), float32(r.Norm()))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, 1_000_000, samples); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil || len(got) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if got[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedData(t *testing.T) {
+	samples := make(iq.Samples, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, samples); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	_, got, err := Read(bytes.NewReader(cut))
+	if err == nil {
+		t.Error("truncated trace read without error")
+	}
+	if len(got) == 0 {
+		t.Error("partial data should be returned for inspection")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, iq.Samples{1}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.rfd")
+	samples := iq.Samples{1, complex(2, 3)}
+	if err := WriteFile(path, 8_000_000, samples); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadFile(path)
+	if err != nil || h.Count != 2 || got[1] != complex64(complex(2, 3)) {
+		t.Fatalf("file round trip: %v %v %v", h, got, err)
+	}
+	if _, _, err := ReadFile(filepath.Join(dir, "missing.rfd")); err == nil {
+		t.Error("missing file read")
+	}
+}
+
+func TestTruthRoundTrip(t *testing.T) {
+	ts := &truth.Set{TraceLen: 10_000, Clock: iq.NewClock(8_000_000)}
+	ts.Add(truth.Record{
+		Proto:   protocols.WiFi80211b2M,
+		Kind:    "data",
+		Span:    iq.Interval{Start: 100, End: 900},
+		Channel: -1,
+		SNRdB:   17.5,
+		Visible: true,
+	})
+	ts.Add(truth.Record{
+		Proto:   protocols.Bluetooth,
+		Kind:    "l2ping-req",
+		Span:    iq.Interval{Start: 2000, End: 4000},
+		Channel: 6,
+		SNRdB:   20,
+		Visible: false,
+	})
+	var buf bytes.Buffer
+	if err := WriteTruth(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceLen != ts.TraceLen || got.Clock.Rate != 8_000_000 {
+		t.Error("header fields")
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	r0 := got.Records[0]
+	if r0.Proto != protocols.WiFi80211b2M || r0.Kind != "data" ||
+		r0.Span != (iq.Interval{Start: 100, End: 900}) || !r0.Visible {
+		t.Errorf("record 0 = %+v", r0)
+	}
+	r1 := got.Records[1]
+	if r1.Proto != protocols.Bluetooth || r1.Channel != 6 || r1.Visible {
+		t.Errorf("record 1 = %+v", r1)
+	}
+}
+
+func TestTruthFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.truth")
+	ts := &truth.Set{TraceLen: 5, Clock: iq.NewClock(0)}
+	if err := WriteTruthFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTruthFile(path)
+	if err != nil || got.TraceLen != 5 {
+		t.Fatalf("truth file round trip: %v %v", got, err)
+	}
+}
+
+func TestTruthBadHeader(t *testing.T) {
+	if _, err := ReadTruth(strings.NewReader("not json")); err == nil {
+		t.Error("garbage truth accepted")
+	}
+}
+
+func TestPacketLogRoundTrip(t *testing.T) {
+	clock := iq.NewClock(0)
+	packets := []demod.Packet{
+		{
+			Proto:   protocols.WiFi80211b1M,
+			Span:    iq.Interval{Start: 8000, End: 48000},
+			Channel: -1,
+			Valid:   true,
+			Frame:   []byte{0x08, 0x00, 0xDE, 0xAD},
+		},
+		{
+			Proto:   protocols.Bluetooth,
+			Span:    iq.Interval{Start: 100_000, End: 120_000},
+			Channel: 5,
+			Valid:   false,
+			Note:    "CRC mismatch",
+		},
+	}
+	var buf bytes.Buffer
+	w := NewPacketLogWriter(&buf, clock)
+	for _, p := range packets {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Errorf("count %d", w.Count())
+	}
+
+	recs, err := ReadPacketLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records %d", len(recs))
+	}
+	if recs[0].TimeS != 0.001 {
+		t.Errorf("time %v", recs[0].TimeS)
+	}
+	for i, rec := range recs {
+		p, err := rec.DecodePacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Proto != packets[i].Proto || p.Span != packets[i].Span ||
+			p.Valid != packets[i].Valid || p.Channel != packets[i].Channel {
+			t.Errorf("packet %d: %+v != %+v", i, p, packets[i])
+		}
+		if !bytes.Equal(p.Frame, packets[i].Frame) {
+			t.Errorf("packet %d frame mismatch", i)
+		}
+	}
+}
+
+func TestPacketLogFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pkts.jsonl")
+	clock := iq.NewClock(0)
+	if err := WritePacketLogFile(path, clock, []demod.Packet{{Proto: protocols.ZigBee, Valid: true}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadPacketLog(f)
+	if err != nil || len(recs) != 1 || recs[0].Proto != "ZigBee" {
+		t.Fatalf("recs %v err %v", recs, err)
+	}
+}
+
+func TestPacketLogGarbage(t *testing.T) {
+	if _, err := ReadPacketLog(strings.NewReader("{bad json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := (PacketRecord{Frame: "zz"}).DecodePacket(); err == nil {
+		t.Error("bad hex accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package truth holds ground-truth records for synthesized traces and the
+// matching logic that turns detector output into the paper's metrics:
+// packet miss rate ("ratio of the number of packets in the correct output
+// and not found by the detection modules, to the total number of packets
+// in correct output") and false-positive rate ("ratio of the number of
+// non-useful samples ... to the total size of the trace"), Section 5.1.
+package truth
+
+import (
+	"fmt"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// Record is one scheduled transmission with exact ground truth.
+type Record struct {
+	// Proto is the transmitting technology (rate-specific for 802.11b).
+	Proto protocols.ID
+	// Kind labels the transmission ("data", "ack", "beacon", "l2ping"...).
+	Kind string
+	// Span is the on-air interval in samples.
+	Span iq.Interval
+	// Channel is the protocol channel (Bluetooth hop), or -1.
+	Channel int
+	// SNRdB is the per-burst SNR the channel applied.
+	SNRdB float64
+	// Frame is the carried link-layer frame (nil for non-packet sources).
+	Frame []byte
+	// Visible reports whether the transmission falls inside the monitored
+	// band (Bluetooth hops outside the captured 8 MHz are invisible; the
+	// paper counts only audible channels, Section 5.1.1).
+	Visible bool
+	// Collided is set by MarkCollisions when the record overlaps another
+	// visible transmission in time.
+	Collided bool
+}
+
+// Set is the ground truth for one trace.
+type Set struct {
+	Records  []Record
+	TraceLen iq.Tick
+	Clock    iq.Clock
+}
+
+// Add appends a record.
+func (s *Set) Add(r Record) { s.Records = append(s.Records, r) }
+
+// MarkCollisions flags records whose spans overlap another visible
+// record's span. The paper's traffic-mix analysis discounts collided
+// packets ("as we have not incorporated collision detection in our
+// detectors yet, these collisions appear as missed packets", 5.1.5).
+func (s *Set) MarkCollisions() {
+	for i := range s.Records {
+		s.Records[i].Collided = false
+	}
+	for i := range s.Records {
+		if !s.Records[i].Visible {
+			continue
+		}
+		for j := i + 1; j < len(s.Records); j++ {
+			if !s.Records[j].Visible {
+				continue
+			}
+			if s.Records[i].Span.Overlaps(s.Records[j].Span) {
+				s.Records[i].Collided = true
+				s.Records[j].Collided = true
+			}
+		}
+	}
+}
+
+// VisibleCount returns the number of visible records of the given family
+// (protocols.Unknown counts every family).
+func (s *Set) VisibleCount(family protocols.ID) int {
+	n := 0
+	for _, r := range s.Records {
+		if r.Visible && (family == protocols.Unknown || r.Proto.Family() == family.Family()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Spans returns the visible transmission intervals of all records
+// (any family) — the "valid transmission" samples for FP accounting.
+func (s *Set) Spans() []iq.Interval {
+	out := make([]iq.Interval, 0, len(s.Records))
+	for _, r := range s.Records {
+		if r.Visible {
+			out = append(out, r.Span)
+		}
+	}
+	return iq.Merge(out)
+}
+
+// Detection is the detector/dispatcher output for matching: a span of
+// samples tentatively attributed to a protocol family by a named
+// detector.
+type Detection struct {
+	// Family is the protocol family the detector claims.
+	Family protocols.ID
+	// Span is the forwarded sample range.
+	Span iq.Interval
+	// Detector names the module that fired ("802.11-sifs", "bt-phase"...).
+	Detector string
+	// Confidence in [0, 1] as the architecture's metadata carries it.
+	Confidence float64
+	// Channel is the claimed protocol channel, or -1.
+	Channel int
+}
+
+// Stats are the accuracy metrics for one (family, detector set) pairing.
+type Stats struct {
+	Family protocols.ID
+	// Total visible ground-truth packets of the family.
+	Total int
+	// Found among them (overlapped by a matching detection).
+	Found int
+	// Collided counts visible packets that overlap other transmissions.
+	Collided int
+	// FoundNonCollided / TotalNonCollided restrict to clean packets.
+	TotalNonCollided int
+	FoundNonCollided int
+	// FalsePosSamples is the number of forwarded samples outside every
+	// valid transmission; FalsePosRate divides by the trace length.
+	FalsePosSamples iq.Tick
+	FalsePosRate    float64
+}
+
+// MissRate is 1 - Found/Total (1.0 when Total is 0 would be misleading;
+// it returns 0 for empty truth).
+func (st Stats) MissRate() float64 {
+	if st.Total == 0 {
+		return 0
+	}
+	return 1 - float64(st.Found)/float64(st.Total)
+}
+
+// MissRateNonCollided discounts collided packets.
+func (st Stats) MissRateNonCollided() float64 {
+	if st.TotalNonCollided == 0 {
+		return 0
+	}
+	return 1 - float64(st.FoundNonCollided)/float64(st.TotalNonCollided)
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: found %d/%d (miss %.4f, non-collided miss %.4f), fp-rate %.5f",
+		st.Family.FamilyName(), st.Found, st.Total, st.MissRate(), st.MissRateNonCollided(), st.FalsePosRate)
+}
+
+// Match computes Stats for one protocol family given all detections.
+// A truth packet is found when any detection of the same family overlaps
+// its span. Detections of other families are ignored for the miss rate
+// but all detections of this family contribute to its FP accounting.
+func Match(ts *Set, dets []Detection, family protocols.ID) Stats {
+	st := Stats{Family: family.Family()}
+	famDets := make([]iq.Interval, 0, len(dets))
+	for _, d := range dets {
+		if d.Family.Family() == family.Family() {
+			famDets = append(famDets, d.Span)
+		}
+	}
+	merged := iq.Merge(famDets)
+
+	for _, r := range ts.Records {
+		if !r.Visible || r.Proto.Family() != family.Family() {
+			continue
+		}
+		st.Total++
+		if r.Collided {
+			st.Collided++
+		} else {
+			st.TotalNonCollided++
+		}
+		found := false
+		for _, iv := range merged {
+			if iv.Overlaps(r.Span) {
+				found = true
+				break
+			}
+		}
+		if found {
+			st.Found++
+			if !r.Collided {
+				st.FoundNonCollided++
+			}
+		}
+	}
+
+	// False positives: forwarded samples outside any valid transmission.
+	valid := ts.Spans()
+	var fp iq.Tick
+	for _, iv := range merged {
+		fp += iv.Len() - iq.CoverageOf(iv, valid)
+	}
+	st.FalsePosSamples = fp
+	if ts.TraceLen > 0 {
+		st.FalsePosRate = float64(fp) / float64(ts.TraceLen)
+	}
+	return st
+}
+
+// CollisionFraction returns the fraction of visible family packets that
+// collided (Table 3 context: ~0.016 for 802.11, ~0.012 for Bluetooth).
+func (s *Set) CollisionFraction(family protocols.ID) float64 {
+	total, col := 0, 0
+	for _, r := range s.Records {
+		if !r.Visible || r.Proto.Family() != family.Family() {
+			continue
+		}
+		total++
+		if r.Collided {
+			col++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(col) / float64(total)
+}

@@ -1,0 +1,196 @@
+package truth
+
+import (
+	"math"
+	"testing"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+func set(records ...Record) *Set {
+	s := &Set{TraceLen: 100_000, Clock: iq.NewClock(0)}
+	for _, r := range records {
+		s.Add(r)
+	}
+	s.MarkCollisions()
+	return s
+}
+
+func rec(proto protocols.ID, start, end iq.Tick) Record {
+	return Record{Proto: proto, Span: iq.Interval{Start: start, End: end}, Visible: true}
+}
+
+func TestMatchAllFound(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 100, 500),
+		rec(protocols.WiFi80211b1M, 1000, 1500),
+	)
+	dets := []Detection{
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 90, End: 520}},
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 1100, End: 1200}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.Total != 2 || st.Found != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.MissRate() != 0 {
+		t.Errorf("miss %v", st.MissRate())
+	}
+}
+
+func TestMatchMisses(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 100, 500),
+		rec(protocols.WiFi80211b1M, 1000, 1500),
+		rec(protocols.WiFi80211b1M, 2000, 2500),
+	)
+	dets := []Detection{
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 100, End: 500}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.Found != 1 || math.Abs(st.MissRate()-2.0/3) > 1e-9 {
+		t.Errorf("stats %+v miss=%v", st, st.MissRate())
+	}
+}
+
+func TestMatchWrongFamilyIgnored(t *testing.T) {
+	ts := set(rec(protocols.WiFi80211b1M, 100, 500))
+	dets := []Detection{
+		{Family: protocols.Bluetooth, Span: iq.Interval{Start: 100, End: 500}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.Found != 0 {
+		t.Error("cross-family detection counted")
+	}
+}
+
+func TestMatchFamilyCollapse(t *testing.T) {
+	// An 11 Mbps truth packet is found by a detection labeled with the
+	// generic 802.11 family.
+	ts := set(rec(protocols.WiFi80211b11M, 100, 500))
+	dets := []Detection{
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 200, End: 300}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.Found != 1 {
+		t.Error("family collapse failed")
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	ts := set(rec(protocols.WiFi80211b1M, 0, 10_000))
+	dets := []Detection{
+		// 10k samples on the real packet + 5k samples of pure noise.
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 0, End: 10_000}},
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 50_000, End: 55_000}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.FalsePosSamples != 5000 {
+		t.Errorf("fp samples %d", st.FalsePosSamples)
+	}
+	if math.Abs(st.FalsePosRate-0.05) > 1e-9 {
+		t.Errorf("fp rate %v", st.FalsePosRate)
+	}
+}
+
+func TestFalsePositiveCountsOtherFamiliesAsValid(t *testing.T) {
+	// Samples of a Bluetooth transmission forwarded as 802.11 are a
+	// misclassification but NOT false-positive samples (they belong to a
+	// valid transmission; the paper counts non-useful samples only).
+	ts := set(rec(protocols.Bluetooth, 0, 10_000))
+	dets := []Detection{
+		{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 0, End: 10_000}},
+	}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.FalsePosSamples != 0 {
+		t.Errorf("fp samples %d", st.FalsePosSamples)
+	}
+}
+
+func TestInvisibleRecordsExcluded(t *testing.T) {
+	ts := set(
+		rec(protocols.Bluetooth, 100, 500),
+		Record{Proto: protocols.Bluetooth, Span: iq.Interval{Start: 1000, End: 1500}, Visible: false},
+	)
+	st := Match(ts, nil, protocols.Bluetooth)
+	if st.Total != 1 {
+		t.Errorf("total %d, want 1 (invisible excluded)", st.Total)
+	}
+	if ts.VisibleCount(protocols.Bluetooth) != 1 {
+		t.Error("VisibleCount")
+	}
+}
+
+func TestCollisionMarking(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 0, 1000),
+		rec(protocols.Bluetooth, 500, 1500), // overlaps the first
+		rec(protocols.WiFi80211b1M, 5000, 6000),
+	)
+	if !ts.Records[0].Collided || !ts.Records[1].Collided {
+		t.Error("overlap not marked")
+	}
+	if ts.Records[2].Collided {
+		t.Error("clean record marked")
+	}
+	if f := ts.CollisionFraction(protocols.WiFi80211b1M); math.Abs(f-0.5) > 1e-9 {
+		t.Errorf("collision fraction %v", f)
+	}
+}
+
+func TestCollisionWithInvisibleDoesNotCount(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 0, 1000),
+		Record{Proto: protocols.Bluetooth, Span: iq.Interval{Start: 500, End: 1500}, Visible: false},
+	)
+	if ts.Records[0].Collided {
+		t.Error("collision with invisible transmission marked")
+	}
+}
+
+func TestMissRateNonCollided(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 0, 1000),
+		rec(protocols.Bluetooth, 500, 1500),
+		rec(protocols.WiFi80211b1M, 5000, 6000),
+	)
+	// Only the clean packet is detected.
+	dets := []Detection{{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 5000, End: 6000}}}
+	st := Match(ts, dets, protocols.WiFi80211b1M)
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss %v", st.MissRate())
+	}
+	if st.MissRateNonCollided() != 0 {
+		t.Errorf("non-collided miss %v", st.MissRateNonCollided())
+	}
+}
+
+func TestSpansMerged(t *testing.T) {
+	ts := set(
+		rec(protocols.WiFi80211b1M, 0, 1000),
+		rec(protocols.Bluetooth, 500, 1500),
+		rec(protocols.WiFi80211b1M, 5000, 6000),
+	)
+	spans := ts.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans %v", spans)
+	}
+	if spans[0] != (iq.Interval{Start: 0, End: 1500}) {
+		t.Errorf("merged span %v", spans[0])
+	}
+}
+
+func TestEmptyTruthStats(t *testing.T) {
+	ts := set()
+	st := Match(ts, nil, protocols.WiFi80211b1M)
+	if st.MissRate() != 0 || st.MissRateNonCollided() != 0 {
+		t.Error("empty truth rates must be 0")
+	}
+	if ts.CollisionFraction(protocols.Bluetooth) != 0 {
+		t.Error("empty collision fraction")
+	}
+	if st.String() == "" {
+		t.Error("empty String")
+	}
+}
