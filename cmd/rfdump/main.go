@@ -18,13 +18,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"rfdump/internal/arch"
 	"rfdump/internal/core"
 	"rfdump/internal/demod"
 	"rfdump/internal/experiments"
+	"rfdump/internal/faults"
+	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
@@ -49,6 +54,20 @@ func (b *blockSource) ReadBlock(dst iq.Samples) (int, error) {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+// stopReader ends the stream early on an interrupt: the flowgraph sees a
+// clean EOF, drains its pending state, and the summary still prints.
+type stopReader struct {
+	inner   core.BlockReader
+	stopped atomic.Bool
+}
+
+func (s *stopReader) ReadBlock(dst iq.Samples) (int, error) {
+	if s.stopped.Load() {
+		return 0, io.EOF
+	}
+	return s.inner.ReadBlock(dst)
 }
 
 // discoverPiconets runs a detection pass with only the discovery
@@ -94,11 +113,28 @@ func main() {
 		stream    = flag.Bool("stream", false, "process in streaming mode with a bounded sample window")
 		window    = flag.Int("window", 1_600_000, "sliding window size in samples for -stream")
 		writeLog  = flag.String("w", "", "write decoded packets to a JSONL packet log")
+		faultSpec = flag.String("faults", "", "inject front-end faults in -stream mode, e.g. gap=0.001,corrupt=0.01,transient=0.01,seed=7")
+		supervise = flag.Bool("supervise", false, "supervised scheduling in -stream mode: quarantine crashing blocks instead of aborting")
+		overload  = flag.Bool("overload", false, "real-time pacing with graceful degradation in -stream mode")
+		retries   = flag.Int("retries", 4, "retry attempts for transient front-end read errors with -faults")
 	)
 	flag.Parse()
 	if *read == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !*stream && (*faultSpec != "" || *supervise || *overload) {
+		fmt.Fprintln(os.Stderr, "rfdump: -faults, -supervise and -overload require -stream")
+		os.Exit(2)
+	}
+
+	// Graceful shutdown: register before the (possibly long) trace load so
+	// an early signal is queued rather than fatal; the drain goroutine
+	// starts with the stream.
+	var sig chan os.Signal
+	if *stream {
+		sig = make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	}
 
 	hdr, samples, err := trace.ReadFile(*read)
@@ -145,15 +181,58 @@ func main() {
 	}
 
 	var out *arch.Result
+	var degradation core.Degradation
 	if *stream {
 		// Streaming mode: bounded memory, same detectors/analyzers.
+		var src core.BlockReader = &blockSource{s: samples}
+		var injector *faults.Injector
+		if *faultSpec != "" {
+			fcfg, err := faults.ParseSpec(*faultSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfdump:", err)
+				os.Exit(2)
+			}
+			injector = faults.NewInjector(src, fcfg)
+			src = &faults.Retry{Src: injector, Attempts: *retries}
+		}
+
+		scfg := core.StreamConfig{WindowSamples: *window}
+		if *supervise {
+			scfg.Supervise = &flowgraph.SupervisorConfig{
+				MaxErrors:    3,
+				BackoffItems: 10_000,
+				OnEvent: func(ev flowgraph.SupervisorEvent) {
+					fmt.Fprintln(os.Stderr, "rfdump: supervisor:", ev)
+				},
+			}
+		}
+		if *overload {
+			scfg.Overload = &core.OverloadConfig{}
+		}
+
+		// First SIGINT/SIGTERM stops the source so the flowgraph drains
+		// and the summary still prints; a second signal aborts.
+		stopper := &stopReader{inner: src}
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "rfdump: interrupt — draining pipeline (^C again to abort)")
+			stopper.stopped.Store(true)
+			<-sig
+			os.Exit(130)
+		}()
+
 		p := core.NewPipeline(clock, cfg, analyzers...)
-		res, err := p.RunStream(&blockSource{s: samples}, core.StreamConfig{WindowSamples: *window})
+		res, err := p.RunStream(stopper, scfg)
+		signal.Stop(sig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rfdump:", err)
 			os.Exit(1)
 		}
 		out = resultFromPipeline(res, clock)
+		degradation = res.Degradation
+		if injector != nil {
+			fmt.Fprintln(os.Stderr, "rfdump:", injector.Stats())
+		}
 	} else {
 		mon := arch.NewRFDump("rfdump", clock, cfg, analyzers...)
 		var err error
@@ -179,6 +258,9 @@ func main() {
 	fmt.Printf("\n%d detections, %d packets decoded, CPU/real-time %.2fx over %.2f s\n",
 		len(out.Detections), len(out.Packets), out.CPUPerRealTime(),
 		float64(len(samples))/float64(clock.Rate))
+	if degradation.Any() {
+		fmt.Printf("degraded: %s\n", degradation)
+	}
 
 	if *stats {
 		fmt.Println("\nper-block CPU:")

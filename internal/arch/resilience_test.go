@@ -1,0 +1,216 @@
+package arch
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/faults"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+	"rfdump/internal/truth"
+)
+
+// Resilience integration: the streaming pipeline must survive a faulty
+// front end and a crashing analyzer with bounded metric degradation —
+// the live monitor stays on the air.
+
+// spreadTrace generates unicast traffic spread across the whole trace,
+// so an injected overflow gap hits a packet count proportional to the
+// time it covers.
+func spreadTrace(t *testing.T, snrDB float64, pings int) *ether.Result {
+	t.Helper()
+	clock := iq.NewClock(0)
+	res, err := ether.Run(ether.Config{
+		Duration: iq.Tick(clock.Rate / 2), // 500 ms
+		SNRdB:    snrDB,
+		Seed:     42,
+		Sources: []mac.Source{
+			&mac.WiFiUnicast{
+				Rate:         protocols.WiFi80211b1M,
+				Pings:        pings,
+				PayloadBytes: 500,
+				InterPing:    60_000,
+				Requester:    addr(1),
+				Responder:    addr(2),
+				BSSID:        addr(3),
+				CFOHz:        2500,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sliceBlocks adapts an in-memory trace to core.BlockReader.
+type sliceBlocks struct {
+	s   iq.Samples
+	pos int
+}
+
+func (r *sliceBlocks) ReadBlock(dst iq.Samples) (int, error) {
+	if r.pos >= len(r.s) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.s[r.pos:])
+	r.pos += n
+	if r.pos >= len(r.s) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// panicAnalyzer crashes on every request — the misbehaving plug-in the
+// supervisor must fence off.
+type panicAnalyzer struct{}
+
+func (panicAnalyzer) Name() string              { return "panicky" }
+func (panicAnalyzer) Accepts(protocols.ID) bool { return true }
+func (panicAnalyzer) Analyze(core.SampleAccessor, core.AnalysisRequest, func(flowgraph.Item)) error {
+	panic("analyzer bug")
+}
+
+func truthDets(dets []core.Detection) []truth.Detection {
+	out := make([]truth.Detection, len(dets))
+	for i, d := range dets {
+		out[i] = truth.Detection{
+			Family: d.Family, Span: d.Span, Detector: d.Detector,
+			Confidence: d.Confidence, Channel: d.Channel,
+		}
+	}
+	return out
+}
+
+func missRate(res *ether.Result, dets []core.Detection) float64 {
+	st := truth.Match(res.Truth, truthDets(dets), protocols.WiFi80211b1M)
+	if st.Total == 0 {
+		return 0
+	}
+	return 1 - float64(st.Found)/float64(st.Total)
+}
+
+func TestStreamResilienceUnderFaults(t *testing.T) {
+	res := spreadTrace(t, 22, 40) // high SNR, traffic across the trace
+	cfg := core.TimingAndPhase()
+
+	// Baseline: clean streaming run.
+	clean := core.NewPipeline(res.Clock, cfg, demod.NewWiFiDemod())
+	resClean, err := clean.RunStream(&sliceBlocks{s: res.Samples}, core.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss0 := missRate(res, resClean.Detections)
+
+	// Faulty run: overflow gaps (a few long ones, ~6% of the stream),
+	// transient read errors behind a retry wrapper, sample corruption,
+	// and a panicking analyzer riding next to the real demodulator.
+	inj := faults.NewInjector(&sliceBlocks{s: res.Samples}, faults.Config{
+		Seed:          17, // two ~30 ms gaps, ~7% of the stream dropped
+		GapProb:       0.0001,
+		GapBlocks:     1200, // 240k samples = 30 ms per gap
+		CorruptProb:   0.002,
+		TransientProb: 0.005,
+	})
+	src := &faults.Retry{Src: inj, Sleep: func(time.Duration) {}}
+
+	var events []flowgraph.SupervisorEvent
+	p := core.NewPipeline(res.Clock, cfg, demod.NewWiFiDemod(), panicAnalyzer{})
+	resFault, err := p.RunStream(src, core.StreamConfig{
+		Supervise: &flowgraph.SupervisorConfig{
+			MaxErrors: 3,
+			OnEvent:   func(ev flowgraph.SupervisorEvent) { events = append(events, ev) },
+		},
+	})
+	if err != nil {
+		t.Fatalf("faulty run did not complete: %v", err)
+	}
+
+	st := inj.Stats()
+	dropFrac := float64(st.DroppedSamples) / float64(len(res.Samples))
+	if dropFrac < 0.05 {
+		t.Fatalf("injection too weak for the test: dropped %.1f%% (%+v)", 100*dropFrac, st)
+	}
+	if st.TransientErrors == 0 {
+		t.Error("no transient errors injected")
+	}
+
+	// The supervisor fenced off exactly the faulty analyzer.
+	d := resFault.Degradation
+	if len(d.Quarantined) != 1 || d.Quarantined[0] != "panicky" {
+		t.Errorf("quarantined %v, want exactly [panicky]", d.Quarantined)
+	}
+	if d.BlockPanics == 0 || d.BlockDropped == 0 {
+		t.Errorf("degradation not accounted: %+v", d)
+	}
+	quarantines := 0
+	for _, ev := range events {
+		if ev.Kind == flowgraph.EventQuarantine {
+			quarantines++
+			if ev.Block != "panicky" {
+				t.Errorf("healthy block quarantined: %v", ev)
+			}
+		}
+	}
+	if quarantines != 1 {
+		t.Errorf("%d quarantine events", quarantines)
+	}
+
+	// The healthy demodulator kept decoding around the faults.
+	valid := 0
+	for _, item := range resFault.Outputs {
+		if pkt, ok := item.(demod.Packet); ok && pkt.Valid {
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Error("no valid packets decoded on the healthy path")
+	}
+
+	// Bounded metric degradation: the extra misses are explained by the
+	// dropped input plus a small tolerance for gap-edge clipping.
+	missF := missRate(res, resFault.Detections)
+	if missF > miss0+dropFrac+0.02 {
+		t.Errorf("miss %.3f exceeds baseline %.3f + dropped %.3f + 0.02",
+			missF, miss0, dropFrac)
+	}
+}
+
+func TestStreamResilienceParallelScheduler(t *testing.T) {
+	// The supervised scheduler must be race-free under RunParallel with a
+	// panicking block (run with -race in CI).
+	res := unicastTrace(t, 20, 4)
+	cfg := core.TimingOnly()
+	cfg.Parallel = true
+	p := core.NewPipeline(res.Clock, cfg, demod.NewWiFiDemod(), panicAnalyzer{})
+	out, err := p.RunStream(&sliceBlocks{s: res.Samples}, core.StreamConfig{
+		Supervise: &flowgraph.SupervisorConfig{MaxErrors: 1},
+	})
+	if err != nil {
+		t.Fatalf("parallel supervised run failed: %v", err)
+	}
+	if len(out.Degradation.Quarantined) != 1 || out.Degradation.Quarantined[0] != "panicky" {
+		t.Errorf("quarantined %v", out.Degradation.Quarantined)
+	}
+}
+
+func TestStreamTransientErrorsFailWithoutRetry(t *testing.T) {
+	// Without the retry wrapper a transient front-end error surfaces as a
+	// stream error: resilience is a policy choice, not silent swallowing.
+	res := unicastTrace(t, 20, 2)
+	inj := faults.NewInjector(&sliceBlocks{s: res.Samples}, faults.Config{
+		Seed: 1, TransientProb: 0.05,
+	})
+	p := core.NewPipeline(res.Clock, core.TimingOnly())
+	_, err := p.RunStream(inj, core.StreamConfig{})
+	if err == nil || !strings.Contains(err.Error(), "stream source") {
+		t.Fatalf("transient error not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// ShedLevel is the streaming pipeline's graceful-degradation state. The
+// shed order follows the paper's cost/tolerance analysis: demodulation is
+// the expensive arbiter, so it goes first (downgraded to header-only
+// analysis); analysis requests are dropped next; the cheap detectors —
+// which tolerate false positives and produce the airtime picture — are
+// shed last, and only implicitly, when whole chunks must be dropped at
+// the source.
+type ShedLevel int32
+
+const (
+	// ShedNone: keeping up, everything runs.
+	ShedNone ShedLevel = iota
+	// ShedDemod: analysis requests are downgraded to header-only.
+	ShedDemod
+	// ShedAnalysis: analysis requests are dropped before the analyzers.
+	ShedAnalysis
+	// ShedChunks: chunks are dropped at the source; detectors are blind
+	// for the shed spans.
+	ShedChunks
+)
+
+// String implements fmt.Stringer.
+func (l ShedLevel) String() string {
+	switch l {
+	case ShedNone:
+		return "none"
+	case ShedDemod:
+		return "shed-demod"
+	case ShedAnalysis:
+		return "shed-analysis"
+	case ShedChunks:
+		return "shed-chunks"
+	}
+	return fmt.Sprintf("shed-level-%d", int32(l))
+}
+
+// OverloadConfig enables the real-time pacing model in RunStream: the
+// pacer compares wall-clock progress against stream time and raises the
+// shed level as the pipeline falls behind ("the processing must keep
+// up", Section 1 — the monitor tolerates delay, not unbounded lag).
+type OverloadConfig struct {
+	// DemodLag is the lag watermark above which full demodulation is
+	// shed (default 50 ms).
+	DemodLag time.Duration
+	// AnalysisLag is the watermark above which analysis requests are
+	// dropped entirely (default 150 ms).
+	AnalysisLag time.Duration
+	// ChunkLag is the last-resort watermark above which whole chunks are
+	// dropped at the source (default 400 ms).
+	ChunkLag time.Duration
+	// Now overrides the wall clock (deterministic tests).
+	Now func() time.Time
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.DemodLag <= 0 {
+		c.DemodLag = 50 * time.Millisecond
+	}
+	if c.AnalysisLag <= 0 {
+		c.AnalysisLag = 150 * time.Millisecond
+	}
+	if c.ChunkLag <= 0 {
+		c.ChunkLag = 400 * time.Millisecond
+	}
+	return c
+}
+
+// pacer tracks processing lag against real time and holds the current
+// shed level plus the shedding counters. The level is read by the shed
+// gate from a scheduler goroutine while the source updates it, so it is
+// atomic; the counters likewise.
+type pacer struct {
+	cfg     OverloadConfig
+	clock   iq.Clock
+	start   time.Time
+	started bool
+
+	level atomic.Int32
+	peak  atomic.Int32
+
+	shedChunks   atomic.Int64
+	shedSamples  atomic.Int64
+	headerOnly   atomic.Int64
+	shedRequests atomic.Int64
+}
+
+func newPacer(clock iq.Clock, cfg OverloadConfig) *pacer {
+	return &pacer{cfg: cfg.withDefaults(), clock: clock}
+}
+
+func (p *pacer) now() time.Time {
+	if p.cfg.Now != nil {
+		return p.cfg.Now()
+	}
+	return time.Now()
+}
+
+// observe updates the shed level given how much stream time has been
+// delivered, and returns the level the next chunk is admitted at. The
+// wall clock starts on the first observation so setup cost is not
+// counted as lag.
+func (p *pacer) observe(delivered iq.Tick) ShedLevel {
+	now := p.now()
+	if !p.started {
+		p.start = now
+		p.started = true
+	}
+	lag := now.Sub(p.start) - p.clock.Duration(delivered)
+
+	// Raise watermarks.
+	lvl := ShedNone
+	if lag >= p.cfg.DemodLag {
+		lvl = ShedDemod
+	}
+	if lag >= p.cfg.AnalysisLag {
+		lvl = ShedAnalysis
+	}
+	if lag >= p.cfg.ChunkLag {
+		lvl = ShedChunks
+	}
+	cur := ShedLevel(p.level.Load())
+	if lvl < cur {
+		// Hysteresis on recovery: a level is only left once lag falls
+		// below half its watermark, so the pipeline does not oscillate
+		// around a boundary.
+		down := ShedNone
+		if lag > p.cfg.DemodLag/2 {
+			down = ShedDemod
+		}
+		if lag > p.cfg.AnalysisLag/2 {
+			down = ShedAnalysis
+		}
+		if lag > p.cfg.ChunkLag/2 {
+			down = ShedChunks
+		}
+		if down > lvl {
+			lvl = down
+		}
+		if lvl > cur {
+			lvl = cur
+		}
+	}
+	if lvl != cur {
+		p.level.Store(int32(lvl))
+	}
+	if int32(lvl) > p.peak.Load() {
+		p.peak.Store(int32(lvl))
+	}
+	return lvl
+}
+
+// current returns the shed level without updating it.
+func (p *pacer) current() ShedLevel { return ShedLevel(p.level.Load()) }
+
+// shedGate sits between the dispatcher and the analyzers, applying the
+// shed order under overload: at ShedDemod requests are downgraded to
+// header-only analysis, at ShedAnalysis and above they are dropped.
+// Every decision is accounted so Result.Degradation can attribute
+// misses to shedding rather than SNR.
+type shedGate struct {
+	pacer *pacer
+}
+
+// Name implements flowgraph.Block.
+func (s *shedGate) Name() string { return "shed-gate" }
+
+// Process implements flowgraph.Block.
+func (s *shedGate) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	req, ok := item.(AnalysisRequest)
+	if !ok {
+		emit(item)
+		return nil
+	}
+	switch level := s.pacer.current(); {
+	case level >= ShedAnalysis:
+		s.pacer.shedRequests.Add(1)
+	case level >= ShedDemod:
+		req.HeaderOnly = true
+		s.pacer.headerOnly.Add(1)
+		emit(req)
+	default:
+		emit(req)
+	}
+	return nil
+}
+
+// Flush implements flowgraph.Block.
+func (s *shedGate) Flush(func(flowgraph.Item)) error { return nil }
+
+// Degradation attributes lost work: what overload shedding dropped and
+// what supervision quarantined, so miss-rate metrics can separate
+// shedding-induced losses from SNR effects.
+type Degradation struct {
+	// ShedChunks / ShedSamples count input dropped at the source under
+	// ShedChunks (detectors never saw these spans).
+	ShedChunks  int64
+	ShedSamples int64
+	// HeaderOnlyRequests counts analysis requests downgraded to
+	// header-only under ShedDemod.
+	HeaderOnlyRequests int64
+	// ShedRequests counts analysis requests dropped under ShedAnalysis.
+	ShedRequests int64
+	// PeakLevel is the worst shed level the run reached.
+	PeakLevel ShedLevel
+	// BlockErrors / BlockPanics / BlockDropped aggregate the supervised
+	// scheduler's per-block counters.
+	BlockErrors  int64
+	BlockPanics  int64
+	BlockDropped int64
+	// Quarantined names the blocks out of service at end of run.
+	Quarantined []string
+}
+
+// Any reports whether the run degraded at all.
+func (d Degradation) Any() bool {
+	return d.ShedChunks > 0 || d.HeaderOnlyRequests > 0 || d.ShedRequests > 0 ||
+		d.BlockErrors > 0 || d.BlockPanics > 0 || d.BlockDropped > 0 ||
+		len(d.Quarantined) > 0
+}
+
+// String implements fmt.Stringer with a one-line operator summary.
+func (d Degradation) String() string {
+	return fmt.Sprintf(
+		"shed: %d chunks (%d samples), %d header-only, %d dropped requests, peak=%s; blocks: %d errors, %d panics, %d dropped items, quarantined=%v",
+		d.ShedChunks, d.ShedSamples, d.HeaderOnlyRequests, d.ShedRequests, d.PeakLevel,
+		d.BlockErrors, d.BlockPanics, d.BlockDropped, d.Quarantined)
+}
+
+// degradationFrom merges pacer counters (nil when overload control is
+// off) with the graph's supervision counters.
+func degradationFrom(stats []flowgraph.BlockStat, p *pacer) Degradation {
+	var d Degradation
+	if p != nil {
+		d.ShedChunks = p.shedChunks.Load()
+		d.ShedSamples = p.shedSamples.Load()
+		d.HeaderOnlyRequests = p.headerOnly.Load()
+		d.ShedRequests = p.shedRequests.Load()
+		d.PeakLevel = ShedLevel(p.peak.Load())
+	}
+	for _, st := range stats {
+		d.BlockErrors += st.Errors
+		d.BlockPanics += st.Panics
+		d.BlockDropped += st.Dropped
+		if st.Quarantined {
+			d.Quarantined = append(d.Quarantined, st.Name)
+		}
+	}
+	return d
+}

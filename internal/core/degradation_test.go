@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+func TestPacerWatermarksAndHysteresis(t *testing.T) {
+	base := time.Unix(1000, 0)
+	wall := base
+	p := newPacer(testClock, OverloadConfig{Now: func() time.Time { return wall }})
+
+	at := func(elapsed, streamed time.Duration) ShedLevel {
+		wall = base.Add(elapsed)
+		return p.observe(testClock.Ticks(streamed))
+	}
+
+	// Raise path: level climbs with lag (defaults 50/150/400 ms).
+	if lvl := at(0, 0); lvl != ShedNone {
+		t.Fatalf("t=0: %v", lvl)
+	}
+	if lvl := at(60*time.Millisecond, 0); lvl != ShedDemod {
+		t.Fatalf("lag 60ms: %v", lvl)
+	}
+	if lvl := at(200*time.Millisecond, 0); lvl != ShedAnalysis {
+		t.Fatalf("lag 200ms: %v", lvl)
+	}
+	if lvl := at(500*time.Millisecond, 0); lvl != ShedChunks {
+		t.Fatalf("lag 500ms: %v", lvl)
+	}
+
+	// Hysteresis: lag 300ms is below the 400ms chunk watermark but above
+	// half of it, so the level holds.
+	if lvl := at(500*time.Millisecond, 200*time.Millisecond); lvl != ShedChunks {
+		t.Fatalf("lag 300ms from chunks: %v", lvl)
+	}
+	// Below half the chunk watermark it falls — but only to the level the
+	// remaining lag still justifies.
+	if lvl := at(500*time.Millisecond, 320*time.Millisecond); lvl != ShedAnalysis {
+		t.Fatalf("lag 180ms from chunks: %v", lvl)
+	}
+	// 100ms is between half and full analysis watermark: holds.
+	if lvl := at(500*time.Millisecond, 400*time.Millisecond); lvl != ShedAnalysis {
+		t.Fatalf("lag 100ms from analysis: %v", lvl)
+	}
+	if lvl := at(500*time.Millisecond, 440*time.Millisecond); lvl != ShedDemod {
+		t.Fatalf("lag 60ms from analysis: %v", lvl)
+	}
+	if lvl := at(500*time.Millisecond, 480*time.Millisecond); lvl != ShedNone {
+		t.Fatalf("lag 20ms: %v", lvl)
+	}
+	if peak := ShedLevel(p.peak.Load()); peak != ShedChunks {
+		t.Errorf("peak %v", peak)
+	}
+}
+
+func TestShedGateOrder(t *testing.T) {
+	p := newPacer(testClock, OverloadConfig{})
+	g := &shedGate{pacer: p}
+	var out []flowgraph.Item
+	emit := func(i flowgraph.Item) { out = append(out, i) }
+	req := AnalysisRequest{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 0, End: 100}}
+
+	// Non-requests always pass (the gate sits on the analysis path only).
+	if err := g.Process(Chunk{}, emit); err != nil || len(out) != 1 {
+		t.Fatalf("chunk blocked: %v %d", err, len(out))
+	}
+	// ShedNone: untouched.
+	out = nil
+	_ = g.Process(req, emit)
+	if len(out) != 1 || out[0].(AnalysisRequest).HeaderOnly {
+		t.Fatalf("clean request mutated: %+v", out)
+	}
+	// ShedDemod: downgraded to header-only, still delivered.
+	p.level.Store(int32(ShedDemod))
+	out = nil
+	_ = g.Process(req, emit)
+	if len(out) != 1 || !out[0].(AnalysisRequest).HeaderOnly {
+		t.Fatalf("demod shed: %+v", out)
+	}
+	if p.headerOnly.Load() != 1 {
+		t.Errorf("headerOnly counter %d", p.headerOnly.Load())
+	}
+	// ShedAnalysis: dropped.
+	p.level.Store(int32(ShedAnalysis))
+	out = nil
+	_ = g.Process(req, emit)
+	if len(out) != 0 {
+		t.Fatalf("analysis-level request delivered: %+v", out)
+	}
+	if p.shedRequests.Load() != 1 {
+		t.Errorf("shedRequests counter %d", p.shedRequests.Load())
+	}
+}
+
+func TestRunStreamOverloadShedsChunks(t *testing.T) {
+	stream := burstStream(200_000, 20, 51,
+		iq.Interval{Start: 20_000, End: 60_000},
+		iq.Interval{Start: 100_000, End: 140_000},
+	)
+	// A wall clock that jumps 30 ms per chunk observation makes the
+	// pipeline hopelessly behind: every watermark is crossed.
+	base := time.Unix(1000, 0)
+	calls := 0
+	now := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * 30 * time.Millisecond)
+	}
+	p := NewPipeline(testClock, TimingOnly())
+	res, err := p.RunStream(&sliceReader{s: stream}, StreamConfig{
+		Overload: &OverloadConfig{Now: now},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Degradation
+	if d.ShedChunks == 0 || d.ShedSamples == 0 {
+		t.Fatalf("no chunks shed under overload: %+v", d)
+	}
+	if d.PeakLevel != ShedChunks {
+		t.Errorf("peak level %v", d.PeakLevel)
+	}
+	if !d.Any() {
+		t.Error("Degradation.Any() false")
+	}
+	// Stream accounting still covers the whole input: shed chunks lose
+	// their processing, not their place in the stream clock.
+	if res.StreamLen != iq.Tick(len(stream)) {
+		t.Errorf("stream len %d of %d", res.StreamLen, len(stream))
+	}
+}
+
+// emitAnalyzer is a minimal analyzer: one output item per request.
+type emitAnalyzer struct{ header int }
+
+func (a *emitAnalyzer) Name() string                { return "emit-analyzer" }
+func (a *emitAnalyzer) Accepts(f protocols.ID) bool { return true }
+func (a *emitAnalyzer) Analyze(_ SampleAccessor, req AnalysisRequest, emit func(flowgraph.Item)) error {
+	if req.HeaderOnly {
+		a.header++
+	}
+	emit(req.Span)
+	return nil
+}
+
+func TestRunStreamNoRetainStillDeliversLive(t *testing.T) {
+	stream := burstStream(100_000, 20, 52,
+		iq.Interval{Start: 10_000, End: 40_000},
+		iq.Interval{Start: 40_080, End: 42_000},
+	)
+	p := NewPipeline(testClock, TimingOnly(), &emitAnalyzer{})
+	var dets, outs int
+	res, err := p.RunStream(&sliceReader{s: stream}, StreamConfig{
+		NoRetain:    true,
+		OnDetection: func(Detection) { dets++ },
+		OnOutput:    func(flowgraph.Item) { outs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dets == 0 || outs == 0 {
+		t.Fatalf("live delivery broken: %d detections, %d outputs", dets, outs)
+	}
+	if len(res.Detections) != 0 || len(res.Requests) != 0 || len(res.Outputs) != 0 {
+		t.Errorf("NoRetain retained: %d det, %d req, %d out",
+			len(res.Detections), len(res.Requests), len(res.Outputs))
+	}
+}
+
+func TestRunStreamRetainsWithoutNoRetain(t *testing.T) {
+	stream := burstStream(100_000, 20, 52,
+		iq.Interval{Start: 10_000, End: 40_000},
+		iq.Interval{Start: 40_080, End: 42_000},
+	)
+	p := NewPipeline(testClock, TimingOnly(), &emitAnalyzer{})
+	var dets int
+	res, err := p.RunStream(&sliceReader{s: stream}, StreamConfig{
+		OnDetection: func(Detection) { dets++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dets == 0 || len(res.Detections) != dets {
+		t.Errorf("callbacks %d, retained %d — both expected", dets, len(res.Detections))
+	}
+	if len(res.Outputs) == 0 {
+		t.Error("outputs not retained by default")
+	}
+}

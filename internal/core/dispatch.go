@@ -24,6 +24,9 @@ type AnalysisRequest struct {
 	Confidence float64
 	// Detectors lists the modules that contributed.
 	Detectors []string
+	// HeaderOnly asks the analyzer to stop after the physical-layer
+	// header — set by the overload gate when full demodulation is shed.
+	HeaderOnly bool
 }
 
 // DispatcherConfig tunes the dispatcher.
@@ -67,6 +70,14 @@ type Dispatcher struct {
 	cfg     DispatcherConfig
 	pending map[protocols.ID]*pendingSpan
 
+	// OnDetection, if set, is invoked for every detection as it arrives
+	// (live monitoring). Under the parallel scheduler it runs on the
+	// dispatcher's goroutine.
+	OnDetection func(Detection)
+	// Retain controls accumulation into All/Requests; live sessions with
+	// callbacks disable it to bound memory.
+	Retain bool
+
 	// All accumulates every detection seen (the experiments read this
 	// for accuracy metrics).
 	All []Detection
@@ -79,6 +90,7 @@ func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 	return &Dispatcher{
 		cfg:     cfg.withDefaults(),
 		pending: make(map[protocols.ID]*pendingSpan),
+		Retain:  true,
 	}
 }
 
@@ -89,7 +101,12 @@ func (d *Dispatcher) Name() string { return "dispatcher" }
 // AnalysisRequest items.
 func (d *Dispatcher) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
 	det := item.(Detection)
-	d.All = append(d.All, det)
+	if d.Retain {
+		d.All = append(d.All, det)
+	}
+	if d.OnDetection != nil {
+		d.OnDetection(det)
+	}
 	fam := det.Family.Family()
 	p := d.pending[fam]
 	if p != nil {
@@ -147,7 +164,9 @@ func (d *Dispatcher) flush(fam protocols.ID, emit func(flowgraph.Item)) {
 		Confidence: p.confidence,
 		Detectors:  names,
 	}
-	d.Requests = append(d.Requests, req)
+	if d.Retain {
+		d.Requests = append(d.Requests, req)
+	}
 	emit(req)
 }
 

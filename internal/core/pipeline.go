@@ -100,6 +100,9 @@ type Result struct {
 	StreamLen iq.Tick
 	// Clock converts ticks to time.
 	Clock iq.Clock
+	// Degradation accounts work shed under overload and dropped by
+	// supervision (all-zero for a clean run).
+	Degradation Degradation
 }
 
 // CPUPerRealTime returns the paper's headline efficiency metric:
@@ -157,22 +160,39 @@ func (b *analyzerBlock) Process(item flowgraph.Item, emit func(flowgraph.Item)) 
 
 func (b *analyzerBlock) Flush(func(flowgraph.Item)) error { return nil }
 
-// sinkBlock collects analyzer outputs.
+// sinkBlock collects analyzer outputs and/or delivers them live.
 type sinkBlock struct {
-	items *[]flowgraph.Item
+	items  *[]flowgraph.Item
+	onItem func(flowgraph.Item)
+	retain bool
 }
 
 func (s *sinkBlock) Name() string { return "sink" }
 func (s *sinkBlock) Process(item flowgraph.Item, _ func(flowgraph.Item)) error {
-	*s.items = append(*s.items, item)
+	if s.retain {
+		*s.items = append(*s.items, item)
+	}
+	if s.onItem != nil {
+		s.onItem(item)
+	}
 	return nil
 }
 func (s *sinkBlock) Flush(func(flowgraph.Item)) error { return nil }
 
+// assembleOpts tunes assemble for the streaming path: live delivery
+// hooks, retention control, and the overload shed gate.
+type assembleOpts struct {
+	onDetection func(Detection)
+	onOutput    func(flowgraph.Item)
+	noRetainDet bool // drop Detections/Requests accumulation
+	noRetainOut bool // drop Outputs accumulation
+	gate        *shedGate
+}
+
 // assemble builds the flowgraph for one run over the given accessor:
-// peak detector -> enabled fast detectors -> dispatcher -> analyzers ->
-// sink.
-func (p *Pipeline) assemble(src SampleAccessor) (*flowgraph.Graph, *Dispatcher, *[]flowgraph.Item, error) {
+// peak detector -> enabled fast detectors -> dispatcher [-> shed gate]
+// -> analyzers -> sink.
+func (p *Pipeline) assemble(src SampleAccessor, opts assembleOpts) (*flowgraph.Graph, *Dispatcher, *[]flowgraph.Item, error) {
 	graph := flowgraph.New()
 
 	peak := NewPeakDetector(p.cfg.Peak)
@@ -180,6 +200,8 @@ func (p *Pipeline) assemble(src SampleAccessor) (*flowgraph.Graph, *Dispatcher, 
 	graph.MustRoot("peak-detector")
 
 	dispatcher := NewDispatcher(p.cfg.Dispatch)
+	dispatcher.OnDetection = opts.onDetection
+	dispatcher.Retain = !opts.noRetainDet
 	graph.MustAdd(dispatcher)
 
 	var detectorNames []string
@@ -218,12 +240,18 @@ func (p *Pipeline) assemble(src SampleAccessor) (*flowgraph.Graph, *Dispatcher, 
 	}
 
 	outputs := new([]flowgraph.Item)
-	sink := &sinkBlock{items: outputs}
+	sink := &sinkBlock{items: outputs, onItem: opts.onOutput, retain: !opts.noRetainOut}
 	graph.MustAdd(sink)
+	analyzerUpstream := "dispatcher"
+	if opts.gate != nil {
+		graph.MustAdd(opts.gate)
+		graph.MustConnect("dispatcher", opts.gate.Name())
+		analyzerUpstream = opts.gate.Name()
+	}
 	for _, a := range p.analyzers {
 		b := &analyzerBlock{a: a, src: src}
 		graph.MustAdd(b)
-		graph.MustConnect("dispatcher", b.Name())
+		graph.MustConnect(analyzerUpstream, b.Name())
 		graph.MustConnect(b.Name(), "sink")
 	}
 	return graph, dispatcher, outputs, nil
@@ -232,7 +260,7 @@ func (p *Pipeline) assemble(src SampleAccessor) (*flowgraph.Graph, *Dispatcher, 
 // Run processes a full trace.
 func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
 	src := &StreamAccessor{Stream: stream}
-	graph, dispatcher, outputs, err := p.assemble(src)
+	graph, dispatcher, outputs, err := p.assemble(src, assembleOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -267,13 +295,15 @@ func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
 		return nil, err
 	}
 
+	stats := graph.Stats()
 	return &Result{
-		Detections: dispatcher.All,
-		Requests:   dispatcher.Requests,
-		Outputs:    *outputs,
-		Stats:      graph.Stats(),
-		Busy:       graph.TotalBusy(),
-		StreamLen:  iq.Tick(len(stream)),
-		Clock:      p.clock,
+		Detections:  dispatcher.All,
+		Requests:    dispatcher.Requests,
+		Outputs:     *outputs,
+		Stats:       stats,
+		Busy:        graph.TotalBusy(),
+		StreamLen:   iq.Tick(len(stream)),
+		Clock:       p.clock,
+		Degradation: degradationFrom(stats, nil),
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
@@ -69,17 +70,69 @@ type BlockReader interface {
 	ReadBlock(dst iq.Samples) (int, error)
 }
 
+// streamWindow is what RunStream needs from its sample store.
+type streamWindow interface {
+	SampleAccessor
+	Append(block iq.Samples)
+	End() iq.Tick
+}
+
+// lockedWindow synchronizes a SlidingWindow for the parallel scheduler:
+// blocks run on their own goroutines while the source keeps appending,
+// and compaction moves samples, so Slice must hand out copies — a block
+// may still be reading them when the window slides.
+type lockedWindow struct {
+	mu sync.RWMutex
+	w  *SlidingWindow
+}
+
+func (l *lockedWindow) Append(block iq.Samples) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Append(block)
+}
+
+func (l *lockedWindow) End() iq.Tick {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.w.End()
+}
+
+func (l *lockedWindow) Slice(iv iq.Interval) iq.Samples {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := l.w.Slice(iv)
+	if len(s) == 0 {
+		return nil
+	}
+	return append(iq.Samples(nil), s...)
+}
+
 // StreamConfig tunes RunStream.
 type StreamConfig struct {
 	// WindowSamples bounds retained history (default 1 s at 8 Msps /40,
 	// i.e. 200 ms).
 	WindowSamples int
 	// OnDetection, if set, is called for every detection as it is made
-	// (live monitoring UI); it must not retain the value.
+	// (live monitoring UI); it must not retain the value. Under the
+	// parallel scheduler it runs on the dispatcher's goroutine.
 	OnDetection func(Detection)
 	// OnOutput, if set, receives analyzer products (decoded packets) as
-	// they are produced.
+	// they are produced, on the sink's goroutine under the parallel
+	// scheduler.
 	OnOutput func(flowgraph.Item)
+	// NoRetain stops the Result from accumulating Detections/Requests
+	// (when OnDetection is set) and Outputs (when OnOutput is set), so a
+	// long-running live session uses bounded memory.
+	NoRetain bool
+	// Supervise, when non-nil, isolates block faults: panics are
+	// recovered and erroring detectors/analyzers are quarantined (and
+	// optionally readmitted after a backoff) instead of aborting the
+	// run.
+	Supervise *flowgraph.SupervisorConfig
+	// Overload, when non-nil, enables watermark-based load shedding
+	// against real time; shed work is accounted in Result.Degradation.
+	Overload *OverloadConfig
 }
 
 // RunStream processes a live sample source with bounded memory: the
@@ -87,14 +140,34 @@ type StreamConfig struct {
 // our system can process transmissions after some delay (e.g., a second)
 // but the processing must keep up", Section 1). The detectors, dispatcher
 // and analyzers are identical to Run; only the sample storage differs.
+// Detection and output callbacks fire incrementally as the scheduler
+// produces items, and with Supervise/Overload set the run degrades
+// gracefully (quarantine, load shedding) instead of dying.
 func (p *Pipeline) RunStream(src BlockReader, cfg StreamConfig) (*Result, error) {
 	if cfg.WindowSamples <= 0 {
 		cfg.WindowSamples = 1_600_000 // 200 ms at 8 Msps
 	}
-	window := NewSlidingWindow(cfg.WindowSamples)
-	graph, dispatcher, outputs, err := p.assemble(window)
+	var window streamWindow = NewSlidingWindow(cfg.WindowSamples)
+	if p.cfg.Parallel {
+		window = &lockedWindow{w: NewSlidingWindow(cfg.WindowSamples)}
+	}
+	opts := assembleOpts{
+		onDetection: cfg.OnDetection,
+		onOutput:    cfg.OnOutput,
+		noRetainDet: cfg.NoRetain && cfg.OnDetection != nil,
+		noRetainOut: cfg.NoRetain && cfg.OnOutput != nil,
+	}
+	var pace *pacer
+	if cfg.Overload != nil {
+		pace = newPacer(p.clock, *cfg.Overload)
+		opts.gate = &shedGate{pacer: pace}
+	}
+	graph, dispatcher, outputs, err := p.assemble(window, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Supervise != nil {
+		graph.Supervise(*cfg.Supervise)
 	}
 
 	var (
@@ -103,59 +176,59 @@ func (p *Pipeline) RunStream(src BlockReader, cfg StreamConfig) (*Result, error)
 		block   = make(iq.Samples, iq.ChunkSamples)
 	)
 	source := func() (flowgraph.Item, bool) {
-		if readErr != nil {
-			return nil, false
+		for {
+			if readErr != nil {
+				return nil, false
+			}
+			n, err := src.ReadBlock(block)
+			if err != nil && !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			if n == 0 {
+				readErr = err
+				return nil, false
+			}
+			start := window.End()
+			window.Append(block[:n])
+			span := iq.Interval{Start: start, End: start + iq.Tick(n)}
+			c := Chunk{Seq: seq, Span: span, Samples: window.Slice(span)}
+			seq++
+			if errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			// Last-resort shedding: when the pipeline has fallen past the
+			// chunk watermark the chunk never enters the graph (detectors
+			// included — they are shed last, and only here).
+			if pace != nil && pace.observe(window.End()) >= ShedChunks {
+				pace.shedChunks.Add(1)
+				pace.shedSamples.Add(int64(n))
+				continue
+			}
+			return c, true
 		}
-		n, err := src.ReadBlock(block)
-		if err != nil && !errors.Is(err, io.EOF) {
-			readErr = err
-		}
-		if n == 0 {
-			readErr = err
-			return nil, false
-		}
-		start := window.End()
-		window.Append(block[:n])
-		c := Chunk{
-			Seq:     seq,
-			Span:    iq.Interval{Start: start, End: start + iq.Tick(n)},
-			Samples: window.Slice(iq.Interval{Start: start, End: start + iq.Tick(n)}),
-		}
-		seq++
-		if errors.Is(err, io.EOF) {
-			readErr = err
-		}
-		return c, true
 	}
 
-	if err := graph.Run(source); err != nil {
+	if p.cfg.Parallel {
+		err = graph.RunParallel(source, 128)
+	} else {
+		err = graph.Run(source)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if readErr != nil && !errors.Is(readErr, io.EOF) {
 		return nil, fmt.Errorf("core: stream source: %w", readErr)
 	}
 
-	// Live callbacks: deliver in order (the sequential scheduler already
-	// produced them in order; for simplicity they are delivered at the
-	// end of each graph push via the dispatcher/sink records).
-	if cfg.OnDetection != nil {
-		for _, d := range dispatcher.All {
-			cfg.OnDetection(d)
-		}
-	}
-	if cfg.OnOutput != nil {
-		for _, it := range *outputs {
-			cfg.OnOutput(it)
-		}
-	}
-
+	stats := graph.Stats()
 	return &Result{
-		Detections: dispatcher.All,
-		Requests:   dispatcher.Requests,
-		Outputs:    *outputs,
-		Stats:      graph.Stats(),
-		Busy:       graph.TotalBusy(),
-		StreamLen:  window.End(),
-		Clock:      p.clock,
+		Detections:  dispatcher.All,
+		Requests:    dispatcher.Requests,
+		Outputs:     *outputs,
+		Stats:       stats,
+		Busy:        graph.TotalBusy(),
+		StreamLen:   window.End(),
+		Clock:       p.clock,
+		Degradation: degradationFrom(stats, pace),
 	}, nil
 }

@@ -29,6 +29,10 @@ type BTDemod struct {
 	Channels int
 	// MaxSyncErrors tolerated in the 64-bit sync correlation.
 	MaxSyncErrors int
+	// HeaderOnly stops decoding after the FEC header (first HEC-passing
+	// whitening candidate); the payload — the expensive part — is
+	// skipped. The overload gate sets it per request when shedding.
+	HeaderOnly bool
 
 	sync    uint64
 	filter  *dsp.FIR
@@ -62,6 +66,12 @@ func (d *BTDemod) Accepts(f protocols.ID) bool { return f.Family() == protocols.
 // frequency detection give, Section 5.2); otherwise all channels run.
 func (d *BTDemod) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
 	samples := src.Slice(req.Span)
+	if req.HeaderOnly && !d.HeaderOnly {
+		// Degraded mode for this request only; safe, the scheduler runs
+		// each block on a single goroutine.
+		d.HeaderOnly = true
+		defer func() { d.HeaderOnly = false }()
+	}
 	if req.Channel >= 0 && req.Channel < d.Channels {
 		for _, p := range d.DemodulateChannel(samples, req.Span.Start, req.Channel) {
 			emit(p)
@@ -252,6 +262,17 @@ func (d *BTDemod) decodePacket(diffs []float64, syncEnd int, drift float64, ch i
 		hdr, hecOK := bluetooth.DecodeHeader(tmp, d.UAP)
 		if !hecOK {
 			continue
+		}
+		if d.HeaderOnly {
+			// Shed mode: the first HEC-passing header is reported as-is
+			// and the payload (the expensive part) is never decoded.
+			end := syncEnd + (trailerBits+bluetooth.HeaderAirBits+1)*bluetooth.SPS
+			return &Packet{
+				Proto:   protocols.Bluetooth,
+				Channel: ch,
+				Span:    iq.Interval{Start: spanStart, End: base + iq.Tick(end)},
+				Note:    hdr.Type.String() + " (header only, shed)",
+			}, end
 		}
 		pkt, end := d.decodePayload(diffs, syncEnd, spanStart, base, ch, hdr, w, readBits)
 		if pkt == nil {

@@ -80,9 +80,16 @@ func (d *WiFiDemod) Accepts(f protocols.ID) bool {
 	return f.Family() == protocols.WiFi80211b1M
 }
 
-// Analyze implements core.Analyzer.
+// Analyze implements core.Analyzer. A request flagged HeaderOnly (the
+// overload gate shedding full demodulation) is decoded in the header-only
+// mode for just that request; the toggle is safe because the scheduler
+// runs each block on a single goroutine.
 func (d *WiFiDemod) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
 	samples := src.Slice(req.Span)
+	if req.HeaderOnly && !d.HeaderOnly {
+		d.HeaderOnly = true
+		defer func() { d.HeaderOnly = false }()
+	}
 	for _, p := range d.Demodulate(samples, req.Span.Start) {
 		emit(p)
 	}

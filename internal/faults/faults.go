@@ -1,0 +1,260 @@
+// Package faults injects receive-chain impairments into a live sample
+// source — the failure modes real SDR monitors see between the antenna
+// and the host (USRP buffer overflows, runt USB transfers, stale DMA
+// buffers, AGC glitches, transient bus errors) — so the resilience of
+// the streaming pipeline can be tested and demonstrated without
+// hardware. It wraps any BlockReader (frontend.SampleSource satisfies
+// it) and is deterministic for a given seed.
+//
+// Fault taxonomy:
+//
+//   - Overflow gap: a burst of consecutive blocks is lost in the receive
+//     chain. The host keeps its sample clock (real receivers timestamp
+//     their streams and re-align after an overflow), so lost spans are
+//     delivered as silence rather than shortening the stream.
+//   - Sample corruption: a fraction of a block's samples replaced by
+//     full-scale garbage (bus bit errors, ADC glitches).
+//   - Short read: a runt transfer delivering only a prefix of the
+//     requested block; no samples are lost, the next read continues.
+//   - Duplicate block: a stale DMA buffer delivered again — the stream
+//     position advances but the content is the previous block's.
+//   - Gain glitch: a block scaled by a spurious AGC step.
+//   - Transient error: the read fails outright (USB stall); retrying
+//     succeeds. See Retry for the bounded retry-with-backoff wrapper.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"rfdump/internal/iq"
+)
+
+// BlockReader is the minimal live-input contract, matching
+// core.BlockReader and frontend.SampleSource.
+type BlockReader interface {
+	ReadBlock(dst iq.Samples) (int, error)
+}
+
+// ErrTransient marks an injected transient read error; wrapped errors
+// match with errors.Is.
+var ErrTransient = errors.New("transient read error")
+
+// Config sets per-read fault probabilities. All probabilities default to
+// zero (fault disabled); the zero Config injects nothing.
+type Config struct {
+	// Seed makes the injection deterministic.
+	Seed int64
+	// GapProb is the per-read probability of starting an overflow gap of
+	// GapBlocks blocks (delivered as silence).
+	GapProb float64
+	// GapBlocks is the gap length in blocks (default 100).
+	GapBlocks int
+	// CorruptProb is the per-read probability of corrupting a block;
+	// CorruptFrac of its samples (default 0.02) are replaced.
+	CorruptProb float64
+	CorruptFrac float64
+	// ShortReadProb is the per-read probability of a runt transfer.
+	ShortReadProb float64
+	// DupProb is the per-read probability of delivering the previous
+	// block's content again.
+	DupProb float64
+	// GainGlitchProb is the per-read probability of scaling the block by
+	// a spurious gain in [GainLow, GainHigh] (defaults 0.05, 2.5).
+	GainGlitchProb float64
+	GainLow        float64
+	GainHigh       float64
+	// TransientProb is the per-read probability of a failed read that
+	// succeeds when retried.
+	TransientProb float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	GapEvents        int64
+	DroppedBlocks    int64
+	DroppedSamples   int64
+	CorruptedBlocks  int64
+	CorruptedSamples int64
+	ShortReads       int64
+	DupBlocks        int64
+	GainGlitches     int64
+	TransientErrors  int64
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"faults: %d gaps (%d blocks, %d samples), %d corrupted blocks (%d samples), %d short reads, %d dups, %d gain glitches, %d transient errors",
+		s.GapEvents, s.DroppedBlocks, s.DroppedSamples,
+		s.CorruptedBlocks, s.CorruptedSamples,
+		s.ShortReads, s.DupBlocks, s.GainGlitches, s.TransientErrors)
+}
+
+// Injector wraps a BlockReader with fault injection. Not safe for
+// concurrent use (streams are read by one scheduler goroutine).
+type Injector struct {
+	src     BlockReader
+	cfg     Config
+	rng     *rand.Rand
+	stats   Stats
+	gapLeft int
+	prev    iq.Samples
+}
+
+// NewInjector wraps src.
+func NewInjector(src BlockReader, cfg Config) *Injector {
+	if cfg.GapBlocks <= 0 {
+		cfg.GapBlocks = 100
+	}
+	if cfg.CorruptFrac <= 0 {
+		cfg.CorruptFrac = 0.02
+	}
+	if cfg.GainLow <= 0 {
+		cfg.GainLow = 0.05
+	}
+	if cfg.GainHigh <= 0 {
+		cfg.GainHigh = 2.5
+	}
+	return &Injector{src: src, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the injection counters so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+func (in *Injector) hit(p float64) bool {
+	return p > 0 && in.rng.Float64() < p
+}
+
+// ReadBlock implements BlockReader.
+func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
+	if in.gapLeft == 0 && in.hit(in.cfg.TransientProb) {
+		in.stats.TransientErrors++
+		return 0, fmt.Errorf("faults: usb bus stall: %w", ErrTransient)
+	}
+	if in.gapLeft == 0 && in.hit(in.cfg.GapProb) {
+		in.stats.GapEvents++
+		in.gapLeft = in.cfg.GapBlocks
+	}
+	if in.gapLeft > 0 {
+		// Overflow: consume the real samples underneath, deliver silence
+		// (the receive chain lost them; the sample clock is kept).
+		in.gapLeft--
+		n, err := in.src.ReadBlock(dst)
+		for i := range dst[:n] {
+			dst[i] = 0
+		}
+		if n > 0 {
+			in.stats.DroppedBlocks++
+			in.stats.DroppedSamples += int64(n)
+		}
+		in.remember(dst[:n])
+		return n, err
+	}
+
+	if in.hit(in.cfg.ShortReadProb) && len(dst) > 1 {
+		// Runt transfer: read only a prefix; nothing is lost, the next
+		// read picks up where the source left off.
+		in.stats.ShortReads++
+		dst = dst[:1+in.rng.Intn(len(dst)-1)]
+	}
+	n, err := in.src.ReadBlock(dst)
+	if n == 0 {
+		return n, err
+	}
+	block := dst[:n]
+
+	if in.hit(in.cfg.DupProb) && len(in.prev) > 0 {
+		in.stats.DupBlocks++
+		m := copy(block, in.prev)
+		for i := m; i < len(block); i++ {
+			block[i] = 0
+		}
+	}
+	if in.hit(in.cfg.CorruptProb) {
+		k := int(float64(len(block)) * in.cfg.CorruptFrac)
+		if k < 1 {
+			k = 1
+		}
+		in.stats.CorruptedBlocks++
+		in.stats.CorruptedSamples += int64(k)
+		for i := 0; i < k; i++ {
+			j := in.rng.Intn(len(block))
+			block[j] = complex(
+				float32((in.rng.Float64()*2-1)*64),
+				float32((in.rng.Float64()*2-1)*64))
+		}
+	}
+	if in.hit(in.cfg.GainGlitchProb) {
+		in.stats.GainGlitches++
+		g := float32(in.cfg.GainLow + in.rng.Float64()*(in.cfg.GainHigh-in.cfg.GainLow))
+		for i := range block {
+			block[i] *= complex(g, 0)
+		}
+	}
+	in.remember(block)
+	return n, err
+}
+
+// remember keeps the delivered block for the duplicate fault.
+func (in *Injector) remember(block iq.Samples) {
+	in.prev = append(in.prev[:0], block...)
+}
+
+// ParseSpec parses a comma-separated fault spec like
+// "gap=0.001,gapblocks=160,corrupt=0.01,short=0.01,dup=0.005,glitch=0.005,transient=0.01,seed=7".
+// Unknown keys are an error; omitted keys keep their zero/default value.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: bad spec entry %q (want key=value)", kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed", "gapblocks":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faults: %s: %v", key, err)
+			}
+			if key == "seed" {
+				cfg.Seed = n
+			} else {
+				cfg.GapBlocks = int(n)
+			}
+		default:
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faults: %s: %v", key, err)
+			}
+			switch key {
+			case "gap":
+				cfg.GapProb = p
+			case "corrupt":
+				cfg.CorruptProb = p
+			case "corruptfrac":
+				cfg.CorruptFrac = p
+			case "short":
+				cfg.ShortReadProb = p
+			case "dup":
+				cfg.DupProb = p
+			case "glitch":
+				cfg.GainGlitchProb = p
+			case "transient":
+				cfg.TransientProb = p
+			default:
+				return cfg, fmt.Errorf("faults: unknown spec key %q", key)
+			}
+		}
+	}
+	return cfg, nil
+}

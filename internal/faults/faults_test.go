@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// ramp serves an in-memory stream whose samples encode their own
+// absolute position, so alignment is directly checkable downstream.
+type ramp struct {
+	n   int
+	pos int
+}
+
+func (r *ramp) ReadBlock(dst iq.Samples) (int, error) {
+	if r.pos >= r.n {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > r.n-r.pos {
+		n = r.n - r.pos
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = complex(float32(r.pos+i+1), 0)
+	}
+	r.pos += n
+	if r.pos >= r.n {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// drain reads everything through rd in 200-sample blocks, returning the
+// concatenated stream (transient errors simply retried by the caller).
+func drain(t *testing.T, rd BlockReader) iq.Samples {
+	t.Helper()
+	var out iq.Samples
+	buf := make(iq.Samples, 200)
+	for {
+		n, err := rd.ReadBlock(buf)
+		out = append(out, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil && !errors.Is(err, ErrTransient) {
+			t.Fatalf("read: %v", err)
+		}
+	}
+}
+
+func TestInjectorZeroConfigTransparent(t *testing.T) {
+	in := NewInjector(&ramp{n: 1000}, Config{})
+	out := drain(t, in)
+	if len(out) != 1000 {
+		t.Fatalf("got %d samples", len(out))
+	}
+	for i, s := range out {
+		if real(s) != float32(i+1) {
+			t.Fatalf("sample %d = %v, stream mutated without faults", i, s)
+		}
+	}
+	if in.Stats() != (Stats{}) {
+		t.Errorf("stats %+v on zero config", in.Stats())
+	}
+}
+
+func TestInjectorGapPreservesAlignment(t *testing.T) {
+	// Gaps must zero samples, not remove them: positions after the gap
+	// still match the ramp.
+	in := NewInjector(&ramp{n: 20_000}, Config{Seed: 3, GapProb: 0.05, GapBlocks: 5})
+	out := drain(t, in)
+	if len(out) != 20_000 {
+		t.Fatalf("stream length changed: %d", len(out))
+	}
+	st := in.Stats()
+	if st.GapEvents == 0 || st.DroppedSamples == 0 {
+		t.Fatalf("no gaps injected: %+v", st)
+	}
+	zeros := int64(0)
+	for i, s := range out {
+		if s == 0 {
+			zeros++
+		} else if real(s) != float32(i+1) {
+			t.Fatalf("sample %d = %v: alignment broken", i, s)
+		}
+	}
+	if zeros != st.DroppedSamples {
+		t.Errorf("zeroed %d samples, stats say %d dropped", zeros, st.DroppedSamples)
+	}
+}
+
+func TestInjectorShortReadsLoseNothing(t *testing.T) {
+	in := NewInjector(&ramp{n: 50_000}, Config{Seed: 9, ShortReadProb: 0.3})
+	out := drain(t, in)
+	if len(out) != 50_000 {
+		t.Fatalf("short reads lost samples: %d", len(out))
+	}
+	for i, s := range out {
+		if real(s) != float32(i+1) {
+			t.Fatalf("sample %d = %v", i, s)
+		}
+	}
+	if in.Stats().ShortReads == 0 {
+		t.Error("no short reads injected at prob 0.3")
+	}
+}
+
+func TestInjectorCorruptionAndGlitches(t *testing.T) {
+	in := NewInjector(&ramp{n: 50_000}, Config{
+		Seed: 5, CorruptProb: 0.2, GainGlitchProb: 0.2, DupProb: 0.2,
+	})
+	out := drain(t, in)
+	if len(out) != 50_000 {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	st := in.Stats()
+	if st.CorruptedBlocks == 0 || st.GainGlitches == 0 || st.DupBlocks == 0 {
+		t.Errorf("faults not injected: %+v", st)
+	}
+	mutated := 0
+	for i, s := range out {
+		if real(s) != float32(i+1) || imag(s) != 0 {
+			mutated++
+		}
+	}
+	if mutated == 0 {
+		t.Error("no samples mutated")
+	}
+}
+
+func TestInjectorTransientAndRetry(t *testing.T) {
+	in := NewInjector(&ramp{n: 100_000}, Config{Seed: 11, TransientProb: 0.1})
+	var slept []time.Duration
+	rt := &Retry{Src: in, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	out := drain(t, rt)
+	if len(out) != 100_000 {
+		t.Fatalf("retry lost samples: %d", len(out))
+	}
+	for i, s := range out {
+		if real(s) != float32(i+1) {
+			t.Fatalf("sample %d = %v", i, s)
+		}
+	}
+	if in.Stats().TransientErrors == 0 {
+		t.Fatal("no transient errors at prob 0.1")
+	}
+	if rt.Retries == 0 || len(slept) == 0 {
+		t.Errorf("retry never engaged: retries=%d sleeps=%d", rt.Retries, len(slept))
+	}
+	if rt.Exhausted != 0 {
+		t.Errorf("%d reads exhausted retries at prob 0.1", rt.Exhausted)
+	}
+}
+
+func TestRetryExhaustsOnPersistentTransient(t *testing.T) {
+	always := readerFunc(func(iq.Samples) (int, error) { return 0, ErrTransient })
+	rt := &Retry{Src: always, Attempts: 3, Sleep: func(time.Duration) {}}
+	if _, err := rt.ReadBlock(make(iq.Samples, 10)); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if rt.Exhausted != 1 {
+		t.Errorf("exhausted = %d", rt.Exhausted)
+	}
+}
+
+func TestRetryPassesThroughPersistentErrors(t *testing.T) {
+	boom := errors.New("hardware gone")
+	calls := 0
+	src := readerFunc(func(iq.Samples) (int, error) { calls++; return 0, boom })
+	rt := &Retry{Src: src, Sleep: func(time.Duration) {}}
+	if _, err := rt.ReadBlock(make(iq.Samples, 10)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("non-transient error retried %d times", calls)
+	}
+}
+
+type readerFunc func(dst iq.Samples) (int, error)
+
+func (f readerFunc) ReadBlock(dst iq.Samples) (int, error) { return f(dst) }
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("gap=0.001, gapblocks=160, corrupt=0.01, short=0.02, dup=0.005, glitch=0.004, transient=0.03, corruptfrac=0.1, seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GapProb != 0.001 || cfg.GapBlocks != 160 || cfg.CorruptProb != 0.01 ||
+		cfg.ShortReadProb != 0.02 || cfg.DupProb != 0.005 || cfg.GainGlitchProb != 0.004 ||
+		cfg.TransientProb != 0.03 || cfg.CorruptFrac != 0.1 || cfg.Seed != 7 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParseSpec("gap"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"errors"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// Retry wraps a BlockReader with bounded retry-with-backoff on transient
+// errors, the front-end recovery policy for USB stalls and similar
+// hiccups: a read that fails transiently is retried with exponentially
+// growing delays; persistent errors (and io.EOF) pass through.
+type Retry struct {
+	// Src is the wrapped reader.
+	Src BlockReader
+	// Attempts is the total tries per block (default 4).
+	Attempts int
+	// Backoff is the first retry delay, doubled per retry (default 1ms).
+	Backoff time.Duration
+	// Sleep overrides time.Sleep (deterministic tests).
+	Sleep func(time.Duration)
+	// Transient classifies retryable errors; the default matches
+	// errors.Is(err, ErrTransient).
+	Transient func(error) bool
+
+	// Retries counts reads that needed at least one retry; Exhausted
+	// counts reads that failed even after all attempts.
+	Retries   int64
+	Exhausted int64
+}
+
+// ReadBlock implements BlockReader.
+func (r *Retry) ReadBlock(dst iq.Samples) (int, error) {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	delay := r.Backoff
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	transient := r.Transient
+	if transient == nil {
+		transient = func(err error) bool { return errors.Is(err, ErrTransient) }
+	}
+	retried := false
+	for attempt := 1; ; attempt++ {
+		n, err := r.Src.ReadBlock(dst)
+		if err == nil || n > 0 || !transient(err) {
+			if retried {
+				r.Retries++
+			}
+			return n, err
+		}
+		if attempt >= attempts {
+			r.Exhausted++
+			return n, err
+		}
+		retried = true
+		sleep(delay)
+		delay *= 2
+	}
+}

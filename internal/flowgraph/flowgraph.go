@@ -55,6 +55,15 @@ type node struct {
 	// accounting
 	busy  time.Duration
 	items int64
+	// supervision state (only mutated under a SupervisorConfig, and only
+	// by the goroutine that owns the node)
+	errors      int64
+	panics      int64
+	dropped     int64
+	consecErr   int
+	trips       int
+	dropSince   int64
+	quarantined bool
 }
 
 // Graph is a DAG of blocks. Build with Add/Connect, then Run.
@@ -62,6 +71,7 @@ type Graph struct {
 	nodes  []*node
 	byName map[string]*node
 	roots  []*node
+	sup    *SupervisorConfig
 	mu     sync.Mutex
 }
 
@@ -166,12 +176,8 @@ func (g *Graph) checkAcyclic() error {
 // total CPU time).
 func (g *Graph) process(n *node, item Item) error {
 	var emitted []Item
-	start := time.Now()
-	err := n.block.Process(item, func(out Item) { emitted = append(emitted, out) })
-	n.busy += time.Since(start)
-	n.items++
-	if err != nil {
-		return fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err)
+	if err := g.invoke(n, item, func(out Item) { emitted = append(emitted, out) }); err != nil {
+		return err
 	}
 	for _, out := range emitted {
 		for _, next := range n.outs {
@@ -189,11 +195,8 @@ func (g *Graph) flush(n *node, visited map[*node]bool) error {
 	}
 	visited[n] = true
 	var emitted []Item
-	start := time.Now()
-	err := n.block.Flush(func(out Item) { emitted = append(emitted, out) })
-	n.busy += time.Since(start)
-	if err != nil {
-		return fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err)
+	if err := g.invokeFlush(n, func(out Item) { emitted = append(emitted, out) }); err != nil {
+		return err
 	}
 	for _, out := range emitted {
 		for _, next := range n.outs {
@@ -244,13 +247,25 @@ type BlockStat struct {
 	Name  string
 	Busy  time.Duration
 	Items int64
+	// Supervision counters (zero without a SupervisorConfig).
+	Errors  int64 // Process/Flush errors absorbed (panics included)
+	Panics  int64 // recovered panics
+	Dropped int64 // items dropped while quarantined
+	Trips   int   // times the block was quarantined
+	// Quarantined reports whether the block ended the run out of
+	// service.
+	Quarantined bool
 }
 
 // Stats returns per-block accounting sorted by descending busy time.
 func (g *Graph) Stats() []BlockStat {
 	out := make([]BlockStat, 0, len(g.nodes))
 	for _, n := range g.nodes {
-		out = append(out, BlockStat{Name: n.block.Name(), Busy: n.busy, Items: n.items})
+		out = append(out, BlockStat{
+			Name: n.block.Name(), Busy: n.busy, Items: n.items,
+			Errors: n.errors, Panics: n.panics, Dropped: n.dropped,
+			Trips: n.trips, Quarantined: n.quarantined,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
 	return out
@@ -266,10 +281,17 @@ func (g *Graph) TotalBusy() time.Duration {
 	return t
 }
 
-// ResetStats clears accounting.
+// ResetStats clears accounting and supervision state.
 func (g *Graph) ResetStats() {
 	for _, n := range g.nodes {
 		n.busy = 0
 		n.items = 0
+		n.errors = 0
+		n.panics = 0
+		n.dropped = 0
+		n.consecErr = 0
+		n.trips = 0
+		n.dropSince = 0
+		n.quarantined = false
 	}
 }

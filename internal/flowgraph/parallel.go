@@ -3,7 +3,6 @@ package flowgraph
 import (
 	"fmt"
 	"sync"
-	"time"
 )
 
 // RunParallel executes the graph with one goroutine per block connected by
@@ -92,23 +91,19 @@ func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
 				}
 			}
 			for item := range inCh[n] {
-				start := time.Now()
-				err := n.block.Process(item, emit)
-				n.busy += time.Since(start)
-				n.items++
-				if err != nil {
-					setErr(fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err))
+				// invoke handles accounting and, when supervised, panic
+				// recovery and the quarantine policy; it only returns an
+				// error in fail-fast mode.
+				if err := g.invoke(n, item, emit); err != nil {
+					setErr(err)
 					// Drain remaining input so upstream does not block.
 					for range inCh[n] {
 					}
 					return
 				}
 			}
-			start := time.Now()
-			err := n.block.Flush(emit)
-			n.busy += time.Since(start)
-			if err != nil {
-				setErr(fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err))
+			if err := g.invokeFlush(n, emit); err != nil {
+				setErr(err)
 			}
 		}()
 	}

@@ -1,0 +1,227 @@
+package flowgraph
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError wraps a panic recovered inside a supervised block so the
+// error policy can treat crashes and errors uniformly while keeping the
+// stack for diagnostics.
+type PanicError struct {
+	// Block is the panicking block's name.
+	Block string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("flowgraph: panic in %s: %v", e.Block, e.Value)
+}
+
+// EventKind classifies supervisor events.
+type EventKind int
+
+const (
+	// EventError is a non-fatal block error absorbed by the supervisor.
+	EventError EventKind = iota
+	// EventQuarantine is a block being taken out of service.
+	EventQuarantine
+	// EventReadmit is a quarantined block returning to service on
+	// probation after its backoff.
+	EventReadmit
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventError:
+		return "error"
+	case EventQuarantine:
+		return "quarantine"
+	case EventReadmit:
+		return "readmit"
+	}
+	return "unknown"
+}
+
+// SupervisorEvent describes one supervision decision.
+type SupervisorEvent struct {
+	// Block is the affected block's name.
+	Block string
+	// Kind is what happened.
+	Kind EventKind
+	// Err is the triggering error (nil for EventReadmit).
+	Err error
+}
+
+// String implements fmt.Stringer.
+func (e SupervisorEvent) String() string {
+	if e.Err == nil {
+		return fmt.Sprintf("%s %s", e.Kind, e.Block)
+	}
+	return fmt.Sprintf("%s %s: %v", e.Kind, e.Block, e.Err)
+}
+
+// SupervisorConfig enables fault isolation in the scheduler: block
+// panics are recovered and, together with returned errors, feed a
+// quarantine policy instead of aborting the run. A quarantined block
+// silently drops its input (counted in BlockStat.Dropped) and may be
+// readmitted on probation after a backoff — matching how a live monitor
+// must keep the rest of the pipeline on the air when one detector or
+// analyzer misbehaves.
+type SupervisorConfig struct {
+	// MaxErrors is the number of consecutive errors tolerated before
+	// quarantine (default 1). A panic always quarantines immediately:
+	// the block's internal state cannot be trusted afterwards.
+	MaxErrors int
+	// BackoffItems, when positive, readmits a quarantined block on
+	// probation after it has dropped this many items; zero means
+	// quarantine is permanent.
+	BackoffItems int64
+	// MaxTrips caps how many times a block may be quarantined before it
+	// is out for good; zero or negative means unlimited.
+	MaxTrips int
+	// OnEvent, if set, observes every supervision decision. Under
+	// RunParallel it is called from block goroutines and must be safe
+	// for concurrent use.
+	OnEvent func(SupervisorEvent)
+}
+
+// Supervise enables the supervised error policy for subsequent runs.
+func (g *Graph) Supervise(cfg SupervisorConfig) {
+	if cfg.MaxErrors <= 0 {
+		cfg.MaxErrors = 1
+	}
+	g.sup = &cfg
+}
+
+// Quarantined returns the names of blocks currently out of service.
+func (g *Graph) Quarantined() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if n.quarantined {
+			out = append(out, n.block.Name())
+		}
+	}
+	return out
+}
+
+func (g *Graph) event(ev SupervisorEvent) {
+	if g.sup.OnEvent != nil {
+		g.sup.OnEvent(ev)
+	}
+}
+
+// admit reports whether a supervised node should process the next item,
+// handling the drop accounting and backoff readmission. Only called from
+// the goroutine that owns the node (the scheduler thread, or the node's
+// worker under RunParallel), so the supervision fields need no locking.
+func (g *Graph) admit(n *node) bool {
+	if !n.quarantined {
+		return true
+	}
+	if g.sup.BackoffItems > 0 && n.dropSince >= g.sup.BackoffItems &&
+		(g.sup.MaxTrips <= 0 || n.trips < g.sup.MaxTrips) {
+		n.quarantined = false
+		n.dropSince = 0
+		g.event(SupervisorEvent{Block: n.block.Name(), Kind: EventReadmit})
+		return true
+	}
+	n.dropped++
+	n.dropSince++
+	return false
+}
+
+// settle applies the error policy to a block's outcome. Returns the
+// error to propagate (fail-fast mode) or nil when absorbed.
+func (g *Graph) settle(n *node, err error) error {
+	if err == nil {
+		if g.sup != nil {
+			n.consecErr = 0
+		}
+		return nil
+	}
+	var pe *PanicError
+	isPanic := errors.As(err, &pe)
+	if g.sup == nil {
+		if isPanic {
+			// Unsupervised graphs keep the historical contract: a panic
+			// propagates (runBlock only recovers under supervision), so
+			// this is unreachable; kept for safety.
+			panic(pe.Value)
+		}
+		return fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err)
+	}
+	n.errors++
+	n.consecErr++
+	if isPanic {
+		n.panics++
+	}
+	if isPanic || n.consecErr >= g.sup.MaxErrors {
+		n.quarantined = true
+		n.trips++
+		n.dropSince = 0
+		n.consecErr = 0
+		g.event(SupervisorEvent{Block: n.block.Name(), Kind: EventQuarantine, Err: err})
+	} else {
+		g.event(SupervisorEvent{Block: n.block.Name(), Kind: EventError, Err: err})
+	}
+	return nil
+}
+
+// runBlock invokes Process with panic recovery when supervised.
+func (g *Graph) runBlock(n *node, item Item, emit func(Item)) (err error) {
+	if g.sup != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Block: n.block.Name(), Value: r, Stack: debug.Stack()}
+			}
+		}()
+	}
+	return n.block.Process(item, emit)
+}
+
+// runFlush invokes Flush with panic recovery when supervised.
+func (g *Graph) runFlush(n *node, emit func(Item)) (err error) {
+	if g.sup != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Block: n.block.Name(), Value: r, Stack: debug.Stack()}
+			}
+		}()
+	}
+	return n.block.Flush(emit)
+}
+
+// invoke pushes one item through n's accounting and supervision wrapper.
+func (g *Graph) invoke(n *node, item Item, emit func(Item)) error {
+	if g.sup != nil && !g.admit(n) {
+		return nil
+	}
+	start := time.Now()
+	err := g.runBlock(n, item, emit)
+	n.busy += time.Since(start)
+	n.items++
+	return g.settle(n, err)
+}
+
+// invokeFlush drains n's buffered state through the same policy. A
+// quarantined block is not flushed: its internal state is suspect.
+func (g *Graph) invokeFlush(n *node, emit func(Item)) error {
+	if g.sup != nil && n.quarantined {
+		return nil
+	}
+	start := time.Now()
+	err := g.runFlush(n, emit)
+	n.busy += time.Since(start)
+	if err != nil && g.sup == nil {
+		return fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err)
+	}
+	return g.settle(n, err)
+}

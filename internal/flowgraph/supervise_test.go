@@ -1,0 +1,257 @@
+package flowgraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// countSink records everything it receives.
+type countSink struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+func (s *countSink) Name() string { return "sink" }
+func (s *countSink) Process(item Item, _ func(Item)) error {
+	s.mu.Lock()
+	s.items = append(s.items, item)
+	s.mu.Unlock()
+	return nil
+}
+func (s *countSink) Flush(func(Item)) error { return nil }
+
+func (s *countSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// faultyBlock errors or panics on selected items, passing others through.
+type faultyBlock struct {
+	label   string
+	failN   int  // fail the first N items
+	doPanic bool // panic instead of returning an error
+	seen    int
+}
+
+func (b *faultyBlock) Name() string { return b.label }
+func (b *faultyBlock) Process(item Item, emit func(Item)) error {
+	b.seen++
+	if b.seen <= b.failN {
+		if b.doPanic {
+			panic(fmt.Sprintf("%s: injected panic on item %d", b.label, b.seen))
+		}
+		return fmt.Errorf("%s: injected error on item %d", b.label, b.seen)
+	}
+	emit(item)
+	return nil
+}
+func (b *faultyBlock) Flush(func(Item)) error { return nil }
+
+func statByName(stats []BlockStat, name string) BlockStat {
+	for _, s := range stats {
+		if s.Name == name {
+			return s
+		}
+	}
+	return BlockStat{}
+}
+
+// buildFanout wires src-like root into a faulty branch and a healthy
+// branch, both feeding one sink.
+func buildFanout(bad Block) (*Graph, *countSink) {
+	g := New()
+	g.MustAdd(BlockFunc{Label: "root", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	g.MustRoot("root")
+	g.MustAdd(bad)
+	g.MustAdd(BlockFunc{Label: "good", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	sink := &countSink{}
+	g.MustAdd(sink)
+	g.MustConnect("root", bad.Name())
+	g.MustConnect("root", "good")
+	g.MustConnect(bad.Name(), "sink")
+	g.MustConnect("good", "sink")
+	return g, sink
+}
+
+func TestUnsupervisedStillFailsFast(t *testing.T) {
+	g, _ := buildFanout(&faultyBlock{label: "bad", failN: 1})
+	if err := g.Run(intSource(10)); err == nil {
+		t.Fatal("unsupervised run absorbed a block error")
+	}
+}
+
+func TestSuperviseQuarantinesErroringBlock(t *testing.T) {
+	bad := &faultyBlock{label: "bad", failN: 1000}
+	g, sink := buildFanout(bad)
+	var events []SupervisorEvent
+	g.Supervise(SupervisorConfig{
+		MaxErrors: 3,
+		OnEvent:   func(ev SupervisorEvent) { events = append(events, ev) },
+	})
+	if err := g.Run(intSource(100)); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	// The healthy branch processed everything.
+	if sink.count() != 100 {
+		t.Errorf("sink saw %d items, want 100 from the healthy branch", sink.count())
+	}
+	st := statByName(g.Stats(), "bad")
+	if !st.Quarantined || st.Trips != 1 {
+		t.Errorf("bad block not quarantined exactly once: %+v", st)
+	}
+	if st.Errors != 3 {
+		t.Errorf("bad block errors %d, want 3 (MaxErrors)", st.Errors)
+	}
+	if st.Dropped != 97 {
+		t.Errorf("bad block dropped %d, want 97", st.Dropped)
+	}
+	if len(events) == 0 || events[len(events)-1].Kind != EventQuarantine {
+		t.Errorf("events %v missing quarantine", events)
+	}
+	if q := g.Quarantined(); len(q) != 1 || q[0] != "bad" {
+		t.Errorf("Quarantined() = %v", q)
+	}
+}
+
+func TestSupervisePanicQuarantinesImmediately(t *testing.T) {
+	bad := &faultyBlock{label: "bad", failN: 1000, doPanic: true}
+	g, sink := buildFanout(bad)
+	g.Supervise(SupervisorConfig{MaxErrors: 5})
+	if err := g.Run(intSource(50)); err != nil {
+		t.Fatalf("supervised run failed on panic: %v", err)
+	}
+	st := statByName(g.Stats(), "bad")
+	if st.Panics != 1 || !st.Quarantined {
+		t.Errorf("panic accounting wrong: %+v", st)
+	}
+	if st.Dropped != 49 {
+		t.Errorf("dropped %d after immediate quarantine, want 49", st.Dropped)
+	}
+	if sink.count() != 50 {
+		t.Errorf("healthy branch delivered %d/50", sink.count())
+	}
+}
+
+func TestUnsupervisedPanicPropagates(t *testing.T) {
+	bad := &faultyBlock{label: "bad", failN: 1, doPanic: true}
+	g, _ := buildFanout(bad)
+	defer func() {
+		if recover() == nil {
+			t.Error("panic swallowed without supervision")
+		}
+	}()
+	_ = g.Run(intSource(10))
+}
+
+func TestSuperviseBackoffReadmits(t *testing.T) {
+	// Fails the first 2 items, then recovers: with MaxErrors 1 it is
+	// quarantined on item 1, readmitted after 5 drops, re-quarantined on
+	// its next processed item (the second failure), readmitted again,
+	// then healthy.
+	bad := &faultyBlock{label: "bad", failN: 2}
+	g, sink := buildFanout(bad)
+	g.Supervise(SupervisorConfig{MaxErrors: 1, BackoffItems: 5})
+	if err := g.Run(intSource(40)); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	st := statByName(g.Stats(), "bad")
+	if st.Quarantined {
+		t.Errorf("block still quarantined after recovery: %+v", st)
+	}
+	if st.Trips != 2 || st.Errors != 2 || st.Dropped != 10 {
+		t.Errorf("backoff accounting: %+v (want trips=2 errors=2 dropped=10)", st)
+	}
+	// 40 items through good + (40 - 2 failed - 10 dropped) through bad.
+	if want := 40 + 28; sink.count() != want {
+		t.Errorf("sink saw %d items, want %d", sink.count(), want)
+	}
+}
+
+func TestSuperviseMaxTripsPermanent(t *testing.T) {
+	// Always fails: with backoff enabled but MaxTrips 2, the block gets
+	// two probation cycles and is then out for good.
+	bad := &faultyBlock{label: "bad", failN: 1 << 30}
+	g, _ := buildFanout(bad)
+	g.Supervise(SupervisorConfig{MaxErrors: 1, BackoffItems: 3, MaxTrips: 2})
+	if err := g.Run(intSource(100)); err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	st := statByName(g.Stats(), "bad")
+	if st.Trips != 2 || !st.Quarantined {
+		t.Errorf("MaxTrips not honored: %+v", st)
+	}
+	if st.Errors != 2 {
+		t.Errorf("errors %d, want 2 (one per trip)", st.Errors)
+	}
+}
+
+func TestSuperviseFlushErrorAbsorbed(t *testing.T) {
+	g := New()
+	g.MustAdd(BlockFunc{Label: "root", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	g.MustRoot("root")
+	bad := &flushFaulter{}
+	g.MustAdd(bad)
+	g.MustConnect("root", "flush-bad")
+	g.Supervise(SupervisorConfig{})
+	if err := g.Run(intSource(3)); err != nil {
+		t.Fatalf("supervised run failed on flush error: %v", err)
+	}
+	st := statByName(g.Stats(), "flush-bad")
+	if st.Errors != 1 {
+		t.Errorf("flush error not counted: %+v", st)
+	}
+}
+
+type flushFaulter struct{}
+
+func (f *flushFaulter) Name() string                   { return "flush-bad" }
+func (f *flushFaulter) Process(Item, func(Item)) error { return nil }
+func (f *flushFaulter) Flush(func(Item)) error         { return errors.New("flush boom") }
+
+func TestSuperviseParallelSurvivesFaults(t *testing.T) {
+	// The supervised policy must hold under the multi-threaded scheduler
+	// (run with -race): a panicking branch and an erroring branch are
+	// quarantined while the healthy branch delivers everything.
+	bad := &faultyBlock{label: "bad", failN: 1 << 30}
+	g, sink := buildFanout(bad)
+	g.MustAdd(&faultyBlock{label: "panicky", failN: 1 << 30, doPanic: true})
+	g.MustConnect("root", "panicky")
+	g.MustConnect("panicky", "sink")
+	g.Supervise(SupervisorConfig{MaxErrors: 2})
+	if err := g.RunParallel(intSource(500), 16); err != nil {
+		t.Fatalf("supervised parallel run failed: %v", err)
+	}
+	if sink.count() != 500 {
+		t.Errorf("sink saw %d/500 items", sink.count())
+	}
+	stats := g.Stats()
+	if st := statByName(stats, "bad"); !st.Quarantined || st.Errors != 2 {
+		t.Errorf("bad: %+v", st)
+	}
+	if st := statByName(stats, "panicky"); !st.Quarantined || st.Panics != 1 {
+		t.Errorf("panicky: %+v", st)
+	}
+	if st := statByName(stats, "good"); st.Items != 500 {
+		t.Errorf("good processed %d/500", st.Items)
+	}
+}
+
+func TestSuperviseParallelFailFastWithoutConfig(t *testing.T) {
+	bad := &faultyBlock{label: "bad", failN: 1}
+	g, _ := buildFanout(bad)
+	if err := g.RunParallel(intSource(50), 8); err == nil {
+		t.Fatal("unsupervised parallel run absorbed a block error")
+	}
+}

@@ -107,3 +107,26 @@ func (m *MemorySource) ReadBlock(dst iq.Samples) (int, error) {
 // Reset rewinds the source for another pass (used when comparing
 // architectures over the same trace).
 func (m *MemorySource) Reset() { m.pos = 0 }
+
+// StreamSource applies the front-end chain block by block on top of any
+// SampleSource, so live pipelines see the same receive-chain impairments
+// as batch processing. It composes with internal/faults wrappers on
+// either side (inject before the chain for antenna-side faults, after it
+// for host-side ones).
+type StreamSource struct {
+	// Src is the wrapped source.
+	Src SampleSource
+	// FE is the chain applied to every block. With Decimation > 1 the
+	// delivered block is shorter than the read — a short read, never a
+	// loss.
+	FE Frontend
+}
+
+// ReadBlock implements SampleSource.
+func (s *StreamSource) ReadBlock(dst iq.Samples) (int, error) {
+	n, err := s.Src.ReadBlock(dst)
+	if n > 0 {
+		n = copy(dst, s.FE.Process(dst[:n]))
+	}
+	return n, err
+}

@@ -91,3 +91,45 @@ func TestMemorySource(t *testing.T) {
 		t.Error("reset failed")
 	}
 }
+
+func TestStreamSourceAppliesChainPerBlock(t *testing.T) {
+	in := iq.Samples{complex(1, 0), complex(2, 0), complex(3, 0), complex(4, 0)}
+	src := &StreamSource{
+		Src: NewMemorySource(in),
+		FE:  Frontend{Gain: 2, Decimation: 1},
+	}
+	buf := make(iq.Samples, 2)
+	n, err := src.ReadBlock(buf)
+	if n != 2 || err != nil {
+		t.Fatalf("first read: %d %v", n, err)
+	}
+	if real(buf[0]) != 2 || real(buf[1]) != 4 {
+		t.Errorf("gain not applied per block: %v", buf[:n])
+	}
+	n, err = src.ReadBlock(buf)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("final read: %d %v", n, err)
+	}
+	if real(buf[0]) != 6 || real(buf[1]) != 8 {
+		t.Errorf("second block: %v", buf[:n])
+	}
+}
+
+func TestStreamSourceDecimationShortens(t *testing.T) {
+	in := make(iq.Samples, 8)
+	for i := range in {
+		in[i] = complex(float32(i+1), 0)
+	}
+	src := &StreamSource{
+		Src: NewMemorySource(in),
+		FE:  Frontend{Gain: 1, Decimation: 2},
+	}
+	buf := make(iq.Samples, 8)
+	n, err := src.ReadBlock(buf)
+	if err != io.EOF {
+		t.Fatalf("err %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("decimated block length %d", n)
+	}
+}

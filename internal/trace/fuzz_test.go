@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/truth"
+)
+
+// FuzzRead feeds arbitrary bytes — including traces with corrupted
+// headers and hostile sample counts — to the binary trace reader. The
+// reader must never panic and must never allocate proportionally to an
+// untrusted header count (a 4 GiB claim backed by a 20-byte file).
+func FuzzRead(f *testing.F) {
+	var ok bytes.Buffer
+	if err := Write(&ok, 8_000_000, iq.Samples{1, complex(2, -3)}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	f.Add([]byte("RFDT"))
+	f.Add([]byte("NOPE...."))
+	f.Add([]byte{})
+
+	// A valid header claiming ~2^61 samples with no data behind it.
+	huge := []byte{'R', 'F', 'D', 'T'}
+	huge = binary.LittleEndian.AppendUint32(huge, Version)
+	huge = binary.LittleEndian.AppendUint32(huge, 8_000_000)
+	huge = binary.LittleEndian.AppendUint64(huge, 1<<61)
+	f.Add(huge)
+
+	// Truncated mid-sample.
+	trunc := append([]byte{}, ok.Bytes()...)
+	f.Add(trunc[:len(trunc)-5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, samples, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if uint64(len(samples)) != h.Count {
+			t.Errorf("clean read returned %d samples for count %d", len(samples), h.Count)
+		}
+	})
+}
+
+// FuzzReadTruth feeds arbitrary bytes to the JSON-lines ground-truth
+// reader; it must reject garbage without panicking.
+func FuzzReadTruth(f *testing.F) {
+	var ok bytes.Buffer
+	ts := &truth.Set{TraceLen: 10_000, Clock: iq.NewClock(8_000_000)}
+	ts.Add(truth.Record{Kind: "data", Span: iq.Interval{Start: 1, End: 9}})
+	if err := WriteTruth(&ok, ts); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"trace_len":-1,"rate":-5}`))
+	f.Add([]byte(`{"trace_len":1,"rate":1}` + "\n" + `{"start":9,"end":1}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTruth(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Error("nil set with nil error")
+		}
+	})
+}

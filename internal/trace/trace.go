@@ -91,22 +91,29 @@ func ReadHeader(r io.Reader) (Header, error) {
 	return Header{Rate: int(rate), Count: count}, nil
 }
 
-// Read loads a complete trace from r.
+// Read loads a complete trace from r. The header count is untrusted: a
+// corrupted or hostile count must not pre-allocate unbounded memory, so
+// the sample slice grows as data actually arrives, with only a bounded
+// initial capacity.
 func Read(r io.Reader) (Header, iq.Samples, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	h, err := ReadHeader(br)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	samples := make(iq.Samples, h.Count)
+	prealloc := h.Count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	samples := make(iq.Samples, 0, prealloc)
 	var buf [8]byte
-	for i := range samples {
+	for i := uint64(0); i < h.Count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return h, samples[:i], fmt.Errorf("trace: truncated at sample %d: %w", i, err)
+			return h, samples, fmt.Errorf("trace: truncated at sample %d: %w", i, err)
 		}
 		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
 		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
-		samples[i] = complex(re, im)
+		samples = append(samples, complex(re, im))
 	}
 	return h, samples, nil
 }
