@@ -32,6 +32,7 @@ import (
 	"rfdump/internal/frontend"
 	"rfdump/internal/iq"
 	"rfdump/internal/mac"
+	"rfdump/internal/metrics"
 	"rfdump/internal/protocols"
 )
 
@@ -433,6 +434,24 @@ func BenchmarkExtensionStreaming(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := core.NewPipeline(res.Clock, core.TimingOnly())
+		src := frontend.NewMemorySource(res.Samples)
+		if _, err := p.RunStream(src, core.StreamConfig{WindowSamples: 400_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionStreamingMetrics is BenchmarkExtensionStreaming
+// with a metrics registry attached: the delta between the two is the
+// full observability overhead on the streaming hot path (budget: <=2%).
+func BenchmarkExtensionStreamingMetrics(b *testing.B) {
+	res := benchUnicast(b)
+	setBytes(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.TimingOnly()
+		cfg.Metrics = metrics.NewRegistry()
+		p := core.NewPipeline(res.Clock, cfg)
 		src := frontend.NewMemorySource(res.Samples)
 		if _, err := p.RunStream(src, core.StreamConfig{WindowSamples: 400_000}); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"rfdump/internal/experiments"
+)
+
+// buildRevision returns the VCS revision stamped into the binary, or
+// "dev" when built without VCS info (go run, detached builds).
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// runJSON measures the benchmark matrices and writes the validated
+// BENCH_<rev>.json document.
+func runJSON(opt experiments.Options, rev, out string) error {
+	if rev == "" {
+		rev = buildRevision()
+	}
+	report, err := experiments.BenchJSON(opt)
+	if err != nil {
+		return err
+	}
+	report.Revision = rev
+	if err := report.Validate(); err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", rev)
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rfbench: wrote %s (%d table1 rows, %d figure9 rows)\n",
+		out, len(report.Table1), len(report.Figure9))
+	return nil
+}

@@ -25,11 +25,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run (scorecard,table1,table2,fig6,fig7,fig8,table3,fig9,table4,ofdm,ablations,all)")
-		scale   = flag.Float64("scale", 0.25, "workload scale; 1.0 = paper-size workloads")
-		seed    = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
-		verbose = flag.Bool("v", false, "progress logging")
-		csv     = flag.Bool("csv", false, "also print figure data as CSV")
+		exp      = flag.String("experiment", "all", "which experiment to run (scorecard,table1,table2,fig6,fig7,fig8,table3,fig9,table4,ofdm,ablations,all)")
+		scale    = flag.Float64("scale", 0.25, "workload scale; 1.0 = paper-size workloads")
+		seed     = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		verbose  = flag.Bool("v", false, "progress logging")
+		csv      = flag.Bool("csv", false, "also print figure data as CSV")
+		jsonMode = flag.Bool("json", false, "emit the Table 1 / Figure 9 matrices as a machine-readable BENCH_<rev>.json instead of running experiments")
+		out      = flag.String("out", "", "with -json: output path (default BENCH_<rev>.json; - for stdout)")
+		rev      = flag.String("rev", "", "with -json: revision stamp (default: VCS revision from build info, else dev)")
 	)
 	flag.Parse()
 
@@ -38,6 +41,14 @@ func main() {
 		logw = os.Stderr
 	}
 	opt := experiments.Options{Seed: *seed, Scale: *scale, Log: logw}
+
+	if *jsonMode {
+		if err := runJSON(opt, *rev, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "rfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

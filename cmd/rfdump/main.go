@@ -14,15 +14,19 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"rfdump/internal/arch"
 	"rfdump/internal/core"
@@ -31,6 +35,7 @@ import (
 	"rfdump/internal/faults"
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
 	"rfdump/internal/report"
@@ -117,6 +122,9 @@ func main() {
 		supervise = flag.Bool("supervise", false, "supervised scheduling in -stream mode: quarantine crashing blocks instead of aborting")
 		overload  = flag.Bool("overload", false, "real-time pacing with graceful degradation in -stream mode")
 		retries   = flag.Int("retries", 4, "retry attempts for transient front-end read errors with -faults")
+		metricsAt = flag.Duration("metrics", 0, "collect pipeline metrics and emit a snapshot to stderr at this interval (plus a final one); 0 = off")
+		metricsFm = flag.String("metrics-format", "text", "metrics snapshot format: text or json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *read == "" {
@@ -148,6 +156,56 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfdump:", err)
 		os.Exit(2)
+	}
+
+	// Observability: -metrics and -pprof share one registry, threaded
+	// through Config so every stage (detectors, analyzers, flowgraph,
+	// shedding, faults) publishes into it. When neither flag is set the
+	// registry is nil and the pipeline pays nothing.
+	if *metricsFm != "text" && *metricsFm != "json" {
+		fmt.Fprintf(os.Stderr, "rfdump: unknown -metrics-format %q (want text or json)\n", *metricsFm)
+		os.Exit(2)
+	}
+	var reg *metrics.Registry
+	if *metricsAt > 0 || *pprofAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	emitSnapshot := func(label string) {
+		if reg == nil {
+			return
+		}
+		snap := reg.Snapshot()
+		if *metricsFm == "json" {
+			_ = snap.WriteJSON(os.Stderr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "--- metrics (%s) ---\n", label)
+		_ = snap.WriteText(os.Stderr)
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("rfdump_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rfdump: pprof:", err)
+			}
+		}()
+	}
+	if *metricsAt > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*metricsAt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					emitSnapshot("periodic")
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
 	if *lap == 0 && !*noDemod {
 		// Auto-discovery: a fast pass with the discovery analyzer names
@@ -193,7 +251,8 @@ func main() {
 				os.Exit(2)
 			}
 			injector = faults.NewInjector(src, fcfg)
-			src = &faults.Retry{Src: injector, Attempts: *retries}
+			injector.InstrumentMetrics(reg)
+			src = &faults.Retry{Src: injector, Attempts: *retries, Metrics: reg}
 		}
 
 		scfg := core.StreamConfig{WindowSamples: *window}
@@ -261,6 +320,7 @@ func main() {
 	if degradation.Any() {
 		fmt.Printf("degraded: %s\n", degradation)
 	}
+	emitSnapshot("final")
 
 	if *stats {
 		fmt.Println("\nper-block CPU:")

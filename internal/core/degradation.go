@@ -7,6 +7,7 @@ import (
 
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 )
 
 // ShedLevel is the streaming pipeline's graceful-degradation state. The
@@ -89,14 +90,41 @@ type pacer struct {
 	level atomic.Int32
 	peak  atomic.Int32
 
-	shedChunks   atomic.Int64
-	shedSamples  atomic.Int64
-	headerOnly   atomic.Int64
-	shedRequests atomic.Int64
+	shedChunks   *metrics.Counter
+	shedSamples  *metrics.Counter
+	headerOnly   *metrics.Counter
+	shedRequests *metrics.Counter
+
+	// Observability (instrument): the current shed level as a gauge and
+	// one counter per level transition, so degradation episodes are
+	// visible live and countable after the fact.
+	reg        *metrics.Registry
+	levelGauge *metrics.Gauge
 }
 
 func newPacer(clock iq.Clock, cfg OverloadConfig) *pacer {
-	return &pacer{cfg: cfg.withDefaults(), clock: clock}
+	return &pacer{
+		cfg: cfg.withDefaults(), clock: clock,
+		shedChunks:   &metrics.Counter{},
+		shedSamples:  &metrics.Counter{},
+		headerOnly:   &metrics.Counter{},
+		shedRequests: &metrics.Counter{},
+	}
+}
+
+// instrument publishes the pacer's counters into reg (no-op on nil):
+// shedding totals under core/shed/*, the live level gauge, and a
+// counter per shed-level transition under core/shed/transition/.
+func (p *pacer) instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.reg = reg
+	p.shedChunks = reg.Counter("core/shed/chunks")
+	p.shedSamples = reg.Counter("core/shed/samples")
+	p.headerOnly = reg.Counter("core/shed/header_only")
+	p.shedRequests = reg.Counter("core/shed/requests")
+	p.levelGauge = reg.Gauge("core/shed/level")
 }
 
 func (p *pacer) now() time.Time {
@@ -153,6 +181,10 @@ func (p *pacer) observe(delivered iq.Tick) ShedLevel {
 	}
 	if lvl != cur {
 		p.level.Store(int32(lvl))
+		p.levelGauge.Set(int64(lvl))
+		if p.reg != nil {
+			p.reg.Counter("core/shed/transition/" + cur.String() + "->" + lvl.String()).Inc()
+		}
 	}
 	if int32(lvl) > p.peak.Load() {
 		p.peak.Store(int32(lvl))
@@ -184,10 +216,10 @@ func (s *shedGate) Process(item flowgraph.Item, emit func(flowgraph.Item)) error
 	}
 	switch level := s.pacer.current(); {
 	case level >= ShedAnalysis:
-		s.pacer.shedRequests.Add(1)
+		s.pacer.shedRequests.Inc()
 	case level >= ShedDemod:
 		req.HeaderOnly = true
-		s.pacer.headerOnly.Add(1)
+		s.pacer.headerOnly.Inc()
 		emit(req)
 	default:
 		emit(req)

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+	"rfdump/internal/protocols"
+)
+
+// TestShedTransitionsObservableAsMetrics drives the pacer through the
+// full shed ladder and back down, asserting that every transition —
+// the shed order (full demod → header-only → dropped analysis → whole
+// chunks) and each hysteresis re-admission — lands in exactly one
+// core/shed/transition/* counter, and that the level gauge tracks.
+func TestShedTransitionsObservableAsMetrics(t *testing.T) {
+	base := time.Unix(1000, 0)
+	wall := base
+	reg := metrics.NewRegistry()
+	p := newPacer(testClock, OverloadConfig{Now: func() time.Time { return wall }})
+	p.instrument(reg)
+
+	transitions := func() map[string]int64 {
+		out := map[string]int64{}
+		for name, v := range reg.Snapshot().Counters {
+			if len(name) > len("core/shed/transition/") && name[:len("core/shed/transition/")] == "core/shed/transition/" {
+				out[name[len("core/shed/transition/"):]] = v
+			}
+		}
+		return out
+	}
+
+	steps := []struct {
+		name           string
+		elapsed        time.Duration // wall time since base
+		streamed       time.Duration // stream time delivered
+		wantLevel      ShedLevel
+		wantTransition string // "" = no transition this step
+	}{
+		// Raise path: the shed order of DESIGN.md §8 — demod first,
+		// analysis next, whole chunks last (watermarks 50/150/400 ms).
+		{"steady", 0, 0, ShedNone, ""},
+		{"shed-demod", 60 * time.Millisecond, 0, ShedDemod, "none->shed-demod"},
+		{"shed-analysis", 200 * time.Millisecond, 0, ShedAnalysis, "shed-demod->shed-analysis"},
+		{"shed-chunks", 500 * time.Millisecond, 0, ShedChunks, "shed-analysis->shed-chunks"},
+		// Hysteresis: lag 300 ms is above half the 400 ms chunk
+		// watermark, so the level holds — no transition recorded.
+		{"hold", 500 * time.Millisecond, 200 * time.Millisecond, ShedChunks, ""},
+		// Re-admission path: each recovery is its own transition.
+		{"readmit-analysis", 500 * time.Millisecond, 320 * time.Millisecond, ShedAnalysis, "shed-chunks->shed-analysis"},
+		{"readmit-demod", 500 * time.Millisecond, 440 * time.Millisecond, ShedDemod, "shed-analysis->shed-demod"},
+		{"readmit-none", 500 * time.Millisecond, 480 * time.Millisecond, ShedNone, "shed-demod->none"},
+	}
+
+	seen := map[string]int64{}
+	for _, step := range steps {
+		wall = base.Add(step.elapsed)
+		if lvl := p.observe(testClock.Ticks(step.streamed)); lvl != step.wantLevel {
+			t.Fatalf("%s: level %v, want %v", step.name, lvl, step.wantLevel)
+		}
+		if got := reg.Snapshot().Gauges["core/shed/level"]; got != int64(step.wantLevel) {
+			t.Errorf("%s: level gauge %d, want %d", step.name, got, int64(step.wantLevel))
+		}
+		if step.wantTransition != "" {
+			seen[step.wantTransition]++
+		}
+		got := transitions()
+		for name, n := range got {
+			if seen[name] != n {
+				t.Errorf("%s: transition %q = %d, want %d", step.name, name, n, seen[name])
+			}
+		}
+		for name, n := range seen {
+			if got[name] != n {
+				t.Errorf("%s: transition %q missing (want %d)", step.name, name, n)
+			}
+		}
+	}
+}
+
+// TestShedGateCountersInRegistry asserts the gate's shed decisions are
+// visible through the registry: header-only downgrades under ShedDemod
+// and dropped requests under ShedAnalysis.
+func TestShedGateCountersInRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := newPacer(testClock, OverloadConfig{})
+	p.instrument(reg)
+	g := &shedGate{pacer: p}
+	emit := func(flowgraph.Item) {}
+	req := AnalysisRequest{Family: protocols.WiFi80211b1M, Span: iq.Interval{Start: 0, End: 100}}
+
+	p.level.Store(int32(ShedDemod))
+	_ = g.Process(req, emit)
+	p.level.Store(int32(ShedAnalysis))
+	_ = g.Process(req, emit)
+	_ = g.Process(req, emit)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["core/shed/header_only"]; got != 1 {
+		t.Errorf("header_only = %d, want 1", got)
+	}
+	if got := snap.Counters["core/shed/requests"]; got != 2 {
+		t.Errorf("requests = %d, want 2", got)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"time"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/metrics"
+)
+
+// meteredBlock wraps a detector or analyzer block with the cost ledger
+// the paper's argument rests on: a per-item latency histogram (is the
+// "fast detector" still an order of magnitude cheaper than
+// demodulation?), accept/reject counters (how selective is it?), and —
+// for emitted products carrying a pass/fail verdict, i.e. decoded
+// packets — per-protocol CRC pass/fail counters. The wrapper preserves
+// the inner block's name so graph wiring and CPU accounting are
+// unchanged, and it implements flowgraph.WorkObserver so per-item
+// timing reuses the scheduler's own busy-time measurement instead of a
+// second pair of clock reads.
+type meteredBlock struct {
+	inner     flowgraph.Block
+	reg       *metrics.Registry
+	perItemNs *metrics.Histogram
+	accepts   *metrics.Counter // items emitted downstream
+	rejects   *metrics.Counter // inputs that produced no output
+
+	// Per-invocation scratch. Each block is driven by exactly one
+	// scheduler goroutine (the scheduler thread, or the node's worker
+	// under RunParallel), so binding the downstream emit here — and the
+	// forward method value once at construction — keeps Process
+	// allocation-free.
+	fwd     func(flowgraph.Item)
+	emit    func(flowgraph.Item)
+	emitted int64
+}
+
+// meter wraps b when a registry is configured (kind is "detector" or
+// "analyzer"; unit names the per-item histogram: ns_per_chunk /
+// ns_per_request). With reg == nil the block is returned untouched and
+// the pipeline carries zero instrumentation cost.
+func meter(reg *metrics.Registry, kind, unit string, b flowgraph.Block) flowgraph.Block {
+	if reg == nil {
+		return b
+	}
+	base := "core/" + kind + "/" + b.Name() + "/"
+	m := &meteredBlock{
+		inner:     b,
+		reg:       reg,
+		perItemNs: reg.Histogram(base+unit, nil),
+		accepts:   reg.Counter(base + "accepts"),
+		rejects:   reg.Counter(base + "rejects"),
+	}
+	m.fwd = m.forward
+	return m
+}
+
+// Name implements flowgraph.Block (pass-through: wiring by name).
+func (m *meteredBlock) Name() string { return m.inner.Name() }
+
+// forward tallies one emission and its product verdict, then passes it
+// downstream.
+func (m *meteredBlock) forward(out flowgraph.Item) {
+	m.emitted++
+	if o, ok := out.(metrics.Outcome); ok {
+		label, pass := o.MetricOutcome()
+		if pass {
+			m.reg.Counter("demod/" + label + "/crc_pass").Inc()
+		} else {
+			m.reg.Counter("demod/" + label + "/crc_fail").Inc()
+		}
+	}
+	m.emit(out)
+}
+
+// Process implements flowgraph.Block.
+func (m *meteredBlock) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	m.emit = emit
+	m.emitted = 0
+	err := m.inner.Process(item, m.fwd)
+	if m.emitted > 0 {
+		m.accepts.Add(m.emitted)
+	} else {
+		m.rejects.Inc()
+	}
+	return err
+}
+
+// ObserveWork implements flowgraph.WorkObserver: the scheduler reports
+// the duration it measured for this block's latest Process call.
+func (m *meteredBlock) ObserveWork(d time.Duration) {
+	m.perItemNs.Observe(int64(d))
+}
+
+// Flush implements flowgraph.Block. End-of-stream emissions count as
+// accepts but are not timed per item (there is no item).
+func (m *meteredBlock) Flush(emit func(flowgraph.Item)) error {
+	m.emit = emit
+	m.emitted = 0
+	err := m.inner.Flush(m.fwd)
+	m.accepts.Add(m.emitted)
+	return err
+}

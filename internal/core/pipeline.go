@@ -6,6 +6,7 @@ import (
 
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 	"rfdump/internal/protocols"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 	// paper's future-work extension; default single-threaded like GNU
 	// Radio at the time).
 	Parallel bool
+	// Metrics, when non-nil, publishes the run's observability surface
+	// into the registry: per-block flowgraph stats, per-detector
+	// ns/chunk histograms and accept/reject counters, per-analyzer
+	// request costs, per-protocol CRC pass rates, and (with Overload)
+	// shed-level transitions. Nil disables all instrumentation at zero
+	// hot-path cost.
+	Metrics *metrics.Registry
 }
 
 // TimingOnly returns the configuration using only timing detectors.
@@ -206,7 +214,7 @@ func (p *Pipeline) assemble(src SampleAccessor, opts assembleOpts) (*flowgraph.G
 
 	var detectorNames []string
 	addDetector := func(b flowgraph.Block) {
-		graph.MustAdd(b)
+		graph.MustAdd(meter(p.cfg.Metrics, "detector", "ns_per_chunk", b))
 		graph.MustConnect("peak-detector", b.Name())
 		graph.MustConnect(b.Name(), "dispatcher")
 		detectorNames = append(detectorNames, b.Name())
@@ -250,10 +258,13 @@ func (p *Pipeline) assemble(src SampleAccessor, opts assembleOpts) (*flowgraph.G
 	}
 	for _, a := range p.analyzers {
 		b := &analyzerBlock{a: a, src: src}
-		graph.MustAdd(b)
+		graph.MustAdd(meter(p.cfg.Metrics, "analyzer", "ns_per_request", b))
 		graph.MustConnect(analyzerUpstream, b.Name())
 		graph.MustConnect(b.Name(), "sink")
 	}
+	// Publish per-block work/queue/panic stats into the registry (no-op
+	// without one).
+	graph.AttachMetrics(p.cfg.Metrics, "flowgraph")
 	return graph, dispatcher, outputs, nil
 }
 

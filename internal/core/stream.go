@@ -160,6 +160,7 @@ func (p *Pipeline) RunStream(src BlockReader, cfg StreamConfig) (*Result, error)
 	var pace *pacer
 	if cfg.Overload != nil {
 		pace = newPacer(p.clock, *cfg.Overload)
+		pace.instrument(p.cfg.Metrics)
 		opts.gate = &shedGate{pacer: pace}
 	}
 	graph, dispatcher, outputs, err := p.assemble(window, opts)
@@ -200,7 +201,7 @@ func (p *Pipeline) RunStream(src BlockReader, cfg StreamConfig) (*Result, error)
 			// chunk watermark the chunk never enters the graph (detectors
 			// included — they are shed last, and only here).
 			if pace != nil && pace.observe(window.End()) >= ShedChunks {
-				pace.shedChunks.Add(1)
+				pace.shedChunks.Inc()
 				pace.shedSamples.Add(int64(n))
 				continue
 			}

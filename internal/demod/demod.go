@@ -33,6 +33,14 @@ type Packet struct {
 	Note string
 }
 
+// MetricOutcome implements metrics.Outcome: instrumented pipelines
+// count decoded packets per protocol family, split by CRC verdict, so
+// the demod CRC pass rate is a first-class metric
+// (demod/<family>/crc_pass vs crc_fail).
+func (p Packet) MetricOutcome() (string, bool) {
+	return p.Proto.FamilyName(), p.Valid
+}
+
 // String implements fmt.Stringer in a tcpdump-ish one-liner.
 func (p Packet) String() string {
 	status := "ok"

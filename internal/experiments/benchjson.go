@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+)
+
+// BenchSchema identifies the machine-readable benchmark format written
+// by rfbench -json. Bump the suffix on incompatible changes.
+const BenchSchema = "rfdump-bench/v1"
+
+// BenchRecord is one measured row: a GNU-Radio-equivalent block
+// (Table 1) or a full architecture configuration (Figure 9).
+type BenchRecord struct {
+	// Name labels the block or architecture.
+	Name string `json:"name"`
+	// NsPerOp is wall-clock nanoseconds for one pass over the trace.
+	NsPerOp int64 `json:"ns_per_op"`
+	// MBPerS is sample throughput (complex64 = 8 bytes per sample).
+	MBPerS float64 `json:"mb_per_s"`
+	// CPUPerRealTime is processing time over trace air time — the
+	// paper's efficiency metric (Table 1, Figure 9 y-axis).
+	CPUPerRealTime float64 `json:"cpu_per_real_time"`
+}
+
+// BenchReport is the BENCH_<rev>.json document: the Table 1 block-cost
+// matrix and the Figure 9 architecture matrix, stamped with enough
+// build context to compare runs across revisions.
+type BenchReport struct {
+	Schema    string    `json:"schema"`
+	Revision  string    `json:"revision"`
+	GoVersion string    `json:"go"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Taken     time.Time `json:"taken"`
+	// Scale is the workload scale the matrices were measured at
+	// (1.0 = paper-size traces).
+	Scale   float64       `json:"scale"`
+	Table1  []BenchRecord `json:"table1"`
+	Figure9 []BenchRecord `json:"figure9"`
+}
+
+// Validate checks the structural invariants CI relies on: schema tag,
+// build stamps, non-empty matrices, and strictly positive measurements.
+func (r *BenchReport) Validate() error {
+	if r == nil {
+		return fmt.Errorf("bench: nil report")
+	}
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
+	}
+	if r.Taken.IsZero() {
+		return fmt.Errorf("bench: missing taken timestamp")
+	}
+	if len(r.Table1) == 0 || len(r.Figure9) == 0 {
+		return fmt.Errorf("bench: empty matrix (table1=%d figure9=%d)", len(r.Table1), len(r.Figure9))
+	}
+	check := func(matrix string, recs []BenchRecord) error {
+		seen := map[string]bool{}
+		for i, rec := range recs {
+			if rec.Name == "" {
+				return fmt.Errorf("bench: %s[%d]: empty name", matrix, i)
+			}
+			if seen[rec.Name] {
+				return fmt.Errorf("bench: %s: duplicate name %q", matrix, rec.Name)
+			}
+			seen[rec.Name] = true
+			if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.CPUPerRealTime <= 0 {
+				return fmt.Errorf("bench: %s[%q]: non-positive measurement %+v", matrix, rec.Name, rec)
+			}
+		}
+		return nil
+	}
+	if err := check("table1", r.Table1); err != nil {
+		return err
+	}
+	return check("figure9", r.Figure9)
+}
+
+// BenchJSON measures the Table 1 and Figure 9 matrices over a ~50%
+// utilization unicast trace and returns the report (revision left for
+// the caller to stamp). One pass per entry: this is a regression
+// tracker, not a statistically rigorous benchmark — use go test -bench
+// for repeated, isolated timings.
+func BenchJSON(o Options) (*BenchReport, error) {
+	o = o.normalize()
+	dur := iq.Tick(float64(4_000_000) * o.Scale)
+	if dur < 400_000 {
+		dur = 400_000
+	}
+	res, err := ether.Run(ether.Config{
+		Duration: dur,
+		SNRdB:    20,
+		Seed:     o.Seed,
+		Sources: []mac.Source{
+			&mac.WiFiUnicast{
+				Rate: protocols.WiFi80211b1M, Pings: 1 << 20,
+				PayloadBytes: 500, InterPing: 38_000,
+				Requester: addr(0x11), Responder: addr(0x22), BSSID: addr(0x33),
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := res.Clock.Duration(iq.Tick(len(res.Samples)))
+	bytes := float64(len(res.Samples)) * 8 // complex64
+
+	record := func(name string, fn func() error) (BenchRecord, error) {
+		start := time.Now()
+		err := fn()
+		took := time.Since(start)
+		if err != nil {
+			return BenchRecord{}, fmt.Errorf("bench %s: %w", name, err)
+		}
+		if took <= 0 {
+			took = time.Nanosecond
+		}
+		return BenchRecord{
+			Name:           name,
+			NsPerOp:        int64(took),
+			MBPerS:         bytes / 1e6 / took.Seconds(),
+			CPUPerRealTime: float64(took) / float64(rt),
+		}, nil
+	}
+
+	report := &BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Taken:     time.Now(),
+		Scale:     o.Scale,
+	}
+
+	// Table 1 matrix: the per-block costs (same blocks as Table1, raw
+	// numbers instead of a formatted table).
+	wifiD := demod.NewWiFiDemod()
+	btD := demod.NewBTDemod(PiconetLAP, PiconetUAP, 8)
+	pd := core.NewPeakDetector(core.PeakConfig{})
+	table1 := []struct {
+		name string
+		fn   func() error
+	}{
+		{"802.11 demodulation (1 Mbps)", func() error {
+			wifiD.Demodulate(res.Samples, 0)
+			return nil
+		}},
+		{"Bluetooth demodulation (one channel)", func() error {
+			btD.DemodulateChannel(res.Samples, 0, 3)
+			return nil
+		}},
+		{"Peak/Energy detection", func() error {
+			drain := func(flowgraph.Item) {}
+			n := len(res.Samples)
+			for s := 0; s < n; s += iq.ChunkSamples {
+				e := s + iq.ChunkSamples
+				if e > n {
+					e = n
+				}
+				if err := pd.Process(core.Chunk{
+					Seq:     s / iq.ChunkSamples,
+					Span:    iq.Interval{Start: iq.Tick(s), End: iq.Tick(e)},
+					Samples: res.Samples[s:e],
+				}, drain); err != nil {
+					return err
+				}
+			}
+			return pd.Flush(drain)
+		}},
+	}
+	for _, entry := range table1 {
+		rec, err := record(entry.name, entry.fn)
+		if err != nil {
+			return nil, err
+		}
+		o.logf("bench table1 %s: %.2fx", rec.Name, rec.CPUPerRealTime)
+		report.Table1 = append(report.Table1, rec)
+	}
+
+	// Figure 9 matrix: the nine architecture configurations over the
+	// same trace.
+	for _, mon := range figure9Configs(res.Clock) {
+		mon := mon
+		rec, err := record(mon.Name(), func() error {
+			_, err := mon.Process(res.Samples)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		o.logf("bench fig9 %s: %.2fx", rec.Name, rec.CPUPerRealTime)
+		report.Figure9 = append(report.Figure9, rec)
+	}
+	return report, nil
+}

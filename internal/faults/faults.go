@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 )
 
 // BlockReader is the minimal live-input contract, matching
@@ -94,6 +95,15 @@ func (s Stats) String() string {
 		s.ShortReads, s.DupBlocks, s.GainGlitches, s.TransientErrors)
 }
 
+// injectorMetrics holds the per-kind injected-fault counters. The zero
+// value (all nil) discards updates, so an uninstrumented injector pays
+// only a nil check per fault event.
+type injectorMetrics struct {
+	gaps, droppedBlocks, droppedSamples   *metrics.Counter
+	corruptBlocks, corruptSamples         *metrics.Counter
+	shortReads, dups, glitches, transient *metrics.Counter
+}
+
 // Injector wraps a BlockReader with fault injection. Not safe for
 // concurrent use (streams are read by one scheduler goroutine).
 type Injector struct {
@@ -103,6 +113,28 @@ type Injector struct {
 	stats   Stats
 	gapLeft int
 	prev    iq.Samples
+	m       injectorMetrics
+}
+
+// InstrumentMetrics publishes per-kind injected-fault counters into reg
+// under faults/injected/* (no-op on nil). Together with the Retry
+// wrapper's faults/recovered and faults/exhausted counters this gives
+// the injected-vs-recovered ledger.
+func (in *Injector) InstrumentMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	in.m = injectorMetrics{
+		gaps:           reg.Counter("faults/injected/gap_events"),
+		droppedBlocks:  reg.Counter("faults/injected/dropped_blocks"),
+		droppedSamples: reg.Counter("faults/injected/dropped_samples"),
+		corruptBlocks:  reg.Counter("faults/injected/corrupt_blocks"),
+		corruptSamples: reg.Counter("faults/injected/corrupt_samples"),
+		shortReads:     reg.Counter("faults/injected/short_reads"),
+		dups:           reg.Counter("faults/injected/dup_blocks"),
+		glitches:       reg.Counter("faults/injected/gain_glitches"),
+		transient:      reg.Counter("faults/injected/transient_errors"),
+	}
 }
 
 // NewInjector wraps src.
@@ -133,10 +165,12 @@ func (in *Injector) hit(p float64) bool {
 func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 	if in.gapLeft == 0 && in.hit(in.cfg.TransientProb) {
 		in.stats.TransientErrors++
+		in.m.transient.Inc()
 		return 0, fmt.Errorf("faults: usb bus stall: %w", ErrTransient)
 	}
 	if in.gapLeft == 0 && in.hit(in.cfg.GapProb) {
 		in.stats.GapEvents++
+		in.m.gaps.Inc()
 		in.gapLeft = in.cfg.GapBlocks
 	}
 	if in.gapLeft > 0 {
@@ -150,6 +184,8 @@ func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 		if n > 0 {
 			in.stats.DroppedBlocks++
 			in.stats.DroppedSamples += int64(n)
+			in.m.droppedBlocks.Inc()
+			in.m.droppedSamples.Add(int64(n))
 		}
 		in.remember(dst[:n])
 		return n, err
@@ -159,6 +195,7 @@ func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 		// Runt transfer: read only a prefix; nothing is lost, the next
 		// read picks up where the source left off.
 		in.stats.ShortReads++
+		in.m.shortReads.Inc()
 		dst = dst[:1+in.rng.Intn(len(dst)-1)]
 	}
 	n, err := in.src.ReadBlock(dst)
@@ -169,6 +206,7 @@ func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 
 	if in.hit(in.cfg.DupProb) && len(in.prev) > 0 {
 		in.stats.DupBlocks++
+		in.m.dups.Inc()
 		m := copy(block, in.prev)
 		for i := m; i < len(block); i++ {
 			block[i] = 0
@@ -181,6 +219,8 @@ func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 		}
 		in.stats.CorruptedBlocks++
 		in.stats.CorruptedSamples += int64(k)
+		in.m.corruptBlocks.Inc()
+		in.m.corruptSamples.Add(int64(k))
 		for i := 0; i < k; i++ {
 			j := in.rng.Intn(len(block))
 			block[j] = complex(
@@ -190,6 +230,7 @@ func (in *Injector) ReadBlock(dst iq.Samples) (int, error) {
 	}
 	if in.hit(in.cfg.GainGlitchProb) {
 		in.stats.GainGlitches++
+		in.m.glitches.Inc()
 		g := float32(in.cfg.GainLow + in.rng.Float64()*(in.cfg.GainHigh-in.cfg.GainLow))
 		for i := range block {
 			block[i] *= complex(g, 0)

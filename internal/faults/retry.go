@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 )
 
 // Retry wraps a BlockReader with bounded retry-with-backoff on transient
@@ -23,6 +24,12 @@ type Retry struct {
 	// Transient classifies retryable errors; the default matches
 	// errors.Is(err, ErrTransient).
 	Transient func(error) bool
+
+	// Metrics, when non-nil, also publishes the recovery ledger:
+	// faults/recovered (reads that succeeded after retrying) and
+	// faults/exhausted (reads that failed every attempt) — the other
+	// half of the injector's faults/injected/* counters.
+	Metrics *metrics.Registry
 
 	// Retries counts reads that needed at least one retry; Exhausted
 	// counts reads that failed even after all attempts.
@@ -54,11 +61,13 @@ func (r *Retry) ReadBlock(dst iq.Samples) (int, error) {
 		if err == nil || n > 0 || !transient(err) {
 			if retried {
 				r.Retries++
+				r.Metrics.Counter("faults/recovered").Inc()
 			}
 			return n, err
 		}
 		if attempt >= attempts {
 			r.Exhausted++
+			r.Metrics.Counter("faults/exhausted").Inc()
 			return n, err
 		}
 		retried = true

@@ -14,7 +14,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"rfdump/internal/metrics"
 )
 
 // Item is the unit flowing along edges. Concrete pipelines define their
@@ -31,6 +34,15 @@ type Block interface {
 	Process(item Item, emit func(Item)) error
 	// Flush drains buffered state at end of stream.
 	Flush(emit func(Item)) error
+}
+
+// WorkObserver is an optional Block extension: after every Process
+// call the scheduler hands the block the duration it just measured for
+// busy-time accounting. Instrumentation wrappers implement it to feed
+// per-item latency histograms without paying for a second pair of
+// clock reads on the hot path.
+type WorkObserver interface {
+	ObserveWork(d time.Duration)
 }
 
 // BlockFunc adapts a function to Block with a no-op Flush.
@@ -52,18 +64,30 @@ func (b BlockFunc) Flush(func(Item)) error { return nil }
 type node struct {
 	block Block
 	outs  []*node
-	// accounting
-	busy  time.Duration
-	items int64
-	// supervision state (only mutated under a SupervisorConfig, and only
-	// by the goroutine that owns the node)
-	errors      int64
-	panics      int64
-	dropped     int64
-	consecErr   int
-	trips       int
-	dropSince   int64
-	quarantined bool
+	// Accounting and supervision counters are atomic metrics primitives:
+	// they are written by the goroutine that owns the node (the scheduler
+	// thread, or the node's worker under RunParallel) but read live by
+	// Stats/TotalBusy/Quarantined from monitoring goroutines (the -metrics
+	// emitter, the supervisor), so plain ints would race. AttachMetrics
+	// swaps them for registry-owned instances so a run publishes directly.
+	busyNs   *metrics.Counter // cumulative Process/Flush time, ns
+	items    *metrics.Counter
+	errors   *metrics.Counter
+	panics   *metrics.Counter
+	dropped  *metrics.Counter
+	trips    *metrics.Counter
+	queueMax *metrics.Gauge // input-queue high watermark (RunParallel)
+
+	quarantined atomic.Bool
+
+	// workObs is the block's WorkObserver, cached at Add time (nil when
+	// the block doesn't implement it).
+	workObs WorkObserver
+
+	// Owned exclusively by the node's scheduler goroutine; never read
+	// elsewhere, so they need no synchronization.
+	consecErr int
+	dropSince int64
 }
 
 // Graph is a DAG of blocks. Build with Add/Connect, then Run.
@@ -86,7 +110,19 @@ func (g *Graph) Add(b Block) error {
 	if _, dup := g.byName[b.Name()]; dup {
 		return fmt.Errorf("flowgraph: duplicate block %q", b.Name())
 	}
-	n := &node{block: b}
+	n := &node{
+		block:   b,
+		busyNs:  &metrics.Counter{},
+		items:   &metrics.Counter{},
+		errors:  &metrics.Counter{},
+		panics:  &metrics.Counter{},
+		dropped: &metrics.Counter{},
+		trips:    &metrics.Counter{},
+		queueMax: &metrics.Gauge{},
+	}
+	if wo, ok := b.(WorkObserver); ok {
+		n.workObs = wo
+	}
 	g.nodes = append(g.nodes, n)
 	g.byName[b.Name()] = n
 	return nil
@@ -242,11 +278,15 @@ func (g *Graph) Run(source func() (Item, bool)) error {
 	return nil
 }
 
-// BlockStat is the per-block accounting snapshot.
+// BlockStat is the per-block accounting snapshot. It may be taken while
+// a run is in flight: each field is an atomic read of a live counter.
 type BlockStat struct {
 	Name  string
 	Busy  time.Duration
 	Items int64
+	// QueueMax is the input-queue high watermark under RunParallel
+	// (zero for the single-threaded scheduler, which has no queues).
+	QueueMax int64
 	// Supervision counters (zero without a SupervisorConfig).
 	Errors  int64 // Process/Flush errors absorbed (panics included)
 	Panics  int64 // recovered panics
@@ -258,13 +298,16 @@ type BlockStat struct {
 }
 
 // Stats returns per-block accounting sorted by descending busy time.
+// Safe to call concurrently with a running scheduler.
 func (g *Graph) Stats() []BlockStat {
 	out := make([]BlockStat, 0, len(g.nodes))
 	for _, n := range g.nodes {
 		out = append(out, BlockStat{
-			Name: n.block.Name(), Busy: n.busy, Items: n.items,
-			Errors: n.errors, Panics: n.panics, Dropped: n.dropped,
-			Trips: n.trips, Quarantined: n.quarantined,
+			Name: n.block.Name(), Busy: time.Duration(n.busyNs.Load()),
+			Items: n.items.Load(), QueueMax: n.queueMax.Load(),
+			Errors: n.errors.Load(), Panics: n.panics.Load(),
+			Dropped: n.dropped.Load(), Trips: int(n.trips.Load()),
+			Quarantined: n.quarantined.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
@@ -272,11 +315,11 @@ func (g *Graph) Stats() []BlockStat {
 }
 
 // TotalBusy sums all block busy times (== CPU time for the single-threaded
-// scheduler).
+// scheduler). Safe to call concurrently with a running scheduler.
 func (g *Graph) TotalBusy() time.Duration {
 	var t time.Duration
 	for _, n := range g.nodes {
-		t += n.busy
+		t += time.Duration(n.busyNs.Load())
 	}
 	return t
 }
@@ -284,14 +327,40 @@ func (g *Graph) TotalBusy() time.Duration {
 // ResetStats clears accounting and supervision state.
 func (g *Graph) ResetStats() {
 	for _, n := range g.nodes {
-		n.busy = 0
-		n.items = 0
-		n.errors = 0
-		n.panics = 0
-		n.dropped = 0
+		n.busyNs.Reset()
+		n.items.Reset()
+		n.errors.Reset()
+		n.panics.Reset()
+		n.dropped.Reset()
+		n.trips.Reset()
+		n.queueMax.Reset()
 		n.consecErr = 0
-		n.trips = 0
 		n.dropSince = 0
-		n.quarantined = false
+		n.quarantined.Store(false)
+	}
+}
+
+// AttachMetrics swaps every block's accounting counters for
+// registry-owned instances named "<prefix>/<block>/<stat>", so the run
+// publishes its per-block work/queue/panic stats straight into reg
+// (snapshotable by the -metrics emitter and the expvar endpoint). Call
+// it after the graph is built and before Run/RunParallel; counts
+// accumulated before the attach stay behind in the old counters.
+func (g *Graph) AttachMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	if prefix == "" {
+		prefix = "flowgraph"
+	}
+	for _, n := range g.nodes {
+		base := prefix + "/" + n.block.Name() + "/"
+		n.busyNs = reg.Counter(base + "busy_ns")
+		n.items = reg.Counter(base + "items")
+		n.errors = reg.Counter(base + "errors")
+		n.panics = reg.Counter(base + "panics")
+		n.dropped = reg.Counter(base + "dropped")
+		n.trips = reg.Counter(base + "trips")
+		n.queueMax = reg.Gauge(base + "queue_max")
 	}
 }

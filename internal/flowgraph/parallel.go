@@ -91,6 +91,9 @@ func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
 				}
 			}
 			for item := range inCh[n] {
+				// Queue high watermark: this item plus whatever is still
+				// buffered behind it (backpressure visibility per block).
+				n.queueMax.SetMax(int64(len(inCh[n]) + 1))
 				// invoke handles accounting and, when supervised, panic
 				// recovery and the quarantine policy; it only returns an
 				// error in fail-fast mode.

@@ -1,0 +1,166 @@
+package flowgraph
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"rfdump/internal/metrics"
+)
+
+// TestStatsReadableDuringRun is the regression test for the BlockStat
+// race: drop/error counters used to be plain ints updated by the
+// scheduler but read concurrently by supervision/monitoring code. The
+// counters are now atomic metrics primitives, so polling Stats,
+// TotalBusy and Quarantined while the sequential scheduler runs must be
+// race-clean (this test exists to fail under -race if that regresses).
+func TestStatsReadableDuringRun(t *testing.T) {
+	g := New()
+	g.MustAdd(BlockFunc{Label: "src", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	boom := errors.New("boom")
+	g.MustAdd(BlockFunc{Label: "flaky", Fn: func(item Item, emit func(Item)) error {
+		if item.(int)%3 == 0 {
+			return boom
+		}
+		emit(item)
+		return nil
+	}})
+	g.MustConnect("src", "flaky")
+	g.MustRoot("src")
+	g.Supervise(SupervisorConfig{MaxErrors: 2, BackoffItems: 5})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, st := range g.Stats() {
+				_ = st.Busy
+				_ = st.Errors
+				_ = st.Dropped
+				_ = st.Quarantined
+			}
+			_ = g.TotalBusy()
+			_ = g.Quarantined()
+		}
+	}()
+
+	const items = 5000
+	i := 0
+	err := g.Run(func() (Item, bool) {
+		if i >= items {
+			return nil, false
+		}
+		i++
+		return i, true
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st := statByName(g.Stats(), "flaky"); st.Errors == 0 {
+		t.Error("flaky block recorded no errors")
+	}
+	if st := statByName(g.Stats(), "src"); st.Items != items {
+		t.Errorf("src items = %d, want %d", st.Items, items)
+	}
+}
+
+// TestStatsReadableDuringRunParallel does the same while the parallel
+// scheduler is in flight, which additionally exercises the per-block
+// queue watermark.
+func TestStatsReadableDuringRunParallel(t *testing.T) {
+	g := New()
+	g.MustAdd(BlockFunc{Label: "a", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	g.MustAdd(BlockFunc{Label: "b", Fn: func(item Item, emit func(Item)) error {
+		emit(item)
+		return nil
+	}})
+	g.MustConnect("a", "b")
+	g.MustRoot("a")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = g.Stats()
+			_ = g.TotalBusy()
+		}
+	}()
+
+	const items = 5000
+	i := 0
+	err := g.RunParallel(func() (Item, bool) {
+		if i >= items {
+			return nil, false
+		}
+		i++
+		return i, true
+	}, 8)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := statByName(g.Stats(), "b"); st.Items != items {
+		t.Errorf("b items = %d, want %d", st.Items, items)
+	} else if st.QueueMax < 1 {
+		t.Errorf("b queue watermark = %d, want >= 1", st.QueueMax)
+	}
+}
+
+func TestAttachMetricsPublishesBlockStats(t *testing.T) {
+	g := New()
+	g.MustAdd(BlockFunc{Label: "work", Fn: func(item Item, emit func(Item)) error {
+		return nil
+	}})
+	g.MustRoot("work")
+	reg := metrics.NewRegistry()
+	g.AttachMetrics(reg, "")
+
+	i := 0
+	if err := g.Run(func() (Item, bool) {
+		if i >= 7 {
+			return nil, false
+		}
+		i++
+		return i, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["flowgraph/work/items"]; got != 7 {
+		t.Errorf("registry items = %d, want 7 (counters: %v)", got, snap.Counters)
+	}
+	// Stats() reads the same registry-owned counters.
+	if st := statByName(g.Stats(), "work"); st.Items != 7 {
+		t.Errorf("Stats items = %d, want 7", st.Items)
+	}
+	// ResetStats zeroes the registry view too (shared primitives).
+	g.ResetStats()
+	if got := reg.Snapshot().Counters["flowgraph/work/items"]; got != 0 {
+		t.Errorf("items after reset = %d", got)
+	}
+}

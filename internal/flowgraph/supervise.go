@@ -102,10 +102,11 @@ func (g *Graph) Supervise(cfg SupervisorConfig) {
 }
 
 // Quarantined returns the names of blocks currently out of service.
+// Safe to call concurrently with a running scheduler.
 func (g *Graph) Quarantined() []string {
 	var out []string
 	for _, n := range g.nodes {
-		if n.quarantined {
+		if n.quarantined.Load() {
 			out = append(out, n.block.Name())
 		}
 	}
@@ -123,17 +124,17 @@ func (g *Graph) event(ev SupervisorEvent) {
 // the goroutine that owns the node (the scheduler thread, or the node's
 // worker under RunParallel), so the supervision fields need no locking.
 func (g *Graph) admit(n *node) bool {
-	if !n.quarantined {
+	if !n.quarantined.Load() {
 		return true
 	}
 	if g.sup.BackoffItems > 0 && n.dropSince >= g.sup.BackoffItems &&
-		(g.sup.MaxTrips <= 0 || n.trips < g.sup.MaxTrips) {
-		n.quarantined = false
+		(g.sup.MaxTrips <= 0 || n.trips.Load() < int64(g.sup.MaxTrips)) {
+		n.quarantined.Store(false)
 		n.dropSince = 0
 		g.event(SupervisorEvent{Block: n.block.Name(), Kind: EventReadmit})
 		return true
 	}
-	n.dropped++
+	n.dropped.Inc()
 	n.dropSince++
 	return false
 }
@@ -158,14 +159,14 @@ func (g *Graph) settle(n *node, err error) error {
 		}
 		return fmt.Errorf("flowgraph: %s: %w", n.block.Name(), err)
 	}
-	n.errors++
+	n.errors.Inc()
 	n.consecErr++
 	if isPanic {
-		n.panics++
+		n.panics.Inc()
 	}
 	if isPanic || n.consecErr >= g.sup.MaxErrors {
-		n.quarantined = true
-		n.trips++
+		n.quarantined.Store(true)
+		n.trips.Inc()
 		n.dropSince = 0
 		n.consecErr = 0
 		g.event(SupervisorEvent{Block: n.block.Name(), Kind: EventQuarantine, Err: err})
@@ -206,20 +207,24 @@ func (g *Graph) invoke(n *node, item Item, emit func(Item)) error {
 	}
 	start := time.Now()
 	err := g.runBlock(n, item, emit)
-	n.busy += time.Since(start)
-	n.items++
+	d := time.Since(start)
+	n.busyNs.Add(int64(d))
+	n.items.Inc()
+	if n.workObs != nil {
+		n.workObs.ObserveWork(d)
+	}
 	return g.settle(n, err)
 }
 
 // invokeFlush drains n's buffered state through the same policy. A
 // quarantined block is not flushed: its internal state is suspect.
 func (g *Graph) invokeFlush(n *node, emit func(Item)) error {
-	if g.sup != nil && n.quarantined {
+	if g.sup != nil && n.quarantined.Load() {
 		return nil
 	}
 	start := time.Now()
 	err := g.runFlush(n, emit)
-	n.busy += time.Since(start)
+	n.busyNs.Add(int64(time.Since(start)))
 	if err != nil && g.sup == nil {
 		return fmt.Errorf("flowgraph: flush %s: %w", n.block.Name(), err)
 	}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzHistogramBuckets fuzzes both the bucket boundary set and the
+// observed values, checking the structural invariants every snapshot
+// must hold: bucket counts sum to Count, every observation lands in the
+// bucket whose bound brackets it, Sum is exact, and quantiles stay
+// inside the bound range. The raw bytes are split into boundary and
+// value streams so the fuzzer can mutate degenerate boundary sets
+// (duplicates, negatives, unsorted, empty).
+func FuzzHistogramBuckets(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 10}, []byte{0, 0, 0, 0, 0, 0, 0, 5})
+	f.Add([]byte{}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 3}, // dup bounds
+		[]byte{0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 4})
+	f.Add([]byte{0x80, 0, 0, 0, 0, 0, 0, 1}, []byte{0x80, 0, 0, 0, 0, 0, 0, 2})
+
+	f.Fuzz(func(t *testing.T, boundBytes, valueBytes []byte) {
+		var bounds []int64
+		for i := 0; i+8 <= len(boundBytes) && len(bounds) < 64; i += 8 {
+			bounds = append(bounds, int64(binary.BigEndian.Uint64(boundBytes[i:])))
+		}
+		var values []int64
+		for i := 0; i+8 <= len(valueBytes) && len(values) < 256; i += 8 {
+			values = append(values, int64(binary.BigEndian.Uint64(valueBytes[i:])))
+		}
+
+		h := NewHistogram(bounds)
+		var wantSum int64
+		for _, v := range values {
+			h.Observe(v)
+			wantSum += v
+		}
+		s := h.Snapshot()
+
+		if s.Count != int64(len(values)) {
+			t.Fatalf("count %d, want %d", s.Count, len(values))
+		}
+		if s.Sum != wantSum {
+			t.Fatalf("sum %d, want %d", s.Sum, wantSum)
+		}
+		var total int64
+		for _, c := range s.Counts {
+			total += c
+		}
+		if total != s.Count {
+			t.Fatalf("bucket total %d != count %d", total, s.Count)
+		}
+		if !sort.SliceIsSorted(s.Bounds, func(i, j int) bool { return s.Bounds[i] < s.Bounds[j] }) {
+			t.Fatalf("bounds not sorted: %v", s.Bounds)
+		}
+		for i := 1; i < len(s.Bounds); i++ {
+			if s.Bounds[i] == s.Bounds[i-1] {
+				t.Fatalf("duplicate bound %d survived: %v", s.Bounds[i], s.Bounds)
+			}
+		}
+		if len(s.Counts) != len(s.Bounds)+1 {
+			t.Fatalf("%d buckets for %d bounds", len(s.Counts), len(s.Bounds))
+		}
+
+		// Recompute the expected bucketing independently and compare.
+		want := make([]int64, len(s.Bounds)+1)
+		for _, v := range values {
+			idx := sort.Search(len(s.Bounds), func(i int) bool { return s.Bounds[i] >= v })
+			want[idx]++
+		}
+		for i := range want {
+			if want[i] != s.Counts[i] {
+				t.Fatalf("bucket %d = %d, want %d (bounds %v values %v)",
+					i, s.Counts[i], want[i], s.Bounds, values)
+			}
+		}
+
+		// Quantiles must stay inside the bound range.
+		if len(s.Bounds) > 0 && s.Count > 0 {
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				est := s.Quantile(q)
+				if est < s.Bounds[0] || est > s.Bounds[len(s.Bounds)-1] {
+					t.Fatalf("quantile %v = %d outside bounds [%d, %d]",
+						q, est, s.Bounds[0], s.Bounds[len(s.Bounds)-1])
+				}
+			}
+		}
+	})
+}

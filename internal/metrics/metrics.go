@@ -1,0 +1,267 @@
+// Package metrics is the observability substrate of the pipeline:
+// lock-free counters, gauges and fixed-bucket histograms that every stage
+// (flowgraph blocks, fast detectors, analyzers, the overload pacer, the
+// fault injector) updates on its hot path, plus a named registry whose
+// snapshots feed the operator surfaces (rfdump -metrics, the expvar
+// endpoint, rfbench -json).
+//
+// The paper's whole argument is a cost ledger — detectors must stay an
+// order of magnitude cheaper than demodulation (Table 1, Figure 9) — so
+// the primitives are built to be cheap enough to leave on: one atomic
+// add per update, no locks, no allocation. All primitives are safe for
+// concurrent use by the parallel scheduler, and every method is a no-op
+// on a nil receiver so instrumented code needs no "is metrics enabled?"
+// branches: a nil *Registry hands out nil primitives and the whole layer
+// collapses to a pointer test per update.
+//
+// Snapshot semantics: values are monotone between resets (counters and
+// histogram buckets only grow), and a snapshot taken after all writers
+// have quiesced is exact — nothing is sampled or lost. A snapshot taken
+// mid-run may be torn across *different* metrics (it is not a global
+// consistent cut) but each individual value is a real value the metric
+// held, and a histogram's Count always equals the sum of its buckets.
+package metrics
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotone event counter. The zero value is ready to use;
+// a nil Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 for a nil Counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// Gauge is a last-value (or high-watermark) metric. The zero value is
+// ready to use; a nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// SetMax raises the gauge to n if n is larger (lock-free watermark).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 for a nil Gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() {
+	if g == nil {
+		return
+	}
+	g.v.Store(0)
+}
+
+// DefBucketsNs is the default latency bucket ladder: a 1-2.5-5 decade
+// sweep from 250 ns to 1 s, sized for per-chunk detector costs (a chunk
+// is 25 us of air at 8 Msps) up through whole-trace demodulation.
+var DefBucketsNs = []int64{
+	250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000,
+	1_000_000_000,
+}
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations
+// v <= Bounds[i], with one implicit overflow bucket above the last
+// bound. Observe is one binary search plus two atomic adds. A nil
+// Histogram discards observations.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	sum     atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given upper bounds. Bounds
+// are sorted and deduplicated; an empty slice yields a single overflow
+// bucket (count/sum only).
+func NewHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	// Deduplicate in place.
+	out := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			out = append(out, b)
+		}
+	}
+	bs = out
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Count is
+// derived from the bucket counts, so it is always internally consistent
+// (Count == sum of Counts) even when taken mid-run.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// entry for observations above the last bound.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations (sum of Counts).
+	Count int64 `json:"count"`
+	// Sum is the running total of observed values.
+	Sum int64 `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state (zero-value snapshot for
+// a nil Histogram).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Reset zeroes all buckets and the sum.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]): the bound of the bucket containing the q-th observation. For
+// the overflow bucket it returns the largest bound (or 0 with no
+// bounds), which understates the tail — fixed buckets cannot do better.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Outcome is implemented by pipeline products that carry a pass/fail
+// verdict (decoded packets with CRC results). Instrumented stages count
+// them per label without importing the producing package.
+type Outcome interface {
+	// MetricOutcome returns a label (protocol family) and whether the
+	// product verified.
+	MetricOutcome() (label string, ok bool)
+}

@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // monotone: negative adds ignored
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("counter after reset = %d", got)
+	}
+
+	var g Gauge
+	g.Set(9)
+	g.SetMax(3)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("gauge = %d, want 9 (SetMax must not lower)", got)
+	}
+	g.SetMax(12)
+	if got := g.Load(); got != 12 {
+		t.Fatalf("gauge = %d, want 12", got)
+	}
+}
+
+func TestNilPrimitivesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	c.Reset()
+	g.Set(1)
+	g.SetMax(2)
+	g.Reset()
+	h.Observe(5)
+	h.Reset()
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil primitives must read as zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil primitives")
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 500, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{3, 2, 2, 2} // <=10, <=100, <=1000, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 9 {
+		t.Fatalf("count = %d, want 9", s.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4, 8})
+	for v := int64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("p0 = %d, want 1", q)
+	}
+	if q := s.Quantile(0.5); q != 8 {
+		// Observations 5..8 land in the <=8 bucket; the 4th (rank 4) is 5.
+		t.Errorf("p50 = %d, want 8 (bucket upper bound)", q)
+	}
+	if q := s.Quantile(1); q != 8 {
+		t.Errorf("p100 = %d, want 8", q)
+	}
+	if got := s.Mean(); got != 4.5 {
+		t.Errorf("mean = %v, want 4.5", got)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity not stable")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatal("gauge identity not stable")
+	}
+	if r.Histogram("c", []int64{1}) != r.Histogram("c", nil) {
+		t.Fatal("histogram identity not stable")
+	}
+}
+
+// TestConcurrentHammer is the loss-freedom and monotonicity property
+// test: many writers hammer one counter, one gauge and one histogram
+// while a reader snapshots concurrently. Every intermediate snapshot
+// must be monotone in the previous one, and the final snapshot (after
+// all writers join) must be exact. Run under -race this also proves the
+// primitives are data-race free.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20_000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer/count")
+	g := r.Gauge("hammer/max")
+	h := r.Histogram("hammer/lat", []int64{4, 16, 64, 256})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshot reader asserting monotonicity.
+	var prev Snapshot
+	var readerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if prevC, ok := prev.Counters["hammer/count"]; ok {
+				if s.Counters["hammer/count"] < prevC {
+					readerErr = errNonMonotone("counter", s.Counters["hammer/count"], prevC)
+					return
+				}
+			}
+			ph := prev.Histograms["hammer/lat"]
+			sh := s.Histograms["hammer/lat"]
+			if sh.Count < ph.Count || sh.Sum < ph.Sum {
+				readerErr = errNonMonotone("histogram", sh.Count, ph.Count)
+				return
+			}
+			for i := range ph.Counts {
+				if sh.Counts[i] < ph.Counts[i] {
+					readerErr = errNonMonotone("bucket", sh.Counts[i], ph.Counts[i])
+					return
+				}
+			}
+			var total int64
+			for _, n := range sh.Counts {
+				total += n
+			}
+			if total != sh.Count {
+				readerErr = errNonMonotone("count-vs-buckets", total, sh.Count)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				v := int64(w*perWriter + i)
+				g.SetMax(v)
+				h.Observe(v % 512)
+			}
+		}()
+	}
+	// Wait for writers only, then stop the reader.
+	writersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(writersDone)
+	}()
+	// The reader goroutine is also counted in wg; close stop once the
+	// writers are done by polling the counter instead.
+	for c.Load() < writers*perWriter {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-writersDone
+
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("lost counter updates: %d of %d", got, writers*perWriter)
+	}
+	if got := g.Load(); got != writers*perWriter-1 {
+		t.Fatalf("gauge watermark %d, want %d", got, writers*perWriter-1)
+	}
+	hs := r.Snapshot().Histograms["hammer/lat"]
+	if hs.Count != writers*perWriter {
+		t.Fatalf("lost histogram observations: %d of %d", hs.Count, writers*perWriter)
+	}
+	var total int64
+	for _, n := range hs.Counts {
+		total += n
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket total %d != count %d", total, hs.Count)
+	}
+}
+
+type hammerErr struct {
+	what     string
+	got, old int64
+}
+
+func errNonMonotone(what string, got, old int64) error {
+	return hammerErr{what, got, old}
+}
+
+func (e hammerErr) Error() string {
+	return e.what + " went backwards"
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a/count").Add(3)
+	r.Gauge("a/level").Set(2)
+	r.Histogram("a/lat", []int64{10}).Observe(7)
+	s := r.Snapshot()
+
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a/count", "a/level", "a/lat", "count=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a/count"] != 3 || back.Gauges["a/level"] != 2 {
+		t.Fatalf("JSON roundtrip lost values: %+v", back)
+	}
+	if back.Histograms["a/lat"].Count != 1 {
+		t.Fatalf("JSON roundtrip lost histogram: %+v", back.Histograms)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("y", []int64{5})
+	c.Add(10)
+	h.Observe(3)
+	r.Reset()
+	if c.Load() != 0 {
+		t.Error("counter survived reset")
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Errorf("histogram survived reset: %+v", s)
+	}
+	// Handles stay live after reset.
+	c.Inc()
+	if r.Snapshot().Counters["x"] != 1 {
+		t.Error("handle dead after reset")
+	}
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics. Registration (the first
+// Counter/Gauge/Histogram call for a name) takes a mutex; instrumented
+// code holds the returned primitive and updates it lock-free, so the
+// map is off the hot path. A nil *Registry hands out nil primitives:
+// the entire metrics layer can be disabled by passing nil.
+//
+// Metric names are slash-separated paths by convention:
+// "flowgraph/<block>/busy_ns", "core/detector/<name>/accepts",
+// "demod/<family>/crc_pass", "faults/injected/gap".
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a discarding counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds; pass nil to reuse).
+// DefBucketsNs is used when bounds is empty at creation.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		if len(bounds) == 0 {
+			bounds = DefBucketsNs
+		}
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric, keeping registrations (and the
+// primitives instrumented code already holds) intact.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON
+// encoding or text rendering.
+type Snapshot struct {
+	// Taken is the snapshot wall-clock time.
+	Taken time.Time `json:"taken"`
+	// Counters and Gauges map names to values.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Histograms maps names to bucket snapshots.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric (empty snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Taken: time.Now()}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot as sorted "name value" lines, with
+// histograms summarized as count/mean/p50/p99.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		switch {
+		case s.Counters != nil && hasKey(s.Counters, n):
+			_, err = fmt.Fprintf(w, "%-48s %d\n", n, s.Counters[n])
+		case s.Gauges != nil && hasKey(s.Gauges, n):
+			_, err = fmt.Fprintf(w, "%-48s %d (gauge)\n", n, s.Gauges[n])
+		default:
+			h := s.Histograms[n]
+			_, err = fmt.Fprintf(w, "%-48s count=%d mean=%.0f p50<=%d p99<=%d\n",
+				n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the snapshot as one JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+func hasKey(m map[string]int64, k string) bool {
+	_, ok := m[k]
+	return ok
+}
