@@ -52,7 +52,11 @@ func validateFile(t *testing.T, path string) {
 	if len(report.Figure9) != 9 {
 		t.Errorf("%s: figure9 has %d rows, want 9 architectures", path, len(report.Figure9))
 	}
-	if len(report.Table1) != 3 {
-		t.Errorf("%s: table1 has %d rows, want 3 blocks", path, len(report.Table1))
+	wantTable1 := 4 // v2 adds the streaming zero-copy row
+	if report.Schema == experiments.BenchSchemaV1 {
+		wantTable1 = 3
+	}
+	if len(report.Table1) != wantTable1 {
+		t.Errorf("%s: table1 has %d rows, want %d blocks", path, len(report.Table1), wantTable1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -122,6 +123,7 @@ func main() {
 		supervise = flag.Bool("supervise", false, "supervised scheduling in -stream mode: quarantine crashing blocks instead of aborting")
 		overload  = flag.Bool("overload", false, "real-time pacing with graceful degradation in -stream mode")
 		retries   = flag.Int("retries", 4, "retry attempts for transient front-end read errors with -faults")
+		sessions  = flag.Int("sessions", 1, "run N concurrent monitoring sessions over the trace in -stream mode (one shared engine and block pool)")
 		metricsAt = flag.Duration("metrics", 0, "collect pipeline metrics and emit a snapshot to stderr at this interval (plus a final one); 0 = off")
 		metricsFm = flag.String("metrics-format", "text", "metrics snapshot format: text or json")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. localhost:6060)")
@@ -133,6 +135,14 @@ func main() {
 	}
 	if !*stream && (*faultSpec != "" || *supervise || *overload) {
 		fmt.Fprintln(os.Stderr, "rfdump: -faults, -supervise and -overload require -stream")
+		os.Exit(2)
+	}
+	if *sessions < 1 {
+		fmt.Fprintln(os.Stderr, "rfdump: -sessions must be >= 1")
+		os.Exit(2)
+	}
+	if *sessions > 1 && !*stream {
+		fmt.Fprintln(os.Stderr, "rfdump: -sessions requires -stream")
 		os.Exit(2)
 	}
 
@@ -241,18 +251,21 @@ func main() {
 	var out *arch.Result
 	var degradation core.Degradation
 	if *stream {
-		// Streaming mode: bounded memory, same detectors/analyzers.
-		var src core.BlockReader = &blockSource{s: samples}
-		var injector *faults.Injector
-		if *faultSpec != "" {
-			fcfg, err := faults.ParseSpec(*faultSpec)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "rfdump:", err)
-				os.Exit(2)
+		// Streaming mode: bounded memory, same detectors/analyzers. Each
+		// session gets its own source chain (fault injection included).
+		buildSource := func() (core.BlockReader, *faults.Injector, error) {
+			var src core.BlockReader = &blockSource{s: samples}
+			var injector *faults.Injector
+			if *faultSpec != "" {
+				fcfg, err := faults.ParseSpec(*faultSpec)
+				if err != nil {
+					return nil, nil, err
+				}
+				injector = faults.NewInjector(src, fcfg)
+				injector.InstrumentMetrics(reg)
+				src = &faults.Retry{Src: injector, Attempts: *retries, Metrics: reg}
 			}
-			injector = faults.NewInjector(src, fcfg)
-			injector.InstrumentMetrics(reg)
-			src = &faults.Retry{Src: injector, Attempts: *retries, Metrics: reg}
+			return src, injector, nil
 		}
 
 		scfg := core.StreamConfig{WindowSamples: *window}
@@ -269,28 +282,82 @@ func main() {
 			scfg.Overload = &core.OverloadConfig{}
 		}
 
-		// First SIGINT/SIGTERM stops the source so the flowgraph drains
+		// One Engine serves all sessions: configuration and detector
+		// setup are resolved once, and every session recycles sample
+		// blocks through the shared pool.
+		var factories []core.AnalyzerFactory
+		if !*noDemod {
+			lapv, uapv := uint32(*lap), byte(*uap)
+			factories = []core.AnalyzerFactory{
+				func() core.Analyzer { return demod.NewWiFiDemod() },
+				func() core.Analyzer { return demod.NewBTDemod(lapv, uapv, 8) },
+			}
+		}
+		eng := core.NewEngine(clock, cfg, factories...)
+
+		n := *sessions
+		results := make([]*core.Result, n)
+		errs := make([]error, n)
+		injectors := make([]*faults.Injector, n)
+		stoppers := make([]*stopReader, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			src, injector, err := buildSource()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfdump:", err)
+				os.Exit(2)
+			}
+			injectors[i] = injector
+			stoppers[i] = &stopReader{inner: src}
+			sess, err := eng.NewSession(scfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfdump:", err)
+				os.Exit(1)
+			}
+			wg.Add(1)
+			go func(i int, sess *core.Session, src core.BlockReader) {
+				defer wg.Done()
+				results[i], errs[i] = sess.Run(src)
+			}(i, sess, stoppers[i])
+		}
+
+		// First SIGINT/SIGTERM stops every source so the flowgraphs drain
 		// and the summary still prints; a second signal aborts.
-		stopper := &stopReader{inner: src}
 		go func() {
 			<-sig
 			fmt.Fprintln(os.Stderr, "rfdump: interrupt — draining pipeline (^C again to abort)")
-			stopper.stopped.Store(true)
+			for _, st := range stoppers {
+				st.stopped.Store(true)
+			}
 			<-sig
 			os.Exit(130)
 		}()
 
-		p := core.NewPipeline(clock, cfg, analyzers...)
-		res, err := p.RunStream(stopper, scfg)
+		wg.Wait()
 		signal.Stop(sig)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rfdump:", err)
-			os.Exit(1)
+		for _, err := range errs {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rfdump:", err)
+				os.Exit(1)
+			}
 		}
+		if n > 1 {
+			for i, res := range results {
+				fmt.Fprintf(os.Stderr, "rfdump: session %d: %d detections, %d outputs, CPU/real-time %.2fx\n",
+					i, len(res.Detections), len(res.Outputs), res.CPUPerRealTime())
+			}
+		}
+		res := results[0]
 		out = resultFromPipeline(res, clock)
 		degradation = res.Degradation
-		if injector != nil {
-			fmt.Fprintln(os.Stderr, "rfdump:", injector.Stats())
+		for i, injector := range injectors {
+			if injector != nil {
+				if n > 1 {
+					fmt.Fprintf(os.Stderr, "rfdump: session %d: %v\n", i, injector.Stats())
+				} else {
+					fmt.Fprintln(os.Stderr, "rfdump:", injector.Stats())
+				}
+			}
 		}
 	} else {
 		mon := arch.NewRFDump("rfdump", clock, cfg, analyzers...)

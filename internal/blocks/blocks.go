@@ -1,0 +1,147 @@
+// Package blocks provides the pooled, reference-counted sample blocks
+// the streaming pipeline is built on. The architecture's premise is that
+// the cheap detection stage must keep up with the full 8 Msps stream
+// (Section 2.1); at that rate a per-chunk allocation is a per-chunk GC
+// obligation, and garbage collection — not DSP — becomes the throughput
+// bound. A Block is a fixed-capacity buffer (one forwarding unit, the
+// paper's chunk granularity by default) that is recycled through a
+// sync.Pool once every holder has released it.
+//
+// Ownership rules (enforced by panics on misuse):
+//
+//   - Pool.Get returns a block with one reference, owned by the caller.
+//   - Retain adds a reference for every additional holder (a window that
+//     keeps the block for later probes, a queue that carries it).
+//   - Release drops one reference; the last Release returns the buffer
+//     to the pool. Using a block after its last Release — or releasing
+//     it twice — is a bug, and the refcount guard turns it into an
+//     immediate panic instead of silent sample corruption.
+//
+// The counters are atomic so blocks can be retained and released from
+// the parallel scheduler's goroutines.
+package blocks
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rfdump/internal/iq"
+)
+
+// Block is one pooled span of complex baseband samples. The zero value
+// is not usable; obtain blocks from a Pool.
+type Block struct {
+	buf  iq.Samples // full-capacity backing store
+	n    int        // filled length
+	refs atomic.Int32
+	pool *Pool
+}
+
+// Buf returns the full-capacity buffer for filling (length == capacity).
+// Call SetLen with the number of samples actually written.
+func (b *Block) Buf() iq.Samples { return b.buf }
+
+// SetLen records how many samples of the buffer are valid.
+func (b *Block) SetLen(n int) {
+	if n < 0 || n > len(b.buf) {
+		panic(fmt.Sprintf("blocks: SetLen(%d) outside [0, %d]", n, len(b.buf)))
+	}
+	b.n = n
+}
+
+// Len returns the number of valid samples.
+func (b *Block) Len() int { return b.n }
+
+// Cap returns the block capacity in samples.
+func (b *Block) Cap() int { return len(b.buf) }
+
+// Samples returns the filled prefix of the buffer. The slice is valid
+// only while the caller holds a reference.
+func (b *Block) Samples() iq.Samples { return b.buf[:b.n] }
+
+// Refs returns the current reference count (diagnostics and tests).
+func (b *Block) Refs() int32 { return b.refs.Load() }
+
+// Retain adds a reference and returns the block for chaining. Retaining
+// a dead block (refcount already zero) panics: the buffer may already be
+// carrying another stream's samples.
+func (b *Block) Retain() *Block {
+	if b.refs.Add(1) <= 1 {
+		panic("blocks: Retain on a released block")
+	}
+	return b
+}
+
+// Release drops one reference. The last release recycles the buffer into
+// the pool; releasing more times than the block was retained panics.
+func (b *Block) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		b.pool.put(b)
+	case n < 0:
+		panic("blocks: Release of a dead block")
+	}
+}
+
+// Pool recycles fixed-capacity blocks. It is safe for concurrent use by
+// any number of sessions; a single pool is typically shared by every
+// session of an Engine so idle sessions donate capacity to busy ones.
+type Pool struct {
+	chunk int
+	pool  sync.Pool
+
+	// Accounting (atomic; read by tests and the bench harness).
+	gets  atomic.Int64
+	news  atomic.Int64
+	live  atomic.Int64 // blocks currently held by callers
+}
+
+// NewPool returns a pool of blocks holding chunkSamples samples each
+// (the paper's 25 us forwarding unit by default when <= 0).
+func NewPool(chunkSamples int) *Pool {
+	if chunkSamples <= 0 {
+		chunkSamples = iq.ChunkSamples
+	}
+	p := &Pool{chunk: chunkSamples}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return &Block{buf: make(iq.Samples, chunkSamples), pool: p}
+	}
+	return p
+}
+
+// ChunkSamples returns the per-block capacity.
+func (p *Pool) ChunkSamples() int { return p.chunk }
+
+// Get returns a block with one reference and length reset to full
+// capacity, ready for filling.
+func (p *Pool) Get() *Block {
+	b := p.pool.Get().(*Block)
+	b.n = len(b.buf)
+	b.refs.Store(1)
+	p.gets.Add(1)
+	p.live.Add(1)
+	return b
+}
+
+func (p *Pool) put(b *Block) {
+	p.live.Add(-1)
+	b.n = 0
+	p.pool.Put(b)
+}
+
+// Stats is a point-in-time snapshot of pool accounting.
+type Stats struct {
+	// Gets counts Pool.Get calls.
+	Gets int64
+	// News counts backing allocations (Gets that missed the pool).
+	News int64
+	// Live counts blocks currently checked out (non-zero refcount).
+	Live int64
+}
+
+// Stats returns the pool's accounting snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{Gets: p.gets.Load(), News: p.news.Load(), Live: p.live.Load()}
+}

@@ -1,0 +1,187 @@
+package blocks
+
+import (
+	"sync"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+func TestPoolGetReleaseRecycles(t *testing.T) {
+	p := NewPool(8)
+	b := p.Get()
+	if b.Refs() != 1 {
+		t.Fatalf("fresh block refs = %d, want 1", b.Refs())
+	}
+	if b.Cap() != 8 || b.Len() != 8 {
+		t.Fatalf("fresh block cap=%d len=%d, want 8/8", b.Cap(), b.Len())
+	}
+	b.SetLen(5)
+	if got := len(b.Samples()); got != 5 {
+		t.Fatalf("Samples() len = %d, want 5", got)
+	}
+	b.Release()
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("live after release = %d, want 0", st.Live)
+	}
+	// Recycling must dominate allocation. sync.Pool is best-effort and
+	// deliberately drops a fraction of puts under the race detector, so
+	// assert statistically over many cycles rather than on one buffer's
+	// identity: 100 get/release cycles must not mint 100 new buffers.
+	start := p.Stats().News
+	for i := 0; i < 100; i++ {
+		b2 := p.Get()
+		b2.Release()
+	}
+	if made := p.Stats().News - start; made >= 100 {
+		t.Errorf("no recycling: %d new buffers for 100 gets", made)
+	}
+}
+
+func TestRetainKeepsBlockAlive(t *testing.T) {
+	p := NewPool(4)
+	b := p.Get()
+	b.Retain()
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("refs after retain+release = %d, want 1", b.Refs())
+	}
+	if st := p.Stats(); st.Live != 1 {
+		t.Fatalf("live = %d, want 1", st.Live)
+	}
+	b.Release()
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("live after final release = %d, want 0", st.Live)
+	}
+}
+
+func TestReleaseDeadBlockPanics(t *testing.T) {
+	p := NewPool(4)
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainDeadBlockPanics(t *testing.T) {
+	p := NewPool(4)
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain after last Release did not panic")
+		}
+	}()
+	p2 := p.Get() // reuses the buffer; b's refcount was reset by Get
+	_ = p2
+	// A fresh handle to the dead state: simulate via a block that was
+	// fully released and never re-issued.
+	dead := &Block{buf: make(iq.Samples, 4), pool: p}
+	dead.Retain()
+}
+
+func TestSetLenBounds(t *testing.T) {
+	p := NewPool(4)
+	b := p.Get()
+	defer b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLen beyond capacity did not panic")
+		}
+	}()
+	b.SetLen(5)
+}
+
+func TestDefaultChunkCapacity(t *testing.T) {
+	p := NewPool(0)
+	if p.ChunkSamples() != iq.ChunkSamples {
+		t.Fatalf("default chunk = %d, want %d", p.ChunkSamples(), iq.ChunkSamples)
+	}
+}
+
+// TestConcurrentRetainRelease hammers the refcount protocol from many
+// goroutines — the scheduler's fan-out retains and per-delivery releases
+// under RunParallel. Run with -race (CI does).
+func TestConcurrentRetainRelease(t *testing.T) {
+	p := NewPool(16)
+	const (
+		rounds  = 200
+		holders = 8
+	)
+	for r := 0; r < rounds; r++ {
+		b := p.Get()
+		for i := range b.Buf() {
+			b.Buf()[i] = complex(float32(r), float32(i))
+		}
+		var wg sync.WaitGroup
+		for h := 0; h < holders; h++ {
+			b.Retain()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Read while holding a reference, then drop it.
+				s := b.Samples()
+				if real(s[0]) != float32(r) {
+					t.Errorf("round %d: sample overwritten while retained", r)
+				}
+				b.Release()
+			}()
+		}
+		b.Release() // producer's reference
+		wg.Wait()
+	}
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("live after hammer = %d, want 0", st.Live)
+	}
+}
+
+// TestConcurrentPoolSharing drives several producer/consumer pairs
+// through one shared pool, the multi-session Engine shape.
+func TestConcurrentPoolSharing(t *testing.T) {
+	p := NewPool(32)
+	const sessions = 6
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			ch := make(chan *Block, 4)
+			go func() {
+				for i := 0; i < 300; i++ {
+					b := p.Get()
+					b.SetLen(seed%31 + 1)
+					for j := range b.Samples() {
+						b.Samples()[j] = complex(float32(seed), float32(i))
+					}
+					ch <- b
+				}
+				close(ch)
+			}()
+			for b := range ch {
+				if int(real(b.Samples()[0])) != seed {
+					t.Errorf("session %d: cross-session sample bleed", seed)
+				}
+				b.Release()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("live after sessions = %d, want 0", st.Live)
+	}
+}
+
+func BenchmarkPoolGetRelease(b *testing.B) {
+	p := NewPool(iq.ChunkSamples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := p.Get()
+		blk.SetLen(iq.ChunkSamples)
+		blk.Release()
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"rfdump/internal/blocks"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// AnalyzerFactory builds a fresh analyzer instance. Analyzers carry
+// per-run scratch state (demodulator delay lines, reusable buffers), so
+// an Engine serving several concurrent sessions cannot share instances —
+// it shares factories and stamps out one analyzer set per session.
+type AnalyzerFactory func() Analyzer
+
+// Engine is the build-once half of the streaming pipeline: the resolved
+// detector configuration, the clock, the analyzer factories, the metrics
+// registry (inside Config), and the shared block pool. It is immutable
+// after construction and safe for concurrent use — NewSession may be
+// called from any number of goroutines, and the sessions run
+// independently: each gets its own detectors, dispatcher, sample window,
+// degradation state and callbacks, while all of them recycle sample
+// blocks through the one pool (idle sessions donate capacity to busy
+// ones).
+type Engine struct {
+	cfg       Config
+	clock     iq.Clock
+	factories []AnalyzerFactory
+	pool      *blocks.Pool
+	chunks    chunkItemPool
+}
+
+// NewEngine resolves the configuration once and returns the engine.
+func NewEngine(clock iq.Clock, cfg Config, factories ...AnalyzerFactory) *Engine {
+	cfg.Peak = cfg.Peak.withDefaults()
+	return &Engine{
+		cfg:       cfg,
+		clock:     clock,
+		factories: factories,
+		pool:      blocks.NewPool(iq.ChunkSamples),
+	}
+}
+
+// Clock returns the engine's sample clock.
+func (e *Engine) Clock() iq.Clock { return e.clock }
+
+// Pool returns the shared block pool (diagnostics and tests; its Stats
+// expose allocation behavior).
+func (e *Engine) Pool() *blocks.Pool { return e.pool }
+
+// NewSession builds one independent streaming run over the engine:
+// fresh detector and analyzer instances, a fresh sample window and
+// dispatcher. The session is single-use — assemble, Run, done.
+func (e *Engine) NewSession(cfg StreamConfig) (*Session, error) {
+	analyzers := make([]Analyzer, len(e.factories))
+	for i, f := range e.factories {
+		analyzers[i] = f()
+	}
+	return e.session(analyzers, cfg)
+}
+
+// session is NewSession over pre-built analyzer instances (the
+// single-session Pipeline path reuses its own instances).
+func (e *Engine) session(analyzers []Analyzer, cfg StreamConfig) (*Session, error) {
+	if cfg.WindowSamples <= 0 {
+		cfg.WindowSamples = 1_600_000 // 200 ms at 8 Msps
+	}
+	var window blockStore = NewBlockWindow(cfg.WindowSamples)
+	if e.cfg.Parallel {
+		window = &lockedBlockWindow{w: NewBlockWindow(cfg.WindowSamples)}
+	}
+	opts := assembleOpts{
+		onDetection: cfg.OnDetection,
+		onOutput:    cfg.OnOutput,
+		noRetainDet: cfg.NoRetain && cfg.OnDetection != nil,
+		noRetainOut: cfg.NoRetain && cfg.OnOutput != nil,
+	}
+	var pace *pacer
+	if cfg.Overload != nil {
+		pace = newPacer(e.clock, *cfg.Overload)
+		pace.instrument(e.cfg.Metrics)
+		opts.gate = &shedGate{pacer: pace}
+	}
+	graph, dispatcher, outputs, err := e.assemble(analyzers, window, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Supervise != nil {
+		graph.Supervise(*cfg.Supervise)
+	}
+	return &Session{
+		e:          e,
+		window:     window,
+		graph:      graph,
+		dispatcher: dispatcher,
+		outputs:    outputs,
+		pace:       pace,
+	}, nil
+}
+
+// Session is the per-run half of the split: one live monitoring run over
+// an Engine, with its own sample window, flowgraph (detector state),
+// dispatcher, degradation accounting and delivery callbacks.
+type Session struct {
+	e          *Engine
+	window     blockStore
+	graph      *flowgraph.Graph
+	dispatcher *Dispatcher
+	outputs    *[]flowgraph.Item
+	pace       *pacer
+	ran        atomic.Bool
+}
+
+// Run drives the session over a block source until EOF, with bounded
+// memory and zero steady-state allocations per chunk: every block is a
+// pooled blocks.Block filled in place by the reader, appended to the
+// session window (which holds a reference until eviction) and carried
+// through the flowgraph by a pooled chunk item whose disposal — normal,
+// shed or quarantined — returns the reference.
+func (s *Session) Run(src BlockReader) (*Result, error) {
+	if s.ran.Swap(true) {
+		return nil, fmt.Errorf("core: Session.Run called twice (sessions are single-use)")
+	}
+	defer s.window.Close()
+
+	var (
+		seq     int
+		readErr error
+	)
+	source := func() (flowgraph.Item, bool) {
+		for {
+			if readErr != nil {
+				return nil, false
+			}
+			blk := s.e.pool.Get()
+			n, err := src.ReadBlock(blk.Buf())
+			if err != nil && !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			if n == 0 {
+				blk.Release()
+				readErr = err
+				return nil, false
+			}
+			blk.SetLen(n)
+			start := s.window.End()
+			span := iq.Interval{Start: start, End: start + iq.Tick(n)}
+			s.window.AppendBlock(blk) // the window now owns our reference
+			curSeq := seq
+			seq++
+			if errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			// Last-resort shedding: when the pipeline has fallen past the
+			// chunk watermark the chunk never enters the graph (detectors
+			// included — they are shed last, and only here). The block
+			// stays in the window as plain history.
+			if s.pace != nil && s.pace.observe(s.window.End()) >= ShedChunks {
+				s.pace.shedChunks.Inc()
+				s.pace.shedSamples.Add(int64(n))
+				continue
+			}
+			c := s.e.chunks.get()
+			c.Seq = curSeq
+			c.Span = span
+			c.Samples = blk.Samples()
+			c.Block = blk.Retain() // the chunk item's own reference
+			return c, true
+		}
+	}
+
+	var err error
+	if s.e.cfg.Parallel {
+		err = s.graph.RunParallel(source, 128)
+	} else {
+		err = s.graph.Run(source)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if readErr != nil && !errors.Is(readErr, io.EOF) {
+		return nil, fmt.Errorf("core: stream source: %w", readErr)
+	}
+
+	stats := s.graph.Stats()
+	return &Result{
+		Detections:  s.dispatcher.All,
+		Requests:    s.dispatcher.Requests,
+		Outputs:     *s.outputs,
+		Stats:       stats,
+		Busy:        s.graph.TotalBusy(),
+		StreamLen:   s.window.End(),
+		Clock:       s.e.clock,
+		Degradation: degradationFrom(stats, s.pace),
+	}, nil
+}
+
+// chunkItem is the pooled flowgraph item carrying one block through the
+// detection stage. It implements flowgraph.Owned: the scheduler disposes
+// it after the peak detector consumes it (or on any drop path —
+// quarantine, fail-fast drain, overload shed), releasing the block
+// reference it carries and recycling the item.
+type chunkItem struct {
+	Chunk
+	refs atomic.Int32
+	home *chunkItemPool
+}
+
+// Retain implements flowgraph.Owned.
+func (c *chunkItem) Retain() {
+	if c.refs.Add(1) <= 1 {
+		panic("core: chunk item retained after release")
+	}
+}
+
+// Dispose implements flowgraph.Owned.
+func (c *chunkItem) Dispose() {
+	switch n := c.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("core: chunk item disposed twice")
+	}
+	if c.Block != nil {
+		c.Block.Release()
+	}
+	c.Chunk = Chunk{}
+	c.home.pool.Put(c)
+}
+
+// chunkItemPool recycles chunk items (see metaPool).
+type chunkItemPool struct {
+	pool sync.Pool
+}
+
+// get returns a reset item with one reference.
+func (cp *chunkItemPool) get() *chunkItem {
+	c, ok := cp.pool.Get().(*chunkItem)
+	if !ok {
+		c = &chunkItem{home: cp}
+	}
+	c.refs.Store(1)
+	return c
+}

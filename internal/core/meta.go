@@ -10,7 +10,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"rfdump/internal/blocks"
 	"rfdump/internal/iq"
 	"rfdump/internal/protocols"
 )
@@ -26,6 +28,11 @@ type Chunk struct {
 	Span iq.Interval
 	// Samples is the chunk's view of the stream.
 	Samples iq.Samples
+	// Block, when non-nil, is the pooled block backing Samples. Holders
+	// of the chunk beyond the producing stage must Retain it; the batch
+	// path (a whole trace in one slice) leaves it nil and samples live
+	// for the run.
+	Block *blocks.Block
 }
 
 // Peak is one detected RF transmission: the protocol-agnostic stage's
@@ -126,7 +133,9 @@ func (h *PeakHistory) ScanBack(fn func(Peak) bool) {
 // not on the samples.
 type ChunkMeta struct {
 	// Chunk is the underlying chunk (samples remain accessible for the
-	// detectors that need signal access, e.g. phase analysis).
+	// detectors that need signal access, e.g. phase analysis). When
+	// Chunk.Block is non-nil a pooled meta owns one reference to it,
+	// released with the meta's last Dispose.
 	Chunk Chunk
 	// AvgPower is the chunk's average power.
 	AvgPower float64
@@ -139,6 +148,60 @@ type ChunkMeta struct {
 	Completed []Peak
 	// History points to the shared recent-peak ring.
 	History *PeakHistory
+
+	// Pooled-lifetime state (zero for metas built by hand, e.g. in
+	// tests, which then have value semantics and Retain/Dispose no-ops).
+	refs atomic.Int32
+	home *metaPool
+}
+
+// Retain adds a scheduler reference (flowgraph.Owned); a no-op for
+// non-pooled metas.
+func (m *ChunkMeta) Retain() {
+	if m.home == nil {
+		return
+	}
+	if m.refs.Add(1) <= 1 {
+		panic("core: ChunkMeta retained after release")
+	}
+}
+
+// Dispose drops one scheduler reference; the last one releases the
+// backing block and recycles the meta. A no-op for non-pooled metas.
+func (m *ChunkMeta) Dispose() {
+	if m.home == nil {
+		return
+	}
+	switch n := m.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("core: ChunkMeta disposed twice")
+	}
+	if b := m.Chunk.Block; b != nil {
+		b.Release()
+	}
+	m.Chunk = Chunk{}
+	m.AvgPower, m.NoiseFloor, m.Busy = 0, 0, false
+	m.Completed = m.Completed[:0]
+	m.History = nil
+	m.home.pool.Put(m)
+}
+
+// metaPool recycles ChunkMeta values through the detection stage: one
+// meta per chunk at 40k chunks/s is otherwise a steady GC tax.
+type metaPool struct {
+	pool sync.Pool
+}
+
+// get returns a reset meta with one reference.
+func (mp *metaPool) get() *ChunkMeta {
+	m, ok := mp.pool.Get().(*ChunkMeta)
+	if !ok {
+		m = &ChunkMeta{home: mp}
+	}
+	m.refs.Store(1)
+	return m
 }
 
 // Detection is a fast detector's verdict: a tentative mapping of a sample

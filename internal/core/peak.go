@@ -62,6 +62,7 @@ func (c PeakConfig) withDefaults() PeakConfig {
 type PeakDetector struct {
 	cfg     PeakConfig
 	history *PeakHistory
+	metas   metaPool
 
 	avg        *dsp.MovingAverage
 	inPeak     bool
@@ -126,11 +127,27 @@ func (p *PeakDetector) calibrate(chunkAvg float64) {
 	p.noise += (target - p.noise) / 1024
 }
 
-// Process implements flowgraph.Block. Each input must be a Chunk; the
-// output is one *ChunkMeta per chunk.
+// Process implements flowgraph.Block. Each input must be a Chunk (the
+// batch path) or a pooled *chunkItem (the streaming path); the output is
+// one pooled *ChunkMeta per chunk.
 func (p *PeakDetector) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
-	chunk := item.(Chunk)
-	meta := &ChunkMeta{Chunk: chunk, History: p.history}
+	var chunk Chunk
+	switch v := item.(type) {
+	case *chunkItem:
+		chunk = v.Chunk
+	default:
+		chunk = item.(Chunk)
+	}
+	meta := p.metas.get()
+	meta.Chunk = chunk
+	meta.History = p.history
+	if chunk.Block != nil {
+		// The meta outlives the chunk item (detectors read the samples
+		// downstream, and under the parallel scheduler the producer may
+		// already be filling the next block): it holds its own reference,
+		// released by the meta's last Dispose.
+		chunk.Block.Retain()
+	}
 
 	// First pass: the cheap energy filter. "The energy-based filter first
 	// computes the average energy of the last window of samples within
@@ -260,7 +277,10 @@ func (p *PeakDetector) Flush(emit func(flowgraph.Item)) error {
 	if !p.inPeak {
 		return nil
 	}
-	meta := &ChunkMeta{History: p.history, NoiseFloor: p.NoiseFloor(), Busy: true}
+	meta := p.metas.get()
+	meta.History = p.history
+	meta.NoiseFloor = p.NoiseFloor()
+	meta.Busy = true
 	meta.Chunk.Span = iq.Interval{Start: p.cur.Span.End, End: p.cur.Span.End}
 	p.closePeak(p.cur.Span.End, meta)
 	emit(meta)

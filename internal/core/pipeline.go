@@ -136,17 +136,19 @@ func (r *Result) ForwardedSpans(family protocols.ID) []iq.Interval {
 
 // Pipeline is the assembled RFDump architecture: chunk source → peak
 // detector (with integrated energy filter) → protocol-specific fast
-// detectors → dispatcher → analyzers (Figure 2).
+// detectors → dispatcher → analyzers (Figure 2). It is the
+// one-run-at-a-time façade over an Engine with a fixed analyzer set;
+// programs that want several concurrent streaming runs build an Engine
+// with analyzer factories and open Sessions directly.
 type Pipeline struct {
-	cfg       Config
-	clock     iq.Clock
+	engine    *Engine
 	analyzers []Analyzer
 }
 
 // NewPipeline builds a pipeline description; Run assembles a fresh
 // flowgraph per trace (detector state never leaks across runs).
 func NewPipeline(clock iq.Clock, cfg Config, analyzers ...Analyzer) *Pipeline {
-	return &Pipeline{cfg: cfg, clock: clock, analyzers: analyzers}
+	return &Pipeline{engine: NewEngine(clock, cfg), analyzers: analyzers}
 }
 
 // analyzerBlock adapts an Analyzer to a flowgraph.Block, filtering
@@ -200,48 +202,48 @@ type assembleOpts struct {
 // assemble builds the flowgraph for one run over the given accessor:
 // peak detector -> enabled fast detectors -> dispatcher [-> shed gate]
 // -> analyzers -> sink.
-func (p *Pipeline) assemble(src SampleAccessor, opts assembleOpts) (*flowgraph.Graph, *Dispatcher, *[]flowgraph.Item, error) {
+func (e *Engine) assemble(analyzers []Analyzer, src SampleAccessor, opts assembleOpts) (*flowgraph.Graph, *Dispatcher, *[]flowgraph.Item, error) {
 	graph := flowgraph.New()
 
-	peak := NewPeakDetector(p.cfg.Peak)
+	peak := NewPeakDetector(e.cfg.Peak)
 	graph.MustAdd(peak)
 	graph.MustRoot("peak-detector")
 
-	dispatcher := NewDispatcher(p.cfg.Dispatch)
+	dispatcher := NewDispatcher(e.cfg.Dispatch)
 	dispatcher.OnDetection = opts.onDetection
 	dispatcher.Retain = !opts.noRetainDet
 	graph.MustAdd(dispatcher)
 
 	var detectorNames []string
 	addDetector := func(b flowgraph.Block) {
-		graph.MustAdd(meter(p.cfg.Metrics, "detector", "ns_per_chunk", b))
+		graph.MustAdd(meter(e.cfg.Metrics, "detector", "ns_per_chunk", b))
 		graph.MustConnect("peak-detector", b.Name())
 		graph.MustConnect(b.Name(), "dispatcher")
 		detectorNames = append(detectorNames, b.Name())
 	}
-	if p.cfg.WiFiTiming != nil {
-		addDetector(NewWiFiTiming(p.clock, *p.cfg.WiFiTiming))
+	if e.cfg.WiFiTiming != nil {
+		addDetector(NewWiFiTiming(e.clock, *e.cfg.WiFiTiming))
 	}
-	if p.cfg.BTTiming != nil {
-		addDetector(NewBTTiming(p.clock, *p.cfg.BTTiming))
+	if e.cfg.BTTiming != nil {
+		addDetector(NewBTTiming(e.clock, *e.cfg.BTTiming))
 	}
-	if p.cfg.Microwave {
-		addDetector(NewMicrowaveTiming(p.clock))
+	if e.cfg.Microwave {
+		addDetector(NewMicrowaveTiming(e.clock))
 	}
-	if p.cfg.ZigBee {
-		addDetector(NewZigBeeTiming(p.clock))
+	if e.cfg.ZigBee {
+		addDetector(NewZigBeeTiming(e.clock))
 	}
-	if p.cfg.WiFiPhase != nil {
-		addDetector(NewWiFiPhase(src, *p.cfg.WiFiPhase))
+	if e.cfg.WiFiPhase != nil {
+		addDetector(NewWiFiPhase(src, *e.cfg.WiFiPhase))
 	}
-	if p.cfg.BTPhase != nil {
-		addDetector(NewBTPhase(src, p.clock, *p.cfg.BTPhase))
+	if e.cfg.BTPhase != nil {
+		addDetector(NewBTPhase(src, e.clock, *e.cfg.BTPhase))
 	}
-	if p.cfg.BTFreq != nil {
-		addDetector(NewBTFreq(*p.cfg.BTFreq))
+	if e.cfg.BTFreq != nil {
+		addDetector(NewBTFreq(*e.cfg.BTFreq))
 	}
-	if p.cfg.OFDM != nil {
-		addDetector(NewOFDMDetector(src, *p.cfg.OFDM))
+	if e.cfg.OFDM != nil {
+		addDetector(NewOFDMDetector(src, *e.cfg.OFDM))
 	}
 	if len(detectorNames) == 0 {
 		return nil, nil, nil, fmt.Errorf("core: pipeline has no detectors enabled")
@@ -256,22 +258,22 @@ func (p *Pipeline) assemble(src SampleAccessor, opts assembleOpts) (*flowgraph.G
 		graph.MustConnect("dispatcher", opts.gate.Name())
 		analyzerUpstream = opts.gate.Name()
 	}
-	for _, a := range p.analyzers {
+	for _, a := range analyzers {
 		b := &analyzerBlock{a: a, src: src}
-		graph.MustAdd(meter(p.cfg.Metrics, "analyzer", "ns_per_request", b))
+		graph.MustAdd(meter(e.cfg.Metrics, "analyzer", "ns_per_request", b))
 		graph.MustConnect(analyzerUpstream, b.Name())
 		graph.MustConnect(b.Name(), "sink")
 	}
 	// Publish per-block work/queue/panic stats into the registry (no-op
 	// without one).
-	graph.AttachMetrics(p.cfg.Metrics, "flowgraph")
+	graph.AttachMetrics(e.cfg.Metrics, "flowgraph")
 	return graph, dispatcher, outputs, nil
 }
 
 // Run processes a full trace.
 func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
 	src := &StreamAccessor{Stream: stream}
-	graph, dispatcher, outputs, err := p.assemble(src, assembleOpts{})
+	graph, dispatcher, outputs, err := p.engine.assemble(p.analyzers, src, assembleOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +299,7 @@ func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
 		return c, true
 	}
 
-	if p.cfg.Parallel {
+	if p.engine.cfg.Parallel {
 		err = graph.RunParallel(source, 128)
 	} else {
 		err = graph.Run(source)
@@ -314,7 +316,7 @@ func (p *Pipeline) Run(stream iq.Samples) (*Result, error) {
 		Stats:       stats,
 		Busy:        graph.TotalBusy(),
 		StreamLen:   iq.Tick(len(stream)),
-		Clock:       p.clock,
+		Clock:       p.engine.clock,
 		Degradation: degradationFrom(stats, nil),
 	}, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under it because the runtime deliberately randomizes
+// sync.Pool reuse (dropping puts) when racing.
+const raceEnabled = true

@@ -1,11 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"io"
-	"sync"
-
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
 )
@@ -70,44 +65,6 @@ type BlockReader interface {
 	ReadBlock(dst iq.Samples) (int, error)
 }
 
-// streamWindow is what RunStream needs from its sample store.
-type streamWindow interface {
-	SampleAccessor
-	Append(block iq.Samples)
-	End() iq.Tick
-}
-
-// lockedWindow synchronizes a SlidingWindow for the parallel scheduler:
-// blocks run on their own goroutines while the source keeps appending,
-// and compaction moves samples, so Slice must hand out copies — a block
-// may still be reading them when the window slides.
-type lockedWindow struct {
-	mu sync.RWMutex
-	w  *SlidingWindow
-}
-
-func (l *lockedWindow) Append(block iq.Samples) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.w.Append(block)
-}
-
-func (l *lockedWindow) End() iq.Tick {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.w.End()
-}
-
-func (l *lockedWindow) Slice(iv iq.Interval) iq.Samples {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	s := l.w.Slice(iv)
-	if len(s) == 0 {
-		return nil
-	}
-	return append(iq.Samples(nil), s...)
-}
-
 // StreamConfig tunes RunStream.
 type StreamConfig struct {
 	// WindowSamples bounds retained history (default 1 s at 8 Msps /40,
@@ -143,93 +100,14 @@ type StreamConfig struct {
 // Detection and output callbacks fire incrementally as the scheduler
 // produces items, and with Supervise/Overload set the run degrades
 // gracefully (quarantine, load shedding) instead of dying.
+//
+// RunStream is one Session over the pipeline's engine; programs wanting
+// several concurrent streaming runs over one configuration use Engine
+// and Session directly.
 func (p *Pipeline) RunStream(src BlockReader, cfg StreamConfig) (*Result, error) {
-	if cfg.WindowSamples <= 0 {
-		cfg.WindowSamples = 1_600_000 // 200 ms at 8 Msps
-	}
-	var window streamWindow = NewSlidingWindow(cfg.WindowSamples)
-	if p.cfg.Parallel {
-		window = &lockedWindow{w: NewSlidingWindow(cfg.WindowSamples)}
-	}
-	opts := assembleOpts{
-		onDetection: cfg.OnDetection,
-		onOutput:    cfg.OnOutput,
-		noRetainDet: cfg.NoRetain && cfg.OnDetection != nil,
-		noRetainOut: cfg.NoRetain && cfg.OnOutput != nil,
-	}
-	var pace *pacer
-	if cfg.Overload != nil {
-		pace = newPacer(p.clock, *cfg.Overload)
-		pace.instrument(p.cfg.Metrics)
-		opts.gate = &shedGate{pacer: pace}
-	}
-	graph, dispatcher, outputs, err := p.assemble(window, opts)
+	s, err := p.engine.session(p.analyzers, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Supervise != nil {
-		graph.Supervise(*cfg.Supervise)
-	}
-
-	var (
-		seq     int
-		readErr error
-		block   = make(iq.Samples, iq.ChunkSamples)
-	)
-	source := func() (flowgraph.Item, bool) {
-		for {
-			if readErr != nil {
-				return nil, false
-			}
-			n, err := src.ReadBlock(block)
-			if err != nil && !errors.Is(err, io.EOF) {
-				readErr = err
-			}
-			if n == 0 {
-				readErr = err
-				return nil, false
-			}
-			start := window.End()
-			window.Append(block[:n])
-			span := iq.Interval{Start: start, End: start + iq.Tick(n)}
-			c := Chunk{Seq: seq, Span: span, Samples: window.Slice(span)}
-			seq++
-			if errors.Is(err, io.EOF) {
-				readErr = err
-			}
-			// Last-resort shedding: when the pipeline has fallen past the
-			// chunk watermark the chunk never enters the graph (detectors
-			// included — they are shed last, and only here).
-			if pace != nil && pace.observe(window.End()) >= ShedChunks {
-				pace.shedChunks.Inc()
-				pace.shedSamples.Add(int64(n))
-				continue
-			}
-			return c, true
-		}
-	}
-
-	if p.cfg.Parallel {
-		err = graph.RunParallel(source, 128)
-	} else {
-		err = graph.Run(source)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if readErr != nil && !errors.Is(readErr, io.EOF) {
-		return nil, fmt.Errorf("core: stream source: %w", readErr)
-	}
-
-	stats := graph.Stats()
-	return &Result{
-		Detections:  dispatcher.All,
-		Requests:    dispatcher.Requests,
-		Outputs:     *outputs,
-		Stats:       stats,
-		Busy:        graph.TotalBusy(),
-		StreamLen:   window.End(),
-		Clock:       p.clock,
-		Degradation: degradationFrom(stats, pace),
-	}, nil
+	return s.Run(src)
 }

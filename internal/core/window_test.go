@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"rfdump/internal/blocks"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// rampBlock fills a pooled block with n samples whose real part is the
+// absolute tick, so slices are self-describing.
+func rampBlock(p *blocks.Pool, base iq.Tick, n int) *blocks.Block {
+	b := p.Get()
+	buf := b.Buf()
+	for i := 0; i < n; i++ {
+		buf[i] = complex(float32(base)+float32(i), 0)
+	}
+	b.SetLen(n)
+	return b
+}
+
+func checkRamp(t *testing.T, got iq.Samples, start iq.Tick, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("slice has %d samples, want %d", len(got), n)
+	}
+	for i, s := range got {
+		if real(s) != float32(start)+float32(i) {
+			t.Fatalf("sample %d = %v, want %v", i, real(s), float32(start)+float32(i))
+		}
+	}
+}
+
+func TestBlockWindowClipping(t *testing.T) {
+	pool := blocks.NewPool(iq.ChunkSamples)
+	w := NewBlockWindow(4 * iq.ChunkSamples)
+	for i := 0; i < 3; i++ {
+		w.AppendBlock(rampBlock(pool, iq.Tick(i*iq.ChunkSamples), iq.ChunkSamples))
+	}
+	end := iq.Tick(3 * iq.ChunkSamples)
+	if w.End() != end {
+		t.Fatalf("End = %d, want %d", w.End(), end)
+	}
+
+	// Negative start clips to the window base.
+	checkRamp(t, w.Slice(iq.Interval{Start: -500, End: 10}), 0, 10)
+	// End past the stream clips to the newest sample.
+	checkRamp(t, w.Slice(iq.Interval{Start: end - 10, End: end + 500}), end-10, 10)
+	// Empty and inverted intervals yield nil.
+	if got := w.Slice(iq.Interval{Start: 50, End: 50}); got != nil {
+		t.Errorf("empty interval returned %d samples", len(got))
+	}
+	if got := w.Slice(iq.Interval{Start: 60, End: 40}); got != nil {
+		t.Errorf("inverted interval returned %d samples", len(got))
+	}
+	// Fully out-of-range (both sides) yields nil.
+	if got := w.Slice(iq.Interval{Start: end + 100, End: end + 200}); got != nil {
+		t.Errorf("future interval returned %d samples", len(got))
+	}
+
+	// A single-block slice must be a zero-copy view of the block.
+	single := w.Slice(iq.Interval{Start: 10, End: 20})
+	checkRamp(t, single, 10, 10)
+	// A cross-block slice is assembled but must still be exact.
+	edge := iq.Tick(iq.ChunkSamples)
+	checkRamp(t, w.Slice(iq.Interval{Start: edge - 7, End: edge + 9}), edge-7, 16)
+	// Spanning all three blocks.
+	checkRamp(t, w.Slice(iq.Interval{Start: 5, End: end - 5}), 5, int(end)-10)
+
+	w.Close()
+	if live := pool.Stats().Live; live != 0 {
+		t.Errorf("%d blocks live after Close", live)
+	}
+}
+
+func TestBlockWindowEviction(t *testing.T) {
+	pool := blocks.NewPool(iq.ChunkSamples)
+	w := NewBlockWindow(4 * iq.ChunkSamples) // minimum retention
+	const n = 40
+	for i := 0; i < n; i++ {
+		w.AppendBlock(rampBlock(pool, iq.Tick(i*iq.ChunkSamples), iq.ChunkSamples))
+	}
+	end := iq.Tick(n * iq.ChunkSamples)
+	// Old data evicted: a slice from tick 0 comes back empty.
+	if got := w.Slice(iq.Interval{Start: 0, End: 100}); len(got) != 0 {
+		t.Errorf("evicted slice returned %d samples", len(got))
+	}
+	// Window retains at least the limit.
+	checkRamp(t, w.Slice(iq.Interval{Start: end - 4*iq.ChunkSamples, End: end}), end-4*iq.ChunkSamples, 4*iq.ChunkSamples)
+	// Evicted blocks went back to the pool (only the retained ones live).
+	if live := pool.Stats().Live; live != int64(len(w.blks)-w.head) {
+		t.Errorf("pool live = %d, window holds %d", live, len(w.blks)-w.head)
+	}
+	w.Close()
+	if live := pool.Stats().Live; live != 0 {
+		t.Errorf("%d blocks live after Close", live)
+	}
+}
+
+func TestBlockWindowShortBlocks(t *testing.T) {
+	// Variable-length blocks (short reads, decimated front ends) must
+	// keep tick addressing exact across the deque.
+	pool := blocks.NewPool(iq.ChunkSamples)
+	w := NewBlockWindow(4 * iq.ChunkSamples)
+	var base iq.Tick
+	for _, n := range []int{200, 37, 1, 158, 200} {
+		w.AppendBlock(rampBlock(pool, base, n))
+		base += iq.Tick(n)
+	}
+	checkRamp(t, w.Slice(iq.Interval{Start: 190, End: 250}), 190, 60)
+	checkRamp(t, w.Slice(iq.Interval{Start: 236, End: 240}), 236, 4)
+	w.Close()
+}
+
+func TestStreamAccessorClippingEdges(t *testing.T) {
+	stream := make(iq.Samples, 100)
+	for i := range stream {
+		stream[i] = complex(float32(i), 0)
+	}
+	acc := &StreamAccessor{Stream: stream}
+
+	checkRamp(t, acc.Slice(iq.Interval{Start: -10, End: 5}), 0, 5)
+	checkRamp(t, acc.Slice(iq.Interval{Start: 95, End: 500}), 95, 5)
+	if got := acc.Slice(iq.Interval{Start: 20, End: 20}); got != nil {
+		t.Errorf("empty interval returned %d samples", len(got))
+	}
+	if got := acc.Slice(iq.Interval{Start: 30, End: 10}); got != nil {
+		t.Errorf("inverted interval returned %d samples", len(got))
+	}
+	if got := acc.Slice(iq.Interval{Start: -20, End: -5}); got != nil {
+		t.Errorf("fully negative interval returned %d samples", len(got))
+	}
+	checkRamp(t, acc.Slice(iq.Interval{Start: 40, End: 60}), 40, 20)
+}
+
+// TestDispatcherMergeAtChunkEdges pins the merge rule exactly at the
+// chunk-granularity slack boundary: detections whose gap equals
+// SlackSamples merge; one sample past it they split.
+func TestDispatcherMergeAtChunkEdges(t *testing.T) {
+	slack := iq.Tick(iq.ChunkSamples)
+	edge := iq.Tick(10 * iq.ChunkSamples)
+
+	// Gap of exactly SlackSamples (next start == prev end + slack): merge.
+	_, reqs := runDispatcher(t, DispatcherConfig{},
+		det(protocols.WiFi80211b1M, edge-1000, edge, "a", -1),
+		det(protocols.WiFi80211b1M, edge+slack, edge+slack+1000, "a", -1),
+	)
+	if len(reqs) != 1 {
+		t.Fatalf("slack-gap detections: %d requests, want 1 merged", len(reqs))
+	}
+	if reqs[0].Span.Start > edge-1000 || reqs[0].Span.End < edge+slack+1000 {
+		t.Errorf("merged span %v does not cover both detections", reqs[0].Span)
+	}
+
+	// One sample past the slack: split.
+	_, reqs = runDispatcher(t, DispatcherConfig{},
+		det(protocols.WiFi80211b1M, edge-1000, edge, "a", -1),
+		det(protocols.WiFi80211b1M, edge+slack+1, edge+slack+1000, "a", -1),
+	)
+	if len(reqs) != 2 {
+		t.Fatalf("past-slack detections: %d requests, want 2", len(reqs))
+	}
+
+	// Back-to-back at a chunk edge (zero gap across the boundary): merge.
+	_, reqs = runDispatcher(t, DispatcherConfig{},
+		det(protocols.WiFi80211b1M, edge-500, edge, "a", -1),
+		det(protocols.WiFi80211b1M, edge, edge+500, "a", -1),
+	)
+	if len(reqs) != 1 {
+		t.Fatalf("adjacent detections: %d requests, want 1 merged", len(reqs))
+	}
+}

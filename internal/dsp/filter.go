@@ -73,6 +73,23 @@ func (f *FIR) Apply(in []complex64) []complex64 {
 	return out
 }
 
+// ApplyInto is Apply reusing caller storage: it filters in into dst
+// (grown only if cap(dst) < len(in)) with zero initial state, resetting
+// and reusing the receiver's own delay line instead of building a
+// throwaway filter. It returns the filtered slice, which aliases dst's
+// backing array; dst and in may alias (the delay line decouples reads
+// from writes). The hot-path variant for per-block pipelines that call
+// the filter once per chunk.
+func (f *FIR) ApplyInto(dst, in []complex64) []complex64 {
+	if cap(dst) < len(in) {
+		dst = make([]complex64, len(in))
+	}
+	dst = dst[:len(in)]
+	f.Reset()
+	f.Process(in, dst)
+	return dst
+}
+
 // ApplyReal filters a real-valued block with zero initial state.
 func (f *FIR) ApplyReal(in []float64) []float64 {
 	out := make([]float64, len(in))
@@ -216,14 +233,31 @@ func (m *MovingAverage) Reset() {
 // returning a new slice. Used by the ether front end to model the USRP
 // FPGA decimating the ADC stream down to what USB can carry.
 func Decimate(in []complex64, factor int) []complex64 {
+	return DecimateInto(nil, in, factor)
+}
+
+// DecimateInto is Decimate reusing caller storage: the kept samples are
+// written into dst's backing array (grown only when too small) and the
+// result slice is returned. dst may alias in — including the in-place
+// idiom DecimateInto(in[:0], in, factor) — because the write index never
+// overtakes the read index. This is the per-block hot-path variant: a
+// front end decimating every chunk reuses one buffer forever.
+func DecimateInto(dst, in []complex64, factor int) []complex64 {
 	if factor <= 1 {
-		out := make([]complex64, len(in))
-		copy(out, in)
-		return out
+		if cap(dst) < len(in) {
+			dst = make([]complex64, len(in))
+		}
+		dst = dst[:len(in)]
+		copy(dst, in)
+		return dst
 	}
-	out := make([]complex64, 0, len(in)/factor+1)
-	for i := 0; i < len(in); i += factor {
-		out = append(out, in[i])
+	n := (len(in) + factor - 1) / factor
+	if cap(dst) < n {
+		dst = make([]complex64, n)
 	}
-	return out
+	dst = dst[:n]
+	for i, j := 0, 0; i < len(in); i, j = i+factor, j+1 {
+		dst[j] = in[i]
+	}
+	return dst
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -15,8 +16,15 @@ import (
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
-// by rfbench -json. Bump the suffix on incompatible changes.
-const BenchSchema = "rfdump-bench/v1"
+// by rfbench -json. Bump the suffix on incompatible changes. v2 adds
+// allocation accounting (allocs_per_op/bytes_per_op) so the zero-copy
+// block path is regression-tracked alongside wall-clock cost; v1
+// documents (without those fields) still validate.
+const BenchSchema = "rfdump-bench/v2"
+
+// BenchSchemaV1 is the previous schema tag, still accepted by Validate
+// so committed historical BENCH_*.json documents keep validating in CI.
+const BenchSchemaV1 = "rfdump-bench/v1"
 
 // BenchRecord is one measured row: a GNU-Radio-equivalent block
 // (Table 1) or a full architecture configuration (Figure 9).
@@ -30,6 +38,11 @@ type BenchRecord struct {
 	// CPUPerRealTime is processing time over trace air time — the
 	// paper's efficiency metric (Table 1, Figure 9 y-axis).
 	CPUPerRealTime float64 `json:"cpu_per_real_time"`
+	// AllocsPerOp is heap allocations during one pass (schema v2; zero
+	// is the target for the steady-state streaming path).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated during one pass (schema v2).
+	BytesPerOp int64 `json:"bytes_per_op"`
 }
 
 // BenchReport is the BENCH_<rev>.json document: the Table 1 block-cost
@@ -55,8 +68,8 @@ func (r *BenchReport) Validate() error {
 	if r == nil {
 		return fmt.Errorf("bench: nil report")
 	}
-	if r.Schema != BenchSchema {
-		return fmt.Errorf("bench: schema %q, want %q", r.Schema, BenchSchema)
+	if r.Schema != BenchSchema && r.Schema != BenchSchemaV1 {
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, BenchSchema, BenchSchemaV1)
 	}
 	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
@@ -80,6 +93,10 @@ func (r *BenchReport) Validate() error {
 			if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.CPUPerRealTime <= 0 {
 				return fmt.Errorf("bench: %s[%q]: non-positive measurement %+v", matrix, rec.Name, rec)
 			}
+			// v2 allocation fields: zero is the goal, negative is corrupt.
+			if rec.AllocsPerOp < 0 || rec.BytesPerOp < 0 {
+				return fmt.Errorf("bench: %s[%q]: negative allocation count %+v", matrix, rec.Name, rec)
+			}
 		}
 		return nil
 	}
@@ -87,6 +104,22 @@ func (r *BenchReport) Validate() error {
 		return err
 	}
 	return check("figure9", r.Figure9)
+}
+
+// sliceSource adapts an in-memory trace to core.BlockReader for the
+// streaming benchmark row.
+type sliceSource struct {
+	s   iq.Samples
+	pos int
+}
+
+func (r *sliceSource) ReadBlock(dst iq.Samples) (int, error) {
+	n := copy(dst, r.s[r.pos:])
+	r.pos += n
+	if r.pos >= len(r.s) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // BenchJSON measures the Table 1 and Figure 9 matrices over a ~50%
@@ -119,9 +152,12 @@ func BenchJSON(o Options) (*BenchReport, error) {
 	bytes := float64(len(res.Samples)) * 8 // complex64
 
 	record := func(name string, fn func() error) (BenchRecord, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		err := fn()
 		took := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return BenchRecord{}, fmt.Errorf("bench %s: %w", name, err)
 		}
@@ -133,6 +169,8 @@ func BenchJSON(o Options) (*BenchReport, error) {
 			NsPerOp:        int64(took),
 			MBPerS:         bytes / 1e6 / took.Seconds(),
 			CPUPerRealTime: float64(took) / float64(rt),
+			AllocsPerOp:    int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:     int64(after.TotalAlloc - before.TotalAlloc),
 		}, nil
 	}
 
@@ -150,6 +188,22 @@ func BenchJSON(o Options) (*BenchReport, error) {
 	wifiD := demod.NewWiFiDemod()
 	btD := demod.NewBTDemod(PiconetLAP, PiconetUAP, 8)
 	pd := core.NewPeakDetector(core.PeakConfig{})
+
+	// Streaming row: one warm-up session fills the block/scratch pools so
+	// the recorded pass reflects steady state — its allocs_per_op is the
+	// regression number for the zero-copy block path.
+	eng := core.NewEngine(res.Clock, core.TimingOnly())
+	warm, err := eng.NewSession(core.StreamConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := warm.Run(&sliceSource{s: res.Samples}); err != nil {
+		return nil, err
+	}
+	streamSession, err := eng.NewSession(core.StreamConfig{})
+	if err != nil {
+		return nil, err
+	}
 	table1 := []struct {
 		name string
 		fn   func() error
@@ -179,6 +233,10 @@ func BenchJSON(o Options) (*BenchReport, error) {
 				}
 			}
 			return pd.Flush(drain)
+		}},
+		{"Streaming detection (pooled blocks)", func() error {
+			_, err := streamSession.Run(&sliceSource{s: res.Samples})
+			return err
 		}},
 	}
 	for _, entry := range table1 {

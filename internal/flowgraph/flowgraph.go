@@ -24,6 +24,47 @@ import (
 // own item types (sample chunks, peak metadata, decoded packets).
 type Item any
 
+// Owned is implemented by items that carry pooled resources (sample
+// blocks, recycled metadata). The scheduler manages one reference per
+// delivery:
+//
+//   - an item emitted to k downstream blocks is retained k-1 times (it
+//     already carries one reference from its producer);
+//   - after a block finishes processing a delivery — or the delivery is
+//     dropped without processing (quarantine, fail-fast drain, an
+//     emission with no consumers) — the scheduler disposes that
+//     delivery's reference.
+//
+// A block that stores an Owned item (or anything aliasing its buffers)
+// beyond Process must Retain it first and Dispose it when done. Items
+// that do not implement Owned flow exactly as before.
+type Owned interface {
+	// Retain adds a reference.
+	Retain()
+	// Dispose drops one reference, recycling the item on the last one.
+	Dispose()
+}
+
+// retainExtra adds k additional references to an Owned item (no-op for
+// plain items or k <= 0).
+func retainExtra(item Item, k int) {
+	if k <= 0 {
+		return
+	}
+	if o, ok := item.(Owned); ok {
+		for i := 0; i < k; i++ {
+			o.Retain()
+		}
+	}
+}
+
+// disposeItem drops one delivery reference (no-op for plain items).
+func disposeItem(item Item) {
+	if o, ok := item.(Owned); ok {
+		o.Dispose()
+	}
+}
+
 // Block processes items. Process receives one input item and emits zero
 // or more items downstream via the emit callback. Flush is called once
 // after the input ends so blocks can drain internal state.
@@ -97,6 +138,38 @@ type Graph struct {
 	roots  []*node
 	sup    *SupervisorConfig
 	mu     sync.Mutex
+
+	// sinks is the single-threaded scheduler's freelist of emission
+	// buffers. process is recursive, so each depth needs its own buffer;
+	// recycling them keeps the scheduler free of per-item allocations
+	// (the emit closure is bound once per sink, not once per call).
+	sinks []*emitSink
+}
+
+// emitSink is a reusable emission collector: the bound fn is created
+// once so handing it to Block.Process does not allocate.
+type emitSink struct {
+	buf []Item
+	fn  func(Item)
+}
+
+func (g *Graph) getSink() *emitSink {
+	if n := len(g.sinks); n > 0 {
+		s := g.sinks[n-1]
+		g.sinks = g.sinks[:n-1]
+		return s
+	}
+	s := &emitSink{}
+	s.fn = func(out Item) { s.buf = append(s.buf, out) }
+	return s
+}
+
+func (g *Graph) putSink(s *emitSink) {
+	for i := range s.buf {
+		s.buf[i] = nil
+	}
+	s.buf = s.buf[:0]
+	g.sinks = append(g.sinks, s)
 }
 
 // New returns an empty graph.
@@ -111,12 +184,12 @@ func (g *Graph) Add(b Block) error {
 		return fmt.Errorf("flowgraph: duplicate block %q", b.Name())
 	}
 	n := &node{
-		block:   b,
-		busyNs:  &metrics.Counter{},
-		items:   &metrics.Counter{},
-		errors:  &metrics.Counter{},
-		panics:  &metrics.Counter{},
-		dropped: &metrics.Counter{},
+		block:    b,
+		busyNs:   &metrics.Counter{},
+		items:    &metrics.Counter{},
+		errors:   &metrics.Counter{},
+		panics:   &metrics.Counter{},
+		dropped:  &metrics.Counter{},
 		trips:    &metrics.Counter{},
 		queueMax: &metrics.Gauge{},
 	}
@@ -207,15 +280,40 @@ func (g *Graph) checkAcyclic() error {
 	return nil
 }
 
-// process pushes one item into n, timing the block and recursing into its
-// outputs depth-first (single-threaded, so per-block busy time sums to
-// total CPU time).
+// process pushes one delivery of item into n, timing the block and
+// recursing into its outputs depth-first (single-threaded, so per-block
+// busy time sums to total CPU time). It consumes one reference to item:
+// whether the block processes it or the supervisor drops it, the
+// delivery is disposed before returning.
 func (g *Graph) process(n *node, item Item) error {
-	var emitted []Item
-	if err := g.invoke(n, item, func(out Item) { emitted = append(emitted, out) }); err != nil {
+	sink := g.getSink()
+	err := g.invoke(n, item, sink.fn)
+	disposeItem(item)
+	if err != nil {
+		// Fail-fast abort: drop whatever was emitted before the error.
+		for _, out := range sink.buf {
+			disposeItem(out)
+		}
+		g.putSink(sink)
 		return err
 	}
+	if err := g.fanOut(n, sink.buf); err != nil {
+		g.putSink(sink)
+		return err
+	}
+	g.putSink(sink)
+	return nil
+}
+
+// fanOut delivers each emitted item to all of n's outputs, managing one
+// reference per delivery (and disposing emissions with no consumers).
+func (g *Graph) fanOut(n *node, emitted []Item) error {
 	for _, out := range emitted {
+		if len(n.outs) == 0 {
+			disposeItem(out)
+			continue
+		}
+		retainExtra(out, len(n.outs)-1)
 		for _, next := range n.outs {
 			if err := g.process(next, out); err != nil {
 				return err
@@ -230,17 +328,16 @@ func (g *Graph) flush(n *node, visited map[*node]bool) error {
 		return nil
 	}
 	visited[n] = true
-	var emitted []Item
-	if err := g.invokeFlush(n, func(out Item) { emitted = append(emitted, out) }); err != nil {
+	sink := g.getSink()
+	if err := g.invokeFlush(n, sink.fn); err != nil {
+		g.putSink(sink)
 		return err
 	}
-	for _, out := range emitted {
-		for _, next := range n.outs {
-			if err := g.process(next, out); err != nil {
-				return err
-			}
-		}
+	if err := g.fanOut(n, sink.buf); err != nil {
+		g.putSink(sink)
+		return err
 	}
+	g.putSink(sink)
 	for _, next := range n.outs {
 		if err := g.flush(next, visited); err != nil {
 			return err
@@ -263,6 +360,9 @@ func (g *Graph) Run(source func() (Item, bool)) error {
 		if !ok {
 			break
 		}
+		// The source's item carries one reference; each root delivery
+		// needs its own.
+		retainExtra(item, len(g.roots)-1)
 		for _, r := range g.roots {
 			if err := g.process(r, item); err != nil {
 				return err

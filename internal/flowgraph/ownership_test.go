@@ -1,0 +1,196 @@
+package flowgraph
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// tracked is a minimal Owned item: refcounted, records whether it ever
+// hit zero and whether it went negative (double dispose).
+type tracked struct {
+	refs     atomic.Int32
+	released atomic.Bool
+	under    atomic.Bool
+}
+
+func newTracked() *tracked {
+	t := &tracked{}
+	t.refs.Store(1)
+	return t
+}
+
+func (t *tracked) Retain() { t.refs.Add(1) }
+func (t *tracked) Dispose() {
+	switch n := t.refs.Add(-1); {
+	case n == 0:
+		t.released.Store(true)
+	case n < 0:
+		t.under.Store(true)
+	}
+}
+
+func checkBalanced(t *testing.T, items []*tracked) {
+	t.Helper()
+	for i, it := range items {
+		if got := it.refs.Load(); got != 0 {
+			t.Errorf("item %d: refcount = %d at end of run, want 0", i, got)
+		}
+		if it.under.Load() {
+			t.Errorf("item %d: disposed below zero (double release)", i)
+		}
+		if !it.released.Load() {
+			t.Errorf("item %d: never released", i)
+		}
+	}
+}
+
+// passBlock forwards every item unchanged, retaining the extra reference
+// the emission carries (the pass-through contract for Owned items).
+type passBlock struct{ label string }
+
+func (p passBlock) Name() string { return p.label }
+func (p passBlock) Process(item Item, emit func(Item)) error {
+	if o, ok := item.(Owned); ok {
+		o.Retain()
+	}
+	emit(item)
+	return nil
+}
+func (p passBlock) Flush(func(Item)) error { return nil }
+
+// dropBlock consumes everything.
+type dropBlock struct{ label string }
+
+func (d dropBlock) Name() string                   { return d.label }
+func (d dropBlock) Process(Item, func(Item)) error { return nil }
+func (d dropBlock) Flush(emit func(Item)) error    { return nil }
+
+func fanGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.MustAdd(passBlock{"root"})
+	g.MustRoot("root")
+	g.MustAdd(dropBlock{"a"})
+	g.MustAdd(dropBlock{"b"})
+	g.MustAdd(dropBlock{"c"})
+	g.MustConnect("root", "a")
+	g.MustConnect("root", "b")
+	g.MustConnect("root", "c")
+	return g
+}
+
+// TestOwnershipFanOut: every delivery gets one reference and every
+// reference is returned, across a 1->3 fan-out, in both schedulers.
+func TestOwnershipFanOut(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		items := make([]*tracked, 50)
+		for i := range items {
+			items[i] = newTracked()
+		}
+		g := fanGraph(t)
+		i := 0
+		source := func() (Item, bool) {
+			if i >= len(items) {
+				return nil, false
+			}
+			it := items[i]
+			i++
+			return it, true
+		}
+		var err error
+		if parallel {
+			err = g.RunParallel(source, 8)
+		} else {
+			err = g.Run(source)
+		}
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		checkBalanced(t, items)
+	}
+}
+
+// TestOwnershipNoConsumers: an emission from a leaf block (no outputs)
+// is disposed by the scheduler, not leaked.
+func TestOwnershipNoConsumers(t *testing.T) {
+	g := New()
+	g.MustAdd(passBlock{"leaf"})
+	g.MustRoot("leaf")
+	item := newTracked()
+	fed := false
+	source := func() (Item, bool) {
+		if fed {
+			return nil, false
+		}
+		fed = true
+		return item, true
+	}
+	if err := g.Run(source); err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, []*tracked{item})
+}
+
+// alwaysErrBlock errors on every item, so under supervision it is
+// quarantined and subsequent deliveries are dropped.
+type alwaysErrBlock struct{}
+
+func (alwaysErrBlock) Name() string                   { return "faulty" }
+func (alwaysErrBlock) Process(Item, func(Item)) error { return errors.New("boom") }
+func (alwaysErrBlock) Flush(func(Item)) error         { return nil }
+
+// TestOwnershipQuarantineDrop: deliveries dropped by the supervisor's
+// quarantine are still disposed.
+func TestOwnershipQuarantineDrop(t *testing.T) {
+	g := New()
+	g.MustAdd(alwaysErrBlock{})
+	g.MustRoot("faulty")
+	g.Supervise(SupervisorConfig{MaxErrors: 1})
+
+	items := make([]*tracked, 20)
+	for i := range items {
+		items[i] = newTracked()
+	}
+	i := 0
+	source := func() (Item, bool) {
+		if i >= len(items) {
+			return nil, false
+		}
+		it := items[i]
+		i++
+		return it, true
+	}
+	if err := g.Run(source); err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, items)
+	if st := g.Stats(); st[0].Dropped == 0 {
+		t.Error("expected quarantine drops")
+	}
+}
+
+// TestOwnershipParallelFailFast: items drained after a fail-fast error
+// under RunParallel are disposed.
+func TestOwnershipParallelFailFast(t *testing.T) {
+	g := New()
+	g.MustAdd(alwaysErrBlock{})
+	g.MustRoot("faulty")
+	items := make([]*tracked, 30)
+	for i := range items {
+		items[i] = newTracked()
+	}
+	i := 0
+	source := func() (Item, bool) {
+		if i >= len(items) {
+			return nil, false
+		}
+		it := items[i]
+		i++
+		return it, true
+	}
+	if err := g.RunParallel(source, 4); err == nil {
+		t.Fatal("expected fail-fast error")
+	}
+	checkBalanced(t, items)
+}

@@ -86,6 +86,13 @@ func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
 				}
 			}()
 			emit := func(out Item) {
+				// Each channel send is one delivery and needs its own
+				// reference; an emission with no consumers is disposed.
+				if len(n.outs) == 0 {
+					disposeItem(out)
+					return
+				}
+				retainExtra(out, len(n.outs)-1)
 				for _, o := range n.outs {
 					inCh[o] <- out
 				}
@@ -96,11 +103,16 @@ func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
 				n.queueMax.SetMax(int64(len(inCh[n]) + 1))
 				// invoke handles accounting and, when supervised, panic
 				// recovery and the quarantine policy; it only returns an
-				// error in fail-fast mode.
-				if err := g.invoke(n, item, emit); err != nil {
+				// error in fail-fast mode. The delivery's reference is
+				// consumed either way.
+				err := g.invoke(n, item, emit)
+				disposeItem(item)
+				if err != nil {
 					setErr(err)
-					// Drain remaining input so upstream does not block.
-					for range inCh[n] {
+					// Drain remaining input so upstream does not block,
+					// disposing the dropped deliveries.
+					for drop := range inCh[n] {
+						disposeItem(drop)
 					}
 					return
 				}
@@ -111,12 +123,14 @@ func (g *Graph) RunParallel(source func() (Item, bool), buffer int) error {
 		}()
 	}
 
-	// Feed roots.
+	// Feed roots. The source's item carries one reference; each root
+	// delivery needs its own.
 	for {
 		item, ok := source()
 		if !ok {
 			break
 		}
+		retainExtra(item, len(g.roots)-1)
 		for _, r := range g.roots {
 			inCh[r] <- item
 		}

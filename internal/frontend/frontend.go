@@ -39,12 +39,21 @@ func Default() Frontend {
 
 // Process applies the chain to a stream, returning a new slice.
 func (f Frontend) Process(in iq.Samples) iq.Samples {
+	out := make(iq.Samples, len(in))
+	copy(out, in)
+	return f.ProcessInPlace(out)
+}
+
+// ProcessInPlace applies the chain to the block in place and returns the
+// processed prefix (shorter than the input when decimating). This is the
+// per-block hot path: the streaming pipeline owns each pooled block
+// exclusively while it is filled, so the receive chain can overwrite the
+// raw samples without a scratch copy or any allocation.
+func (f Frontend) ProcessInPlace(out iq.Samples) iq.Samples {
 	gain := f.Gain
 	if gain == 0 {
 		gain = 1
 	}
-	out := make(iq.Samples, len(in))
-	copy(out, in)
 	if gain != 1 {
 		out.Scale(gain)
 	}
@@ -69,7 +78,7 @@ func (f Frontend) Process(in iq.Samples) iq.Samples {
 		}
 	}
 	if f.Decimation > 1 {
-		out = dsp.Decimate(out, f.Decimation)
+		out = dsp.DecimateInto(out[:0], out, f.Decimation)
 	}
 	return out
 }
@@ -122,11 +131,13 @@ type StreamSource struct {
 	FE Frontend
 }
 
-// ReadBlock implements SampleSource.
+// ReadBlock implements SampleSource. The chain runs in place on dst —
+// the caller owns the block exclusively while filling it, so no scratch
+// copy is made (zero allocations per block).
 func (s *StreamSource) ReadBlock(dst iq.Samples) (int, error) {
 	n, err := s.Src.ReadBlock(dst)
 	if n > 0 {
-		n = copy(dst, s.FE.Process(dst[:n]))
+		n = len(s.FE.ProcessInPlace(dst[:n]))
 	}
 	return n, err
 }

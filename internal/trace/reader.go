@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rfdump/internal/iq"
+)
+
+// Reader streams a trace file block by block instead of materializing
+// the whole capture in memory. It implements the pipeline's block-source
+// contract (core.BlockReader / frontend.SampleSource): the caller hands
+// in the destination buffer — typically a pooled sample block — and the
+// reader fills it, so a multi-gigabyte trace is monitored with a
+// bounded-size pool instead of one giant slice.
+//
+// ReadBlock performs no per-block allocations: the byte scratch grows to
+// the largest block requested and is reused thereafter.
+type Reader struct {
+	src     io.Reader
+	closer  io.Closer
+	br      *bufio.Reader
+	header  Header
+	left    uint64 // samples the header still promises
+	pos     uint64 // samples delivered so far
+	scratch []byte
+}
+
+// NewReader wraps r, parsing and validating the trace header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{src: r, br: br, header: h, left: h.Count}, nil
+}
+
+// OpenFile opens a trace file for streaming; Close releases it.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// Header returns the parsed trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// Pos returns the number of samples delivered so far.
+func (r *Reader) Pos() iq.Tick { return iq.Tick(r.pos) }
+
+// ReadBlock fills dst with the next samples of the trace and returns the
+// number delivered; io.EOF (possibly alongside n > 0) ends the stream.
+// A trace shorter than its header count returns an error describing the
+// truncation point, matching Read's contract.
+func (r *Reader) ReadBlock(dst iq.Samples) (int, error) {
+	if r.left == 0 {
+		return 0, io.EOF
+	}
+	want := uint64(len(dst))
+	if want > r.left {
+		want = r.left
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	need := int(want) * 8
+	if cap(r.scratch) < need {
+		r.scratch = make([]byte, need)
+	}
+	buf := r.scratch[:need]
+	n, err := io.ReadFull(r.br, buf)
+	got := n / 8
+	for i := 0; i < got; i++ {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8 : i*8+4]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8+4 : i*8+8]))
+		dst[i] = complex(re, im)
+	}
+	r.pos += uint64(got)
+	r.left -= uint64(got)
+	if err != nil {
+		return got, fmt.Errorf("trace: truncated at sample %d: %w", r.pos, err)
+	}
+	if r.left == 0 {
+		return got, io.EOF
+	}
+	return got, nil
+}
+
+// Close releases the underlying file (no-op for NewReader over a plain
+// io.Reader).
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+func randomStream(n int, seed int64) iq.Samples {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(iq.Samples, n)
+	for i := range s {
+		s[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+	}
+	return s
+}
+
+// TestReaderMatchesRead: streaming the trace block by block reproduces
+// exactly what the monolithic Read loads, across block sizes that do and
+// do not divide the trace length.
+func TestReaderMatchesRead(t *testing.T) {
+	stream := randomStream(4_321, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, stream); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for _, blockSize := range []int{1, 7, iq.ChunkSamples, 4096} {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Header().Count != uint64(len(stream)) || r.Header().Rate != 8_000_000 {
+			t.Fatalf("header = %+v", r.Header())
+		}
+		var got iq.Samples
+		dst := make(iq.Samples, blockSize)
+		for {
+			n, err := r.ReadBlock(dst)
+			got = append(got, dst[:n]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("block %d: %v", blockSize, err)
+			}
+		}
+		if len(got) != len(stream) {
+			t.Fatalf("block %d: got %d samples, want %d", blockSize, len(got), len(stream))
+		}
+		for i := range got {
+			if got[i] != stream[i] {
+				t.Fatalf("block %d: sample %d = %v, want %v", blockSize, i, got[i], stream[i])
+			}
+		}
+		if r.Pos() != iq.Tick(len(stream)) {
+			t.Fatalf("Pos = %d, want %d", r.Pos(), len(stream))
+		}
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	stream := randomStream(500, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, stream); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cut := raw[:len(raw)-96] // drop 12 samples
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	dst := make(iq.Samples, 64)
+	for {
+		n, err := r.ReadBlock(dst)
+		total += n
+		if err != nil {
+			if errors.Is(err, io.EOF) && total == len(stream) {
+				t.Fatal("truncated trace reported clean EOF")
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			break
+		}
+	}
+	if total != 488 {
+		t.Fatalf("delivered %d samples from truncated trace, want 488", total)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope-nothing-here"))); err == nil {
+		t.Fatal("expected header error")
+	}
+}
+
+func TestOpenFileRoundTrip(t *testing.T) {
+	stream := randomStream(1000, 3)
+	path := filepath.Join(t.TempDir(), "t.rfd")
+	if err := WriteFile(path, 4_000_000, stream); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dst := make(iq.Samples, 333)
+	total := 0
+	for {
+		n, err := r.ReadBlock(dst)
+		total += n
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != len(stream) {
+		t.Fatalf("streamed %d, want %d", total, len(stream))
+	}
+}
+
+// TestReaderSteadyStateAllocs: after warm-up, ReadBlock must not
+// allocate (it fills pooled blocks on the hot path).
+func TestReaderSteadyStateAllocs(t *testing.T) {
+	stream := randomStream(200*iq.ChunkSamples, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, stream); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(iq.Samples, iq.ChunkSamples)
+	if _, err := r.ReadBlock(dst); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.ReadBlock(dst); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ReadBlock allocates %.1f objects per block, want 0", allocs)
+	}
+}
