@@ -87,10 +87,12 @@ func (w *BlockWindow) Close() {
 	w.total = 0
 }
 
-// Slice implements SampleAccessor, clipping to retained history. See the
-// type comment for the validity contract.
-func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
-	lo, hi := iv.Start, iv.End
+// clip bounds iv to retained history and locates the block holding the
+// first sample. It returns the clipped bounds, the index of that block,
+// and the offset of lo within it; ok is false for an empty result. Pure
+// read — safe under a shared lock.
+func (w *BlockWindow) clip(iv iq.Interval) (lo, hi iq.Tick, idx, off int, ok bool) {
+	lo, hi = iv.Start, iv.End
 	if base := w.Base(); lo < base {
 		lo = base
 	}
@@ -98,7 +100,7 @@ func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
 		hi = w.end
 	}
 	if hi <= lo {
-		return nil
+		return 0, 0, 0, 0, false
 	}
 	// Binary search for the newest block starting at or before lo
 	// (hand-rolled: sort.Search's closure would allocate per call).
@@ -111,8 +113,17 @@ func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
 			j = mid
 		}
 	}
+	return lo, hi, i, int(lo - w.starts[i]), true
+}
+
+// Slice implements SampleAccessor, clipping to retained history. See the
+// type comment for the validity contract.
+func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
+	lo, hi, i, off, ok := w.clip(iv)
+	if !ok {
+		return nil
+	}
 	first := w.blks[i]
-	off := int(lo - w.starts[i])
 	if hi <= w.starts[i]+iq.Tick(first.Len()) {
 		// Entirely inside one block: zero-copy view.
 		return first.Samples()[off : off+int(hi-lo)]
@@ -124,6 +135,22 @@ func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
 	out := w.scratch[:n]
 	filled := copy(out, first.Samples()[off:])
 	for i++; filled < n; i++ {
+		filled += copy(out[filled:], w.blks[i].Samples())
+	}
+	return out
+}
+
+// sliceCopy returns a freshly allocated copy of the clipped interval
+// without touching the shared scratch buffer — a pure read, safe for
+// concurrent callers holding a shared lock.
+func (w *BlockWindow) sliceCopy(iv iq.Interval) iq.Samples {
+	lo, hi, i, off, ok := w.clip(iv)
+	if !ok {
+		return nil
+	}
+	out := make(iq.Samples, int(hi-lo))
+	filled := copy(out, w.blks[i].Samples()[off:])
+	for i++; filled < len(out); i++ {
 		filled += copy(out[filled:], w.blks[i].Samples())
 	}
 	return out
@@ -157,13 +184,12 @@ func (l *lockedBlockWindow) Close() {
 }
 
 func (l *lockedBlockWindow) Slice(iv iq.Interval) iq.Samples {
+	// sliceCopy assembles straight into the returned copy instead of the
+	// window's shared scratch, so concurrent readers under RLock do not
+	// race on BlockWindow.scratch.
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	s := l.w.Slice(iv)
-	if len(s) == 0 {
-		return nil
-	}
-	return append(iq.Samples(nil), s...)
+	return l.w.sliceCopy(iv)
 }
 
 // blockStore is what a streaming Session needs from its sample store.

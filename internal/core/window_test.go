@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"rfdump/internal/blocks"
@@ -111,6 +112,55 @@ func TestBlockWindowShortBlocks(t *testing.T) {
 	checkRamp(t, w.Slice(iq.Interval{Start: 190, End: 250}), 190, 60)
 	checkRamp(t, w.Slice(iq.Interval{Start: 236, End: 240}), 236, 4)
 	w.Close()
+}
+
+// TestLockedBlockWindowConcurrentSlice: the parallel scheduler's wrapper
+// must allow concurrent Slice calls — including cross-block intervals,
+// which in the bare window assemble into a shared scratch buffer — while
+// the source appends. Run under -race this pins the no-shared-scratch
+// guarantee; in any mode it checks the copies are exact.
+func TestLockedBlockWindowConcurrentSlice(t *testing.T) {
+	pool := blocks.NewPool(iq.ChunkSamples)
+	// Retention larger than everything appended: concurrent appends must
+	// not evict the range the slicers are reading.
+	lw := &lockedBlockWindow{w: NewBlockWindow(16 * iq.ChunkSamples)}
+	for i := 0; i < 4; i++ {
+		lw.AppendBlock(rampBlock(pool, iq.Tick(i*iq.ChunkSamples), iq.ChunkSamples))
+	}
+
+	edge := iq.Tick(iq.ChunkSamples)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			start := edge - 11 - iq.Tick(g) // every slice crosses a block boundary
+			for i := 0; i < 200; i++ {
+				got := lw.Slice(iq.Interval{Start: start, End: start + 40})
+				if len(got) != 40 {
+					done <- fmt.Errorf("goroutine %d: %d samples, want 40", g, len(got))
+					return
+				}
+				for j, s := range got {
+					if real(s) != float32(start)+float32(j) {
+						done <- fmt.Errorf("goroutine %d: sample %d = %v, want %v", g, j, real(s), float32(start)+float32(j))
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 4; i < 12; i++ {
+		lw.AppendBlock(rampBlock(pool, iq.Tick(i*iq.ChunkSamples), iq.ChunkSamples))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	lw.Close()
+	if live := pool.Stats().Live; live != 0 {
+		t.Errorf("%d blocks live after Close", live)
+	}
 }
 
 func TestStreamAccessorClippingEdges(t *testing.T) {

@@ -308,14 +308,24 @@ func (g *Graph) process(n *node, item Item) error {
 // fanOut delivers each emitted item to all of n's outputs, managing one
 // reference per delivery (and disposing emissions with no consumers).
 func (g *Graph) fanOut(n *node, emitted []Item) error {
-	for _, out := range emitted {
+	for ei, out := range emitted {
 		if len(n.outs) == 0 {
 			disposeItem(out)
 			continue
 		}
 		retainExtra(out, len(n.outs)-1)
-		for _, next := range n.outs {
+		for oi, next := range n.outs {
 			if err := g.process(next, out); err != nil {
+				// Fail-fast abort: process consumed one reference per
+				// delivery so far; dispose the undelivered references of
+				// this item and the rest of the batch so pooled items are
+				// recycled even on the abort path.
+				for k := oi + 1; k < len(n.outs); k++ {
+					disposeItem(out)
+				}
+				for _, rest := range emitted[ei+1:] {
+					disposeItem(rest)
+				}
 				return err
 			}
 		}

@@ -170,6 +170,75 @@ func TestOwnershipQuarantineDrop(t *testing.T) {
 	}
 }
 
+// burstBlock emits three fresh tracked items per input and records them
+// so the test can audit their references.
+type burstBlock struct{ made *[]*tracked }
+
+func (burstBlock) Name() string { return "burst" }
+func (b burstBlock) Process(_ Item, emit func(Item)) error {
+	for i := 0; i < 3; i++ {
+		it := newTracked()
+		*b.made = append(*b.made, it)
+		emit(it)
+	}
+	return nil
+}
+func (burstBlock) Flush(func(Item)) error { return nil }
+
+// errOnNth errors on the nth delivery it sees (1-based), consuming the
+// rest normally.
+type errOnNth struct {
+	label string
+	n     int
+	seen  *int
+}
+
+func (e errOnNth) Name() string { return e.label }
+func (e errOnNth) Process(Item, func(Item)) error {
+	*e.seen++
+	if *e.seen == e.n {
+		return errors.New("boom")
+	}
+	return nil
+}
+func (e errOnNth) Flush(func(Item)) error { return nil }
+
+// TestOwnershipFanOutFailFast: when an unsupervised block fails mid
+// fan-out, the failing item's undelivered references for the remaining
+// consumers AND the not-yet-fanned-out items in the emitted batch must
+// all be disposed, not leaked.
+func TestOwnershipFanOutFailFast(t *testing.T) {
+	var made []*tracked
+	seen := 0
+	g := New()
+	g.MustAdd(burstBlock{made: &made})
+	g.MustRoot("burst")
+	g.MustAdd(dropBlock{"a"})
+	g.MustAdd(errOnNth{label: "b", n: 2, seen: &seen}) // fails on batch item 2
+	g.MustAdd(dropBlock{"c"})
+	g.MustConnect("burst", "a")
+	g.MustConnect("burst", "b")
+	g.MustConnect("burst", "c")
+
+	fed := false
+	source := func() (Item, bool) {
+		if fed {
+			return nil, false
+		}
+		fed = true
+		return newTracked(), true // plain input; the emitted burst is what we audit
+	}
+	if err := g.Run(source); err == nil {
+		t.Fatal("expected fail-fast error")
+	}
+	if len(made) != 3 {
+		t.Fatalf("burst emitted %d items, want 3", len(made))
+	}
+	// Item 2 fails at consumer b: its deliveries to b's remaining peers
+	// must be disposed, as must item 3, which never fanned out.
+	checkBalanced(t, made)
+}
+
 // TestOwnershipParallelFailFast: items drained after a fail-fast error
 // under RunParallel are disposed.
 func TestOwnershipParallelFailFast(t *testing.T) {

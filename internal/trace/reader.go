@@ -91,6 +91,13 @@ func (r *Reader) ReadBlock(dst iq.Samples) (int, error) {
 	r.pos += uint64(got)
 	r.left -= uint64(got)
 	if err != nil {
+		if err == io.EOF {
+			// ReadFull reports a bare io.EOF when zero bytes were read;
+			// with samples still owed that is a truncation, and wrapping
+			// io.EOF would let callers mistake it for a clean end of
+			// stream (errors.Is(err, io.EOF)).
+			err = io.ErrUnexpectedEOF
+		}
 		return got, fmt.Errorf("trace: truncated at sample %d: %w", r.pos, err)
 	}
 	if r.left == 0 {

@@ -97,6 +97,44 @@ func TestReaderTruncated(t *testing.T) {
 	}
 }
 
+// TestReaderTruncatedAtBlockBoundary: a trace cut exactly at a block
+// boundary must still surface truncation. io.ReadFull reports a bare
+// io.EOF there (zero bytes read), and wrapping that verbatim would let
+// errors.Is(err, io.EOF) callers mistake the short trace for a clean
+// end of stream.
+func TestReaderTruncatedAtBlockBoundary(t *testing.T) {
+	stream := randomStream(500, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, 8_000_000, stream); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cut := raw[:len(raw)-52*8] // 448 samples remain: exactly 7 blocks of 64
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	dst := make(iq.Samples, 64)
+	for {
+		n, err := r.ReadBlock(dst)
+		total += n
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("boundary truncation reported as clean EOF: %v", err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		break
+	}
+	if total != 448 {
+		t.Fatalf("delivered %d samples, want 448", total)
+	}
+}
+
 func TestReaderBadMagic(t *testing.T) {
 	if _, err := NewReader(bytes.NewReader([]byte("nope-nothing-here"))); err == nil {
 		t.Fatal("expected header error")

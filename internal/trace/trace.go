@@ -109,6 +109,11 @@ func Read(r io.Reader) (Header, iq.Samples, error) {
 	var buf [8]byte
 	for i := uint64(0); i < h.Count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				// Bare io.EOF here means the payload ended with samples
+				// still owed — truncation, not a clean end of stream.
+				err = io.ErrUnexpectedEOF
+			}
 			return h, samples, fmt.Errorf("trace: truncated at sample %d: %w", i, err)
 		}
 		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
