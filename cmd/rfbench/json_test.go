@@ -52,7 +52,7 @@ func validateFile(t *testing.T, path string) {
 	if len(report.Figure9) != 9 {
 		t.Errorf("%s: figure9 has %d rows, want 9 architectures", path, len(report.Figure9))
 	}
-	wantTable1 := 4 // v2 adds the streaming zero-copy row
+	wantTable1 := 5 // v2 adds the streaming zero-copy and wire-ingest rows
 	if report.Schema == experiments.BenchSchemaV1 {
 		wantTable1 = 3
 	}

@@ -23,7 +23,6 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -413,36 +412,10 @@ func main() {
 	}
 }
 
+// detectorConfig is core.ParseDetectors — the same flag syntax rfdumpd
+// accepts, parsed in one place so the tools cannot drift.
 func detectorConfig(list string) (core.Config, error) {
-	cfg := core.Config{}
-	any := false
-	for _, d := range strings.Split(list, ",") {
-		switch strings.TrimSpace(d) {
-		case "timing":
-			cfg.WiFiTiming = &core.WiFiTimingConfig{}
-			cfg.BTTiming = &core.BTTimingConfig{}
-		case "phase":
-			cfg.WiFiPhase = &core.WiFiPhaseConfig{}
-			cfg.BTPhase = &core.BTPhaseConfig{}
-		case "freq":
-			cfg.BTFreq = &core.BTFreqConfig{}
-		case "microwave":
-			cfg.Microwave = true
-		case "zigbee":
-			cfg.ZigBee = true
-		case "ofdm":
-			cfg.OFDM = &core.OFDMConfig{}
-		case "":
-			continue
-		default:
-			return cfg, fmt.Errorf("unknown detector %q", d)
-		}
-		any = true
-	}
-	if !any {
-		return cfg, fmt.Errorf("no detectors selected")
-	}
-	return cfg, nil
+	return core.ParseDetectors(list)
 }
 
 // event is one printable line, time-ordered.

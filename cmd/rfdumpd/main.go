@@ -1,0 +1,171 @@
+// Command rfdumpd is the live-monitoring daemon: rfdump as a network
+// service. It accepts IQ sample streams over the wire framing protocol
+// (one core.Session per ingest connection, all sharing one Engine and
+// block pool) and serves the results over HTTP — stream inventory,
+// recent detections and decoded packets, a waterfall, metrics, and a
+// server-sent-events live feed.
+//
+// Usage:
+//
+//	rfdumpd                                  # ingest :7531, API :7532
+//	rfdumpd -listen :9000 -http :9001
+//	rfdumpd -detectors timing,phase -overload -supervise
+//	rfgen -profile mix -stream localhost:7531 -realtime   # a transmitter
+//
+// Then:
+//
+//	curl localhost:7532/api/streams
+//	curl localhost:7532/api/detections
+//	curl localhost:7532/api/packets
+//	curl "localhost:7532/api/waterfall?format=text"
+//	curl localhost:7532/api/metricz
+//	curl -N localhost:7532/api/live          # SSE event feed
+//
+// The first SIGINT/SIGTERM drains: ingest stops, per-connection
+// sessions flush their pipelines, results stay queryable until exit. A
+// second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/experiments"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+	"rfdump/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7531", "IQ ingest address (wire framing protocol)")
+		httpAddr  = flag.String("http", "127.0.0.1:7532", "HTTP API address")
+		rate      = flag.Int("rate", iq.DefaultSampleRate, "engine sample rate in Hz; mismatched transmitters are rejected")
+		detectors = flag.String("detectors", "timing,phase", "comma list: timing,phase,freq,microwave,zigbee,ofdm")
+		noDemod   = flag.Bool("no-demod", false, "skip the analysis stage (classification only)")
+		lap       = flag.Uint64("lap", experiments.PiconetLAP, "Bluetooth piconet LAP to follow")
+		uap       = flag.Uint64("uap", experiments.PiconetUAP, "Bluetooth piconet UAP")
+		window    = flag.Int("window", 1_600_000, "per-session sliding window in samples")
+		supervise = flag.Bool("supervise", false, "supervised scheduling: quarantine crashing blocks instead of failing the session")
+		overload  = flag.Bool("overload", false, "real-time pacing with graceful degradation per session")
+		faultSpec = flag.String("faults", "", "inject front-end faults on every ingest stream, e.g. gap=0.001,corrupt=0.01,seed=7")
+		retries   = flag.Int("retries", 4, "retry attempts for transient front-end read errors with -faults")
+		waterfall = flag.Int("waterfall", 1<<19, "per-stream waterfall ring in samples (negative disables)")
+		queue     = flag.Int("sse-queue", 256, "per-subscriber live-feed queue length (slow clients drop past this)")
+		quiet     = flag.Bool("q", false, "suppress per-stream log lines")
+	)
+	flag.Parse()
+
+	cfg, err := core.ParseDetectors(*detectors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdumpd:", err)
+		os.Exit(2)
+	}
+	// The daemon is always metered: /api/metricz is part of the API, so
+	// the registry is unconditional (unlike rfdump's opt-in -metrics).
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+
+	var factories []core.AnalyzerFactory
+	if !*noDemod {
+		lapv, uapv := uint32(*lap), byte(*uap)
+		factories = []core.AnalyzerFactory{
+			func() core.Analyzer { return demod.NewWiFiDemod() },
+			func() core.Analyzer { return demod.NewBTDemod(lapv, uapv, 8) },
+		}
+	}
+	eng := core.NewEngine(iq.NewClock(*rate), cfg, factories...)
+
+	scfg := core.StreamConfig{WindowSamples: *window}
+	if *supervise {
+		scfg.Supervise = &flowgraph.SupervisorConfig{
+			MaxErrors:    3,
+			BackoffItems: 10_000,
+			OnEvent: func(ev flowgraph.SupervisorEvent) {
+				fmt.Fprintln(os.Stderr, "rfdumpd: supervisor:", ev)
+			},
+		}
+	}
+	if *overload {
+		scfg.Overload = &core.OverloadConfig{}
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "rfdumpd: "+format+"\n", args...)
+		}
+	}
+	d, err := server.NewDaemon(server.Options{
+		Engine:           eng,
+		Registry:         reg,
+		Session:          scfg,
+		Faults:           *faultSpec,
+		Retries:          *retries,
+		WaterfallSamples: *waterfall,
+		SubscriberQueue:  *queue,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdumpd:", err)
+		os.Exit(2)
+	}
+
+	ingest, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdumpd: ingest listen:", err)
+		os.Exit(1)
+	}
+	apiLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdumpd: http listen:", err)
+		os.Exit(1)
+	}
+	api := &http.Server{Handler: d.APIHandler()}
+	go func() {
+		if err := api.Serve(apiLn); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "rfdumpd: http:", err)
+		}
+	}()
+	go func() {
+		if err := d.Serve(ingest); err != nil {
+			fmt.Fprintln(os.Stderr, "rfdumpd: ingest:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "rfdumpd: ingest on %s, API on http://%s (rate %d Hz, detectors %s)\n",
+		ingest.Addr(), apiLn.Addr(), *rate, *detectors)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "rfdumpd: signal — draining ingest (^C again to abort)")
+	go func() {
+		<-sig
+		os.Exit(130)
+	}()
+
+	// Drain: stop accepting, nudge blocked reads, let every session
+	// flush its pipeline. Results stay queryable until the API closes.
+	d.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = api.Shutdown(ctx)
+
+	var streams, detections, packets int64
+	for _, st := range d.Hub().Streams() {
+		streams++
+		detections += st.Detections
+		packets += st.Packets
+	}
+	fmt.Fprintf(os.Stderr, "rfdumpd: drained: %d streams, %d detections, %d packets decoded\n",
+		streams, detections, packets)
+}

@@ -1,12 +1,15 @@
 // Command rfgen synthesizes IQ traces of the wireless ether (the role the
 // USRP + emulator testbed play in the paper) and writes them as trace
-// files with ground-truth sidecars.
+// files with ground-truth sidecars — or transmits them to a running
+// rfdumpd over the wire framing protocol.
 //
 // Usage:
 //
 //	rfgen -profile unicast -snr 20 -out trace.rfd
 //	rfgen -profile mix -pings 100 -out mix.rfd        # + mix.rfd.truth
 //	rfgen -profile realworld -scale 0.2 -out rw.rfd
+//	rfgen -profile mix -stream localhost:7531          # transmit to rfdumpd
+//	rfgen -profile mix -stream localhost:7531 -realtime
 //
 // Profiles: unicast broadcast bluetooth mix realworld zigbee microwave ofdm
 package main
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rfdump/internal/ether"
 	"rfdump/internal/experiments"
@@ -23,6 +27,7 @@ import (
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
 	"rfdump/internal/trace"
+	"rfdump/internal/wire"
 )
 
 func addr(b byte) (a wifi.Addr) {
@@ -40,13 +45,30 @@ func main() {
 		pings   = flag.Int("pings", 100, "packet/exchange count for packetized profiles")
 		seed    = flag.Uint64("seed", 1, "PRNG seed")
 		scale   = flag.Float64("scale", 0.25, "scale for the realworld profile")
+
+		streamTo = flag.String("stream", "", "transmit the trace to an rfdumpd ingest address instead of writing files")
+		realtime = flag.Bool("realtime", false, "pace transmission at the trace's sample rate (with -stream)")
+		frameLen = flag.Int("frame-samples", wire.DefaultFrameSamples, "samples per wire frame (with -stream)")
+		streamID = flag.Uint("stream-id", 1, "wire stream id (with -stream)")
+		center   = flag.Uint64("center", 2_437_000_000, "center frequency metadata in Hz (with -stream)")
 	)
 	flag.Parse()
+	if *realtime && *streamTo == "" {
+		fmt.Fprintln(os.Stderr, "rfgen: -realtime requires -stream")
+		os.Exit(2)
+	}
 
 	res, err := generate(*profile, *snr, *pings, *seed, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfgen:", err)
 		os.Exit(1)
+	}
+	if *streamTo != "" {
+		if err := transmit(res, *streamTo, uint32(*streamID), *center, *frameLen, *realtime); err != nil {
+			fmt.Fprintln(os.Stderr, "rfgen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := trace.WriteFile(*out, res.Clock.Rate, res.Samples); err != nil {
 		fmt.Fprintln(os.Stderr, "rfgen: writing trace:", err)
@@ -60,6 +82,54 @@ func main() {
 		*out, len(res.Samples),
 		float64(len(res.Samples))/float64(res.Clock.Rate),
 		len(res.Truth.Records), 100*res.Utilization())
+}
+
+// transmit streams the generated trace over the wire protocol — rfgen
+// acting as the RF front end of a live rfdumpd deployment. With
+// realtime set, frames are paced so samples arrive at the trace's
+// sample rate (what a real receiver would deliver); otherwise the trace
+// is sent as fast as the socket accepts it.
+func transmit(res *ether.Result, addr string, streamID uint32, centerHz uint64, frameLen int, realtime bool) error {
+	client, err := wire.Dial(addr, wire.StreamMeta{
+		StreamID: streamID,
+		Rate:     res.Clock.Rate,
+		CenterHz: centerHz,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	client.SetFrameSamples(frameLen)
+
+	start := time.Now()
+	if realtime {
+		frame := client.FrameSamples()
+		for off := 0; off < len(res.Samples); off += frame {
+			end := off + frame
+			if end > len(res.Samples) {
+				end = len(res.Samples)
+			}
+			if err := client.SendFrame(res.Samples[off:end]); err != nil {
+				return err
+			}
+			// Sleep toward the absolute schedule so pacing error does not
+			// accumulate across frames.
+			target := start.Add(res.Clock.Duration(iq.Tick(end)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	} else if err := client.SendSamples(res.Samples); err != nil {
+		return err
+	}
+	if err := client.Close(); err != nil {
+		return err
+	}
+	took := time.Since(start).Seconds()
+	fmt.Printf("streamed %d samples (%.2f s of air time) to %s in %.2f s: %d frames, %d transmissions\n",
+		len(res.Samples), float64(len(res.Samples))/float64(res.Clock.Rate), addr,
+		took, client.FramesSent(), len(res.Truth.Records))
+	return nil
 }
 
 func generate(profile string, snr float64, pings int, seed uint64, scale float64) (*ether.Result, error) {

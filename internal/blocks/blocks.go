@@ -91,9 +91,11 @@ type Pool struct {
 	chunk int
 	pool  sync.Pool
 
-	// Accounting (atomic; read by tests and the bench harness).
+	// Accounting (atomic; read by tests, the bench harness and the
+	// daemon's metrics scrape).
 	gets  atomic.Int64
 	news  atomic.Int64
+	puts  atomic.Int64
 	live  atomic.Int64 // blocks currently held by callers
 }
 
@@ -127,6 +129,7 @@ func (p *Pool) Get() *Block {
 
 func (p *Pool) put(b *Block) {
 	p.live.Add(-1)
+	p.puts.Add(1)
 	b.n = 0
 	p.pool.Put(b)
 }
@@ -137,11 +140,14 @@ type Stats struct {
 	Gets int64
 	// News counts backing allocations (Gets that missed the pool).
 	News int64
+	// Puts counts blocks recycled into the pool (final Releases); the
+	// Gets−News−Puts gap over time is pool churn the GC absorbed.
+	Puts int64
 	// Live counts blocks currently checked out (non-zero refcount).
 	Live int64
 }
 
 // Stats returns the pool's accounting snapshot.
 func (p *Pool) Stats() Stats {
-	return Stats{Gets: p.gets.Load(), News: p.news.Load(), Live: p.live.Load()}
+	return Stats{Gets: p.gets.Load(), News: p.news.Load(), Puts: p.puts.Load(), Live: p.live.Load()}
 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseDetectors resolves a comma-separated detector list (the shared
+// -detectors flag syntax of rfdump and rfdumpd) into a Config. Known
+// names: timing, phase, freq, microwave, zigbee, ofdm. At least one
+// detector must be selected.
+func ParseDetectors(list string) (Config, error) {
+	cfg := Config{}
+	any := false
+	for _, d := range strings.Split(list, ",") {
+		switch strings.TrimSpace(d) {
+		case "timing":
+			cfg.WiFiTiming = &WiFiTimingConfig{}
+			cfg.BTTiming = &BTTimingConfig{}
+		case "phase":
+			cfg.WiFiPhase = &WiFiPhaseConfig{}
+			cfg.BTPhase = &BTPhaseConfig{}
+		case "freq":
+			cfg.BTFreq = &BTFreqConfig{}
+		case "microwave":
+			cfg.Microwave = true
+		case "zigbee":
+			cfg.ZigBee = true
+		case "ofdm":
+			cfg.OFDM = &OFDMConfig{}
+		case "":
+			continue
+		default:
+			return cfg, fmt.Errorf("unknown detector %q", d)
+		}
+		any = true
+	}
+	if !any {
+		return cfg, fmt.Errorf("no detectors selected")
+	}
+	return cfg, nil
+}

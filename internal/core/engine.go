@@ -33,6 +33,7 @@ type Engine struct {
 	factories []AnalyzerFactory
 	pool      *blocks.Pool
 	chunks    chunkItemPool
+	sessions  atomic.Uint64 // session id allocator
 }
 
 // NewEngine resolves the configuration once and returns the engine.
@@ -95,11 +96,14 @@ func (e *Engine) session(analyzers []Analyzer, cfg StreamConfig) (*Session, erro
 	}
 	return &Session{
 		e:          e,
+		id:         e.sessions.Add(1),
 		window:     window,
 		graph:      graph,
 		dispatcher: dispatcher,
 		outputs:    outputs,
 		pace:       pace,
+		onStart:    cfg.OnSessionStart,
+		onEnd:      cfg.OnSessionEnd,
 	}, nil
 }
 
@@ -108,13 +112,21 @@ func (e *Engine) session(analyzers []Analyzer, cfg StreamConfig) (*Session, erro
 // dispatcher, degradation accounting and delivery callbacks.
 type Session struct {
 	e          *Engine
+	id         uint64
 	window     blockStore
 	graph      *flowgraph.Graph
 	dispatcher *Dispatcher
 	outputs    *[]flowgraph.Item
 	pace       *pacer
+	onStart    func(id uint64)
+	onEnd      func(id uint64, res *Result, err error)
 	ran        atomic.Bool
 }
+
+// ID returns the engine-assigned session id (unique per engine,
+// monotonically increasing from 1). Lifecycle hooks receive it so a
+// server can correlate events across many concurrent sessions.
+func (s *Session) ID() uint64 { return s.id }
 
 // Run drives the session over a block source until EOF, with bounded
 // memory and zero steady-state allocations per chunk: every block is a
@@ -126,6 +138,18 @@ func (s *Session) Run(src BlockReader) (*Result, error) {
 	if s.ran.Swap(true) {
 		return nil, fmt.Errorf("core: Session.Run called twice (sessions are single-use)")
 	}
+	if s.onStart != nil {
+		s.onStart(s.id)
+	}
+	res, err := s.run(src)
+	if s.onEnd != nil {
+		s.onEnd(s.id, res, err)
+	}
+	return res, err
+}
+
+// run is Run after the single-use guard and lifecycle hooks.
+func (s *Session) run(src BlockReader) (*Result, error) {
 	defer s.window.Close()
 
 	var (

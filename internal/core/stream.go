@@ -90,6 +90,15 @@ type StreamConfig struct {
 	// Overload, when non-nil, enables watermark-based load shedding
 	// against real time; shed work is accounted in Result.Degradation.
 	Overload *OverloadConfig
+	// OnSessionStart, if set, fires at the top of Session.Run with the
+	// engine-assigned session id — the fan-out point where a
+	// multi-session server announces a new live run (one per ingest
+	// connection) to its subscribers.
+	OnSessionStart func(id uint64)
+	// OnSessionEnd, if set, fires after the session's flowgraph has
+	// drained, with the run result (nil when Run failed) — the matching
+	// teardown hook. Both hooks run on the Run caller's goroutine.
+	OnSessionEnd func(id uint64, res *Result, err error)
 }
 
 // RunStream processes a live sample source with bounded memory: the

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"net"
 	"runtime"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"rfdump/internal/iq"
 	"rfdump/internal/mac"
 	"rfdump/internal/protocols"
+	"rfdump/internal/wire"
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
@@ -204,6 +206,52 @@ func BenchJSON(o Options) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Wire-ingest row: the same streaming session fed over loopback TCP
+	// through the framing protocol — what the detection stage costs when
+	// rfdumpd is the front end instead of an in-memory trace. A warm-up
+	// pass fills the decoder/session pools first, as above.
+	runWire := func(sess *core.Session) error {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		sendErr := make(chan error, 1)
+		go func() {
+			client, err := wire.Dial(ln.Addr().String(), wire.StreamMeta{StreamID: 1, Rate: res.Clock.Rate})
+			if err != nil {
+				sendErr <- err
+				return
+			}
+			if err := client.SendSamples(res.Samples); err != nil {
+				sendErr <- err
+				return
+			}
+			sendErr <- client.Close()
+		}()
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := sess.Run(wire.NewDecoder(conn)); err != nil {
+			return err
+		}
+		return <-sendErr
+	}
+	wireWarm, err := eng.NewSession(core.StreamConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := runWire(wireWarm); err != nil {
+		return nil, err
+	}
+	wireSession, err := eng.NewSession(core.StreamConfig{})
+	if err != nil {
+		return nil, err
+	}
+
 	table1 := []struct {
 		name string
 		fn   func() error
@@ -237,6 +285,9 @@ func BenchJSON(o Options) (*BenchReport, error) {
 		{"Streaming detection (pooled blocks)", func() error {
 			_, err := streamSession.Run(&sliceSource{s: res.Samples})
 			return err
+		}},
+		{"Wire ingest (loopback TCP)", func() error {
+			return runWire(wireSession)
 		}},
 	}
 	for _, entry := range table1 {

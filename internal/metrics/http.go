@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"net/http"
+)
+
+// Handler serves registry snapshots over HTTP: the /api/metricz surface
+// of a monitoring daemon. Text by default (the same rendering as
+// rfdump -metrics), JSON with ?format=json. Each prepare hook runs
+// before the snapshot is taken — the place to refresh pull-style gauges
+// (pool occupancy, subscriber counts) that nothing updates on a hot
+// path. A nil registry serves empty snapshots.
+func Handler(r *Registry, prepare ...func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		for _, fn := range prepare {
+			fn()
+		}
+		snap := r.Snapshot()
+		switch req.URL.Query().Get("format") {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+		default:
+			http.Error(w, "unknown format (want text or json)", http.StatusBadRequest)
+		}
+	})
+}

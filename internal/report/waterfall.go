@@ -11,13 +11,29 @@ import (
 // waterfallRamp maps normalized power to glyphs, dark to bright.
 const waterfallRamp = " .:-=+*#%@"
 
-// Waterfall renders a text spectrogram of an IQ stream: rows are time
-// slices (top = start), columns are frequency bins across the monitored
-// band (left = lowest). It is the monitoring tool's quick look at "what
-// is in the ether" before any protocol classification — the role a
-// spectrum analyzer plays in the paper's related-work comparison, built
-// into the free tool.
-func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
+// WaterfallData is the serializable form of a spectrogram: rows are time
+// slices (row 0 = start), columns are frequency bins across the band
+// (column 0 = lowest). The daemon's /api/waterfall endpoint returns it
+// as JSON; Render produces the terminal view rfdump -spectrum prints.
+type WaterfallData struct {
+	// Rows and Cols are the grid dimensions.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// RateHz is the sample rate the band span derives from.
+	RateHz int `json:"rate_hz"`
+	// SliceSamples is the number of samples summarized per row.
+	SliceSamples int `json:"slice_samples"`
+	// MinDB/MaxDB are the grid's power extremes (MaxDB is raised to at
+	// least MinDB+1 so normalization is always well-defined).
+	MinDB float64 `json:"min_db"`
+	MaxDB float64 `json:"max_db"`
+	// CellsDB is the row-major grid of per-cell powers in dB.
+	CellsDB [][]float64 `json:"cells_db"`
+}
+
+// WaterfallGrid computes the spectrogram grid of an IQ stream. The
+// second return is false when the stream is too short to summarize.
+func WaterfallGrid(stream iq.Samples, rate int, rows, cols int) (WaterfallData, bool) {
 	if rows < 4 {
 		rows = 4
 	}
@@ -25,12 +41,11 @@ func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
 		cols = 8
 	}
 	if len(stream) < rows {
-		return "(trace too short for a waterfall)\n"
+		return WaterfallData{}, false
 	}
 	fftSize := dsp.NextPow2(cols * 4)
 	slice := len(stream) / rows
 
-	// Compute per-cell powers in dB.
 	grid := make([][]float64, rows)
 	minDB, maxDB := 1e18, -1e18
 	for r := 0; r < rows; r++ {
@@ -70,15 +85,28 @@ func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
 	if maxDB-minDB < 1 {
 		maxDB = minDB + 1
 	}
+	return WaterfallData{
+		Rows:         rows,
+		Cols:         cols,
+		RateHz:       rate,
+		SliceSamples: slice,
+		MinDB:        minDB,
+		MaxDB:        maxDB,
+		CellsDB:      grid,
+	}, true
+}
 
+// Render produces the text view: one glyph per cell, time running down,
+// with a frequency axis across the monitored band.
+func (d WaterfallData) Render() string {
 	var b strings.Builder
-	span := float64(rate) / 1e6
+	span := float64(d.RateHz) / 1e6
 	fmt.Fprintf(&b, "waterfall: %d rows x %d bins, band %.1f MHz, %.0f dB range\n",
-		rows, cols, span, maxDB-minDB)
-	for r := 0; r < rows; r++ {
+		d.Rows, d.Cols, span, d.MaxDB-d.MinDB)
+	for r := 0; r < d.Rows; r++ {
 		b.WriteString("| ")
-		for c := 0; c < cols; c++ {
-			f := (grid[r][c] - minDB) / (maxDB - minDB)
+		for c := 0; c < d.Cols; c++ {
+			f := (d.CellsDB[r][c] - d.MinDB) / (d.MaxDB - d.MinDB)
 			idx := int(f * float64(len(waterfallRamp)-1))
 			if idx < 0 {
 				idx = 0
@@ -88,15 +116,29 @@ func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
 			}
 			b.WriteByte(waterfallRamp[idx])
 		}
-		tMS := float64(r*slice) / float64(rate) * 1000
+		tMS := float64(r*d.SliceSamples) / float64(d.RateHz) * 1000
 		fmt.Fprintf(&b, " | %7.1f ms\n", tMS)
 	}
 	b.WriteString("  ")
-	b.WriteString(strings.Repeat("-", cols))
+	b.WriteString(strings.Repeat("-", d.Cols))
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  -%.1f MHz%s+%.1f MHz\n", span/2,
-		strings.Repeat(" ", maxInt(1, cols-14)), span/2)
+		strings.Repeat(" ", maxInt(1, d.Cols-14)), span/2)
 	return b.String()
+}
+
+// Waterfall renders a text spectrogram of an IQ stream: rows are time
+// slices (top = start), columns are frequency bins across the monitored
+// band (left = lowest). It is the monitoring tool's quick look at "what
+// is in the ether" before any protocol classification — the role a
+// spectrum analyzer plays in the paper's related-work comparison, built
+// into the free tool.
+func Waterfall(stream iq.Samples, rate int, rows, cols int) string {
+	d, ok := WaterfallGrid(stream, rate, rows, cols)
+	if !ok {
+		return "(trace too short for a waterfall)\n"
+	}
+	return d.Render()
 }
 
 func maxInt(a, b int) int {

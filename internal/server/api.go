@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rfdump/internal/metrics"
+	"rfdump/internal/report"
+)
+
+// APIHandler returns the daemon's HTTP surface:
+//
+//	GET /api/streams     — every ingest stream with wire + pipeline counters
+//	GET /api/detections  — recent fast-detector verdicts (?stream=, ?limit=)
+//	GET /api/packets     — recent decoded packets, trace.PacketRecord schema
+//	GET /api/waterfall   — spectrogram of a stream's recent samples
+//	GET /api/live        — server-sent events feed (?types=detection,packet)
+//	GET /api/metricz     — metrics registry snapshot (?format=text|json)
+func (d *Daemon) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/streams", d.handleStreams)
+	mux.HandleFunc("/api/detections", d.handleDetections)
+	mux.HandleFunc("/api/packets", d.handlePackets)
+	mux.HandleFunc("/api/waterfall", d.handleWaterfall)
+	mux.HandleFunc("/api/live", d.handleLive)
+	mux.Handle("/api/metricz", metrics.Handler(d.reg, d.refreshGauges))
+	return mux
+}
+
+// writeJSON serves v with the standard headers.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// queryUint parses an optional numeric query parameter (0 when absent).
+func queryUint(r *http.Request, key string) (uint64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	return v, nil
+}
+
+func (d *Daemon) handleStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"streams": d.hub.Streams()})
+}
+
+func (d *Daemon) handleDetections(w http.ResponseWriter, r *http.Request) {
+	stream, err := queryUint(r, "stream")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit, err := queryUint(r, "limit")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"detections": d.hub.Detections(stream, int(limit))})
+}
+
+func (d *Daemon) handlePackets(w http.ResponseWriter, r *http.Request) {
+	stream, err := queryUint(r, "stream")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit, err := queryUint(r, "limit")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"packets": d.hub.Packets(stream, int(limit))})
+}
+
+// waterfallResponse is the JSON shape of /api/waterfall.
+type waterfallResponse struct {
+	Stream       uint64               `json:"stream"`
+	TotalSamples int64                `json:"total_samples"`
+	Waterfall    report.WaterfallData `json:"waterfall"`
+}
+
+func (d *Daemon) handleWaterfall(w http.ResponseWriter, r *http.Request) {
+	id, err := queryUint(r, "stream")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var (
+		st *Stream
+		ok bool
+	)
+	if id != 0 {
+		st, ok = d.hub.Stream(id)
+	} else {
+		st, ok = d.hub.newestStream()
+	}
+	if !ok {
+		http.Error(w, "no streams", http.StatusNotFound)
+		return
+	}
+	if st.ring == nil {
+		http.Error(w, "waterfall disabled", http.StatusNotFound)
+		return
+	}
+	rows, err := queryUint(r, "rows")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols, err := queryUint(r, "cols")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if rows == 0 {
+		rows = 16
+	}
+	if cols == 0 {
+		cols = 48
+	}
+	samples := st.ring.Snapshot()
+	data, ready := report.WaterfallGrid(samples, d.hub.clock.Rate, int(rows), int(cols))
+	if !ready {
+		http.Error(w, "stream too short for a waterfall", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "stream %d (%d samples seen)\n%s", st.ID(), st.ring.Total(), data.Render())
+		return
+	}
+	writeJSON(w, waterfallResponse{Stream: st.ID(), TotalSamples: st.ring.Total(), Waterfall: data})
+}
+
+// handleLive is the SSE feed. Each subscriber gets a bounded queue; a
+// client that stops reading loses events (and shows up in the dropped
+// counters) instead of slowing ingest. Events are framed as
+//
+//	event: <type>
+//	data: <Event JSON>
+func (d *Daemon) handleLive(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var types []string
+	if t := r.URL.Query().Get("types"); t != "" {
+		types = strings.Split(t, ",")
+	}
+	sub := d.hub.broker.Subscribe(types...)
+	defer d.hub.broker.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, ": rfdumpd live feed\n\n")
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		}
+	}
+}

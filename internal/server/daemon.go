@@ -1,0 +1,242 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/faults"
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+	"rfdump/internal/wire"
+)
+
+// Options configures a Daemon.
+type Options struct {
+	// Engine is the shared streaming pipeline (required). Each ingest
+	// connection becomes one Session over it; all sessions recycle
+	// blocks through the engine's pool.
+	Engine *core.Engine
+	// Registry receives every daemon counter; may be nil (the daemon
+	// then runs unmetered thanks to nil-safe instruments).
+	Registry *metrics.Registry
+	// Session is the per-connection stream configuration template:
+	// window size, supervision, overload control. The daemon owns the
+	// delivery callbacks and lifecycle hooks and overwrites them (it
+	// also forces NoRetain — a long-lived daemon must not accumulate
+	// per-session results).
+	Session core.StreamConfig
+	// Faults, when non-empty, is a faults.ParseSpec front-end fault
+	// specification applied to every ingest connection; Retries bounds
+	// transient-error retries (as rfdump -faults/-retries).
+	Faults  string
+	Retries int
+	// Hub sizing (see HubConfig); zero values take defaults.
+	DetectionRing   int
+	PacketRing      int
+	SubscriberQueue int
+	// WaterfallSamples sizes each stream's recent-sample ring for
+	// /api/waterfall (default 1<<19 ≈ 65 ms at 8 Msps; negative
+	// disables).
+	WaterfallSamples int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Daemon ties the pieces of rfdumpd together: a wire.Server accepting
+// IQ ingest connections, one core.Session per connection, and a Hub
+// aggregating results for the HTTP API. It is the live half of the
+// paper's architecture — the same engine the offline tool uses, fed by
+// the network instead of a trace file.
+type Daemon struct {
+	opt      Options
+	clock    iq.Clock
+	reg      *metrics.Registry
+	hub      *Hub
+	wire     *wire.Server
+	faultCfg *faults.Config
+	draining atomic.Bool
+
+	conns    *metrics.Counter
+	rejected *metrics.Counter
+}
+
+// NewDaemon validates options and assembles the daemon.
+func NewDaemon(opt Options) (*Daemon, error) {
+	if opt.Engine == nil {
+		return nil, errors.New("server: Options.Engine is required")
+	}
+	if opt.WaterfallSamples == 0 {
+		opt.WaterfallSamples = 1 << 19
+	}
+	if opt.WaterfallSamples < 0 {
+		opt.WaterfallSamples = 0
+	}
+	d := &Daemon{
+		opt:   opt,
+		clock: opt.Engine.Clock(),
+		reg:   opt.Registry,
+		hub: NewHub(HubConfig{
+			Clock:           opt.Engine.Clock(),
+			DetectionRing:   opt.DetectionRing,
+			PacketRing:      opt.PacketRing,
+			SubscriberQueue: opt.SubscriberQueue,
+			Registry:        opt.Registry,
+		}),
+		conns:    opt.Registry.Counter("server/ingest/connections"),
+		rejected: opt.Registry.Counter("server/ingest/rejected"),
+	}
+	if opt.Faults != "" {
+		cfg, err := faults.ParseSpec(opt.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		d.faultCfg = &cfg
+	}
+	d.wire = wire.NewServer(d.handle)
+	return d, nil
+}
+
+// Hub returns the daemon's stream/event registry.
+func (d *Daemon) Hub() *Hub { return d.hub }
+
+// Serve accepts ingest connections on ln until Drain or Close.
+func (d *Daemon) Serve(ln net.Listener) error { return d.wire.Serve(ln) }
+
+// Drain stops accepting, nudges every ingest connection so blocked
+// reads return, and waits for the per-connection sessions to finish
+// flushing their pipelines. Results already produced stay queryable.
+func (d *Daemon) Drain() {
+	d.draining.Store(true)
+	d.wire.Drain()
+	d.wire.Wait()
+}
+
+// Close aborts: ingest connections are closed outright.
+func (d *Daemon) Close() {
+	d.draining.Store(true)
+	d.wire.Close()
+	d.wire.Wait()
+}
+
+// WireServer returns the ingest listener host (Serve/Drain/Close live
+// there; the daemon wraps the lifecycle ones it needs).
+func (d *Daemon) WireServer() *wire.Server { return d.wire }
+
+// logf forwards to Options.Logf when set.
+func (d *Daemon) logf(format string, args ...any) {
+	if d.opt.Logf != nil {
+		d.opt.Logf(format, args...)
+	}
+}
+
+// refreshGauges is the /api/metricz prepare hook: pull-style gauges
+// nothing updates on the hot path.
+func (d *Daemon) refreshGauges() {
+	st := d.opt.Engine.Pool().Stats()
+	d.reg.Gauge("blocks/pool/gets").Set(st.Gets)
+	d.reg.Gauge("blocks/pool/news").Set(st.News)
+	d.reg.Gauge("blocks/pool/puts").Set(st.Puts)
+	d.reg.Gauge("blocks/pool/live").Set(st.Live)
+}
+
+// handle runs one ingest connection to completion: read the stream
+// meta, register with the hub, build the source chain (wire conn →
+// faults → waterfall tee → drain guard) and drive a fresh session.
+func (d *Daemon) handle(c *wire.Conn) {
+	d.conns.Inc()
+	meta, err := c.Meta()
+	if err != nil {
+		d.logf("ingest %s: handshake: %v", c.RemoteAddr(), err)
+		return
+	}
+	if meta.Rate != 0 && meta.Rate != d.clock.Rate {
+		d.rejected.Inc()
+		d.logf("ingest %s: rate %d Hz does not match engine clock %d Hz; rejecting",
+			c.RemoteAddr(), meta.Rate, d.clock.Rate)
+		return
+	}
+	st := d.hub.OpenStream(c.RemoteAddr(), meta, c.Counts, d.opt.WaterfallSamples)
+	d.logf("ingest %s: stream %d open (rate=%d Hz center=%d Hz)",
+		c.RemoteAddr(), st.ID(), meta.Rate, meta.CenterHz)
+
+	scfg := d.opt.Session
+	scfg.NoRetain = true
+	scfg.OnDetection = func(det core.Detection) { d.hub.Detection(st, det) }
+	scfg.OnOutput = func(item flowgraph.Item) {
+		if p, ok := item.(demod.Packet); ok {
+			d.hub.Packet(st, p)
+		}
+	}
+	scfg.OnSessionStart = func(id uint64) { d.hub.SessionStarted(st, id) }
+	scfg.OnSessionEnd = func(id uint64, res *core.Result, err error) {
+		d.hub.SessionEnded(st, res, err)
+	}
+
+	sess, err := d.opt.Engine.NewSession(scfg)
+	if err != nil {
+		d.hub.SessionEnded(st, nil, err)
+		d.logf("ingest %s: session: %v", c.RemoteAddr(), err)
+		return
+	}
+
+	var src core.BlockReader = c
+	if d.faultCfg != nil {
+		injector := faults.NewInjector(src, *d.faultCfg)
+		injector.InstrumentMetrics(d.reg)
+		src = &faults.Retry{Src: injector, Attempts: d.opt.Retries, Metrics: d.reg}
+	}
+	if st.ring != nil {
+		src = &teeSource{inner: src, ring: st.ring}
+	}
+	src = &drainSource{inner: src, stop: &d.draining}
+
+	if _, err := sess.Run(src); err != nil {
+		d.logf("ingest %s: stream %d failed: %v", c.RemoteAddr(), st.ID(), err)
+		return
+	}
+	counts := c.Counts()
+	d.logf("ingest %s: stream %d closed (%d frames, %d samples, clean=%v)",
+		c.RemoteAddr(), st.ID(), counts.Frames, counts.Samples, counts.CleanEnd)
+}
+
+// teeSource copies every block the pipeline reads into the stream's
+// waterfall ring. It sits after fault injection so the spectrogram
+// shows the stream the detectors actually saw.
+type teeSource struct {
+	inner core.BlockReader
+	ring  *sampleRing
+}
+
+func (t *teeSource) ReadBlock(dst iq.Samples) (int, error) {
+	n, err := t.inner.ReadBlock(dst)
+	if n > 0 {
+		t.ring.Append(dst[:n])
+	}
+	return n, err
+}
+
+// drainSource converts transport errors after a drain into clean EOF:
+// Drain nudges blocked reads with an expired deadline, and the
+// resulting timeout must end the session gracefully (results intact),
+// not as a failure.
+type drainSource struct {
+	inner core.BlockReader
+	stop  *atomic.Bool
+}
+
+func (s *drainSource) ReadBlock(dst iq.Samples) (int, error) {
+	if s.stop.Load() {
+		return 0, io.EOF
+	}
+	n, err := s.inner.ReadBlock(dst)
+	if err != nil && !errors.Is(err, io.EOF) && s.stop.Load() {
+		return n, io.EOF
+	}
+	return n, err
+}

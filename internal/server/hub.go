@@ -1,0 +1,467 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+	"rfdump/internal/trace"
+	"rfdump/internal/wire"
+)
+
+// Hub is the daemon's shared state: the registry of ingest streams, the
+// recent-history rings the REST API reads, and the broker the live feed
+// publishes through. All mutating entry points are called from pipeline
+// callbacks on session goroutines, so everything is either ring-guarded
+// by the hub mutex or atomic.
+type Hub struct {
+	clock  iq.Clock
+	broker *Broker
+	seq    atomic.Uint64 // event sequence allocator
+
+	mu         sync.Mutex
+	streams    map[uint64]*Stream
+	order      []uint64 // registration order, oldest first
+	nextID     uint64
+	detections *ring[DetectionRecord]
+	packets    *ring[PacketEvent]
+
+	detCount *metrics.Counter
+	pktCount *metrics.Counter
+	opened   *metrics.Counter
+	active   *metrics.Gauge
+}
+
+// HubConfig sizes the hub.
+type HubConfig struct {
+	// Clock converts sample spans to seconds in records.
+	Clock iq.Clock
+	// DetectionRing / PacketRing bound the REST history (defaults 4096
+	// and 2048).
+	DetectionRing int
+	PacketRing    int
+	// SubscriberQueue bounds each live-feed subscriber (default 256).
+	SubscriberQueue int
+	// Registry receives hub and broker counters; may be nil.
+	Registry *metrics.Registry
+}
+
+// NewHub builds the hub and its broker.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.DetectionRing <= 0 {
+		cfg.DetectionRing = 4096
+	}
+	if cfg.PacketRing <= 0 {
+		cfg.PacketRing = 2048
+	}
+	if cfg.SubscriberQueue <= 0 {
+		cfg.SubscriberQueue = 256
+	}
+	return &Hub{
+		clock:      cfg.Clock,
+		broker:     NewBroker(cfg.SubscriberQueue, cfg.Registry),
+		streams:    make(map[uint64]*Stream),
+		detections: newRing[DetectionRecord](cfg.DetectionRing),
+		packets:    newRing[PacketEvent](cfg.PacketRing),
+		detCount:   cfg.Registry.Counter("server/detections"),
+		pktCount:   cfg.Registry.Counter("server/packets"),
+		opened:     cfg.Registry.Counter("server/streams/opened"),
+		active:     cfg.Registry.Gauge("server/streams/active"),
+	}
+}
+
+// Broker returns the live-feed broker (Subscribe/Unsubscribe).
+func (h *Hub) Broker() *Broker { return h.broker }
+
+// Clock returns the hub's sample clock.
+func (h *Hub) Clock() iq.Clock { return h.clock }
+
+// Stream is one ingest connection's state in the hub.
+type Stream struct {
+	hub     *Hub
+	id      uint64
+	remote  string
+	meta    wire.StreamMeta
+	started time.Time
+	counts  func() wire.Counts // wire-level counters, nil once detached
+	ring    *sampleRing        // recent samples for the waterfall
+
+	mu       sync.Mutex
+	active   bool
+	session  uint64
+	endErr   string
+	degraded string
+	endWire  wire.Counts
+
+	detections atomic.Int64
+	packets    atomic.Int64
+}
+
+// ID returns the hub-assigned stream id.
+func (s *Stream) ID() uint64 { return s.id }
+
+// StreamInfo is the JSON shape of one stream in /api/streams.
+type StreamInfo struct {
+	ID         uint64          `json:"id"`
+	Session    uint64          `json:"session,omitempty"`
+	Remote     string          `json:"remote"`
+	Meta       wire.StreamMeta `json:"meta"`
+	StartedS   float64         `json:"uptime_s"`
+	Active     bool            `json:"active"`
+	Error      string          `json:"error,omitempty"`
+	Degraded   string          `json:"degraded,omitempty"`
+	Wire       wire.Counts     `json:"wire"`
+	Detections int64           `json:"detections"`
+	Packets    int64           `json:"packets"`
+}
+
+// info snapshots the stream.
+func (s *Stream) info(now time.Time) StreamInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inf := StreamInfo{
+		ID:         s.id,
+		Session:    s.session,
+		Remote:     s.remote,
+		Meta:       s.meta,
+		StartedS:   now.Sub(s.started).Seconds(),
+		Active:     s.active,
+		Error:      s.endErr,
+		Degraded:   s.degraded,
+		Wire:       s.endWire,
+		Detections: s.detections.Load(),
+		Packets:    s.packets.Load(),
+	}
+	if s.active && s.counts != nil {
+		inf.Wire = s.counts()
+	}
+	return inf
+}
+
+// OpenStream registers a new ingest stream. counts is polled for live
+// wire statistics (the decoder's atomic snapshot); waterfallSamples
+// sizes the stream's recent-sample ring (0 disables the waterfall).
+func (h *Hub) OpenStream(remote string, meta wire.StreamMeta, counts func() wire.Counts, waterfallSamples int) *Stream {
+	st := &Stream{
+		hub:     h,
+		remote:  remote,
+		meta:    meta,
+		started: time.Now(),
+		counts:  counts,
+	}
+	if waterfallSamples > 0 {
+		st.ring = newSampleRing(waterfallSamples)
+	}
+	h.mu.Lock()
+	h.nextID++
+	st.id = h.nextID
+	h.streams[st.id] = st
+	h.order = append(h.order, st.id)
+	h.pruneLocked()
+	h.mu.Unlock()
+	h.opened.Inc()
+	return st
+}
+
+// endedRetention is how many ended streams the registry keeps for
+// post-mortem queries before the oldest are pruned.
+const endedRetention = 64
+
+// pruneLocked drops the oldest ended streams past the retention bound.
+func (h *Hub) pruneLocked() {
+	ended := 0
+	for _, id := range h.order {
+		st := h.streams[id]
+		st.mu.Lock()
+		if !st.active && st.session != 0 {
+			ended++
+		}
+		st.mu.Unlock()
+	}
+	for ended > endedRetention {
+		for i, id := range h.order {
+			st := h.streams[id]
+			st.mu.Lock()
+			done := !st.active && st.session != 0
+			st.mu.Unlock()
+			if done {
+				delete(h.streams, id)
+				h.order = append(h.order[:i], h.order[i+1:]...)
+				ended--
+				break
+			}
+		}
+	}
+}
+
+// SessionStarted marks the stream live (wired to core's OnSessionStart)
+// and announces it on the feed.
+func (h *Hub) SessionStarted(st *Stream, session uint64) {
+	st.mu.Lock()
+	st.active = true
+	st.session = session
+	st.mu.Unlock()
+	h.active.Set(h.countActive())
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-open", Stream: st.id})
+}
+
+// SessionEnded marks the stream done (wired to core's OnSessionEnd),
+// freezes its wire counters, records degradation, and announces the
+// close. res and err may both describe failure modes; a nil res with a
+// nil err means the session never started (e.g. NewSession failed).
+func (h *Hub) SessionEnded(st *Stream, res *core.Result, err error) {
+	st.mu.Lock()
+	st.active = false
+	if st.session == 0 {
+		st.session = ^uint64(0) // never ran; mark terminal for pruning
+	}
+	if err != nil {
+		st.endErr = err.Error()
+	}
+	if res != nil && res.Degradation.Any() {
+		st.degraded = res.Degradation.String()
+	}
+	if st.counts != nil {
+		st.endWire = st.counts()
+		st.counts = nil
+	}
+	errStr := st.endErr
+	st.mu.Unlock()
+	h.active.Set(h.countActive())
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-close", Stream: st.id, Error: errStr})
+}
+
+// countActive recounts live streams under the hub lock.
+func (h *Hub) countActive() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n int64
+	for _, st := range h.streams {
+		st.mu.Lock()
+		if st.active {
+			n++
+		}
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Detection records one fast-detector verdict: ring history for the
+// REST API, counters, and a live event. Runs on the session's dispatch
+// goroutine; must not block.
+func (h *Hub) Detection(st *Stream, d core.Detection) {
+	rec := DetectionRecord{
+		Stream:     st.id,
+		TimeS:      float64(d.Span.Start) / float64(h.clock.Rate),
+		Family:     d.Family.FamilyName(),
+		Detector:   d.Detector,
+		Start:      int64(d.Span.Start),
+		End:        int64(d.Span.End),
+		Confidence: d.Confidence,
+		Channel:    d.Channel,
+	}
+	st.detections.Add(1)
+	h.detCount.Inc()
+	h.mu.Lock()
+	h.detections.add(rec)
+	h.mu.Unlock()
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "detection", Stream: st.id, Detection: &rec})
+}
+
+// Packet records one decoded packet, reusing the offline packet-log
+// record as the single packet schema.
+func (h *Hub) Packet(st *Stream, p demod.Packet) {
+	ev := PacketEvent{Stream: st.id, PacketRecord: trace.NewPacketRecord(h.clock, p)}
+	st.packets.Add(1)
+	h.pktCount.Inc()
+	h.mu.Lock()
+	h.packets.add(ev)
+	h.mu.Unlock()
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "packet", Stream: st.id, Packet: &ev})
+}
+
+// Streams snapshots every registered stream, oldest first.
+func (h *Hub) Streams() []StreamInfo {
+	now := time.Now()
+	h.mu.Lock()
+	sts := make([]*Stream, 0, len(h.order))
+	for _, id := range h.order {
+		sts = append(sts, h.streams[id])
+	}
+	h.mu.Unlock()
+	out := make([]StreamInfo, len(sts))
+	for i, st := range sts {
+		out[i] = st.info(now)
+	}
+	return out
+}
+
+// Stream returns a registered stream by id.
+func (h *Hub) Stream(id uint64) (*Stream, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[id]
+	return st, ok
+}
+
+// newestStream returns the most recently opened stream, preferring an
+// active one (the default target for /api/waterfall).
+func (h *Hub) newestStream() (*Stream, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var fallback *Stream
+	for i := len(h.order) - 1; i >= 0; i-- {
+		st := h.streams[h.order[i]]
+		if fallback == nil {
+			fallback = st
+		}
+		st.mu.Lock()
+		act := st.active
+		st.mu.Unlock()
+		if act {
+			return st, true
+		}
+	}
+	return fallback, fallback != nil
+}
+
+// Detections returns up to limit newest detection records (0 = all),
+// optionally filtered to one stream id (0 = all streams).
+func (h *Hub) Detections(stream uint64, limit int) []DetectionRecord {
+	h.mu.Lock()
+	all := h.detections.snapshot()
+	h.mu.Unlock()
+	return filterTail(all, limit, func(r DetectionRecord) bool {
+		return stream == 0 || r.Stream == stream
+	})
+}
+
+// Packets returns up to limit newest packet events, as Detections.
+func (h *Hub) Packets(stream uint64, limit int) []PacketEvent {
+	h.mu.Lock()
+	all := h.packets.snapshot()
+	h.mu.Unlock()
+	return filterTail(all, limit, func(e PacketEvent) bool {
+		return stream == 0 || e.Stream == stream
+	})
+}
+
+// filterTail keeps matching entries, then the newest limit of them.
+func filterTail[T any](in []T, limit int, keep func(T) bool) []T {
+	out := in[:0]
+	for _, v := range in {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	// Copy so callers never alias the ring snapshot's backing array.
+	res := make([]T, len(out))
+	copy(res, out)
+	return res
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer (hub-lock guarded).
+type ring[T any] struct {
+	buf  []T
+	next int
+	full bool
+}
+
+func newRing[T any](n int) *ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &ring[T]{buf: make([]T, n)}
+}
+
+func (r *ring[T]) add(v T) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot returns the contents oldest-first.
+func (r *ring[T]) snapshot() []T {
+	if !r.full {
+		out := make([]T, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// sampleRing keeps the most recent capacity samples of a stream for the
+// waterfall endpoint. Appends run on the ingest goroutine between block
+// reads, so the copy must stay cheap; snapshots run on API goroutines.
+type sampleRing struct {
+	mu    sync.Mutex
+	buf   iq.Samples
+	n     int // valid samples
+	next  int // write cursor
+	total int64
+}
+
+func newSampleRing(capacity int) *sampleRing {
+	if capacity < iq.ChunkSamples {
+		capacity = iq.ChunkSamples
+	}
+	return &sampleRing{buf: make(iq.Samples, capacity)}
+}
+
+// Append adds the next span of the stream, overwriting the oldest.
+func (r *sampleRing) Append(s iq.Samples) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += int64(len(s))
+	if len(s) >= len(r.buf) {
+		copy(r.buf, s[len(s)-len(r.buf):])
+		r.next = 0
+		r.n = len(r.buf)
+		return
+	}
+	k := copy(r.buf[r.next:], s)
+	if k < len(s) {
+		copy(r.buf, s[k:])
+	}
+	r.next = (r.next + len(s)) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n += len(s)
+		if r.n > len(r.buf) {
+			r.n = len(r.buf)
+		}
+	}
+}
+
+// Snapshot copies out the retained samples, oldest first.
+func (r *sampleRing) Snapshot() iq.Samples {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(iq.Samples, r.n)
+	if r.n < len(r.buf) {
+		copy(out, r.buf[:r.n])
+		return out
+	}
+	k := copy(out, r.buf[r.next:])
+	copy(out[k:], r.buf[:r.next])
+	return out
+}
+
+// Total returns how many samples have passed through the ring.
+func (r *sampleRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,157 @@
+// Package server is the live-monitoring daemon over the streaming
+// pipeline: it aggregates the detections, decoded packets and stream
+// health of every ingest connection into one queryable surface — REST
+// endpoints for state, a server-sent-events feed for the live tail.
+// This is the "tcpdump for the wireless ether" as a service: rfdumpd
+// listens where hcidump/tcpdump would read an interface, and any number
+// of observers watch without touching the sample path.
+//
+// The cardinal rule of the fan-out is that observers never apply
+// backpressure to ingest: every subscriber owns a bounded queue, and a
+// publisher that finds it full drops the event for that subscriber and
+// counts the drop. A stalled dashboard loses events; the 8 Msps sample
+// path loses nothing.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rfdump/internal/metrics"
+	"rfdump/internal/trace"
+)
+
+// Event is one entry of the live feed. Type selects which payload field
+// is set: "detection", "packet", "stream-open", "stream-close".
+type Event struct {
+	// Seq is the hub-wide event sequence number; a gap tells a
+	// subscriber it was too slow and events were dropped.
+	Seq uint64 `json:"seq"`
+	// Type is the event kind.
+	Type string `json:"type"`
+	// Stream is the hub stream id the event belongs to.
+	Stream uint64 `json:"stream"`
+	// Detection is set for "detection" events.
+	Detection *DetectionRecord `json:"detection,omitempty"`
+	// Packet is set for "packet" events.
+	Packet *PacketEvent `json:"packet,omitempty"`
+	// Error carries the session error on "stream-close" (empty = clean).
+	Error string `json:"error,omitempty"`
+}
+
+// DetectionRecord is the JSON form of one fast-detector verdict.
+type DetectionRecord struct {
+	Stream     uint64  `json:"stream"`
+	TimeS      float64 `json:"t"`
+	Family     string  `json:"family"`
+	Detector   string  `json:"detector"`
+	Start      int64   `json:"start"`
+	End        int64   `json:"end"`
+	Confidence float64 `json:"confidence"`
+	Channel    int     `json:"channel"`
+}
+
+// PacketEvent is one decoded packet tagged with its stream — the
+// embedded record is trace.PacketRecord, the same schema the offline
+// packet log writes, built by the same constructor.
+type PacketEvent struct {
+	Stream uint64 `json:"stream"`
+	trace.PacketRecord
+}
+
+// Subscriber is one bounded event queue. Read Events until it is
+// unsubscribed; Dropped counts events the publisher discarded because
+// the queue was full.
+type Subscriber struct {
+	ch      chan Event
+	types   map[string]bool // nil = all types
+	dropped atomic.Int64
+}
+
+// Events returns the receive side of the queue.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscriber lost to backpressure.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// wants reports whether the subscriber's type filter admits the event.
+func (s *Subscriber) wants(ev Event) bool { return s.types == nil || s.types[ev.Type] }
+
+// Broker fans events out to subscribers with per-subscriber bounded
+// queues. Publish never blocks: a full queue means the event is dropped
+// for that subscriber and counted, both per-subscriber and in the
+// registry ("server/sse/dropped_events"), where the /api/metricz scrape
+// makes slow consumers visible.
+type Broker struct {
+	queue int
+
+	mu   sync.RWMutex
+	subs map[*Subscriber]struct{}
+
+	published *metrics.Counter
+	dropped   *metrics.Counter
+	gauge     *metrics.Gauge
+}
+
+// NewBroker returns a broker handing each subscriber a queue of the
+// given length (minimum 1). reg may be nil.
+func NewBroker(queue int, reg *metrics.Registry) *Broker {
+	if queue < 1 {
+		queue = 1
+	}
+	return &Broker{
+		queue:     queue,
+		subs:      make(map[*Subscriber]struct{}),
+		published: reg.Counter("server/sse/events"),
+		dropped:   reg.Counter("server/sse/dropped_events"),
+		gauge:     reg.Gauge("server/sse/subscribers"),
+	}
+}
+
+// Subscribe registers a new queue. An empty types list subscribes to
+// every event type.
+func (b *Broker) Subscribe(types ...string) *Subscriber {
+	s := &Subscriber{ch: make(chan Event, b.queue)}
+	if len(types) > 0 {
+		s.types = make(map[string]bool, len(types))
+		for _, t := range types {
+			s.types[t] = true
+		}
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.gauge.Set(int64(len(b.subs)))
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the queue and closes its channel.
+func (b *Broker) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+	b.gauge.Set(int64(len(b.subs)))
+	b.mu.Unlock()
+}
+
+// Publish delivers the event to every subscriber whose queue has room;
+// the rest drop-and-count. It runs on pipeline callback goroutines and
+// must never block.
+func (b *Broker) Publish(ev Event) {
+	b.published.Inc()
+	b.mu.RLock()
+	for s := range b.subs {
+		if !s.wants(ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Inc()
+		}
+	}
+	b.mu.RUnlock()
+}

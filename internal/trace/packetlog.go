@@ -48,10 +48,13 @@ func NewPacketLogWriter(w io.Writer, clock iq.Clock) *PacketLogWriter {
 	return &PacketLogWriter{w: bw, enc: json.NewEncoder(bw), clock: clock}
 }
 
-// Write appends one packet.
-func (l *PacketLogWriter) Write(p demod.Packet) error {
-	rec := PacketRecord{
-		TimeS:   float64(p.Span.Start) / float64(l.clock.Rate),
+// NewPacketRecord converts one decoded packet into the canonical JSON
+// record. It is the single constructor shared by the offline packet log
+// and the daemon's /api/packets + live event feed, so the packet schema
+// cannot drift between the two surfaces.
+func NewPacketRecord(clock iq.Clock, p demod.Packet) PacketRecord {
+	return PacketRecord{
+		TimeS:   float64(p.Span.Start) / float64(clock.Rate),
 		Proto:   p.Proto.String(),
 		Start:   int64(p.Span.Start),
 		End:     int64(p.Span.End),
@@ -60,8 +63,12 @@ func (l *PacketLogWriter) Write(p demod.Packet) error {
 		Note:    p.Note,
 		Frame:   hex.EncodeToString(p.Frame),
 	}
+}
+
+// Write appends one packet.
+func (l *PacketLogWriter) Write(p demod.Packet) error {
 	l.n++
-	return l.enc.Encode(rec)
+	return l.enc.Encode(NewPacketRecord(l.clock, p))
 }
 
 // Count returns how many packets have been written.

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+// BenchmarkDecoderReadBlock measures the frame → block fill loop the
+// ingest path runs in steady state: decoding chunk-sized pooled-block
+// fills out of 4096-sample frames. The regression target is 0 allocs/op.
+func BenchmarkDecoderReadBlock(b *testing.B) {
+	var stream bytes.Buffer
+	c := NewClient(&stream, StreamMeta{StreamID: 1, Rate: 8_000_000})
+	if err := c.SendSamples(make(iq.Samples, 4096*64)); err != nil {
+		b.Fatal(err)
+	}
+	d := NewDecoder(&loopReader{data: stream.Bytes()})
+	dst := make(iq.Samples, iq.ChunkSamples)
+	// Warm the payload scratch.
+	for i := 0; i < 64; i++ {
+		if _, err := d.ReadBlock(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(dst) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadBlock(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientSendFrame measures the transmit-side encode path.
+func BenchmarkClientSendFrame(b *testing.B) {
+	c := NewClient(discard{}, StreamMeta{StreamID: 1, Rate: 8_000_000})
+	frame := make(iq.Samples, 4096)
+	if err := c.SendFrame(frame); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+
+	"rfdump/internal/iq"
+)
+
+// DefaultFrameSamples is the default transmit frame payload: 4096
+// samples (512 us of air at 8 Msps, 32 KiB on the wire) — large enough
+// to amortize the 40-byte header, small enough that -realtime pacing
+// stays smooth.
+const DefaultFrameSamples = 4096
+
+// Client transmits one IQ stream as wire frames. It is the front-end
+// side of the protocol: a USRP bridge, or rfgen -stream exercising the
+// daemon without hardware. Not safe for concurrent use; one stream, one
+// goroutine.
+type Client struct {
+	w      io.Writer
+	closer io.Closer
+	meta   StreamMeta
+	seq    uint32
+	frames int64
+	sent   int64
+	hdr    [HeaderSize]byte
+	buf    []byte // payload scratch, reused across frames
+	frame  int    // samples per frame for SendSamples
+	ended  bool
+}
+
+// NewClient wraps w as a frame transmitter for the given stream.
+func NewClient(w io.Writer, meta StreamMeta) *Client {
+	if meta.Rate <= 0 {
+		meta.Rate = iq.DefaultSampleRate
+	}
+	return &Client{w: w, meta: meta, frame: DefaultFrameSamples}
+}
+
+// Dial connects to a wire server and returns a transmitter; Close sends
+// the End frame and closes the connection.
+func Dial(addr string, meta StreamMeta) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn, meta)
+	c.closer = conn
+	return c, nil
+}
+
+// SetFrameSamples sets the per-frame payload SendSamples splits into.
+func (c *Client) SetFrameSamples(n int) {
+	if n <= 0 || n > MaxFrameSamples {
+		n = DefaultFrameSamples
+	}
+	c.frame = n
+}
+
+// FrameSamples returns the per-frame payload SendSamples splits into.
+func (c *Client) FrameSamples() int { return c.frame }
+
+// Meta returns the stream metadata stamped on every frame.
+func (c *Client) Meta() StreamMeta { return c.meta }
+
+// FramesSent returns the number of frames transmitted (End included).
+func (c *Client) FramesSent() int64 { return c.frames }
+
+// SamplesSent returns the number of payload samples transmitted.
+func (c *Client) SamplesSent() int64 { return c.sent }
+
+// SendFrame transmits one frame carrying exactly the given samples
+// (at most MaxFrameSamples). The encode scratch is reused, so steady
+// state allocates nothing.
+func (c *Client) SendFrame(samples iq.Samples) error {
+	return c.send(samples, 0)
+}
+
+// SendSamples transmits a sample run as a sequence of frames of the
+// configured frame size.
+func (c *Client) SendSamples(samples iq.Samples) error {
+	for len(samples) > 0 {
+		n := c.frame
+		if n > len(samples) {
+			n = len(samples)
+		}
+		if err := c.send(samples[:n], 0); err != nil {
+			return err
+		}
+		samples = samples[n:]
+	}
+	return nil
+}
+
+func (c *Client) send(samples iq.Samples, flags uint16) error {
+	if c.ended {
+		return fmt.Errorf("wire: send after End frame")
+	}
+	if len(samples) > MaxFrameSamples {
+		return fmt.Errorf("wire: frame of %d samples exceeds max %d", len(samples), MaxFrameSamples)
+	}
+	need := len(samples) * 8
+	if cap(c.buf) < need {
+		c.buf = make([]byte, need)
+	}
+	buf := c.buf[:need]
+	putSamples(buf, samples)
+	h := FrameHeader{
+		Version:  Version,
+		Flags:    flags,
+		Stream:   c.meta.StreamID,
+		Seq:      c.seq,
+		Rate:     uint32(c.meta.Rate),
+		CenterHz: c.meta.CenterHz,
+		Count:    uint32(len(samples)),
+	}
+	if need > 0 {
+		h.PayloadCRC = crc32.ChecksumIEEE(buf)
+	}
+	encodeHeader(c.hdr[:], h)
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if need > 0 {
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	c.frames++
+	c.sent += int64(len(samples))
+	if flags&FlagEnd != 0 {
+		c.ended = true
+	}
+	return nil
+}
+
+// End transmits the empty end-of-stream frame.
+func (c *Client) End() error {
+	return c.send(nil, FlagEnd)
+}
+
+// Close sends the End frame (if not already sent) and closes the
+// underlying connection when the client owns one.
+func (c *Client) Close() error {
+	var errEnd error
+	if !c.ended {
+		errEnd = c.End()
+	}
+	if c.closer != nil {
+		if err := c.closer.Close(); err != nil {
+			return err
+		}
+	}
+	return errEnd
+}

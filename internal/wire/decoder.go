@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+
+	"rfdump/internal/iq"
+)
+
+// Counts is a snapshot of a decoder's accounting: how much arrived, and
+// every way the stream misbehaved. All paths are counted rather than
+// fatal — a long-running daemon reports corruption, it does not die of
+// it.
+type Counts struct {
+	// Frames and Samples count successfully decoded payload.
+	Frames  int64 `json:"frames"`
+	Samples int64 `json:"samples"`
+	// ResyncBytes counts bytes skipped while hunting for a valid header
+	// after framing was lost (bad magic, header CRC, version, count).
+	ResyncBytes int64 `json:"resync_bytes"`
+	// BadFrames counts frames dropped for a payload CRC mismatch.
+	BadFrames int64 `json:"bad_frames"`
+	// SeqGaps counts discontinuities in the frame sequence number.
+	SeqGaps int64 `json:"seq_gaps"`
+	// CleanEnd reports that the transmitter sent an End frame (as
+	// opposed to the connection just going away).
+	CleanEnd bool `json:"clean_end"`
+}
+
+// Decoder reads wire frames from a byte stream and hands the samples out
+// through ReadBlock — it implements the pipeline's BlockReader contract,
+// so a streaming Session can pull pooled blocks straight off a socket.
+// Steady state performs no allocations: the header scratch is fixed, the
+// payload scratch grows to the largest frame seen and is reused, and
+// samples decode directly into the caller's buffer.
+//
+// A Decoder is driven by one reader goroutine; Counts may be read
+// concurrently (the counters are atomic).
+type Decoder struct {
+	br  *bufio.Reader
+	hdr [HeaderSize]byte
+
+	// Current frame payload and drain offset (bytes).
+	payload []byte
+	off     int
+
+	meta    StreamMeta
+	started bool
+	lastSeq uint32
+	end     bool // End frame seen; EOF after the payload drains
+	err     error
+
+	frames      atomic.Int64
+	samples     atomic.Int64
+	resyncBytes atomic.Int64
+	badFrames   atomic.Int64
+	seqGaps     atomic.Int64
+	cleanEnd    atomic.Bool
+}
+
+// NewDecoder returns a decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Counts returns the decoder's accounting snapshot (safe to call from
+// other goroutines while the decoder runs).
+func (d *Decoder) Counts() Counts {
+	return Counts{
+		Frames:      d.frames.Load(),
+		Samples:     d.samples.Load(),
+		ResyncBytes: d.resyncBytes.Load(),
+		BadFrames:   d.badFrames.Load(),
+		SeqGaps:     d.seqGaps.Load(),
+		CleanEnd:    d.cleanEnd.Load(),
+	}
+}
+
+// Meta returns the stream metadata from the first valid frame header,
+// reading it if necessary. It is how a server learns what a new
+// connection carries before opening a session for it.
+func (d *Decoder) Meta() (StreamMeta, error) {
+	if !d.started {
+		if err := d.nextFrame(); err != nil {
+			return StreamMeta{}, err
+		}
+	}
+	return d.meta, nil
+}
+
+// nextFrame reads frames until one with a valid header and payload is
+// current (resynchronizing and dropping as needed), or the stream ends.
+// On success the frame's payload (possibly empty) is staged for
+// draining. Returns io.EOF when the stream is over.
+func (d *Decoder) nextFrame() error {
+	if d.end {
+		return io.EOF
+	}
+	for {
+		// Fill the header scratch, then slide byte-by-byte until it
+		// parses. The slide path is the resync rule: corruption costs
+		// the bytes it damaged, never the stream.
+		if _, err := io.ReadFull(d.br, d.hdr[:]); err != nil {
+			return d.endErr(err)
+		}
+		h, err := ParseHeader(d.hdr[:])
+		for err != nil {
+			d.resyncBytes.Add(1)
+			copy(d.hdr[:], d.hdr[1:])
+			b, rerr := d.br.ReadByte()
+			if rerr != nil {
+				return d.endErr(rerr)
+			}
+			d.hdr[HeaderSize-1] = b
+			h, err = ParseHeader(d.hdr[:])
+		}
+
+		need := int(h.Count) * 8
+		if cap(d.payload) < need {
+			d.payload = make([]byte, need)
+		}
+		buf := d.payload[:need]
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return d.endErr(err)
+		}
+		if need > 0 && crc32.ChecksumIEEE(buf) != h.PayloadCRC {
+			// Framing is intact (header CRC passed); only this frame's
+			// samples are damaged. Drop it and keep going.
+			d.badFrames.Add(1)
+			continue
+		}
+
+		if !d.started {
+			d.started = true
+			d.meta = StreamMeta{StreamID: h.Stream, Rate: int(h.Rate), CenterHz: h.CenterHz}
+		} else if h.Seq != d.lastSeq+1 {
+			d.seqGaps.Add(1)
+		}
+		d.lastSeq = h.Seq
+		d.frames.Add(1)
+		if h.End() {
+			d.end = true
+			d.cleanEnd.Store(true)
+		}
+		d.payload = buf
+		d.off = 0
+		if need == 0 {
+			if d.end {
+				return io.EOF
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// endErr maps a transport error at a frame boundary (or mid-frame) into
+// the stream-end contract: a clean End frame was the only clean ending,
+// everything else is a dirty end, but both surface as io.EOF so the
+// consuming session drains instead of aborting — the daemon equivalent
+// of tcpdump surviving an interface glitch. Genuine transport errors
+// other than EOF pass through for the caller to log.
+func (d *Decoder) endErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		d.end = true
+		return io.EOF
+	}
+	return err
+}
+
+// avail returns the undrained samples of the current frame.
+func (d *Decoder) avail() int { return (len(d.payload) - d.off) / 8 }
+
+// ReadBlock implements the BlockReader contract: it fills dst with the
+// next samples of the stream, crossing frame boundaries so chunking is
+// independent of the transmitter's frame size (a stream decodes
+// identically however it was framed). Returns io.EOF — possibly
+// alongside a final short block — when the stream ends.
+func (d *Decoder) ReadBlock(dst iq.Samples) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := 0
+	for n < len(dst) {
+		if d.avail() == 0 {
+			if err := d.nextFrame(); err != nil {
+				d.err = err
+				break
+			}
+		}
+		k := len(dst) - n
+		if a := d.avail(); k > a {
+			k = a
+		}
+		getSamples(dst[n:n+k], d.payload[d.off:])
+		d.off += k * 8
+		n += k
+	}
+	if n > 0 {
+		d.samples.Add(int64(n))
+	}
+	if n == 0 {
+		return 0, d.err
+	}
+	return n, d.err
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+// FuzzDecoder feeds arbitrary bytes to the frame decoder: whatever the
+// wire carries, the decoder must terminate without panicking, never
+// deliver more samples than the input could encode, and account every
+// byte it skipped.
+func FuzzDecoder(f *testing.F) {
+	// Seeds: a clean two-frame stream, a corrupted header, a corrupted
+	// payload, a bare End frame, and framing garbage.
+	var clean bytes.Buffer
+	c := NewClient(&clean, StreamMeta{StreamID: 5, Rate: 8_000_000, CenterHz: 2_412_000_000})
+	c.SetFrameSamples(32)
+	_ = c.SendSamples(make(iq.Samples, 64))
+	_ = c.Close()
+	f.Add(clean.Bytes())
+
+	corruptHdr := append([]byte(nil), clean.Bytes()...)
+	corruptHdr[HeaderSize+32*8] ^= 0xFF
+	f.Add(corruptHdr)
+
+	corruptPay := append([]byte(nil), clean.Bytes()...)
+	corruptPay[HeaderSize+5] ^= 0x10
+	f.Add(corruptPay)
+
+	var end bytes.Buffer
+	ec := NewClient(&end, StreamMeta{StreamID: 1, Rate: 1})
+	_ = ec.End()
+	f.Add(end.Bytes())
+
+	f.Add([]byte("RFW1 not actually a frame RFW1RFW1"))
+	f.Add(bytes.Repeat([]byte{0x00}, 200))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		dst := make(iq.Samples, 96)
+		var total int64
+		for {
+			n, err := d.ReadBlock(dst)
+			if n < 0 || n > len(dst) {
+				t.Fatalf("ReadBlock returned %d for a %d-sample buffer", n, len(dst))
+			}
+			total += int64(n)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("decoder returned non-EOF transport error from a byte reader: %v", err)
+				}
+				break
+			}
+		}
+		// The input bounds the output: every delivered sample consumed
+		// at least 8 payload bytes plus its share of a header.
+		if total*8 > int64(len(data)) {
+			t.Fatalf("decoded %d samples from %d input bytes", total, len(data))
+		}
+		counts := d.Counts()
+		if counts.Samples != total {
+			t.Fatalf("counts.Samples %d, delivered %d", counts.Samples, total)
+		}
+		if counts.ResyncBytes > int64(len(data)) {
+			t.Fatalf("resync bytes %d exceed input %d", counts.ResyncBytes, len(data))
+		}
+	})
+}
+
+// FuzzParseHeader exercises header validation in isolation: it must
+// never panic and never accept a header whose CRC does not match.
+func FuzzParseHeader(f *testing.F) {
+	var good [HeaderSize]byte
+	encodeHeader(good[:], FrameHeader{Version: Version, Stream: 1, Seq: 2, Rate: 8_000_000, Count: 16})
+	f.Add(good[:])
+	f.Add(make([]byte, HeaderSize))
+	f.Add([]byte("RFW1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHeader(data)
+		if err != nil {
+			return
+		}
+		if h.Version != Version {
+			t.Fatalf("accepted version %d", h.Version)
+		}
+		if h.Count > MaxFrameSamples {
+			t.Fatalf("accepted count %d", h.Count)
+		}
+		// Round trip: re-encoding an accepted header reproduces the
+		// input bytes exactly (the format has no don't-care bits).
+		var enc [HeaderSize]byte
+		encodeHeader(enc[:], h)
+		if !bytes.Equal(enc[:], data[:HeaderSize]) {
+			t.Fatalf("accepted header does not round-trip:\n in  %x\n out %x", data[:HeaderSize], enc)
+		}
+	})
+}

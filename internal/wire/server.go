@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// Conn is one accepted ingest connection: the decoder over the socket
+// plus the transport handles a daemon needs (identity, nudging a blocked
+// read during drain). It implements the pipeline's BlockReader contract
+// through the embedded decoder.
+type Conn struct {
+	c   net.Conn
+	dec *Decoder
+}
+
+// Meta returns the stream metadata from the connection's first frame.
+func (c *Conn) Meta() (StreamMeta, error) { return c.dec.Meta() }
+
+// ReadBlock fills dst from the connection's frame stream (the
+// pipeline's BlockReader contract, so a session pulls pooled blocks
+// straight off the socket).
+func (c *Conn) ReadBlock(dst iq.Samples) (int, error) { return c.dec.ReadBlock(dst) }
+
+// Counts returns the decoder accounting (safe from other goroutines).
+func (c *Conn) Counts() Counts { return c.dec.Counts() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// Nudge unblocks a pending read by expiring the read deadline. A drain
+// uses it to pop sessions out of blocking socket reads; the decoder
+// surfaces the timeout as a transport error which the daemon's stop
+// wrapper converts to a clean EOF.
+func (c *Conn) Nudge() { _ = c.c.SetReadDeadline(time.Unix(1, 0)) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Handler consumes one ingest connection; it runs on the connection's
+// own goroutine and the connection is closed when it returns.
+type Handler func(*Conn)
+
+// Server accepts wire connections and hands each to the handler. It
+// tracks live connections so a daemon can drain them (Nudge) or tear
+// them down (Close) as a group.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server dispatching connections to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[*Conn]struct{})}
+}
+
+// Serve accepts connections from ln until the listener is closed. It
+// blocks; run it on its own goroutine. Handler goroutines may outlive
+// Serve — Wait joins them.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		conn := &Conn{c: c, dec: NewDecoder(c)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handler(conn)
+		}()
+	}
+}
+
+// Drain stops accepting new connections and nudges every live one so
+// blocked reads return; existing handlers keep running until their
+// streams end. Wait joins them.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Nudge()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Close stops accepting and closes every live connection (handlers see
+// transport errors and return).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// Wait blocks until every handler goroutine has returned.
+func (s *Server) Wait() { s.wg.Wait() }

@@ -1,0 +1,157 @@
+// Package wire is the IQ ingest wire protocol: the framing that moves
+// complex64 sample blocks from a radio front end (or rfgen -stream) to a
+// monitoring daemon over TCP. The paper's testbed pipes the USRP into
+// the analysis host over a bus; a networked RFDump — "tcpdump for the
+// wireless ether" running as a service — needs the equivalent over a
+// socket, and it has the same constraint the local pipeline has: at
+// 8 Msps a per-frame allocation is a per-frame GC obligation, so the
+// receive path decodes straight into caller-provided (pooled) sample
+// buffers and reuses its byte scratch across frames.
+//
+// Frame layout (little-endian, 40-byte header):
+//
+//	 0  magic   [4]byte "RFW1"
+//	 4  version uint16  = 1
+//	 6  flags   uint16  bit 0: end of stream
+//	 8  stream  uint32  transmitter-chosen stream id
+//	12  seq     uint32  per-stream frame sequence number
+//	16  rate    uint32  sample rate in Hz
+//	20  center  uint64  center frequency in Hz
+//	28  count   uint32  payload length in complex64 samples
+//	32  pcrc    uint32  CRC-32 (IEEE) of the payload bytes (0 if empty)
+//	36  hcrc    uint32  CRC-32 (IEEE) of header bytes [0, 36)
+//	40  payload count × (float32 I, float32 Q)
+//
+// The two CRCs split failure handling: a bad header CRC (or magic, or
+// version, or an absurd count) means framing is lost, and the decoder
+// resynchronizes by sliding one byte at a time until a valid header
+// parses — a corrupted frame skips forward instead of killing the
+// stream. A bad payload CRC with a good header means framing is intact
+// and only the samples are damaged, so just that frame is dropped. Both
+// paths are counted, never fatal.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rfdump/internal/iq"
+)
+
+// Magic identifies wire frames ("RFW1": RFdump Wire, version family 1).
+var Magic = [4]byte{'R', 'F', 'W', '1'}
+
+const (
+	// Version is the current frame format version.
+	Version = 1
+	// HeaderSize is the fixed frame header size in bytes.
+	HeaderSize = 40
+	// MaxFrameSamples bounds the per-frame payload (8 MiB of samples) so
+	// a corrupted or hostile count field cannot demand an unbounded
+	// buffer.
+	MaxFrameSamples = 1 << 20
+	// FlagEnd marks the transmitter's clean end of stream. An End frame
+	// usually carries no payload.
+	FlagEnd = 1 << 0
+)
+
+// StreamMeta is the per-stream metadata carried by every frame header —
+// what a receiver needs to interpret the samples.
+type StreamMeta struct {
+	// StreamID is the transmitter-chosen stream identifier.
+	StreamID uint32 `json:"stream_id"`
+	// Rate is the sample rate in Hz.
+	Rate int `json:"rate_hz"`
+	// CenterHz is the tuned center frequency in Hz (0 if unknown).
+	CenterHz uint64 `json:"center_hz"`
+}
+
+// FrameHeader is one parsed frame header.
+type FrameHeader struct {
+	Version  uint16
+	Flags    uint16
+	Stream   uint32
+	Seq      uint32
+	Rate     uint32
+	CenterHz uint64
+	// Count is the payload length in samples.
+	Count uint32
+	// PayloadCRC is the IEEE CRC-32 of the payload bytes.
+	PayloadCRC uint32
+}
+
+// End reports whether the frame carries the end-of-stream flag.
+func (h FrameHeader) End() bool { return h.Flags&FlagEnd != 0 }
+
+// encodeHeader writes h into dst (at least HeaderSize bytes), computing
+// the header CRC over the first 36 bytes.
+func encodeHeader(dst []byte, h FrameHeader) {
+	copy(dst[0:4], Magic[:])
+	binary.LittleEndian.PutUint16(dst[4:6], h.Version)
+	binary.LittleEndian.PutUint16(dst[6:8], h.Flags)
+	binary.LittleEndian.PutUint32(dst[8:12], h.Stream)
+	binary.LittleEndian.PutUint32(dst[12:16], h.Seq)
+	binary.LittleEndian.PutUint32(dst[16:20], h.Rate)
+	binary.LittleEndian.PutUint64(dst[20:28], h.CenterHz)
+	binary.LittleEndian.PutUint32(dst[28:32], h.Count)
+	binary.LittleEndian.PutUint32(dst[32:36], h.PayloadCRC)
+	binary.LittleEndian.PutUint32(dst[36:40], crc32.ChecksumIEEE(dst[0:36]))
+}
+
+// ParseHeader validates and decodes one frame header from buf (at least
+// HeaderSize bytes). It rejects, in order: bad magic, a header CRC
+// mismatch (covers every later field), an unsupported version, and a
+// count beyond MaxFrameSamples.
+func ParseHeader(buf []byte) (FrameHeader, error) {
+	if len(buf) < HeaderSize {
+		return FrameHeader{}, fmt.Errorf("wire: short header: %d bytes", len(buf))
+	}
+	if buf[0] != Magic[0] || buf[1] != Magic[1] || buf[2] != Magic[2] || buf[3] != Magic[3] {
+		return FrameHeader{}, errBadMagic
+	}
+	if crc32.ChecksumIEEE(buf[0:36]) != binary.LittleEndian.Uint32(buf[36:40]) {
+		return FrameHeader{}, errBadHeaderCRC
+	}
+	h := FrameHeader{
+		Version:    binary.LittleEndian.Uint16(buf[4:6]),
+		Flags:      binary.LittleEndian.Uint16(buf[6:8]),
+		Stream:     binary.LittleEndian.Uint32(buf[8:12]),
+		Seq:        binary.LittleEndian.Uint32(buf[12:16]),
+		Rate:       binary.LittleEndian.Uint32(buf[16:20]),
+		CenterHz:   binary.LittleEndian.Uint64(buf[20:28]),
+		Count:      binary.LittleEndian.Uint32(buf[28:32]),
+		PayloadCRC: binary.LittleEndian.Uint32(buf[32:36]),
+	}
+	if h.Version != Version {
+		return FrameHeader{}, fmt.Errorf("wire: unsupported version %d", h.Version)
+	}
+	if h.Count > MaxFrameSamples {
+		return FrameHeader{}, fmt.Errorf("wire: frame count %d exceeds max %d", h.Count, MaxFrameSamples)
+	}
+	return h, nil
+}
+
+var (
+	errBadMagic     = fmt.Errorf("wire: bad magic")
+	errBadHeaderCRC = fmt.Errorf("wire: header CRC mismatch")
+)
+
+// putSamples encodes src as little-endian float32 I/Q pairs into dst
+// (len(src)*8 bytes).
+func putSamples(dst []byte, src iq.Samples) {
+	for i, s := range src {
+		binary.LittleEndian.PutUint32(dst[i*8:], math.Float32bits(real(s)))
+		binary.LittleEndian.PutUint32(dst[i*8+4:], math.Float32bits(imag(s)))
+	}
+}
+
+// getSamples decodes len(dst) samples from src (len(dst)*8 bytes).
+func getSamples(dst iq.Samples, src []byte) {
+	for i := range dst {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(src[i*8:]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(src[i*8+4:]))
+		dst[i] = complex(re, im)
+	}
+}

@@ -1,0 +1,295 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+// ramp returns n samples with recognizable values for content checks.
+func ramp(n int, base float32) iq.Samples {
+	s := make(iq.Samples, n)
+	for i := range s {
+		s[i] = complex(base+float32(i), -float32(i))
+	}
+	return s
+}
+
+// encodeStream renders a full client stream (frames + End) to bytes.
+func encodeStream(t *testing.T, meta StreamMeta, frameSamples int, samples iq.Samples) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewClient(&buf, meta)
+	c.SetFrameSamples(frameSamples)
+	if err := c.SendSamples(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads the whole stream through ReadBlock in blockSize chunks.
+func drain(t *testing.T, d *Decoder, blockSize int) iq.Samples {
+	t.Helper()
+	var out iq.Samples
+	buf := make(iq.Samples, blockSize)
+	for {
+		n, err := d.ReadBlock(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("ReadBlock: %v", err)
+			}
+			return out
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	meta := StreamMeta{StreamID: 7, Rate: 8_000_000, CenterHz: 2_412_000_000}
+	want := ramp(10_000, 1)
+	raw := encodeStream(t, meta, 1024, want)
+
+	d := NewDecoder(bytes.NewReader(raw))
+	got, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	out := drain(t, d, 200)
+	if len(out) != len(want) {
+		t.Fatalf("decoded %d samples, want %d", len(out), len(want))
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	c := d.Counts()
+	if !c.CleanEnd {
+		t.Error("clean end not recorded")
+	}
+	if c.Samples != int64(len(want)) || c.ResyncBytes != 0 || c.BadFrames != 0 || c.SeqGaps != 0 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+// TestChunkingIndependentOfFraming is the property the loopback
+// acceptance test relies on: a stream decodes into identical blocks
+// however the transmitter framed it.
+func TestChunkingIndependentOfFraming(t *testing.T) {
+	want := ramp(5_000, 3)
+	for _, frame := range []int{64, 200, 333, 4096} {
+		raw := encodeStream(t, StreamMeta{StreamID: 1, Rate: 8_000_000}, frame, want)
+		d := NewDecoder(bytes.NewReader(raw))
+		buf := make(iq.Samples, 200)
+		pos := 0
+		for {
+			n, err := d.ReadBlock(buf)
+			if n > 0 && pos+n < len(want) && n != len(buf) {
+				t.Fatalf("frame %d: short fill %d mid-stream at %d", frame, n, pos)
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != want[pos+i] {
+					t.Fatalf("frame %d: sample %d mismatch", frame, pos+i)
+				}
+			}
+			pos += n
+			if err != nil {
+				break
+			}
+		}
+		if pos != len(want) {
+			t.Fatalf("frame %d: got %d samples, want %d", frame, pos, len(want))
+		}
+	}
+}
+
+func TestResyncAfterCorruptHeader(t *testing.T) {
+	want := ramp(3*1024, 5)
+	raw := encodeStream(t, StreamMeta{StreamID: 2, Rate: 8_000_000}, 1024, want)
+
+	// Corrupt the magic of the second frame: its header fails to parse,
+	// the decoder slides forward over the damaged frame and locks onto
+	// the third.
+	secondHdr := HeaderSize + 1024*8
+	raw[secondHdr] ^= 0xFF
+
+	d := NewDecoder(bytes.NewReader(raw))
+	out := drain(t, d, 200)
+	if len(out) != 2*1024 {
+		t.Fatalf("decoded %d samples, want %d (first+third frame)", len(out), 2*1024)
+	}
+	// Frame 1 content then frame 3 content.
+	for i := 0; i < 1024; i++ {
+		if out[i] != want[i] {
+			t.Fatalf("frame1 sample %d corrupted", i)
+		}
+		if out[1024+i] != want[2048+i] {
+			t.Fatalf("frame3 sample %d corrupted", i)
+		}
+	}
+	c := d.Counts()
+	if c.ResyncBytes == 0 {
+		t.Error("resync bytes not counted")
+	}
+	if c.SeqGaps != 1 {
+		t.Errorf("seq gaps %d, want 1", c.SeqGaps)
+	}
+	if !c.CleanEnd {
+		t.Error("stream should still end cleanly")
+	}
+}
+
+func TestPayloadCRCDropsFrameOnly(t *testing.T) {
+	want := ramp(3*1024, 9)
+	raw := encodeStream(t, StreamMeta{StreamID: 3, Rate: 8_000_000}, 1024, want)
+
+	// Corrupt one payload byte of the second frame: header still parses,
+	// payload CRC fails, only that frame is dropped.
+	raw[2*HeaderSize+1024*8+100] ^= 0x01
+
+	d := NewDecoder(bytes.NewReader(raw))
+	out := drain(t, d, 200)
+	if len(out) != 2*1024 {
+		t.Fatalf("decoded %d samples, want %d", len(out), 2*1024)
+	}
+	c := d.Counts()
+	if c.BadFrames != 1 {
+		t.Errorf("bad frames %d, want 1", c.BadFrames)
+	}
+	if c.ResyncBytes != 0 {
+		t.Errorf("resync bytes %d, want 0 (framing never lost)", c.ResyncBytes)
+	}
+}
+
+func TestDirtyEnd(t *testing.T) {
+	want := ramp(2048, 1)
+	raw := encodeStream(t, StreamMeta{StreamID: 4, Rate: 8_000_000}, 1024, want)
+	// Cut the stream mid-second-frame: no End frame, truncated payload.
+	raw = raw[:HeaderSize+1024*8+HeaderSize+37]
+
+	d := NewDecoder(bytes.NewReader(raw))
+	out := drain(t, d, 200)
+	if len(out) != 1024 {
+		t.Fatalf("decoded %d samples, want 1024", len(out))
+	}
+	if c := d.Counts(); c.CleanEnd {
+		t.Error("truncated stream reported a clean end")
+	}
+}
+
+func TestServerLoopback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ramp(8_192, 2)
+
+	type result struct {
+		meta StreamMeta
+		got  iq.Samples
+		err  error
+	}
+	done := make(chan result, 1)
+	srv := NewServer(func(c *Conn) {
+		var r result
+		r.meta, r.err = c.Meta()
+		if r.err == nil {
+			buf := make(iq.Samples, 200)
+			for {
+				n, err := c.ReadBlock(buf)
+				r.got = append(r.got, buf[:n]...)
+				if err != nil {
+					if !errors.Is(err, io.EOF) {
+						r.err = err
+					}
+					break
+				}
+			}
+		}
+		done <- r
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	meta := StreamMeta{StreamID: 11, Rate: 8_000_000, CenterHz: 2_437_000_000}
+	c, err := Dial(ln.Addr().String(), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendSamples(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.meta != meta {
+		t.Errorf("meta %+v, want %+v", r.meta, meta)
+	}
+	if len(r.got) != len(want) {
+		t.Fatalf("received %d samples, want %d", len(r.got), len(want))
+	}
+	srv.Drain()
+	srv.Wait()
+}
+
+// TestDecoderSteadyStateAllocs is the acceptance gate: the frame → block
+// fill loop allocates nothing once the scratch buffers are warm.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	// Endless stream: frames only, no End, replayed by loopReader.
+	var stream bytes.Buffer
+	c := NewClient(&stream, StreamMeta{StreamID: 1, Rate: 8_000_000})
+	if err := c.SendSamples(ramp(4096*64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	raw := stream.Bytes()
+
+	dst := make(iq.Samples, iq.ChunkSamples)
+	lr := &loopReader{data: raw}
+	d := NewDecoder(lr)
+	// Warm-up: first frames grow the payload scratch.
+	for i := 0; i < 100; i++ {
+		if _, err := d.ReadBlock(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := d.ReadBlock(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.01 {
+		t.Errorf("steady-state ReadBlock allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// loopReader replays its data forever (End frames stripped by the
+// caller's choice of data); it lets alloc/throughput tests run an
+// endless stream with no per-iteration setup.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off >= len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
