@@ -201,27 +201,27 @@ func runPipeline(b *testing.B, res *ether.Result, cfg core.Config, analyzers ...
 }
 
 func BenchmarkFigure6_SIFSTiming(b *testing.B) {
-	runPipeline(b, benchUnicast(b), core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableDIFS: true}})
+	runPipeline(b, benchUnicast(b), core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{DisableDIFS: true})))
 }
 
 func BenchmarkFigure6_Phase(b *testing.B) {
-	runPipeline(b, benchUnicast(b), core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+	runPipeline(b, benchUnicast(b), core.Detect(core.WiFiPhaseSpec(core.WiFiPhaseConfig{})))
 }
 
 func BenchmarkFigure7_DIFS(b *testing.B) {
-	runPipeline(b, benchBroadcast(b), core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableSIFS: true}})
+	runPipeline(b, benchBroadcast(b), core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{DisableSIFS: true})))
 }
 
 func BenchmarkFigure8_BTTiming(b *testing.B) {
-	runPipeline(b, benchBT(b), core.Config{BTTiming: &core.BTTimingConfig{}})
+	runPipeline(b, benchBT(b), core.Detect(core.BTTimingSpec(core.BTTimingConfig{})))
 }
 
 func BenchmarkFigure8_BTPhase(b *testing.B) {
-	runPipeline(b, benchBT(b), core.Config{BTPhase: &core.BTPhaseConfig{}})
+	runPipeline(b, benchBT(b), core.Detect(core.BTPhaseSpec(core.BTPhaseConfig{})))
 }
 
 func BenchmarkFigure8_BTFreq(b *testing.B) {
-	runPipeline(b, benchBT(b), core.Config{BTFreq: &core.BTFreqConfig{}})
+	runPipeline(b, benchBT(b), core.Detect(core.BTFreqSpec(core.BTFreqConfig{})))
 }
 
 func BenchmarkTable3_MixTimingPhase(b *testing.B) {
@@ -297,7 +297,7 @@ func BenchmarkFigure9_RFDumpTimingPhaseNoDemod(b *testing.B) {
 
 func BenchmarkTable4_DBPSKSelectivity(b *testing.B) {
 	res := benchRealWorld(b)
-	runPipeline(b, res, core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+	runPipeline(b, res, core.Detect(core.WiFiPhaseSpec(core.WiFiPhaseConfig{})))
 }
 
 // --- Ablations (DESIGN.md section 5) ---
@@ -317,10 +317,8 @@ func BenchmarkAblationAvgWindow(b *testing.B) {
 	res := benchUnicast(b)
 	for _, win := range []int{5, 20, 80} {
 		b.Run(itoa(win), func(b *testing.B) {
-			cfg := core.Config{
-				Peak:       core.PeakConfig{AvgWindow: win},
-				WiFiTiming: &core.WiFiTimingConfig{},
-			}
+			cfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{}))
+			cfg.Peak = core.PeakConfig{AvgWindow: win}
 			runPipeline(b, res, cfg)
 		})
 	}
@@ -334,7 +332,7 @@ func BenchmarkAblationBTCache(b *testing.B) {
 			name = "scan"
 		}
 		b.Run(name, func(b *testing.B) {
-			runPipeline(b, res, core.Config{BTTiming: &core.BTTimingConfig{DisableCache: disable}})
+			runPipeline(b, res, core.Detect(core.BTTimingSpec(core.BTTimingConfig{DisableCache: disable})))
 		})
 	}
 }
@@ -343,10 +341,8 @@ func BenchmarkAblationSampling(b *testing.B) {
 	res := benchUnicast(b)
 	for _, stride := range []int{1, 4} {
 		b.Run(itoa(stride), func(b *testing.B) {
-			cfg := core.Config{
-				Peak:       core.PeakConfig{SampleStride: stride},
-				WiFiTiming: &core.WiFiTimingConfig{},
-			}
+			cfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{}))
+			cfg.Peak = core.PeakConfig{SampleStride: stride}
 			runPipeline(b, res, cfg)
 		})
 	}
@@ -398,7 +394,7 @@ func benchOFDM(b *testing.B) *ether.Result {
 }
 
 func BenchmarkExtensionOFDMDetector(b *testing.B) {
-	runPipeline(b, benchOFDM(b), core.Config{OFDM: &core.OFDMConfig{}})
+	runPipeline(b, benchOFDM(b), core.Detect(core.OFDMSpec(core.OFDMConfig{})))
 }
 
 func BenchmarkExtensionBTDiscovery(b *testing.B) {

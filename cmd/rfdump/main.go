@@ -38,6 +38,7 @@ import (
 	"rfdump/internal/metrics"
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
 	"rfdump/internal/report"
 	"rfdump/internal/trace"
 	"rfdump/internal/truth"
@@ -107,7 +108,7 @@ func resultFromPipeline(res *core.Result, clock iq.Clock) *arch.Result {
 func main() {
 	var (
 		read      = flag.String("r", "", "trace file to read (required)")
-		detectors = flag.String("detectors", "timing,phase", "comma list: timing,phase,freq,microwave,zigbee,ofdm")
+		detectors = flag.String("detectors", "timing,phase", core.DetectorUsage())
 		noDemod   = flag.Bool("no-demod", false, "skip the analysis stage (classification only)")
 		stats     = flag.Bool("stats", false, "print per-block CPU accounting")
 		truthPath = flag.String("truth", "", "ground-truth sidecar to score against")
@@ -128,6 +129,10 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *detectors == "list" {
+		fmt.Print(core.DetectorList())
+		os.Exit(0)
+	}
 	if *read == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -162,6 +167,10 @@ func main() {
 	clock := iq.NewClock(hdr.Rate)
 
 	cfg, err := detectorConfig(*detectors)
+	if err == core.ErrDetectorList {
+		fmt.Print(core.DetectorList())
+		os.Exit(0)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfdump:", err)
 		os.Exit(2)
@@ -235,12 +244,12 @@ func main() {
 			*lap = uint64(found[0])
 		}
 	}
+	// The analysis stage comes from the registry: one analyzer per
+	// registered module with an analysis capability.
+	analyzerOpts := protocols.AnalyzerOptions{LAP: uint32(*lap), UAP: byte(*uap), Channels: 8}
 	var analyzers []core.Analyzer
 	if !*noDemod {
-		analyzers = []core.Analyzer{
-			demod.NewWiFiDemod(),
-			demod.NewBTDemod(uint32(*lap), byte(*uap), 8),
-		}
+		analyzers = core.RegistryAnalyzers(analyzerOpts)
 	}
 	if *spectrum {
 		fmt.Print(report.Waterfall(samples, clock.Rate, 24, 64))
@@ -286,11 +295,7 @@ func main() {
 		// blocks through the shared pool.
 		var factories []core.AnalyzerFactory
 		if !*noDemod {
-			lapv, uapv := uint32(*lap), byte(*uap)
-			factories = []core.AnalyzerFactory{
-				func() core.Analyzer { return demod.NewWiFiDemod() },
-				func() core.Analyzer { return demod.NewBTDemod(lapv, uapv, 8) },
-			}
+			factories = core.RegistryAnalyzerFactories(analyzerOpts)
 		}
 		eng := core.NewEngine(clock, cfg, factories...)
 
@@ -402,7 +407,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("\naccuracy vs ground truth:")
-		for _, fam := range []protocols.ID{protocols.WiFi80211b1M, protocols.Bluetooth, protocols.ZigBee, protocols.Microwave} {
+		for _, fam := range protocols.Families() {
 			st := truth.Match(ts, out.TruthDetections(), fam)
 			if st.Total == 0 {
 				continue

@@ -2,32 +2,61 @@ package main
 
 import (
 	"io"
+	"reflect"
 	"testing"
 
 	"rfdump/internal/core"
 	"rfdump/internal/iq"
 )
 
+func names(cfg core.Config) []string {
+	var out []string
+	for _, s := range cfg.Detectors {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
 func TestDetectorConfig(t *testing.T) {
 	cfg, err := detectorConfig("timing,phase")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.WiFiTiming == nil || cfg.BTTiming == nil || cfg.WiFiPhase == nil || cfg.BTPhase == nil {
-		t.Error("timing,phase did not enable the four detectors")
-	}
-	if cfg.BTFreq != nil || cfg.Microwave || cfg.ZigBee || cfg.OFDM != nil {
-		t.Error("unrequested detectors enabled")
+	want := []string{"802.11-timing", "bt-timing", "802.11-phase", "bt-phase"}
+	if got := names(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("timing,phase = %v, want %v", got, want)
 	}
 
 	cfg, err = detectorConfig("freq, microwave ,zigbee,ofdm")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.BTFreq == nil || !cfg.Microwave || !cfg.ZigBee || cfg.OFDM == nil {
-		t.Error("freq/microwave/zigbee/ofdm not enabled")
+	want = []string{"bt-freq", "microwave-timing", "zigbee-timing", "802.11g-ofdm"}
+	if got := names(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("freq,microwave,zigbee,ofdm = %v, want %v", got, want)
 	}
 
+	// Registry-derived module selectors.
+	cfg, err = detectorConfig("wifi.timing,bt.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"802.11-timing", "bt-timing", "bt-phase", "bt-freq"}
+	if got := names(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("wifi.timing,bt.* = %v, want %v", got, want)
+	}
+
+	cfg, err = detectorConfig("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Detectors) < 8 {
+		t.Errorf("all selected %d detectors, want every registered one (>= 8)", len(cfg.Detectors))
+	}
+
+	if _, err := detectorConfig("list"); err != core.ErrDetectorList {
+		t.Errorf("list returned %v, want ErrDetectorList", err)
+	}
 	if _, err := detectorConfig("bogus"); err == nil {
 		t.Error("unknown detector accepted")
 	}

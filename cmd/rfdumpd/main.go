@@ -19,6 +19,7 @@
 //	curl localhost:7532/api/packets
 //	curl "localhost:7532/api/waterfall?format=text"
 //	curl localhost:7532/api/metricz
+//	curl localhost:7532/api/protocols        # registered protocol modules
 //	curl -N localhost:7532/api/live          # SSE event feed
 //
 // The first SIGINT/SIGTERM drains: ingest stops, per-connection
@@ -38,11 +39,12 @@ import (
 	"time"
 
 	"rfdump/internal/core"
-	"rfdump/internal/demod"
 	"rfdump/internal/experiments"
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
 	"rfdump/internal/metrics"
+	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
 	"rfdump/internal/server"
 )
 
@@ -51,7 +53,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:7531", "IQ ingest address (wire framing protocol)")
 		httpAddr  = flag.String("http", "127.0.0.1:7532", "HTTP API address")
 		rate      = flag.Int("rate", iq.DefaultSampleRate, "engine sample rate in Hz; mismatched transmitters are rejected")
-		detectors = flag.String("detectors", "timing,phase", "comma list: timing,phase,freq,microwave,zigbee,ofdm")
+		detectors = flag.String("detectors", "timing,phase", core.DetectorUsage())
 		noDemod   = flag.Bool("no-demod", false, "skip the analysis stage (classification only)")
 		lap       = flag.Uint64("lap", experiments.PiconetLAP, "Bluetooth piconet LAP to follow")
 		uap       = flag.Uint64("uap", experiments.PiconetUAP, "Bluetooth piconet UAP")
@@ -67,6 +69,10 @@ func main() {
 	flag.Parse()
 
 	cfg, err := core.ParseDetectors(*detectors)
+	if err == core.ErrDetectorList {
+		fmt.Print(core.DetectorList())
+		os.Exit(0)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfdumpd:", err)
 		os.Exit(2)
@@ -76,13 +82,13 @@ func main() {
 	reg := metrics.NewRegistry()
 	cfg.Metrics = reg
 
+	// The analysis stage comes from the registry: one analyzer factory
+	// per registered module with an analysis capability.
 	var factories []core.AnalyzerFactory
 	if !*noDemod {
-		lapv, uapv := uint32(*lap), byte(*uap)
-		factories = []core.AnalyzerFactory{
-			func() core.Analyzer { return demod.NewWiFiDemod() },
-			func() core.Analyzer { return demod.NewBTDemod(lapv, uapv, 8) },
-		}
+		factories = core.RegistryAnalyzerFactories(protocols.AnalyzerOptions{
+			LAP: uint32(*lap), UAP: byte(*uap), Channels: 8,
+		})
 	}
 	eng := core.NewEngine(iq.NewClock(*rate), cfg, factories...)
 

@@ -11,7 +11,10 @@
 //	rfgen -profile mix -stream localhost:7531          # transmit to rfdumpd
 //	rfgen -profile mix -stream localhost:7531 -realtime
 //
-// Profiles: unicast broadcast bluetooth mix realworld zigbee microwave ofdm
+// Single-protocol profiles come from the module registry (any registered
+// module key or alias — wifi, bt, zigbee, microwave, wifig/ofdm — plus
+// their traffic fragments); composite profiles (broadcast, mix,
+// realworld) are assembled here.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"rfdump/internal/mac"
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
 	"rfdump/internal/trace"
 	"rfdump/internal/wire"
 )
@@ -39,7 +43,7 @@ func addr(b byte) (a wifi.Addr) {
 
 func main() {
 	var (
-		profile = flag.String("profile", "mix", "workload profile: unicast broadcast bluetooth mix realworld zigbee microwave ofdm")
+		profile = flag.String("profile", "mix", "workload profile: any registered module key (wifi/unicast bluetooth zigbee microwave ofdm; see rfdumpd /api/protocols) or a composite: broadcast mix realworld")
 		out     = flag.String("out", "trace.rfd", "output trace path (ground truth written to <out>.truth)")
 		snr     = flag.Float64("snr", 20, "per-burst SNR in dB")
 		pings   = flag.Int("pings", 100, "packet/exchange count for packetized profiles")
@@ -135,21 +139,10 @@ func transmit(res *ether.Result, addr string, streamID uint32, centerHz uint64, 
 func generate(profile string, snr float64, pings int, seed uint64, scale float64) (*ether.Result, error) {
 	cfg := ether.Config{SNRdB: snr, Seed: seed}
 	switch profile {
-	case "unicast":
-		cfg.Sources = []mac.Source{&mac.WiFiUnicast{
-			Rate: protocols.WiFi80211b1M, Pings: pings, PayloadBytes: 500,
-			InterPing: 8000, Requester: addr(0x11), Responder: addr(0x22),
-			BSSID: addr(0x33), CFOHz: 2500,
-		}}
 	case "broadcast":
 		cfg.Sources = []mac.Source{&mac.WiFiBroadcast{
 			Rate: protocols.WiFi80211b1M, Count: pings, PayloadBytes: 500,
 			Sender: addr(0x11), BSSID: addr(0x33), CFOHz: -1800,
-		}}
-	case "bluetooth":
-		cfg.Sources = []mac.Source{&mac.BluetoothPiconet{
-			LAP: experiments.PiconetLAP, UAP: experiments.PiconetUAP,
-			Pings: pings, InterPingSlots: 2, CFOHz: 1200,
 		}}
 	case "mix":
 		cfg.Sources = []mac.Source{
@@ -163,22 +156,25 @@ func generate(profile string, snr float64, pings int, seed uint64, scale float64
 				Pings: pings * 2, InterPingSlots: 84, CFOHz: -900,
 			},
 		}
-	case "ofdm":
-		cfg.Sources = []mac.Source{&mac.WiFiGUnicast{
-			Pings: pings, PayloadBytes: 500, InterPing: 8000, Protection: true,
-			Requester: addr(0x51), Responder: addr(0x52), BSSID: addr(0x53),
-		}}
-	case "zigbee":
-		cfg.Sources = []mac.Source{&mac.ZigBeeSource{
-			Reports: pings, PayloadBytes: 48, OffsetHz: 1_500_000,
-		}}
-	case "microwave":
-		cfg.Sources = []mac.Source{&mac.MicrowaveSource{SNROffsetDB: 8}}
-		cfg.Duration = iq.Tick(8_000_000) // 1 s of oven cycles
 	case "realworld":
 		return experiments.RealWorldTrace(experiments.Options{Seed: seed, Scale: scale})
 	default:
-		return nil, fmt.Errorf("unknown profile %q", profile)
+		// Single-protocol profiles resolve through the module registry:
+		// any registered key or alias with a traffic fragment works, so
+		// a newly registered protocol is generatable with no rfgen edits.
+		m, ok := protocols.ModuleByKey(profile)
+		if !ok || !m.HasTraffic() {
+			return nil, fmt.Errorf("unknown profile %q (module keys: see rfdumpd /api/protocols; composites: broadcast mix realworld)", profile)
+		}
+		tr := m.NewTraffic(protocols.TrafficOptions{Count: pings})
+		for _, src := range tr.Sources {
+			ms, ok := src.(mac.Source)
+			if !ok {
+				return nil, fmt.Errorf("profile %q: traffic source %T does not implement mac.Source", profile, src)
+			}
+			cfg.Sources = append(cfg.Sources, ms)
+		}
+		cfg.Duration = tr.Duration
 	}
 	return ether.Run(cfg)
 }

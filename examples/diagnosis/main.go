@@ -47,7 +47,7 @@ func main() {
 
 	// Monitor with timing + phase detection plus the microwave detector.
 	cfg := core.TimingAndPhase()
-	cfg.Microwave = true
+	cfg.Detectors = append(cfg.Detectors, core.MicrowaveTimingSpec())
 	mon := arch.NewRFDump("diagnosis", res.Clock, cfg)
 	out, err := mon.Process(res.Samples)
 	if err != nil {

@@ -67,7 +67,7 @@ func main() {
 	// attached, 100 ms sliding window (1/5 of the trace resident at any
 	// time).
 	cfg := core.TimingAndPhase()
-	cfg.OFDM = &core.OFDMConfig{}
+	cfg.Detectors = append(cfg.Detectors, core.OFDMSpec(core.OFDMConfig{}))
 	pipeline := core.NewPipeline(res.Clock, cfg,
 		demod.NewWiFiDemod(),
 		demod.NewBTDemod(lap, uap, 8),

@@ -1,10 +1,15 @@
 // Newprotocol demonstrates the architecture's protocol extensibility
 // (paper Sections 2.1 and 3.2, which use ZigBee as the worked example):
-// adding support for a new technology costs only (a) a small
-// protocol-specific timing block over the existing protocol-agnostic
-// peak metadata, and (b) optionally an analyzer for the analysis stage.
-// The peak detector, dispatcher and the rest of the pipeline are reused
-// untouched.
+// adding support for a new technology costs only registering a protocol
+// module — a small timing detector over the existing protocol-agnostic
+// peak metadata, plus optionally an analyzer for the analysis stage —
+// against the public registry API. The peak detector, dispatcher, flag
+// grammar and the rest of the pipeline pick the new protocol up without
+// a single change under internal/core.
+//
+// This binary deliberately does NOT import internal/protocols/builtin:
+// the ZigBee module below is registered exactly the way an out-of-tree
+// plugin would register a protocol the built-in set has never heard of.
 //
 // Here the new protocol is IEEE 802.15.4 (ZigBee): the timing block
 // matches the 192 us turnaround between data frames and their ACKs, and
@@ -36,7 +41,7 @@ type zigbeeVerifier struct{}
 
 func (zigbeeVerifier) Name() string                { return "zigbee-verify" }
 func (zigbeeVerifier) Accepts(f protocols.ID) bool { return f == protocols.ZigBee }
-func (zigbeeVerifier) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emit func(flowgraph.Item)) error {
+func (zigbeeVerifier) Analyze(src protocols.SampleSource, req protocols.AnalysisRequest, emit func(flowgraph.Item)) error {
 	samples := src.Slice(req.Span)
 	smooth := core.IsGFSK(samples, 0.9)
 	// O-QPSK at 2 Mchip/s: estimate the constellation at chip spacing.
@@ -46,7 +51,28 @@ func (zigbeeVerifier) Analyze(src core.SampleAccessor, req core.AnalysisRequest,
 	return nil
 }
 
+// registerZigBee is the whole cost of teaching the system a new
+// protocol: one module, one detector spec, one analyzer factory.
+func registerZigBee() {
+	m := protocols.MustRegister(&protocols.Module{
+		ID:  protocols.ZigBee,
+		Key: "zigbee",
+	})
+	m.MustAddDetector(protocols.DetectorSpec{
+		Name:  "zigbee-timing",
+		Class: protocols.ClassTiming,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return core.NewZigBeeTiming(env.Clock)
+		},
+	})
+	m.SetAnalyzer(func(protocols.AnalyzerOptions) protocols.Analyzer {
+		return zigbeeVerifier{}
+	})
+}
+
 func main() {
+	registerZigBee()
+
 	res, err := ether.Run(ether.Config{
 		SNRdB: 22,
 		Seed:  3,
@@ -64,10 +90,16 @@ func main() {
 		1000*float64(len(res.Samples))/float64(res.Clock.Rate),
 		res.Truth.VisibleCount(protocols.ZigBee))
 
-	// Extend the pipeline: flip on the ZigBee timing block and plug the
-	// verifier into the analysis stage. Nothing else changes.
-	cfg := core.Config{ZigBee: true}
-	mon := arch.NewRFDump("rfdump+zigbee", res.Clock, cfg, zigbeeVerifier{})
+	// Extend the pipeline through the registry: the same selector
+	// grammar rfdump's -detectors flag uses resolves the new module, and
+	// the analysis stage picks the verifier up from its factory. Nothing
+	// else changes.
+	cfg, err := core.ParseDetectors("zigbee")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := arch.NewRFDump("rfdump+zigbee", res.Clock, cfg,
+		core.RegistryAnalyzers(protocols.AnalyzerOptions{})...)
 	out, err := mon.Process(res.Samples)
 	if err != nil {
 		log.Fatal(err)

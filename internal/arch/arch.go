@@ -99,12 +99,7 @@ func (c *collector) emit(item flowgraph.Item) {
 // analyzerFamilies returns the families an analyzer set covers, in a
 // stable order.
 func analyzerFamilies(analyzers []core.Analyzer) []protocols.ID {
-	known := []protocols.ID{
-		protocols.WiFi80211b1M,
-		protocols.Bluetooth,
-		protocols.ZigBee,
-		protocols.Microwave,
-	}
+	known := protocols.Families()
 	var out []protocols.ID
 	for _, f := range known {
 		for _, a := range analyzers {

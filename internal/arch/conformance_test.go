@@ -1,0 +1,200 @@
+package arch
+
+import (
+	"testing"
+
+	"rfdump/internal/core"
+	"rfdump/internal/ether"
+	"rfdump/internal/mac"
+	"rfdump/internal/metrics"
+	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
+	"rfdump/internal/truth"
+)
+
+// The module conformance suite: every registered protocol module that
+// can both transmit (traffic fragment) and detect must close its own
+// loop — modulate a clean trace through the emulated front end, detect
+// it with its own registered detectors at high SNR, and, where an
+// analyzer is attached, decode it. The suite iterates the registry, so
+// a module registered tomorrow is conformance-tested tomorrow with no
+// edits here.
+//
+// Per-module miss tolerances: detectors warm up differently (the
+// microwave detector must observe several AC cycles before its first
+// verdict; the ZigBee SIFS detector needs a request/ack pair), so the
+// gate is per-module where warm-up is inherent, strict where it is not.
+var conformanceMissTolerance = map[string]float64{
+	"wifi":      0.05,
+	"bt":        0.10,
+	"wifig":     0.10,
+	"zigbee":    0.35,
+	"microwave": 0.50,
+}
+
+// moduleTrace synthesizes a single-protocol ether from the module's own
+// registered traffic fragment.
+func moduleTrace(t *testing.T, m *protocols.Module, count int, snrDB float64) *ether.Result {
+	t.Helper()
+	tr := m.NewTraffic(protocols.TrafficOptions{Count: count})
+	if len(tr.Sources) == 0 {
+		t.Fatalf("module %q traffic fragment yielded no sources", m.Key)
+	}
+	var srcs []mac.Source
+	for _, s := range tr.Sources {
+		ms, ok := s.(mac.Source)
+		if !ok {
+			t.Fatalf("module %q traffic source %T does not implement mac.Source", m.Key, s)
+		}
+		srcs = append(srcs, ms)
+	}
+	res, err := ether.Run(ether.Config{
+		Duration: tr.Duration,
+		SNRdB:    snrDB,
+		Seed:     27,
+		Sources:  srcs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestModuleConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite synthesizes full traces")
+	}
+	ran := 0
+	for _, m := range protocols.Modules() {
+		if !m.HasTraffic() || len(m.Detectors()) == 0 {
+			continue
+		}
+		ran++
+		t.Run(m.Key, func(t *testing.T) {
+			res := moduleTrace(t, m, 12, 20)
+
+			reg := metrics.NewRegistry()
+			cfg := core.Detect(m.Detectors()...)
+			cfg.Metrics = reg
+			var analyzers []core.Analyzer
+			if m.HasAnalyzer() {
+				analyzers = append(analyzers, m.NewAnalyzer(protocols.AnalyzerOptions{}))
+			}
+			mon := NewRFDump("conformance-"+m.Key, res.Clock, cfg, analyzers...)
+			out, err := mon.Process(res.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fam := m.ID.Family()
+			st := truth.Match(res.Truth, out.TruthDetections(), fam)
+			if st.Total == 0 {
+				t.Fatalf("module %q traffic produced no visible %v truth records", m.Key, fam)
+			}
+			tol, ok := conformanceMissTolerance[m.Key]
+			if !ok {
+				tol = 0.35 // out-of-tree module default
+			}
+			if miss := st.MissRateNonCollided(); miss > tol {
+				t.Errorf("module %q missed its own traffic: %v (tolerance %.2f)", m.Key, st, tol)
+			}
+			if st.FalsePosRate > 0.05 {
+				t.Errorf("module %q false-positive rate %.4f on its own clean trace", m.Key, st.FalsePosRate)
+			}
+
+			// Detections must claim the module's own family — a detector
+			// that labels its own protocol as something else is broken
+			// regardless of span accuracy.
+			for _, d := range out.Detections {
+				if d.Family.Family() != fam {
+					t.Errorf("module %q detector %q claimed family %v", m.Key, d.Detector, d.Family)
+				}
+			}
+
+			// Where the module can analyze, the decode loop must close.
+			if m.HasAnalyzer() {
+				valid := 0
+				for _, p := range out.Packets {
+					if p.Valid && p.Proto.Family() == fam {
+						valid++
+					}
+				}
+				if valid == 0 {
+					t.Errorf("module %q analyzer decoded no valid packets from its own traffic", m.Key)
+				}
+			}
+
+			// Metric names derive from the module's registry label, so a
+			// freshly registered protocol shows up in /api/metricz with
+			// no dashboard edits. Lock that contract per module.
+			counters := reg.Snapshot().Counters
+			label := protocols.LabelFor(fam)
+			if counters["dispatch/"+label+"/detections"] == 0 {
+				t.Errorf("module %q: no dispatch/%s/detections counter in a metered run", m.Key, label)
+			}
+			if counters["dispatch/"+label+"/forwarded_spans"] == 0 {
+				t.Errorf("module %q: no dispatch/%s/forwarded_spans counter", m.Key, label)
+			}
+			if m.HasAnalyzer() && counters["demod/"+label+"/crc_pass"] == 0 {
+				t.Errorf("module %q: no demod/%s/crc_pass counter", m.Key, label)
+			}
+		})
+	}
+	if ran < 5 {
+		t.Errorf("conformance covered %d modules, want the 5 builtins at least", ran)
+	}
+}
+
+// TestModuleCrossFamilyRejection runs the FULL registry — every
+// detector and every analyzer — over each module's single-protocol
+// trace. Fast detectors are deliberately permissive (the paper accepts
+// detector false positives because the analysis stage is strict), so
+// the registry-wide invariant gated here is the end-to-end one: the
+// module's own family is detected, and no analyzer decodes a valid
+// packet of a family the trace never transmitted.
+func TestModuleCrossFamilyRejection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite synthesizes full traces")
+	}
+	for _, m := range protocols.Modules() {
+		if !m.HasTraffic() || len(m.Detectors()) == 0 {
+			continue
+		}
+		t.Run(m.Key, func(t *testing.T) {
+			res := moduleTrace(t, m, 8, 20)
+			// Families actually on the air (ERP protection puts 802.11b
+			// CTS-to-self frames inside the 802.11g module's trace).
+			transmitted := map[protocols.ID]bool{}
+			for _, r := range res.Truth.Records {
+				if r.Visible {
+					transmitted[r.Proto.Family()] = true
+				}
+			}
+
+			mon := NewRFDump("cross-"+m.Key, res.Clock,
+				core.Detect(protocols.AllDetectors()...),
+				core.RegistryAnalyzers(protocols.AnalyzerOptions{})...)
+			out, err := mon.Process(res.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fam := m.ID.Family()
+			own := 0
+			for _, d := range out.Detections {
+				if d.Family.Family() == fam {
+					own++
+				}
+			}
+			if own == 0 {
+				t.Fatalf("module %q not detected by the full registry pipeline", m.Key)
+			}
+			for _, p := range out.Packets {
+				if p.Valid && !transmitted[p.Proto.Family()] {
+					t.Errorf("module %q trace decoded a valid %v packet — nothing of that family was transmitted",
+						m.Key, p.Proto.Family())
+				}
+			}
+		})
+	}
+}

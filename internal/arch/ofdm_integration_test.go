@@ -33,7 +33,7 @@ func TestERPProtectionScenario(t *testing.T) {
 	}
 
 	cfg := core.PhaseOnly()
-	cfg.OFDM = &core.OFDMConfig{}
+	cfg.Detectors = append(cfg.Detectors, core.OFDMSpec(core.OFDMConfig{}))
 	mon := NewRFDump("erp", res.Clock, cfg, demod.NewWiFiDemod())
 	out, err := mon.Process(res.Samples)
 	if err != nil {

@@ -47,10 +47,7 @@ func (r *RFDump) Process(stream iq.Samples) (*Result, error) {
 		StreamLen:  res.StreamLen,
 		Clock:      r.clock,
 	}
-	for _, fam := range []protocols.ID{
-		protocols.WiFi80211b1M, protocols.Bluetooth,
-		protocols.ZigBee, protocols.Microwave,
-	} {
+	for _, fam := range protocols.Families() {
 		if spans := res.ForwardedSpans(fam); len(spans) > 0 {
 			out.Forwarded[fam] = spans
 		}

@@ -1,42 +1,30 @@
 package core
 
 import (
-	"fmt"
-	"strings"
+	"rfdump/internal/protocols"
 )
 
+// ErrDetectorList is returned by ParseDetectors when the user asked for
+// the "list" mode; callers print DetectorList() and exit.
+var ErrDetectorList = protocols.ErrDetectorList
+
 // ParseDetectors resolves a comma-separated detector list (the shared
-// -detectors flag syntax of rfdump and rfdumpd) into a Config. Known
-// names: timing, phase, freq, microwave, zigbee, ofdm. At least one
-// detector must be selected.
+// -detectors flag syntax of rfdump and rfdumpd) into a Config. The
+// grammar is registry-derived — see DetectorUsage for the selector
+// forms — so a protocol registered out of tree is selectable with no
+// changes here. At least one detector must be selected.
 func ParseDetectors(list string) (Config, error) {
-	cfg := Config{}
-	any := false
-	for _, d := range strings.Split(list, ",") {
-		switch strings.TrimSpace(d) {
-		case "timing":
-			cfg.WiFiTiming = &WiFiTimingConfig{}
-			cfg.BTTiming = &BTTimingConfig{}
-		case "phase":
-			cfg.WiFiPhase = &WiFiPhaseConfig{}
-			cfg.BTPhase = &BTPhaseConfig{}
-		case "freq":
-			cfg.BTFreq = &BTFreqConfig{}
-		case "microwave":
-			cfg.Microwave = true
-		case "zigbee":
-			cfg.ZigBee = true
-		case "ofdm":
-			cfg.OFDM = &OFDMConfig{}
-		case "":
-			continue
-		default:
-			return cfg, fmt.Errorf("unknown detector %q", d)
-		}
-		any = true
+	specs, err := protocols.SelectDetectors(list)
+	if err != nil {
+		return Config{}, err
 	}
-	if !any {
-		return cfg, fmt.Errorf("no detectors selected")
-	}
-	return cfg, nil
+	return Detect(specs...), nil
 }
+
+// DetectorUsage is the one-line -detectors flag help shared by rfdump
+// and rfdumpd, enumerating the registry's selectors.
+func DetectorUsage() string { return protocols.DetectorUsage() }
+
+// DetectorList renders the full registered-detector table (the
+// -detectors=list mode).
+func DetectorList() string { return protocols.ListDetectors() }

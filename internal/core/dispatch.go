@@ -5,29 +5,17 @@ import (
 
 	"rfdump/internal/flowgraph"
 	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
 	"rfdump/internal/protocols"
 )
 
 // AnalysisRequest asks the analysis stage to process a span of samples
 // tentatively classified to a protocol family. Overlapping detections of
 // one family are merged before dispatch so demodulators never see the
-// same samples twice ("avoid redundant computation", Section 2.1).
-type AnalysisRequest struct {
-	// Family is the claimed protocol family.
-	Family protocols.ID
-	// Span is the merged sample range to analyze.
-	Span iq.Interval
-	// Channel is the claimed protocol channel when every contributing
-	// detection agreed on one, else -1 (analyze all channels).
-	Channel int
-	// Confidence is the maximum contributing confidence.
-	Confidence float64
-	// Detectors lists the modules that contributed.
-	Detectors []string
-	// HeaderOnly asks the analyzer to stop after the physical-layer
-	// header — set by the overload gate when full demodulation is shed.
-	HeaderOnly bool
-}
+// same samples twice ("avoid redundant computation", Section 2.1). It is
+// an alias of the registry-facing type so protocol modules can ship
+// analyzers without importing core.
+type AnalysisRequest = protocols.AnalysisRequest
 
 // DispatcherConfig tunes the dispatcher.
 type DispatcherConfig struct {
@@ -83,6 +71,45 @@ type Dispatcher struct {
 	All []Detection
 	// Requests accumulates every emitted request.
 	Requests []AnalysisRequest
+
+	// reg, when non-nil, publishes per-protocol-family counters. Labels
+	// come from the module registry (protocols.LabelFor), so a protocol
+	// registered out of tree shows up in /api/metricz under its own
+	// label with no dispatcher changes. Counters are cached per family:
+	// the only allocation is the first detection of each family, which
+	// keeps the steady-state streaming path at zero allocs per chunk.
+	reg  *metrics.Registry
+	fams map[protocols.ID]*famCounters
+}
+
+// famCounters is the per-protocol-family metrics bundle.
+type famCounters struct {
+	detections       *metrics.Counter
+	forwardedSpans   *metrics.Counter
+	forwardedSamples *metrics.Counter
+}
+
+// instrument attaches a metrics registry; nil disables (zero cost).
+func (d *Dispatcher) instrument(reg *metrics.Registry) {
+	d.reg = reg
+	if reg != nil && d.fams == nil {
+		d.fams = make(map[protocols.ID]*famCounters)
+	}
+}
+
+// famMetrics returns (creating on first use) the counters for a family.
+func (d *Dispatcher) famMetrics(fam protocols.ID) *famCounters {
+	fc := d.fams[fam]
+	if fc == nil {
+		base := "dispatch/" + protocols.LabelFor(fam) + "/"
+		fc = &famCounters{
+			detections:       d.reg.Counter(base + "detections"),
+			forwardedSpans:   d.reg.Counter(base + "forwarded_spans"),
+			forwardedSamples: d.reg.Counter(base + "forwarded_samples"),
+		}
+		d.fams[fam] = fc
+	}
+	return fc
 }
 
 // NewDispatcher returns a dispatcher.
@@ -108,6 +135,9 @@ func (d *Dispatcher) Process(item flowgraph.Item, emit func(flowgraph.Item)) err
 		d.OnDetection(det)
 	}
 	fam := det.Family.Family()
+	if d.reg != nil {
+		d.famMetrics(fam).detections.Inc()
+	}
 	p := d.pending[fam]
 	if p != nil {
 		// Extend the pending span when the new detection is close enough.
@@ -166,6 +196,11 @@ func (d *Dispatcher) flush(fam protocols.ID, emit func(flowgraph.Item)) {
 	}
 	if d.Retain {
 		d.Requests = append(d.Requests, req)
+	}
+	if d.reg != nil {
+		fc := d.famMetrics(fam)
+		fc.forwardedSpans.Inc()
+		fc.forwardedSamples.Add(int64(req.Span.End - req.Span.Start))
 	}
 	emit(req)
 }

@@ -38,9 +38,7 @@ func Example() {
 	}
 
 	// Detection stage only: SIFS/DIFS timing analysis.
-	pipeline := core.NewPipeline(res.Clock, core.Config{
-		WiFiTiming: &core.WiFiTimingConfig{},
-	})
+	pipeline := core.NewPipeline(res.Clock, core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{})))
 	out, err := pipeline.Run(res.Samples)
 	if err != nil {
 		panic(err)

@@ -87,7 +87,7 @@ func TestOFDMDetectorLowSNRMisses(t *testing.T) {
 
 func TestOFDMInPipeline(t *testing.T) {
 	stream, span := ofdmBurstStream(t, 600, 20)
-	cfg := Config{OFDM: &OFDMConfig{}}
+	cfg := Detect(OFDMSpec(OFDMConfig{}))
 	p := NewPipeline(testClock, cfg)
 	res, err := p.Run(stream)
 	if err != nil {

@@ -13,11 +13,10 @@ import (
 // SampleAccessor gives detectors that analyze the signal (phase,
 // frequency) bounded access to the sample stream. "After the detection
 // stage, the stream of signal is only accessed as needed" (Section 2.2) —
-// the accessor is how that selective access is expressed.
-type SampleAccessor interface {
-	// Slice returns the samples of the interval clipped to the stream.
-	Slice(iv iq.Interval) iq.Samples
-}
+// the accessor is how that selective access is expressed. It is an alias
+// of the registry-facing interface so out-of-tree protocol modules can
+// implement detectors and analyzers against the same accessor.
+type SampleAccessor = protocols.SampleSource
 
 // WiFiPhaseConfig tunes the DBPSK detector.
 type WiFiPhaseConfig struct {

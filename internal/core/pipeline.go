@@ -14,14 +14,36 @@ import (
 // header-only decoders, deep packet inspection — "Functionality
 // Extensible", Section 2.1). Analyzers receive merged AnalysisRequests
 // and read samples through the accessor; whatever they emit is collected
-// in the run result's Outputs.
-type Analyzer interface {
-	// Name identifies the analyzer block in CPU accounting.
-	Name() string
-	// Accepts reports whether the analyzer handles the family.
-	Accepts(family protocols.ID) bool
-	// Analyze processes one request, emitting its products.
-	Analyze(src SampleAccessor, req AnalysisRequest, emit func(flowgraph.Item)) error
+// in the run result's Outputs. It is an alias of the registry-facing
+// interface so protocol modules can carry analyzer factories without a
+// dependency cycle.
+type Analyzer = protocols.Analyzer
+
+// RegistryAnalyzers builds one analyzer per registered module that has
+// an analysis capability, in module registration order.
+func RegistryAnalyzers(opts protocols.AnalyzerOptions) []Analyzer {
+	var out []Analyzer
+	for _, m := range protocols.Modules() {
+		if a := m.NewAnalyzer(opts); a != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RegistryAnalyzerFactories is RegistryAnalyzers for the multi-session
+// Engine: one factory per analysis-capable module, each stamping out
+// fresh instances.
+func RegistryAnalyzerFactories(opts protocols.AnalyzerOptions) []AnalyzerFactory {
+	var out []AnalyzerFactory
+	for _, m := range protocols.Modules() {
+		if !m.HasAnalyzer() {
+			continue
+		}
+		m := m
+		out = append(out, func() Analyzer { return m.NewAnalyzer(opts) })
+	}
+	return out
 }
 
 // StreamAccessor adapts an in-memory stream to SampleAccessor.
@@ -44,22 +66,18 @@ func (s *StreamAccessor) Slice(iv iq.Interval) iq.Samples {
 	return s.Stream[start:end]
 }
 
-// Config selects which fast detectors the pipeline runs. The experiments
-// flip these to produce the paper's "RFDump with timing detection",
-// "... with phase detection" and "... with timing and phase" variants.
+// Config selects which fast detectors the pipeline runs. Detectors are
+// registry specs — either resolved from the module registry by
+// ParseDetectors, or built directly with the spec constructors
+// (WiFiTimingSpec, BTPhaseSpec, ...). The experiments use the latter to
+// produce the paper's "RFDump with timing detection", "... with phase
+// detection" and "... with timing and phase" variants.
 type Config struct {
-	Peak       PeakConfig
-	Dispatch   DispatcherConfig
-	WiFiTiming *WiFiTimingConfig // nil disables
-	BTTiming   *BTTimingConfig
-	Microwave  bool
-	ZigBee     bool
-	WiFiPhase  *WiFiPhaseConfig
-	BTPhase    *BTPhaseConfig
-	BTFreq     *BTFreqConfig
-	// OFDM enables the 802.11g cyclic-prefix detector (the paper's
-	// future-work extension).
-	OFDM *OFDMConfig
+	Peak     PeakConfig
+	Dispatch DispatcherConfig
+	// Detectors is the fast-detector set, assembled in order (duplicate
+	// block names are dropped after the first).
+	Detectors []protocols.DetectorSpec
 	// Parallel runs the flowgraph with the multi-threaded scheduler (the
 	// paper's future-work extension; default single-threaded like GNU
 	// Radio at the time).
@@ -67,27 +85,32 @@ type Config struct {
 	// Metrics, when non-nil, publishes the run's observability surface
 	// into the registry: per-block flowgraph stats, per-detector
 	// ns/chunk histograms and accept/reject counters, per-analyzer
-	// request costs, per-protocol CRC pass rates, and (with Overload)
-	// shed-level transitions. Nil disables all instrumentation at zero
-	// hot-path cost.
+	// request costs, per-protocol detection/forwarding counters and CRC
+	// pass rates (labelled from the module registry), and (with
+	// Overload) shed-level transitions. Nil disables all instrumentation
+	// at zero hot-path cost.
 	Metrics *metrics.Registry
+}
+
+// Detect returns a Config running the given detector specs.
+func Detect(specs ...protocols.DetectorSpec) Config {
+	return Config{Detectors: specs}
 }
 
 // TimingOnly returns the configuration using only timing detectors.
 func TimingOnly() Config {
-	return Config{WiFiTiming: &WiFiTimingConfig{}, BTTiming: &BTTimingConfig{}}
+	return Detect(WiFiTimingSpec(WiFiTimingConfig{}), BTTimingSpec(BTTimingConfig{}))
 }
 
 // PhaseOnly returns the configuration using only phase detectors.
 func PhaseOnly() Config {
-	return Config{WiFiPhase: &WiFiPhaseConfig{}, BTPhase: &BTPhaseConfig{}}
+	return Detect(WiFiPhaseSpec(WiFiPhaseConfig{}), BTPhaseSpec(BTPhaseConfig{}))
 }
 
 // TimingAndPhase returns the combined configuration.
 func TimingAndPhase() Config {
 	c := TimingOnly()
-	c.WiFiPhase = &WiFiPhaseConfig{}
-	c.BTPhase = &BTPhaseConfig{}
+	c.Detectors = append(c.Detectors, PhaseOnly().Detectors...)
 	return c
 }
 
@@ -212,40 +235,30 @@ func (e *Engine) assemble(analyzers []Analyzer, src SampleAccessor, opts assembl
 	dispatcher := NewDispatcher(e.cfg.Dispatch)
 	dispatcher.OnDetection = opts.onDetection
 	dispatcher.Retain = !opts.noRetainDet
+	dispatcher.instrument(e.cfg.Metrics)
 	graph.MustAdd(dispatcher)
 
-	var detectorNames []string
-	addDetector := func(b flowgraph.Block) {
+	// The detector stage is assembled from registry specs: every module
+	// that registered a detector participates the same way, built-in or
+	// not ("a new protocol is added by registering a detector", §3.2).
+	env := protocols.DetectorEnv{Clock: e.clock, Samples: src}
+	added := 0
+	seen := map[string]bool{}
+	for _, spec := range e.cfg.Detectors {
+		if spec.New == nil || seen[spec.Name] {
+			continue
+		}
+		seen[spec.Name] = true
+		b := spec.New(env)
+		if b.Name() != spec.Name {
+			return nil, nil, nil, fmt.Errorf("core: detector spec %q built a block named %q", spec.Name, b.Name())
+		}
 		graph.MustAdd(meter(e.cfg.Metrics, "detector", "ns_per_chunk", b))
 		graph.MustConnect("peak-detector", b.Name())
 		graph.MustConnect(b.Name(), "dispatcher")
-		detectorNames = append(detectorNames, b.Name())
+		added++
 	}
-	if e.cfg.WiFiTiming != nil {
-		addDetector(NewWiFiTiming(e.clock, *e.cfg.WiFiTiming))
-	}
-	if e.cfg.BTTiming != nil {
-		addDetector(NewBTTiming(e.clock, *e.cfg.BTTiming))
-	}
-	if e.cfg.Microwave {
-		addDetector(NewMicrowaveTiming(e.clock))
-	}
-	if e.cfg.ZigBee {
-		addDetector(NewZigBeeTiming(e.clock))
-	}
-	if e.cfg.WiFiPhase != nil {
-		addDetector(NewWiFiPhase(src, *e.cfg.WiFiPhase))
-	}
-	if e.cfg.BTPhase != nil {
-		addDetector(NewBTPhase(src, e.clock, *e.cfg.BTPhase))
-	}
-	if e.cfg.BTFreq != nil {
-		addDetector(NewBTFreq(*e.cfg.BTFreq))
-	}
-	if e.cfg.OFDM != nil {
-		addDetector(NewOFDMDetector(src, *e.cfg.OFDM))
-	}
-	if len(detectorNames) == 0 {
+	if added == 0 {
 		return nil, nil, nil, fmt.Errorf("core: pipeline has no detectors enabled")
 	}
 

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/protocols"
+)
+
+// This file exports the built-in fast detectors as registry specs: the
+// constructors below are how the detectors of this package are selected
+// into a Config (directly, as the experiments do with tuned parameter
+// structs) and how the builtin module package attaches them to their
+// protocol modules. Each spec builds a fresh detector instance per
+// pipeline session; the captured config struct is copied by value, so a
+// spec is safe to share across concurrent engines.
+
+// WiFiTimingSpec is the 802.11b SIFS/DIFS gap detector (Section 4.4).
+func WiFiTimingSpec(cfg WiFiTimingConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:    "802.11-timing",
+		Class:   protocols.ClassTiming,
+		Default: true,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewWiFiTiming(env.Clock, cfg)
+		},
+	}
+}
+
+// BTTimingSpec is the Bluetooth 625 us slot-grid detector (Section 4.4).
+func BTTimingSpec(cfg BTTimingConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:    "bt-timing",
+		Class:   protocols.ClassTiming,
+		Default: true,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewBTTiming(env.Clock, cfg)
+		},
+	}
+}
+
+// MicrowaveTimingSpec is the AC-cycle gating detector for microwave
+// ovens (Table 2's 16.7/20 ms emission period).
+func MicrowaveTimingSpec() protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:  "microwave-timing",
+		Class: protocols.ClassTiming,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewMicrowaveTiming(env.Clock)
+		},
+	}
+}
+
+// ZigBeeTimingSpec is the 802.15.4 SIFS-turnaround detector (the
+// paper's Section 3.2 worked example of protocol extension).
+func ZigBeeTimingSpec() protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:  "zigbee-timing",
+		Class: protocols.ClassTiming,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewZigBeeTiming(env.Clock)
+		},
+	}
+}
+
+// WiFiPhaseSpec is the DBPSK/Barker phase-signature detector.
+func WiFiPhaseSpec(cfg WiFiPhaseConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:    "802.11-phase",
+		Class:   protocols.ClassPhase,
+		Default: true,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewWiFiPhase(env.Samples, cfg)
+		},
+	}
+}
+
+// BTPhaseSpec is the GFSK continuous-phase detector.
+func BTPhaseSpec(cfg BTPhaseConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:    "bt-phase",
+		Class:   protocols.ClassPhase,
+		Default: true,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewBTPhase(env.Samples, env.Clock, cfg)
+		},
+	}
+}
+
+// BTFreqSpec is the 1 MHz hop-channel occupancy detector.
+func BTFreqSpec(cfg BTFreqConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:    "bt-freq",
+		Class:   protocols.ClassFreq,
+		Default: true,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewBTFreq(cfg)
+		},
+	}
+}
+
+// OFDMSpec is the 802.11g cyclic-prefix correlation detector (the
+// paper's future-work OFDM extension).
+func OFDMSpec(cfg OFDMConfig) protocols.DetectorSpec {
+	return protocols.DetectorSpec{
+		Name:  "802.11g-ofdm",
+		Class: protocols.ClassPhase,
+		New: func(env protocols.DetectorEnv) flowgraph.Block {
+			return NewOFDMDetector(env.Samples, cfg)
+		},
+	}
+}

@@ -104,7 +104,7 @@ func TestRunStreamBoundedMemoryPhaseDetection(t *testing.T) {
 	// Phase detectors probe samples through the sliding window; with a
 	// window larger than a burst, live detection still works.
 	stream, span := wifiBurstStream(t, protocols.WiFi80211b1M, 200, 20, 2000)
-	p := NewPipeline(testClock, Config{WiFiPhase: &WiFiPhaseConfig{}})
+	p := NewPipeline(testClock, Detect(WiFiPhaseSpec(WiFiPhaseConfig{})))
 	res, err := p.RunStream(&sliceReader{s: stream}, StreamConfig{WindowSamples: 60_000})
 	if err != nil {
 		t.Fatal(err)

@@ -36,9 +36,11 @@ type Packet struct {
 // MetricOutcome implements metrics.Outcome: instrumented pipelines
 // count decoded packets per protocol family, split by CRC verdict, so
 // the demod CRC pass rate is a first-class metric
-// (demod/<family>/crc_pass vs crc_fail).
+// (demod/<label>/crc_pass vs crc_fail). The label comes from the module
+// registry when the family is registered, so out-of-tree protocols get
+// their own CRC-rate series automatically.
 func (p Packet) MetricOutcome() (string, bool) {
-	return p.Proto.FamilyName(), p.Valid
+	return protocols.LabelFor(p.Proto.Family()), p.Valid
 }
 
 // String implements fmt.Stringer in a tcpdump-ish one-liner.

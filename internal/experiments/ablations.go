@@ -68,10 +68,8 @@ func AblationAvgWindow(o Options) (*report.Table, error) {
 		Headers: []string{"window (samples)", "SIFS miss rate", "CPU/RT"},
 	}
 	for _, win := range []int{5, 10, 20, 40, 80} {
-		cfg := core.Config{
-			Peak:       core.PeakConfig{AvgWindow: win},
-			WiFiTiming: &core.WiFiTimingConfig{DisableDIFS: true},
-		}
+		cfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{DisableDIFS: true}))
+		cfg.Peak = core.PeakConfig{AvgWindow: win}
 		mon := arch.NewRFDump("probe", res.Clock, cfg)
 		out, err := mon.Process(res.Samples)
 		if err != nil {
@@ -97,14 +95,15 @@ func AblationBTCache(o Options) (*report.Table, error) {
 		Headers: []string{"config", "miss rate", "cache hits", "history scans", "CPU/RT"},
 	}
 	for _, disable := range []bool{false, true} {
-		cfg := core.Config{BTTiming: &core.BTTimingConfig{DisableCache: disable}}
+		btCfg := core.BTTimingConfig{DisableCache: disable}
+		cfg := core.Detect(core.BTTimingSpec(btCfg))
 		mon := arch.NewRFDump("probe", res.Clock, cfg)
 		out, err := mon.Process(res.Samples)
 		if err != nil {
 			return nil, err
 		}
 		st := truth.Match(res.Truth, out.TruthDetections(), protocols.Bluetooth)
-		hits, scans := btCounters(res, *cfg.BTTiming)
+		hits, scans := btCounters(res, btCfg)
 		name := "with cache"
 		if disable {
 			name = "history scan only"
@@ -153,10 +152,8 @@ func AblationSampling(o Options) (*report.Table, error) {
 		Headers: []string{"stride", "miss rate", "peak CPU (ms)"},
 	}
 	for _, stride := range []int{1, 2, 4, 8} {
-		cfg := core.Config{
-			Peak:       core.PeakConfig{SampleStride: stride},
-			WiFiTiming: &core.WiFiTimingConfig{},
-		}
+		cfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{}))
+		cfg.Peak = core.PeakConfig{SampleStride: stride}
 		mon := arch.NewRFDump("probe", res.Clock, cfg)
 		out, err := mon.Process(res.Samples)
 		if err != nil {

@@ -42,14 +42,14 @@ func Figure6(o Options) (*report.Figure, error) {
 		}
 		total := res.Truth.VisibleCount(protocols.WiFi80211b1M)
 
-		sifsCfg := core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableDIFS: true}}
+		sifsCfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{DisableDIFS: true}))
 		st, err := runDetectors(res, sifsCfg, protocols.WiFi80211b1M)
 		if err != nil {
 			return nil, err
 		}
 		fig.Add("802.11 SIFS timing detector", snr, floorRate(st.MissRate()))
 
-		phCfg := core.Config{WiFiPhase: &core.WiFiPhaseConfig{}}
+		phCfg := core.Detect(core.WiFiPhaseSpec(core.WiFiPhaseConfig{}))
 		stp, err := runDetectors(res, phCfg, protocols.WiFi80211b1M)
 		if err != nil {
 			return nil, err
@@ -81,7 +81,7 @@ func Figure7(o Options) (*report.Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.Config{WiFiTiming: &core.WiFiTimingConfig{DisableSIFS: true}}
+		cfg := core.Detect(core.WiFiTimingSpec(core.WiFiTimingConfig{DisableSIFS: true}))
 		st, err := runDetectors(res, cfg, protocols.WiFi80211b1M)
 		if err != nil {
 			return nil, err
@@ -114,14 +114,14 @@ func Figure8(o Options) (*report.Figure, error) {
 		}
 		visible := res.Truth.VisibleCount(protocols.Bluetooth)
 
-		tCfg := core.Config{BTTiming: &core.BTTimingConfig{}}
+		tCfg := core.Detect(core.BTTimingSpec(core.BTTimingConfig{}))
 		st, err := runDetectors(res, tCfg, protocols.Bluetooth)
 		if err != nil {
 			return nil, err
 		}
 		fig.Add("Bluetooth timing detector", snr, floorRate(st.MissRate()))
 
-		pCfg := core.Config{BTPhase: &core.BTPhaseConfig{}}
+		pCfg := core.Detect(core.BTPhaseSpec(core.BTPhaseConfig{}))
 		stp, err := runDetectors(res, pCfg, protocols.Bluetooth)
 		if err != nil {
 			return nil, err

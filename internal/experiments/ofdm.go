@@ -27,7 +27,7 @@ func ExtensionOFDM(o Options) (*report.Figure, error) {
 		YLabel: "packet miss rate",
 		LogY:   true,
 	}
-	ofdmCfg := core.Config{OFDM: &core.OFDMConfig{}}
+	ofdmCfg := core.Detect(core.OFDMSpec(core.OFDMConfig{}))
 
 	for _, snr := range o.SNRs {
 		res, err := ether.Run(ether.Config{

@@ -129,7 +129,7 @@ func Table4(o Options) (*report.Table, error) {
 	}
 
 	// DBPSK phase detector run.
-	mon := arch.NewRFDump("dbpsk", clock, core.Config{WiFiPhase: &core.WiFiPhaseConfig{}})
+	mon := arch.NewRFDump("dbpsk", clock, core.Detect(core.WiFiPhaseSpec(core.WiFiPhaseConfig{})))
 	out, err := mon.Process(res.Samples)
 	if err != nil {
 		return nil, err

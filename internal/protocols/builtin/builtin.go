@@ -1,0 +1,179 @@
+// Package builtin registers the built-in protocol modules — 802.11b,
+// 802.11g OFDM, Bluetooth, ZigBee and the microwave-oven interferer —
+// with the protocols registry. It is the glue layer the paper's
+// extensibility claim implies: the detectors live in internal/core, the
+// demodulators in internal/demod and the PHYs under internal/phy, and
+// this package is the single place that binds them to protocol
+// identities. Binaries import it for side effects:
+//
+//	import _ "rfdump/internal/protocols/builtin"
+//
+// An out-of-tree protocol does exactly what this package does, from its
+// own package, against the same public API (see examples/newprotocol,
+// which deliberately does NOT import builtin for its ZigBee module).
+package builtin
+
+import (
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/iq"
+	"rfdump/internal/mac"
+	"rfdump/internal/phy/bluetooth"
+	"rfdump/internal/phy/microwave"
+	"rfdump/internal/phy/ofdm"
+	"rfdump/internal/phy/wifi"
+	"rfdump/internal/phy/zigbee"
+	"rfdump/internal/protocols"
+)
+
+// Default piconet identity for synthesized Bluetooth traffic (the same
+// values internal/experiments uses; duplicated literally because
+// experiments sits above this package).
+const (
+	trafficLAP uint32 = 0x9E8B33
+	trafficUAP byte   = 0x47
+)
+
+func wifiAddr(b byte) (a wifi.Addr) {
+	for i := range a {
+		a[i] = b
+	}
+	return
+}
+
+func init() {
+	// 802.11b DSSS: timing + phase detectors, full demodulator, Barker
+	// PHY, and a unicast ping-pong traffic fragment.
+	wifiMod := protocols.MustRegister(&protocols.Module{
+		ID:      protocols.WiFi80211b1M,
+		Key:     "wifi",
+		Aliases: []string{"80211b", "unicast"},
+	})
+	wifiMod.MustAddDetector(core.WiFiTimingSpec(core.WiFiTimingConfig{}))
+	wifiMod.MustAddDetector(core.WiFiPhaseSpec(core.WiFiPhaseConfig{}))
+	wifiMod.SetAnalyzer(func(opts protocols.AnalyzerOptions) protocols.Analyzer {
+		if opts.HeaderOnly {
+			return demod.NewWiFiHeaderDemod()
+		}
+		return demod.NewWiFiDemod()
+	})
+	wifiMod.SetModulator(func() any {
+		m, err := wifi.NewModulator(protocols.WiFi80211b1M)
+		if err != nil {
+			return nil
+		}
+		return m
+	})
+	wifiMod.SetTraffic(func(opts protocols.TrafficOptions) protocols.Traffic {
+		pings, payload := opts.Count, opts.PayloadBytes
+		if pings <= 0 {
+			pings = 100
+		}
+		if payload <= 0 {
+			payload = 500
+		}
+		return protocols.Traffic{Sources: []any{&mac.WiFiUnicast{
+			Rate: protocols.WiFi80211b1M, Pings: pings, PayloadBytes: payload,
+			InterPing: 8000, Requester: wifiAddr(0x11), Responder: wifiAddr(0x22),
+			BSSID: wifiAddr(0x33), CFOHz: 2500,
+		}}}
+	})
+
+	// Bluetooth FHSS: timing + phase + frequency detectors, the
+	// piconet-following demodulator, GFSK PHY, and a piconet ping
+	// fragment.
+	btMod := protocols.MustRegister(&protocols.Module{
+		ID:      protocols.Bluetooth,
+		Key:     "bt",
+		Aliases: []string{"bluetooth"},
+	})
+	btMod.MustAddDetector(core.BTTimingSpec(core.BTTimingConfig{}))
+	btMod.MustAddDetector(core.BTPhaseSpec(core.BTPhaseConfig{}))
+	btMod.MustAddDetector(core.BTFreqSpec(core.BTFreqConfig{}))
+	btMod.SetAnalyzer(func(opts protocols.AnalyzerOptions) protocols.Analyzer {
+		lap, uap := opts.LAP, opts.UAP
+		if lap == 0 {
+			lap, uap = trafficLAP, trafficUAP
+		}
+		d := demod.NewBTDemod(lap, uap, opts.Channels)
+		d.HeaderOnly = opts.HeaderOnly
+		return d
+	})
+	btMod.SetModulator(func() any { return bluetooth.NewModulator() })
+	btMod.SetTraffic(func(opts protocols.TrafficOptions) protocols.Traffic {
+		pings := opts.Count
+		if pings <= 0 {
+			pings = 100
+		}
+		return protocols.Traffic{Sources: []any{&mac.BluetoothPiconet{
+			LAP: trafficLAP, UAP: trafficUAP,
+			Pings: pings, InterPingSlots: 2, CFOHz: 1200,
+		}}}
+	})
+
+	// 802.11g OFDM: cyclic-prefix detector and OFDM PHY. No analysis
+	// capability — the 8 Msps front end cannot carry the 20 MHz OFDM
+	// payload, so 802.11g requests end at detection (the paper's
+	// future-work extension).
+	gMod := protocols.MustRegister(&protocols.Module{
+		ID:      protocols.WiFi80211g,
+		Key:     "wifig",
+		Aliases: []string{"ofdm", "80211g"},
+	})
+	gMod.MustAddDetector(core.OFDMSpec(core.OFDMConfig{}))
+	gMod.SetModulator(func() any { return ofdm.NewModulator() })
+	gMod.SetTraffic(func(opts protocols.TrafficOptions) protocols.Traffic {
+		pings, payload := opts.Count, opts.PayloadBytes
+		if pings <= 0 {
+			pings = 100
+		}
+		if payload <= 0 {
+			payload = 500
+		}
+		return protocols.Traffic{Sources: []any{&mac.WiFiGUnicast{
+			Pings: pings, PayloadBytes: payload, InterPing: 8000, Protection: true,
+			Requester: wifiAddr(0x51), Responder: wifiAddr(0x52), BSSID: wifiAddr(0x53),
+		}}}
+	})
+
+	// ZigBee / 802.15.4: SIFS-turnaround timing detector, O-QPSK PHY,
+	// periodic sensor-report fragment. (examples/newprotocol registers
+	// an equivalent module itself instead of importing this package.)
+	zbMod := protocols.MustRegister(&protocols.Module{
+		ID:      protocols.ZigBee,
+		Key:     "zigbee",
+		Aliases: []string{"zb"},
+	})
+	zbMod.MustAddDetector(core.ZigBeeTimingSpec())
+	zbMod.SetModulator(func() any { return zigbee.NewModulator() })
+	zbMod.SetTraffic(func(opts protocols.TrafficOptions) protocols.Traffic {
+		reports, payload := opts.Count, opts.PayloadBytes
+		if reports <= 0 {
+			reports = 100
+		}
+		if payload <= 0 {
+			payload = 48
+		}
+		return protocols.Traffic{Sources: []any{&mac.ZigBeeSource{
+			Reports: reports, PayloadBytes: payload, OffsetHz: 1_500_000,
+		}}}
+	})
+
+	// Microwave oven: AC-cycle timing detector and the swept-magnetron
+	// burst model. Not a protocol — nothing to demodulate.
+	mwMod := protocols.MustRegister(&protocols.Module{
+		ID:      protocols.Microwave,
+		Key:     "microwave",
+		Aliases: []string{"mw"},
+	})
+	mwMod.MustAddDetector(core.MicrowaveTimingSpec())
+	mwMod.SetModulator(func() any {
+		return microwave.DefaultOven(iq.NewClock(iq.DefaultSampleRate))
+	})
+	mwMod.SetTraffic(func(opts protocols.TrafficOptions) protocols.Traffic {
+		return protocols.Traffic{
+			Sources:  []any{&mac.MicrowaveSource{SNROffsetDB: 8}},
+			Duration: iq.Tick(iq.DefaultSampleRate), // 1 s of oven cycles
+		}
+	})
+}

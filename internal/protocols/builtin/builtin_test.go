@@ -1,0 +1,183 @@
+package builtin
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"rfdump/internal/mac"
+	"rfdump/internal/protocols"
+)
+
+// The registry-coverage gate: every protocol family the enum knows must
+// have exactly one registered module, and no module may exist for a
+// family the enum (plus dynamic registrations) does not know. CI runs
+// this test so a protocol added in one layer but not the other fails
+// the build instead of silently losing coverage.
+func TestRegistryCoversEveryFamily(t *testing.T) {
+	for _, fam := range protocols.Families() {
+		if _, ok := protocols.ModuleFor(fam); !ok {
+			t.Errorf("family %v has no registered module", fam)
+		}
+	}
+	known := map[protocols.ID]bool{}
+	for _, fam := range protocols.Families() {
+		known[fam] = true
+	}
+	for _, m := range protocols.Modules() {
+		if !known[m.ID.Family()] {
+			t.Errorf("module %q registered for family %v outside Families()", m.Key, m.ID.Family())
+		}
+	}
+}
+
+func TestBuiltinModuleTable(t *testing.T) {
+	// key -> family, capabilities, detector block names.
+	want := []struct {
+		key   string
+		fam   protocols.ID
+		caps  []string
+		specs []string
+	}{
+		{"wifi", protocols.WiFi80211b1M, []string{"detect", "analyze", "modulate", "traffic"}, []string{"802.11-timing", "802.11-phase"}},
+		{"bt", protocols.Bluetooth, []string{"detect", "analyze", "modulate", "traffic"}, []string{"bt-timing", "bt-phase", "bt-freq"}},
+		{"wifig", protocols.WiFi80211g, []string{"detect", "modulate", "traffic"}, []string{"802.11g-ofdm"}},
+		{"zigbee", protocols.ZigBee, []string{"detect", "modulate", "traffic"}, []string{"zigbee-timing"}},
+		{"microwave", protocols.Microwave, []string{"detect", "modulate", "traffic"}, []string{"microwave-timing"}},
+	}
+	for _, w := range want {
+		m, ok := protocols.ModuleByKey(w.key)
+		if !ok {
+			t.Errorf("module %q not registered", w.key)
+			continue
+		}
+		if m.ID.Family() != w.fam.Family() {
+			t.Errorf("module %q family %v, want %v", w.key, m.ID.Family(), w.fam.Family())
+		}
+		if got := m.Capabilities(); !reflect.DeepEqual(got, w.caps) {
+			t.Errorf("module %q capabilities %v, want %v", w.key, got, w.caps)
+		}
+		var names []string
+		for _, s := range m.Detectors() {
+			names = append(names, s.Name)
+		}
+		if !reflect.DeepEqual(names, w.specs) {
+			t.Errorf("module %q detectors %v, want %v", w.key, names, w.specs)
+		}
+		// Metric labels stay the legacy family names so dashboards and
+		// golden metric dumps survive the registry refactor.
+		if m.Label != w.fam.FamilyName() {
+			t.Errorf("module %q label %q, want family name %q", w.key, m.Label, w.fam.FamilyName())
+		}
+	}
+}
+
+// The exact registered detector-name set is locked down: these names key
+// golden traces, CPU accounting and per-detector metrics.
+func TestBuiltinDetectorNameSet(t *testing.T) {
+	want := []string{
+		"802.11-phase", "802.11-timing", "802.11g-ofdm",
+		"bt-freq", "bt-phase", "bt-timing",
+		"microwave-timing", "zigbee-timing",
+	}
+	var got []string
+	for _, s := range protocols.AllDetectors() {
+		got = append(got, s.Name)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registered detectors %v, want %v", got, want)
+	}
+}
+
+// Legacy selector semantics: "timing,phase" must still assemble the
+// pre-registry pipeline in its historical order.
+func TestLegacySelectorOrder(t *testing.T) {
+	specs, err := protocols.SelectDetectors("timing,phase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range specs {
+		got = append(got, s.Name)
+	}
+	want := []string{"802.11-timing", "bt-timing", "802.11-phase", "bt-phase"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("timing,phase = %v, want %v", got, want)
+	}
+}
+
+func TestBuiltinAliases(t *testing.T) {
+	for alias, key := range map[string]string{
+		"unicast": "wifi", "80211b": "wifi", "bluetooth": "bt",
+		"ofdm": "wifig", "80211g": "wifig", "zb": "zigbee", "mw": "microwave",
+	} {
+		m, ok := protocols.ModuleByKey(alias)
+		if !ok || m.Key != key {
+			t.Errorf("alias %q did not resolve to module %q", alias, key)
+		}
+	}
+}
+
+// Every builtin traffic fragment must yield sources implementing
+// mac.Source — the contract rfgen relies on when it builds profiles
+// from the registry.
+func TestBuiltinTrafficSources(t *testing.T) {
+	for _, m := range protocols.Modules() {
+		if !m.HasTraffic() {
+			continue
+		}
+		tr := m.NewTraffic(protocols.TrafficOptions{Count: 3})
+		if len(tr.Sources) == 0 {
+			t.Errorf("module %q traffic has no sources", m.Key)
+		}
+		for _, s := range tr.Sources {
+			if _, ok := s.(mac.Source); !ok {
+				t.Errorf("module %q traffic source %T does not implement mac.Source", m.Key, s)
+			}
+		}
+	}
+}
+
+// Every builtin modulator factory must return a non-nil value.
+func TestBuiltinModulators(t *testing.T) {
+	for _, m := range protocols.Modules() {
+		if !m.HasModulator() {
+			continue
+		}
+		if m.NewModulator() == nil {
+			t.Errorf("module %q modulator factory returned nil", m.Key)
+		}
+	}
+}
+
+// Analyzer factories honor AnalyzerOptions: the WiFi module's
+// header-only variant and the Bluetooth piconet parameters.
+func TestBuiltinAnalyzers(t *testing.T) {
+	wifi, _ := protocols.ModuleByKey("wifi")
+	full := wifi.NewAnalyzer(protocols.AnalyzerOptions{})
+	head := wifi.NewAnalyzer(protocols.AnalyzerOptions{HeaderOnly: true})
+	if full == nil || head == nil {
+		t.Fatal("wifi analyzer factory returned nil")
+	}
+	if full.Name() == head.Name() {
+		t.Errorf("header-only analyzer %q should differ from full %q", head.Name(), full.Name())
+	}
+	if !full.Accepts(protocols.WiFi80211b11M) {
+		t.Error("wifi analyzer rejects its own family")
+	}
+	if full.Accepts(protocols.Bluetooth) {
+		t.Error("wifi analyzer accepts Bluetooth")
+	}
+
+	bt, _ := protocols.ModuleByKey("bt")
+	if a := bt.NewAnalyzer(protocols.AnalyzerOptions{LAP: 0x123456, UAP: 0x9a, Channels: 8}); a == nil {
+		t.Fatal("bt analyzer factory returned nil")
+	}
+	if a := bt.NewAnalyzer(protocols.AnalyzerOptions{}); a == nil {
+		t.Fatal("bt analyzer with default piconet returned nil")
+	}
+	if !bt.NewAnalyzer(protocols.AnalyzerOptions{}).Accepts(protocols.Bluetooth) {
+		t.Error("bt analyzer rejects Bluetooth")
+	}
+}

@@ -1,0 +1,52 @@
+package builtin
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"rfdump/internal/protocols"
+)
+
+// The docs-sync gate: the README protocol table and DESIGN.md §12 must
+// name every registered builtin module (key, aliases, detector block
+// names). Registering a detector without documenting it — or renaming
+// one and leaving stale docs — fails here.
+func TestDocsMatchRegistry(t *testing.T) {
+	readme, err := os.ReadFile("../../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(string(design), "## 12. The protocol module registry") {
+		t.Error("DESIGN.md is missing §12 (the protocol module registry)")
+	}
+
+	rd := string(readme)
+	for _, m := range protocols.Modules() {
+		if !strings.Contains(rd, fmt.Sprintf("`%s`", m.Key)) {
+			t.Errorf("README protocol table is missing module key %q", m.Key)
+		}
+		for _, a := range m.Aliases {
+			if !strings.Contains(rd, fmt.Sprintf("`%s`", a)) {
+				t.Errorf("README protocol table is missing alias %q of module %q", a, m.Key)
+			}
+		}
+		for _, s := range m.Detectors() {
+			if !strings.Contains(rd, fmt.Sprintf("`%s`", s.Name)) {
+				t.Errorf("README protocol table is missing detector %q", s.Name)
+			}
+		}
+		// The capability list must be documented truthfully.
+		for _, c := range m.Capabilities() {
+			if !strings.Contains(rd, c) {
+				t.Errorf("README never mentions capability %q (module %q)", c, m.Key)
+			}
+		}
+	}
+}

@@ -46,6 +46,9 @@ func (id ID) String() string {
 	case Microwave:
 		return "Microwave"
 	default:
+		if n, ok := dynamicName(id); ok {
+			return n
+		}
 		return "unknown"
 	}
 }
@@ -77,6 +80,9 @@ func (id ID) FamilyName() string {
 	case Microwave:
 		return "Microwave"
 	default:
+		if n, ok := dynamicName(id.Family()); ok {
+			return n
+		}
 		return "unknown"
 	}
 }

@@ -1,0 +1,652 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// This file is the protocol module registry: the seam the paper's
+// extensibility claim (§2.1, §3.2) hangs off. A protocol is added to the
+// system by registering a Module that bundles its identity with its
+// capabilities — cheap detectors grouped by feature class (Table 2:
+// timing / phase / frequency), a demodulator for the analysis stage, a
+// PHY modulator, and a traffic-profile fragment for trace synthesis.
+// Every layer resolves protocols through the registry instead of
+// enumerating them: the pipeline assembles whatever detectors are
+// selected, the dispatcher labels its metrics from module labels, rfgen
+// builds single-protocol profiles from traffic fragments, and rfdumpd
+// serves the whole table at /api/protocols. Capabilities attach
+// independently, so a module registered with only a detector still
+// participates in detection (the analysis stage simply never claims its
+// requests), and an out-of-tree protocol can allocate a fresh ID with
+// RegisterName and plug in without touching any core source.
+
+// FeatureClass groups fast detectors by the Table 2 feature column they
+// exploit: MAC timing, modulation phase structure, or channel frequency
+// occupancy.
+type FeatureClass int
+
+// The feature classes of Table 2.
+const (
+	ClassTiming FeatureClass = iota
+	ClassPhase
+	ClassFreq
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c FeatureClass) String() string {
+	switch c {
+	case ClassTiming:
+		return "timing"
+	case ClassPhase:
+		return "phase"
+	case ClassFreq:
+		return "freq"
+	default:
+		return "unknown"
+	}
+}
+
+// classByName inverts FeatureClass.String.
+func classByName(s string) (FeatureClass, bool) {
+	switch s {
+	case "timing":
+		return ClassTiming, true
+	case "phase":
+		return ClassPhase, true
+	case "freq":
+		return ClassFreq, true
+	}
+	return 0, false
+}
+
+// SampleSource gives detectors and analyzers that inspect the signal
+// bounded access to the sample stream ("after the detection stage, the
+// stream of signal is only accessed as needed", Section 2.2).
+type SampleSource interface {
+	// Slice returns the samples of the interval clipped to the stream.
+	Slice(iv iq.Interval) iq.Samples
+}
+
+// DetectorEnv is what the pipeline hands a detector factory at assembly
+// time: the session clock and the session's sample window. Factories
+// must not retain state across calls — every session gets fresh
+// detector instances.
+type DetectorEnv struct {
+	// Clock is the engine's sample clock.
+	Clock iq.Clock
+	// Samples is the session's bounded view of the stream, for
+	// signal-inspecting detectors (phase, frequency).
+	Samples SampleSource
+}
+
+// DetectorSpec describes one fast detector: its flowgraph block name,
+// its feature class, and a factory building a fresh instance for one
+// pipeline session. The block it builds consumes *ChunkMeta-style items
+// from the protocol-agnostic stage and emits Detection verdicts.
+type DetectorSpec struct {
+	// Name is the flowgraph block name ("802.11-timing"); it keys CPU
+	// accounting and per-detector metrics, so it must be unique across
+	// the registry.
+	Name string
+	// Class is the Table 2 feature class the detector exploits.
+	Class FeatureClass
+	// Default marks the spec as part of the bare class selectors
+	// ("timing", "phase", "freq") and the "default" selector. Specialty
+	// detectors (microwave, ZigBee, OFDM) leave it false and are
+	// selected through their module instead.
+	Default bool
+	// New builds a fresh detector for one session.
+	New func(env DetectorEnv) flowgraph.Block
+
+	// module is the owning module, set by Module.AddDetector.
+	module *Module
+}
+
+// Module returns the module the spec is registered under (nil for specs
+// used directly in a Config without registration).
+func (s DetectorSpec) Module() *Module { return s.module }
+
+// AnalysisRequest asks the analysis stage to process a span of samples
+// tentatively classified to a protocol family. Overlapping detections of
+// one family are merged before dispatch so demodulators never see the
+// same samples twice ("avoid redundant computation", Section 2.1).
+type AnalysisRequest struct {
+	// Family is the claimed protocol family.
+	Family ID
+	// Span is the merged sample range to analyze.
+	Span iq.Interval
+	// Channel is the claimed protocol channel when every contributing
+	// detection agreed on one, else -1 (analyze all channels).
+	Channel int
+	// Confidence is the maximum contributing confidence.
+	Confidence float64
+	// Detectors lists the modules that contributed.
+	Detectors []string
+	// HeaderOnly asks the analyzer to stop after the physical-layer
+	// header — set by the overload gate when full demodulation is shed.
+	HeaderOnly bool
+}
+
+// Analyzer is the analysis-stage plug-in interface (demodulators,
+// header-only decoders, deep packet inspection — "Functionality
+// Extensible", Section 2.1). Analyzers receive merged AnalysisRequests
+// and read samples through the accessor; whatever they emit is collected
+// in the run result's Outputs.
+type Analyzer interface {
+	// Name identifies the analyzer block in CPU accounting.
+	Name() string
+	// Accepts reports whether the analyzer handles the family.
+	Accepts(family ID) bool
+	// Analyze processes one request, emitting its products.
+	Analyze(src SampleSource, req AnalysisRequest, emit func(flowgraph.Item)) error
+}
+
+// AnalyzerOptions parameterizes a module's analyzer factory. Fields are
+// a union across protocols; modules read what applies to them.
+type AnalyzerOptions struct {
+	// HeaderOnly asks for the header-only analyzer variant where the
+	// module has one (the Section 2.2 "demodulation of headers only"
+	// ablation).
+	HeaderOnly bool
+	// LAP and UAP name the Bluetooth piconet to follow.
+	LAP uint32
+	UAP byte
+	// Channels is the monitored channel count for channelized protocols
+	// (0 = module default).
+	Channels int
+}
+
+// TrafficOptions parameterizes a module's traffic-profile fragment.
+type TrafficOptions struct {
+	// Count is the number of transmissions/exchanges to schedule
+	// (0 = fragment default).
+	Count int
+	// PayloadBytes sizes packet payloads (0 = fragment default).
+	PayloadBytes int
+}
+
+// Traffic is a module's rfgen profile fragment: MAC-level sources that
+// schedule the protocol's transmissions into a synthesized ether.
+type Traffic struct {
+	// Sources are the scheduled transmitters; each value must implement
+	// mac.Source (typed as any here because the mac layer sits above
+	// this package).
+	Sources []any
+	// Duration fixes the trace length in samples (0 = until the sources
+	// drain).
+	Duration iq.Tick
+}
+
+// Module bundles one protocol's identity with its capabilities. Create
+// it with its identity fields set, hand it to Register, then attach
+// capabilities — typically all from one place (the builtin package, or
+// an out-of-tree plugin's init).
+type Module struct {
+	// ID is the protocol's canonical identifier; per-rate variants
+	// share the module of their family representative.
+	ID ID
+	// Key is the selector key ("wifi", "bt", "zigbee") used by flag
+	// parsing, rfgen profiles and the HTTP API.
+	Key string
+	// Label names the protocol in metrics and report tables ("802.11b");
+	// defaults to ID.FamilyName().
+	Label string
+	// Aliases are additional selector keys ("bluetooth" for "bt").
+	Aliases []string
+
+	mu           sync.RWMutex
+	detectors    []DetectorSpec
+	newAnalyzer  func(AnalyzerOptions) Analyzer
+	newModulator func() any
+	newTraffic   func(TrafficOptions) Traffic
+}
+
+// AddDetector attaches a fast detector to the module. The spec's name
+// must be unique across the whole registry (it names a flowgraph block
+// and its metrics).
+func (m *Module) AddDetector(spec DetectorSpec) error {
+	if spec.Name == "" || spec.New == nil {
+		return fmt.Errorf("protocols: detector spec for %q needs Name and New", m.Key)
+	}
+	if _, ok := DetectorByName(spec.Name); ok {
+		return fmt.Errorf("protocols: detector %q already registered", spec.Name)
+	}
+	spec.module = m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.detectors = append(m.detectors, spec)
+	return nil
+}
+
+// MustAddDetector is AddDetector, panicking on error (init-time wiring).
+func (m *Module) MustAddDetector(spec DetectorSpec) {
+	if err := m.AddDetector(spec); err != nil {
+		panic(err)
+	}
+}
+
+// SetAnalyzer attaches the module's analysis-stage factory.
+func (m *Module) SetAnalyzer(f func(AnalyzerOptions) Analyzer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.newAnalyzer = f
+}
+
+// SetModulator attaches the module's PHY modulator factory. The value
+// built is protocol-shaped (each PHY has its own Modulate signature), so
+// it is typed any; trace synthesis goes through SetTraffic instead.
+func (m *Module) SetModulator(f func() any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.newModulator = f
+}
+
+// SetTraffic attaches the module's rfgen traffic-profile fragment.
+func (m *Module) SetTraffic(f func(TrafficOptions) Traffic) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.newTraffic = f
+}
+
+// Detectors returns the module's detector specs (copy).
+func (m *Module) Detectors() []DetectorSpec {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]DetectorSpec, len(m.detectors))
+	copy(out, m.detectors)
+	return out
+}
+
+// HasAnalyzer reports whether an analysis-stage factory is attached.
+func (m *Module) HasAnalyzer() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.newAnalyzer != nil
+}
+
+// NewAnalyzer builds the module's analyzer (nil when none is attached).
+func (m *Module) NewAnalyzer(opts AnalyzerOptions) Analyzer {
+	m.mu.RLock()
+	f := m.newAnalyzer
+	m.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(opts)
+}
+
+// HasModulator reports whether a PHY modulator factory is attached.
+func (m *Module) HasModulator() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.newModulator != nil
+}
+
+// NewModulator builds the module's PHY modulator (nil when none).
+func (m *Module) NewModulator() any {
+	m.mu.RLock()
+	f := m.newModulator
+	m.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}
+
+// HasTraffic reports whether a traffic fragment is attached.
+func (m *Module) HasTraffic() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.newTraffic != nil
+}
+
+// NewTraffic builds the module's traffic fragment (zero Traffic when
+// none is attached).
+func (m *Module) NewTraffic(opts TrafficOptions) Traffic {
+	m.mu.RLock()
+	f := m.newTraffic
+	m.mu.RUnlock()
+	if f == nil {
+		return Traffic{}
+	}
+	return f(opts)
+}
+
+// Capabilities lists what is attached, for the API and diagnostics.
+func (m *Module) Capabilities() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	if len(m.detectors) > 0 {
+		out = append(out, "detect")
+	}
+	if m.newAnalyzer != nil {
+		out = append(out, "analyze")
+	}
+	if m.newModulator != nil {
+		out = append(out, "modulate")
+	}
+	if m.newTraffic != nil {
+		out = append(out, "traffic")
+	}
+	return out
+}
+
+// registry is the process-wide module table.
+var registry = struct {
+	mu    sync.RWMutex
+	byKey map[string]*Module
+	byID  map[ID]*Module
+	order []*Module
+}{
+	byKey: map[string]*Module{},
+	byID:  map[ID]*Module{},
+}
+
+// Register adds a module to the registry. The key (and every alias) and
+// the family ID must be unused.
+func Register(m *Module) (*Module, error) {
+	if m.Key == "" {
+		return nil, fmt.Errorf("protocols: module needs a Key")
+	}
+	if m.ID == Unknown {
+		return nil, fmt.Errorf("protocols: module %q needs an ID (use RegisterName for new protocols)", m.Key)
+	}
+	if m.Label == "" {
+		m.Label = m.ID.FamilyName()
+		if m.Label == "unknown" {
+			m.Label = m.Key
+		}
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	keys := append([]string{m.Key}, m.Aliases...)
+	for _, k := range keys {
+		if _, dup := registry.byKey[k]; dup {
+			return nil, fmt.Errorf("protocols: module key %q already registered", k)
+		}
+		if _, class := classByName(k); class || k == "all" || k == "default" || k == "list" {
+			return nil, fmt.Errorf("protocols: module key %q collides with a selector keyword", k)
+		}
+	}
+	fam := m.ID.Family()
+	if _, dup := registry.byID[fam]; dup {
+		return nil, fmt.Errorf("protocols: family %v already has a module", fam)
+	}
+	for _, k := range keys {
+		registry.byKey[k] = m
+	}
+	registry.byID[fam] = m
+	registry.order = append(registry.order, m)
+	return m, nil
+}
+
+// MustRegister is Register, panicking on error (init-time wiring).
+func MustRegister(m *Module) *Module {
+	out, err := Register(m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Modules returns every registered module in registration order.
+func Modules() []*Module {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]*Module, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// ModuleByKey resolves a selector key or alias.
+func ModuleByKey(key string) (*Module, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	m, ok := registry.byKey[key]
+	return m, ok
+}
+
+// ModuleFor resolves a protocol ID (any rate variant) to its family's
+// module.
+func ModuleFor(id ID) (*Module, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	m, ok := registry.byID[id.Family()]
+	return m, ok
+}
+
+// DetectorByName finds a registered detector spec by block name.
+func DetectorByName(name string) (DetectorSpec, bool) {
+	for _, m := range Modules() {
+		for _, s := range m.Detectors() {
+			if s.Name == name {
+				return s, true
+			}
+		}
+	}
+	return DetectorSpec{}, false
+}
+
+// AllDetectors returns every registered detector spec in module
+// registration order, timing class first within each module (stable
+// assembly order for the "all" selector).
+func AllDetectors() []DetectorSpec {
+	var out []DetectorSpec
+	for _, m := range Modules() {
+		specs := m.Detectors()
+		sort.SliceStable(specs, func(i, j int) bool { return specs[i].Class < specs[j].Class })
+		out = append(out, specs...)
+	}
+	return out
+}
+
+// LabelFor returns the metrics/report label for a protocol: the
+// registered module's label when there is one, else the built-in family
+// name. Metrics derived through it pick up newly registered protocols
+// automatically.
+func LabelFor(id ID) string {
+	if m, ok := ModuleFor(id); ok {
+		return m.Label
+	}
+	return id.FamilyName()
+}
+
+// Families returns the distinct protocol families known to the system:
+// the built-in Table 2 families plus any registered module family
+// outside that set, in stable order.
+func Families() []ID {
+	out := []ID{WiFi80211b1M, WiFi80211g, Bluetooth, ZigBee, Microwave}
+	seen := map[ID]bool{}
+	for _, id := range out {
+		seen[id] = true
+	}
+	for _, m := range Modules() {
+		if fam := m.ID.Family(); !seen[fam] {
+			seen[fam] = true
+			out = append(out, fam)
+		}
+	}
+	return out
+}
+
+// ErrDetectorList is returned by SelectDetectors for the "list"
+// selector: the caller should print ListDetectors and exit.
+var ErrDetectorList = fmt.Errorf("protocols: detector list requested")
+
+// SelectDetectors resolves a comma-separated detector selector list
+// against the registry. Selectors:
+//
+//	timing | phase | freq — every default detector of that feature class
+//	<module>              — every detector of that module ("zigbee")
+//	<module>.<class>      — that module's detectors of one class ("wifi.timing")
+//	<module>.*            — same as <module>
+//	default               — every default detector
+//	all                   — every registered detector
+//	list                  — returns ErrDetectorList (print ListDetectors)
+//
+// Results keep selector order, deduplicated by block name. At least one
+// detector must resolve.
+func SelectDetectors(list string) ([]DetectorSpec, error) {
+	var out []DetectorSpec
+	seen := map[string]bool{}
+	add := func(s DetectorSpec) {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	addClass := func(class FeatureClass, defaultOnly bool, within *Module) bool {
+		found := false
+		mods := Modules()
+		if within != nil {
+			mods = []*Module{within}
+		}
+		for _, m := range mods {
+			for _, s := range m.Detectors() {
+				if s.Class != class || (defaultOnly && !s.Default) {
+					continue
+				}
+				add(s)
+				found = true
+			}
+		}
+		return found
+	}
+	any := false
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+			continue
+		case tok == "list":
+			return nil, ErrDetectorList
+		case tok == "all":
+			for _, s := range AllDetectors() {
+				add(s)
+			}
+		case tok == "default":
+			for c := ClassTiming; c < numClasses; c++ {
+				addClass(c, true, nil)
+			}
+		default:
+			if class, ok := classByName(tok); ok {
+				addClass(class, true, nil)
+				any = true
+				continue
+			}
+			key, sub, qualified := strings.Cut(tok, ".")
+			m, ok := ModuleByKey(key)
+			if !ok {
+				return nil, fmt.Errorf("unknown detector selector %q (try \"list\")", tok)
+			}
+			if !qualified || sub == "*" {
+				for _, s := range m.Detectors() {
+					add(s)
+				}
+			} else {
+				class, ok := classByName(sub)
+				if !ok {
+					return nil, fmt.Errorf("unknown feature class %q in selector %q", sub, tok)
+				}
+				if !addClass(class, false, m) {
+					return nil, fmt.Errorf("module %q has no %s detector", key, class)
+				}
+			}
+		}
+		any = true
+	}
+	if !any || len(out) == 0 {
+		return nil, fmt.Errorf("no detectors selected")
+	}
+	return out, nil
+}
+
+// DetectorUsage is the one-line flag help shared by rfdump and rfdumpd.
+func DetectorUsage() string {
+	var keys []string
+	for _, m := range Modules() {
+		keys = append(keys, m.Key)
+	}
+	base := "comma list of selectors: timing,phase,freq (feature classes)"
+	if len(keys) > 0 {
+		base += "; " + strings.Join(keys, ",") + " (modules)"
+	}
+	return base + "; <module>.<class> (e.g. wifi.timing); all; list"
+}
+
+// ListDetectors renders the full registered-detector table (the "list"
+// selector's output).
+func ListDetectors() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %s\n", "Detector", "Module", "Class", "Default", "Protocol")
+	for _, m := range Modules() {
+		for _, s := range m.Detectors() {
+			def := ""
+			if s.Default {
+				def = "yes"
+			}
+			fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %s\n", s.Name, m.Key, s.Class, def, m.Label)
+		}
+	}
+	return b.String()
+}
+
+// Dynamic protocol identifiers: out-of-tree modules allocate IDs here so
+// detections, packets and metrics can name protocols the built-in enum
+// has never heard of.
+const dynamicIDBase ID = 1000
+
+var dynamicIDs = struct {
+	mu    sync.RWMutex
+	names map[ID]string
+	next  ID
+}{names: map[ID]string{}, next: dynamicIDBase}
+
+// RegisterName allocates a fresh protocol ID for a name unknown to the
+// built-in enum. The name becomes the ID's String()/FamilyName(); the
+// ID is its own family.
+func RegisterName(name string) ID {
+	dynamicIDs.mu.Lock()
+	defer dynamicIDs.mu.Unlock()
+	id := dynamicIDs.next
+	dynamicIDs.next++
+	dynamicIDs.names[id] = name
+	return id
+}
+
+// dynamicName resolves a dynamically allocated ID.
+func dynamicName(id ID) (string, bool) {
+	dynamicIDs.mu.RLock()
+	defer dynamicIDs.mu.RUnlock()
+	n, ok := dynamicIDs.names[id]
+	return n, ok
+}
+
+// IDByName inverts ID.String across built-in and dynamic IDs (log and
+// truth-sidecar round trips).
+func IDByName(s string) ID {
+	for _, id := range []ID{
+		WiFi80211b1M, WiFi80211b2M, WiFi80211b5M5, WiFi80211b11M,
+		WiFi80211g, Bluetooth, ZigBee, Microwave,
+	} {
+		if id.String() == s {
+			return id
+		}
+	}
+	dynamicIDs.mu.RLock()
+	defer dynamicIDs.mu.RUnlock()
+	for id, name := range dynamicIDs.names {
+		if name == s {
+			return id
+		}
+	}
+	return Unknown
+}

@@ -1,0 +1,243 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+)
+
+// stubBlock is a minimal flowgraph.Block for detector specs under test.
+type stubBlock struct{ name string }
+
+func (b stubBlock) Name() string                                       { return b.name }
+func (b stubBlock) Process(flowgraph.Item, func(flowgraph.Item)) error { return nil }
+func (b stubBlock) Flush(func(flowgraph.Item)) error                   { return nil }
+
+func stubSpec(name string, class FeatureClass, def bool) DetectorSpec {
+	return DetectorSpec{
+		Name:    name,
+		Class:   class,
+		Default: def,
+		New:     func(DetectorEnv) flowgraph.Block { return stubBlock{name} },
+	}
+}
+
+// The registry is process-global; this test binary registers a small
+// fake protocol set once and every test reads it. Keys are prefixed to
+// make collisions with real modules impossible.
+var (
+	testAlpha = MustRegister(&Module{ID: WiFi80211b1M, Key: "talpha", Label: "Alpha", Aliases: []string{"ta"}})
+	testBeta  = MustRegister(&Module{ID: Bluetooth, Key: "tbeta"})
+)
+
+func init() {
+	testAlpha.MustAddDetector(stubSpec("talpha-timing", ClassTiming, true))
+	testAlpha.MustAddDetector(stubSpec("talpha-phase", ClassPhase, true))
+	testBeta.MustAddDetector(stubSpec("tbeta-timing", ClassTiming, true))
+	testBeta.MustAddDetector(stubSpec("tbeta-freq", ClassFreq, false))
+}
+
+func specNames(specs []DetectorSpec) []string {
+	var out []string
+	for _, s := range specs {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if _, err := Register(&Module{ID: ZigBee}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Register(&Module{Key: "tgamma"}); err == nil {
+		t.Error("Unknown ID accepted")
+	}
+	if _, err := Register(&Module{ID: ZigBee, Key: "talpha"}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if _, err := Register(&Module{ID: ZigBee, Key: "tgamma", Aliases: []string{"ta"}}); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+	if _, err := Register(&Module{ID: ZigBee, Key: "timing"}); err == nil {
+		t.Error("selector-keyword key accepted")
+	}
+	if _, err := Register(&Module{ID: ZigBee, Key: "tgamma", Aliases: []string{"all"}}); err == nil {
+		t.Error("selector-keyword alias accepted")
+	}
+	// WiFi80211b11M shares testAlpha's family.
+	if _, err := Register(&Module{ID: WiFi80211b11M, Key: "tdelta"}); err == nil {
+		t.Error("duplicate family accepted")
+	}
+}
+
+func TestAddDetectorValidation(t *testing.T) {
+	if err := testAlpha.AddDetector(DetectorSpec{Name: "", New: stubSpec("x", ClassTiming, false).New}); err == nil {
+		t.Error("empty detector name accepted")
+	}
+	if err := testAlpha.AddDetector(DetectorSpec{Name: "nameless"}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	// Cross-module duplicate name.
+	if err := testBeta.AddDetector(stubSpec("talpha-timing", ClassTiming, false)); err == nil {
+		t.Error("duplicate detector name accepted")
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	if m, ok := ModuleByKey("ta"); !ok || m != testAlpha {
+		t.Error("alias lookup failed")
+	}
+	// Any rate variant maps to the family module.
+	if m, ok := ModuleFor(WiFi80211b11M); !ok || m != testAlpha {
+		t.Error("family lookup via rate variant failed")
+	}
+	if testAlpha.Label != "Alpha" {
+		t.Errorf("explicit label overwritten: %q", testAlpha.Label)
+	}
+	if testBeta.Label != "Bluetooth" {
+		t.Errorf("label did not default to family name: %q", testBeta.Label)
+	}
+	if LabelFor(WiFi80211b5M5) != "Alpha" {
+		t.Errorf("LabelFor did not use module label: %q", LabelFor(WiFi80211b5M5))
+	}
+	if LabelFor(ZigBee) != "ZigBee" {
+		t.Errorf("LabelFor fallback: %q", LabelFor(ZigBee))
+	}
+	if s, ok := DetectorByName("tbeta-freq"); !ok || s.Module() != testBeta {
+		t.Error("DetectorByName failed or lost module backlink")
+	}
+}
+
+func TestSelectDetectorsGrammar(t *testing.T) {
+	cases := []struct {
+		list string
+		want []string
+	}{
+		// Bare classes pick Default specs only (tbeta-freq excluded).
+		{"timing", []string{"talpha-timing", "tbeta-timing"}},
+		{"timing,phase", []string{"talpha-timing", "tbeta-timing", "talpha-phase"}},
+		{"freq", nil}, // no default freq detector -> error
+		{"default", []string{"talpha-timing", "tbeta-timing", "talpha-phase"}},
+		// Module selectors include non-default specs.
+		{"tbeta", []string{"tbeta-timing", "tbeta-freq"}},
+		{"tbeta.*", []string{"tbeta-timing", "tbeta-freq"}},
+		{"tbeta.freq", []string{"tbeta-freq"}},
+		{"ta.phase", []string{"talpha-phase"}},
+		{"all", []string{"talpha-timing", "talpha-phase", "tbeta-timing", "tbeta-freq"}},
+		// Dedup across selectors, order preserved.
+		{"tbeta.freq,timing,tbeta", []string{"tbeta-freq", "talpha-timing", "tbeta-timing"}},
+		{" timing , ,", []string{"talpha-timing", "tbeta-timing"}},
+	}
+	for _, c := range cases {
+		specs, err := SelectDetectors(c.list)
+		if c.want == nil {
+			if err == nil {
+				t.Errorf("SelectDetectors(%q): expected error, got %v", c.list, specNames(specs))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SelectDetectors(%q): %v", c.list, err)
+			continue
+		}
+		if got := specNames(specs); !equal(got, c.want) {
+			t.Errorf("SelectDetectors(%q) = %v, want %v", c.list, got, c.want)
+		}
+	}
+
+	if _, err := SelectDetectors("list"); err != ErrDetectorList {
+		t.Errorf("list selector returned %v", err)
+	}
+	if _, err := SelectDetectors(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := SelectDetectors("bogus"); err == nil {
+		t.Error("unknown selector accepted")
+	}
+	if _, err := SelectDetectors("tbeta.phase"); err == nil {
+		t.Error("missing class within module accepted")
+	}
+	if _, err := SelectDetectors("tbeta.bogus"); err == nil {
+		t.Error("unknown class within module accepted")
+	}
+}
+
+func TestDetectorSpecBuilds(t *testing.T) {
+	env := DetectorEnv{Clock: iq.NewClock(iq.DefaultSampleRate)}
+	s, ok := DetectorByName("talpha-timing")
+	if !ok {
+		t.Fatal("spec not found")
+	}
+	if b := s.New(env); b.Name() != "talpha-timing" {
+		t.Errorf("built block named %q", b.Name())
+	}
+}
+
+func TestUsageAndList(t *testing.T) {
+	usage := DetectorUsage()
+	for _, want := range []string{"timing", "talpha", "tbeta", "list"} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage %q missing %q", usage, want)
+		}
+	}
+	table := ListDetectors()
+	for _, want := range []string{"talpha-timing", "tbeta-freq", "Alpha", "Bluetooth"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("detector table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestDynamicIDs(t *testing.T) {
+	id := RegisterName("LoRa-test")
+	if id < dynamicIDBase {
+		t.Fatalf("dynamic ID %d below base", id)
+	}
+	if id.String() != "LoRa-test" || id.FamilyName() != "LoRa-test" {
+		t.Errorf("dynamic name: %q / %q", id.String(), id.FamilyName())
+	}
+	if id.Family() != id {
+		t.Error("dynamic ID is not its own family")
+	}
+	if IDByName("LoRa-test") != id {
+		t.Error("IDByName did not resolve dynamic name")
+	}
+	if IDByName("802.11g") != WiFi80211g {
+		t.Error("IDByName did not resolve builtin name")
+	}
+	if IDByName("never-heard-of-it") != Unknown {
+		t.Error("IDByName invented an ID")
+	}
+
+	m := MustRegister(&Module{ID: id, Key: "tlora"})
+	if m.Label != "LoRa-test" {
+		t.Errorf("dynamic label: %q", m.Label)
+	}
+	fams := Families()
+	found := false
+	for _, f := range fams {
+		if f == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Families() missing dynamic family: %v", fams)
+	}
+	if LabelFor(id) != "LoRa-test" {
+		t.Errorf("LabelFor(dynamic) = %q", LabelFor(id))
+	}
+}

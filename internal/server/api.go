@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"rfdump/internal/metrics"
+	"rfdump/internal/protocols"
 	"rfdump/internal/report"
 )
 
@@ -19,6 +20,8 @@ import (
 //	GET /api/waterfall   — spectrogram of a stream's recent samples
 //	GET /api/live        — server-sent events feed (?types=detection,packet)
 //	GET /api/metricz     — metrics registry snapshot (?format=text|json)
+//	GET /api/protocols   — the protocol module registry: every registered
+//	                       module with its detectors and capabilities
 func (d *Daemon) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/streams", d.handleStreams)
@@ -26,8 +29,48 @@ func (d *Daemon) APIHandler() http.Handler {
 	mux.HandleFunc("/api/packets", d.handlePackets)
 	mux.HandleFunc("/api/waterfall", d.handleWaterfall)
 	mux.HandleFunc("/api/live", d.handleLive)
+	mux.HandleFunc("/api/protocols", d.handleProtocols)
 	mux.Handle("/api/metricz", metrics.Handler(d.reg, d.refreshGauges))
 	return mux
+}
+
+// protocolInfo is the JSON shape of one registered module.
+type protocolInfo struct {
+	Key          string             `json:"key"`
+	Label        string             `json:"label"`
+	Family       string             `json:"family"`
+	Aliases      []string           `json:"aliases,omitempty"`
+	Capabilities []string           `json:"capabilities"`
+	Detectors    []protocolDetector `json:"detectors,omitempty"`
+}
+
+type protocolDetector struct {
+	Name    string `json:"name"`
+	Class   string `json:"class"`
+	Default bool   `json:"default"`
+}
+
+// handleProtocols serves the module registry: which protocols this
+// daemon knows, how each is detected, and what else it can do with
+// them. A module registered out of tree appears here automatically.
+func (d *Daemon) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	var out []protocolInfo
+	for _, m := range protocols.Modules() {
+		info := protocolInfo{
+			Key:          m.Key,
+			Label:        m.Label,
+			Family:       m.ID.FamilyName(),
+			Aliases:      m.Aliases,
+			Capabilities: m.Capabilities(),
+		}
+		for _, s := range m.Detectors() {
+			info.Detectors = append(info.Detectors, protocolDetector{
+				Name: s.Name, Class: s.Class.String(), Default: s.Default,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, map[string]any{"protocols": out})
 }
 
 // writeJSON serves v with the standard headers.

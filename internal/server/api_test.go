@@ -1,0 +1,69 @@
+package server
+
+import (
+	"testing"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+)
+
+// TestProtocolsEndpoint locks the /api/protocols surface: every
+// registered module is served with its key, label, family, detector
+// table and capability list, exactly as the registry reports them.
+func TestProtocolsEndpoint(t *testing.T) {
+	clock := iq.NewClock(0)
+	_, _, ts := newTestDaemon(t, clock, metrics.NewRegistry(), Options{})
+
+	var body struct {
+		Protocols []protocolInfo `json:"protocols"`
+	}
+	getJSON(t, ts.URL+"/api/protocols", &body)
+
+	byKey := map[string]protocolInfo{}
+	for _, p := range body.Protocols {
+		byKey[p.Key] = p
+	}
+	for _, key := range []string{"wifi", "bt", "wifig", "zigbee", "microwave"} {
+		if _, ok := byKey[key]; !ok {
+			t.Errorf("/api/protocols missing module %q (have %d entries)", key, len(body.Protocols))
+		}
+	}
+
+	wifi := byKey["wifi"]
+	if wifi.Label != "802.11b" || wifi.Family != "802.11b" {
+		t.Errorf("wifi label/family = %q/%q", wifi.Label, wifi.Family)
+	}
+	caps := map[string]bool{}
+	for _, c := range wifi.Capabilities {
+		caps[c] = true
+	}
+	for _, want := range []string{"detect", "analyze", "modulate", "traffic"} {
+		if !caps[want] {
+			t.Errorf("wifi capabilities %v missing %q", wifi.Capabilities, want)
+		}
+	}
+	dets := map[string]protocolDetector{}
+	for _, d := range wifi.Detectors {
+		dets[d.Name] = d
+	}
+	if d, ok := dets["802.11-timing"]; !ok || d.Class != "timing" || !d.Default {
+		t.Errorf("wifi detectors wrong: %+v", wifi.Detectors)
+	}
+	if d, ok := dets["802.11-phase"]; !ok || d.Class != "phase" {
+		t.Errorf("wifi phase detector wrong: %+v", wifi.Detectors)
+	}
+
+	bt := byKey["bt"]
+	hasAlias := false
+	for _, a := range bt.Aliases {
+		if a == "bluetooth" {
+			hasAlias = true
+		}
+	}
+	if !hasAlias {
+		t.Errorf("bt aliases %v missing \"bluetooth\"", bt.Aliases)
+	}
+	if len(bt.Detectors) != 3 {
+		t.Errorf("bt has %d detectors, want 3", len(bt.Detectors))
+	}
+}

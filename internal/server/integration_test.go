@@ -19,6 +19,7 @@ import (
 	"rfdump/internal/metrics"
 	"rfdump/internal/phy/wifi"
 	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
 	"rfdump/internal/trace"
 	"rfdump/internal/wire"
 )

@@ -113,19 +113,10 @@ func (rec PacketRecord) DecodePacket() (demod.Packet, error) {
 	}, nil
 }
 
-// protoIDFromString inverts protocols.ID.String for log round trips.
+// protoIDFromString inverts protocols.ID.String for log round trips
+// (protocols.IDByName also resolves dynamically registered protocols).
 func protoIDFromString(s string) protocols.ID {
-	for _, id := range []protocols.ID{
-		protocols.WiFi80211b1M, protocols.WiFi80211b2M,
-		protocols.WiFi80211b5M5, protocols.WiFi80211b11M,
-		protocols.WiFi80211g, protocols.Bluetooth,
-		protocols.ZigBee, protocols.Microwave,
-	} {
-		if id.String() == s {
-			return id
-		}
-	}
-	return protocols.Unknown
+	return protocols.IDByName(s)
 }
 
 // WritePacketLogFile writes a complete packet set to path.

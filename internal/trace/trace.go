@@ -175,7 +175,9 @@ func protoFromName(s string) protocols.ID {
 			return id
 		}
 	}
-	return protocols.Unknown
+	// Not one of the sidecar's fixed labels: resolve registered
+	// (including dynamically allocated) protocol names.
+	return protocols.IDByName(s)
 }
 
 // WriteTruth stores a ground-truth sidecar as JSON lines.
@@ -190,8 +192,13 @@ func WriteTruth(w io.Writer, ts *truth.Set) error {
 		return err
 	}
 	for _, r := range ts.Records {
+		name, ok := protoNames[r.Proto]
+		if !ok {
+			// Dynamically registered protocol: its String() is its name.
+			name = r.Proto.String()
+		}
 		tr := truthRecord{
-			Proto:   protoNames[r.Proto],
+			Proto:   name,
 			Kind:    r.Kind,
 			Start:   int64(r.Span.Start),
 			End:     int64(r.Span.End),
