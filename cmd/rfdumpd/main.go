@@ -64,6 +64,9 @@ func main() {
 		retries   = flag.Int("retries", 4, "retry attempts for transient front-end read errors with -faults")
 		waterfall = flag.Int("waterfall", 1<<19, "per-stream waterfall ring in samples (negative disables)")
 		queue     = flag.Int("sse-queue", 256, "per-subscriber live-feed queue length (slow clients drop past this)")
+		sseEvict  = flag.Int("sse-evict", 0, "consecutive live-feed drops before a slow subscriber is evicted (0 = 4x queue, negative disables)")
+		idleTO    = flag.Duration("idle-timeout", 45*time.Second, "reap ingest connections silent (no frame, no heartbeat) this long; 0 disables")
+		stall     = flag.Duration("stall-after", server.DefaultStallAfter, "/healthz reports stalled when an active stream is silent this long; negative disables")
 		quiet     = flag.Bool("q", false, "suppress per-stream log lines")
 	)
 	flag.Parse()
@@ -119,6 +122,9 @@ func main() {
 		Retries:          *retries,
 		WaterfallSamples: *waterfall,
 		SubscriberQueue:  *queue,
+		EvictAfter:       *sseEvict,
+		IdleTimeout:      *idleTO,
+		StallAfter:       *stall,
 		Logf:             logf,
 	})
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"rfdump/internal/chaos"
 	"rfdump/internal/ether"
 	"rfdump/internal/experiments"
 	"rfdump/internal/iq"
@@ -55,11 +56,24 @@ func main() {
 		frameLen = flag.Int("frame-samples", wire.DefaultFrameSamples, "samples per wire frame (with -stream)")
 		streamID = flag.Uint("stream-id", 1, "wire stream id (with -stream)")
 		center   = flag.Uint64("center", 2_437_000_000, "center frequency metadata in Hz (with -stream)")
+
+		reconnect = flag.Bool("reconnect", false, "survive daemon outages: redial with backoff and resume the stream (with -stream)")
+		heartbeat = flag.Duration("heartbeat", 0, "send keep-alive frames when idle this long, e.g. 2s (with -reconnect)")
+		dialTO    = flag.Duration("dial-timeout", wire.DefaultDialTimeout, "TCP connect timeout (with -stream)")
+		writeTO   = flag.Duration("write-timeout", wire.DefaultWriteTimeout, "per-frame write deadline; 0 disables (with -stream)")
+		maxDown   = flag.Duration("max-down", 0, "shed (and account) frames once the link has been down this long; 0 blocks forever (with -reconnect)")
+		chaosSpec = flag.String("chaos", "", "degrade the link through an in-process chaos proxy, e.g. latency=2ms,jitter=500us,bw=1000000,reset=262144 (with -stream)")
 	)
 	flag.Parse()
-	if *realtime && *streamTo == "" {
-		fmt.Fprintln(os.Stderr, "rfgen: -realtime requires -stream")
-		os.Exit(2)
+	if *streamTo == "" {
+		for name, set := range map[string]bool{
+			"-realtime": *realtime, "-reconnect": *reconnect, "-chaos": *chaosSpec != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "rfgen: %s requires -stream\n", name)
+				os.Exit(2)
+			}
+		}
 	}
 
 	res, err := generate(*profile, *snr, *pings, *seed, *scale)
@@ -68,7 +82,16 @@ func main() {
 		os.Exit(1)
 	}
 	if *streamTo != "" {
-		if err := transmit(res, *streamTo, uint32(*streamID), *center, *frameLen, *realtime); err != nil {
+		opts := txOptions{
+			realtime:  *realtime,
+			reconnect: *reconnect,
+			heartbeat: *heartbeat,
+			dialTO:    *dialTO,
+			writeTO:   *writeTO,
+			maxDown:   *maxDown,
+			chaosSpec: *chaosSpec,
+		}
+		if err := transmit(res, *streamTo, uint32(*streamID), *center, *frameLen, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "rfgen:", err)
 			os.Exit(1)
 		}
@@ -88,32 +111,102 @@ func main() {
 		len(res.Truth.Records), 100*res.Utilization())
 }
 
+// txOptions bundles the -stream transmission knobs.
+type txOptions struct {
+	realtime  bool
+	reconnect bool
+	heartbeat time.Duration
+	dialTO    time.Duration
+	writeTO   time.Duration
+	maxDown   time.Duration
+	chaosSpec string
+}
+
 // transmit streams the generated trace over the wire protocol — rfgen
 // acting as the RF front end of a live rfdumpd deployment. With
 // realtime set, frames are paced so samples arrive at the trace's
 // sample rate (what a real receiver would deliver); otherwise the trace
-// is sent as fast as the socket accepts it.
-func transmit(res *ether.Result, addr string, streamID uint32, centerHz uint64, frameLen int, realtime bool) error {
-	client, err := wire.Dial(addr, wire.StreamMeta{
+// is sent as fast as the socket accepts it. With reconnect set, the
+// stream survives daemon outages (redial, resume, gap accounting); with
+// a chaos spec, everything crosses an in-process degraded proxy first.
+func transmit(res *ether.Result, target string, streamID uint32, centerHz uint64, frameLen int, o txOptions) error {
+	addr := target
+	var proxy *chaos.Proxy
+	if o.chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(o.chaosSpec)
+		if err != nil {
+			return err
+		}
+		proxy = chaos.New(target, ccfg)
+		paddr, err := proxy.Start()
+		if err != nil {
+			return fmt.Errorf("chaos proxy: %w", err)
+		}
+		defer proxy.Close()
+		addr = paddr
+		fmt.Fprintf(os.Stderr, "rfgen: chaos proxy %s -> %s (%s)\n", paddr, target, o.chaosSpec)
+	}
+	meta := wire.StreamMeta{
 		StreamID: streamID,
 		Rate:     res.Clock.Rate,
 		CenterHz: centerHz,
-	})
-	if err != nil {
-		return err
 	}
-	defer client.Close()
-	client.SetFrameSamples(frameLen)
+
+	// Both client flavors speak the same frame API; finish closes the
+	// stream and reports frames sent plus any resilience tail for the
+	// summary line.
+	var (
+		send    func(iq.Samples) error
+		sendAll func(iq.Samples) error
+		frame   int
+		finish  func() (int64, string, error)
+	)
+	if o.reconnect {
+		rc := wire.NewReconnectClient(addr, meta, wire.ReconnectConfig{
+			DialTimeout:  o.dialTO,
+			WriteTimeout: o.writeTO,
+			Heartbeat:    o.heartbeat,
+			MaxDown:      o.maxDown,
+			FrameSamples: frameLen,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "rfgen: "+format+"\n", args...)
+			},
+		})
+		defer rc.Close()
+		frame = rc.FrameSamples()
+		send, sendAll = rc.SendFrame, rc.SendSamples
+		finish = func() (int64, string, error) {
+			err := rc.Close()
+			st := rc.Stats()
+			var extra string
+			if st.Reconnects > 0 || st.DroppedSamples > 0 {
+				extra = fmt.Sprintf(", %d reconnects, %d samples shed", st.Reconnects, st.DroppedSamples)
+			}
+			return int64(st.SentFrames), extra, err
+		}
+	} else {
+		client, err := wire.DialTimeout(addr, meta, o.dialTO, o.writeTO)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		client.SetFrameSamples(frameLen)
+		frame = client.FrameSamples()
+		send, sendAll = client.SendFrame, client.SendSamples
+		finish = func() (int64, string, error) {
+			err := client.Close()
+			return client.FramesSent(), "", err
+		}
+	}
 
 	start := time.Now()
-	if realtime {
-		frame := client.FrameSamples()
+	if o.realtime {
 		for off := 0; off < len(res.Samples); off += frame {
 			end := off + frame
 			if end > len(res.Samples) {
 				end = len(res.Samples)
 			}
-			if err := client.SendFrame(res.Samples[off:end]); err != nil {
+			if err := send(res.Samples[off:end]); err != nil {
 				return err
 			}
 			// Sleep toward the absolute schedule so pacing error does not
@@ -123,16 +216,30 @@ func transmit(res *ether.Result, addr string, streamID uint32, centerHz uint64, 
 				time.Sleep(d)
 			}
 		}
-	} else if err := client.SendSamples(res.Samples); err != nil {
+	} else if err := sendAll(res.Samples); err != nil {
 		return err
 	}
-	if err := client.Close(); err != nil {
+	frames, extra, err := finish()
+	if err != nil {
 		return err
 	}
 	took := time.Since(start).Seconds()
-	fmt.Printf("streamed %d samples (%.2f s of air time) to %s in %.2f s: %d frames, %d transmissions\n",
+	fmt.Printf("streamed %d samples (%.2f s of air time) to %s in %.2f s: %d frames, %d transmissions%s\n",
 		len(res.Samples), float64(len(res.Samples))/float64(res.Clock.Rate), addr,
-		took, client.FramesSent(), len(res.Truth.Records))
+		took, frames, len(res.Truth.Records), extra)
+	if proxy != nil {
+		// Our close only queued the tail of the stream; the proxy link
+		// stays active until it forwards through to EOF. Wait for that
+		// before the deferred Close resets the link, or the last frames
+		// die in a kernel buffer.
+		deadline := time.Now().Add(30 * time.Second)
+		for proxy.Stats().Active > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		st := proxy.Stats()
+		fmt.Printf("chaos: %d connections, %d bytes forwarded, %d resets, %d refused\n",
+			st.Accepted, st.Bytes, st.Resets, st.Refused)
+	}
 	return nil
 }
 

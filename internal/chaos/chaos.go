@@ -1,0 +1,374 @@
+// Package chaos is a fault-injecting TCP proxy for exercising the wire
+// ingest path under network misbehavior. It sits between a transmitter
+// and rfdumpd and degrades the link on purpose: added latency and
+// jitter, a bandwidth cap, mid-stream connection resets after a byte
+// budget, full partitions (existing links stall, new connections are
+// refused), and on-demand drops of every active link. The faults
+// package does this for the signal path; chaos does it for the network
+// path — together they let a test prove the resilience claim
+// end-to-end: every detection delivered or accounted, never silently
+// lost.
+//
+// The proxy is driven from tests and from rfgen's -chaos flag; specs
+// use the same key=value,... format as faults.ParseSpec:
+//
+//	latency=2ms,jitter=500us,bw=1000000,reset=262144,seed=3
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the link degradation a Proxy applies. The zero
+// value forwards cleanly.
+type Config struct {
+	// Latency is added to every forwarded chunk (client→server
+	// direction); Jitter randomizes it by ±Jitter.
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBps caps client→server throughput in bytes per second
+	// (0 = unlimited).
+	BandwidthBps int64
+	// ResetAfterBytes hard-resets a connection (RST, not FIN) once it
+	// has carried this many client→server bytes (0 = never). The
+	// budget is per-connection, so every reconnect earns another reset
+	// — a repeating mid-stream failure.
+	ResetAfterBytes int64
+	// Seed seeds the jitter PRNG (0 takes a fixed seed).
+	Seed uint64
+}
+
+// ParseSpec parses a chaos spec string: comma-separated key=value
+// pairs with keys latency, jitter (durations), bw (bytes/sec), reset
+// (bytes), seed. Empty spec is a clean config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Config{}, fmt.Errorf("chaos: bad spec element %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "latency", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Config{}, fmt.Errorf("chaos: bad %s %q", key, val)
+			}
+			if key == "latency" {
+				cfg.Latency = d
+			} else {
+				cfg.Jitter = d
+			}
+		case "bw", "reset", "seed":
+			n, err := strconv.ParseUint(val, 10, 63)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: bad %s %q", key, val)
+			}
+			switch key {
+			case "bw":
+				cfg.BandwidthBps = int64(n)
+			case "reset":
+				cfg.ResetAfterBytes = int64(n)
+			case "seed":
+				cfg.Seed = n
+			}
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// Stats is a snapshot of a proxy's life so far.
+type Stats struct {
+	// Accepted counts client connections proxied; Active is how many
+	// are live now.
+	Accepted int64 `json:"accepted"`
+	Active   int64 `json:"active"`
+	// Resets counts links killed by the byte budget or DropActive;
+	// Refused counts connections rejected during a partition (or a
+	// failed dial to the target).
+	Resets  int64 `json:"resets"`
+	Refused int64 `json:"refused"`
+	// Bytes counts client→server payload forwarded.
+	Bytes int64 `json:"bytes"`
+}
+
+// Proxy is a TCP proxy applying a Config to every link. Create with
+// New, arm with Start, point the transmitter at Addr.
+type Proxy struct {
+	target string
+	cfg    Config
+
+	partitioned atomic.Bool
+
+	mu     sync.Mutex
+	ln     net.Listener
+	links  map[*link]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted atomic.Int64
+	resets   atomic.Int64
+	refused  atomic.Int64
+	bytes    atomic.Int64
+}
+
+// New returns an unstarted proxy in front of target ("host:port").
+func New(target string, cfg Config) *Proxy {
+	return &Proxy{target: target, cfg: cfg, links: make(map[*link]struct{})}
+}
+
+// Start listens on an ephemeral loopback port and begins proxying.
+// Returns the address transmitters should dial.
+func (p *Proxy) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return "", net.ErrClosed
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the proxy's listen address ("" before Start).
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	active := int64(len(p.links))
+	p.mu.Unlock()
+	return Stats{
+		Accepted: p.accepted.Load(),
+		Active:   active,
+		Resets:   p.resets.Load(),
+		Refused:  p.refused.Load(),
+		Bytes:    p.bytes.Load(),
+	}
+}
+
+// Partition opens (true) or heals (false) a full network partition:
+// existing links stop forwarding — TCP backpressure stalls both ends
+// without closing anything, exactly what a routing blackhole looks
+// like — and new connections are reset at accept.
+func (p *Proxy) Partition(on bool) { p.partitioned.Store(on) }
+
+// DropActive hard-resets every active link (RST) and returns how many
+// it killed — a forced mid-stream disconnect.
+func (p *Proxy) DropActive() int {
+	p.mu.Lock()
+	victims := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		victims = append(victims, l)
+	}
+	p.mu.Unlock()
+	for _, l := range victims {
+		l.reset()
+	}
+	return len(victims)
+}
+
+// Close stops accepting, kills every link, and joins the forwarders.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ln := p.ln
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.DropActive()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			abortConn(c)
+			p.refused.Add(1)
+			continue
+		}
+		srv, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			abortConn(c)
+			p.refused.Add(1)
+			continue
+		}
+		n := p.accepted.Add(1)
+		seed := p.cfg.Seed
+		if seed == 0 {
+			seed = 0x2545f4914f6cdd1d
+		}
+		l := &link{p: p, cli: c, srv: srv, budget: p.cfg.ResetAfterBytes, rng: seed + uint64(n)*0x9e3779b9}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			l.reset()
+			continue
+		}
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go l.pipe(c, srv, true)  // client→server: shaped
+		go l.pipe(srv, c, false) // server→client: clean
+	}
+}
+
+// abortConn closes c with an immediate RST instead of a FIN, so the
+// peer sees a hard failure, not a clean end of stream.
+func abortConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// link is one proxied connection pair.
+type link struct {
+	p        *Proxy
+	cli, srv net.Conn
+	dead     atomic.Bool
+	budget   int64 // remaining client→server bytes before forced reset
+	rng      uint64
+}
+
+// reset kills the link with RSTs on both sides.
+func (l *link) reset() {
+	if !l.dead.CompareAndSwap(false, true) {
+		return
+	}
+	l.p.resets.Add(1)
+	abortConn(l.cli)
+	abortConn(l.srv)
+	l.p.mu.Lock()
+	delete(l.p.links, l)
+	l.p.mu.Unlock()
+}
+
+// drop tears the link down without counting a forced reset (transport
+// error or clean close).
+func (l *link) drop() {
+	if !l.dead.CompareAndSwap(false, true) {
+		return
+	}
+	l.cli.Close()
+	l.srv.Close()
+	l.p.mu.Lock()
+	delete(l.p.links, l)
+	l.p.mu.Unlock()
+}
+
+// pollInterval is how often a blocked forwarder wakes to observe the
+// partition and death flags.
+const pollInterval = 50 * time.Millisecond
+
+// pipe forwards src→dst until the link dies. The shaped direction
+// applies latency, jitter, the bandwidth cap, and the reset budget.
+func (l *link) pipe(src, dst net.Conn, shaped bool) {
+	defer l.p.wg.Done()
+	defer l.drop()
+	buf := make([]byte, 8192)
+	for {
+		if l.dead.Load() {
+			return
+		}
+		if l.p.partitioned.Load() {
+			// Stall: stop reading entirely. The kernel buffers fill and
+			// the sender blocks (or times out its write) — a blackhole,
+			// not a close.
+			time.Sleep(pollInterval)
+			continue
+		}
+		_ = src.SetReadDeadline(time.Now().Add(pollInterval))
+		n, err := src.Read(buf)
+		if n > 0 {
+			if shaped {
+				if !l.shape(n) {
+					return // reset by budget
+				}
+				l.p.bytes.Add(int64(n))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}
+
+// shape applies the configured degradation to a chunk of n bytes on
+// the shaped direction. Returns false when the reset budget fired and
+// the link is gone.
+func (l *link) shape(n int) bool {
+	cfg := l.p.cfg
+	delay := cfg.Latency
+	if cfg.Jitter > 0 {
+		l.rng ^= l.rng << 13
+		l.rng ^= l.rng >> 7
+		l.rng ^= l.rng << 17
+		frac := float64(l.rng%1024)/1024.0*2 - 1 // [-1, 1)
+		delay += time.Duration(float64(cfg.Jitter) * frac)
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	if cfg.BandwidthBps > 0 {
+		delay += time.Duration(int64(n) * int64(time.Second) / cfg.BandwidthBps)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if l.budget > 0 {
+		l.budget -= int64(n)
+		if l.budget <= 0 {
+			l.reset()
+			return false
+		}
+	}
+	return true
+}

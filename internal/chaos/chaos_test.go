@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on a fresh loopback listener and
+// echoes everything back. Returns the address and a stop func.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	target, stop := echoServer(t)
+	defer stop()
+	p := New(target, Config{})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("the wireless ether")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.Bytes != int64(len(msg)) {
+		t.Fatalf("stats %+v, want accepted=1 bytes=%d", st, len(msg))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("latency=2ms,jitter=500us,bw=1000000,reset=262144,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Latency:         2 * time.Millisecond,
+		Jitter:          500 * time.Microsecond,
+		BandwidthBps:    1_000_000,
+		ResetAfterBytes: 262_144,
+		Seed:            3,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec("  "); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec = (%+v, %v), want clean config", cfg, err)
+	}
+	for _, bad := range []string{
+		"latency",            // no value
+		"latency=abc",        // bad duration
+		"latency=-1ms",       // negative duration
+		"bw=hello",           // bad number
+		"teleport=1",         // unknown key
+		"latency=1ms,,bw=-2", // negative via parse failure
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	target, stop := echoServer(t)
+	defer stop()
+	p := New(target, Config{ResetAfterBytes: 4096})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Push well past the budget; the link must die with a hard error.
+	chunk := make([]byte, 1024)
+	var werr error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, werr = c.Write(chunk); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("writes kept succeeding past the reset budget")
+	}
+	if st := p.Stats(); st.Resets < 1 {
+		t.Fatalf("stats %+v, want at least one reset", st)
+	}
+}
+
+func TestPartitionStallsAndRefuses(t *testing.T) {
+	target, stop := echoServer(t)
+	defer stop()
+	p := New(target, Config{})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Partition(true)
+	// The partition takes effect within one forwarder poll interval; a
+	// read already in flight may still deliver one chunk. Let it lapse.
+	time.Sleep(2 * pollInterval)
+	// Existing link stalls: bytes go nowhere, the read times out but the
+	// connection is NOT closed.
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("write into a partition should buffer, got %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	_, err = io.ReadFull(c, buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read during partition = %v, want timeout (stall, not close)", err)
+	}
+
+	// New connections are refused outright.
+	c2, err := net.Dial("tcp", addr)
+	if err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		_, err = c2.Read(buf)
+		c2.Close()
+	}
+	if err == nil {
+		t.Fatal("connection during partition was serviced")
+	}
+	if st := p.Stats(); st.Refused < 1 {
+		t.Fatalf("stats %+v, want at least one refusal", st)
+	}
+
+	// Heal: the stalled bytes flow again on the same connection.
+	p.Partition(false)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("lost")) {
+		t.Fatalf("after heal got %q, want %q", buf, "lost")
+	}
+}
+
+func TestDropActiveResetsLinks(t *testing.T) {
+	target, stop := echoServer(t)
+	defer stop()
+	p := New(target, Config{})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Confirm the link is up before killing it.
+	if _, err := c.Write([]byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := p.DropActive(); n != 1 {
+		t.Fatalf("DropActive = %d, want 1", n)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a dropped link succeeded")
+	}
+	if st := p.Stats(); st.Resets != 1 || st.Active != 0 {
+		t.Fatalf("stats %+v, want resets=1 active=0", st)
+	}
+}
+
+func TestBandwidthCapPacesTransfer(t *testing.T) {
+	target, stop := echoServer(t)
+	defer stop()
+	// 100 kB/s: 8 kB should take ~80 ms to cross the shaped direction.
+	p := New(target, Config{BandwidthBps: 100_000})
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 8192)
+	start := time.Now()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("8 kB crossed a 100 kB/s link in %v; cap not applied", elapsed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"rfdump/internal/metrics"
 	"rfdump/internal/protocols"
@@ -22,6 +23,9 @@ import (
 //	GET /api/metricz     — metrics registry snapshot (?format=text|json)
 //	GET /api/protocols   — the protocol module registry: every registered
 //	                       module with its detectors and capabilities
+//	GET /healthz         — liveness: 503 while any active ingest stream
+//	                       has been silent past the stall threshold
+//	GET /readyz          — readiness: 503 once draining has begun
 func (d *Daemon) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/streams", d.handleStreams)
@@ -31,7 +35,79 @@ func (d *Daemon) APIHandler() http.Handler {
 	mux.HandleFunc("/api/live", d.handleLive)
 	mux.HandleFunc("/api/protocols", d.handleProtocols)
 	mux.Handle("/api/metricz", metrics.Handler(d.reg, d.refreshGauges))
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/readyz", d.handleReadyz)
 	return mux
+}
+
+// healthResponse is the JSON body of /healthz and /readyz: ingest
+// liveness, session counts, and the resilience ledger at a glance.
+type healthResponse struct {
+	Status        string      `json:"status"`
+	Draining      bool        `json:"draining"`
+	ActiveStreams int64       `json:"active_streams"`
+	Connections   int64       `json:"connections"`
+	Stalled       []StallInfo `json:"stalled,omitempty"`
+	// Resilience counters: reconnects stitched, gap samples accounted,
+	// slow SSE consumers evicted, idle-reaped ingest connections.
+	Reconnects       int64 `json:"reconnects"`
+	GapSamples       int64 `json:"gap_samples"`
+	ConnsEvicted     int64 `json:"conns_evicted"`
+	HeartbeatsMissed int64 `json:"heartbeats_missed"`
+}
+
+// health builds the shared health snapshot.
+func (d *Daemon) health() healthResponse {
+	resp := healthResponse{
+		Status:           "ok",
+		Draining:         d.draining.Load(),
+		ActiveStreams:    d.hub.countActive(),
+		Connections:      d.conns.Load(),
+		Reconnects:       d.reg.Counter("wire/reconnects").Load(),
+		GapSamples:       d.reg.Counter("wire/gap_samples").Load(),
+		ConnsEvicted:     d.reg.Counter("server/conns_evicted").Load(),
+		HeartbeatsMissed: d.hbMissed.Load(),
+	}
+	if d.opt.StallAfter > 0 {
+		resp.Stalled = d.hub.Stalled(d.opt.StallAfter, time.Now())
+	}
+	return resp
+}
+
+// handleHealthz reports ingest liveness: 200 while every active stream
+// has delivered a frame (heartbeats count) within the stall threshold,
+// 503 the moment one goes silent past it. A reconnect that stitches the
+// stream back brings it back to 200 — the probe an orchestrator should
+// restart the daemon on, not the one it should route traffic by.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := d.health()
+	code := http.StatusOK
+	if len(resp.Stalled) > 0 {
+		resp.Status = "stalled"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// handleReadyz reports readiness to take traffic: 503 once a drain has
+// begun (existing sessions still flush, but new ingest is refused), 200
+// otherwise.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := d.health()
+	code := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 // protocolInfo is the JSON shape of one registered module.

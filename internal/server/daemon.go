@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync/atomic"
+	"time"
 
 	"rfdump/internal/core"
 	"rfdump/internal/demod"
@@ -15,6 +17,12 @@ import (
 	"rfdump/internal/metrics"
 	"rfdump/internal/wire"
 )
+
+// DefaultStallAfter is how long an active ingest stream may deliver no
+// frame (heartbeats included) before /healthz reports it stalled. A
+// transmitter heartbeating at the usual 1–5 s cadence stays comfortably
+// inside it; a half-open connection blows through it in one interval.
+const DefaultStallAfter = 5 * time.Second
 
 // Options configures a Daemon.
 type Options struct {
@@ -40,6 +48,19 @@ type Options struct {
 	DetectionRing   int
 	PacketRing      int
 	SubscriberQueue int
+	// EvictAfter is the consecutive-drop budget before a slow SSE
+	// subscriber is evicted (0 takes the hub default of 4× the queue;
+	// negative disables eviction).
+	EvictAfter int
+	// IdleTimeout reaps ingest connections that deliver no frame for
+	// the duration — the supervision that clears half-open sockets
+	// (0 disables). Heartbeat frames count as frames, so an idle but
+	// heartbeating transmitter survives.
+	IdleTimeout time.Duration
+	// StallAfter is the /healthz threshold: an active stream silent for
+	// longer is reported as stalled (0 takes DefaultStallAfter,
+	// negative disables the check).
+	StallAfter time.Duration
 	// WaterfallSamples sizes each stream's recent-sample ring for
 	// /api/waterfall (default 1<<19 ≈ 65 ms at 8 Msps; negative
 	// disables).
@@ -64,6 +85,7 @@ type Daemon struct {
 
 	conns    *metrics.Counter
 	rejected *metrics.Counter
+	hbMissed *metrics.Counter
 }
 
 // NewDaemon validates options and assembles the daemon.
@@ -77,6 +99,12 @@ func NewDaemon(opt Options) (*Daemon, error) {
 	if opt.WaterfallSamples < 0 {
 		opt.WaterfallSamples = 0
 	}
+	if opt.StallAfter == 0 {
+		opt.StallAfter = DefaultStallAfter
+	}
+	if opt.StallAfter < 0 {
+		opt.StallAfter = 0
+	}
 	d := &Daemon{
 		opt:   opt,
 		clock: opt.Engine.Clock(),
@@ -86,10 +114,12 @@ func NewDaemon(opt Options) (*Daemon, error) {
 			DetectionRing:   opt.DetectionRing,
 			PacketRing:      opt.PacketRing,
 			SubscriberQueue: opt.SubscriberQueue,
+			EvictAfter:      opt.EvictAfter,
 			Registry:        opt.Registry,
 		}),
 		conns:    opt.Registry.Counter("server/ingest/connections"),
 		rejected: opt.Registry.Counter("server/ingest/rejected"),
+		hbMissed: opt.Registry.Counter("server/heartbeats_missed"),
 	}
 	if opt.Faults != "" {
 		cfg, err := faults.ParseSpec(opt.Faults)
@@ -99,6 +129,9 @@ func NewDaemon(opt Options) (*Daemon, error) {
 		d.faultCfg = &cfg
 	}
 	d.wire = wire.NewServer(d.handle)
+	if opt.IdleTimeout > 0 {
+		d.wire.SetIdleTimeout(opt.IdleTimeout)
+	}
 	return d, nil
 }
 
@@ -146,8 +179,9 @@ func (d *Daemon) refreshGauges() {
 }
 
 // handle runs one ingest connection to completion: read the stream
-// meta, register with the hub, build the source chain (wire conn →
-// faults → waterfall tee → drain guard) and drive a fresh session.
+// meta (and resume handshake, if reconnecting), attach to the hub,
+// build the source chain (wire conn → faults → waterfall tee → drain
+// guard) and drive a fresh session.
 func (d *Daemon) handle(c *wire.Conn) {
 	d.conns.Inc()
 	meta, err := c.Meta()
@@ -161,9 +195,26 @@ func (d *Daemon) handle(c *wire.Conn) {
 			c.RemoteAddr(), meta.Rate, d.clock.Rate)
 		return
 	}
-	st := d.hub.OpenStream(c.RemoteAddr(), meta, c.Counts, d.opt.WaterfallSamples)
-	d.logf("ingest %s: stream %d open (rate=%d Hz center=%d Hz)",
-		c.RemoteAddr(), st.ID(), meta.Rate, meta.CenterHz)
+	var resume *wire.ResumeInfo
+	if ri, ok := c.Resume(); ok {
+		resume = &ri
+	}
+	st, ep := d.hub.Attach(AttachSpec{
+		Remote:           c.RemoteAddr(),
+		Meta:             meta,
+		Resume:           resume,
+		Counts:           c.Counts,
+		LastFrame:        c.LastFrame,
+		Detach:           func() { c.Close() },
+		WaterfallSamples: d.opt.WaterfallSamples,
+	})
+	if resume != nil {
+		d.logf("ingest %s: stream %d resumed (epoch %d, offset %d)",
+			c.RemoteAddr(), st.ID(), resume.Epoch, resume.Offset())
+	} else {
+		d.logf("ingest %s: stream %d open (rate=%d Hz center=%d Hz)",
+			c.RemoteAddr(), st.ID(), meta.Rate, meta.CenterHz)
+	}
 
 	scfg := d.opt.Session
 	scfg.NoRetain = true
@@ -173,14 +224,14 @@ func (d *Daemon) handle(c *wire.Conn) {
 			d.hub.Packet(st, p)
 		}
 	}
-	scfg.OnSessionStart = func(id uint64) { d.hub.SessionStarted(st, id) }
+	scfg.OnSessionStart = func(id uint64) { d.hub.SessionStarted(st, ep, id) }
 	scfg.OnSessionEnd = func(id uint64, res *core.Result, err error) {
-		d.hub.SessionEnded(st, res, err)
+		d.hub.SessionEnded(st, ep, res, err)
 	}
 
 	sess, err := d.opt.Engine.NewSession(scfg)
 	if err != nil {
-		d.hub.SessionEnded(st, nil, err)
+		d.hub.SessionEnded(st, ep, nil, err)
 		d.logf("ingest %s: session: %v", c.RemoteAddr(), err)
 		return
 	}
@@ -197,12 +248,26 @@ func (d *Daemon) handle(c *wire.Conn) {
 	src = &drainSource{inner: src, stop: &d.draining}
 
 	if _, err := sess.Run(src); err != nil {
+		if isTimeout(err) {
+			// The idle reaper fired: the connection went this long with
+			// neither data nor a heartbeat — a missed-heartbeat death.
+			d.hbMissed.Inc()
+		}
 		d.logf("ingest %s: stream %d failed: %v", c.RemoteAddr(), st.ID(), err)
 		return
 	}
 	counts := c.Counts()
 	d.logf("ingest %s: stream %d closed (%d frames, %d samples, clean=%v)",
 		c.RemoteAddr(), st.ID(), counts.Frames, counts.Samples, counts.CleanEnd)
+}
+
+// isTimeout reports whether err is (or wraps) a read-deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // teeSource copies every block the pipeline reads into the stream's

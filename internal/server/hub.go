@@ -30,10 +30,13 @@ type Hub struct {
 	detections *ring[DetectionRecord]
 	packets    *ring[PacketEvent]
 
-	detCount *metrics.Counter
-	pktCount *metrics.Counter
-	opened   *metrics.Counter
-	active   *metrics.Gauge
+	detCount   *metrics.Counter
+	pktCount   *metrics.Counter
+	opened     *metrics.Counter
+	active     *metrics.Gauge
+	reconnects *metrics.Counter
+	gapFrames  *metrics.Counter
+	gapSamples *metrics.Counter
 }
 
 // HubConfig sizes the hub.
@@ -44,8 +47,11 @@ type HubConfig struct {
 	// and 2048).
 	DetectionRing int
 	PacketRing    int
-	// SubscriberQueue bounds each live-feed subscriber (default 256).
+	// SubscriberQueue bounds each live-feed subscriber (default 256);
+	// EvictAfter is the consecutive-drop budget before a subscriber is
+	// evicted (default 4× the queue; negative disables).
 	SubscriberQueue int
+	EvictAfter      int
 	// Registry receives hub and broker counters; may be nil.
 	Registry *metrics.Registry
 }
@@ -61,9 +67,15 @@ func NewHub(cfg HubConfig) *Hub {
 	if cfg.SubscriberQueue <= 0 {
 		cfg.SubscriberQueue = 256
 	}
+	if cfg.EvictAfter == 0 {
+		cfg.EvictAfter = 4 * cfg.SubscriberQueue
+	}
+	if cfg.EvictAfter < 0 {
+		cfg.EvictAfter = 0
+	}
 	return &Hub{
 		clock:      cfg.Clock,
-		broker:     NewBroker(cfg.SubscriberQueue, cfg.Registry),
+		broker:     NewBroker(cfg.SubscriberQueue, cfg.EvictAfter, cfg.Registry),
 		streams:    make(map[uint64]*Stream),
 		detections: newRing[DetectionRecord](cfg.DetectionRing),
 		packets:    newRing[PacketEvent](cfg.PacketRing),
@@ -71,6 +83,9 @@ func NewHub(cfg HubConfig) *Hub {
 		pktCount:   cfg.Registry.Counter("server/packets"),
 		opened:     cfg.Registry.Counter("server/streams/opened"),
 		active:     cfg.Registry.Gauge("server/streams/active"),
+		reconnects: cfg.Registry.Counter("wire/reconnects"),
+		gapFrames:  cfg.Registry.Counter("wire/gap_frames"),
+		gapSamples: cfg.Registry.Counter("wire/gap_samples"),
 	}
 }
 
@@ -80,22 +95,58 @@ func (h *Hub) Broker() *Broker { return h.broker }
 // Clock returns the hub's sample clock.
 func (h *Hub) Clock() iq.Clock { return h.clock }
 
-// Stream is one ingest connection's state in the hub.
-type Stream struct {
-	hub     *Hub
-	id      uint64
+// epoch is one ingest connection's tenure on a stream. A stream that
+// never loses its link has exactly one; a reconnecting transmitter
+// stitches a new epoch on with a resume frame, and the ledger in that
+// frame is what prices the gap between them.
+type epoch struct {
+	num     uint32
 	remote  string
-	meta    wire.StreamMeta
 	started time.Time
-	counts  func() wire.Counts // wire-level counters, nil once detached
-	ring    *sampleRing        // recent samples for the waterfall
+	// resume is the reconnect handshake that opened this epoch (nil for
+	// a fresh first connection).
+	resume *wire.ResumeInfo
+	// counts/lastFrame poll the live connection; detach kicks it (used
+	// when a resume supersedes a half-open predecessor). counts is nil
+	// once the epoch ends (final holds the frozen snapshot).
+	counts    func() wire.Counts
+	lastFrame func() time.Time
+	detach    func()
+	final     wire.Counts
 
-	mu       sync.Mutex
 	active   bool
+	done     bool
 	session  uint64
 	endErr   string
 	degraded string
-	endWire  wire.Counts
+}
+
+// countsNow returns the epoch's wire accounting, live or frozen.
+func (e *epoch) countsNow() wire.Counts {
+	if e.counts != nil {
+		return e.counts()
+	}
+	return e.final
+}
+
+// Stream is one logical ingest stream in the hub: a sequence of epochs
+// (connections) carrying the same transmitter, with gap accounting
+// between them.
+type Stream struct {
+	hub     *Hub
+	id      uint64
+	meta    wire.StreamMeta
+	started time.Time
+	ring    *sampleRing // recent samples for the waterfall
+
+	mu     sync.Mutex
+	epochs []*epoch
+
+	// absBase is the stream-timeline offset of the current epoch's
+	// first sample; curEpoch its number. Read by Detection on dispatch
+	// goroutines to stamp absolute spans.
+	absBase  atomic.Int64
+	curEpoch atomic.Uint32
 
 	detections atomic.Int64
 	packets    atomic.Int64
@@ -104,7 +155,38 @@ type Stream struct {
 // ID returns the hub-assigned stream id.
 func (s *Stream) ID() uint64 { return s.id }
 
-// StreamInfo is the JSON shape of one stream in /api/streams.
+// GapRecord prices one outage: the samples and frames of the stream
+// timeline that entered no session — in-flight loss on the dead
+// connection plus payload the client shed while down (the Dropped*
+// subset). It mirrors the Degradation record the pipeline keeps for
+// shed load: nothing is silently lost, everything is priced.
+type GapRecord struct {
+	// Epoch is the connection whose resume handshake closed the gap;
+	// AtSample is where on the stream timeline the gap begins.
+	Epoch    uint32 `json:"epoch"`
+	AtSample int64  `json:"at_sample"`
+	Frames   int64  `json:"frames"`
+	Samples  int64  `json:"samples"`
+	// DroppedFrames/DroppedSamples is the client-shed subset of the
+	// totals above.
+	DroppedFrames  int64 `json:"dropped_frames,omitempty"`
+	DroppedSamples int64 `json:"dropped_samples,omitempty"`
+}
+
+// EpochInfo is the JSON shape of one epoch in StreamInfo.
+type EpochInfo struct {
+	Epoch       uint32 `json:"epoch"`
+	Remote      string `json:"remote"`
+	StartOffset int64  `json:"start_offset"`
+	Frames      int64  `json:"frames"`
+	Samples     int64  `json:"samples"`
+	Active      bool   `json:"active"`
+	Error       string `json:"error,omitempty"`
+}
+
+// StreamInfo is the JSON shape of one stream in /api/streams. Wire
+// aggregates the decoder counters across every epoch; Session, Active,
+// Error and Degraded describe the newest epoch.
 type StreamInfo struct {
 	ID         uint64          `json:"id"`
 	Session    uint64          `json:"session,omitempty"`
@@ -117,6 +199,19 @@ type StreamInfo struct {
 	Wire       wire.Counts     `json:"wire"`
 	Detections int64           `json:"detections"`
 	Packets    int64           `json:"packets"`
+	// Epoch is the current connection number; Reconnects how many
+	// resumes stitched the stream back together.
+	Epoch      uint32 `json:"epoch"`
+	Reconnects int64  `json:"reconnects"`
+	// SilentS is how long the active connection has delivered no frame
+	// (heartbeats count as frames); 0 when inactive.
+	SilentS float64 `json:"silent_s,omitempty"`
+	// GapFrames/GapSamples total the accounted outage cost; Gaps
+	// itemizes it per reconnect.
+	GapFrames  int64       `json:"gap_frames,omitempty"`
+	GapSamples int64       `json:"gap_samples,omitempty"`
+	Gaps       []GapRecord `json:"gaps,omitempty"`
+	Epochs     []EpochInfo `json:"epochs,omitempty"`
 }
 
 // info snapshots the stream.
@@ -125,59 +220,261 @@ func (s *Stream) info(now time.Time) StreamInfo {
 	defer s.mu.Unlock()
 	inf := StreamInfo{
 		ID:         s.id,
-		Session:    s.session,
-		Remote:     s.remote,
 		Meta:       s.meta,
 		StartedS:   now.Sub(s.started).Seconds(),
-		Active:     s.active,
-		Error:      s.endErr,
-		Degraded:   s.degraded,
-		Wire:       s.endWire,
 		Detections: s.detections.Load(),
 		Packets:    s.packets.Load(),
 	}
-	if s.active && s.counts != nil {
-		inf.Wire = s.counts()
+	if n := len(s.epochs); n > 0 {
+		last := s.epochs[n-1]
+		inf.Session = last.session
+		inf.Remote = last.remote
+		inf.Active = last.active
+		inf.Error = last.endErr
+		inf.Degraded = last.degraded
+		inf.Epoch = last.num
+		inf.Reconnects = int64(n - 1)
+		if last.active {
+			inf.SilentS = now.Sub(s.lastFrameLocked(last)).Seconds()
+		}
+	}
+	inf.Wire = s.wireLocked()
+	inf.Gaps = s.gapsLocked()
+	for _, g := range inf.Gaps {
+		inf.GapFrames += g.Frames
+		inf.GapSamples += g.Samples
+	}
+	for _, ep := range s.epochs {
+		c := ep.countsNow()
+		ei := EpochInfo{
+			Epoch:  ep.num,
+			Remote: ep.remote,
+			Frames: c.Frames, Samples: c.Samples,
+			Active: ep.active,
+			Error:  ep.endErr,
+		}
+		if ep.resume != nil {
+			ei.StartOffset = ep.resume.Offset()
+		}
+		inf.Epochs = append(inf.Epochs, ei)
 	}
 	return inf
 }
 
-// OpenStream registers a new ingest stream. counts is polled for live
-// wire statistics (the decoder's atomic snapshot); waterfallSamples
-// sizes the stream's recent-sample ring (0 disables the waterfall).
-func (h *Hub) OpenStream(remote string, meta wire.StreamMeta, counts func() wire.Counts, waterfallSamples int) *Stream {
-	st := &Stream{
-		hub:     h,
-		remote:  remote,
-		meta:    meta,
-		started: time.Now(),
-		counts:  counts,
+// lastFrameLocked returns the epoch's liveness clock: last valid frame,
+// falling back to the epoch's start before any frame arrived.
+func (s *Stream) lastFrameLocked(ep *epoch) time.Time {
+	if ep.lastFrame != nil {
+		if t := ep.lastFrame(); !t.IsZero() {
+			return t
+		}
 	}
-	if waterfallSamples > 0 {
-		st.ring = newSampleRing(waterfallSamples)
+	return ep.started
+}
+
+// wireLocked aggregates decoder counters across epochs. CleanEnd is the
+// newest epoch's: a stream is cleanly ended iff its last connection
+// was.
+func (s *Stream) wireLocked() wire.Counts {
+	var w wire.Counts
+	for i, ep := range s.epochs {
+		c := ep.countsNow()
+		w.Frames += c.Frames
+		w.Samples += c.Samples
+		w.Heartbeats += c.Heartbeats
+		w.ResyncBytes += c.ResyncBytes
+		w.BadFrames += c.BadFrames
+		w.SeqGaps += c.SeqGaps
+		if i == len(s.epochs)-1 {
+			w.CleanEnd = c.CleanEnd
+		}
 	}
+	return w
+}
+
+// gapsLocked prices every reconnect from the resume ledgers: the gap a
+// resume closes is (everything the client sent before this epoch) minus
+// (everything sessions actually received before it), plus whatever the
+// client shed while down. Computed lazily from live counters, so it is
+// exact once the prior epoch has drained.
+func (s *Stream) gapsLocked() []GapRecord {
+	var out []GapRecord
+	// accFrames/accSamples is everything accounted for before the epoch
+	// at hand: delivered by earlier sessions plus in-flight loss already
+	// priced by earlier resumes. Charging each resume against the
+	// accounted total (not delivery alone) keeps a gap from being billed
+	// again by every later reconnect.
+	var accFrames, accSamples int64
+	var prevDropF, prevDropS uint64
+	for _, ep := range s.epochs {
+		if r := ep.resume; r != nil {
+			gf := int64(r.SentFrames) - accFrames
+			if gf < 0 {
+				gf = 0
+			}
+			gs := int64(r.SentSamples) - accSamples
+			if gs < 0 {
+				gs = 0
+			}
+			accFrames += gf
+			accSamples += gs
+			df := int64(r.DroppedFrames - prevDropF)
+			ds := int64(r.DroppedSamples - prevDropS)
+			g := GapRecord{
+				Epoch:  ep.num,
+				Frames: gf + df, Samples: gs + ds,
+				DroppedFrames: df, DroppedSamples: ds,
+			}
+			g.AtSample = r.Offset() - g.Samples
+			if g.Frames > 0 || g.Samples > 0 {
+				out = append(out, g)
+			}
+			prevDropF, prevDropS = r.DroppedFrames, r.DroppedSamples
+		}
+		c := ep.countsNow()
+		accFrames += c.Frames
+		accSamples += c.Samples
+	}
+	return out
+}
+
+// activeLocked reports whether the stream's newest epoch has a live
+// session.
+func (s *Stream) activeLocked() bool {
+	n := len(s.epochs)
+	return n > 0 && s.epochs[n-1].active
+}
+
+// doneLocked reports whether every epoch has ended (prune eligibility).
+func (s *Stream) doneLocked() bool {
+	if len(s.epochs) == 0 {
+		return false
+	}
+	for _, ep := range s.epochs {
+		if !ep.done {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachSpec describes one ingest connection arriving at the hub.
+type AttachSpec struct {
+	Remote string
+	Meta   wire.StreamMeta
+	// Resume is the connection's reconnect handshake, nil for a fresh
+	// stream. A resume attaches to the newest stream carrying the same
+	// wire StreamID; if none exists (daemon restart), a fresh stream is
+	// opened and the whole ledger becomes its leading gap.
+	Resume *wire.ResumeInfo
+	// Counts/LastFrame poll the connection's decoder; Detach kicks the
+	// connection (the hub calls the previous epoch's Detach when a
+	// resume supersedes a connection the daemon still thinks is live).
+	Counts    func() wire.Counts
+	LastFrame func() time.Time
+	Detach    func()
+	// WaterfallSamples sizes a fresh stream's sample ring (0 disables;
+	// resumed streams keep their ring).
+	WaterfallSamples int
+}
+
+// Attach registers an ingest connection, either opening a fresh stream
+// or stitching a resume onto an existing one. It returns the stream and
+// the connection's epoch handle (passed back to SessionStarted /
+// SessionEnded so late callbacks from a superseded connection cannot
+// corrupt the current epoch's state).
+func (h *Hub) Attach(spec AttachSpec) (*Stream, *epoch) {
+	var st *Stream
 	h.mu.Lock()
-	h.nextID++
-	st.id = h.nextID
-	h.streams[st.id] = st
-	h.order = append(h.order, st.id)
-	h.pruneLocked()
+	if spec.Resume != nil {
+		for i := len(h.order) - 1; i >= 0; i-- {
+			cand := h.streams[h.order[i]]
+			if cand.meta.StreamID == spec.Meta.StreamID {
+				st = cand
+				break
+			}
+		}
+	}
+	fresh := st == nil
+	if fresh {
+		h.nextID++
+		st = &Stream{hub: h, id: h.nextID, meta: spec.Meta, started: time.Now()}
+		if spec.WaterfallSamples > 0 {
+			st.ring = newSampleRing(spec.WaterfallSamples)
+		}
+		h.streams[st.id] = st
+		h.order = append(h.order, st.id)
+		h.pruneLocked()
+	}
 	h.mu.Unlock()
-	h.opened.Inc()
-	return st
+
+	ep := &epoch{
+		remote:    spec.Remote,
+		started:   time.Now(),
+		resume:    spec.Resume,
+		counts:    spec.Counts,
+		lastFrame: spec.LastFrame,
+		detach:    spec.Detach,
+	}
+	var superseded func()
+	var gapF, gapS int64
+	st.mu.Lock()
+	if n := len(st.epochs); n > 0 {
+		prev := st.epochs[n-1]
+		if !prev.done {
+			superseded = prev.detach
+		}
+		ep.num = prev.num + 1
+	}
+	if spec.Resume != nil && spec.Resume.Epoch > ep.num {
+		ep.num = spec.Resume.Epoch
+	}
+	st.epochs = append(st.epochs, ep)
+	st.curEpoch.Store(ep.num)
+	if spec.Resume != nil {
+		st.absBase.Store(spec.Resume.Offset())
+		// Price the gap this resume closes, for the monotonic counters
+		// (StreamInfo recomputes lazily and stays exact).
+		for _, g := range st.gapsLocked() {
+			if g.Epoch == ep.num {
+				gapF, gapS = g.Frames, g.Samples
+			}
+		}
+	} else {
+		st.absBase.Store(0)
+	}
+	st.mu.Unlock()
+
+	if fresh {
+		h.opened.Inc()
+	}
+	if spec.Resume != nil {
+		h.reconnects.Inc()
+		h.gapFrames.Add(gapF)
+		h.gapSamples.Add(gapS)
+		h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-resume", Stream: st.id, Epoch: ep.num})
+	}
+	if superseded != nil {
+		// The previous connection is still live from the daemon's point
+		// of view (half-open, most likely). Kick it so its session winds
+		// down; the resume has already taken the stream over.
+		superseded()
+	}
+	return st, ep
 }
 
 // endedRetention is how many ended streams the registry keeps for
 // post-mortem queries before the oldest are pruned.
 const endedRetention = 64
 
-// pruneLocked drops the oldest ended streams past the retention bound.
+// pruneLocked drops the oldest fully-ended streams past the retention
+// bound.
 func (h *Hub) pruneLocked() {
 	ended := 0
 	for _, id := range h.order {
 		st := h.streams[id]
 		st.mu.Lock()
-		if !st.active && st.session != 0 {
+		if st.doneLocked() {
 			ended++
 		}
 		st.mu.Unlock()
@@ -186,7 +483,7 @@ func (h *Hub) pruneLocked() {
 		for i, id := range h.order {
 			st := h.streams[id]
 			st.mu.Lock()
-			done := !st.active && st.session != 0
+			done := st.doneLocked()
 			st.mu.Unlock()
 			if done {
 				delete(h.streams, id)
@@ -198,41 +495,42 @@ func (h *Hub) pruneLocked() {
 	}
 }
 
-// SessionStarted marks the stream live (wired to core's OnSessionStart)
+// SessionStarted marks the epoch live (wired to core's OnSessionStart)
 // and announces it on the feed.
-func (h *Hub) SessionStarted(st *Stream, session uint64) {
+func (h *Hub) SessionStarted(st *Stream, ep *epoch, session uint64) {
 	st.mu.Lock()
-	st.active = true
-	st.session = session
+	ep.active = true
+	ep.session = session
 	st.mu.Unlock()
 	h.active.Set(h.countActive())
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-open", Stream: st.id})
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-open", Stream: st.id, Epoch: ep.num})
 }
 
-// SessionEnded marks the stream done (wired to core's OnSessionEnd),
+// SessionEnded marks the epoch done (wired to core's OnSessionEnd),
 // freezes its wire counters, records degradation, and announces the
 // close. res and err may both describe failure modes; a nil res with a
 // nil err means the session never started (e.g. NewSession failed).
-func (h *Hub) SessionEnded(st *Stream, res *core.Result, err error) {
+func (h *Hub) SessionEnded(st *Stream, ep *epoch, res *core.Result, err error) {
 	st.mu.Lock()
-	st.active = false
-	if st.session == 0 {
-		st.session = ^uint64(0) // never ran; mark terminal for pruning
+	ep.active = false
+	ep.done = true
+	if ep.session == 0 {
+		ep.session = ^uint64(0) // never ran; mark terminal for pruning
 	}
 	if err != nil {
-		st.endErr = err.Error()
+		ep.endErr = err.Error()
 	}
 	if res != nil && res.Degradation.Any() {
-		st.degraded = res.Degradation.String()
+		ep.degraded = res.Degradation.String()
 	}
-	if st.counts != nil {
-		st.endWire = st.counts()
-		st.counts = nil
+	if ep.counts != nil {
+		ep.final = ep.counts()
+		ep.counts = nil
 	}
-	errStr := st.endErr
+	errStr := ep.endErr
 	st.mu.Unlock()
 	h.active.Set(h.countActive())
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-close", Stream: st.id, Error: errStr})
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "stream-close", Stream: st.id, Epoch: ep.num, Error: errStr})
 }
 
 // countActive recounts live streams under the hub lock.
@@ -242,7 +540,7 @@ func (h *Hub) countActive() int64 {
 	var n int64
 	for _, st := range h.streams {
 		st.mu.Lock()
-		if st.active {
+		if st.activeLocked() {
 			n++
 		}
 		st.mu.Unlock()
@@ -250,17 +548,57 @@ func (h *Hub) countActive() int64 {
 	return n
 }
 
+// StallInfo is one silent-but-supposedly-live stream in /healthz.
+type StallInfo struct {
+	Stream  uint64  `json:"stream"`
+	Epoch   uint32  `json:"epoch"`
+	Remote  string  `json:"remote"`
+	SilentS float64 `json:"silent_s"`
+}
+
+// Stalled returns every active stream that has delivered no frame
+// (heartbeats included) for longer than stallAfter — the ingest
+// liveness check behind /healthz.
+func (h *Hub) Stalled(stallAfter time.Duration, now time.Time) []StallInfo {
+	h.mu.Lock()
+	sts := make([]*Stream, 0, len(h.order))
+	for _, id := range h.order {
+		sts = append(sts, h.streams[id])
+	}
+	h.mu.Unlock()
+	var out []StallInfo
+	for _, st := range sts {
+		st.mu.Lock()
+		if st.activeLocked() {
+			ep := st.epochs[len(st.epochs)-1]
+			if silent := now.Sub(st.lastFrameLocked(ep)); silent > stallAfter {
+				out = append(out, StallInfo{
+					Stream: st.id, Epoch: ep.num, Remote: ep.remote,
+					SilentS: silent.Seconds(),
+				})
+			}
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
 // Detection records one fast-detector verdict: ring history for the
 // REST API, counters, and a live event. Runs on the session's dispatch
-// goroutine; must not block.
+// goroutine; must not block. Spans arrive epoch-relative; the stream's
+// absolute base places them on the transmit timeline.
 func (h *Hub) Detection(st *Stream, d core.Detection) {
+	base := st.absBase.Load()
 	rec := DetectionRecord{
 		Stream:     st.id,
-		TimeS:      float64(d.Span.Start) / float64(h.clock.Rate),
+		Epoch:      st.curEpoch.Load(),
+		TimeS:      (float64(base) + float64(d.Span.Start)) / float64(h.clock.Rate),
 		Family:     d.Family.FamilyName(),
 		Detector:   d.Detector,
 		Start:      int64(d.Span.Start),
 		End:        int64(d.Span.End),
+		AbsStart:   base + int64(d.Span.Start),
+		AbsEnd:     base + int64(d.Span.End),
 		Confidence: d.Confidence,
 		Channel:    d.Channel,
 	}
@@ -269,7 +607,7 @@ func (h *Hub) Detection(st *Stream, d core.Detection) {
 	h.mu.Lock()
 	h.detections.add(rec)
 	h.mu.Unlock()
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "detection", Stream: st.id, Detection: &rec})
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "detection", Stream: st.id, Epoch: rec.Epoch, Detection: &rec})
 }
 
 // Packet records one decoded packet, reusing the offline packet-log
@@ -281,7 +619,7 @@ func (h *Hub) Packet(st *Stream, p demod.Packet) {
 	h.mu.Lock()
 	h.packets.add(ev)
 	h.mu.Unlock()
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "packet", Stream: st.id, Packet: &ev})
+	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "packet", Stream: st.id, Epoch: st.curEpoch.Load(), Packet: &ev})
 }
 
 // Streams snapshots every registered stream, oldest first.
@@ -320,7 +658,7 @@ func (h *Hub) newestStream() (*Stream, bool) {
 			fallback = st
 		}
 		st.mu.Lock()
-		act := st.active
+		act := st.activeLocked()
 		st.mu.Unlock()
 		if act {
 			return st, true

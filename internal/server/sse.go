@@ -22,7 +22,9 @@ import (
 )
 
 // Event is one entry of the live feed. Type selects which payload field
-// is set: "detection", "packet", "stream-open", "stream-close".
+// is set: "detection", "packet", "stream-open", "stream-close",
+// "stream-resume" (a reconnecting transmitter stitched a new
+// connection onto an existing stream).
 type Event struct {
 	// Seq is the hub-wide event sequence number; a gap tells a
 	// subscriber it was too slow and events were dropped.
@@ -31,6 +33,9 @@ type Event struct {
 	Type string `json:"type"`
 	// Stream is the hub stream id the event belongs to.
 	Stream uint64 `json:"stream"`
+	// Epoch is the stream's connection epoch at the event (0 for the
+	// first connection; reconnects increment it).
+	Epoch uint32 `json:"epoch,omitempty"`
 	// Detection is set for "detection" events.
 	Detection *DetectionRecord `json:"detection,omitempty"`
 	// Packet is set for "packet" events.
@@ -40,13 +45,20 @@ type Event struct {
 }
 
 // DetectionRecord is the JSON form of one fast-detector verdict.
+// Start/End are sample offsets relative to the connection (epoch) that
+// carried them; AbsStart/AbsEnd place the span on the stream's
+// transmit timeline across reconnects, which is what gap accounting
+// and cross-epoch comparisons must use.
 type DetectionRecord struct {
 	Stream     uint64  `json:"stream"`
+	Epoch      uint32  `json:"epoch,omitempty"`
 	TimeS      float64 `json:"t"`
 	Family     string  `json:"family"`
 	Detector   string  `json:"detector"`
 	Start      int64   `json:"start"`
 	End        int64   `json:"end"`
+	AbsStart   int64   `json:"abs_start"`
+	AbsEnd     int64   `json:"abs_end"`
 	Confidence float64 `json:"confidence"`
 	Channel    int     `json:"channel"`
 }
@@ -61,11 +73,15 @@ type PacketEvent struct {
 
 // Subscriber is one bounded event queue. Read Events until it is
 // unsubscribed; Dropped counts events the publisher discarded because
-// the queue was full.
+// the queue was full. A subscriber that falls so far behind that it
+// drops eviction-threshold events in a row is evicted: unsubscribed by
+// the broker, its channel closed.
 type Subscriber struct {
 	ch      chan Event
 	types   map[string]bool // nil = all types
 	dropped atomic.Int64
+	lag     atomic.Int64 // consecutive drops; reset on delivery
+	evicted atomic.Bool
 }
 
 // Events returns the receive side of the queue.
@@ -74,6 +90,10 @@ func (s *Subscriber) Events() <-chan Event { return s.ch }
 // Dropped returns how many events this subscriber lost to backpressure.
 func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
 
+// Evicted reports whether the broker kicked this subscriber for
+// sustained lag (its Events channel is closed).
+func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
+
 // wants reports whether the subscriber's type filter admits the event.
 func (s *Subscriber) wants(ev Event) bool { return s.types == nil || s.types[ev.Type] }
 
@@ -81,30 +101,42 @@ func (s *Subscriber) wants(ev Event) bool { return s.types == nil || s.types[ev.
 // queues. Publish never blocks: a full queue means the event is dropped
 // for that subscriber and counted, both per-subscriber and in the
 // registry ("server/sse/dropped_events"), where the /api/metricz scrape
-// makes slow consumers visible.
+// makes slow consumers visible. Drop-and-count alone lets a dead
+// consumer hold its queue (and its HTTP connection) forever, so the
+// broker also enforces bounded lag: a subscriber that drops evictAfter
+// events consecutively is evicted — unsubscribed, channel closed,
+// counted in "server/conns_evicted".
 type Broker struct {
-	queue int
+	queue      int
+	evictAfter int // consecutive drops before eviction; 0 disables
 
 	mu   sync.RWMutex
 	subs map[*Subscriber]struct{}
 
-	published *metrics.Counter
-	dropped   *metrics.Counter
-	gauge     *metrics.Gauge
+	published  *metrics.Counter
+	dropped    *metrics.Counter
+	evictCount *metrics.Counter
+	gauge      *metrics.Gauge
 }
 
 // NewBroker returns a broker handing each subscriber a queue of the
-// given length (minimum 1). reg may be nil.
-func NewBroker(queue int, reg *metrics.Registry) *Broker {
+// given length (minimum 1). evictAfter is the consecutive-drop budget
+// before a subscriber is evicted (0 disables eviction). reg may be nil.
+func NewBroker(queue, evictAfter int, reg *metrics.Registry) *Broker {
 	if queue < 1 {
 		queue = 1
 	}
+	if evictAfter < 0 {
+		evictAfter = 0
+	}
 	return &Broker{
-		queue:     queue,
-		subs:      make(map[*Subscriber]struct{}),
-		published: reg.Counter("server/sse/events"),
-		dropped:   reg.Counter("server/sse/dropped_events"),
-		gauge:     reg.Gauge("server/sse/subscribers"),
+		queue:      queue,
+		evictAfter: evictAfter,
+		subs:       make(map[*Subscriber]struct{}),
+		published:  reg.Counter("server/sse/events"),
+		dropped:    reg.Counter("server/sse/dropped_events"),
+		evictCount: reg.Counter("server/conns_evicted"),
+		gauge:      reg.Gauge("server/sse/subscribers"),
 	}
 }
 
@@ -137,10 +169,13 @@ func (b *Broker) Unsubscribe(s *Subscriber) {
 }
 
 // Publish delivers the event to every subscriber whose queue has room;
-// the rest drop-and-count. It runs on pipeline callback goroutines and
-// must never block.
+// the rest drop-and-count, and a subscriber that exhausts the
+// consecutive-drop budget is evicted. It runs on pipeline callback
+// goroutines and must never block — evictions are collected under the
+// read lock and applied after it.
 func (b *Broker) Publish(ev Event) {
 	b.published.Inc()
+	var evictees []*Subscriber
 	b.mu.RLock()
 	for s := range b.subs {
 		if !s.wants(ev) {
@@ -148,10 +183,19 @@ func (b *Broker) Publish(ev Event) {
 		}
 		select {
 		case s.ch <- ev:
+			s.lag.Store(0)
 		default:
 			s.dropped.Add(1)
 			b.dropped.Inc()
+			if b.evictAfter > 0 && s.lag.Add(1) >= int64(b.evictAfter) &&
+				s.evicted.CompareAndSwap(false, true) {
+				evictees = append(evictees, s)
+			}
 		}
 	}
 	b.mu.RUnlock()
+	for _, s := range evictees {
+		b.evictCount.Inc()
+		b.Unsubscribe(s)
+	}
 }

@@ -8,7 +8,7 @@ import (
 
 func TestBrokerDropAndCount(t *testing.T) {
 	reg := metrics.NewRegistry()
-	b := NewBroker(4, reg)
+	b := NewBroker(4, 0, reg)
 	sub := b.Subscribe()
 	for i := 1; i <= 20; i++ {
 		b.Publish(Event{Seq: uint64(i), Type: "detection", Stream: 1})
@@ -38,7 +38,7 @@ func TestBrokerDropAndCount(t *testing.T) {
 }
 
 func TestBrokerTypeFilter(t *testing.T) {
-	b := NewBroker(8, nil)
+	b := NewBroker(8, 0, nil)
 	sub := b.Subscribe("packet")
 	b.Publish(Event{Seq: 1, Type: "detection"})
 	b.Publish(Event{Seq: 2, Type: "packet"})
@@ -59,7 +59,7 @@ func TestBrokerTypeFilter(t *testing.T) {
 }
 
 func TestBrokerUnsubscribeClosesQueue(t *testing.T) {
-	b := NewBroker(2, nil)
+	b := NewBroker(2, 0, nil)
 	sub := b.Subscribe()
 	b.Unsubscribe(sub)
 	if _, open := <-sub.Events(); open {

@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"time"
 
 	"rfdump/internal/iq"
 )
@@ -15,21 +16,41 @@ import (
 // stays smooth.
 const DefaultFrameSamples = 4096
 
+const (
+	// DefaultDialTimeout bounds Dial: an unreachable daemon fails the
+	// dial instead of hanging the transmitter in SYN retries.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultWriteTimeout bounds each frame write on dialed clients: a
+	// wedged daemon (accepting but never reading) fills the socket
+	// buffers and then fails the write instead of hanging rfgen -stream
+	// forever.
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// deadlineWriter is the subset of net.Conn the client needs to bound
+// frame writes.
+type deadlineWriter interface {
+	SetWriteDeadline(t time.Time) error
+}
+
 // Client transmits one IQ stream as wire frames. It is the front-end
 // side of the protocol: a USRP bridge, or rfgen -stream exercising the
 // daemon without hardware. Not safe for concurrent use; one stream, one
 // goroutine.
 type Client struct {
-	w      io.Writer
-	closer io.Closer
-	meta   StreamMeta
-	seq    uint32
-	frames int64
-	sent   int64
-	hdr    [HeaderSize]byte
-	buf    []byte // payload scratch, reused across frames
-	frame  int    // samples per frame for SendSamples
-	ended  bool
+	w       io.Writer
+	dw      deadlineWriter // non-nil when write deadlines are armed
+	writeTO time.Duration
+	closer  io.Closer
+	meta    StreamMeta
+	seq     uint32
+	frames  int64
+	sent    int64
+	hdr     [HeaderSize]byte
+	resume  [ResumePayloadBytes]byte
+	buf     []byte // payload scratch, reused across frames
+	frame   int    // samples per frame for SendSamples
+	ended   bool
 }
 
 // NewClient wraps w as a frame transmitter for the given stream.
@@ -40,16 +61,43 @@ func NewClient(w io.Writer, meta StreamMeta) *Client {
 	return &Client{w: w, meta: meta, frame: DefaultFrameSamples}
 }
 
-// Dial connects to a wire server and returns a transmitter; Close sends
-// the End frame and closes the connection.
+// Dial connects to a wire server with the default dial and write
+// timeouts and returns a transmitter; Close sends the End frame and
+// closes the connection.
 func Dial(addr string, meta StreamMeta) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, meta, DefaultDialTimeout, DefaultWriteTimeout)
+}
+
+// DialTimeout is Dial with explicit bounds: dialTO caps the TCP
+// connect (≤0 takes DefaultDialTimeout), writeTO caps each frame write
+// (0 disables write deadlines, <0 takes the default).
+func DialTimeout(addr string, meta StreamMeta, dialTO, writeTO time.Duration) (*Client, error) {
+	if dialTO <= 0 {
+		dialTO = DefaultDialTimeout
+	}
+	if writeTO < 0 {
+		writeTO = DefaultWriteTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
 	if err != nil {
 		return nil, err
 	}
 	c := NewClient(conn, meta)
 	c.closer = conn
+	c.SetWriteTimeout(writeTO)
 	return c, nil
+}
+
+// SetWriteTimeout arms a per-frame write deadline (0 disables). It is a
+// no-op when the underlying writer cannot carry deadlines.
+func (c *Client) SetWriteTimeout(d time.Duration) {
+	c.writeTO = d
+	c.dw = nil
+	if d > 0 {
+		if dw, ok := c.w.(deadlineWriter); ok {
+			c.dw = dw
+		}
+	}
 }
 
 // SetFrameSamples sets the per-frame payload SendSamples splits into.
@@ -66,7 +114,8 @@ func (c *Client) FrameSamples() int { return c.frame }
 // Meta returns the stream metadata stamped on every frame.
 func (c *Client) Meta() StreamMeta { return c.meta }
 
-// FramesSent returns the number of frames transmitted (End included).
+// FramesSent returns the number of frames transmitted (End, heartbeat
+// and resume frames included).
 func (c *Client) FramesSent() int64 { return c.frames }
 
 // SamplesSent returns the number of payload samples transmitted.
@@ -95,10 +144,24 @@ func (c *Client) SendSamples(samples iq.Samples) error {
 	return nil
 }
 
+// Heartbeat transmits an empty keep-alive frame: proof of life for the
+// receiver's idle timer, and — because a dead peer eventually fails the
+// bounded write — a probe that surfaces half-open connections on this
+// side too.
+func (c *Client) Heartbeat() error {
+	return c.sendPayload(nil, FlagHeartbeat)
+}
+
+// SendResume transmits the reconnect handshake: a control frame whose
+// payload carries the client's cumulative transmit ledger, so the
+// receiving daemon can stitch this connection onto the stream's
+// previous epochs and account the gap.
+func (c *Client) SendResume(r ResumeInfo) error {
+	encodeResume(c.resume[:], r)
+	return c.sendPayload(c.resume[:], FlagResume)
+}
+
 func (c *Client) send(samples iq.Samples, flags uint16) error {
-	if c.ended {
-		return fmt.Errorf("wire: send after End frame")
-	}
 	if len(samples) > MaxFrameSamples {
 		return fmt.Errorf("wire: frame of %d samples exceeds max %d", len(samples), MaxFrameSamples)
 	}
@@ -108,6 +171,20 @@ func (c *Client) send(samples iq.Samples, flags uint16) error {
 	}
 	buf := c.buf[:need]
 	putSamples(buf, samples)
+	if err := c.sendPayload(buf, flags); err != nil {
+		return err
+	}
+	c.sent += int64(len(samples))
+	return nil
+}
+
+// sendPayload frames and writes one payload (already encoded bytes, a
+// multiple of the 8-byte sample unit). All transmit paths funnel here:
+// it owns the header, CRCs, sequence numbers and the write deadline.
+func (c *Client) sendPayload(payload []byte, flags uint16) error {
+	if c.ended {
+		return fmt.Errorf("wire: send after End frame")
+	}
 	h := FrameHeader{
 		Version:  Version,
 		Flags:    flags,
@@ -115,23 +192,25 @@ func (c *Client) send(samples iq.Samples, flags uint16) error {
 		Seq:      c.seq,
 		Rate:     uint32(c.meta.Rate),
 		CenterHz: c.meta.CenterHz,
-		Count:    uint32(len(samples)),
+		Count:    uint32(len(payload) / 8),
 	}
-	if need > 0 {
-		h.PayloadCRC = crc32.ChecksumIEEE(buf)
+	if len(payload) > 0 {
+		h.PayloadCRC = crc32.ChecksumIEEE(payload)
 	}
 	encodeHeader(c.hdr[:], h)
+	if c.dw != nil {
+		_ = c.dw.SetWriteDeadline(time.Now().Add(c.writeTO))
+	}
 	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
 	}
-	if need > 0 {
-		if _, err := c.w.Write(buf); err != nil {
+	if len(payload) > 0 {
+		if _, err := c.w.Write(payload); err != nil {
 			return err
 		}
 	}
 	c.seq++
 	c.frames++
-	c.sent += int64(len(samples))
 	if flags&FlagEnd != 0 {
 		c.ended = true
 	}
@@ -140,7 +219,19 @@ func (c *Client) send(samples iq.Samples, flags uint16) error {
 
 // End transmits the empty end-of-stream frame.
 func (c *Client) End() error {
-	return c.send(nil, FlagEnd)
+	return c.sendPayload(nil, FlagEnd)
+}
+
+// Abort closes the underlying connection (when the client owns one)
+// without sending an End frame — the teardown for a connection already
+// known broken, where an End would block on a dead socket and a
+// successful one would falsely mark the stream cleanly ended.
+func (c *Client) Abort() error {
+	c.ended = true
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
 }
 
 // Close sends the End frame (if not already sent) and closes the

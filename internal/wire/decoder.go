@@ -5,6 +5,7 @@ import (
 	"errors"
 	"hash/crc32"
 	"io"
+	"net"
 	"sync/atomic"
 
 	"rfdump/internal/iq"
@@ -15,9 +16,12 @@ import (
 // fatal — a long-running daemon reports corruption, it does not die of
 // it.
 type Counts struct {
-	// Frames and Samples count successfully decoded payload.
+	// Frames and Samples count successfully decoded frames (control
+	// frames included) and data payload samples.
 	Frames  int64 `json:"frames"`
 	Samples int64 `json:"samples"`
+	// Heartbeats counts keep-alive control frames.
+	Heartbeats int64 `json:"heartbeats,omitempty"`
 	// ResyncBytes counts bytes skipped while hunting for a valid header
 	// after framing was lost (bad magic, header CRC, version, count).
 	ResyncBytes int64 `json:"resync_bytes"`
@@ -53,8 +57,18 @@ type Decoder struct {
 	end     bool // End frame seen; EOF after the payload drains
 	err     error
 
+	// hook, when set, fires on every valid frame (control frames
+	// included) from the reader goroutine — a server uses it to refresh
+	// read deadlines and liveness clocks without a second timer.
+	hook func(FrameHeader)
+
+	// resume is the ResumeInfo of the latest FlagResume control frame.
+	hasResume bool
+	resume    ResumeInfo
+
 	frames      atomic.Int64
 	samples     atomic.Int64
+	heartbeats  atomic.Int64
 	resyncBytes atomic.Int64
 	badFrames   atomic.Int64
 	seqGaps     atomic.Int64
@@ -66,12 +80,17 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// SetFrameHook registers fn to run on every valid frame header, on the
+// decoder's reader goroutine. Set it before the first read.
+func (d *Decoder) SetFrameHook(fn func(FrameHeader)) { d.hook = fn }
+
 // Counts returns the decoder's accounting snapshot (safe to call from
 // other goroutines while the decoder runs).
 func (d *Decoder) Counts() Counts {
 	return Counts{
 		Frames:      d.frames.Load(),
 		Samples:     d.samples.Load(),
+		Heartbeats:  d.heartbeats.Load(),
 		ResyncBytes: d.resyncBytes.Load(),
 		BadFrames:   d.badFrames.Load(),
 		SeqGaps:     d.seqGaps.Load(),
@@ -81,14 +100,31 @@ func (d *Decoder) Counts() Counts {
 
 // Meta returns the stream metadata from the first valid frame header,
 // reading it if necessary. It is how a server learns what a new
-// connection carries before opening a session for it.
+// connection carries before opening a session for it. Control frames
+// (heartbeat, resume) satisfy it — a reconnecting client's resume frame
+// completes the handshake without waiting for data.
 func (d *Decoder) Meta() (StreamMeta, error) {
-	if !d.started {
-		if err := d.nextFrame(); err != nil {
+	for !d.started {
+		if _, err := d.step(); err != nil {
 			return StreamMeta{}, err
 		}
 	}
 	return d.meta, nil
+}
+
+// Resume returns the ledger of the latest resume control frame, if one
+// arrived. Call after Meta: a resuming client sends it first.
+func (d *Decoder) Resume() (ResumeInfo, bool) { return d.resume, d.hasResume }
+
+// ClearTimeout forgets a deadline-expiry error so reading can continue
+// on a connection that was nudged (or idle-timed-out) but deliberately
+// kept: the expired read is the only casualty, the stream resumes with
+// the next frame. Non-timeout errors stay fatal.
+func (d *Decoder) ClearTimeout() {
+	var ne net.Error
+	if d.err != nil && errors.As(d.err, &ne) && ne.Timeout() {
+		d.err = nil
+	}
 }
 
 // nextFrame reads frames until one with a valid header and payload is
@@ -96,65 +132,102 @@ func (d *Decoder) Meta() (StreamMeta, error) {
 // On success the frame's payload (possibly empty) is staged for
 // draining. Returns io.EOF when the stream is over.
 func (d *Decoder) nextFrame() error {
-	if d.end {
-		return io.EOF
-	}
 	for {
-		// Fill the header scratch, then slide byte-by-byte until it
-		// parses. The slide path is the resync rule: corruption costs
-		// the bytes it damaged, never the stream.
-		if _, err := io.ReadFull(d.br, d.hdr[:]); err != nil {
-			return d.endErr(err)
+		staged, err := d.step()
+		if err != nil {
+			return err
 		}
-		h, err := ParseHeader(d.hdr[:])
-		for err != nil {
-			d.resyncBytes.Add(1)
-			copy(d.hdr[:], d.hdr[1:])
-			b, rerr := d.br.ReadByte()
-			if rerr != nil {
-				return d.endErr(rerr)
-			}
-			d.hdr[HeaderSize-1] = b
-			h, err = ParseHeader(d.hdr[:])
+		if staged {
+			return nil
 		}
-
-		need := int(h.Count) * 8
-		if cap(d.payload) < need {
-			d.payload = make([]byte, need)
-		}
-		buf := d.payload[:need]
-		if _, err := io.ReadFull(d.br, buf); err != nil {
-			return d.endErr(err)
-		}
-		if need > 0 && crc32.ChecksumIEEE(buf) != h.PayloadCRC {
-			// Framing is intact (header CRC passed); only this frame's
-			// samples are damaged. Drop it and keep going.
-			d.badFrames.Add(1)
-			continue
-		}
-
-		if !d.started {
-			d.started = true
-			d.meta = StreamMeta{StreamID: h.Stream, Rate: int(h.Rate), CenterHz: h.CenterHz}
-		} else if h.Seq != d.lastSeq+1 {
-			d.seqGaps.Add(1)
-		}
-		d.lastSeq = h.Seq
-		d.frames.Add(1)
-		if h.End() {
-			d.end = true
-			d.cleanEnd.Store(true)
-		}
-		d.payload = buf
-		d.off = 0
-		if need == 0 {
-			if d.end {
-				return io.EOF
-			}
-			continue
-		}
-		return nil
 	}
+}
+
+// step decodes exactly one frame (hunting for a valid header first if
+// framing was lost). It returns staged=true when a data payload is
+// ready to drain; control frames and empty data frames return
+// staged=false and the caller loops.
+func (d *Decoder) step() (staged bool, err error) {
+	if d.end {
+		return false, io.EOF
+	}
+	// Fill the header scratch, then slide byte-by-byte until it
+	// parses. The slide path is the resync rule: corruption costs
+	// the bytes it damaged, never the stream.
+	if _, err := io.ReadFull(d.br, d.hdr[:]); err != nil {
+		return false, d.endErr(err)
+	}
+	h, herr := ParseHeader(d.hdr[:])
+	for herr != nil {
+		d.resyncBytes.Add(1)
+		copy(d.hdr[:], d.hdr[1:])
+		b, rerr := d.br.ReadByte()
+		if rerr != nil {
+			return false, d.endErr(rerr)
+		}
+		d.hdr[HeaderSize-1] = b
+		h, herr = ParseHeader(d.hdr[:])
+	}
+
+	need := int(h.Count) * 8
+	if cap(d.payload) < need {
+		d.payload = make([]byte, need)
+	}
+	buf := d.payload[:need]
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return false, d.endErr(err)
+	}
+	if need > 0 && crc32.ChecksumIEEE(buf) != h.PayloadCRC {
+		// Framing is intact (header CRC passed); only this frame's
+		// samples are damaged. Drop it and keep going.
+		d.badFrames.Add(1)
+		return false, nil
+	}
+
+	if !d.started {
+		d.started = true
+		d.meta = StreamMeta{StreamID: h.Stream, Rate: int(h.Rate), CenterHz: h.CenterHz}
+	} else if h.Seq != d.lastSeq+1 {
+		d.seqGaps.Add(1)
+	}
+	d.lastSeq = h.Seq
+	d.frames.Add(1)
+	if d.hook != nil {
+		d.hook(h)
+	}
+	if h.End() {
+		d.end = true
+		d.cleanEnd.Store(true)
+	}
+
+	// Control frames never stage samples: their payload (if any) is
+	// protocol data, not air.
+	if h.Flags&(FlagResume|FlagHeartbeat) != 0 {
+		if h.Flags&FlagResume != 0 {
+			if ri, rerr := parseResume(buf); rerr == nil {
+				d.resume, d.hasResume = ri, true
+			}
+		} else {
+			d.heartbeats.Add(1)
+		}
+		// buf may alias (or have just re-allocated) the payload scratch;
+		// mark it fully drained so none of it reads back as samples.
+		d.off = len(d.payload)
+		if d.end {
+			return false, io.EOF
+		}
+		return false, nil
+	}
+
+	d.payload = buf
+	d.off = 0
+	if need == 0 {
+		if d.end {
+			return false, io.EOF
+		}
+		return false, nil
+	}
+	return true, nil
 }
 
 // endErr maps a transport error at a frame boundary (or mid-frame) into

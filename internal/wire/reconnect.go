@@ -1,0 +1,480 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+)
+
+// Reconnect policy defaults. Backoff starts fast (a daemon restart is
+// the common case and costs only milliseconds) and caps low: an IQ
+// transmitter buffering against a dead link measures downtime in
+// samples, so probing every couple of seconds is cheap relative to
+// what waiting costs.
+const (
+	DefaultReconnectDialTimeout  = 5 * time.Second
+	DefaultReconnectWriteTimeout = 10 * time.Second
+	DefaultMinBackoff            = 50 * time.Millisecond
+	DefaultMaxBackoff            = 2 * time.Second
+	DefaultBackoffJitter         = 0.25
+)
+
+// ReconnectConfig tunes a ReconnectClient. The zero value means:
+// default timeouts and backoff, block forever while down (drop
+// nothing), no heartbeats.
+type ReconnectConfig struct {
+	// DialTimeout caps each TCP connect attempt (≤0 takes
+	// DefaultReconnectDialTimeout).
+	DialTimeout time.Duration
+	// WriteTimeout caps each frame write (0 disables, <0 takes
+	// DefaultReconnectWriteTimeout).
+	WriteTimeout time.Duration
+
+	// MinBackoff/MaxBackoff bound the exponential redial backoff;
+	// Jitter (0..1) randomizes each delay by ±Jitter so a fleet of
+	// sensors does not redial in lockstep. Zero values take the
+	// defaults above.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	Jitter     float64
+	// Seed seeds the jitter PRNG (0 takes a fixed seed; determinism is
+	// a feature in tests).
+	Seed uint64
+
+	// Heartbeat, when positive, starts a keep-alive goroutine that
+	// sends an empty heartbeat frame whenever the connection has been
+	// idle for the interval — and, while down, uses the tick to probe
+	// one redial so an idle transmitter still recovers.
+	Heartbeat time.Duration
+
+	// MaxDown bounds how long a send blocks redialing before shedding
+	// the frame instead (accounted in the resume ledger as dropped).
+	// 0 blocks forever: nothing is shed, delivery waits for the link.
+	MaxDown time.Duration
+
+	// FrameSamples is the per-frame payload for SendSamples (0 takes
+	// DefaultFrameSamples).
+	FrameSamples int
+
+	// Metrics, when set, receives wire/reconnects, wire/dial_failures,
+	// wire/write_failures, wire/dropped_frames and wire/heartbeats_sent.
+	Metrics *metrics.Registry
+	// Logf, when set, receives one line per connectivity transition.
+	Logf func(format string, args ...any)
+
+	// DialFunc replaces the TCP dial (tests inject failures here).
+	// The returned client must already carry its write timeout.
+	DialFunc func(addr string, meta StreamMeta) (*Client, error)
+}
+
+// ReconnectStats is a snapshot of a ReconnectClient's life so far.
+type ReconnectStats struct {
+	// Connected reports a live connection; Epoch numbers it (0 is the
+	// first connection, each reconnect increments it).
+	Connected bool   `json:"connected"`
+	Epoch     uint32 `json:"epoch"`
+	// Reconnects counts successful re-establishments (first connect
+	// excluded); DialFailures and WriteFailures count the errors that
+	// drove them.
+	Reconnects     int64 `json:"reconnects"`
+	DialFailures   int64 `json:"dial_failures"`
+	WriteFailures  int64 `json:"write_failures"`
+	HeartbeatsSent int64 `json:"heartbeats_sent"`
+	// SentFrames/SentSamples cover everything written across all
+	// epochs (live connection included); Dropped* is payload shed
+	// under the MaxDown policy.
+	SentFrames     uint64 `json:"sent_frames"`
+	SentSamples    uint64 `json:"sent_samples"`
+	DroppedFrames  uint64 `json:"dropped_frames"`
+	DroppedSamples uint64 `json:"dropped_samples"`
+}
+
+// ReconnectClient is a wire transmitter that survives the network: it
+// wraps Client with bounded dials and writes, exponential-backoff
+// redial, optional heartbeats, and the resume handshake that lets the
+// receiving daemon stitch connections into one stream and account
+// every sample the outage cost. Sends are serialized by an internal
+// lock; one stream, any goroutine.
+type ReconnectClient struct {
+	addr string
+	meta StreamMeta
+	cfg  ReconnectConfig
+
+	closed  atomic.Bool
+	closeCh chan struct{}
+	hbStop  sync.WaitGroup
+
+	mu    sync.Mutex
+	cur   *Client // nil while down
+	conns uint32  // successful dials; epoch of cur is conns-1
+	rng   uint64
+
+	// Cumulative ledger over closed epochs (cur's counters are folded
+	// in at teardown). These four are exactly what SendResume carries.
+	cumFrames  uint64
+	cumSamples uint64
+	dropFrames uint64
+	dropSamps  uint64
+
+	downSince time.Time
+	lastSend  time.Time
+	ended     bool
+
+	reconnects    int64
+	dialFailures  int64
+	writeFailures int64
+	heartbeats    int64
+}
+
+// NewReconnectClient returns a client that will transmit the stream to
+// addr, connecting lazily on first send. Close releases it.
+func NewReconnectClient(addr string, meta StreamMeta, cfg ReconnectConfig) *ReconnectClient {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultReconnectDialTimeout
+	}
+	if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = DefaultReconnectWriteTimeout
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultMinBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = DefaultMaxBackoff
+		if cfg.MaxBackoff < cfg.MinBackoff {
+			cfg.MaxBackoff = cfg.MinBackoff
+		}
+	}
+	if cfg.Jitter <= 0 || cfg.Jitter > 1 {
+		cfg.Jitter = DefaultBackoffJitter
+	}
+	if cfg.FrameSamples <= 0 || cfg.FrameSamples > MaxFrameSamples {
+		cfg.FrameSamples = DefaultFrameSamples
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	rc := &ReconnectClient{
+		addr:      addr,
+		meta:      meta,
+		cfg:       cfg,
+		closeCh:   make(chan struct{}),
+		rng:       seed,
+		downSince: time.Now(),
+	}
+	if cfg.Heartbeat > 0 {
+		rc.hbStop.Add(1)
+		go rc.heartbeatLoop()
+	}
+	return rc
+}
+
+// Meta returns the stream metadata stamped on every frame.
+func (rc *ReconnectClient) Meta() StreamMeta { return rc.meta }
+
+// FrameSamples returns the per-frame payload SendSamples splits into.
+func (rc *ReconnectClient) FrameSamples() int { return rc.cfg.FrameSamples }
+
+// Stats returns a snapshot of the client's ledger and failure counts.
+func (rc *ReconnectClient) Stats() ReconnectStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	s := ReconnectStats{
+		Connected:      rc.cur != nil,
+		Reconnects:     rc.reconnects,
+		DialFailures:   rc.dialFailures,
+		WriteFailures:  rc.writeFailures,
+		HeartbeatsSent: rc.heartbeats,
+		SentFrames:     rc.cumFrames,
+		SentSamples:    rc.cumSamples,
+		DroppedFrames:  rc.dropFrames,
+		DroppedSamples: rc.dropSamps,
+	}
+	if rc.conns > 0 {
+		s.Epoch = rc.conns - 1
+	}
+	if rc.cur != nil {
+		s.SentFrames += uint64(rc.cur.FramesSent())
+		s.SentSamples += uint64(rc.cur.SamplesSent())
+	}
+	return s
+}
+
+// SendFrame transmits one frame, redialing (with the resume handshake)
+// through any number of connection failures. It blocks while the link
+// is down unless MaxDown elapses, in which case the frame is shed and
+// accounted as dropped — never silently lost.
+func (rc *ReconnectClient) SendFrame(samples iq.Samples) error {
+	if len(samples) > MaxFrameSamples {
+		return fmt.Errorf("wire: frame of %d samples exceeds max %d", len(samples), MaxFrameSamples)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.ended {
+		return fmt.Errorf("wire: send after End frame")
+	}
+	for {
+		if err := rc.ensureConnLocked(); err != nil {
+			if err == errStillDown {
+				rc.dropFrames++
+				rc.dropSamps += uint64(len(samples))
+				rc.cfg.Metrics.Counter("wire/dropped_frames").Add(1)
+				return nil
+			}
+			return err
+		}
+		if err := rc.cur.SendFrame(samples); err != nil {
+			rc.writeFailed(err)
+			continue
+		}
+		rc.lastSend = time.Now()
+		return nil
+	}
+}
+
+// SendSamples transmits a sample run as frames of the configured size,
+// with the same redial/shed behavior as SendFrame.
+func (rc *ReconnectClient) SendSamples(samples iq.Samples) error {
+	for len(samples) > 0 {
+		n := rc.cfg.FrameSamples
+		if n > len(samples) {
+			n = len(samples)
+		}
+		if err := rc.SendFrame(samples[:n]); err != nil {
+			return err
+		}
+		samples = samples[n:]
+	}
+	return nil
+}
+
+// Heartbeat sends one keep-alive frame on the live connection (no-op
+// while down — a heartbeat is proof of life, not worth a redial storm
+// on its own; the heartbeat loop probes redials separately).
+func (rc *ReconnectClient) Heartbeat() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.heartbeatLocked()
+}
+
+func (rc *ReconnectClient) heartbeatLocked() error {
+	if rc.cur == nil || rc.ended {
+		return nil
+	}
+	if err := rc.cur.Heartbeat(); err != nil {
+		rc.writeFailed(err)
+		return err
+	}
+	rc.heartbeats++
+	rc.cfg.Metrics.Counter("wire/heartbeats_sent").Add(1)
+	rc.lastSend = time.Now()
+	return nil
+}
+
+// End transmits the end-of-stream frame on the live connection. Unlike
+// data sends it does not redial: if the link is down at the end of a
+// capture there is no connection worth resurrecting just to say
+// goodbye — the receiver's accounting treats a vanished stream as a
+// dirty end, which is the truth.
+func (rc *ReconnectClient) End() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.ended {
+		return nil
+	}
+	rc.ended = true
+	if rc.cur == nil {
+		return nil
+	}
+	if err := rc.cur.End(); err != nil {
+		rc.teardownLocked()
+		return err
+	}
+	return nil
+}
+
+// Close ends the stream (best effort), stops the heartbeat loop, and
+// closes any live connection.
+func (rc *ReconnectClient) Close() error {
+	if !rc.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(rc.closeCh)
+	rc.hbStop.Wait()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var err error
+	if rc.cur != nil {
+		c := rc.cur
+		rc.cur = nil
+		if rc.ended {
+			err = c.Abort()
+		} else {
+			err = c.Close() // sends End, then closes
+		}
+		// Fold after the close so the End frame is counted.
+		rc.cumFrames += uint64(c.FramesSent())
+		rc.cumSamples += uint64(c.SamplesSent())
+	}
+	rc.ended = true
+	return err
+}
+
+var errStillDown = fmt.Errorf("wire: link down beyond MaxDown")
+
+// writeFailed tears down the current connection after a send error and
+// records the failure. Caller holds mu.
+func (rc *ReconnectClient) writeFailed(err error) {
+	rc.writeFailures++
+	rc.cfg.Metrics.Counter("wire/write_failures").Add(1)
+	rc.logf("wire: write failed on epoch %d: %v", rc.conns-1, err)
+	rc.teardownLocked()
+}
+
+// teardownLocked folds the live connection's counters into the
+// cumulative ledger and discards it. Caller holds mu.
+func (rc *ReconnectClient) teardownLocked() {
+	if rc.cur == nil {
+		return
+	}
+	rc.cumFrames += uint64(rc.cur.FramesSent())
+	rc.cumSamples += uint64(rc.cur.SamplesSent())
+	_ = rc.cur.Abort()
+	rc.cur = nil
+	rc.downSince = time.Now()
+}
+
+// ensureConnLocked blocks until a connection is live, redialing with
+// exponential backoff. Returns errStillDown once the outage exceeds
+// MaxDown (the caller sheds), net.ErrClosed after Close. Caller holds
+// mu — which intentionally serializes every other API against the
+// redial loop; Close does not need mu to interrupt it.
+func (rc *ReconnectClient) ensureConnLocked() error {
+	if rc.cur != nil {
+		return nil
+	}
+	attempt := 0
+	for {
+		if rc.closed.Load() {
+			return net.ErrClosed
+		}
+		if rc.dialOnceLocked() {
+			return nil
+		}
+		if rc.cfg.MaxDown > 0 && time.Since(rc.downSince) >= rc.cfg.MaxDown {
+			return errStillDown
+		}
+		select {
+		case <-rc.closeCh:
+			return net.ErrClosed
+		case <-time.After(rc.backoff(attempt)):
+		}
+		attempt++
+	}
+}
+
+// dialOnceLocked makes one connection attempt: dial, then (for every
+// epoch after the first) the resume handshake carrying the cumulative
+// ledger. Returns true when rc.cur is live. Caller holds mu.
+func (rc *ReconnectClient) dialOnceLocked() bool {
+	dial := rc.cfg.DialFunc
+	if dial == nil {
+		dial = func(addr string, meta StreamMeta) (*Client, error) {
+			return DialTimeout(addr, meta, rc.cfg.DialTimeout, rc.cfg.WriteTimeout)
+		}
+	}
+	c, err := dial(rc.addr, rc.meta)
+	if err != nil {
+		rc.dialFailures++
+		rc.cfg.Metrics.Counter("wire/dial_failures").Add(1)
+		return false
+	}
+	epoch := rc.conns
+	rc.conns++
+	// Every epoch after the first resumes; so does a first connection
+	// that already shed payload under MaxDown — the leading gap must be
+	// declared or those samples would be silently lost.
+	if epoch > 0 || rc.dropFrames > 0 {
+		ri := ResumeInfo{
+			Epoch:          epoch,
+			SentFrames:     rc.cumFrames,
+			SentSamples:    rc.cumSamples,
+			DroppedFrames:  rc.dropFrames,
+			DroppedSamples: rc.dropSamps,
+		}
+		if err := c.SendResume(ri); err != nil {
+			rc.dialFailures++
+			rc.cfg.Metrics.Counter("wire/dial_failures").Add(1)
+			rc.cumFrames += uint64(c.FramesSent())
+			_ = c.Abort()
+			return false
+		}
+		if epoch > 0 {
+			rc.reconnects++
+			rc.cfg.Metrics.Counter("wire/reconnects").Add(1)
+			rc.logf("wire: reconnected to %s (epoch %d, %d samples sent, %d shed)",
+				rc.addr, epoch, ri.SentSamples, ri.DroppedSamples)
+		}
+	}
+	rc.cur = c
+	rc.lastSend = time.Now()
+	return true
+}
+
+// backoff returns the jittered exponential delay for the given attempt.
+func (rc *ReconnectClient) backoff(attempt int) time.Duration {
+	d := rc.cfg.MinBackoff
+	for i := 0; i < attempt && d < rc.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rc.cfg.MaxBackoff {
+		d = rc.cfg.MaxBackoff
+	}
+	// xorshift64: cheap, deterministic under Seed, good enough to
+	// decorrelate a fleet's redial phases.
+	rc.rng ^= rc.rng << 13
+	rc.rng ^= rc.rng >> 7
+	rc.rng ^= rc.rng << 17
+	frac := float64(rc.rng%1024)/1024.0*2 - 1 // [-1, 1)
+	j := 1 + rc.cfg.Jitter*frac
+	return time.Duration(float64(d) * j)
+}
+
+// heartbeatLoop runs while the client lives: every interval it sends a
+// heartbeat if the connection has been idle that long, and — when the
+// link is down — spends the tick on a single redial probe so an idle
+// transmitter still recovers without a data frame to force it.
+func (rc *ReconnectClient) heartbeatLoop() {
+	defer rc.hbStop.Done()
+	t := time.NewTicker(rc.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-rc.closeCh:
+			return
+		case <-t.C:
+		}
+		rc.mu.Lock()
+		if rc.ended || rc.closed.Load() {
+			rc.mu.Unlock()
+			return
+		}
+		if rc.cur == nil {
+			rc.dialOnceLocked()
+		} else if time.Since(rc.lastSend) >= rc.cfg.Heartbeat {
+			_ = rc.heartbeatLocked()
+		}
+		rc.mu.Unlock()
+	}
+}
+
+func (rc *ReconnectClient) logf(format string, args ...any) {
+	if rc.cfg.Logf != nil {
+		rc.cfg.Logf(format, args...)
+	}
+}

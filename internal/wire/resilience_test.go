@@ -1,0 +1,470 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// TestHeartbeatResumeRoundTrip proves the two control frames survive the
+// codec: a resume ledger is parsed and surfaced via Resume(), heartbeats
+// are counted and neither stages any samples.
+func TestHeartbeatResumeRoundTrip(t *testing.T) {
+	meta := StreamMeta{StreamID: 9, Rate: 8_000_000}
+	ri := ResumeInfo{
+		Epoch:          3,
+		SentFrames:     120,
+		SentSamples:    100_000,
+		DroppedFrames:  2,
+		DroppedSamples: 2048,
+	}
+	want := ramp(4096, 1)
+
+	var buf bytes.Buffer
+	c := NewClient(&buf, meta)
+	c.SetFrameSamples(1024)
+	if err := c.SendResume(ri); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendSamples(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	got, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	// The resume frame leads the stream, so the handshake must be
+	// visible as soon as Meta returns — that is the contract the daemon
+	// relies on to attach the connection to the right stream.
+	r, ok := d.Resume()
+	if !ok {
+		t.Fatal("resume not visible after Meta")
+	}
+	if r != ri {
+		t.Fatalf("resume %+v, want %+v", r, ri)
+	}
+	if r.Offset() != 102_048 {
+		t.Fatalf("Offset() = %d, want 102048", r.Offset())
+	}
+	out := drain(t, d, 300)
+	if len(out) != len(want) {
+		t.Fatalf("decoded %d samples, want %d", len(out), len(want))
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], want[i])
+		}
+	}
+	counts := d.Counts()
+	if counts.Heartbeats != 1 {
+		t.Errorf("Heartbeats = %d, want 1", counts.Heartbeats)
+	}
+	if !counts.CleanEnd {
+		t.Error("clean end not recorded")
+	}
+	if counts.Samples != int64(len(want)) {
+		t.Errorf("Samples = %d, want %d", counts.Samples, len(want))
+	}
+}
+
+// TestResumeEncodingRejectsShortPayload covers the codec's guard against
+// truncated resume control frames.
+func TestResumeEncodingRejectsShortPayload(t *testing.T) {
+	if _, err := parseResume(make([]byte, ResumePayloadBytes-1)); err == nil {
+		t.Fatal("parseResume accepted a short payload")
+	}
+	if _, err := parseResume(make([]byte, ResumePayloadBytes+8)); err == nil {
+		t.Fatal("parseResume accepted an oversized payload")
+	}
+}
+
+// TestWriteDeadlineBoundsStalledSend proves a transmitter facing a peer
+// that never reads fails the send in bounded time instead of hanging
+// forever once the kernel buffers fill.
+func TestWriteDeadlineBoundsStalledSend(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c // hold it open, never read
+	}()
+
+	c, err := DialTimeout(ln.Addr().String(), StreamMeta{StreamID: 1, Rate: 8_000_000},
+		time.Second, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Abort()
+	defer func() {
+		if conn := <-accepted; conn != nil {
+			conn.Close()
+		}
+	}()
+
+	// 2 MB frames against a reader that never drains: the socket buffer
+	// absorbs a few, then the write deadline must fire.
+	frame := make(iq.Samples, 1<<18)
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 64; i++ {
+		if sendErr = c.SendFrame(frame); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("64 frames (128 MB) swallowed with no reader; write deadline never fired")
+	}
+	var ne net.Error
+	if !errors.As(sendErr, &ne) || !ne.Timeout() {
+		t.Fatalf("send error = %v, want a timeout", sendErr)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("send took %v to fail; deadline not bounding writes", elapsed)
+	}
+}
+
+// TestNudgeSurvivedByLiveConnection is the regression test for the drain
+// supervision: a Nudge unblocks a pending read with a timeout, but a
+// connection that outlives the nudge (server not stopping) must have its
+// deadline and sticky decoder error reset so subsequent reads succeed.
+func TestNudgeSurvivedByLiveConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type readResult struct {
+		n   int
+		err error
+	}
+	conns := make(chan *Conn, 1)
+	readCmd := make(chan int)
+	results := make(chan readResult)
+	srv := NewServer(func(c *Conn) {
+		if _, err := c.Meta(); err != nil {
+			t.Errorf("Meta: %v", err)
+			return
+		}
+		conns <- c
+		buf := make(iq.Samples, 4096)
+		for n := range readCmd {
+			k, err := c.ReadBlock(buf[:n])
+			results <- readResult{k, err}
+		}
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := Dial(ln.Addr().String(), StreamMeta{StreamID: 2, Rate: 8_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Abort()
+	if err := client.SendFrame(ramp(1024, 1)); err != nil {
+		t.Fatal(err)
+	}
+	conn := <-conns
+
+	// First read drains the frame normally.
+	readCmd <- 1024
+	if r := <-results; r.n != 1024 || r.err != nil {
+		t.Fatalf("first read = (%d, %v), want (1024, nil)", r.n, r.err)
+	}
+
+	// Second read blocks (no data pending); nudge it loose.
+	readCmd <- 1024
+	time.Sleep(50 * time.Millisecond)
+	conn.Nudge()
+	r := <-results
+	if r.err == nil {
+		t.Fatal("nudged read returned no error")
+	}
+	var ne net.Error
+	if !errors.As(r.err, &ne) || !ne.Timeout() {
+		t.Fatalf("nudged read error = %v, want a timeout", r.err)
+	}
+
+	// The server is NOT stopping, so the connection survived the nudge.
+	// The next read must recover: deadline re-armed, sticky timeout
+	// cleared, fresh frame delivered.
+	if err := client.SendFrame(ramp(1024, 9000)); err != nil {
+		t.Fatal(err)
+	}
+	readCmd <- 1024
+	select {
+	case r = <-results:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-nudge read did not complete")
+	}
+	if r.n != 1024 || r.err != nil {
+		t.Fatalf("post-nudge read = (%d, %v), want (1024, nil)", r.n, r.err)
+	}
+	close(readCmd)
+}
+
+// flakyResult is what one accepted connection observed: the resume
+// handshake it opened with (nil for the first epoch) and the samples it
+// actually delivered to the decoder.
+type flakyResult struct {
+	resume   *ResumeInfo
+	epoch    int
+	samples  int64
+	cleanEnd bool
+}
+
+// TestReconnectClientStitchesAcrossKills runs a ReconnectClient against
+// a server that hard-kills the first two connections mid-stream and
+// checks the ledger invariant that makes loss visible: samples the
+// server delivered plus the gaps the resumes declare equals exactly what
+// the client counted as sent.
+func TestReconnectClientStitchesAcrossKills(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var (
+		mu      sync.Mutex
+		results []flakyResult
+		wg      sync.WaitGroup
+	)
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(i int, conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				dec := NewDecoder(conn)
+				if _, err := dec.Meta(); err != nil {
+					return
+				}
+				var fr flakyResult
+				fr.epoch = i
+				if ri, ok := dec.Resume(); ok {
+					fr.resume = &ri
+				}
+				buf := make(iq.Samples, 512)
+				kill := i < 2
+				for {
+					n, err := dec.ReadBlock(buf)
+					fr.samples += int64(n)
+					if kill && fr.samples >= 3*1024 {
+						if tc, ok := conn.(*net.TCPConn); ok {
+							tc.SetLinger(0) // RST: a crash, not a goodbye
+						}
+						conn.Close()
+						break
+					}
+					if err != nil {
+						break
+					}
+				}
+				fr.cleanEnd = dec.Counts().CleanEnd
+				mu.Lock()
+				results = append(results, fr)
+				mu.Unlock()
+			}(i, conn)
+		}
+	}()
+
+	rc := NewReconnectClient(ln.Addr().String(), StreamMeta{StreamID: 5, Rate: 8_000_000},
+		ReconnectConfig{
+			MinBackoff:   time.Millisecond,
+			MaxBackoff:   10 * time.Millisecond,
+			WriteTimeout: time.Second,
+			FrameSamples: 1024,
+			Seed:         42,
+		})
+	// 16 MB of stream: far past what loopback socket buffers can swallow,
+	// so the client is still transmitting when the kills land.
+	const frames = 2000
+	payload := ramp(1024, 1)
+	for i := 0; i < frames; i++ {
+		if err := rc.SendFrame(payload); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	stats := rc.Stats()
+	ln.Close()
+	wg.Wait()
+
+	if stats.Reconnects < 2 {
+		t.Fatalf("Reconnects = %d, want >= 2 (both kills must force a redial)", stats.Reconnects)
+	}
+	if stats.DroppedSamples != 0 || stats.DroppedFrames != 0 {
+		t.Fatalf("MaxDown=0 client shed %d frames / %d samples; must block, never drop",
+			stats.DroppedFrames, stats.DroppedSamples)
+	}
+	if stats.SentSamples != frames*1024 {
+		t.Fatalf("SentSamples = %d, want %d", stats.SentSamples, frames*1024)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) < 3 {
+		t.Fatalf("server observed %d connections, want >= 3", len(results))
+	}
+	// Order by accept sequence and replay the hub's gap arithmetic: each
+	// resume declares how much was sent before its epoch; anything not
+	// yet accounted (delivered or already priced as gap) by then is new
+	// gap.
+	sort.Slice(results, func(i, j int) bool { return results[i].epoch < results[j].epoch })
+	var delivered, gaps int64
+	for _, fr := range results {
+		if fr.resume != nil {
+			g := int64(fr.resume.SentSamples) - delivered - gaps
+			if g < 0 {
+				t.Fatalf("epoch %d resume claims %d sent but %d already accounted (duplicates?)",
+					fr.epoch, fr.resume.SentSamples, delivered+gaps)
+			}
+			gaps += g
+		}
+		delivered += fr.samples
+	}
+	if delivered+gaps != int64(stats.SentSamples) {
+		t.Fatalf("delivered %d + gaps %d = %d, want %d: samples silently lost",
+			delivered, gaps, delivered+gaps, stats.SentSamples)
+	}
+	last := results[len(results)-1]
+	if !last.cleanEnd {
+		t.Error("final epoch did not end cleanly")
+	}
+	t.Logf("delivered=%d gaps=%d reconnects=%d writeFailures=%d",
+		delivered, gaps, stats.Reconnects, stats.WriteFailures)
+}
+
+// TestReconnectMaxDownSheds proves the bounded-blocking policy: with the
+// link down past MaxDown the send returns nil and the payload is
+// accounted as dropped, and the first successful connection afterwards
+// declares the shed payload in its resume ledger.
+func TestReconnectMaxDownSheds(t *testing.T) {
+	var (
+		dialOK atomic.Bool
+		sink   bytes.Buffer // guarded by rc.mu: every send path holds it
+	)
+	meta := StreamMeta{StreamID: 11, Rate: 8_000_000}
+	rc := NewReconnectClient("unused", meta, ReconnectConfig{
+		MinBackoff:   time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+		MaxDown:      30 * time.Millisecond,
+		FrameSamples: 512,
+		DialFunc: func(addr string, m StreamMeta) (*Client, error) {
+			if !dialOK.Load() {
+				return nil, fmt.Errorf("dial: link down")
+			}
+			return NewClient(&sink, m), nil
+		},
+	})
+
+	shed := ramp(512, 1)
+	if err := rc.SendFrame(shed); err != nil {
+		t.Fatalf("SendFrame while down = %v, want nil (shed)", err)
+	}
+	stats := rc.Stats()
+	if stats.DroppedFrames != 1 || stats.DroppedSamples != 512 {
+		t.Fatalf("dropped = (%d frames, %d samples), want (1, 512)",
+			stats.DroppedFrames, stats.DroppedSamples)
+	}
+	if stats.DialFailures == 0 {
+		t.Error("no dial failures recorded during the outage")
+	}
+
+	// Link returns: the next send must connect, declare the leading gap
+	// via a resume ledger, and deliver.
+	dialOK.Store(true)
+	kept := ramp(512, 7000)
+	if err := rc.SendFrame(kept); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDecoder(bytes.NewReader(sink.Bytes()))
+	if _, err := d.Meta(); err != nil {
+		t.Fatal(err)
+	}
+	ri, ok := d.Resume()
+	if !ok {
+		t.Fatal("first connection after shedding sent no resume ledger; shed samples silently lost")
+	}
+	if ri.DroppedFrames != 1 || ri.DroppedSamples != 512 {
+		t.Fatalf("resume dropped = (%d, %d), want (1, 512)", ri.DroppedFrames, ri.DroppedSamples)
+	}
+	if ri.SentSamples != 0 {
+		t.Fatalf("resume SentSamples = %d, want 0 (nothing delivered before)", ri.SentSamples)
+	}
+	out := drain(t, d, 128)
+	if len(out) != len(kept) {
+		t.Fatalf("delivered %d samples, want %d", len(out), len(kept))
+	}
+	for i := range out {
+		if out[i] != kept[i] {
+			t.Fatalf("sample %d: %v != %v", i, out[i], kept[i])
+		}
+	}
+	if !d.Counts().CleanEnd {
+		t.Error("stream did not end cleanly")
+	}
+}
+
+// TestReconnectEndDoesNotRedial: End on a dead link reports nothing to
+// say and stays down — the receiver's dirty-end accounting is the truth.
+func TestReconnectEndDoesNotRedial(t *testing.T) {
+	dials := 0
+	rc := NewReconnectClient("unused", StreamMeta{StreamID: 3, Rate: 8_000_000},
+		ReconnectConfig{
+			MinBackoff: time.Millisecond,
+			MaxDown:    5 * time.Millisecond,
+			DialFunc: func(addr string, m StreamMeta) (*Client, error) {
+				dials++
+				return nil, fmt.Errorf("down")
+			},
+		})
+	if err := rc.End(); err != nil {
+		t.Fatalf("End on a down link = %v, want nil", err)
+	}
+	if dials != 0 {
+		t.Fatalf("End dialed %d times; must not redial", dials)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.SendFrame(make(iq.Samples, 8)); err == nil {
+		t.Fatal("SendFrame after End/Close succeeded")
+	}
+}

@@ -3,27 +3,51 @@ package wire
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
-
-	"rfdump/internal/iq"
 )
 
+import "rfdump/internal/iq"
+
 // Conn is one accepted ingest connection: the decoder over the socket
-// plus the transport handles a daemon needs (identity, nudging a blocked
-// read during drain). It implements the pipeline's BlockReader contract
-// through the embedded decoder.
+// plus the transport handles a daemon needs (identity, liveness,
+// nudging a blocked read during drain). It implements the pipeline's
+// BlockReader contract through the embedded decoder.
 type Conn struct {
 	c   net.Conn
 	dec *Decoder
+	srv *Server
+
+	// idle is the per-connection read deadline: a connection that
+	// delivers no frame (data or heartbeat) for this long fails its
+	// read. 0 disables. The deadline is refreshed on every valid frame
+	// (the decoder's frame hook), so a heartbeating-but-quiet
+	// transmitter stays alive while a half-open socket times out.
+	idle time.Duration
+
+	// dlMu serializes deadline arming against Nudge so a drain's
+	// expired deadline can never be overwritten by a refresh.
+	dlMu        sync.Mutex
+	nudged      bool
+	nextRefresh time.Time
+
+	lastFrame atomic.Int64 // unix nanos of the last valid frame
 }
 
 // Meta returns the stream metadata from the connection's first frame.
 func (c *Conn) Meta() (StreamMeta, error) { return c.dec.Meta() }
 
+// Resume returns the resume ledger if this connection opened with a
+// FlagResume handshake (call after Meta).
+func (c *Conn) Resume() (ResumeInfo, bool) { return c.dec.Resume() }
+
 // ReadBlock fills dst from the connection's frame stream (the
 // pipeline's BlockReader contract, so a session pulls pooled blocks
 // straight off the socket).
-func (c *Conn) ReadBlock(dst iq.Samples) (int, error) { return c.dec.ReadBlock(dst) }
+func (c *Conn) ReadBlock(dst iq.Samples) (int, error) {
+	c.armDeadline()
+	return c.dec.ReadBlock(dst)
+}
 
 // Counts returns the decoder accounting (safe from other goroutines).
 func (c *Conn) Counts() Counts { return c.dec.Counts() }
@@ -31,11 +55,71 @@ func (c *Conn) Counts() Counts { return c.dec.Counts() }
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
+// LastFrame returns the arrival time of the connection's most recent
+// valid frame (zero before the first). Heartbeats count: this is the
+// liveness clock /healthz reads.
+func (c *Conn) LastFrame() time.Time {
+	ns := c.lastFrame.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// onFrame is the decoder's frame hook: record liveness and keep the
+// read deadline ahead of the idle window while frames flow. It runs on
+// the reader goroutine between frames.
+func (c *Conn) onFrame(FrameHeader) {
+	now := time.Now()
+	c.lastFrame.Store(now.UnixNano())
+	if c.idle <= 0 {
+		return
+	}
+	c.dlMu.Lock()
+	if !c.nudged && now.After(c.nextRefresh) {
+		_ = c.c.SetReadDeadline(now.Add(c.idle))
+		// Refreshing at quarter-idle granularity keeps the deadline
+		// syscall off the per-frame path at high frame rates.
+		c.nextRefresh = now.Add(c.idle / 4)
+	}
+	c.dlMu.Unlock()
+}
+
+// armDeadline prepares the read deadline for a blocking ReadBlock. A
+// nudge is one-shot: if the server is draining the deadline stays
+// expired (the read must fail so the session can flush), but a nudged
+// connection that is deliberately kept gets its deadline restored and
+// the decoder's timeout error cleared — it must not fail every
+// subsequent read forever.
+func (c *Conn) armDeadline() {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	if c.nudged {
+		if c.srv != nil && c.srv.stopping.Load() {
+			return // drain in progress: stay expired
+		}
+		c.nudged = false
+		c.dec.ClearTimeout()
+	}
+	if c.idle > 0 {
+		now := time.Now()
+		_ = c.c.SetReadDeadline(now.Add(c.idle))
+		c.nextRefresh = now.Add(c.idle / 4)
+	} else {
+		_ = c.c.SetReadDeadline(time.Time{})
+	}
+}
+
 // Nudge unblocks a pending read by expiring the read deadline. A drain
 // uses it to pop sessions out of blocking socket reads; the decoder
 // surfaces the timeout as a transport error which the daemon's stop
 // wrapper converts to a clean EOF.
-func (c *Conn) Nudge() { _ = c.c.SetReadDeadline(time.Unix(1, 0)) }
+func (c *Conn) Nudge() {
+	c.dlMu.Lock()
+	c.nudged = true
+	_ = c.c.SetReadDeadline(time.Unix(1, 0))
+	c.dlMu.Unlock()
+}
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
@@ -50,6 +134,13 @@ type Handler func(*Conn)
 type Server struct {
 	handler Handler
 
+	// idle is applied to every accepted connection (see Conn.idle).
+	idle time.Duration
+
+	// stopping is the lock-free drain signal Conn.armDeadline consults
+	// (it cannot take s.mu: Drain nudges connections while holding it).
+	stopping atomic.Bool
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[*Conn]struct{}
@@ -61,6 +152,16 @@ type Server struct {
 // NewServer returns a server dispatching connections to handler.
 func NewServer(handler Handler) *Server {
 	return &Server{handler: handler, conns: make(map[*Conn]struct{})}
+}
+
+// SetIdleTimeout sets the per-connection idle read deadline applied to
+// connections accepted from now on (0 disables). A connection that
+// delivers no frame within the window fails its read — the supervision
+// that reaps half-open ingest connections.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.idle = d
+	s.mu.Unlock()
 }
 
 // Serve accepts connections from ln until the listener is closed. It
@@ -87,7 +188,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		conn := &Conn{c: c, dec: NewDecoder(c)}
+		s.mu.Lock()
+		idle := s.idle
+		s.mu.Unlock()
+		conn := &Conn{c: c, dec: NewDecoder(c), srv: s, idle: idle}
+		conn.dec.SetFrameHook(conn.onFrame)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -114,6 +219,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // blocked reads return; existing handlers keep running until their
 // streams end. Wait joins them.
 func (s *Server) Drain() {
+	s.stopping.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
@@ -129,6 +235,7 @@ func (s *Server) Drain() {
 // Close stops accepting and closes every live connection (handlers see
 // transport errors and return).
 func (s *Server) Close() {
+	s.stopping.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln

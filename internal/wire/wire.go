@@ -55,6 +55,17 @@ const (
 	// FlagEnd marks the transmitter's clean end of stream. An End frame
 	// usually carries no payload.
 	FlagEnd = 1 << 0
+	// FlagHeartbeat marks an empty keep-alive frame. Heartbeats carry no
+	// samples; they refresh the receiver's liveness clock (and its read
+	// deadline) so both ends can tell a silent-but-alive transmitter
+	// from a half-open connection.
+	FlagHeartbeat = 1 << 1
+	// FlagResume marks a control frame whose payload is a ResumeInfo
+	// record: a reconnecting transmitter's ledger of everything it sent
+	// (and shed) before this connection, so the receiver can stitch the
+	// stream onto its predecessor and account the gap instead of
+	// silently losing it.
+	FlagResume = 1 << 2
 )
 
 // StreamMeta is the per-stream metadata carried by every frame header —
@@ -137,6 +148,63 @@ var (
 	errBadMagic     = fmt.Errorf("wire: bad magic")
 	errBadHeaderCRC = fmt.Errorf("wire: header CRC mismatch")
 )
+
+// ResumeInfo is the payload of a FlagResume control frame: the
+// transmit-side ledger a reconnecting client presents so the receiver
+// can account exactly what the outage cost. Sent* covers every frame
+// successfully written to previous connections (data and control);
+// Dropped* covers payload the client shed while disconnected. The
+// receiver's gap is (SentSamples − samples it actually received) +
+// DroppedSamples — in-flight loss plus client-side shedding — so
+// delivered + accounted gaps always equals transmitted.
+type ResumeInfo struct {
+	// Epoch numbers the connection: 0 is the first, each reconnect
+	// increments it.
+	Epoch uint32 `json:"epoch"`
+	// SentFrames / SentSamples count everything written to the socket
+	// across all previous epochs (frames include control frames;
+	// samples are data payload only).
+	SentFrames  uint64 `json:"sent_frames"`
+	SentSamples uint64 `json:"sent_samples"`
+	// DroppedFrames / DroppedSamples count payload the client shed
+	// while disconnected (its MaxDown policy) — transmitted on no wire,
+	// but part of the stream's timeline and so part of the gap.
+	DroppedFrames  uint64 `json:"dropped_frames"`
+	DroppedSamples uint64 `json:"dropped_samples"`
+}
+
+// Offset returns the stream-timeline position of the first sample this
+// epoch will carry: everything sent plus everything shed before it.
+func (r ResumeInfo) Offset() int64 {
+	return int64(r.SentSamples + r.DroppedSamples)
+}
+
+// ResumePayloadBytes is the encoded ResumeInfo size. It is a multiple
+// of the 8-byte sample unit so the frame header's sample count stays
+// meaningful.
+const ResumePayloadBytes = 40
+
+func encodeResume(dst []byte, r ResumeInfo) {
+	binary.LittleEndian.PutUint32(dst[0:4], r.Epoch)
+	binary.LittleEndian.PutUint32(dst[4:8], 0)
+	binary.LittleEndian.PutUint64(dst[8:16], r.SentFrames)
+	binary.LittleEndian.PutUint64(dst[16:24], r.SentSamples)
+	binary.LittleEndian.PutUint64(dst[24:32], r.DroppedFrames)
+	binary.LittleEndian.PutUint64(dst[32:40], r.DroppedSamples)
+}
+
+func parseResume(src []byte) (ResumeInfo, error) {
+	if len(src) != ResumePayloadBytes {
+		return ResumeInfo{}, fmt.Errorf("wire: resume payload is %d bytes, want %d", len(src), ResumePayloadBytes)
+	}
+	return ResumeInfo{
+		Epoch:          binary.LittleEndian.Uint32(src[0:4]),
+		SentFrames:     binary.LittleEndian.Uint64(src[8:16]),
+		SentSamples:    binary.LittleEndian.Uint64(src[16:24]),
+		DroppedFrames:  binary.LittleEndian.Uint64(src[24:32]),
+		DroppedSamples: binary.LittleEndian.Uint64(src[32:40]),
+	}, nil
+}
 
 // putSamples encodes src as little-endian float32 I/Q pairs into dst
 // (len(src)*8 bytes).
