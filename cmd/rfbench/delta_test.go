@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rfdump/internal/experiments"
+)
+
+// benchBaseline is the pinned reference document the delta gate compares
+// against: the pre-FFT-kernel revision, with the Bluetooth demodulator
+// above real time (cpu_per_real_time 1.045). Newer committed documents
+// must not regress any shared Table 1 row by more than 10% against it.
+const benchBaseline = "BENCH_37795eefc8b7.json"
+
+func readBench(t *testing.T, path string) *experiments.BenchReport {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiments.BenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return &report
+}
+
+// TestBenchDeltaVsBaseline is the Table 1 regression gate over the
+// committed benchmark documents: every BENCH_*.json newer than the
+// pinned baseline must hold cpu_per_real_time within 1.1x of the
+// baseline on every row both documents measure. Catches a committed
+// document that quietly gives back the FFT-kernel win.
+func TestBenchDeltaVsBaseline(t *testing.T) {
+	root := filepath.Join("..", "..")
+	base := readBench(t, filepath.Join(root, benchBaseline))
+	baseRows := map[string]float64{}
+	for _, rec := range base.Table1 {
+		baseRows[rec.Name] = rec.CPUPerRealTime
+	}
+
+	docs, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(docs)
+	checked := 0
+	for _, path := range docs {
+		if filepath.Base(path) == benchBaseline {
+			continue
+		}
+		report := readBench(t, path)
+		if !report.Taken.After(base.Taken) {
+			continue // older than the baseline: historical, not gated
+		}
+		checked++
+		for _, rec := range report.Table1 {
+			want, ok := baseRows[rec.Name]
+			if !ok {
+				continue // row added after the baseline document
+			}
+			// 10% relative plus a small absolute floor: the cheap rows
+			// (peak detection at ~0.05x real time) are tens of
+			// milliseconds in a single recorded pass, where timer and
+			// scheduler noise alone exceeds 10%.
+			if rec.CPUPerRealTime > want*1.1+0.02 {
+				t.Errorf("%s: table1 %q cpu_per_real_time %.3f exceeds baseline %.3f by more than 10%%",
+					filepath.Base(path), rec.Name, rec.CPUPerRealTime, want)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Log("no post-baseline BENCH_*.json committed yet; gate is vacuous")
+	}
+}

@@ -52,11 +52,19 @@ func validateFile(t *testing.T, path string) {
 	if len(report.Figure9) != 9 {
 		t.Errorf("%s: figure9 has %d rows, want 9 architectures", path, len(report.Figure9))
 	}
-	wantTable1 := 5 // v2 adds the streaming zero-copy and wire-ingest rows
+	wantTable1 := 5 // v2+ adds the streaming zero-copy and wire-ingest rows
 	if report.Schema == experiments.BenchSchemaV1 {
 		wantTable1 = 3
 	}
 	if len(report.Table1) != wantTable1 {
 		t.Errorf("%s: table1 has %d rows, want %d blocks", path, len(report.Table1), wantTable1)
+	}
+	if report.Schema == experiments.BenchSchema {
+		// v3: the scaling matrix must cover the machine (Validate already
+		// checked the workers=1 baseline and monotonic worker counts).
+		last := report.Scaling[len(report.Scaling)-1]
+		if last.Workers < 2 && len(report.Scaling) > 1 {
+			t.Errorf("%s: scaling matrix tops out at %d workers", path, last.Workers)
+		}
 	}
 }

@@ -1,0 +1,177 @@
+package arch
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rfdump/internal/core"
+	"rfdump/internal/protocols"
+	_ "rfdump/internal/protocols/builtin"
+)
+
+// The demod golden suite locks down the numerics under every decoded
+// bit: for each registered module that can transmit and detect, the
+// modulate→detect→demod loop (the same one the conformance suite
+// exercises) must reproduce byte-identical frames, exact detection
+// offsets, and exact packet spans against checked-in goldens. The
+// goldens were generated from the direct (pre-FFT) demod kernels, so
+// the FFT convolution/channelizer paths are accepted only while they
+// remain bit-exact with the reference implementations end to end.
+//
+// Regenerate intentionally with
+//
+//	go test ./internal/arch -run TestGoldenDemod -update
+//
+// and review the diff of testdata/demod_golden.json like code.
+
+// demodGoldenDetection is one expected detection with quantized
+// confidence so the comparison is exact.
+type demodGoldenDetection struct {
+	Family     string `json:"family"`
+	Detector   string `json:"detector"`
+	Start      int64  `json:"start"`
+	End        int64  `json:"end"`
+	Channel    int    `json:"channel"`
+	Confidence int64  `json:"confidence_millis"`
+}
+
+// demodGoldenPacket is one expected decoded packet, frame bytes and all.
+type demodGoldenPacket struct {
+	Proto   string `json:"proto"`
+	Start   int64  `json:"start"`
+	End     int64  `json:"end"`
+	Channel int    `json:"channel"`
+	Valid   bool   `json:"valid"`
+	Note    string `json:"note,omitempty"`
+	Frame   string `json:"frame_hex"`
+}
+
+// demodGoldenModule is the full expected output of one module's loop.
+type demodGoldenModule struct {
+	Samples    int                    `json:"samples"`
+	Detections []demodGoldenDetection `json:"detections"`
+	Packets    []demodGoldenPacket    `json:"packets"`
+}
+
+func demodGoldenRun(t *testing.T, m *protocols.Module) demodGoldenModule {
+	t.Helper()
+	res := moduleTrace(t, m, 12, 20)
+	cfg := core.Detect(m.Detectors()...)
+	var analyzers []core.Analyzer
+	if m.HasAnalyzer() {
+		analyzers = append(analyzers, m.NewAnalyzer(protocols.AnalyzerOptions{}))
+	}
+	mon := NewRFDump("demod-golden-"+m.Key, res.Clock, cfg, analyzers...)
+	out, err := mon.Process(res.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := demodGoldenModule{Samples: len(res.Samples)}
+	for _, d := range out.Detections {
+		g.Detections = append(g.Detections, demodGoldenDetection{
+			Family:     d.Family.FamilyName(),
+			Detector:   d.Detector,
+			Start:      int64(d.Span.Start),
+			End:        int64(d.Span.End),
+			Channel:    d.Channel,
+			Confidence: quantize(d.Confidence),
+		})
+	}
+	for _, p := range out.Packets {
+		g.Packets = append(g.Packets, demodGoldenPacket{
+			Proto:   p.Proto.String(),
+			Start:   int64(p.Span.Start),
+			End:     int64(p.Span.End),
+			Channel: p.Channel,
+			Valid:   p.Valid,
+			Note:    p.Note,
+			Frame:   hex.EncodeToString(p.Frame),
+		})
+	}
+	return g
+}
+
+func TestGoldenDemod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demod golden suite synthesizes full traces")
+	}
+	path := filepath.Join("testdata", "demod_golden.json")
+
+	got := map[string]demodGoldenModule{}
+	for _, m := range protocols.Modules() {
+		if !m.HasTraffic() || len(m.Detectors()) == 0 {
+			continue
+		}
+		got[m.Key] = demodGoldenRun(t, m)
+	}
+	if len(got) < 5 {
+		t.Fatalf("demod golden covered %d modules, want the 5 builtins at least", len(got))
+	}
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d modules)", path, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading demod goldens (regenerate with -update): %v", err)
+	}
+	want := map[string]demodGoldenModule{}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("module %q in goldens but not registered", key)
+			continue
+		}
+		compareDemodGolden(t, key, g, w)
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("module %q registered but missing from goldens — regenerate with -update", key)
+		}
+	}
+	if t.Failed() {
+		t.Log("demod golden mismatch: the demod kernels no longer reproduce the reference numerics bit-exactly")
+	}
+}
+
+func compareDemodGolden(t *testing.T, key string, got, want demodGoldenModule) {
+	t.Helper()
+	if got.Samples != want.Samples {
+		t.Errorf("%s: trace length %d, want %d", key, got.Samples, want.Samples)
+	}
+	if len(got.Detections) != len(want.Detections) {
+		t.Errorf("%s: detections: got %d, want %d", key, len(got.Detections), len(want.Detections))
+	}
+	for i := range min(len(got.Detections), len(want.Detections)) {
+		if got.Detections[i] != want.Detections[i] {
+			t.Errorf("%s detection[%d]:\n  got  %+v\n  want %+v", key, i, got.Detections[i], want.Detections[i])
+		}
+	}
+	if len(got.Packets) != len(want.Packets) {
+		t.Errorf("%s: packets: got %d, want %d", key, len(got.Packets), len(want.Packets))
+	}
+	for i := range min(len(got.Packets), len(want.Packets)) {
+		if got.Packets[i] != want.Packets[i] {
+			t.Errorf("%s packet[%d]:\n  got  %+v\n  want %+v", key, i, got.Packets[i], want.Packets[i])
+		}
+	}
+}

@@ -198,13 +198,16 @@ func TestNaiveEnergyArchitecture(t *testing.T) {
 		t.Errorf("naive-energy miss rate %.3f (found %d/%d)", miss, st.Found, st.Total)
 	}
 
-	// The no-demod variant must be far cheaper than the demod variant.
+	// The no-demod variant must be clearly cheaper than the demod
+	// variant. (The margin was 2x when demodulation ran on the direct
+	// per-sample kernels; the FFT demod path cut always-demod cost to
+	// about twice the energy scan, so the gap asserted here is 20%.)
 	monND := NewNaiveEnergy(res.Clock, false)
 	outND, err := monND.Process(res.Samples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outND.CPU*2 >= out.CPU {
+	if outND.CPU*5 >= out.CPU*4 {
 		t.Errorf("energy-only CPU %v not well below demod CPU %v", outND.CPU, out.CPU)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +51,21 @@ func NewEngine(clock iq.Clock, cfg Config, factories ...AnalyzerFactory) *Engine
 // Clock returns the engine's sample clock.
 func (e *Engine) Clock() iq.Clock { return e.clock }
 
+// sharded reports whether the analysis stage runs on the work-stealing
+// worker pool: the configuration asks for it and factories exist to
+// stamp per-worker analyzer instances.
+func (e *Engine) sharded() bool {
+	return e.demodWorkers() > 1 && len(e.factories) > 0
+}
+
+// demodWorkers resolves Config.DemodWorkers (negative = GOMAXPROCS).
+func (e *Engine) demodWorkers() int {
+	if e.cfg.DemodWorkers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.cfg.DemodWorkers
+}
+
 // Pool returns the shared block pool (diagnostics and tests; its Stats
 // expose allocation behavior).
 func (e *Engine) Pool() *blocks.Pool { return e.pool }
@@ -58,9 +74,14 @@ func (e *Engine) Pool() *blocks.Pool { return e.pool }
 // fresh detector and analyzer instances, a fresh sample window and
 // dispatcher. The session is single-use — assemble, Run, done.
 func (e *Engine) NewSession(cfg StreamConfig) (*Session, error) {
-	analyzers := make([]Analyzer, len(e.factories))
-	for i, f := range e.factories {
-		analyzers[i] = f()
+	var analyzers []Analyzer
+	if !e.sharded() {
+		// The sharded stage stamps its own per-worker sets from the
+		// factories; building a throwaway set here would only leak state.
+		analyzers = make([]Analyzer, len(e.factories))
+		for i, f := range e.factories {
+			analyzers[i] = f()
+		}
 	}
 	return e.session(analyzers, cfg)
 }
@@ -72,7 +93,10 @@ func (e *Engine) session(analyzers []Analyzer, cfg StreamConfig) (*Session, erro
 		cfg.WindowSamples = 1_600_000 // 200 ms at 8 Msps
 	}
 	var window blockStore = NewBlockWindow(cfg.WindowSamples)
-	if e.cfg.Parallel {
+	if e.cfg.Parallel || e.sharded() {
+		// Sharded analysis reads the window from worker goroutines while
+		// the source appends, so it needs the copying locked window just
+		// like the parallel scheduler.
 		window = &lockedBlockWindow{w: NewBlockWindow(cfg.WindowSamples)}
 	}
 	opts := assembleOpts{

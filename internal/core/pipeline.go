@@ -82,6 +82,16 @@ type Config struct {
 	// paper's future-work extension; default single-threaded like GNU
 	// Radio at the time).
 	Parallel bool
+	// DemodWorkers shards the analysis stage across this many worker
+	// goroutines: each analysis request is handed to a work-stealing
+	// worker pool in which every worker owns a private set of analyzer
+	// instances, and the decoded outputs are re-sequenced so downstream
+	// consumers see exactly the single-threaded order. 0 or 1 keeps the
+	// inline per-analyzer chain; negative selects GOMAXPROCS. Sharding
+	// needs analyzer factories to stamp per-worker instances, so it
+	// applies on the Engine/Session path (NewEngine with factories); the
+	// instance-sharing Pipeline path ignores it.
+	DemodWorkers int
 	// Metrics, when non-nil, publishes the run's observability surface
 	// into the registry: per-block flowgraph stats, per-detector
 	// ns/chunk histograms and accept/reject counters, per-analyzer
@@ -193,6 +203,35 @@ func (b *analyzerBlock) Process(item flowgraph.Item, emit func(flowgraph.Item)) 
 
 func (b *analyzerBlock) Flush(func(flowgraph.Item)) error { return nil }
 
+// analyzerSetBlock is one sharded worker's replica: a full analyzer set
+// run in registration order against each request, exactly the order the
+// inline per-analyzer chain delivers (the dispatcher fans a request to
+// every analyzer block in the order they were connected).
+type analyzerSetBlock struct {
+	analyzers []Analyzer
+	src       SampleAccessor
+}
+
+func (b *analyzerSetBlock) Name() string { return "analyzers" }
+
+func (b *analyzerSetBlock) Process(item flowgraph.Item, emit func(flowgraph.Item)) error {
+	req, ok := item.(AnalysisRequest)
+	if !ok {
+		return nil
+	}
+	for _, a := range b.analyzers {
+		if !a.Accepts(req.Family) {
+			continue
+		}
+		if err := a.Analyze(b.src, req, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *analyzerSetBlock) Flush(func(flowgraph.Item)) error { return nil }
+
 // sinkBlock collects analyzer outputs and/or delivers them live.
 type sinkBlock struct {
 	items  *[]flowgraph.Item
@@ -271,11 +310,30 @@ func (e *Engine) assemble(analyzers []Analyzer, src SampleAccessor, opts assembl
 		graph.MustConnect("dispatcher", opts.gate.Name())
 		analyzerUpstream = opts.gate.Name()
 	}
-	for _, a := range analyzers {
-		b := &analyzerBlock{a: a, src: src}
-		graph.MustAdd(meter(e.cfg.Metrics, "analyzer", "ns_per_request", b))
-		graph.MustConnect(analyzerUpstream, b.Name())
-		graph.MustConnect(b.Name(), "sink")
+	if e.sharded() {
+		// One sharded stage replaces the per-analyzer chain: each worker
+		// stamps its own analyzer set from the factories (analyzers carry
+		// scratch state and cannot be shared), runs the accepting ones in
+		// registration order, and the stage re-sequences emissions so the
+		// sink sees the inline order. Per-analyzer metering does not apply
+		// — the stage accounts its workers' CPU in bulk via OffThreadBusy.
+		sh := flowgraph.NewSharded("analyzers", e.demodWorkers(), func(int) flowgraph.Block {
+			set := make([]Analyzer, len(e.factories))
+			for i, f := range e.factories {
+				set[i] = f()
+			}
+			return &analyzerSetBlock{analyzers: set, src: src}
+		})
+		graph.MustAdd(sh)
+		graph.MustConnect(analyzerUpstream, sh.Name())
+		graph.MustConnect(sh.Name(), "sink")
+	} else {
+		for _, a := range analyzers {
+			b := &analyzerBlock{a: a, src: src}
+			graph.MustAdd(meter(e.cfg.Metrics, "analyzer", "ns_per_request", b))
+			graph.MustConnect(analyzerUpstream, b.Name())
+			graph.MustConnect(b.Name(), "sink")
+		}
 	}
 	// Publish per-block work/queue/panic stats into the registry (no-op
 	// without one).

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"rfdump/internal/flowgraph"
+	"rfdump/internal/iq"
+	"rfdump/internal/protocols"
+)
+
+// shardProbe is a deterministic test analyzer: it accepts every family
+// and fingerprints each request from the actual window samples, so the
+// equivalence check below proves the sharded stage delivers both the
+// same requests in the same order AND the same sample bytes a worker
+// goroutine reads through the locked window.
+type shardProbe struct {
+	label   string
+	scratch []float64 // per-instance state: shared instances would race
+}
+
+type probeOut struct {
+	Who    string
+	Span   iq.Interval
+	Energy float64
+}
+
+func (p *shardProbe) Name() string              { return p.label }
+func (p *shardProbe) Accepts(protocols.ID) bool { return true }
+func (p *shardProbe) Analyze(src SampleAccessor, req AnalysisRequest, emit func(flowgraph.Item)) error {
+	s := src.Slice(req.Span)
+	p.scratch = p.scratch[:0]
+	var acc float64
+	for _, v := range s {
+		e := float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+		p.scratch = append(p.scratch, e)
+		acc += e
+	}
+	emit(probeOut{Who: p.label, Span: req.Span, Energy: acc})
+	return nil
+}
+
+func probeFactories() []AnalyzerFactory {
+	return []AnalyzerFactory{
+		func() Analyzer { return &shardProbe{label: "probe-a"} },
+		func() Analyzer { return &shardProbe{label: "probe-b"} },
+	}
+}
+
+func runShardSession(t *testing.T, workers int, stream iq.Samples) *Result {
+	t.Helper()
+	cfg := TimingOnly()
+	cfg.DemodWorkers = workers
+	e := NewEngine(testClock, cfg, probeFactories()...)
+	s, err := e.NewSession(StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(&sliceReader{s: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := e.Pool().Stats().Live; live != 0 {
+		t.Errorf("workers=%d: %d blocks still live after session", workers, live)
+	}
+	return res
+}
+
+// TestShardedSessionEquivalence: a sharded session must be output-
+// equivalent to the inline session — same detections, same requests,
+// and analyzer outputs identical in content and order (two analyzers
+// per request, in registration order, requests in dispatch order).
+func TestShardedSessionEquivalence(t *testing.T) {
+	stream := sessionStream()
+	ref := runShardSession(t, 0, stream)
+	if len(ref.Outputs) == 0 {
+		t.Fatal("reference session produced no analyzer outputs; test stream is broken")
+	}
+	for _, workers := range []int{2, 4, -1} {
+		got := runShardSession(t, workers, stream)
+		if !reflect.DeepEqual(got.Detections, ref.Detections) {
+			t.Errorf("workers=%d: detections differ from inline run", workers)
+		}
+		if !reflect.DeepEqual(got.Requests, ref.Requests) {
+			t.Errorf("workers=%d: requests differ from inline run", workers)
+		}
+		if !reflect.DeepEqual(got.Outputs, ref.Outputs) {
+			t.Errorf("workers=%d: %d outputs, want %d identical in order (first diverging entries: %+v)",
+				workers, len(got.Outputs), len(ref.Outputs), firstDiff(got.Outputs, ref.Outputs))
+		}
+	}
+}
+
+func firstDiff(a, b []flowgraph.Item) [2]flowgraph.Item {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return [2]flowgraph.Item{a[i], b[i]}
+		}
+	}
+	return [2]flowgraph.Item{}
+}
+
+// TestShardedSessionRace is the -race hammer for the sharded analysis
+// stage: several sharded sessions run concurrently over one engine
+// (shared block pool churning underneath), each tearing down while its
+// siblings are mid-stream. Detections must stay per-session correct and
+// every pooled block reference must balance after the storm.
+func TestShardedSessionRace(t *testing.T) {
+	stream := sessionStream()
+	cfg := TimingOnly()
+	cfg.DemodWorkers = 4
+	e := NewEngine(testClock, cfg, probeFactories()...)
+
+	ref := runShardSession(t, 0, stream)
+
+	const sessions = 8
+	results := make([]*Result, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		s, err := e.NewSession(StreamConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(&sliceReader{s: stream})
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Outputs, ref.Outputs) {
+			t.Errorf("session %d: outputs differ from single-session sharded run", i)
+		}
+	}
+	if live := e.Pool().Stats().Live; live != 0 {
+		t.Errorf("%d blocks still live after all sharded sessions finished", live)
+	}
+}

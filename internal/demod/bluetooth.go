@@ -33,9 +33,14 @@ type BTDemod struct {
 	// whitening candidate); the payload — the expensive part — is
 	// skipped. The overload gate sets it per request when shedding.
 	HeaderOnly bool
+	// Direct forces the reference per-channel mix+FIR+atan2 chain
+	// instead of the FFT channelizer front end. The equivalence tests
+	// compare the two; production paths leave it false.
+	Direct bool
 
 	sync    uint64
 	filter  *dsp.FIR
+	chanzr  *dsp.Channelizer
 	scratch iq.Samples
 	dbuf    []float64
 }
@@ -45,13 +50,26 @@ func NewBTDemod(lap uint32, uap byte, channels int) *BTDemod {
 	if channels <= 0 {
 		channels = 8
 	}
+	filter := dsp.LowPass(700_000, float64(phy.SampleRate), 21)
+	// The channelizer extracts every monitored channel from one forward
+	// transform per segment instead of a mix+FIR pass per channel. A
+	// nil channelizer (offsets that miss the bin grid at this block
+	// size) silently falls back to the direct chain.
+	chanzr, _ := dsp.NewChannelizer(dsp.ChannelizerConfig{
+		Taps:      filter.Taps(),
+		Channels:  channels,
+		SpacingHz: float64(protocols.BTChannelWidthHz),
+		RateHz:    float64(phy.SampleRate),
+		BlockLen:  512,
+	})
 	return &BTDemod{
 		LAP:           lap,
 		UAP:           uap,
 		Channels:      channels,
 		MaxSyncErrors: 7,
 		sync:          bluetooth.SyncWord(lap),
-		filter:        dsp.LowPass(700_000, float64(phy.SampleRate), 21),
+		filter:        filter,
+		chanzr:        chanzr,
 	}
 }
 
@@ -78,6 +96,17 @@ func (d *BTDemod) Analyze(src core.SampleAccessor, req core.AnalysisRequest, emi
 		}
 		return nil
 	}
+	if d.chanzr != nil && !d.Direct && len(samples) >= bluetooth.AccessCodeBits*bluetooth.SPS {
+		// All channels requested: share one forward FFT per segment
+		// across the whole bank.
+		d.chanzr.ExtractAll(samples, func(ch int, out []complex64) {
+			d.dbuf = dsp.FastPhaseDiff(out, d.dbuf[:0])
+			for _, p := range d.scanChannel(d.dbuf, req.Span.Start, ch) {
+				emit(p)
+			}
+		})
+		return nil
+	}
 	for ch := 0; ch < d.Channels; ch++ {
 		for _, p := range d.DemodulateChannel(samples, req.Span.Start, ch) {
 			emit(p)
@@ -98,33 +127,65 @@ func (d *BTDemod) DemodulateChannel(samples iq.Samples, base iq.Tick, ch int) []
 	if n < bluetooth.AccessCodeBits*bluetooth.SPS {
 		return nil
 	}
-	// Shift channel to baseband and low-pass: the unconditional
-	// per-sample cost of a channel demodulator.
+	diffs := d.discriminate(samples, ch)
+	return d.scanChannel(diffs, base, ch)
+}
+
+// discriminate produces the FM discriminator output for one channel:
+// channel extraction (FFT channelizer, or the reference mix+FIR chain
+// when Direct is set) followed by the adjacent-sample phase difference.
+func (d *BTDemod) discriminate(samples iq.Samples, ch int) []float64 {
+	n := len(samples)
+	if d.chanzr != nil && !d.Direct {
+		d.scratch = d.chanzr.Extract(d.scratch[:0], samples, ch)
+		d.dbuf = dsp.FastPhaseDiff(d.scratch, d.dbuf[:0])
+		return d.dbuf
+	}
+	// Reference chain: shift channel to baseband and low-pass — the
+	// unconditional per-sample cost of a direct channel demodulator.
 	if cap(d.scratch) < n {
 		d.scratch = make(iq.Samples, n)
-		d.dbuf = make([]float64, n)
 	}
 	shifted := d.scratch[:n]
 	copy(shifted, samples)
 	shifted.FrequencyShift(-d.channelOffsetHz(ch), phy.SampleRate, 0)
 	d.filter.Reset()
 	d.filter.Process(shifted, shifted)
+	d.dbuf = dsp.PhaseDiff(shifted, d.dbuf[:0])
+	return d.dbuf
+}
 
-	// FM discriminator.
-	diffs := dsp.PhaseDiff(shifted, d.dbuf[:0])
+// scanChannel runs the continuous sync-word correlation at every symbol
+// phase over a channel's discriminator output: slice a bit at each
+// sample against a slowly-adapting drift estimate, and keep one 64-bit
+// shift register per timing phase.
+func (d *BTDemod) scanChannel(diffs []float64, base iq.Tick, ch int) []Packet {
+	// The drift estimate is a 256-sample moving average, inlined so the
+	// slicer compares dv·filled > sum — one multiply instead of the
+	// division dv > sum/filled it is equivalent to (filled > 0). The
+	// division is only paid when a sync word fires, where decodePacket
+	// wants the mean itself.
+	var window [256]float64
+	var sum float64
+	filled, pos := 0, 0
 
-	// Continuous sync-word correlation at every symbol phase: slice a
-	// bit at each sample against a slowly-adapting drift estimate, and
-	// keep one 64-bit shift register per timing phase.
-	drift := dsp.NewMovingAverage(256)
 	var regs [bluetooth.SPS]uint64
 	var packets []Packet
 	skipUntil := 0
 
 	for i, dv := range diffs {
-		mean := drift.Push(dv)
+		sum -= window[pos]
+		window[pos] = dv
+		sum += dv
+		pos++
+		if pos == len(window) {
+			pos = 0
+		}
+		if filled < len(window) {
+			filled++
+		}
 		bit := uint64(0)
-		if dv > mean {
+		if dv*float64(filled) > sum {
 			bit = 1
 		}
 		p := i % bluetooth.SPS
@@ -136,7 +197,7 @@ func (d *BTDemod) DemodulateChannel(samples iq.Samples, base iq.Tick, ch int) []
 			continue
 		}
 		// Sync word matched ending at sample i: decode from here.
-		pkt, endSample := d.decodePacket(diffs, i, mean, ch, base)
+		pkt, endSample := d.decodePacket(diffs, i, sum/float64(filled), ch, base)
 		if pkt != nil {
 			packets = append(packets, *pkt)
 			skipUntil = endSample

@@ -30,14 +30,24 @@ type WiFiDemod struct {
 	// headers only", Section 2.2). Rate, airtime and position are still
 	// reported; the PSDU is skipped entirely.
 	HeaderOnly bool
+	// Direct forces the reference atan2+cos+sliding-window chain
+	// instead of the FFT correlation front end. The equivalence tests
+	// compare the two; production paths leave it false.
+	Direct bool
 	// sig is the intra-symbol transition sign pattern.
 	sig [wifi.SymbolSPS - 1]float64
 	// template is the 8-sample chip pattern.
 	template [wifi.SymbolSPS]float64
+	// sigConv correlates the signature against the transition cosines by
+	// overlap-save FFT: taps are the time-reversed sign pattern, so
+	// corr(i) lands at output index i+SymbolSPS-2.
+	sigConv *dsp.FFTConvolver
 
 	// scratch
-	diffs []float64
-	coss  []float64
+	diffs  []float64
+	coss   []float64
+	coss32 []float32
+	corrs  []float32
 }
 
 // NewWiFiDemod returns a demodulator.
@@ -65,6 +75,16 @@ func (d *WiFiDemod) init() {
 	}
 	t := wifi.SymbolTemplate()
 	copy(d.template[:], t)
+	// Convolution with reversed, pre-normalized signature taps computes
+	// every symbol-start correlation in one pass: with
+	// taps[k] = sig[n-1-k]/n (n = SymbolSPS-1), the overlap-save output
+	// at index i+n-1 is exactly corr(i) of the direct path.
+	n := wifi.SymbolSPS - 1
+	taps := make([]float64, n)
+	for k := range taps {
+		taps[k] = d.sig[n-1-k] / float64(n)
+	}
+	d.sigConv = dsp.NewFFTConvolver(taps, 0)
 }
 
 // Name implements core.Analyzer.
@@ -103,28 +123,44 @@ func (d *WiFiDemod) Demodulate(samples iq.Samples, base iq.Tick) []Packet {
 	if n < 4*wifi.SymbolSPS {
 		return nil
 	}
-	// Phase transitions and their cosines for the whole block: this is
-	// the unconditional per-sample work of the demodulator.
-	if cap(d.diffs) < n {
-		d.diffs = make([]float64, n)
-		d.coss = make([]float64, n)
-	}
-	diffs := dsp.PhaseDiff(samples, d.diffs[:0])
-	coss := d.coss[:len(diffs)]
-	for i, v := range diffs {
-		coss[i] = math.Cos(v)
-	}
-
 	// corr(i) = signature correlation for a symbol starting at sample i.
-	corr := func(i int) float64 {
-		if i+wifi.SymbolSPS-1 > len(coss) {
-			return 0
+	var corr func(i int) float64
+	if !d.Direct {
+		// FFT front end: cos(Δφ) computed algebraically (re/|z|, no
+		// transcendental per sample), then every correlation in one
+		// overlap-save convolution pass.
+		d.coss32 = dsp.CosPhaseDiff(samples, d.coss32[:0])
+		d.corrs = d.sigConv.ApplyReal(d.corrs[:0], d.coss32)
+		coss32, corrs := d.coss32, d.corrs
+		corr = func(i int) float64 {
+			if i+wifi.SymbolSPS-1 > len(coss32) {
+				return 0
+			}
+			return float64(corrs[i+wifi.SymbolSPS-2])
 		}
-		var acc float64
-		for m := 0; m < wifi.SymbolSPS-1; m++ {
-			acc += d.sig[m] * coss[i+m]
+	} else {
+		// Reference chain: phase transitions and their cosines for the
+		// whole block — the unconditional per-sample work of the direct
+		// demodulator.
+		if cap(d.diffs) < n {
+			d.diffs = make([]float64, n)
+			d.coss = make([]float64, n)
 		}
-		return acc / float64(wifi.SymbolSPS-1)
+		diffs := dsp.PhaseDiff(samples, d.diffs[:0])
+		coss := d.coss[:len(diffs)]
+		for i, v := range diffs {
+			coss[i] = math.Cos(v)
+		}
+		corr = func(i int) float64 {
+			if i+wifi.SymbolSPS-1 > len(coss) {
+				return 0
+			}
+			var acc float64
+			for m := 0; m < wifi.SymbolSPS-1; m++ {
+				acc += d.sig[m] * coss[i+m]
+			}
+			return acc / float64(wifi.SymbolSPS-1)
+		}
 	}
 
 	var packets []Packet

@@ -1,0 +1,279 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChannelizerConfig describes a uniform channel bank: Channels evenly
+// spaced channels centered on the capture band, each mixed to baseband
+// and low-pass filtered by Taps, optionally decimated by Decim.
+//
+// Channel ch sits at offset (ch - (Channels-1)/2) * SpacingHz from the
+// band center, matching the per-channel iq.FrequencyShift(-offset)
+// convention of the direct demod path.
+type ChannelizerConfig struct {
+	Taps      []float64
+	Channels  int
+	SpacingHz float64
+	RateHz    float64
+	// BlockLen is the FFT size (power of two, 0 = auto).
+	BlockLen int
+	// Decim keeps every Decim-th output sample (0 or 1 = full rate).
+	Decim int
+}
+
+// Channelizer extracts every channel of a uniform bank from one forward
+// transform per input segment: the segment spectrum is computed once,
+// then each channel is a circular spectrum rotation (the mixer, by the
+// shift theorem), a multiply against the shared frequency-domain filter
+// bank, and one small inverse transform. Against C per-channel
+// mix+filter passes this turns C·ntaps multiplies per sample into
+// roughly log2(N) + C·log2(N)/step — with the forward FFT amortized
+// across all channels, exactly the "one transform instead of
+// per-channel mixing" batching the monitor's Bluetooth stage needs.
+//
+// Output semantics per channel match the direct reference chain
+//
+//	mix: FrequencyShift(-offsetHz) → filter: FIR.ApplyInto → Decimate
+//
+// with exact integer phase bookkeeping (each hop's mixer phase is
+// corrected by a constant rotation computed in integer modular
+// arithmetic, so there is no accumulated drift over long inputs).
+//
+// A Channelizer owns scratch and is not safe for concurrent use.
+type Channelizer struct {
+	cfg   ChannelizerConfig
+	plan  *FFTPlan // size N forward
+	iplan *FFTPlan // size N/Decim inverse
+	bank  *FilterBank
+	bins  []int // per-channel spectrum rotation, in [0, N)
+	pad   int   // left history: ntaps-1 rounded up to a Decim multiple
+	step  int   // fresh input consumed per hop (Decim multiple)
+
+	spec  []complex64   // N-point forward spectrum of the current segment
+	seg   []complex64   // N-point input staging (edge hops)
+	zspec []complex64   // rotated/filtered/folded spectrum (N/Decim)
+	chseg []complex64   // channel time segment (N/Decim)
+	bufs  [][]complex64 // per-channel outputs for ExtractAll
+}
+
+// NewChannelizer validates the configuration and builds the bank. It
+// returns an error when the channel offsets do not land on integer FFT
+// bins (offset*BlockLen/RateHz must be integral for every channel — the
+// caller can usually pick a larger BlockLen).
+func NewChannelizer(cfg ChannelizerConfig) (*Channelizer, error) {
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("dsp: channelizer needs at least 1 channel, got %d", cfg.Channels)
+	}
+	if len(cfg.Taps) == 0 {
+		return nil, fmt.Errorf("dsp: channelizer needs filter taps")
+	}
+	if cfg.RateHz <= 0 {
+		return nil, fmt.Errorf("dsp: channelizer rate %v invalid", cfg.RateHz)
+	}
+	if cfg.Decim == 0 {
+		cfg.Decim = 1
+	}
+	if cfg.Decim < 1 {
+		return nil, fmt.Errorf("dsp: channelizer decimation %d invalid", cfg.Decim)
+	}
+	ntaps := len(cfg.Taps)
+	if cfg.BlockLen == 0 {
+		cfg.BlockLen = NextPow2(8 * ntaps)
+		if cfg.BlockLen < 512 {
+			cfg.BlockLen = 512
+		}
+	}
+	N := cfg.BlockLen
+	if !IsPow2(N) {
+		return nil, fmt.Errorf("dsp: channelizer BlockLen %d is not a power of two", N)
+	}
+	if N%cfg.Decim != 0 || !IsPow2(N/cfg.Decim) {
+		return nil, fmt.Errorf("dsp: channelizer BlockLen %d not divisible into power-of-two by Decim %d", N, cfg.Decim)
+	}
+
+	pad := ntaps - 1
+	if r := pad % cfg.Decim; r != 0 {
+		pad += cfg.Decim - r
+	}
+	step := N - pad
+	step -= step % cfg.Decim
+	if step < cfg.Decim {
+		return nil, fmt.Errorf("dsp: channelizer BlockLen %d too small for %d taps at decim %d", N, ntaps, cfg.Decim)
+	}
+
+	bins := make([]int, cfg.Channels)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		offset := (float64(ch) - float64(cfg.Channels-1)/2) * cfg.SpacingHz
+		fb := offset * float64(N) / cfg.RateHz
+		b := math.Round(fb)
+		if math.Abs(fb-b) > 1e-6 {
+			return nil, fmt.Errorf("dsp: channel %d offset %v Hz is %.4f bins at BlockLen %d — not integral", ch, offset, fb, N)
+		}
+		bins[ch] = ((int(b) % N) + N) % N
+	}
+
+	M := N / cfg.Decim
+	return &Channelizer{
+		cfg:   cfg,
+		plan:  PlanFFT(N),
+		iplan: PlanFFT(M),
+		bank:  loadBank(cfg.Taps, nil, N),
+		bins:  bins,
+		pad:   pad,
+		step:  step,
+		spec:  make([]complex64, N),
+		seg:   make([]complex64, N),
+		zspec: make([]complex64, M),
+		chseg: make([]complex64, M),
+	}, nil
+}
+
+// Channels returns the configured channel count.
+func (c *Channelizer) Channels() int { return c.cfg.Channels }
+
+// Decim returns the output decimation factor.
+func (c *Channelizer) Decim() int { return c.cfg.Decim }
+
+// OutLen returns the output length for an input of n samples.
+func (c *Channelizer) OutLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + c.cfg.Decim - 1) / c.cfg.Decim
+}
+
+// Extract mixes, filters, and decimates channel ch of in into dst's
+// storage and returns the result (length OutLen(len(in))). dst must not
+// alias in.
+func (c *Channelizer) Extract(dst, in []complex64, ch int) []complex64 {
+	if ch < 0 || ch >= c.cfg.Channels {
+		panic(fmt.Sprintf("dsp: channelizer channel %d out of range [0,%d)", ch, c.cfg.Channels))
+	}
+	dst = growC64(dst, c.OutLen(len(in)))
+	for p := 0; p < len(in); p += c.step {
+		c.forward(in, p)
+		c.channelHop(dst, len(in), p, ch)
+	}
+	return dst
+}
+
+// ExtractAll computes every channel, sharing one forward transform per
+// hop across the whole bank, and calls visit once per channel in
+// ascending order. The visited slice is scratch owned by the
+// channelizer, valid only during the call.
+func (c *Channelizer) ExtractAll(in []complex64, visit func(ch int, out []complex64)) {
+	outLen := c.OutLen(len(in))
+	if cap(c.bufs) < c.cfg.Channels {
+		c.bufs = make([][]complex64, c.cfg.Channels)
+	}
+	c.bufs = c.bufs[:c.cfg.Channels]
+	for ch := range c.bufs {
+		c.bufs[ch] = growC64(c.bufs[ch], outLen)
+	}
+	for p := 0; p < len(in); p += c.step {
+		c.forward(in, p)
+		for ch := 0; ch < c.cfg.Channels; ch++ {
+			c.channelHop(c.bufs[ch], len(in), p, ch)
+		}
+	}
+	for ch := 0; ch < c.cfg.Channels; ch++ {
+		visit(ch, c.bufs[ch][:outLen])
+	}
+}
+
+// forward computes the N-point spectrum of the segment whose fresh
+// samples start at input offset p (history pad before, zero-padded at
+// the edges).
+func (c *Channelizer) forward(in []complex64, p int) {
+	N := c.plan.n
+	lo := p - c.pad
+	if lo >= 0 && lo+N <= len(in) {
+		c.plan.Forward(c.spec, in[lo:lo+N])
+		return
+	}
+	seg := c.seg[:N]
+	a, b := lo, lo+N
+	if a < 0 {
+		a = 0
+	}
+	if b > len(in) {
+		b = len(in)
+	}
+	for j := 0; j < a-lo; j++ {
+		seg[j] = 0
+	}
+	if b > a {
+		copy(seg[a-lo:], in[a:b])
+	}
+	for j := b - lo; j < N; j++ {
+		seg[j] = 0
+	}
+	c.plan.Forward(c.spec, seg)
+}
+
+// channelHop produces one hop of one channel from the current spectrum:
+// rotate the spectrum by the channel's mixer bins, multiply the filter
+// bank, fold for decimation, inverse-transform, and store the valid
+// (fully-overlapped) region into dst.
+func (c *Channelizer) channelHop(dst []complex64, n, p, ch int) {
+	N := c.plan.n
+	D := c.cfg.Decim
+	M := N / D
+	mask := N - 1
+	b := c.bins[ch]
+
+	// The segment-local mixer e^{-2πi·b·j/N} differs from the global
+	// mixer e^{-2πi·b·(lo+j)/N} by the constant e^{+2πi·b·lo/N}; undo it
+	// with one rotation folded into the spectrum multiply. b·lo is exact
+	// in integers, so hops never accumulate phase error.
+	lo := p - c.pad
+	r := ((b*lo)%N + N) % N
+	a := -2 * math.Pi * float64(r) / float64(N)
+	rot := complex(float32(math.Cos(a)), float32(math.Sin(a)))
+
+	h := c.bank.h
+	spec := c.spec
+	chseg := c.chseg[:M]
+	if D == 1 {
+		// Fuse mixer rotation and filter multiply into the inverse's
+		// conjugate-permuted staging pass (iplan is plan at D=1), with
+		// the complex products spelled out in float32 (see
+		// FFTPlan.stages).
+		rr, ri := real(rot), imag(rot)
+		for i, s := range c.iplan.perm {
+			f, g := spec[(int(s)+b)&mask], h[s]
+			vr := real(f)*real(g) - imag(f)*imag(g)
+			vi := real(f)*imag(g) + imag(f)*real(g)
+			chseg[i] = complex(vr*rr-vi*ri, -(vr*ri + vi*rr))
+		}
+		c.iplan.inverseTail(chseg)
+	} else {
+		zspec := c.zspec[:M]
+		// Decimation in time is aliasing in frequency: fold the N-point
+		// product into M bins (sum of the D spectral images, scaled 1/D).
+		inv := complex(1/float32(D), 0) * rot
+		for k := 0; k < M; k++ {
+			var acc complex64
+			for d := 0; d < D; d++ {
+				kk := k + d*M
+				acc += spec[(kk+b)&mask] * h[kk]
+			}
+			zspec[k] = acc * inv
+		}
+		c.iplan.Inverse(chseg, zspec)
+	}
+
+	// Valid outputs: segment times j in [pad, pad+step), which are the
+	// decimated points m = j/D (pad and step are Decim multiples, and so
+	// is every hop offset, so global kept indices stay on the 0, D, 2D…
+	// grid of dsp.Decimate).
+	for m := c.pad / D; m < (c.pad+c.step)/D; m++ {
+		g := lo + m*D
+		if g >= n {
+			break
+		}
+		dst[g/D] = chseg[m]
+	}
+}

@@ -1,0 +1,281 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// FilterBank is an immutable frequency-domain image of one set of FIR
+// taps at one FFT size: H[k] = FFT_n(taps, zero-padded). Banks are baked
+// once per (taps, blockLen) pair and shared process-wide — the Gaussian
+// and Barker shaping filters every demod instance needs are transformed
+// exactly once.
+type FilterBank struct {
+	n     int
+	ntaps int
+	h     []complex64
+}
+
+type bankKey struct {
+	n    int
+	taps int
+	hash uint64
+}
+
+// bankEntry keeps the taps alongside the bank so hash collisions can be
+// detected (a colliding set of taps is simply baked uncached).
+type bankEntry struct {
+	re []float64
+	im []float64
+	b  *FilterBank
+}
+
+var bankCache sync.Map // bankKey -> *bankEntry
+
+// bakeBank transforms taps at FFT size n via the float64 FFT, so the
+// bank carries full double-precision bake accuracy rounded once.
+func bakeBank(re, im []float64, n int) *FilterBank {
+	x := make([]complex128, n)
+	for i := range re {
+		if im == nil {
+			x[i] = complex(re[i], 0)
+		} else {
+			x[i] = complex(re[i], im[i])
+		}
+	}
+	FFT(x)
+	h := make([]complex64, n)
+	for k, v := range x {
+		h[k] = complex64(v)
+	}
+	return &FilterBank{n: n, ntaps: len(re), h: h}
+}
+
+func tapsHash(re, im []float64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v float64) {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (b >> s & 0xff)) * prime
+		}
+	}
+	for _, v := range re {
+		mix(v)
+	}
+	for _, v := range im {
+		mix(v)
+	}
+	return h
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadBank returns the cached bank for (taps, n), baking it on first use.
+func loadBank(re, im []float64, n int) *FilterBank {
+	key := bankKey{n: n, taps: len(re), hash: tapsHash(re, im)}
+	if v, ok := bankCache.Load(key); ok {
+		e := v.(*bankEntry)
+		if float64sEqual(e.re, re) && float64sEqual(e.im, im) {
+			return e.b
+		}
+		return bakeBank(re, im, n) // hash collision: bake uncached
+	}
+	e := &bankEntry{
+		re: append([]float64(nil), re...),
+		im: append([]float64(nil), im...),
+		b:  bakeBank(re, im, n),
+	}
+	v, _ := bankCache.LoadOrStore(key, e)
+	return v.(*bankEntry).b
+}
+
+// FFTConvolver applies one FIR filter by overlap-save FFT convolution:
+// the input is processed in hops of step = blockLen - (ntaps-1) samples,
+// each hop costing one forward and one inverse transform instead of
+// ntaps multiplies per sample. Output semantics match FIR.ApplyInto
+// exactly — zero initial state, convolution truncated to the input
+// length — so the convolver is a drop-in for the direct filter on
+// per-burst (non-streaming) paths.
+//
+// A convolver owns scratch and is not safe for concurrent use; the plan
+// and bank it references are shared.
+type FFTConvolver struct {
+	plan *FFTPlan
+	bank *FilterBank
+	step int
+	seg  []complex64
+	freq []complex64
+}
+
+// NewFFTConvolver builds a convolver for real taps. blockLen must be a
+// power of two greater than len(taps)-1, or 0 to choose one.
+func NewFFTConvolver(taps []float64, blockLen int) *FFTConvolver {
+	return newFFTConvolver(taps, nil, blockLen)
+}
+
+// NewComplexFFTConvolver builds a convolver for complex taps (used for
+// matched filters against complex patterns, e.g. access-code hunting).
+func NewComplexFFTConvolver(taps []complex64, blockLen int) *FFTConvolver {
+	re := make([]float64, len(taps))
+	im := make([]float64, len(taps))
+	for i, v := range taps {
+		re[i] = float64(real(v))
+		im[i] = float64(imag(v))
+	}
+	return newFFTConvolver(re, im, blockLen)
+}
+
+func newFFTConvolver(re, im []float64, blockLen int) *FFTConvolver {
+	ntaps := len(re)
+	if ntaps == 0 {
+		panic("dsp: FFTConvolver needs at least one tap")
+	}
+	if blockLen == 0 {
+		blockLen = NextPow2(8 * ntaps)
+		if blockLen < 256 {
+			blockLen = 256
+		}
+	}
+	if !IsPow2(blockLen) || blockLen <= ntaps-1 {
+		panic(fmt.Sprintf("dsp: FFTConvolver blockLen %d invalid for %d taps", blockLen, ntaps))
+	}
+	return &FFTConvolver{
+		plan: PlanFFT(blockLen),
+		bank: loadBank(re, im, blockLen),
+		step: blockLen - (ntaps - 1),
+		seg:  make([]complex64, blockLen),
+		freq: make([]complex64, blockLen),
+	}
+}
+
+// BlockLen returns the FFT size in use.
+func (c *FFTConvolver) BlockLen() int { return c.plan.n }
+
+// growC64 is grow for complex64 scratch.
+func growC64(out []complex64, n int) []complex64 {
+	if cap(out) < n {
+		return make([]complex64, n)
+	}
+	return out[:n]
+}
+
+// growF32 is grow for float32 scratch.
+func growF32(out []float32, n int) []float32 {
+	if cap(out) < n {
+		return make([]float32, n)
+	}
+	return out[:n]
+}
+
+// Apply convolves in with the taps (zero state, truncated to len(in),
+// matching FIR.ApplyInto) into dst's storage and returns the result.
+// dst must not alias in.
+func (c *FFTConvolver) Apply(dst, in []complex64) []complex64 {
+	n := len(in)
+	dst = growC64(dst, n)
+	pad := c.bank.ntaps - 1
+	N := c.plan.n
+	for p := 0; p < n; p += c.step {
+		lo := p - pad
+		src := c.seg
+		if lo >= 0 && lo+N <= n {
+			// Interior hop: transform straight out of the input, saving
+			// the segment copy.
+			src = in[lo : lo+N]
+		} else {
+			c.fillSegment(in, lo)
+		}
+		c.hop(src)
+		m := c.step
+		if n-p < m {
+			m = n - p
+		}
+		copy(dst[p:p+m], c.seg[pad:pad+m])
+	}
+	return dst
+}
+
+// ApplyReal is Apply for real-valued float32 blocks (the 802.11b
+// signature-correlation path), embedding the input on the real axis.
+func (c *FFTConvolver) ApplyReal(dst, in []float32) []float32 {
+	n := len(in)
+	dst = growF32(dst, n)
+	pad := c.bank.ntaps - 1
+	N := c.plan.n
+	seg := c.seg
+	for p := 0; p < n; p += c.step {
+		lo := p - pad
+		for j := 0; j < N; j++ {
+			k := lo + j
+			if k >= 0 && k < n {
+				seg[j] = complex(in[k], 0)
+			} else {
+				seg[j] = 0
+			}
+		}
+		c.hop(seg)
+		m := c.step
+		if n-p < m {
+			m = n - p
+		}
+		for t := 0; t < m; t++ {
+			dst[p+t] = real(seg[pad+t])
+		}
+	}
+	return dst
+}
+
+// hop transforms one segment, applies the bank, and inverts back into
+// c.seg (safe even when src is c.seg: c.freq carries the spectrum).
+// The filter multiply is fused into the inverse's conjugate-permuted
+// staging pass, saving a full read+write sweep of the spectrum.
+func (c *FFTConvolver) hop(src []complex64) {
+	c.plan.Forward(c.freq, src)
+	perm := c.plan.perm
+	h := c.bank.h
+	freq := c.freq
+	seg := c.seg
+	for i, s := range perm {
+		f, g := freq[s], h[s]
+		// conj(f * g), spelled out in float32 (see FFTPlan.stages).
+		seg[i] = complex(
+			real(f)*real(g)-imag(f)*imag(g),
+			-(real(f)*imag(g) + imag(f)*real(g)))
+	}
+	c.plan.inverseTail(seg)
+}
+
+// fillSegment stages in[lo : lo+N] into c.seg, zero-padding outside the
+// input (leading edge of the first hop, tail of the last).
+func (c *FFTConvolver) fillSegment(in []complex64, lo int) {
+	N := c.plan.n
+	seg := c.seg[:N]
+	a, b := lo, lo+N
+	if a < 0 {
+		a = 0
+	}
+	if b > len(in) {
+		b = len(in)
+	}
+	for j := 0; j < a-lo; j++ {
+		seg[j] = 0
+	}
+	if b > a {
+		copy(seg[a-lo:], in[a:b])
+	}
+	for j := b - lo; j < N; j++ {
+		seg[j] = 0
+	}
+}

@@ -1,0 +1,211 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFTPlan is a precomputed float32 FFT of one power-of-two size: the
+// input permutation and per-stage twiddle tables are baked once per
+// size and shared process-wide, so steady-state transforms are
+// zero-alloc. The transform is out-of-place — the decimation-in-time
+// reordering is applied while copying the input, which costs nothing
+// extra — and the butterflies run radix-4 with a single leading radix-2
+// stage when log2(n) is odd. Twiddles are stored per stage as
+// contiguous (w¹, w², w³) triples so the hot loop streams them in
+// order instead of gathering strided entries from one big table.
+//
+// A plan holds no mutable state and is safe for concurrent use; callers
+// own the dst/src buffers.
+type FFTPlan struct {
+	n     int
+	log2n int
+	perm  []int32 // dst[i] reads src[perm[i]]
+	st    []fftStage
+}
+
+// fftStage is one radix-4 pass: q = size/4 butterflies per block, tw
+// holds q interleaved (w¹, w², w³) twiddle triples.
+type fftStage struct {
+	q  int
+	tw []complex64
+}
+
+var fftPlans sync.Map // int -> *FFTPlan
+
+// PlanFFT returns the shared plan for power-of-two size n.
+func PlanFFT(n int) *FFTPlan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: PlanFFT size %d is not a power of two", n))
+	}
+	if v, ok := fftPlans.Load(n); ok {
+		return v.(*FFTPlan)
+	}
+	p := &FFTPlan{n: n, log2n: bits.TrailingZeros(uint(n))}
+	p.perm = buildFFTPerm(n)
+	size := 4
+	if p.log2n&1 == 1 {
+		size = 8 // the radix-2 stage handles size 2
+	}
+	for ; size <= n; size <<= 2 {
+		q := size >> 2
+		st := fftStage{q: q, tw: make([]complex64, 3*q)}
+		for k := 0; k < q; k++ {
+			for m := 1; m <= 3; m++ {
+				a := -2 * math.Pi * float64(m*k) / float64(size)
+				st.tw[3*k+m-1] = complex(float32(math.Cos(a)), float32(math.Sin(a)))
+			}
+		}
+		p.st = append(p.st, st)
+	}
+	v, _ := fftPlans.LoadOrStore(n, p)
+	return v.(*FFTPlan)
+}
+
+// buildFFTPerm computes the mixed radix-4/2 decimation-in-time input
+// ordering: recursively, each size-n block splits into its r decimated
+// subsequences (r = 4 while 4 | n, else 2), laid out contiguously.
+func buildFFTPerm(n int) []int32 {
+	perm := make([]int32, n)
+	var rec func(out []int32, start, stride, n int)
+	rec = func(out []int32, start, stride, n int) {
+		if n == 1 {
+			out[0] = int32(start)
+			return
+		}
+		r := 4
+		if n%4 != 0 {
+			r = 2
+		}
+		m := n / r
+		for c := 0; c < r; c++ {
+			rec(out[c*m:(c+1)*m], start+c*stride, stride*r, m)
+		}
+	}
+	rec(perm, 0, 1, n)
+	return perm
+}
+
+// Size returns the transform length.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes dst = FFT(src). len(dst) must equal the plan size;
+// src may be shorter (zero-padded) and must not partially alias dst.
+func (p *FFTPlan) Forward(dst, src []complex64) {
+	p.load(dst, src, false)
+	p.stages(dst)
+}
+
+// Inverse computes dst = IFFT(src) including the 1/n scale, via the
+// conjugation identity so forward and inverse share one twiddle table.
+func (p *FFTPlan) Inverse(dst, src []complex64) {
+	p.load(dst, src, true)
+	p.inverseTail(dst)
+}
+
+// inverseTail finishes an inverse transform whose input was staged
+// conjugate-permuted into x (by load or by a caller fusing its own
+// spectrum math into the staging pass): butterflies, then the combined
+// conjugate and 1/n scale.
+func (p *FFTPlan) inverseTail(x []complex64) {
+	p.stages(x)
+	inv := 1 / float32(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+func (p *FFTPlan) load(dst, src []complex64, conj bool) {
+	if len(dst) != p.n {
+		panic(fmt.Sprintf("dsp: FFTPlan dst length %d, plan size %d", len(dst), p.n))
+	}
+	if len(src) > p.n {
+		panic(fmt.Sprintf("dsp: FFTPlan src length %d exceeds plan size %d", len(src), p.n))
+	}
+	perm := p.perm
+	switch {
+	case !conj && len(src) == p.n:
+		for i, s := range perm {
+			dst[i] = src[s]
+		}
+	case !conj:
+		for i, s := range perm {
+			if int(s) < len(src) {
+				dst[i] = src[s]
+			} else {
+				dst[i] = 0
+			}
+		}
+	case len(src) == p.n:
+		for i, s := range perm {
+			v := src[s]
+			dst[i] = complex(real(v), -imag(v))
+		}
+	default:
+		for i, s := range perm {
+			if int(s) < len(src) {
+				v := src[s]
+				dst[i] = complex(real(v), -imag(v))
+			} else {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// stages runs the in-place butterfly passes over permuted data.
+func (p *FFTPlan) stages(x []complex64) {
+	n := p.n
+	if n < 2 {
+		return
+	}
+	if p.log2n&1 == 1 {
+		// One radix-2 stage brings the remaining depth to a multiple of 2.
+		for i := 0; i < n; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+	}
+	// The butterflies spell out float32 arithmetic instead of using
+	// complex64 operators: gc computes complex64 multiplies through
+	// float64 intermediates, which more than doubles the cost of the
+	// hot loop for no accuracy the transform needs.
+	for si := range p.st {
+		st := &p.st[si]
+		q := st.q
+		size := q << 2
+		tws := st.tw
+		for base := 0; base < n; base += size {
+			b0 := x[base : base+q : base+q]
+			b1 := x[base+q : base+2*q : base+2*q]
+			b2 := x[base+2*q : base+3*q : base+3*q]
+			b3 := x[base+3*q : base+size : base+size]
+			ti := 0
+			for k := 0; k < q; k++ {
+				w1 := tws[ti]
+				w2 := tws[ti+1]
+				w3 := tws[ti+2]
+				ti += 3
+				x1, x2, x3 := b1[k], b2[k], b3[k]
+				y1r := real(x1)*real(w1) - imag(x1)*imag(w1)
+				y1i := real(x1)*imag(w1) + imag(x1)*real(w1)
+				y2r := real(x2)*real(w2) - imag(x2)*imag(w2)
+				y2i := real(x2)*imag(w2) + imag(x2)*real(w2)
+				y3r := real(x3)*real(w3) - imag(x3)*imag(w3)
+				y3i := real(x3)*imag(w3) + imag(x3)*real(w3)
+				x0 := b0[k]
+				t0r, t0i := real(x0)+y2r, imag(x0)+y2i
+				t1r, t1i := real(x0)-y2r, imag(x0)-y2i
+				t2r, t2i := y1r+y3r, y1i+y3i
+				// t3 = -i * (y1 - y3)
+				dr, di := y1r-y3r, y1i-y3i
+				b0[k] = complex(t0r+t2r, t0i+t2i)
+				b1[k] = complex(t1r+di, t1i-dr)
+				b2[k] = complex(t0r-t2r, t0i-t2i)
+				b3[k] = complex(t1r-di, t1i+dr)
+			}
+		}
+	}
+}

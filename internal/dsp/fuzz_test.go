@@ -1,0 +1,164 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fuzz targets feed the FFT kernels hostile inputs — odd and zero
+// lengths, NaN/Inf sample values, arbitrary bit patterns — and require
+// two things: no panic and no length-contract violation ever, and exact
+// agreement with the direct kernels whenever the input is finite.
+
+// fuzzSamples reinterprets raw fuzz bytes as complex64 samples (8 bytes
+// each, little-endian float32 bits), so the fuzzer can synthesize NaN,
+// Inf and denormal payloads directly. Capped to keep the O(n·ntaps)
+// direct reference cheap.
+func fuzzSamples(data []byte, max int) []complex64 {
+	n := len(data) / 8
+	if n > max {
+		n = max
+	}
+	out := make([]complex64, n)
+	for i := range out {
+		re := math.Float32frombits(binary.LittleEndian.Uint32(data[8*i:]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(data[8*i+4:]))
+		out[i] = complex(re, im)
+	}
+	return out
+}
+
+func allFinite(in []complex64) bool {
+	for _, v := range in {
+		re, im := float64(real(v)), float64(imag(v))
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzBytes encodes float32 pairs for seed corpus entries.
+func fuzzBytes(vals ...float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+func FuzzFFTConvolver(f *testing.F) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	f.Add(uint8(5), uint8(0), []byte{})                                 // zero-length input
+	f.Add(uint8(0), uint8(1), fuzzBytes(1, 2))                          // single sample, single tap
+	f.Add(uint8(12), uint8(2), fuzzBytes(1, 0, 2, 0, 3, 0, 4, 0, 5, 0)) // odd length 5
+	f.Add(uint8(7), uint8(3), fuzzBytes(nan, 1, inf, -1, 0, nan))       // NaN/Inf payload
+	f.Add(uint8(31), uint8(0), []byte{1, 2, 3})                         // trailing partial sample
+	f.Fuzz(func(t *testing.T, ntapsSel, blockSel uint8, data []byte) {
+		ntaps := 1 + int(ntapsSel)%33
+		rng := rand.New(rand.NewSource(int64(ntapsSel)))
+		taps := randTaps(rng, ntaps)
+		blockLen := 0 // auto-size
+		if s := int(blockSel) % 4; s != 0 {
+			blockLen = NextPow2(ntaps) << uint(s-1)
+		}
+		in := fuzzSamples(data, 1024)
+
+		conv := NewFFTConvolver(taps, blockLen)
+		out := conv.Apply(nil, in)
+		if len(out) != len(in) {
+			t.Fatalf("Apply: %d outputs for %d inputs", len(out), len(in))
+		}
+		if allFinite(in) {
+			want := NewFIR(taps).ApplyInto(nil, in)
+			tol := tapsTol(taps) * (1 + maxMag(in))
+			for i := range out {
+				if e := cdiff(out[i], want[i]); e > tol {
+					t.Fatalf("ntaps=%d block=%d n=%d idx=%d: got %v want %v (err %g > %g)",
+						ntaps, conv.BlockLen(), len(in), i, out[i], want[i], e, tol)
+				}
+			}
+		}
+
+		// The real-axis path must hold up under the same inputs.
+		re := make([]float32, len(in))
+		for i, v := range in {
+			re[i] = real(v)
+		}
+		if got := conv.ApplyReal(nil, re); len(got) != len(re) {
+			t.Fatalf("ApplyReal: %d outputs for %d inputs", len(got), len(re))
+		}
+	})
+}
+
+func maxMag(in []complex64) float64 {
+	m := 0.0
+	for _, v := range in {
+		if h := math.Hypot(float64(real(v)), float64(imag(v))); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+func FuzzChannelizer(f *testing.F) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	f.Add(uint8(0), []byte{})                                            // zero-length input
+	f.Add(uint8(1), fuzzBytes(1, 1))                                     // single sample
+	f.Add(uint8(4), fuzzBytes(1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0)) // odd length 7
+	f.Add(uint8(9), fuzzBytes(nan, inf, -1, nan, inf, 0))                // NaN/Inf payload
+	f.Add(uint8(23), []byte{7})                                          // sub-sample garbage
+	f.Fuzz(func(t *testing.T, cfgSel uint8, data []byte) {
+		decim := []int{1, 2, 4}[int(cfgSel)%3]
+		channels := 1 + int(cfgSel/3)%8
+		in := fuzzSamples(data, 4096)
+
+		cz, err := NewChannelizer(ChannelizerConfig{
+			Taps:     LowPass(700_000, 8e6, 21).Taps(),
+			Channels: channels, SpacingHz: 1e6, RateHz: 8e6,
+			BlockLen: 512, Decim: decim,
+		})
+		if err != nil {
+			t.Fatalf("C=%d D=%d rejected: %v", channels, decim, err)
+		}
+
+		// Per-channel extraction: correct output length for any input
+		// length, no panics on hostile samples.
+		perCh := make([][]complex64, channels)
+		for ch := 0; ch < channels; ch++ {
+			perCh[ch] = cz.Extract(nil, in, ch)
+			if len(perCh[ch]) != cz.OutLen(len(in)) {
+				t.Fatalf("C=%d D=%d n=%d ch=%d: Extract len %d, OutLen %d",
+					channels, decim, len(in), ch, len(perCh[ch]), cz.OutLen(len(in)))
+			}
+		}
+
+		// Shared-forward path must agree with per-channel extraction
+		// (bitwise comparison is only meaningful on finite inputs — NaN
+		// compares unequal to itself).
+		finite := allFinite(in)
+		visited := 0
+		cz.ExtractAll(in, func(ch int, out []complex64) {
+			visited++
+			if len(out) != cz.OutLen(len(in)) {
+				t.Fatalf("ExtractAll ch=%d: len %d, OutLen %d", ch, len(out), cz.OutLen(len(in)))
+			}
+			if !finite {
+				return
+			}
+			for i := range out {
+				if e := cdiff(out[i], perCh[ch][i]); e > 1e-4 {
+					t.Fatalf("C=%d D=%d n=%d ch=%d idx=%d: ExtractAll %v vs Extract %v",
+						channels, decim, len(in), ch, i, out[i], perCh[ch][i])
+				}
+			}
+		})
+		if visited != channels {
+			t.Fatalf("ExtractAll visited %d of %d channels", visited, channels)
+		}
+	})
+}

@@ -18,15 +18,19 @@ import (
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
-// by rfbench -json. Bump the suffix on incompatible changes. v2 adds
-// allocation accounting (allocs_per_op/bytes_per_op) so the zero-copy
-// block path is regression-tracked alongside wall-clock cost; v1
-// documents (without those fields) still validate.
-const BenchSchema = "rfdump-bench/v2"
+// by rfbench -json. Bump the suffix on incompatible changes. v3 adds
+// the scaling matrix (cores vs throughput for the sharded demod stage);
+// v2 added allocation accounting (allocs_per_op/bytes_per_op). Older
+// documents (without the newer fields) still validate.
+const BenchSchema = "rfdump-bench/v3"
 
-// BenchSchemaV1 is the previous schema tag, still accepted by Validate
-// so committed historical BENCH_*.json documents keep validating in CI.
-const BenchSchemaV1 = "rfdump-bench/v1"
+// BenchSchemaV2 and BenchSchemaV1 are the previous schema tags, still
+// accepted by Validate so committed historical BENCH_*.json documents
+// keep validating in CI.
+const (
+	BenchSchemaV2 = "rfdump-bench/v2"
+	BenchSchemaV1 = "rfdump-bench/v1"
+)
 
 // BenchRecord is one measured row: a GNU-Radio-equivalent block
 // (Table 1) or a full architecture configuration (Figure 9).
@@ -47,9 +51,26 @@ type BenchRecord struct {
 	BytesPerOp int64 `json:"bytes_per_op"`
 }
 
+// ScalingRecord is one row of the scaling matrix: the full detection +
+// sharded-demod pipeline over the benchmark trace at a fixed worker
+// count (schema v3).
+type ScalingRecord struct {
+	// Workers is the demod worker count (1 = the inline single-threaded
+	// analysis chain, the speedup baseline).
+	Workers int `json:"workers"`
+	// NsPerOp is wall-clock nanoseconds for one pass over the trace.
+	NsPerOp int64 `json:"ns_per_op"`
+	// MBPerS is sample throughput at this worker count.
+	MBPerS float64 `json:"mb_per_s"`
+	// Speedup is the workers=1 wall clock over this row's wall clock.
+	Speedup float64 `json:"speedup"`
+	// CPUPerRealTime is wall-clock processing time over trace air time.
+	CPUPerRealTime float64 `json:"cpu_per_real_time"`
+}
+
 // BenchReport is the BENCH_<rev>.json document: the Table 1 block-cost
-// matrix and the Figure 9 architecture matrix, stamped with enough
-// build context to compare runs across revisions.
+// matrix, the Figure 9 architecture matrix and the demod scaling matrix,
+// stamped with enough build context to compare runs across revisions.
 type BenchReport struct {
 	Schema    string    `json:"schema"`
 	Revision  string    `json:"revision"`
@@ -62,6 +83,9 @@ type BenchReport struct {
 	Scale   float64       `json:"scale"`
 	Table1  []BenchRecord `json:"table1"`
 	Figure9 []BenchRecord `json:"figure9"`
+	// Scaling is the cores-vs-throughput matrix for the sharded analysis
+	// stage (schema v3; absent in older documents).
+	Scaling []ScalingRecord `json:"scaling,omitempty"`
 }
 
 // Validate checks the structural invariants CI relies on: schema tag,
@@ -70,8 +94,11 @@ func (r *BenchReport) Validate() error {
 	if r == nil {
 		return fmt.Errorf("bench: nil report")
 	}
-	if r.Schema != BenchSchema && r.Schema != BenchSchemaV1 {
-		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)", r.Schema, BenchSchema, BenchSchemaV1)
+	switch r.Schema {
+	case BenchSchema, BenchSchemaV2, BenchSchemaV1:
+	default:
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q)",
+			r.Schema, BenchSchema, BenchSchemaV2, BenchSchemaV1)
 	}
 	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
@@ -105,7 +132,27 @@ func (r *BenchReport) Validate() error {
 	if err := check("table1", r.Table1); err != nil {
 		return err
 	}
-	return check("figure9", r.Figure9)
+	if err := check("figure9", r.Figure9); err != nil {
+		return err
+	}
+	if r.Schema == BenchSchema && len(r.Scaling) == 0 {
+		return fmt.Errorf("bench: schema %s document without a scaling matrix", BenchSchema)
+	}
+	for i, rec := range r.Scaling {
+		if rec.Workers <= 0 {
+			return fmt.Errorf("bench: scaling[%d]: non-positive worker count %d", i, rec.Workers)
+		}
+		if i == 0 && rec.Workers != 1 {
+			return fmt.Errorf("bench: scaling[0]: workers %d, want the workers=1 baseline first", rec.Workers)
+		}
+		if i > 0 && rec.Workers <= r.Scaling[i-1].Workers {
+			return fmt.Errorf("bench: scaling[%d]: workers %d not increasing", i, rec.Workers)
+		}
+		if rec.NsPerOp <= 0 || rec.MBPerS <= 0 || rec.CPUPerRealTime <= 0 || rec.Speedup <= 0 {
+			return fmt.Errorf("bench: scaling[%d]: non-positive measurement %+v", i, rec)
+		}
+	}
+	return nil
 }
 
 // sliceSource adapts an in-memory trace to core.BlockReader for the
@@ -312,6 +359,55 @@ func BenchJSON(o Options) (*BenchReport, error) {
 		}
 		o.logf("bench fig9 %s: %.2fx", rec.Name, rec.CPUPerRealTime)
 		report.Figure9 = append(report.Figure9, rec)
+	}
+
+	// Scaling matrix: the full detection + demodulation pipeline with the
+	// analysis stage sharded across 1, 2, 4, ... GOMAXPROCS workers
+	// (workers=1 is the inline chain, the speedup baseline). One warm-up
+	// session per worker count fills the pools before the recorded pass.
+	factories := []core.AnalyzerFactory{
+		func() core.Analyzer { return demod.NewWiFiDemod() },
+		func() core.Analyzer { return demod.NewBTDemod(PiconetLAP, PiconetUAP, 8) },
+	}
+	var counts []int
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; w < maxW; w *= 2 {
+		counts = append(counts, w)
+	}
+	counts = append(counts, maxW)
+	for _, w := range counts {
+		cfg := core.TimingAndPhase()
+		cfg.DemodWorkers = w
+		seng := core.NewEngine(res.Clock, cfg, factories...)
+		for pass := 0; pass < 2; pass++ {
+			sess, err := seng.NewSession(core.StreamConfig{})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := sess.Run(&sliceSource{s: res.Samples}); err != nil {
+				return nil, err
+			}
+			took := time.Since(start)
+			if pass == 0 {
+				continue // warm-up: pools cold, workers spinning up
+			}
+			if took <= 0 {
+				took = time.Nanosecond
+			}
+			rec := ScalingRecord{
+				Workers:        w,
+				NsPerOp:        int64(took),
+				MBPerS:         bytes / 1e6 / took.Seconds(),
+				Speedup:        1,
+				CPUPerRealTime: float64(took) / float64(rt),
+			}
+			if len(report.Scaling) > 0 {
+				rec.Speedup = float64(report.Scaling[0].NsPerOp) / float64(took)
+			}
+			o.logf("bench scaling workers=%d: %.2fx real time, %.2fx speedup", w, rec.CPUPerRealTime, rec.Speedup)
+			report.Scaling = append(report.Scaling, rec)
+		}
 	}
 	return report, nil
 }

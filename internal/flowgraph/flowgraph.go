@@ -86,6 +86,16 @@ type WorkObserver interface {
 	ObserveWork(d time.Duration)
 }
 
+// OffThreadWorker is an optional Block extension for stages that run
+// work on their own goroutines (the sharded stage): OffThreadBusy
+// reports cumulative CPU time spent there, which the scheduler's own
+// clock reads around Process/Flush cannot observe. Stats and TotalBusy
+// fold it into the block's busy time so CPU accounting stays honest
+// when work leaves the scheduler thread.
+type OffThreadWorker interface {
+	OffThreadBusy() time.Duration
+}
+
 // BlockFunc adapts a function to Block with a no-op Flush.
 type BlockFunc struct {
 	Label string
@@ -412,8 +422,12 @@ type BlockStat struct {
 func (g *Graph) Stats() []BlockStat {
 	out := make([]BlockStat, 0, len(g.nodes))
 	for _, n := range g.nodes {
+		busy := time.Duration(n.busyNs.Load())
+		if ow, ok := n.block.(OffThreadWorker); ok {
+			busy += ow.OffThreadBusy()
+		}
 		out = append(out, BlockStat{
-			Name: n.block.Name(), Busy: time.Duration(n.busyNs.Load()),
+			Name: n.block.Name(), Busy: busy,
 			Items: n.items.Load(), QueueMax: n.queueMax.Load(),
 			Errors: n.errors.Load(), Panics: n.panics.Load(),
 			Dropped: n.dropped.Load(), Trips: int(n.trips.Load()),
@@ -430,6 +444,9 @@ func (g *Graph) TotalBusy() time.Duration {
 	var t time.Duration
 	for _, n := range g.nodes {
 		t += time.Duration(n.busyNs.Load())
+		if ow, ok := n.block.(OffThreadWorker); ok {
+			t += ow.OffThreadBusy()
+		}
 	}
 	return t
 }

@@ -1,0 +1,344 @@
+package flowgraph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sharded fans one logical block's work across a pool of worker
+// goroutines while presenting the ordinary single-threaded Block
+// contract to the scheduler. Each worker owns a private replica of the
+// inner block (stamped by the factory, so per-replica scratch state is
+// never shared), items are distributed over per-worker deques with
+// work-stealing, and emissions are re-sequenced so downstream blocks
+// observe exactly the order a single inline block would have produced.
+//
+// Ownership follows the scheduler's discipline: the stage retains each
+// input item while it is queued or being processed (the delivery
+// reference dies when Process returns) and the worker disposes that
+// reference as soon as its replica's Process call finishes. Items the
+// replicas emit are buffered per job and handed to the real emit
+// callback — on the scheduler goroutine — once every earlier job has
+// completed; on an error or abort the undeliverable buffers are
+// disposed instead of leaked.
+//
+// In-flight work is bounded (a small multiple of the worker count), so
+// the stage applies backpressure to the scheduler instead of queueing
+// without limit; upstream windows need only cover that bounded lag.
+// Steady state allocates nothing: jobs, their emission buffers and the
+// deque storage are all recycled.
+type Sharded struct {
+	name    string
+	replica func(i int) Block
+	n       int // worker count
+
+	// Scheduler-side state (only the goroutine calling Process/Flush
+	// touches these).
+	started bool
+	ring    []*shardJob // in-flight jobs in sequence order (circular)
+	head    int
+	count   int
+	free    []*shardJob // job freelist
+	next    int         // round-robin enqueue cursor
+	blocks  []Block     // worker replicas, created once
+
+	queues []shardQueue
+	workCh chan struct{} // one token per queued job
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// mu guards job done/err flags; cond signals head-of-ring progress.
+	mu   sync.Mutex
+	cond sync.Cond
+
+	busy atomic.Int64 // cumulative worker Process ns
+}
+
+// shardJob carries one input item through a worker and buffers what the
+// replica emits until the job's turn in the output order comes up.
+type shardJob struct {
+	item Item
+	out  []Item
+	emit func(Item) // prebound append-to-out closure, built once
+	done bool       // guarded by Sharded.mu
+	err  error      // guarded by Sharded.mu
+}
+
+// shardQueue is one worker's mutex deque. The owner pops the tail
+// (newest first — the job most likely still cache-hot from the
+// scheduler), thieves steal the head (oldest first), and the backing
+// array is compacted in place so steady-state operation never
+// reallocates.
+type shardQueue struct {
+	mu   sync.Mutex
+	jobs []*shardJob
+	head int
+}
+
+func (q *shardQueue) push(j *shardJob) {
+	q.mu.Lock()
+	if q.head > 0 && len(q.jobs) == cap(q.jobs) {
+		n := copy(q.jobs, q.jobs[q.head:])
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	q.jobs = append(q.jobs, j)
+	q.mu.Unlock()
+}
+
+func (q *shardQueue) popTail() *shardJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.jobs) {
+		return nil
+	}
+	n := len(q.jobs) - 1
+	j := q.jobs[n]
+	q.jobs[n] = nil
+	q.jobs = q.jobs[:n]
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
+	return j
+}
+
+func (q *shardQueue) popHead() *shardJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.jobs) {
+		return nil
+	}
+	j := q.jobs[q.head]
+	q.jobs[q.head] = nil
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
+	return j
+}
+
+// NewSharded builds a sharded stage running workers replicas of the
+// block the factory stamps out (factory is called once per worker, on
+// first use). workers <= 0 selects GOMAXPROCS.
+func NewSharded(name string, workers int, replica func(i int) Block) *Sharded {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{name: name, replica: replica, n: workers}
+	s.cond.L = &s.mu
+	return s
+}
+
+// Name implements Block.
+func (s *Sharded) Name() string { return s.name }
+
+// Workers returns the worker count the stage was built with.
+func (s *Sharded) Workers() int { return s.n }
+
+// OffThreadBusy implements OffThreadWorker: cumulative CPU time the
+// worker replicas spent inside Process, which the scheduler's own
+// measurement of the (cheap) enqueue call cannot see.
+func (s *Sharded) OffThreadBusy() time.Duration {
+	return time.Duration(s.busy.Load())
+}
+
+// inflight bounds outstanding jobs: enough to keep every worker busy
+// through scheduling jitter without letting the source run far ahead of
+// the history window.
+func (s *Sharded) inflight() int { return 4 * s.n }
+
+// start lazily creates replicas (first start only) and spins up the
+// worker pool. Called from the scheduler goroutine.
+func (s *Sharded) start() {
+	if s.started {
+		return
+	}
+	if s.ring == nil {
+		s.ring = make([]*shardJob, s.inflight())
+		s.queues = make([]shardQueue, s.n)
+		s.blocks = make([]Block, s.n)
+		for i := range s.blocks {
+			s.blocks[i] = s.replica(i)
+		}
+	}
+	s.workCh = make(chan struct{}, s.inflight())
+	s.stopCh = make(chan struct{})
+	for i := 0; i < s.n; i++ {
+		s.wg.Add(1)
+		go s.worker(i, s.blocks[i])
+	}
+	s.started = true
+}
+
+// stop tears the worker pool down. Only called when the ring is empty
+// (every token consumed), so no worker is blocked on workCh with work
+// pending.
+func (s *Sharded) stop() {
+	if !s.started {
+		return
+	}
+	close(s.stopCh)
+	s.wg.Wait()
+	s.started = false
+}
+
+func (s *Sharded) getJob() *shardJob {
+	if n := len(s.free); n > 0 {
+		j := s.free[n-1]
+		s.free = s.free[:n-1]
+		j.done = false
+		j.err = nil
+		return j
+	}
+	j := &shardJob{}
+	j.emit = func(out Item) { j.out = append(j.out, out) }
+	return j
+}
+
+func (s *Sharded) putJob(j *shardJob) {
+	j.out = j.out[:0]
+	s.free = append(s.free, j)
+}
+
+// Process enqueues one item for the workers, first re-emitting every
+// completed job at the head of the sequence ring (and blocking for a
+// slot when the ring is full — the stage's backpressure).
+func (s *Sharded) Process(item Item, emit func(Item)) error {
+	s.start()
+	if err := s.drain(emit, false); err != nil {
+		return err
+	}
+	j := s.getJob()
+	j.item = item
+	retainExtra(item, 1) // our reference: the delivery ref dies when we return
+	s.ring[(s.head+s.count)%len(s.ring)] = j
+	s.count++
+	s.queues[s.next].push(j)
+	s.next++
+	if s.next == s.n {
+		s.next = 0
+	}
+	s.workCh <- struct{}{}
+	return nil
+}
+
+// drain pops completed jobs off the head of the sequence ring, emitting
+// their buffered outputs in order. With waitAll it blocks until the ring
+// is empty; otherwise it blocks only when the ring is full (no slot for
+// the next job). The first job error latches: later jobs are awaited and
+// their buffers disposed rather than emitted, the pool is stopped, and
+// the error is returned.
+func (s *Sharded) drain(emit func(Item), waitAll bool) error {
+	var firstErr error
+	s.mu.Lock()
+	for s.count > 0 {
+		j := s.ring[s.head]
+		if !j.done {
+			if !waitAll && firstErr == nil && s.count < len(s.ring) {
+				break
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.ring[s.head] = nil
+		s.head++
+		if s.head == len(s.ring) {
+			s.head = 0
+		}
+		s.count--
+		if firstErr == nil {
+			firstErr = j.err
+		}
+		for _, out := range j.out {
+			if firstErr != nil {
+				disposeItem(out)
+			} else {
+				emit(out)
+			}
+		}
+		s.putJob(j)
+	}
+	s.mu.Unlock()
+	if firstErr != nil {
+		s.stop()
+	}
+	return firstErr
+}
+
+// Flush waits out the in-flight jobs, stops the workers, then flushes
+// each replica in worker order on the calling goroutine.
+func (s *Sharded) Flush(emit func(Item)) error {
+	if s.started {
+		if err := s.drain(emit, true); err != nil {
+			return err
+		}
+		s.stop()
+	}
+	var firstErr error
+	for _, b := range s.blocks {
+		if err := b.Flush(emit); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// worker consumes one token per queued job, finds the job (own deque
+// tail first, then steals the oldest from the others), runs the replica
+// and marks the job done.
+func (s *Sharded) worker(w int, blk Block) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.workCh:
+		}
+		j := s.findJob(w)
+		t0 := time.Now()
+		err := runShard(blk, j)
+		s.busy.Add(int64(time.Since(t0)))
+		disposeItem(j.item)
+		j.item = nil
+		s.mu.Lock()
+		j.done = true
+		j.err = err
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// findJob locates a queued job after a token was consumed. Tokens map
+// one-to-one onto queued jobs, so some deque holds one; a sibling may
+// race us to any particular deque, but then its own token's job remains
+// for us, so the rescan terminates.
+func (s *Sharded) findJob(w int) *shardJob {
+	for {
+		if j := s.queues[w].popTail(); j != nil {
+			return j
+		}
+		for i := 1; i < s.n; i++ {
+			if j := s.queues[(w+i)%s.n].popHead(); j != nil {
+				return j
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// runShard runs one job through a replica, converting a panic into an
+// error so the job still completes and the scheduler can tear down
+// instead of deadlocking on a job that never finishes.
+func runShard(blk Block, j *shardJob) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("flowgraph: sharded worker panic in %s: %v", blk.Name(), r)
+		}
+	}()
+	return blk.Process(j.item, j.emit)
+}

@@ -1,0 +1,297 @@
+package flowgraph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// shardWork is a sharded-stage replica doing deliberately unbalanced
+// busy-work so jobs finish out of order, then emitting a deterministic
+// transform of the input (two items for every third input).
+type shardWork struct {
+	id   int
+	sink uint64 // defeats dead-code elimination of the spin
+}
+
+func (b *shardWork) Name() string { return fmt.Sprintf("work-%d", b.id) }
+
+func (b *shardWork) Process(item Item, emit func(Item)) error {
+	v := item.(int)
+	spin := (v * v % 13) * 2000
+	acc := uint64(v)
+	for i := 0; i < spin; i++ {
+		acc = acc*1099511628211 + 1
+	}
+	b.sink += acc
+	emit(v * 2)
+	if v%3 == 0 {
+		emit(v*2 + 1)
+	}
+	return nil
+}
+
+func (b *shardWork) Flush(emit func(Item)) error { return nil }
+
+// runSharded pushes n ints through root -> sharded(workers) -> sink and
+// returns the sink's observations.
+func runSharded(t *testing.T, workers, n int, replica func(i int) Block) []Item {
+	t.Helper()
+	g := New()
+	root := &appendBlock{name: "root"}
+	g.MustAdd(root)
+	g.MustRoot("root")
+	sh := NewSharded("sharded", workers, replica)
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	sink := &appendBlock{name: "sink"}
+	g.MustAdd(sink)
+	g.MustConnect("sharded", "sink")
+	if err := g.Run(intSource(n)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return sink.seen
+}
+
+// TestShardedOrder locks in the central guarantee: whatever the worker
+// count and however unbalanced the per-job work, downstream order is
+// identical to the single-threaded inline order.
+func TestShardedOrder(t *testing.T) {
+	const n = 400
+	want := runSharded(t, 1, n, func(i int) Block { return &shardWork{id: i} })
+	for _, workers := range []int{2, 3, 8} {
+		got := runSharded(t, workers, n, func(i int) Block { return &shardWork{id: i} })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: output[%d] = %v, want %v (order not preserved)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedReplicaIsolation verifies each worker gets its own replica
+// from the factory and every input is processed exactly once.
+func TestShardedReplicaIsolation(t *testing.T) {
+	var stamped atomic.Int32
+	var processed atomic.Int32
+	const workers = 4
+	out := runSharded(t, workers, 200, func(i int) Block {
+		stamped.Add(1)
+		return BlockFunc{Label: fmt.Sprintf("r%d", i), Fn: func(item Item, emit func(Item)) error {
+			processed.Add(1)
+			emit(item)
+			return nil
+		}}
+	})
+	if got := stamped.Load(); got != workers {
+		t.Errorf("factory stamped %d replicas, want %d", got, workers)
+	}
+	if got := processed.Load(); got != 200 {
+		t.Errorf("replicas processed %d items, want 200", got)
+	}
+	if len(out) != 200 {
+		t.Errorf("sink saw %d items, want 200", len(out))
+	}
+}
+
+// TestShardedOwnedDiscipline pushes refcounted items through the stage,
+// with the replicas emitting fresh refcounted items, and checks every
+// reference is balanced at the end of the run — including the retain
+// the stage takes while a job is queued on a worker deque.
+func TestShardedOwnedDiscipline(t *testing.T) {
+	const n = 300
+	var inputs []*tracked
+	var emitted []*tracked
+	var emitMu chan struct{} = make(chan struct{}, 1)
+	emitMu <- struct{}{}
+
+	g := New()
+	src := func() (Item, bool) {
+		if len(inputs) >= n {
+			return nil, false
+		}
+		it := newTracked()
+		inputs = append(inputs, it)
+		return it, true
+	}
+	root := passBlock{"root"}
+	g.MustAdd(root)
+	g.MustRoot("root")
+	sh := NewSharded("sharded", 4, func(i int) Block {
+		return BlockFunc{Label: fmt.Sprintf("r%d", i), Fn: func(item Item, emit func(Item)) error {
+			out := newTracked()
+			<-emitMu
+			emitted = append(emitted, out)
+			emitMu <- struct{}{}
+			emit(out)
+			return nil
+		}}
+	})
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	g.MustAdd(dropBlock{"sink"})
+	g.MustConnect("sharded", "sink")
+	if err := g.Run(src); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkBalanced(t, inputs)
+	checkBalanced(t, emitted)
+}
+
+// TestShardedError checks a replica error surfaces from the stage, that
+// the run aborts, and that every item reference — queued, in flight or
+// buffered for emission — is still balanced afterwards.
+func TestShardedError(t *testing.T) {
+	boom := errors.New("boom")
+	var inputs []*tracked
+	g := New()
+	src := func() (Item, bool) {
+		if len(inputs) >= 100 {
+			return nil, false
+		}
+		it := newTracked()
+		inputs = append(inputs, it)
+		return it, true
+	}
+	g.MustAdd(passBlock{"root"})
+	g.MustRoot("root")
+	var seen atomic.Int32
+	sh := NewSharded("sharded", 3, func(i int) Block {
+		return BlockFunc{Label: fmt.Sprintf("r%d", i), Fn: func(item Item, emit func(Item)) error {
+			if seen.Add(1) == 40 {
+				return boom
+			}
+			return nil
+		}}
+	})
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	g.MustAdd(dropBlock{"sink"})
+	g.MustConnect("sharded", "sink")
+	if err := g.Run(src); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	checkBalanced(t, inputs)
+}
+
+// TestShardedPanic checks a panicking replica is converted into an
+// error instead of deadlocking the stage or killing the process.
+func TestShardedPanic(t *testing.T) {
+	g := New()
+	g.MustAdd(passBlock{"root"})
+	g.MustRoot("root")
+	sh := NewSharded("sharded", 2, func(i int) Block {
+		return BlockFunc{Label: fmt.Sprintf("r%d", i), Fn: func(item Item, emit func(Item)) error {
+			if item.(int) == 17 {
+				panic("replica exploded")
+			}
+			return nil
+		}}
+	})
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	g.MustAdd(dropBlock{"sink"})
+	g.MustConnect("sharded", "sink")
+	err := g.Run(intSource(50))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Run error = %v, want worker panic error", err)
+	}
+}
+
+// TestShardedFlush checks replica Flush runs after the jobs drain and
+// its emissions reach downstream.
+func TestShardedFlush(t *testing.T) {
+	g := New()
+	g.MustAdd(&appendBlock{name: "root"})
+	g.MustRoot("root")
+	sh := NewSharded("sharded", 3, func(i int) Block {
+		return &appendBlock{name: fmt.Sprintf("r%d", i), flush: []Item{fmt.Sprintf("flushed-%d", i)}}
+	})
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	sink := &appendBlock{name: "sink"}
+	g.MustAdd(sink)
+	g.MustConnect("sharded", "sink")
+	if err := g.Run(intSource(10)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 10 forwarded items plus one flush marker per replica, with the
+	// flush markers after every data item and in worker order.
+	if len(sink.seen) != 13 {
+		t.Fatalf("sink saw %d items, want 13: %v", len(sink.seen), sink.seen)
+	}
+	for i := 0; i < 3; i++ {
+		if got, want := sink.seen[10+i], fmt.Sprintf("flushed-%d", i); got != want {
+			t.Errorf("flush output %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestShardedWorkerBusy checks off-thread CPU accounting reaches the
+// graph's stats.
+func TestShardedWorkerBusy(t *testing.T) {
+	g := New()
+	g.MustAdd(&appendBlock{name: "root"})
+	g.MustRoot("root")
+	sh := NewSharded("sharded", 2, func(i int) Block { return &shardWork{id: i} })
+	g.MustAdd(sh)
+	g.MustConnect("root", "sharded")
+	g.MustAdd(dropBlock{"sink"})
+	g.MustConnect("sharded", "sink")
+	if err := g.Run(intSource(200)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sh.OffThreadBusy() <= 0 {
+		t.Fatal("no off-thread busy time recorded")
+	}
+	var statBusy int64
+	for _, st := range g.Stats() {
+		if st.Name == "sharded" {
+			statBusy = int64(st.Busy)
+		}
+	}
+	if statBusy < int64(sh.OffThreadBusy()) {
+		t.Errorf("stats busy %d below worker busy %d: off-thread time not folded in",
+			statBusy, sh.OffThreadBusy())
+	}
+}
+
+// TestShardedDemodAllocs is the steady-state allocation gate for the
+// sharded scheduling machinery itself: once the ring, deques and job
+// freelist are warm, pushing an item through Process and draining its
+// results must not allocate (the PR-3 discipline the demod hot path
+// relies on — the analyzers' own behavior is gated separately).
+func TestShardedDemodAllocs(t *testing.T) {
+	sh := NewSharded("sharded", 4, func(i int) Block {
+		return BlockFunc{Label: fmt.Sprintf("r%d", i), Fn: func(item Item, emit func(Item)) error {
+			emit(item)
+			return nil
+		}}
+	})
+	emit := func(Item) {}
+	step := func() {
+		for k := 0; k < 64; k++ {
+			if err := sh.Process(k, emit); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the ring, the deques and the job freelist.
+	for i := 0; i < 20; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(50, step) / 64
+	if err := sh.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	// Allow scheduling noise well below one allocation per item.
+	if avg > 0.05 {
+		t.Errorf("sharded Process allocates %.3f allocs/item in steady state, want ~0", avg)
+	}
+}
