@@ -11,9 +11,12 @@
 //	rfdump -r trace.rfd -no-demod        # classification only
 //	rfdump -r trace.rfd -stats           # per-block CPU accounting
 //	rfdump -r trace.rfd -truth trace.rfd.truth   # score vs ground truth
+//	rfdump -replay-snippet snippet.json  # re-demodulate a captured burst
+//	                                     # from rfdumpd's snippet API
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -34,6 +37,7 @@ import (
 	"rfdump/internal/experiments"
 	"rfdump/internal/faults"
 	"rfdump/internal/flowgraph"
+	"rfdump/internal/history"
 	"rfdump/internal/iq"
 	"rfdump/internal/metrics"
 	"rfdump/internal/phy/wifi"
@@ -107,7 +111,8 @@ func resultFromPipeline(res *core.Result, clock iq.Clock) *arch.Result {
 
 func main() {
 	var (
-		read      = flag.String("r", "", "trace file to read (required)")
+		read      = flag.String("r", "", "trace file to read (required unless -replay-snippet)")
+		replay    = flag.String("replay-snippet", "", "replay a captured IQ snippet (rfdumpd snippet JSON; \"-\" = stdin) through the pipeline instead of a trace file")
 		detectors = flag.String("detectors", "timing,phase", core.DetectorUsage())
 		noDemod   = flag.Bool("no-demod", false, "skip the analysis stage (classification only)")
 		stats     = flag.Bool("stats", false, "print per-block CPU accounting")
@@ -133,8 +138,12 @@ func main() {
 		fmt.Print(core.DetectorList())
 		os.Exit(0)
 	}
-	if *read == "" {
+	if *read == "" && *replay == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *read != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "rfdump: -r and -replay-snippet are mutually exclusive")
 		os.Exit(2)
 	}
 	if !*stream && (*faultSpec != "" || *supervise || *overload) {
@@ -159,12 +168,28 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	}
 
-	hdr, samples, err := trace.ReadFile(*read)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rfdump:", err)
-		os.Exit(1)
+	var (
+		rate    int
+		samples iq.Samples
+	)
+	if *replay != "" {
+		snip, err := readSnippet(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump:", err)
+			os.Exit(1)
+		}
+		rate, samples = snip.Rate, snip.IQ
+		fmt.Printf("replaying snippet: stream %d detection %d, %d samples [%d, %d) at %d Hz\n\n",
+			snip.Stream, snip.Detection, len(snip.IQ), snip.Start, snip.End, snip.Rate)
+	} else {
+		hdr, s, err := trace.ReadFile(*read)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdump:", err)
+			os.Exit(1)
+		}
+		rate, samples = hdr.Rate, s
 	}
-	clock := iq.NewClock(hdr.Rate)
+	clock := iq.NewClock(rate)
 
 	cfg, err := detectorConfig(*detectors)
 	if err == core.ErrDetectorList {
@@ -421,6 +446,26 @@ func main() {
 // accepts, parsed in one place so the tools cannot drift.
 func detectorConfig(list string) (core.Config, error) {
 	return core.ParseDetectors(list)
+}
+
+// readSnippet loads a captured-burst JSON file as served by rfdumpd's
+// /api/streams/{id}/snippets/{det} ("-" reads stdin) — the replay half
+// of the spectrum DVR.
+func readSnippet(path string) (*history.Snippet, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var j history.SnippetJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("snippet: %w", err)
+	}
+	return j.Snippet()
 }
 
 // event is one printable line, time-ordered.

@@ -22,6 +22,19 @@
 //	curl localhost:7532/api/protocols        # registered protocol modules
 //	curl -N localhost:7532/api/live          # SSE event feed
 //
+// With -store-dir the daemon becomes a spectrum DVR: history persists
+// to an append-only segment store and survives restarts, and -capture
+// banks the raw IQ burst behind every detection for later replay:
+//
+//	rfdumpd -store-dir /var/lib/rfdump -capture
+//	curl "localhost:7532/api/streams/1/detections?from=0.1&to=0.5&limit=100"
+//	curl "localhost:7532/api/streams/1/packets?cursor=1234"
+//	curl "localhost:7532/api/streams/1/snippets/87" > snippet.json
+//	curl "localhost:7532/api/streams/1/snippets/87?format=trace" > snippet.rfd
+//	rfdump -replay-snippet snippet.json      # re-demodulate offline
+//	curl localhost:7532/api/history          # store kind, retention, bounds
+//	curl -N "localhost:7532/api/live?since=1234"  # replay history, then tail
+//
 // The first SIGINT/SIGTERM drains: ingest stops, per-connection
 // sessions flush their pipelines, results stay queryable until exit. A
 // second signal aborts immediately.
@@ -68,6 +81,16 @@ func main() {
 		idleTO    = flag.Duration("idle-timeout", 45*time.Second, "reap ingest connections silent (no frame, no heartbeat) this long; 0 disables")
 		stall     = flag.Duration("stall-after", server.DefaultStallAfter, "/healthz reports stalled when an active stream is silent this long; negative disables")
 		quiet     = flag.Bool("q", false, "suppress per-stream log lines")
+
+		storeDir   = flag.String("store-dir", "", "persist history (detections, packets, tiles, IQ snippets) to a disk-backed segment store in this directory; empty keeps it in memory")
+		storeMaxB  = flag.Int64("store-max-bytes", 0, "disk store retention bound in bytes (0 = engine default 256 MiB; negative unbounded)")
+		storeMaxA  = flag.Duration("store-max-age", 0, "disk store retention bound by segment age (0 disables)")
+		capture    = flag.Bool("capture", false, "capture the raw IQ burst behind every detection as a replayable snippet in the store")
+		capturePad = flag.Int("capture-pad", 0, "widen each captured burst by this many samples per side (0 = one chunk; negative disables padding)")
+		captureMax = flag.Int("capture-max", 0, "cap one captured burst at this many samples, keeping the head (0 = default 65536)")
+		tileSpan   = flag.Int("tile-samples", 1<<19, "persist one waterfall tile per this many ingest samples (negative disables)")
+		queryRPS   = flag.Float64("query-rps", 0, "per-host rate limit on history query endpoints in requests/s (0 = default 20; negative disables)")
+		queryBurst = flag.Int("query-burst", 0, "history query burst ceiling per host (0 = 2x the rate)")
 	)
 	flag.Parse()
 
@@ -125,6 +148,15 @@ func main() {
 		EvictAfter:       *sseEvict,
 		IdleTimeout:      *idleTO,
 		StallAfter:       *stall,
+		StoreDir:         *storeDir,
+		StoreMaxBytes:    *storeMaxB,
+		StoreMaxAge:      *storeMaxA,
+		Capture:          *capture,
+		CapturePad:       *capturePad,
+		CaptureMaxSamples: *captureMax,
+		TileSamples:      *tileSpan,
+		QueryRPS:         *queryRPS,
+		QueryBurst:       *queryBurst,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -180,4 +212,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "rfdumpd: drained: %d streams, %d detections, %d packets decoded\n",
 		streams, detections, packets)
+	// Release the history store last: a disk store flushes per append,
+	// so even an abrupt kill loses at most a torn tail frame, but a
+	// clean exit closes the active segment properly.
+	d.Close()
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"rfdump/internal/iq"
+)
+
+// Capture-on-detection: the core half of the spectrum DVR. The window
+// already holds every sample of a fresh detection (the dispatcher
+// flushes spans within MaxPending samples, far inside the retention
+// target), so capturing a burst is one clipped copy out of the pooled
+// blocks into a session-owned buffer — no allocation in steady state,
+// no copy at all when nothing is detected. The zero-alloc gates stay
+// honest: a quiet stream pays nothing, a detection pays one bounded
+// memcpy accounted under history/capture/*.
+
+// defaultCaptureMax bounds one captured burst (64k samples = 8 ms at
+// 8 Msps, comfortably past the longest 802.11b frame).
+const defaultCaptureMax = 1 << 16
+
+// captureHook wraps the session's detection callback: deliver the
+// verdict first, then copy the triggering span (padded, clipped,
+// bounded) out of the window and hand it to the capture sink. The
+// buffer is reused across detections — the sink's contract is to
+// consume it before returning.
+func (e *Engine) captureHook(window blockStore, cfg StreamConfig) func(Detection) {
+	pad := cfg.CapturePad
+	if pad == 0 {
+		pad = iq.ChunkSamples
+	}
+	if pad < 0 {
+		pad = 0
+	}
+	maxSamples := cfg.CaptureMaxSamples
+	if maxSamples <= 0 {
+		maxSamples = defaultCaptureMax
+	}
+	inner := cfg.OnDetection
+	deliver := cfg.OnDetectionCapture
+	bursts := e.cfg.Metrics.Counter("history/capture/bursts")
+	samples := e.cfg.Metrics.Counter("history/capture/samples")
+	truncated := e.cfg.Metrics.Counter("history/capture/truncated")
+	var buf iq.Samples // session-owned, reused across detections
+	return func(d Detection) {
+		if inner != nil {
+			inner(d)
+		}
+		span := d.Span.Expand(iq.Tick(pad))
+		if span.Len() > iq.Tick(maxSamples) {
+			// Keep the head: preamble and sync words live there, and they
+			// are what a later re-demodulation locks onto.
+			span.End = span.Start + iq.Tick(maxSamples)
+			truncated.Inc()
+		}
+		var got iq.Interval
+		buf, got = window.CopySlice(span, buf)
+		if len(buf) == 0 {
+			return // span already evicted (shed storm); nothing to store
+		}
+		bursts.Inc()
+		samples.Add(int64(len(buf)))
+		deliver(d, got, buf)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"rfdump/internal/iq"
+)
+
+// capturedBurst is one OnDetectionCapture delivery, copied out of the
+// session-owned buffer (the callback contract forbids retaining it).
+type capturedBurst struct {
+	det  Detection
+	span iq.Interval
+	iq   iq.Samples
+}
+
+func captureRun(t *testing.T, stream iq.Samples, cfg StreamConfig) []capturedBurst {
+	t.Helper()
+	var got []capturedBurst
+	cfg.OnDetectionCapture = func(det Detection, span iq.Interval, burst iq.Samples) {
+		got = append(got, capturedBurst{det, span, append(iq.Samples(nil), burst...)})
+	}
+	if _, err := NewPipeline(testClock, TimingOnly()).
+		RunStream(&sliceReader{s: stream}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestCaptureOnDetection: every detection delivers its triggering
+// samples, padded by CapturePad on each side, byte-identical to the
+// source stream over the reported span — the snippet a spectrum DVR can
+// later re-demodulate.
+func TestCaptureOnDetection(t *testing.T) {
+	stream := sessionStream()
+	bursts := captureRun(t, stream, StreamConfig{})
+	if len(bursts) == 0 {
+		t.Fatal("no captures; the reference stream should trigger detections")
+	}
+	for i, b := range bursts {
+		want := b.det.Span.Expand(iq.Tick(iq.ChunkSamples)) // default pad = one chunk
+		if b.span.Start > b.det.Span.Start || b.span.End < b.det.Span.End {
+			t.Errorf("capture %d: span %v does not cover detection %v", i, b.span, b.det.Span)
+		}
+		if b.span.Start != want.Start {
+			t.Errorf("capture %d: span starts at %d, want padded %d", i, b.span.Start, want.Start)
+		}
+		if got, wantN := iq.Tick(len(b.iq)), b.span.Len(); got != wantN {
+			t.Fatalf("capture %d: %d samples for span %v", i, got, b.span)
+		}
+		for j, s := range b.iq {
+			if s != stream[int(b.span.Start)+j] {
+				t.Fatalf("capture %d: sample %d differs from the source stream", i, j)
+			}
+		}
+	}
+}
+
+// TestCaptureBounds: CapturePad<0 disables padding; CaptureMaxSamples
+// truncates long bursts keeping the head (where preamble and sync live).
+func TestCaptureBounds(t *testing.T) {
+	stream := sessionStream()
+	bursts := captureRun(t, stream, StreamConfig{CapturePad: -1, CaptureMaxSamples: 4096})
+	if len(bursts) == 0 {
+		t.Fatal("no captures")
+	}
+	for i, b := range bursts {
+		if len(b.iq) > 4096 {
+			t.Errorf("capture %d: %d samples exceed CaptureMaxSamples", i, len(b.iq))
+		}
+		if b.span.Start != b.det.Span.Start {
+			t.Errorf("capture %d: padding applied despite CapturePad<0 (%v vs %v)",
+				i, b.span, b.det.Span)
+		}
+		if b.det.Span.Len() > 4096 && b.span.End != b.det.Span.Start+4096 {
+			t.Errorf("capture %d: truncation did not keep the head: %v from %v", i, b.span, b.det.Span)
+		}
+	}
+}
+
+// TestStreamSteadyStateAllocsWithCapture is the DVR variant of the
+// zero-alloc acceptance gate: enabling capture-on-detection must not
+// make the quiet steady state allocate — the copy happens only when a
+// detection fires, and the burst buffer is reused across deliveries.
+func TestStreamSteadyStateAllocsWithCapture(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; alloc gate runs in the non-race job")
+	}
+	const n = 4000 * iq.ChunkSamples
+	stream := burstStream(n, 20, 7) // noise: the steady, quiet ether
+	cfg := TimingOnly()
+	cfg.Peak.NoiseFloor = 1
+	e := NewEngine(testClock, cfg)
+
+	captures := 0
+	runOnce := func() {
+		s, err := e.NewSession(StreamConfig{
+			OnDetectionCapture: func(Detection, iq.Interval, iq.Samples) { captures++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(&sliceReader{s: stream}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOnce() // warm pools, grow scratch to steady state
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	runOnce()
+	runtime.ReadMemStats(&after)
+
+	allocs := float64(after.Mallocs - before.Mallocs)
+	perChunk := allocs / float64(n/iq.ChunkSamples)
+	t.Logf("%.0f allocations over %d chunks = %.4f allocs/chunk (%d captures)",
+		allocs, n/iq.ChunkSamples, perChunk, captures)
+	if perChunk > 0.1 {
+		t.Errorf("capture-enabled steady state allocates %.3f objects per chunk, want ~0 (<= 0.1)", perChunk)
+	}
+	if captures != 0 {
+		t.Errorf("quiet stream captured %d bursts; noise must not trigger the copy path", captures)
+	}
+}

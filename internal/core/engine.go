@@ -102,8 +102,11 @@ func (e *Engine) session(analyzers []Analyzer, cfg StreamConfig) (*Session, erro
 	opts := assembleOpts{
 		onDetection: cfg.OnDetection,
 		onOutput:    cfg.OnOutput,
-		noRetainDet: cfg.NoRetain && cfg.OnDetection != nil,
+		noRetainDet: cfg.NoRetain && (cfg.OnDetection != nil || cfg.OnDetectionCapture != nil),
 		noRetainOut: cfg.NoRetain && cfg.OnOutput != nil,
+	}
+	if cfg.OnDetectionCapture != nil {
+		opts.onDetection = e.captureHook(window, cfg)
 	}
 	var pace *pacer
 	if cfg.Overload != nil {

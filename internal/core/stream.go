@@ -78,6 +78,21 @@ type StreamConfig struct {
 	// they are produced, on the sink's goroutine under the parallel
 	// scheduler.
 	OnOutput func(flowgraph.Item)
+	// OnDetectionCapture, if set, fires after OnDetection with the
+	// detection, the clipped absolute span of its triggering samples
+	// (padded by CapturePad each side) and those samples themselves —
+	// the raw IQ burst a spectrum DVR stores for later re-demodulation.
+	// The sample slice is a session-owned buffer reused across
+	// detections: consume or copy it before returning, never retain it.
+	// Runs on the dispatcher's goroutine; must not block.
+	OnDetectionCapture func(det Detection, span iq.Interval, burst iq.Samples)
+	// CapturePad widens each captured span by this many samples on both
+	// sides so demodulators re-running a snippet see the preamble ramp
+	// (default one chunk, 200 samples; negative = no padding).
+	CapturePad int
+	// CaptureMaxSamples bounds one captured burst (default 65536). A
+	// longer detection keeps its head — preamble and sync live there.
+	CaptureMaxSamples int
 	// NoRetain stops the Result from accumulating Detections/Requests
 	// (when OnDetection is set) and Outputs (when OnOutput is set), so a
 	// long-running live session uses bounded memory.

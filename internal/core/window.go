@@ -140,6 +140,28 @@ func (w *BlockWindow) Slice(iv iq.Interval) iq.Samples {
 	return out
 }
 
+// CopySlice copies the clipped interval into dst (grown when needed)
+// and returns the filled slice together with the actual clipped bounds.
+// Unlike Slice, the result does not alias window storage, so the caller
+// may hold it across appends — the capture-on-detection path reuses one
+// buffer per session this way, keeping steady state allocation-free.
+func (w *BlockWindow) CopySlice(iv iq.Interval, dst iq.Samples) (iq.Samples, iq.Interval) {
+	lo, hi, i, off, ok := w.clip(iv)
+	if !ok {
+		return dst[:0], iq.Interval{}
+	}
+	n := int(hi - lo)
+	if cap(dst) < n {
+		dst = make(iq.Samples, n)
+	}
+	out := dst[:n]
+	filled := copy(out, w.blks[i].Samples()[off:])
+	for i++; filled < n; i++ {
+		filled += copy(out[filled:], w.blks[i].Samples())
+	}
+	return out, iq.Interval{Start: lo, End: hi}
+}
+
 // sliceCopy returns a freshly allocated copy of the clipped interval
 // without touching the shared scratch buffer — a pure read, safe for
 // concurrent callers holding a shared lock.
@@ -192,10 +214,19 @@ func (l *lockedBlockWindow) Slice(iv iq.Interval) iq.Samples {
 	return l.w.sliceCopy(iv)
 }
 
+func (l *lockedBlockWindow) CopySlice(iv iq.Interval, dst iq.Samples) (iq.Samples, iq.Interval) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.w.CopySlice(iv, dst)
+}
+
 // blockStore is what a streaming Session needs from its sample store.
 type blockStore interface {
 	SampleAccessor
 	AppendBlock(b *blocks.Block)
 	End() iq.Tick
 	Close()
+	// CopySlice is Slice into a caller-owned buffer, returning the
+	// clipped bounds — the capture path's non-aliasing read.
+	CopySlice(iv iq.Interval, dst iq.Samples) (iq.Samples, iq.Interval)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"rfdump/internal/demod"
 	"rfdump/internal/ether"
 	"rfdump/internal/flowgraph"
+	"rfdump/internal/history"
 	"rfdump/internal/iq"
 	"rfdump/internal/mac"
 	"rfdump/internal/protocols"
@@ -18,19 +20,28 @@ import (
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
-// by rfbench -json. Bump the suffix on incompatible changes. v3 adds
-// the scaling matrix (cores vs throughput for the sharded demod stage);
-// v2 added allocation accounting (allocs_per_op/bytes_per_op). Older
+// by rfbench -json. Bump the suffix on incompatible changes. v4 adds
+// the sustained ingest-while-querying row (detection streaming into the
+// disk-backed history store under concurrent query load); v3 added the
+// scaling matrix (cores vs throughput for the sharded demod stage); v2
+// added allocation accounting (allocs_per_op/bytes_per_op). Older
 // documents (without the newer fields) still validate.
-const BenchSchema = "rfdump-bench/v3"
+const BenchSchema = "rfdump-bench/v4"
 
-// BenchSchemaV2 and BenchSchemaV1 are the previous schema tags, still
-// accepted by Validate so committed historical BENCH_*.json documents
-// keep validating in CI.
+// BenchSchemaV3, BenchSchemaV2 and BenchSchemaV1 are the previous
+// schema tags, still accepted by Validate so committed historical
+// BENCH_*.json documents keep validating in CI.
 const (
+	BenchSchemaV3 = "rfdump-bench/v3"
 	BenchSchemaV2 = "rfdump-bench/v2"
 	BenchSchemaV1 = "rfdump-bench/v1"
 )
+
+// BenchRowIngestQuery is the Table 1 row name of the DVR contention
+// measurement: streaming detection appending every record to a segment
+// store while a client continuously pages the query API. Required at
+// schema v4.
+const BenchRowIngestQuery = "Sustained ingest while querying (segment store)"
 
 // BenchRecord is one measured row: a GNU-Radio-equivalent block
 // (Table 1) or a full architecture configuration (Figure 9).
@@ -95,10 +106,10 @@ func (r *BenchReport) Validate() error {
 		return fmt.Errorf("bench: nil report")
 	}
 	switch r.Schema {
-	case BenchSchema, BenchSchemaV2, BenchSchemaV1:
+	case BenchSchema, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1:
 	default:
-		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q)",
-			r.Schema, BenchSchema, BenchSchemaV2, BenchSchemaV1)
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q, %q)",
+			r.Schema, BenchSchema, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1)
 	}
 	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
@@ -135,8 +146,22 @@ func (r *BenchReport) Validate() error {
 	if err := check("figure9", r.Figure9); err != nil {
 		return err
 	}
-	if r.Schema == BenchSchema && len(r.Scaling) == 0 {
-		return fmt.Errorf("bench: schema %s document without a scaling matrix", BenchSchema)
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV3 {
+		if len(r.Scaling) == 0 {
+			return fmt.Errorf("bench: schema %s document without a scaling matrix", r.Schema)
+		}
+	}
+	if r.Schema == BenchSchema {
+		found := false
+		for _, rec := range r.Table1 {
+			if rec.Name == BenchRowIngestQuery {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("bench: schema %s document without the %q table1 row", BenchSchema, BenchRowIngestQuery)
+		}
 	}
 	for i, rec := range r.Scaling {
 		if rec.Workers <= 0 {
@@ -299,6 +324,54 @@ func BenchJSON(o Options) (*BenchReport, error) {
 		return nil, err
 	}
 
+	// DVR row (schema v4): streaming detection with every record appended
+	// to a disk-backed segment store while a querier goroutine pages the
+	// detection history as fast as it can — ingest and query contending
+	// for the store the way rfdumpd -store-dir does under a polling
+	// dashboard. The store lives in a scratch directory torn down with
+	// the run; a warm-up pass fills pools and seeds the store so the
+	// querier has history to page from the first request.
+	histDir, err := os.MkdirTemp("", "rfbench-dvr-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(histDir)
+	histStore, err := history.OpenDisk(history.DiskConfig{Dir: histDir})
+	if err != nil {
+		return nil, err
+	}
+	defer histStore.Close()
+	newDVRSession := func() (*core.Session, error) {
+		return eng.NewSession(core.StreamConfig{
+			OnDetection: func(d core.Detection) {
+				rec := history.DetectionRecord{
+					Stream:     1,
+					TimeS:      float64(d.Span.Start) / float64(res.Clock.Rate),
+					Family:     d.Family.FamilyName(),
+					Detector:   d.Detector,
+					Start:      int64(d.Span.Start),
+					End:        int64(d.Span.End),
+					AbsStart:   int64(d.Span.Start),
+					AbsEnd:     int64(d.Span.End),
+					Confidence: d.Confidence,
+					Channel:    d.Channel,
+				}
+				_ = histStore.AppendDetection(&rec)
+			},
+		})
+	}
+	dvrWarm, err := newDVRSession()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dvrWarm.Run(&sliceSource{s: res.Samples}); err != nil {
+		return nil, err
+	}
+	dvrSession, err := newDVRSession()
+	if err != nil {
+		return nil, err
+	}
+
 	table1 := []struct {
 		name string
 		fn   func() error
@@ -335,6 +408,37 @@ func BenchJSON(o Options) (*BenchReport, error) {
 		}},
 		{"Wire ingest (loopback TCP)", func() error {
 			return runWire(wireSession)
+		}},
+		{BenchRowIngestQuery, func() error {
+			stop := make(chan struct{})
+			qdone := make(chan error, 1)
+			go func() {
+				var cursor uint64
+				for {
+					select {
+					case <-stop:
+						qdone <- nil
+						return
+					default:
+					}
+					_, next, more, err := histStore.QueryDetections(history.Query{Stream: 1, Cursor: cursor})
+					if err != nil {
+						qdone <- err
+						return
+					}
+					if more {
+						cursor = next
+					} else {
+						cursor = 0 // wrapped: page the whole history again
+					}
+				}
+			}()
+			_, err := dvrSession.Run(&sliceSource{s: res.Samples})
+			close(stop)
+			if qerr := <-qdone; err == nil {
+				err = qerr
+			}
+			return err
 		}},
 	}
 	for _, entry := range table1 {

@@ -1,0 +1,101 @@
+package history
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMemoryRejectsNegativeCaps: a negative capacity is a caller bug,
+// reported loudly instead of silently defaulted (the old hub behavior).
+func TestMemoryRejectsNegativeCaps(t *testing.T) {
+	for _, cfg := range []MemoryConfig{
+		{DetectionCap: -1},
+		{PacketCap: -5},
+		{TileCap: -1},
+		{SnippetCap: -1},
+		{SnippetMaxBytes: -1},
+	} {
+		if _, err := NewMemory(cfg); err == nil {
+			t.Fatalf("NewMemory(%+v) accepted a negative capacity", cfg)
+		}
+	}
+	if _, err := NewMemory(MemoryConfig{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+// TestMemoryEvictionDuringPagination is the REST pagination edge case
+// the issue calls out: a client paging with a cursor while the ring
+// evicts underneath must see no duplicates and no reordering — just a
+// gap where eviction overtook it.
+func TestMemoryEvictionDuringPagination(t *testing.T) {
+	m, err := NewMemory(MemoryConfig{DetectionCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := m.AppendDetection(det(1, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page1, next, more, err := m.QueryDetections(Query{Limit: 8})
+	if err != nil || len(page1) != 8 || !more {
+		t.Fatalf("page1: %d records, more=%v, err=%v", len(page1), more, err)
+	}
+
+	// The ring turns over completely between pages.
+	for i := 0; i < 32; i++ {
+		if err := m.AppendDetection(det(1, float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	page2, _, _, err := m.QueryDetections(Query{Limit: 100, Cursor: next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range page1 {
+		seen[r.Seq] = true
+	}
+	prev := next
+	for _, r := range page2 {
+		if seen[r.Seq] {
+			t.Fatalf("seq %d served twice across eviction", r.Seq)
+		}
+		if r.Seq <= prev {
+			t.Fatalf("page2 reordered: seq %d after %d", r.Seq, prev)
+		}
+		prev = r.Seq
+	}
+	if len(page2) != 32 {
+		t.Fatalf("page2 = %d records, want the 32 surviving the ring", len(page2))
+	}
+}
+
+// TestMemorySnippetByteBudget: total IQ payload is bounded, oldest
+// snippets evicted first, index kept consistent.
+func TestMemorySnippetByteBudget(t *testing.T) {
+	m, err := NewMemory(MemoryConfig{SnippetMaxBytes: 4096}) // 512 samples total
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if err := m.AppendSnippet(snip(1, i, 128)); err != nil { // 1024 bytes each
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Bytes > 4096 {
+		t.Fatalf("snippet bytes %d exceed the budget", st.Bytes)
+	}
+	if st.Snippets != 4 {
+		t.Fatalf("retained %d snippets, want 4", st.Snippets)
+	}
+	if _, err := m.Snippet(1, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest snippet still present: %v", err)
+	}
+	if _, err := m.Snippet(1, 8); err != nil {
+		t.Fatalf("newest snippet missing: %v", err)
+	}
+}

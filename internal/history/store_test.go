@@ -1,0 +1,463 @@
+package history
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rfdump/internal/iq"
+)
+
+// The conformance suite: every behavior the daemon relies on, run
+// against both implementations. A Store that passes here can be swapped
+// into the hub without the API noticing.
+
+type storeCase struct {
+	name string
+	open func(t *testing.T) Store
+}
+
+func storeCases() []storeCase {
+	return []storeCase{
+		{"memory", func(t *testing.T) Store {
+			m, err := NewMemory(MemoryConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"disk", func(t *testing.T) Store {
+			d, err := OpenDisk(DiskConfig{Dir: t.TempDir(), SegmentBytes: 8 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	}
+}
+
+// det builds a test detection at time t seconds on the given stream.
+func det(stream uint64, t float64) *DetectionRecord {
+	return &DetectionRecord{
+		Stream: stream, TimeS: t, Family: "Bluetooth", Detector: "bt-timing",
+		Start: int64(t * 8e6), End: int64(t*8e6) + 400, AbsStart: int64(t * 8e6),
+		AbsEnd: int64(t*8e6) + 400, Confidence: 0.9, Channel: 3,
+	}
+}
+
+// pkt builds a test packet at time t seconds.
+func pkt(stream uint64, t float64) *PacketEvent {
+	ev := &PacketEvent{Stream: stream}
+	ev.TimeS = t
+	ev.Proto = "Bluetooth"
+	ev.Start = int64(t * 8e6)
+	ev.End = ev.Start + 2992
+	ev.Channel = 40
+	ev.Valid = true
+	ev.Frame = "a0b1c2"
+	return ev
+}
+
+func snip(stream, det uint64, n int) *Snippet {
+	s := &Snippet{
+		Stream: stream, Detection: det, Rate: 8_000_000,
+		Start: int64(det) * 1000, End: int64(det)*1000 + int64(n),
+		IQ: make(iq.Samples, n),
+	}
+	for i := range s.IQ {
+		s.IQ[i] = complex(float32(i)/float32(n), -float32(i%7))
+	}
+	return s
+}
+
+func TestStoreSequencing(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			var prev uint64
+			for i := 0; i < 10; i++ {
+				rec := det(1, float64(i)*0.001)
+				if err := s.AppendDetection(rec); err != nil {
+					t.Fatal(err)
+				}
+				if rec.Seq <= prev {
+					t.Fatalf("append %d: seq %d not strictly increasing past %d", i, rec.Seq, prev)
+				}
+				prev = rec.Seq
+			}
+			if got := s.LastSeq(); got != prev {
+				t.Fatalf("LastSeq = %d, want %d", got, prev)
+			}
+			// Pre-stamped sequences (the hub's allocator) are honored.
+			rec := det(1, 0.5)
+			rec.Seq = prev + 7
+			if err := s.AppendDetection(rec); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.LastSeq(); got != prev+7 {
+				t.Fatalf("LastSeq after pre-stamped append = %d, want %d", got, prev+7)
+			}
+		})
+	}
+}
+
+func TestStoreRecentSemantics(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			for i := 0; i < 20; i++ {
+				stream := uint64(1 + i%2)
+				if err := s.AppendDetection(det(stream, float64(i))); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.AppendPacket(pkt(stream, float64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			all := s.RecentDetections(0, 0)
+			if len(all) != 20 {
+				t.Fatalf("RecentDetections(0,0) = %d records, want 20", len(all))
+			}
+			for i := 1; i < len(all); i++ {
+				if all[i].Seq <= all[i-1].Seq {
+					t.Fatalf("recent not oldest-first at %d: %d then %d", i, all[i-1].Seq, all[i].Seq)
+				}
+			}
+			newest := s.RecentDetections(0, 5)
+			if len(newest) != 5 || newest[4].TimeS != 19 {
+				t.Fatalf("RecentDetections(0,5) tail = %+v", newest)
+			}
+			one := s.RecentPackets(2, 0)
+			if len(one) != 10 {
+				t.Fatalf("RecentPackets(stream 2) = %d, want 10", len(one))
+			}
+			for _, e := range one {
+				if e.Stream != 2 {
+					t.Fatalf("stream filter leaked record for stream %d", e.Stream)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreQueryPagination(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			const n = 57
+			for i := 0; i < n; i++ {
+				if err := s.AppendDetection(det(1, float64(i)*0.01)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var walked []DetectionRecord
+			cursor := uint64(0)
+			pages := 0
+			for {
+				recs, next, more, err := s.QueryDetections(Query{Stream: 1, Limit: 10, Cursor: cursor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				walked = append(walked, recs...)
+				pages++
+				if !more {
+					break
+				}
+				if next <= cursor {
+					t.Fatalf("cursor did not advance: %d -> %d", cursor, next)
+				}
+				cursor = next
+			}
+			if len(walked) != n {
+				t.Fatalf("cursor walk returned %d records, want %d", len(walked), n)
+			}
+			if pages != 6 {
+				t.Fatalf("walked %d pages, want 6 (5 full + final partial)", pages)
+			}
+			for i := 1; i < len(walked); i++ {
+				if walked[i].Seq <= walked[i-1].Seq {
+					t.Fatalf("duplicate or reordered record at %d", i)
+				}
+			}
+			// Time-range filter: a window in the middle.
+			recs, _, _, err := s.QueryDetections(Query{From: 0.10, To: 0.20, Limit: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 10 {
+				t.Fatalf("time window [0.10,0.20) returned %d records, want 10", len(recs))
+			}
+			for _, r := range recs {
+				if r.TimeS < 0.10 || r.TimeS >= 0.20 {
+					t.Fatalf("record at t=%v outside window", r.TimeS)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreQueryEdgeCases(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			for i := 0; i < 5; i++ {
+				if err := s.AppendDetection(det(1, float64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last := s.LastSeq()
+
+			// Empty time range: a window holding no records.
+			recs, next, more, err := s.QueryDetections(Query{From: 100, To: 200})
+			if err != nil || len(recs) != 0 || more {
+				t.Fatalf("empty range: recs=%d more=%v err=%v", len(recs), more, err)
+			}
+			if next != 0 {
+				t.Fatalf("empty range must echo the cursor, got next=%d", next)
+			}
+
+			// from > to is a literal empty window, not an error.
+			recs, _, more, err = s.QueryDetections(Query{From: 3, To: 1})
+			if err != nil || len(recs) != 0 || more {
+				t.Fatalf("from>to: recs=%d more=%v err=%v", len(recs), more, err)
+			}
+
+			// Cursor past the end: nothing left.
+			recs, next, more, err = s.QueryDetections(Query{Cursor: last + 100})
+			if err != nil || len(recs) != 0 || more || next != last+100 {
+				t.Fatalf("cursor past end: recs=%d next=%d more=%v err=%v", len(recs), next, more, err)
+			}
+
+			// Unknown stream filter.
+			recs, _, _, err = s.QueryDetections(Query{Stream: 99})
+			if err != nil || len(recs) != 0 {
+				t.Fatalf("unknown stream: recs=%d err=%v", len(recs), err)
+			}
+		})
+	}
+}
+
+func TestStoreSnippetRoundTrip(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			rec := det(3, 0.25)
+			if err := s.AppendDetection(rec); err != nil {
+				t.Fatal(err)
+			}
+			want := snip(3, rec.Seq, 333)
+			want.Epoch = 2
+			if err := s.AppendSnippet(want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Snippet(3, rec.Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stream != 3 || got.Detection != rec.Seq || got.Epoch != 2 ||
+				got.Rate != want.Rate || got.Start != want.Start || got.End != want.End {
+				t.Fatalf("snippet metadata mismatch: %+v", got)
+			}
+			if len(got.IQ) != len(want.IQ) {
+				t.Fatalf("snippet has %d samples, want %d", len(got.IQ), len(want.IQ))
+			}
+			for i := range got.IQ {
+				if got.IQ[i] != want.IQ[i] {
+					t.Fatalf("sample %d: %v != %v", i, got.IQ[i], want.IQ[i])
+				}
+			}
+			if _, err := s.Snippet(3, rec.Seq+999); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing snippet: err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreTiles(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			for i := 0; i < 8; i++ {
+				tile := &Tile{
+					Stream: 1, TimeS: float64(i) * 0.016,
+					Start: int64(i) * 131072, SamplesPerBin: 2048,
+					Bins: []float32{0.5, float32(i), 2},
+				}
+				if err := s.AppendTile(tile); err != nil {
+					t.Fatal(err)
+				}
+			}
+			recs, _, _, err := s.QueryTiles(Query{Stream: 1, Limit: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 8 {
+				t.Fatalf("QueryTiles = %d, want 8", len(recs))
+			}
+			if recs[3].Bins[1] != 3 {
+				t.Fatalf("tile payload mismatch: %+v", recs[3])
+			}
+		})
+	}
+}
+
+func TestStoreStatsAndClose(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			for i := 0; i < 6; i++ {
+				if err := s.AppendDetection(det(1, float64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.AppendPacket(pkt(1, 6)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendTile(&Tile{Stream: 1, TimeS: 7, SamplesPerBin: 4, Bins: []float32{1, 2}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendSnippet(snip(1, 1, 16)); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Kind == "" || st.LastSeq != s.LastSeq() || st.Appended != 9 {
+				t.Fatalf("stats: %+v", st)
+			}
+			// Per-type counts must be per-type, not a lumped record total.
+			if st.Detections != 6 || st.Packets != 1 || st.Tiles != 1 || st.Snippets != 1 {
+				t.Fatalf("per-type stats: %+v", st)
+			}
+			if st.OldestTimeS != 0 || st.NewestTimeS != 7 {
+				t.Fatalf("time bounds: %+v", st)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendDetection(det(1, 9)); !errors.Is(err, ErrClosed) {
+				t.Fatalf("append after close: %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentIngestAndQuery hammers appends from one goroutine
+// while queries page from another — the disk store's reader handles and
+// committed-size clipping must never surface a torn frame as data.
+func TestStoreConcurrentIngestAndQuery(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 500; i++ {
+					_ = s.AppendDetection(det(1, float64(i)*0.001))
+					if i%10 == 0 {
+						_ = s.AppendSnippet(snip(1, uint64(i+1), 64))
+					}
+				}
+			}()
+			for {
+				select {
+				case <-done:
+					recs, _, _, err := s.QueryDetections(Query{Limit: 1000})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(recs) == 0 {
+						t.Fatal("no records after concurrent ingest")
+					}
+					return
+				default:
+					cursor := uint64(0)
+					for {
+						recs, next, more, err := s.QueryDetections(Query{Limit: 32, Cursor: cursor})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, r := range recs {
+							if r.Seq <= cursor {
+								t.Fatalf("page returned seq %d at cursor %d", r.Seq, cursor)
+							}
+							cursor = r.Seq
+						}
+						if !more {
+							break
+						}
+						cursor = next
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// TestSnippetJSONRoundTrip proves the wire shape (what the API serves
+// and rfdump -replay-snippet reads) reproduces the samples exactly.
+func TestSnippetJSONRoundTrip(t *testing.T) {
+	want := snip(7, 42, 100)
+	j := want.JSON()
+	if j.Samples != 100 {
+		t.Fatalf("JSON samples = %d", j.Samples)
+	}
+	got, err := j.Snippet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != 7 || got.Detection != 42 || got.Rate != want.Rate {
+		t.Fatalf("metadata: %+v", got)
+	}
+	for i := range want.IQ {
+		if got.IQ[i] != want.IQ[i] {
+			t.Fatalf("sample %d: %v != %v", i, got.IQ[i], want.IQ[i])
+		}
+	}
+	// Corrupt payload lengths are rejected, not misread.
+	j.IQ = j.IQ[:len(j.IQ)-4]
+	if _, err := j.Snippet(); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestStoreIsolation double-checks the memory store hands out copies:
+// mutating a queried record or snippet must not corrupt the store.
+func TestStoreIsolation(t *testing.T) {
+	for _, tc := range storeCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.open(t)
+			rec := det(1, 0.1)
+			if err := s.AppendDetection(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendSnippet(snip(1, rec.Seq, 16)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Snippet(1, rec.Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got.IQ {
+				got.IQ[i] = complex(9, 9)
+			}
+			again, err := s.Snippet(1, rec.Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.IQ[0] == complex(float32(9), float32(9)) {
+				t.Fatal("snippet mutation leaked back into the store")
+			}
+			recs, _, _, err := s.QueryDetections(Query{})
+			if err != nil || len(recs) != 1 {
+				t.Fatalf("query: %d, %v", len(recs), err)
+			}
+			recs[0].Family = "corrupted"
+			recs2, _, _, _ := s.QueryDetections(Query{})
+			if recs2[0].Family != "Bluetooth" {
+				t.Fatal("record mutation leaked back into the store")
+			}
+		})
+	}
+}
+

@@ -13,6 +13,7 @@ import (
 	"rfdump/internal/demod"
 	"rfdump/internal/faults"
 	"rfdump/internal/flowgraph"
+	"rfdump/internal/history"
 	"rfdump/internal/iq"
 	"rfdump/internal/metrics"
 	"rfdump/internal/wire"
@@ -44,6 +45,33 @@ type Options struct {
 	// transient-error retries (as rfdump -faults/-retries).
 	Faults  string
 	Retries int
+	// Store, when set, persists detections, packets, waterfall tiles and
+	// captured IQ snippets (the spectrum DVR). Nil with an empty StoreDir
+	// keeps history in memory, bounded by the ring sizes below — the
+	// legacy behavior. The daemon owns the store and closes it in Close.
+	Store history.Store
+	// StoreDir, when non-empty (and Store is nil), opens the disk-backed
+	// segment store there; StoreMaxBytes / StoreMaxAge bound its
+	// retention (zero takes the engine defaults).
+	StoreDir      string
+	StoreMaxBytes int64
+	StoreMaxAge   time.Duration
+	// Capture records the raw IQ burst behind every detection as a
+	// snippet in the store; CapturePad / CaptureMaxSamples tune the span
+	// (see core.StreamConfig).
+	Capture           bool
+	CapturePad        int
+	CaptureMaxSamples int
+	// TileSamples is the span of one persisted waterfall tile in samples
+	// (default 1<<19 ≈ 65 ms at 8 Msps; negative disables tiles);
+	// TileBins the number of power bins per tile (default 64).
+	TileSamples int
+	TileBins    int
+	// QueryRPS / QueryBurst rate-limit the history query endpoints per
+	// client host (token bucket; defaults 20 rps, burst 40; negative RPS
+	// disables). The legacy endpoints are exempt.
+	QueryRPS   float64
+	QueryBurst int
 	// Hub sizing (see HubConfig); zero values take defaults.
 	DetectionRing   int
 	PacketRing      int
@@ -81,6 +109,7 @@ type Daemon struct {
 	hub      *Hub
 	wire     *wire.Server
 	faultCfg *faults.Config
+	quota    *hostQuota
 	draining atomic.Bool
 
 	conns    *metrics.Counter
@@ -105,18 +134,46 @@ func NewDaemon(opt Options) (*Daemon, error) {
 	if opt.StallAfter < 0 {
 		opt.StallAfter = 0
 	}
+	if opt.TileSamples == 0 {
+		opt.TileSamples = 1 << 19
+	}
+	if opt.TileBins <= 0 {
+		opt.TileBins = 64
+	}
+	store := opt.Store
+	if store == nil && opt.StoreDir != "" {
+		var err error
+		store, err = history.OpenDisk(history.DiskConfig{
+			Dir:      opt.StoreDir,
+			MaxBytes: opt.StoreMaxBytes,
+			MaxAge:   opt.StoreMaxAge,
+			Registry: opt.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: history store: %w", err)
+		}
+	}
+	hub, err := NewHub(HubConfig{
+		Clock:           opt.Engine.Clock(),
+		Store:           store,
+		DetectionRing:   opt.DetectionRing,
+		PacketRing:      opt.PacketRing,
+		SubscriberQueue: opt.SubscriberQueue,
+		EvictAfter:      opt.EvictAfter,
+		Registry:        opt.Registry,
+	})
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
 	d := &Daemon{
-		opt:   opt,
-		clock: opt.Engine.Clock(),
-		reg:   opt.Registry,
-		hub: NewHub(HubConfig{
-			Clock:           opt.Engine.Clock(),
-			DetectionRing:   opt.DetectionRing,
-			PacketRing:      opt.PacketRing,
-			SubscriberQueue: opt.SubscriberQueue,
-			EvictAfter:      opt.EvictAfter,
-			Registry:        opt.Registry,
-		}),
+		opt:      opt,
+		clock:    opt.Engine.Clock(),
+		reg:      opt.Registry,
+		hub:      hub,
+		quota:    newHostQuota(opt.QueryRPS, opt.QueryBurst, opt.Registry),
 		conns:    opt.Registry.Counter("server/ingest/connections"),
 		rejected: opt.Registry.Counter("server/ingest/rejected"),
 		hbMissed: opt.Registry.Counter("server/heartbeats_missed"),
@@ -150,11 +207,14 @@ func (d *Daemon) Drain() {
 	d.wire.Wait()
 }
 
-// Close aborts: ingest connections are closed outright.
+// Close aborts: ingest connections are closed outright, then the
+// history store is released (Drain leaves it open so results stay
+// queryable through the drain window).
 func (d *Daemon) Close() {
 	d.draining.Store(true)
 	d.wire.Close()
 	d.wire.Wait()
+	_ = d.hub.Close()
 }
 
 // WireServer returns the ingest listener host (Serve/Drain/Close live
@@ -176,6 +236,19 @@ func (d *Daemon) refreshGauges() {
 	d.reg.Gauge("blocks/pool/news").Set(st.News)
 	d.reg.Gauge("blocks/pool/puts").Set(st.Puts)
 	d.reg.Gauge("blocks/pool/live").Set(st.Live)
+	hs := d.hub.store.Stats()
+	d.reg.Gauge("history/last_seq").Set(int64(hs.LastSeq))
+	d.reg.Gauge("history/detections").Set(hs.Detections)
+	d.reg.Gauge("history/packets").Set(hs.Packets)
+	d.reg.Gauge("history/tiles").Set(hs.Tiles)
+	d.reg.Gauge("history/snippets").Set(hs.Snippets)
+	d.reg.Gauge("history/bytes").Set(hs.Bytes)
+	d.reg.Gauge("history/segments").Set(int64(hs.Segments))
+	// The configured ring capacities, surfaced so operators can see the
+	// bound their /api history queries run against (0 = not count-bound,
+	// i.e. the segment store).
+	d.reg.Gauge("history/detection_cap").Set(int64(hs.DetectionCap))
+	d.reg.Gauge("history/packet_cap").Set(int64(hs.PacketCap))
 }
 
 // handle runs one ingest connection to completion: read the stream
@@ -218,7 +291,18 @@ func (d *Daemon) handle(c *wire.Conn) {
 
 	scfg := d.opt.Session
 	scfg.NoRetain = true
-	scfg.OnDetection = func(det core.Detection) { d.hub.Detection(st, det) }
+	if d.opt.Capture {
+		// Exactly one detection path: the capture hook both records the
+		// detection and banks its IQ burst (a separate OnDetection would
+		// double-append).
+		scfg.CapturePad = d.opt.CapturePad
+		scfg.CaptureMaxSamples = d.opt.CaptureMaxSamples
+		scfg.OnDetectionCapture = func(det core.Detection, span iq.Interval, burst iq.Samples) {
+			d.hub.DetectionCaptured(st, det, span, burst)
+		}
+	} else {
+		scfg.OnDetection = func(det core.Detection) { d.hub.Detection(st, det) }
+	}
 	scfg.OnOutput = func(item flowgraph.Item) {
 		if p, ok := item.(demod.Packet); ok {
 			d.hub.Packet(st, p)
@@ -242,8 +326,12 @@ func (d *Daemon) handle(c *wire.Conn) {
 		injector.InstrumentMetrics(d.reg)
 		src = &faults.Retry{Src: injector, Attempts: d.opt.Retries, Metrics: d.reg}
 	}
-	if st.ring != nil {
-		src = &teeSource{inner: src, ring: st.ring}
+	var tiles *tileBuilder
+	if d.opt.TileSamples > 0 {
+		tiles = newTileBuilder(d.hub, st, d.opt.TileSamples, d.opt.TileBins)
+	}
+	if st.ring != nil || tiles != nil {
+		src = &teeSource{inner: src, ring: st.ring, tiles: tiles}
 	}
 	src = &drainSource{inner: src, stop: &d.draining}
 
@@ -271,17 +359,24 @@ func isTimeout(err error) bool {
 }
 
 // teeSource copies every block the pipeline reads into the stream's
-// waterfall ring. It sits after fault injection so the spectrogram
-// shows the stream the detectors actually saw.
+// waterfall ring and folds it into the persisted tile builder. It sits
+// after fault injection so both show the stream the detectors actually
+// saw.
 type teeSource struct {
 	inner core.BlockReader
 	ring  *sampleRing
+	tiles *tileBuilder
 }
 
 func (t *teeSource) ReadBlock(dst iq.Samples) (int, error) {
 	n, err := t.inner.ReadBlock(dst)
 	if n > 0 {
-		t.ring.Append(dst[:n])
+		if t.ring != nil {
+			t.ring.Append(dst[:n])
+		}
+		if t.tiles != nil {
+			t.tiles.Append(dst[:n])
+		}
 	}
 	return n, err
 }

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rfdump/internal/core"
+	"rfdump/internal/demod"
+	"rfdump/internal/ether"
+	"rfdump/internal/history"
+	"rfdump/internal/iq"
+	"rfdump/internal/metrics"
+	_ "rfdump/internal/protocols/builtin"
+	"rfdump/internal/wire"
+)
+
+// streamTrace pushes the trace through the daemon's ingest listener and
+// waits for the session to finish.
+func streamTrace(t *testing.T, ln net.Listener, ts *httptest.Server, res *ether.Result, streamID uint32) []StreamInfo {
+	t.Helper()
+	client, err := wire.Dial(ln.Addr().String(), wire.StreamMeta{StreamID: streamID, Rate: res.Clock.Rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendSamples(res.Samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return waitStreamsDone(t, ts.URL, 1)
+}
+
+// detPage is the envelope of /api/streams/{id}/detections.
+type detPage struct {
+	Detections []DetectionRecord `json:"detections"`
+	Next       uint64            `json:"next_cursor"`
+	More       bool              `json:"more"`
+}
+
+// TestHistoryQueryAPI drives the cursor-paginated query surface end to
+// end: pages reassemble the full history with no duplicates, edge-case
+// queries degrade gracefully, and /api/history reports the store.
+func TestHistoryQueryAPI(t *testing.T) {
+	res := testTrace(t)
+	reg := metrics.NewRegistry()
+	_, ln, ts := newTestDaemon(t, res.Clock, reg, Options{QueryRPS: -1})
+	streamTrace(t, ln, ts, res, 7)
+
+	var recent struct {
+		Detections []DetectionRecord `json:"detections"`
+	}
+	getJSON(t, ts.URL+"/api/detections", &recent)
+	if len(recent.Detections) == 0 {
+		t.Fatal("no detections; trace too quiet")
+	}
+
+	// Page with a small limit; the walk must visit every record exactly
+	// once, in strictly increasing sequence order.
+	var (
+		walked []DetectionRecord
+		cursor uint64
+	)
+	for {
+		var page detPage
+		getJSON(t, ts.URL+"/api/streams/0/detections?limit=3&cursor="+utoa(cursor), &page)
+		if len(page.Detections) > 3 {
+			t.Fatalf("page of %d exceeds limit 3", len(page.Detections))
+		}
+		walked = append(walked, page.Detections...)
+		cursor = page.Next
+		if !page.More {
+			break
+		}
+		if len(walked) > 10*len(recent.Detections) {
+			t.Fatal("pagination never terminates")
+		}
+	}
+	if len(walked) != len(recent.Detections) {
+		t.Fatalf("pagination walked %d records, recent endpoint has %d", len(walked), len(recent.Detections))
+	}
+	var prev uint64
+	for i, rec := range walked {
+		if rec.Seq <= prev {
+			t.Fatalf("record %d out of order: seq %d after %d", i, rec.Seq, prev)
+		}
+		prev = rec.Seq
+		if rec != recent.Detections[i] {
+			t.Fatalf("record %d differs between query and recent endpoints:\n%+v\n%+v", i, rec, recent.Detections[i])
+		}
+	}
+
+	// Edge cases the issue calls out.
+	var page detPage
+	getJSON(t, ts.URL+"/api/streams/0/detections?from=5&to=1", &page)
+	if len(page.Detections) != 0 || page.More {
+		t.Errorf("from>to returned %d records, more=%v", len(page.Detections), page.More)
+	}
+	getJSON(t, ts.URL+"/api/streams/0/detections?cursor=999999999", &page)
+	if len(page.Detections) != 0 || page.More || page.Next != 999999999 {
+		t.Errorf("cursor past end: %+v", page)
+	}
+	getJSON(t, ts.URL+"/api/streams/424242/detections", &page)
+	if len(page.Detections) != 0 {
+		t.Errorf("unknown stream returned %d records", len(page.Detections))
+	}
+	// Half-open time window [first.t, first.t+eps) isolates the head.
+	first := recent.Detections[0].TimeS
+	getJSON(t, ts.URL+"/api/streams/0/detections?from="+ftoa(first)+"&to="+ftoa(first+1e-6), &page)
+	if len(page.Detections) == 0 {
+		t.Error("time window around the first detection matched nothing")
+	}
+	for _, rec := range page.Detections {
+		if rec.TimeS < first || rec.TimeS >= first+1e-6 {
+			t.Errorf("record t=%v escapes the window", rec.TimeS)
+		}
+	}
+
+	// Packets paginate through the same surface.
+	var pkts struct {
+		Packets []PacketEvent `json:"packets"`
+		More    bool          `json:"more"`
+	}
+	getJSON(t, ts.URL+"/api/streams/0/packets?limit=100", &pkts)
+	if len(pkts.Packets) == 0 {
+		t.Error("no packets via the query surface")
+	}
+
+	// Tiles persisted from the ingest tee (the trace is far longer than
+	// one default tile at the test's sizes — so force a small tile span
+	// in a dedicated daemon below if this ever flakes; here just check
+	// the endpoint shape).
+	var tiles struct {
+		Tiles []history.Tile `json:"tiles"`
+	}
+	getJSON(t, ts.URL+"/api/streams/0/tiles", &tiles)
+
+	// The store snapshot.
+	var st history.Stats
+	getJSON(t, ts.URL+"/api/history", &st)
+	if st.Kind != "memory" {
+		t.Errorf("store kind %q, want memory", st.Kind)
+	}
+	if st.Detections != int64(len(recent.Detections)) {
+		t.Errorf("stats detections %d, want %d", st.Detections, len(recent.Detections))
+	}
+	if st.DetectionCap == 0 || st.PacketCap == 0 {
+		t.Errorf("memory store stats missing ring capacities: %+v", st)
+	}
+
+	// Capacities surface in /api/metricz (the satellite requirement).
+	var snap metrics.Snapshot
+	getJSON(t, ts.URL+"/api/metricz?format=json", &snap)
+	if snap.Gauges["history/detection_cap"] == 0 || snap.Gauges["history/packet_cap"] == 0 {
+		t.Errorf("metricz missing history capacity gauges: %v", snap.Gauges)
+	}
+}
+
+// TestHistoryQueryQuota: the new query endpoints are token-bucket
+// limited per host (429 + Retry-After past the burst), while the legacy
+// surface the tooling polls stays unthrottled.
+func TestHistoryQueryQuota(t *testing.T) {
+	res := testTrace(t)
+	reg := metrics.NewRegistry()
+	_, _, ts := newTestDaemon(t, res.Clock, reg, Options{QueryRPS: 5, QueryBurst: 5})
+
+	var ok, throttled int
+	for i := 0; i < 30; i++ {
+		resp, err := http.Get(ts.URL + "/api/streams/0/detections")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			throttled++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if ok == 0 || throttled == 0 {
+		t.Fatalf("burst of 30: %d ok, %d throttled — want both nonzero", ok, throttled)
+	}
+	if reg.Counter("server/api/throttled").Load() == 0 {
+		t.Error("throttling not counted")
+	}
+	// The legacy endpoints never pay the quota.
+	for i := 0; i < 30; i++ {
+		resp, err := http.Get(ts.URL + "/api/streams")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("legacy endpoint throttled: %d", resp.StatusCode)
+		}
+	}
+}
+
+// readSSE collects SSE events from body until want events arrived or
+// the deadline passed.
+func readSSE(t *testing.T, body *bufio.Scanner, want int, deadline time.Duration) []Event {
+	t.Helper()
+	done := make(chan []Event, 1)
+	go func() {
+		var out []Event
+		for body.Scan() {
+			line := body.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				continue
+			}
+			out = append(out, ev)
+			if len(out) >= want {
+				break
+			}
+		}
+		done <- out
+	}()
+	select {
+	case evs := <-done:
+		return evs
+	case <-time.After(deadline):
+		t.Fatalf("timed out waiting for %d SSE events", want)
+		return nil
+	}
+}
+
+// TestSSECatchUp: /api/live?since=<seq> replays stored history before
+// the live tail — a dashboard reconnecting with the last sequence it
+// saw misses nothing, sees nothing twice, and gets records in order.
+func TestSSECatchUp(t *testing.T) {
+	res := testTrace(t)
+	reg := metrics.NewRegistry()
+	_, ln, ts := newTestDaemon(t, res.Clock, reg, Options{QueryRPS: -1})
+	streamTrace(t, ln, ts, res, 7)
+
+	var recent struct {
+		Detections []DetectionRecord `json:"detections"`
+	}
+	var pkts struct {
+		Packets []PacketEvent `json:"packets"`
+	}
+	getJSON(t, ts.URL+"/api/detections", &recent)
+	getJSON(t, ts.URL+"/api/packets", &pkts)
+	total := len(recent.Detections) + len(pkts.Packets)
+	if total == 0 {
+		t.Fatal("nothing to replay")
+	}
+
+	resp, err := http.Get(ts.URL + "/api/live?since=0&types=detection,packet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	evs := readSSE(t, sc, total, 20*time.Second)
+	if len(evs) != total {
+		t.Fatalf("replayed %d events, want %d", len(evs), total)
+	}
+	var prev uint64
+	var dets int
+	for i, ev := range evs {
+		if ev.Seq <= prev {
+			t.Fatalf("event %d out of order: seq %d after %d", i, ev.Seq, prev)
+		}
+		prev = ev.Seq
+		if ev.Type == "detection" {
+			dets++
+		}
+	}
+	if dets != len(recent.Detections) {
+		t.Errorf("replayed %d detections, want %d", dets, len(recent.Detections))
+	}
+
+	// Resuming from a mid-history sequence yields exactly the records
+	// after it.
+	mid := recent.Detections[len(recent.Detections)/2].Seq
+	var wantAfter int
+	for _, rec := range recent.Detections {
+		if rec.Seq > mid {
+			wantAfter++
+		}
+	}
+	resp2, err := http.Get(ts.URL + "/api/live?since=" + utoa(mid) + "&types=detection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	sc2.Buffer(make([]byte, 1<<20), 1<<20)
+	evs2 := readSSE(t, sc2, wantAfter, 20*time.Second)
+	for i, ev := range evs2 {
+		if ev.Seq <= mid {
+			t.Errorf("event %d: seq %d not after since=%d", i, ev.Seq, mid)
+		}
+	}
+	if len(evs2) != wantAfter {
+		t.Errorf("since=%d replayed %d detections, want %d", mid, len(evs2), wantAfter)
+	}
+}
+
+// TestDaemonDiskStoreSurvivesRestart is the DVR acceptance path inside
+// the server package: a daemon over the segment store records history
+// and a captured IQ snippet; a second daemon opened on the same
+// directory (the first closed abruptly, mid-segment) serves the same
+// records, the snippet intact — and the snippet re-demodulates offline
+// to the same frame bytes the live run decoded.
+func TestDaemonDiskStoreSurvivesRestart(t *testing.T) {
+	res := testTrace(t)
+	dir := t.TempDir()
+
+	build := func() (*Daemon, net.Listener, *httptest.Server) {
+		cfg, err := core.ParseDetectors("timing,phase")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(res.Clock, cfg, func() core.Analyzer { return demod.NewWiFiDemod() })
+		d, err := NewDaemon(Options{
+			Engine:   eng,
+			Registry: metrics.NewRegistry(),
+			StoreDir: dir,
+			Capture:  true,
+			QueryRPS: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = d.Serve(ln) }()
+		return d, ln, httptest.NewServer(d.APIHandler())
+	}
+
+	d1, ln1, ts1 := build()
+	streamTrace(t, ln1, ts1, res, 7)
+
+	var before detPage
+	getJSON(t, ts1.URL+"/api/streams/0/detections?limit=1000", &before)
+	if len(before.Detections) == 0 {
+		t.Fatal("no detections recorded")
+	}
+	var livePkts struct {
+		Packets []PacketEvent `json:"packets"`
+	}
+	getJSON(t, ts1.URL+"/api/packets", &livePkts)
+	if len(livePkts.Packets) == 0 {
+		t.Fatal("no packets recorded")
+	}
+
+	// Find a detection with a snippet (capture stores one per detection).
+	var snipJSON history.SnippetJSON
+	found := false
+	for _, rec := range before.Detections {
+		resp, err := http.Get(ts1.URL + "/api/streams/" + utoa(rec.Stream) + "/snippets/" + utoa(rec.Seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&snipJSON); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			found = true
+			break
+		}
+		resp.Body.Close()
+	}
+	if !found {
+		t.Fatal("no detection has a captured snippet")
+	}
+	ts1.Close()
+	d1.Close()
+
+	// Restart on the same directory.
+	d2, _, ts2 := build()
+	defer func() { ts2.Close(); d2.Close() }()
+
+	var after detPage
+	getJSON(t, ts2.URL+"/api/streams/0/detections?limit=1000", &after)
+	if len(after.Detections) != len(before.Detections) {
+		t.Fatalf("restart lost detections: %d before, %d after", len(before.Detections), len(after.Detections))
+	}
+	for i := range after.Detections {
+		if after.Detections[i] != before.Detections[i] {
+			t.Fatalf("detection %d changed across restart:\n%+v\n%+v", i, before.Detections[i], after.Detections[i])
+		}
+	}
+	var st history.Stats
+	getJSON(t, ts2.URL+"/api/history", &st)
+	if st.Kind != "segment" {
+		t.Errorf("store kind %q, want segment", st.Kind)
+	}
+
+	// The snippet survived too, byte-identical.
+	var snip2 history.SnippetJSON
+	getJSON(t, ts2.URL+"/api/streams/"+utoa(snipJSON.Stream)+"/snippets/"+utoa(snipJSON.Detection), &snip2)
+	if snip2 != snipJSON {
+		t.Fatalf("snippet changed across restart")
+	}
+
+	// Replay: re-demodulating the captured burst offline recovers frame
+	// bytes the live run decoded. Phase detectors — a lone burst has no
+	// inter-frame timing for the timing detectors to key on.
+	snip, err := snip2.Snippet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.ParseDetectors("phase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRes, err := core.NewPipeline(iq.NewClock(snip.Rate), cfg, demod.NewWiFiDemod()).
+		RunStream(&sliceSrc{s: snip.IQ}, core.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveFrames := map[string]bool{}
+	for _, pe := range livePkts.Packets {
+		if pe.Frame != "" {
+			liveFrames[pe.Frame] = true
+		}
+	}
+	matched := false
+	for _, item := range replayRes.Outputs {
+		p, ok := item.(demod.Packet)
+		if !ok || !p.Valid || len(p.Frame) == 0 {
+			continue
+		}
+		if liveFrames[hexFrame(p.Frame)] {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Fatalf("replayed snippet decoded no frame matching the live run (%d replay outputs, %d live frames)",
+			len(replayRes.Outputs), len(liveFrames))
+	}
+}
+
+// TestNewHubRejectsNegativeRings is the satellite guard: a negative
+// ring size errors instead of silently defaulting.
+func TestNewHubRejectsNegativeRings(t *testing.T) {
+	if _, err := NewHub(HubConfig{DetectionRing: -1}); err == nil {
+		t.Error("negative DetectionRing accepted")
+	}
+	if _, err := NewHub(HubConfig{PacketRing: -1}); err == nil {
+		t.Error("negative PacketRing accepted")
+	}
+	if _, err := NewDaemon(Options{}); err == nil {
+		t.Error("NewDaemon without engine accepted")
+	}
+}
+
+func utoa(v uint64) string  { return strconv.FormatUint(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func hexFrame(b []byte) string { return hex.EncodeToString(b) }

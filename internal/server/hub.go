@@ -1,12 +1,14 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rfdump/internal/core"
 	"rfdump/internal/demod"
+	"rfdump/internal/history"
 	"rfdump/internal/iq"
 	"rfdump/internal/metrics"
 	"rfdump/internal/trace"
@@ -14,21 +16,20 @@ import (
 )
 
 // Hub is the daemon's shared state: the registry of ingest streams, the
-// recent-history rings the REST API reads, and the broker the live feed
+// history store the REST API reads, and the broker the live feed
 // publishes through. All mutating entry points are called from pipeline
-// callbacks on session goroutines, so everything is either ring-guarded
-// by the hub mutex or atomic.
+// callbacks on session goroutines, so everything is guarded by the hub
+// mutex, atomic, or delegated to the (concurrency-safe) store.
 type Hub struct {
 	clock  iq.Clock
 	broker *Broker
-	seq    atomic.Uint64 // event sequence allocator
+	store  history.Store
+	seq    atomic.Uint64 // event + record sequence allocator
 
-	mu         sync.Mutex
-	streams    map[uint64]*Stream
-	order      []uint64 // registration order, oldest first
-	nextID     uint64
-	detections *ring[DetectionRecord]
-	packets    *ring[PacketEvent]
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	order   []uint64 // registration order, oldest first
+	nextID  uint64
 
 	detCount   *metrics.Counter
 	pktCount   *metrics.Counter
@@ -37,14 +38,21 @@ type Hub struct {
 	reconnects *metrics.Counter
 	gapFrames  *metrics.Counter
 	gapSamples *metrics.Counter
+	storeErrs  *metrics.Counter
 }
 
 // HubConfig sizes the hub.
 type HubConfig struct {
 	// Clock converts sample spans to seconds in records.
 	Clock iq.Clock
-	// DetectionRing / PacketRing bound the REST history (defaults 4096
-	// and 2048).
+	// Store persists detections, packets, tiles and IQ snippets. Nil
+	// builds the default bounded in-memory store sized by DetectionRing
+	// and PacketRing (the legacy rings, behind the history.Store
+	// interface). The hub owns the store and closes it in Close.
+	Store history.Store
+	// DetectionRing / PacketRing bound the default in-memory history
+	// (defaults 4096 and 2048; negative is rejected; ignored when Store
+	// is set).
 	DetectionRing int
 	PacketRing    int
 	// SubscriberQueue bounds each live-feed subscriber (default 256);
@@ -56,12 +64,18 @@ type HubConfig struct {
 	Registry *metrics.Registry
 }
 
-// NewHub builds the hub and its broker.
-func NewHub(cfg HubConfig) *Hub {
-	if cfg.DetectionRing <= 0 {
+// NewHub builds the hub and its broker. A negative ring size is a
+// configuration bug and is rejected loudly rather than silently
+// defaulted.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	if cfg.DetectionRing < 0 || cfg.PacketRing < 0 {
+		return nil, fmt.Errorf("server: negative history ring size (detections %d, packets %d)",
+			cfg.DetectionRing, cfg.PacketRing)
+	}
+	if cfg.DetectionRing == 0 {
 		cfg.DetectionRing = 4096
 	}
-	if cfg.PacketRing <= 0 {
+	if cfg.PacketRing == 0 {
 		cfg.PacketRing = 2048
 	}
 	if cfg.SubscriberQueue <= 0 {
@@ -73,12 +87,23 @@ func NewHub(cfg HubConfig) *Hub {
 	if cfg.EvictAfter < 0 {
 		cfg.EvictAfter = 0
 	}
-	return &Hub{
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = history.NewMemory(history.MemoryConfig{
+			DetectionCap: cfg.DetectionRing,
+			PacketCap:    cfg.PacketRing,
+			Registry:     cfg.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	h := &Hub{
 		clock:      cfg.Clock,
 		broker:     NewBroker(cfg.SubscriberQueue, cfg.EvictAfter, cfg.Registry),
+		store:      store,
 		streams:    make(map[uint64]*Stream),
-		detections: newRing[DetectionRecord](cfg.DetectionRing),
-		packets:    newRing[PacketEvent](cfg.PacketRing),
 		detCount:   cfg.Registry.Counter("server/detections"),
 		pktCount:   cfg.Registry.Counter("server/packets"),
 		opened:     cfg.Registry.Counter("server/streams/opened"),
@@ -86,11 +111,26 @@ func NewHub(cfg HubConfig) *Hub {
 		reconnects: cfg.Registry.Counter("wire/reconnects"),
 		gapFrames:  cfg.Registry.Counter("wire/gap_frames"),
 		gapSamples: cfg.Registry.Counter("wire/gap_samples"),
+		storeErrs:  cfg.Registry.Counter("server/history/errors"),
 	}
+	// Seed the event allocator past everything the store already holds,
+	// so a daemon restarting over a disk store keeps sequence numbers
+	// strictly increasing across its whole history.
+	h.seq.Store(store.LastSeq())
+	return h, nil
 }
 
 // Broker returns the live-feed broker (Subscribe/Unsubscribe).
 func (h *Hub) Broker() *Broker { return h.broker }
+
+// Store returns the hub's history store (the query API reads it
+// directly).
+func (h *Hub) Store() history.Store { return h.store }
+
+// Close releases the history store (segment stores flush and close
+// their files). The hub stays usable for stream accounting; appends to
+// the store after Close fail and are counted, not fatal.
+func (h *Hub) Close() error { return h.store.Close() }
 
 // Clock returns the hub's sample clock.
 func (h *Hub) Clock() iq.Clock { return h.clock }
@@ -583,13 +623,21 @@ func (h *Hub) Stalled(stallAfter time.Duration, now time.Time) []StallInfo {
 	return out
 }
 
-// Detection records one fast-detector verdict: ring history for the
+// Detection records one fast-detector verdict: store history for the
 // REST API, counters, and a live event. Runs on the session's dispatch
 // goroutine; must not block. Spans arrive epoch-relative; the stream's
 // absolute base places them on the transmit timeline.
 func (h *Hub) Detection(st *Stream, d core.Detection) {
+	h.detection(st, d)
+}
+
+// detection appends the record (stamped from the hub's allocator, so
+// the live event and the stored record share one sequence number) and
+// returns it for the capture path to key its snippet on.
+func (h *Hub) detection(st *Stream, d core.Detection) DetectionRecord {
 	base := st.absBase.Load()
 	rec := DetectionRecord{
+		Seq:        h.seq.Add(1),
 		Stream:     st.id,
 		Epoch:      st.curEpoch.Load(),
 		TimeS:      (float64(base) + float64(d.Span.Start)) / float64(h.clock.Rate),
@@ -604,22 +652,56 @@ func (h *Hub) Detection(st *Stream, d core.Detection) {
 	}
 	st.detections.Add(1)
 	h.detCount.Inc()
-	h.mu.Lock()
-	h.detections.add(rec)
-	h.mu.Unlock()
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "detection", Stream: st.id, Epoch: rec.Epoch, Detection: &rec})
+	if err := h.store.AppendDetection(&rec); err != nil {
+		h.storeErrs.Inc()
+	}
+	h.broker.Publish(Event{Seq: rec.Seq, Type: "detection", Stream: st.id, Epoch: rec.Epoch, Detection: &rec})
+	return rec
+}
+
+// DetectionCaptured is Detection plus the DVR half: the triggering IQ
+// burst rides along (core's capture hook), and the hub banks it as a
+// snippet keyed by the detection's sequence number. The burst buffer is
+// owned by the session and reused — the store's append contract is to
+// copy, never retain.
+func (h *Hub) DetectionCaptured(st *Stream, d core.Detection, span iq.Interval, burst iq.Samples) {
+	rec := h.detection(st, d)
+	base := st.absBase.Load()
+	snip := history.Snippet{
+		Seq:       h.seq.Add(1),
+		Stream:    st.id,
+		Detection: rec.Seq,
+		Epoch:     rec.Epoch,
+		Rate:      h.clock.Rate,
+		Start:     base + int64(span.Start),
+		End:       base + int64(span.End),
+		IQ:        burst,
+	}
+	if err := h.store.AppendSnippet(&snip); err != nil {
+		h.storeErrs.Inc()
+	}
 }
 
 // Packet records one decoded packet, reusing the offline packet-log
 // record as the single packet schema.
 func (h *Hub) Packet(st *Stream, p demod.Packet) {
-	ev := PacketEvent{Stream: st.id, PacketRecord: trace.NewPacketRecord(h.clock, p)}
+	ev := PacketEvent{Seq: h.seq.Add(1), Stream: st.id, PacketRecord: trace.NewPacketRecord(h.clock, p)}
 	st.packets.Add(1)
 	h.pktCount.Inc()
-	h.mu.Lock()
-	h.packets.add(ev)
-	h.mu.Unlock()
-	h.broker.Publish(Event{Seq: h.seq.Add(1), Type: "packet", Stream: st.id, Epoch: st.curEpoch.Load(), Packet: &ev})
+	if err := h.store.AppendPacket(&ev); err != nil {
+		h.storeErrs.Inc()
+	}
+	h.broker.Publish(Event{Seq: ev.Seq, Type: "packet", Stream: st.id, Epoch: st.curEpoch.Load(), Packet: &ev})
+}
+
+// Tile banks one waterfall column (built by the daemon's ingest tee)
+// into the store. No live event: the SSE feed carries detections and
+// packets; tiles are history for the query API.
+func (h *Hub) Tile(t *history.Tile) {
+	t.Seq = h.seq.Add(1)
+	if err := h.store.AppendTile(t); err != nil {
+		h.storeErrs.Inc()
+	}
 }
 
 // Streams snapshots every registered stream, oldest first.
@@ -667,45 +749,21 @@ func (h *Hub) newestStream() (*Stream, bool) {
 	return fallback, fallback != nil
 }
 
-// Detections returns up to limit newest detection records (0 = all),
-// optionally filtered to one stream id (0 = all streams).
+// Detections returns up to limit newest detection records (0 = all
+// retained), optionally filtered to one stream id (0 = all streams) —
+// the legacy ring-snapshot semantics, now answered by the store.
 func (h *Hub) Detections(stream uint64, limit int) []DetectionRecord {
-	h.mu.Lock()
-	all := h.detections.snapshot()
-	h.mu.Unlock()
-	return filterTail(all, limit, func(r DetectionRecord) bool {
-		return stream == 0 || r.Stream == stream
-	})
+	return h.store.RecentDetections(stream, limit)
 }
 
 // Packets returns up to limit newest packet events, as Detections.
 func (h *Hub) Packets(stream uint64, limit int) []PacketEvent {
-	h.mu.Lock()
-	all := h.packets.snapshot()
-	h.mu.Unlock()
-	return filterTail(all, limit, func(e PacketEvent) bool {
-		return stream == 0 || e.Stream == stream
-	})
+	return h.store.RecentPackets(stream, limit)
 }
 
-// filterTail keeps matching entries, then the newest limit of them.
-func filterTail[T any](in []T, limit int, keep func(T) bool) []T {
-	out := in[:0]
-	for _, v := range in {
-		if keep(v) {
-			out = append(out, v)
-		}
-	}
-	if limit > 0 && len(out) > limit {
-		out = out[len(out)-limit:]
-	}
-	// Copy so callers never alias the ring snapshot's backing array.
-	res := make([]T, len(out))
-	copy(res, out)
-	return res
-}
-
-// ring is a fixed-capacity overwrite-oldest buffer (hub-lock guarded).
+// ring is a fixed-capacity overwrite-oldest buffer. The hub's history
+// moved behind history.Store; the ring remains the waterfall tee's
+// building block and a tested primitive.
 type ring[T any] struct {
 	buf  []T
 	next int

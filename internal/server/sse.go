@@ -17,8 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rfdump/internal/history"
 	"rfdump/internal/metrics"
-	"rfdump/internal/trace"
 )
 
 // Event is one entry of the live feed. Type selects which payload field
@@ -44,32 +44,15 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 }
 
-// DetectionRecord is the JSON form of one fast-detector verdict.
-// Start/End are sample offsets relative to the connection (epoch) that
-// carried them; AbsStart/AbsEnd place the span on the stream's
-// transmit timeline across reconnects, which is what gap accounting
-// and cross-epoch comparisons must use.
-type DetectionRecord struct {
-	Stream     uint64  `json:"stream"`
-	Epoch      uint32  `json:"epoch,omitempty"`
-	TimeS      float64 `json:"t"`
-	Family     string  `json:"family"`
-	Detector   string  `json:"detector"`
-	Start      int64   `json:"start"`
-	End        int64   `json:"end"`
-	AbsStart   int64   `json:"abs_start"`
-	AbsEnd     int64   `json:"abs_end"`
-	Confidence float64 `json:"confidence"`
-	Channel    int     `json:"channel"`
-}
-
-// PacketEvent is one decoded packet tagged with its stream — the
-// embedded record is trace.PacketRecord, the same schema the offline
-// packet log writes, built by the same constructor.
-type PacketEvent struct {
-	Stream uint64 `json:"stream"`
-	trace.PacketRecord
-}
+// DetectionRecord and PacketEvent are the hub's record schemas, now
+// owned by the history store (the spectrum DVR): the same value the
+// live feed publishes is what the store persists and the query API
+// pages, so a replayed record is byte-identical to the one a live
+// subscriber saw.
+type (
+	DetectionRecord = history.DetectionRecord
+	PacketEvent     = history.PacketEvent
+)
 
 // Subscriber is one bounded event queue. Read Events until it is
 // unsubscribed; Dropped counts events the publisher discarded because
@@ -95,7 +78,11 @@ func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
 func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
 
 // wants reports whether the subscriber's type filter admits the event.
-func (s *Subscriber) wants(ev Event) bool { return s.types == nil || s.types[ev.Type] }
+func (s *Subscriber) wants(ev Event) bool { return s.wantsType(ev.Type) }
+
+// wantsType is wants by event type (the SSE catch-up replay filters
+// synthesized events through the same subscription filter).
+func (s *Subscriber) wantsType(t string) bool { return s.types == nil || s.types[t] }
 
 // Broker fans events out to subscribers with per-subscriber bounded
 // queues. Publish never blocks: a full queue means the event is dropped

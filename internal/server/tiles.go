@@ -1,0 +1,66 @@
+package server
+
+import (
+	"rfdump/internal/history"
+	"rfdump/internal/iq"
+)
+
+// tileBuilder folds the ingest sample flow into coarse waterfall tiles
+// for the history store: one tile per span samples, each bin the mean
+// linear power of perBin consecutive samples. It runs on the ingest
+// goroutine between block reads (like the waterfall ring tee), so the
+// per-sample work is one multiply-accumulate; the only allocation is
+// the bins slice handed to the store, once per tile (~65 ms).
+type tileBuilder struct {
+	hub    *Hub
+	st     *Stream
+	span   int // samples per tile (perBin * bins exactly)
+	bins   int
+	perBin int
+	acc    []float64
+	n      int   // samples folded into the current tile
+	off    int64 // epoch-relative offset of the current tile's first sample
+}
+
+func newTileBuilder(hub *Hub, st *Stream, span, bins int) *tileBuilder {
+	if bins > span {
+		bins = span
+	}
+	perBin := span / bins
+	return &tileBuilder{
+		hub: hub, st: st,
+		span: perBin * bins, bins: bins, perBin: perBin,
+		acc: make([]float64, bins),
+	}
+}
+
+// Append folds the next span of the stream into the builder, flushing a
+// tile to the store each time one fills.
+func (t *tileBuilder) Append(s iq.Samples) {
+	for _, v := range s {
+		re, im := real(v), imag(v)
+		t.acc[t.n/t.perBin] += float64(re*re + im*im)
+		t.n++
+		if t.n == t.span {
+			t.flush()
+		}
+	}
+}
+
+func (t *tileBuilder) flush() {
+	start := t.st.absBase.Load() + t.off
+	bins := make([]float32, t.bins)
+	for i, a := range t.acc {
+		bins[i] = float32(a / float64(t.perBin))
+		t.acc[i] = 0
+	}
+	t.hub.Tile(&history.Tile{
+		Stream:        t.st.ID(),
+		TimeS:         float64(start) / float64(t.hub.clock.Rate),
+		Start:         start,
+		SamplesPerBin: int64(t.perBin),
+		Bins:          bins,
+	})
+	t.off += int64(t.span)
+	t.n = 0
+}
