@@ -52,14 +52,16 @@ func validateFile(t *testing.T, path string) {
 	if len(report.Figure9) != 9 {
 		t.Errorf("%s: figure9 has %d rows, want 9 architectures", path, len(report.Figure9))
 	}
-	// v2 added the streaming zero-copy and wire-ingest rows; v4 adds the
-	// ingest-while-querying DVR row.
-	wantTable1 := 6
+	// v2 added the streaming zero-copy and wire-ingest rows; v4 added
+	// the ingest-while-querying DVR row; v5 adds the fused-ingest row.
+	wantTable1 := 7
 	switch report.Schema {
 	case experiments.BenchSchemaV1:
 		wantTable1 = 3
 	case experiments.BenchSchemaV2, experiments.BenchSchemaV3:
 		wantTable1 = 5
+	case experiments.BenchSchemaV4:
+		wantTable1 = 6
 	}
 	if len(report.Table1) != wantTable1 {
 		t.Errorf("%s: table1 has %d rows, want %d blocks", path, len(report.Table1), wantTable1)

@@ -1,0 +1,142 @@
+// Command rfdumpc is the cluster aggregator: one daemon that watches a
+// fleet of rfdumpd sensors and serves their combined view of the ether
+// through the same API a single rfdumpd serves. Radios with
+// overlapping coverage hear — and report — the same packets; rfdumpc
+// subscribes to every node's live feed, fuses detections of the same
+// over-the-air event across sensors (keeping each sensor's sighting as
+// evidence), and re-exports /api/streams, /api/detections and
+// /api/live so fleet-unaware clients work unchanged.
+//
+// Usage:
+//
+//	rfdumpc -nodes lab1=10.0.0.1:7532,lab2=10.0.0.2:7532
+//	rfdumpc -discover :7331            # nodes announce themselves
+//	                                   # (rfdumpd -announce host:7331)
+//
+// Then:
+//
+//	curl localhost:7533/api/nodes                 # fleet + subscription state
+//	curl localhost:7533/api/streams               # all sensors' streams
+//	curl localhost:7533/api/detections            # fused, deduplicated
+//	curl "localhost:7533/api/detections?evidence=1"  # per-sensor evidence
+//	curl -N localhost:7533/api/live               # fused SSE feed
+//	curl localhost:7533/healthz                   # 503 while a node is down
+//
+// Static -nodes and -discover compose: static nodes are permanent,
+// discovered nodes come and go with their beacons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfdump/internal/cluster"
+	"rfdump/internal/metrics"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:7533", "HTTP API address")
+		nodes    = flag.String("nodes", "", "static fleet: comma list of name=host:port rfdumpd API addresses")
+		discover = flag.String("discover", "", "listen for node beacons on this UDP address (rfdumpd -announce target)")
+		ttl      = flag.Duration("discover-ttl", 6*time.Second, "expire a discovered node after this long without a beacon")
+		overlap  = flag.Float64("match-overlap", 0.5, "fraction of the shorter span two sightings must overlap to fuse")
+		slack    = flag.Int64("match-slack", 64, "clock-skew allowance in sample ticks when matching spans across sensors")
+		lookback = flag.Int("match-lookback", 512, "recent fused detections scanned per match (the reorder horizon)")
+		ledger   = flag.Int("ledger-cap", 65536, "retained fused detections (oldest evicted)")
+		queue    = flag.Int("sse-queue", 256, "per-subscriber live-feed queue length (slow clients drop past this)")
+		sseEvict = flag.Int("sse-evict", 1024, "consecutive live-feed drops before a slow subscriber is evicted (negative disables)")
+		shards   = flag.Int("sse-shards", 0, "subscriber map shards for fan-out (0 = one per core)")
+		stall    = flag.Duration("stall-after", 5*time.Second, "/healthz degrades when a node subscription is down this long")
+	)
+	flag.Parse()
+
+	if *nodes == "" && *discover == "" {
+		fmt.Fprintln(os.Stderr, "rfdumpc: need -nodes and/or -discover (an aggregator with no fleet watches nothing)")
+		os.Exit(2)
+	}
+
+	reg := metrics.NewRegistry()
+	agg := cluster.NewAggregator(cluster.AggregatorConfig{
+		Match: cluster.MatchConfig{
+			MinOverlap: *overlap,
+			SlackTicks: *slack,
+			Lookback:   *lookback,
+			LedgerCap:  *ledger,
+		},
+		SSEQueue:   *queue,
+		EvictAfter: *sseEvict,
+		Shards:     *shards,
+		StallAfter: *stall,
+		Registry:   reg,
+	})
+
+	n := 0
+	for _, spec := range strings.Split(*nodes, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		name, api, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || api == "" {
+			fmt.Fprintf(os.Stderr, "rfdumpc: bad -nodes entry %q (want name=host:port)\n", spec)
+			os.Exit(2)
+		}
+		agg.Add(name, api)
+		n++
+	}
+
+	var disc *cluster.Discoverer
+	if *discover != "" {
+		var err error
+		disc, err = cluster.NewDiscoverer(cluster.DiscoverConfig{
+			Listen:   *discover,
+			TTL:      *ttl,
+			OnNode:   agg.Discovered,
+			Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdumpc: discover:", err)
+			os.Exit(1)
+		}
+	}
+
+	apiLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdumpc: http listen:", err)
+		os.Exit(1)
+	}
+	api := &http.Server{Handler: agg.Handler()}
+	go func() {
+		if err := api.Serve(apiLn); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "rfdumpc: http:", err)
+		}
+	}()
+	switch {
+	case disc != nil:
+		fmt.Fprintf(os.Stderr, "rfdumpc: API on http://%s, %d static nodes, discovering on %s\n",
+			apiLn.Addr(), n, disc.Addr())
+	default:
+		fmt.Fprintf(os.Stderr, "rfdumpc: API on http://%s, %d static nodes\n", apiLn.Addr(), n)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "rfdumpc: signal — shutting down")
+	if disc != nil {
+		_ = disc.Close()
+	}
+	agg.Close()
+	_ = api.Close()
+
+	fused := reg.Counter("cluster/detections_fused").Load()
+	merged := reg.Counter("cluster/evidence_merged").Load()
+	fmt.Fprintf(os.Stderr, "rfdumpc: done: %d fused detections, %d cross-sensor merges\n", fused, merged)
+}

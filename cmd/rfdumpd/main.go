@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"rfdump/internal/cluster"
 	"rfdump/internal/core"
 	"rfdump/internal/experiments"
 	"rfdump/internal/flowgraph"
@@ -79,6 +80,9 @@ func main() {
 		queue     = flag.Int("sse-queue", 256, "per-subscriber live-feed queue length (slow clients drop past this)")
 		sseEvict  = flag.Int("sse-evict", 0, "consecutive live-feed drops before a slow subscriber is evicted (0 = 4x queue, negative disables)")
 		idleTO    = flag.Duration("idle-timeout", 45*time.Second, "reap ingest connections silent (no frame, no heartbeat) this long; 0 disables")
+		nodeID    = flag.String("node", "", "fleet-unique node id for cluster discovery (default: hostname)")
+		announce  = flag.String("announce", "", "announce this node to an rfdumpc discoverer at this UDP address (empty disables)")
+		announceI = flag.Duration("announce-interval", 2*time.Second, "beacon interval with -announce")
 		stall     = flag.Duration("stall-after", server.DefaultStallAfter, "/healthz reports stalled when an active stream is silent this long; negative disables")
 		quiet     = flag.Bool("q", false, "suppress per-stream log lines")
 
@@ -187,6 +191,31 @@ func main() {
 	}()
 	fmt.Fprintf(os.Stderr, "rfdumpd: ingest on %s, API on http://%s (rate %d Hz, detectors %s)\n",
 		ingest.Addr(), apiLn.Addr(), *rate, *detectors)
+
+	// Cluster beacon: announce the bound API address (its wildcard host
+	// is fine — the discoverer substitutes the datagram's source IP).
+	if *announce != "" {
+		node := *nodeID
+		if node == "" {
+			node, _ = os.Hostname()
+		}
+		ann, err := cluster.NewAnnouncer(cluster.AnnounceConfig{
+			Target:   *announce,
+			Node:     node,
+			API:      apiLn.Addr().String(),
+			Interval: *announceI,
+			Info: func() (int, int) {
+				return *rate, len(d.Hub().Streams())
+			},
+			Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdumpd: announce:", err)
+			os.Exit(1)
+		}
+		defer ann.Close()
+		fmt.Fprintf(os.Stderr, "rfdumpd: announcing as %q to %s every %s\n", node, *announce, *announceI)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

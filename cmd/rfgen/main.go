@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"rfdump/internal/chaos"
@@ -51,7 +54,11 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "PRNG seed")
 		scale   = flag.Float64("scale", 0.25, "scale for the realworld profile")
 
-		streamTo = flag.String("stream", "", "transmit the trace to an rfdumpd ingest address instead of writing files")
+		sensors  = flag.Int("sensors", 1, "render the same ether at N sensor positions, emitting N synchronized traces")
+		pathLoss = flag.String("path-loss", "", "comma list of per-sensor path loss in dB (default: 3 dB per position)")
+		skew     = flag.String("skew", "", "comma list of per-sensor clock skew in samples (default: 16 per position)")
+
+		streamTo = flag.String("stream", "", "transmit the trace to an rfdumpd ingest address instead of writing files; with -sensors, a comma list (one address per sensor, or one address reused)")
 		realtime = flag.Bool("realtime", false, "pace transmission at the trace's sample rate (with -stream)")
 		frameLen = flag.Int("frame-samples", wire.DefaultFrameSamples, "samples per wire frame (with -stream)")
 		streamID = flag.Uint("stream-id", 1, "wire stream id (with -stream)")
@@ -76,21 +83,31 @@ func main() {
 		}
 	}
 
+	opts := txOptions{
+		realtime:  *realtime,
+		reconnect: *reconnect,
+		heartbeat: *heartbeat,
+		dialTO:    *dialTO,
+		writeTO:   *writeTO,
+		maxDown:   *maxDown,
+		chaosSpec: *chaosSpec,
+	}
+	if *sensors > 1 {
+		if err := runMultiSensor(*profile, *snr, *pings, *seed, *scale,
+			*sensors, *pathLoss, *skew,
+			*out, *streamTo, uint32(*streamID), *center, *frameLen, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "rfgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := generate(*profile, *snr, *pings, *seed, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfgen:", err)
 		os.Exit(1)
 	}
 	if *streamTo != "" {
-		opts := txOptions{
-			realtime:  *realtime,
-			reconnect: *reconnect,
-			heartbeat: *heartbeat,
-			dialTO:    *dialTO,
-			writeTO:   *writeTO,
-			maxDown:   *maxDown,
-			chaosSpec: *chaosSpec,
-		}
 		if err := transmit(res, *streamTo, uint32(*streamID), *center, *frameLen, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "rfgen:", err)
 			os.Exit(1)
@@ -244,6 +261,19 @@ func transmit(res *ether.Result, target string, streamID uint32, centerHz uint64
 }
 
 func generate(profile string, snr float64, pings int, seed uint64, scale float64) (*ether.Result, error) {
+	cfg, pre, err := buildConfig(profile, snr, pings, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	if pre != nil {
+		return pre, nil
+	}
+	return ether.Run(*cfg)
+}
+
+// buildConfig resolves a profile into an ether.Config, or (for profiles
+// that generate a finished trace directly) a pre-rendered result.
+func buildConfig(profile string, snr float64, pings int, seed uint64, scale float64) (*ether.Config, *ether.Result, error) {
 	cfg := ether.Config{SNRdB: snr, Seed: seed}
 	switch profile {
 	case "broadcast":
@@ -264,24 +294,148 @@ func generate(profile string, snr float64, pings int, seed uint64, scale float64
 			},
 		}
 	case "realworld":
-		return experiments.RealWorldTrace(experiments.Options{Seed: seed, Scale: scale})
+		res, err := experiments.RealWorldTrace(experiments.Options{Seed: seed, Scale: scale})
+		return nil, res, err
 	default:
 		// Single-protocol profiles resolve through the module registry:
 		// any registered key or alias with a traffic fragment works, so
 		// a newly registered protocol is generatable with no rfgen edits.
 		m, ok := protocols.ModuleByKey(profile)
 		if !ok || !m.HasTraffic() {
-			return nil, fmt.Errorf("unknown profile %q (module keys: see rfdumpd /api/protocols; composites: broadcast mix realworld)", profile)
+			return nil, nil, fmt.Errorf("unknown profile %q (module keys: see rfdumpd /api/protocols; composites: broadcast mix realworld)", profile)
 		}
 		tr := m.NewTraffic(protocols.TrafficOptions{Count: pings})
 		for _, src := range tr.Sources {
 			ms, ok := src.(mac.Source)
 			if !ok {
-				return nil, fmt.Errorf("profile %q: traffic source %T does not implement mac.Source", profile, src)
+				return nil, nil, fmt.Errorf("profile %q: traffic source %T does not implement mac.Source", profile, src)
 			}
 			cfg.Sources = append(cfg.Sources, ms)
 		}
 		cfg.Duration = tr.Duration
 	}
-	return ether.Run(cfg)
+	return &cfg, nil, nil
+}
+
+// sensorSet builds the N sensor positions from the -path-loss and
+// -skew lists; unlisted positions default to 3 dB extra loss and 16
+// ticks extra skew per step away from the reference sensor.
+func sensorSet(n int, pathLoss, skew string) ([]ether.Sensor, error) {
+	losses, err := parseFloatList(pathLoss)
+	if err != nil {
+		return nil, fmt.Errorf("-path-loss: %w", err)
+	}
+	skews, err := parseFloatList(skew)
+	if err != nil {
+		return nil, fmt.Errorf("-skew: %w", err)
+	}
+	out := make([]ether.Sensor, n)
+	for i := range out {
+		out[i] = ether.Sensor{
+			Name:       fmt.Sprintf("s%d", i),
+			PathLossdB: 3 * float64(i),
+			ClockSkew:  iq.Tick(16 * i),
+		}
+		if i < len(losses) {
+			out[i].PathLossdB = losses[i]
+		}
+		if i < len(skews) {
+			out[i].ClockSkew = iq.Tick(skews[i])
+		}
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sensorPath derives one sensor's trace path from -out: trace.rfd →
+// trace.s0.rfd (extensionless paths get the suffix appended).
+func sensorPath(out, name string) string {
+	if ext := filepath.Ext(out); ext != "" {
+		return strings.TrimSuffix(out, ext) + "." + name + ext
+	}
+	return out + "." + name
+}
+
+// runMultiSensor renders one ether schedule at N positions and emits N
+// synchronized outputs: trace files with per-sensor ground truth (plus
+// the master truth under <out>.truth), or N concurrent wire streams —
+// one rfdumpd target per sensor — for cluster tests.
+func runMultiSensor(profile string, snr float64, pings int, seed uint64, scale float64,
+	n int, pathLoss, skew string,
+	out, streamTo string, streamID uint32, center uint64, frameLen int, opts txOptions) error {
+	cfg, pre, err := buildConfig(profile, snr, pings, seed, scale)
+	if err != nil {
+		return err
+	}
+	if pre != nil {
+		return fmt.Errorf("profile %q pre-renders a single trace and cannot be re-rendered per sensor", profile)
+	}
+	sensors, err := sensorSet(n, pathLoss, skew)
+	if err != nil {
+		return err
+	}
+	mr, err := ether.RunSensors(*cfg, sensors)
+	if err != nil {
+		return err
+	}
+
+	if streamTo != "" {
+		targets := strings.Split(streamTo, ",")
+		if len(targets) == 1 {
+			for len(targets) < n {
+				targets = append(targets, targets[0])
+			}
+		}
+		if len(targets) != n {
+			return fmt.Errorf("-stream lists %d targets for %d sensors", len(targets), n)
+		}
+		// Transmit concurrently: the sensors heard the same air at the
+		// same time, so their streams should land together too.
+		errs := make(chan error, n)
+		for i, sr := range mr.Sensors {
+			go func(i int, sr *ether.SensorResult) {
+				res := &ether.Result{Samples: sr.Samples, Truth: sr.Truth, Clock: mr.Clock}
+				errs <- transmit(res, strings.TrimSpace(targets[i]), streamID+uint32(i), center, frameLen, opts)
+			}(i, sr)
+		}
+		for range mr.Sensors {
+			if e := <-errs; e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+
+	for _, sr := range mr.Sensors {
+		path := sensorPath(out, sr.Sensor.Name)
+		if err := trace.WriteFile(path, mr.Clock.Rate, sr.Samples); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := trace.WriteTruthFile(path+".truth", sr.Truth); err != nil {
+			return fmt.Errorf("writing truth: %w", err)
+		}
+		fmt.Printf("wrote %s: %d samples, path loss %.1f dB, skew %d samples\n",
+			path, len(sr.Samples), sr.Sensor.PathLossdB, int64(sr.Sensor.ClockSkew))
+	}
+	if err := trace.WriteTruthFile(out+".truth", mr.Truth); err != nil {
+		return fmt.Errorf("writing master truth: %w", err)
+	}
+	fmt.Printf("wrote %s.truth (master): %d transmissions across %d sensors\n",
+		out, len(mr.Truth.Records), n)
+	return nil
 }

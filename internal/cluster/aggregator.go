@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rfdump/internal/metrics"
+	"rfdump/internal/server"
+)
+
+// AggregatorConfig configures the fleet aggregator.
+type AggregatorConfig struct {
+	// Match tunes cross-sensor fusion (zero value = defaults).
+	Match MatchConfig
+	// SSEQueue / EvictAfter / Shards configure the fan-out broker
+	// (defaults 64 / 256 / per-core).
+	SSEQueue   int
+	EvictAfter int
+	Shards     int
+	// StallAfter marks a node unhealthy once its subscription has been
+	// down this long (default 5s). /healthz degrades while any node is
+	// past it and recovers when the manager reconnects.
+	StallAfter time.Duration
+	// Client, backoff and seed pass through to the Manager.
+	Client     *http.Client
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	Seed       uint64
+	// Registry receives all cluster/* and server/sse/* metrics; nil
+	// disables metrics (the /api/metricz endpoint then serves an empty
+	// snapshot).
+	Registry *metrics.Registry
+}
+
+// Aggregator is the rfdumpc core: a Manager subscribed to every known
+// rfdumpd node, a Fuser deduplicating their overlapping detections,
+// and the same /api surface rfdumpd serves — streams, detections,
+// live SSE, health — so a fleet looks to clients like one big
+// monitor. Node-local stream ids collide across a fleet, so the
+// aggregator assigns each (node, stream) pair a fleet-unique fused
+// stream id on first sight and rewrites all exported records with it.
+type Aggregator struct {
+	cfg     AggregatorConfig
+	manager *Manager
+	fuser   *Fuser
+	broker  *server.Broker
+	reg     *metrics.Registry
+
+	mu      sync.Mutex
+	streams map[string]map[uint64]uint64 // node → node stream id → fused id
+	origin  map[uint64][2]string         // fused id → {node, node stream id}
+	nextID  uint64
+}
+
+// NewAggregator builds an aggregator; Add or Discovered feed it nodes.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	if cfg.SSEQueue <= 0 {
+		cfg.SSEQueue = 64
+	}
+	if cfg.EvictAfter == 0 {
+		cfg.EvictAfter = 256
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = 5 * time.Second
+	}
+	a := &Aggregator{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		broker:  server.NewBrokerSharded(cfg.SSEQueue, cfg.EvictAfter, cfg.Shards, cfg.Registry),
+		fuser:   NewFuser(cfg.Match, cfg.Registry),
+		streams: make(map[string]map[uint64]uint64),
+		origin:  make(map[uint64][2]string),
+	}
+	a.manager = NewManager(ManagerConfig{
+		Client:     cfg.Client,
+		MinBackoff: cfg.MinBackoff,
+		MaxBackoff: cfg.MaxBackoff,
+		Seed:       cfg.Seed,
+		OnEvent:    a.onEvent,
+		OnState:    a.onState,
+		Registry:   cfg.Registry,
+	})
+	return a
+}
+
+// Add subscribes a node by id and API address (static fleet config).
+func (a *Aggregator) Add(node, api string) { a.manager.Add(node, api) }
+
+// Remove drops a node from the fleet.
+func (a *Aggregator) Remove(node string) { a.manager.Remove(node) }
+
+// Discovered is the Discoverer OnNode callback: beacons add nodes,
+// expiry removes them.
+func (a *Aggregator) Discovered(rec NodeRecord, alive bool) {
+	if alive {
+		a.manager.Add(rec.Node, rec.API)
+	} else {
+		a.manager.Remove(rec.Node)
+	}
+}
+
+// Fuser exposes the fused ledger (tests, rfbench).
+func (a *Aggregator) Fuser() *Fuser { return a.fuser }
+
+// Manager exposes subscription state (tests, health).
+func (a *Aggregator) Manager() *Manager { return a.manager }
+
+// Close stops all subscriptions.
+func (a *Aggregator) Close() { a.manager.Close() }
+
+// fusedStream maps a node-local stream id to its fleet-unique id,
+// allocating on first sight. Ids are stable for the aggregator's
+// lifetime, across node reconnects and restarts.
+func (a *Aggregator) fusedStream(node string, stream uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byNode, ok := a.streams[node]
+	if !ok {
+		byNode = make(map[uint64]uint64)
+		a.streams[node] = byNode
+	}
+	if id, ok := byNode[stream]; ok {
+		return id
+	}
+	a.nextID++
+	byNode[stream] = a.nextID
+	a.origin[a.nextID] = [2]string{node, strconv.FormatUint(stream, 10)}
+	return a.nextID
+}
+
+// onEvent is the manager sink: detections feed the fuser; fused
+// results republish on the aggregator's own live feed.
+func (a *Aggregator) onEvent(node string, ev server.Event) {
+	if ev.Type != "detection" || ev.Detection == nil {
+		return
+	}
+	stream := a.fusedStream(node, ev.Stream)
+	fd, res := a.fuser.Ingest(node, stream, ev.Detection)
+	if res == Duplicate {
+		return // replayed sighting, nothing new to publish
+	}
+	rec := fd.record()
+	typ := "detection"
+	if res == Merged {
+		// Additional evidence on an already-published event: clients
+		// counting "detection" events per over-the-air packet must not
+		// double-count, so merges go out under their own type.
+		typ = "detection-update"
+	}
+	a.broker.Publish(server.Event{
+		Seq: fd.Seq, Type: typ, Stream: rec.Stream, Detection: &rec,
+	})
+}
+
+// onState republishes node connectivity edges on the live feed.
+func (a *Aggregator) onState(node string, connected bool) {
+	typ := "node-down"
+	if connected {
+		typ = "node-up"
+	}
+	a.broker.Publish(server.Event{Type: typ, Error: node})
+}
+
+// Handler serves the aggregator API:
+//
+//	GET /api/streams    — every node's streams, fleet ids, node-tagged
+//	GET /api/detections — fused detections (?limit=, ?evidence=1 for
+//	                      full per-sensor evidence)
+//	GET /api/live       — SSE fused feed (?types=, ?since= on fused seq)
+//	GET /api/nodes      — fleet membership + subscription status
+//	GET /api/history    — fused ledger bounds (same shape a node's
+//	                      store stats endpoint serves, so an aggregator
+//	                      can itself be aggregated)
+//	GET /api/metricz    — metrics snapshot (cluster/* + server/sse/*)
+//	GET /healthz        — 503 while any node subscription is down past
+//	                      StallAfter
+//	GET /readyz         — readiness (currently always 200)
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/streams", a.handleStreams)
+	mux.HandleFunc("/api/detections", a.handleDetections)
+	mux.HandleFunc("/api/live", a.handleLive)
+	mux.HandleFunc("/api/nodes", a.handleNodes)
+	mux.HandleFunc("/api/history", a.handleHistory)
+	mux.Handle("/api/metricz", metrics.Handler(a.reg, a.refreshGauges))
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	return mux
+}
+
+func (a *Aggregator) refreshGauges() {
+	a.reg.Gauge("cluster/nodes_connected").Set(int64(a.manager.Connected()))
+	a.reg.Gauge("cluster/ledger_size").Set(int64(a.fuser.Len()))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fleetStream is a node's StreamInfo under its fleet id, tagged with
+// the node that owns it.
+type fleetStream struct {
+	server.StreamInfo
+	Node string `json:"node"`
+}
+
+// handleStreams polls every connected node's /api/streams and merges
+// the results under fleet ids. Nodes that fail to answer are skipped
+// (their subscription state shows on /api/nodes); the merged view is
+// best-effort by design — it is a monitoring surface, not a ledger.
+func (a *Aggregator) handleStreams(w http.ResponseWriter, r *http.Request) {
+	client := a.cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	out := make([]fleetStream, 0)
+	for _, st := range a.manager.Nodes() {
+		if !st.Connected {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			fmt.Sprintf("http://%s/api/streams", st.API), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Streams []server.StreamInfo `json:"streams"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, si := range body.Streams {
+			fs := fleetStream{StreamInfo: si, Node: st.Node}
+			fs.ID = a.fusedStream(st.Node, si.ID)
+			out = append(out, fs)
+		}
+	}
+	writeJSON(w, map[string]any{"streams": out})
+}
+
+func (a *Aggregator) handleDetections(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	fused := a.fuser.Recent(limit)
+	if r.URL.Query().Get("evidence") != "" {
+		writeJSON(w, map[string]any{"detections": fused})
+		return
+	}
+	// Flattened single-node schema, so fleet-unaware clients work
+	// unchanged against the aggregator.
+	recs := make([]server.DetectionRecord, len(fused))
+	for i := range fused {
+		recs[i] = fused[i].record()
+	}
+	writeJSON(w, map[string]any{"detections": recs})
+}
+
+func (a *Aggregator) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"nodes": a.manager.Nodes()})
+}
+
+func (a *Aggregator) handleHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"kind":       "fused",
+		"last_seq":   a.fuser.LastSeq(),
+		"detections": a.fuser.Len(),
+	})
+}
+
+// handleLive is the fused SSE feed, with the same contract as
+// rfdumpd's: ?types= filters, ?since= replays fused detections with
+// Seq > since from the ledger before tailing, and live events already
+// covered by the replay are skipped.
+func (a *Aggregator) handleLive(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var types []string
+	if t := r.URL.Query().Get("types"); t != "" {
+		types = strings.Split(t, ",")
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	sub := a.broker.Subscribe(types...)
+	defer a.broker.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, ": rfdumpc fused feed\n\n")
+
+	var replayed uint64
+	if r.URL.Query().Has("since") {
+		wants := func(t string) bool {
+			if len(types) == 0 {
+				return true
+			}
+			for _, x := range types {
+				if x == t {
+					return true
+				}
+			}
+			return false
+		}
+		if wants("detection") {
+			for _, fd := range a.fuser.Since(since) {
+				rec := fd.record()
+				ev := server.Event{Seq: fd.Seq, Type: "detection", Stream: rec.Stream, Detection: &rec}
+				if data, err := json.Marshal(ev); err == nil {
+					fmt.Fprintf(w, "event: detection\ndata: %s\n\n", data)
+				}
+				if fd.Seq > replayed {
+					replayed = fd.Seq
+				}
+			}
+		}
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			if ev.Type == "detection" && ev.Seq <= replayed {
+				continue // covered by the catch-up replay
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		}
+	}
+}
+
+// clusterHealth is the JSON body of the aggregator's /healthz.
+type clusterHealth struct {
+	Status string `json:"status"`
+	// Nodes / Connected count the fleet; Down lists nodes whose
+	// subscription has been broken past StallAfter.
+	Nodes     int          `json:"nodes"`
+	Connected int          `json:"connected"`
+	Down      []NodeStatus `json:"down,omitempty"`
+	// Fused ledger + dedup counters at a glance.
+	Fused      int64 `json:"fused"`
+	Merged     int64 `json:"merged"`
+	Duplicates int64 `json:"duplicates"`
+	Resets     int64 `json:"resets"`
+}
+
+func (a *Aggregator) health() clusterHealth {
+	h := clusterHealth{
+		Status:     "ok",
+		Fused:      a.reg.Counter("cluster/detections_fused").Load(),
+		Merged:     a.reg.Counter("cluster/evidence_merged").Load(),
+		Duplicates: a.reg.Counter("cluster/events_duplicate").Load(),
+		Resets:     a.reg.Counter("cluster/node_resets").Load(),
+	}
+	stall := a.cfg.StallAfter.Seconds()
+	for _, st := range a.manager.Nodes() {
+		h.Nodes++
+		if st.Connected {
+			h.Connected++
+			continue
+		}
+		if st.DownS >= stall {
+			h.Down = append(h.Down, st)
+		}
+	}
+	return h
+}
+
+// handleHealthz degrades (503) while any fleet node's subscription has
+// been down past StallAfter — mirroring rfdumpd's stall probe — and
+// recovers the moment the manager reconnects.
+func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := a.health()
+	code := http.StatusOK
+	if len(h.Down) > 0 {
+		h.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
+func (a *Aggregator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := a.health()
+	writeJSON(w, h)
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rfdump/internal/metrics"
+)
+
+// AnnounceConfig configures a node's beacon transmitter.
+type AnnounceConfig struct {
+	// Target is the UDP address beacons are sent to: a broadcast or
+	// multicast group in a real deployment, a unicast listener in
+	// tests. Required.
+	Target string
+	// Node is the fleet-unique node id; API the HTTP address to
+	// announce (the host part may be empty — receivers substitute the
+	// datagram source). Both required.
+	Node string
+	API  string
+	// Interval between beacons (default 2s). Receivers expire a node
+	// after missing ~3 intervals, so the interval bounds failover
+	// detection latency.
+	Interval time.Duration
+	// Info, if set, is polled per beacon for the advisory fields.
+	Info func() (rate, streams int)
+	// Registry receives cluster/announce metrics; nil disables.
+	Registry *metrics.Registry
+}
+
+// Announcer periodically broadcasts a node's service record. It is the
+// entire server side of discovery: stateless, connectionless, one JSON
+// datagram every interval. Lost beacons cost nothing but latency — the
+// next one re-announces everything.
+type Announcer struct {
+	cfg    AnnounceConfig
+	conn   net.Conn
+	sent   *metrics.Counter
+	beacon uint64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewAnnouncer starts announcing to cfg.Target until Close.
+func NewAnnouncer(cfg AnnounceConfig) (*Announcer, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	a := &Announcer{
+		cfg:  cfg,
+		conn: conn,
+		sent: cfg.Registry.Counter("cluster/announces_sent"),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go a.run()
+	return a, nil
+}
+
+func (a *Announcer) run() {
+	defer close(a.done)
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	a.send()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+			a.send()
+		}
+	}
+}
+
+func (a *Announcer) send() {
+	a.beacon++
+	rec := NodeRecord{
+		Magic:  BeaconMagic,
+		Node:   a.cfg.Node,
+		API:    a.cfg.API,
+		Beacon: a.beacon,
+	}
+	if a.cfg.Info != nil {
+		rec.Rate, rec.Streams = a.cfg.Info()
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if _, err := a.conn.Write(buf); err == nil {
+		a.sent.Inc()
+	}
+}
+
+// Close stops the beacon loop and releases the socket.
+func (a *Announcer) Close() error {
+	close(a.stop)
+	<-a.done
+	return a.conn.Close()
+}
+
+// DiscoverConfig configures a beacon listener.
+type DiscoverConfig struct {
+	// Listen is the UDP address to bind ("host:port"; e.g. ":7331").
+	Listen string
+	// TTL is how long a node survives without a beacon before it is
+	// expired (default 3× the 2s announce default).
+	TTL time.Duration
+	// OnNode fires on every state change: a node appearing (or its API
+	// address changing) with alive=true, and expiry with alive=false.
+	// Called from the discoverer's goroutines; must not block.
+	OnNode func(rec NodeRecord, alive bool)
+	// Registry receives cluster/discovery metrics; nil disables.
+	Registry *metrics.Registry
+}
+
+// Discoverer folds beacons into the live node set. The set is soft
+// state in the mDNS tradition: membership is exactly "announced
+// recently", so a crashed node disappears after TTL without any
+// teardown protocol, and a restarted one reappears on its first
+// beacon.
+type Discoverer struct {
+	cfg  DiscoverConfig
+	pc   net.PacketConn
+	stop chan struct{}
+	done chan struct{}
+
+	received *metrics.Counter
+	bad      *metrics.Counter
+	expired  *metrics.Counter
+	known    *metrics.Gauge
+
+	mu    sync.Mutex
+	nodes map[string]discovered
+}
+
+type discovered struct {
+	rec  NodeRecord
+	seen time.Time
+}
+
+// NewDiscoverer binds cfg.Listen and tracks announcing nodes until
+// Close.
+func NewDiscoverer(cfg DiscoverConfig) (*Discoverer, error) {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 6 * time.Second
+	}
+	pc, err := net.ListenPacket("udp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	d := &Discoverer{
+		cfg:      cfg,
+		pc:       pc,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		received: cfg.Registry.Counter("cluster/beacons_received"),
+		bad:      cfg.Registry.Counter("cluster/beacons_bad"),
+		expired:  cfg.Registry.Counter("cluster/nodes_expired"),
+		known:    cfg.Registry.Gauge("cluster/nodes_known"),
+		nodes:    make(map[string]discovered),
+	}
+	go d.listen()
+	go d.sweep()
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" in tests).
+func (d *Discoverer) Addr() net.Addr { return d.pc.LocalAddr() }
+
+func (d *Discoverer) listen() {
+	defer close(d.done)
+	buf := make([]byte, 2048)
+	for {
+		n, src, err := d.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-d.stop:
+				return
+			default:
+			}
+			d.bad.Inc()
+			continue
+		}
+		d.ingest(buf[:n], src)
+	}
+}
+
+func (d *Discoverer) ingest(buf []byte, src net.Addr) {
+	var rec NodeRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		d.bad.Inc()
+		return
+	}
+	// mDNS-style source substitution: a node that announced a bare
+	// port (or a wildcard host) gets the address it actually spoke
+	// from, which is by construction a route that reaches it.
+	if host, port, err := net.SplitHostPort(rec.API); err == nil {
+		if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+			if udp, ok := src.(*net.UDPAddr); ok {
+				rec.API = net.JoinHostPort(udp.IP.String(), port)
+			}
+		}
+	}
+	if err := rec.validate(); err != nil {
+		d.bad.Inc()
+		return
+	}
+	d.received.Inc()
+
+	d.mu.Lock()
+	prev, had := d.nodes[rec.Node]
+	d.nodes[rec.Node] = discovered{rec: rec, seen: time.Now()}
+	d.known.Set(int64(len(d.nodes)))
+	d.mu.Unlock()
+	if (!had || prev.rec.API != rec.API) && d.cfg.OnNode != nil {
+		d.cfg.OnNode(rec, true)
+	}
+}
+
+// sweep expires nodes whose beacons stopped.
+func (d *Discoverer) sweep() {
+	tick := time.NewTicker(d.cfg.TTL / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-tick.C:
+			var gone []NodeRecord
+			d.mu.Lock()
+			for id, n := range d.nodes {
+				if now.Sub(n.seen) > d.cfg.TTL {
+					delete(d.nodes, id)
+					gone = append(gone, n.rec)
+				}
+			}
+			d.known.Set(int64(len(d.nodes)))
+			d.mu.Unlock()
+			for _, rec := range gone {
+				d.expired.Inc()
+				if d.cfg.OnNode != nil {
+					d.cfg.OnNode(rec, false)
+				}
+			}
+		}
+	}
+}
+
+// Nodes snapshots the live node set, sorted by node id.
+func (d *Discoverer) Nodes() []NodeRecord {
+	d.mu.Lock()
+	out := make([]NodeRecord, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, n.rec)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Close stops listening; tracked state is discarded.
+func (d *Discoverer) Close() error {
+	close(d.stop)
+	err := d.pc.Close()
+	<-d.done
+	return err
+}

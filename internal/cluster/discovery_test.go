@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rfdump/internal/metrics"
+)
+
+// TestDiscoveryAnnounceExpire walks the full beacon lifecycle over real
+// loopback UDP: a node announces with a wildcard API host, the
+// discoverer substitutes the datagram's source address, and when the
+// beacons stop the node ages out of the set.
+func TestDiscoveryAnnounceExpire(t *testing.T) {
+	reg := metrics.NewRegistry()
+	type edge struct {
+		rec   NodeRecord
+		alive bool
+	}
+	var mu sync.Mutex
+	var edges []edge
+	disc, err := NewDiscoverer(DiscoverConfig{
+		Listen: "127.0.0.1:0",
+		TTL:    200 * time.Millisecond,
+		OnNode: func(rec NodeRecord, alive bool) {
+			mu.Lock()
+			edges = append(edges, edge{rec, alive})
+			mu.Unlock()
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+
+	ann, err := NewAnnouncer(AnnounceConfig{
+		Target:   disc.Addr().String(),
+		Node:     "lab1",
+		API:      "0.0.0.0:7532", // wildcard host: discoverer must fill in the source IP
+		Interval: 25 * time.Millisecond,
+		Info:     func() (int, int) { return 20_000_000, 2 },
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "node discovered", func() bool { return len(disc.Nodes()) == 1 })
+	rec := disc.Nodes()[0]
+	if rec.Node != "lab1" || rec.Rate != 20_000_000 || rec.Streams != 2 {
+		t.Fatalf("discovered record wrong: %+v", rec)
+	}
+	host, port, err := net.SplitHostPort(rec.API)
+	if err != nil || host != "127.0.0.1" || port != "7532" {
+		t.Fatalf("source substitution failed: API=%q", rec.API)
+	}
+
+	if err := ann.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "node expiry", func() bool { return len(disc.Nodes()) == 0 })
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(edges) != 2 || !edges[0].alive || edges[1].alive {
+		t.Fatalf("want exactly one up edge then one down edge, got %+v", edges)
+	}
+	if edges[1].rec.Node != "lab1" {
+		t.Fatalf("expiry edge for %q, want lab1", edges[1].rec.Node)
+	}
+	if got := reg.Counter("cluster/nodes_expired").Load(); got != 1 {
+		t.Fatalf("cluster/nodes_expired = %d, want 1", got)
+	}
+	if reg.Counter("cluster/beacons_received").Load() == 0 {
+		t.Fatal("no beacons counted")
+	}
+}
+
+// TestDiscoveryRejectsGarbage: datagrams that are not valid beacons —
+// broken JSON, or a record missing the protocol magic — never enter
+// the node set.
+func TestDiscoveryRejectsGarbage(t *testing.T) {
+	reg := metrics.NewRegistry()
+	called := 0
+	disc, err := NewDiscoverer(DiscoverConfig{
+		Listen:   "127.0.0.1:0",
+		TTL:      time.Second,
+		OnNode:   func(NodeRecord, bool) { called++ },
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+
+	conn, err := net.Dial("udp", disc.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("not a beacon")); err != nil {
+		t.Fatal(err)
+	}
+	wrongMagic, _ := json.Marshal(NodeRecord{Magic: "bogus/9", Node: "evil", API: "127.0.0.1:1"})
+	if _, err := conn.Write(wrongMagic); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "bad beacons counted", func() bool {
+		return reg.Counter("cluster/beacons_bad").Load() >= 2
+	})
+	if len(disc.Nodes()) != 0 || called != 0 {
+		t.Fatalf("garbage entered the node set: nodes=%d callbacks=%d", len(disc.Nodes()), called)
+	}
+}

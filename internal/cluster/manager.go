@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rfdump/internal/metrics"
+	"rfdump/internal/server"
+)
+
+// ManagerConfig configures the fleet subscription manager.
+type ManagerConfig struct {
+	// Client issues the HTTP requests (default http.DefaultClient; the
+	// SSE GET is long-lived, so the client must not set an overall
+	// request timeout).
+	Client *http.Client
+	// OnEvent receives every non-duplicate live event from every node,
+	// tagged with the node id. Called from per-node goroutines; must
+	// not block for long (it stalls only that node's feed).
+	OnEvent func(node string, ev server.Event)
+	// OnState fires on connect (true) and disconnect (false) edges.
+	OnState func(node string, connected bool)
+	// Reconnect backoff, mirroring wire.ReconnectClient's semantics:
+	// exponential from MinBackoff to MaxBackoff with ±Jitter fraction
+	// of randomization, reset to MinBackoff after a successful
+	// subscription. Defaults: 50ms, 2s, 0.25.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	Jitter     float64
+	// Seed fixes the jitter sequence (0 = a fixed default; tests can
+	// pin it).
+	Seed uint64
+	// Types filters the subscription (default "detection").
+	Types []string
+	// Registry receives cluster/subscription metrics; nil disables.
+	Registry *metrics.Registry
+}
+
+// NodeStatus is one node's subscription state for operator surfaces.
+type NodeStatus struct {
+	Node      string `json:"node"`
+	API       string `json:"api"`
+	Connected bool   `json:"connected"`
+	// LastSeq is the newest node-local event seq consumed; Resets
+	// counts detected node restarts (seq epoch resets), Events and
+	// Duplicates the per-node consume ledger.
+	LastSeq    uint64  `json:"last_seq"`
+	Resets     int64   `json:"resets"`
+	Events     int64   `json:"events"`
+	Duplicates int64   `json:"duplicates"`
+	DownS      float64 `json:"down_s,omitempty"`
+}
+
+// Manager maintains one live subscription per node in a dynamic node
+// set. Each node gets a goroutine running the subscribe loop:
+//
+//	GET /api/history                  — restart (seq-epoch) probe
+//	GET /api/live?types=…&since=<seq> — replay what we missed, then tail
+//
+// with jittered exponential backoff between attempts, exactly the
+// redial discipline wire.ReconnectClient applies on the sample path.
+//
+// The since-cursor is the dedup line within a node epoch: events at or
+// below it were already consumed and are dropped here, so OnEvent sees
+// each node-local seq at most once per epoch. Across epochs the cursor
+// is useless — a restarted rfdumpd restarts its seq allocator, and its
+// replayed history hides behind a stale high cursor (the /api/live
+// replay pages `seq > since`). The manager detects the restart by
+// probing the node's store bounds: LastSeq below our cursor can only
+// mean a new store, so the cursor resets to 0 and the node's history
+// replays in full. The replayed events are genuine duplicates of
+// already-consumed ones with different seqs — content-level dedup is
+// the fuser's job, which is why the fusion matcher is node- and
+// seq-agnostic.
+type Manager struct {
+	cfg    ManagerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	connects    *metrics.Counter
+	disconnects *metrics.Counter
+	events      *metrics.Counter
+	duplicates  *metrics.Counter
+	resets      *metrics.Counter
+	connected   *metrics.Gauge
+
+	mu    sync.Mutex
+	nodes map[string]*nodeSub
+	rng   uint64
+}
+
+type nodeSub struct {
+	node   string
+	api    string
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	connected  bool
+	lastSeq    uint64
+	resets     int64
+	events     int64
+	duplicates int64
+	downSince  time.Time
+}
+
+// NewManager starts an empty manager; Add nodes to subscribe.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.25
+	}
+	if len(cfg.Types) == 0 {
+		cfg.Types = []string{"detection"}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		connects:    cfg.Registry.Counter("cluster/node_connects"),
+		disconnects: cfg.Registry.Counter("cluster/node_disconnects"),
+		events:      cfg.Registry.Counter("cluster/events_received"),
+		duplicates:  cfg.Registry.Counter("cluster/events_duplicate"),
+		resets:      cfg.Registry.Counter("cluster/node_resets"),
+		connected:   cfg.Registry.Gauge("cluster/nodes_connected"),
+		nodes:       make(map[string]*nodeSub),
+		rng:         seed,
+	}
+}
+
+// Add starts (or re-targets) the subscription for a node. Re-adding an
+// existing node with a new API address restarts its loop but keeps its
+// seq cursor — the node itself did not restart, only its address
+// record changed.
+func (m *Manager) Add(node, api string) {
+	m.mu.Lock()
+	if old, ok := m.nodes[node]; ok {
+		if old.api == api {
+			m.mu.Unlock()
+			return
+		}
+		old.cancel()
+		old.mu.Lock()
+		last, resets := old.lastSeq, old.resets
+		events, dups := old.events, old.duplicates
+		old.mu.Unlock()
+		ctx, cancel := context.WithCancel(m.ctx)
+		ns := &nodeSub{node: node, api: api, cancel: cancel,
+			lastSeq: last, resets: resets, events: events, duplicates: dups,
+			downSince: time.Now()}
+		m.nodes[node] = ns
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.run(ctx, ns)
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	ns := &nodeSub{node: node, api: api, cancel: cancel, downSince: time.Now()}
+	m.nodes[node] = ns
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.run(ctx, ns)
+}
+
+// Remove stops a node's subscription and forgets its cursor.
+func (m *Manager) Remove(node string) {
+	m.mu.Lock()
+	ns, ok := m.nodes[node]
+	if ok {
+		delete(m.nodes, node)
+	}
+	m.mu.Unlock()
+	if ok {
+		ns.cancel()
+	}
+}
+
+// Nodes snapshots per-node subscription status, sorted by node id.
+func (m *Manager) Nodes() []NodeStatus {
+	m.mu.Lock()
+	subs := make([]*nodeSub, 0, len(m.nodes))
+	for _, ns := range m.nodes {
+		subs = append(subs, ns)
+	}
+	m.mu.Unlock()
+	out := make([]NodeStatus, 0, len(subs))
+	now := time.Now()
+	for _, ns := range subs {
+		ns.mu.Lock()
+		st := NodeStatus{
+			Node: ns.node, API: ns.api, Connected: ns.connected,
+			LastSeq: ns.lastSeq, Resets: ns.resets,
+			Events: ns.events, Duplicates: ns.duplicates,
+		}
+		if !ns.connected {
+			st.DownS = now.Sub(ns.downSince).Seconds()
+		}
+		ns.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Connected counts nodes with a live subscription.
+func (m *Manager) Connected() int {
+	n := 0
+	for _, st := range m.Nodes() {
+		if st.Connected {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops every subscription and waits for the loops to exit.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// run is the per-node subscribe loop.
+func (m *Manager) run(ctx context.Context, ns *nodeSub) {
+	defer m.wg.Done()
+	backoff := m.cfg.MinBackoff
+	for ctx.Err() == nil {
+		connected := m.subscribe(ctx, ns)
+		m.setConnected(ns, false)
+		if ctx.Err() != nil {
+			return
+		}
+		if connected {
+			backoff = m.cfg.MinBackoff // healthy session: start over
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(m.jitter(backoff)):
+		}
+		backoff *= 2
+		if backoff > m.cfg.MaxBackoff {
+			backoff = m.cfg.MaxBackoff
+		}
+	}
+}
+
+// jitter spreads a backoff by ±cfg.Jitter, xorshift64 like the wire
+// client — cheap, deterministic under a pinned seed, and keeps a fleet
+// of managers from thundering onto a node that just came back.
+func (m *Manager) jitter(d time.Duration) time.Duration {
+	if m.cfg.Jitter <= 0 {
+		return d
+	}
+	m.mu.Lock()
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	m.mu.Unlock()
+	// [-1,1) from the top 53 bits.
+	f := float64(int64(x>>11))/float64(1<<52) - 1
+	return d + time.Duration(float64(d)*m.cfg.Jitter*f)
+}
+
+// subscribe probes the node's seq epoch, opens the SSE feed at the
+// cursor, and consumes until error or cancellation. It reports whether
+// a subscription was actually established (resets the caller's
+// backoff); every exit is otherwise a retryable disconnect.
+func (m *Manager) subscribe(ctx context.Context, ns *nodeSub) bool {
+	ns.mu.Lock()
+	since := ns.lastSeq
+	ns.mu.Unlock()
+
+	// Restart probe: the store's LastSeq is monotone within one node
+	// lifetime, so seeing it below our cursor proves the node (and its
+	// seq allocator) restarted. Reset the cursor and take the full
+	// replay; the fuser dedups the overlap by content.
+	if since > 0 {
+		stats, err := m.storeStats(ctx, ns.api)
+		if err != nil {
+			return false
+		}
+		if stats.LastSeq < since {
+			ns.mu.Lock()
+			ns.lastSeq = 0
+			ns.resets++
+			ns.mu.Unlock()
+			m.resets.Inc()
+			since = 0
+		}
+	}
+
+	url := fmt.Sprintf("http://%s/api/live?types=%s&since=%d",
+		ns.api, strings.Join(m.cfg.Types, ","), since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+
+	m.setConnected(ns, true)
+	m.connects.Inc()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event: lines, comments, blank separators
+		}
+		var ev server.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		ns.mu.Lock()
+		if ev.Seq <= ns.lastSeq {
+			ns.duplicates++
+			ns.mu.Unlock()
+			m.duplicates.Inc()
+			continue
+		}
+		ns.lastSeq = ev.Seq
+		ns.events++
+		ns.mu.Unlock()
+		m.events.Inc()
+		if m.cfg.OnEvent != nil {
+			m.cfg.OnEvent(ns.node, ev)
+		}
+	}
+	return true
+}
+
+// storeStats fetches /api/history for the restart probe.
+func (m *Manager) storeStats(ctx context.Context, api string) (*storeBounds, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("http://%s/api/history", api), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: /api/history status %d", resp.StatusCode)
+	}
+	var st storeBounds
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// storeBounds is the slice of history.Stats the probe needs.
+type storeBounds struct {
+	LastSeq uint64 `json:"last_seq"`
+}
+
+func (m *Manager) setConnected(ns *nodeSub, up bool) {
+	ns.mu.Lock()
+	changed := ns.connected != up
+	ns.connected = up
+	if changed && !up {
+		ns.downSince = time.Now()
+	}
+	ns.mu.Unlock()
+	if !changed {
+		return
+	}
+	if up {
+		m.connected.Set(int64(m.Connected()))
+	} else {
+		m.disconnects.Inc()
+		m.connected.Set(int64(m.Connected()))
+	}
+	if m.cfg.OnState != nil {
+		m.cfg.OnState(ns.node, up)
+	}
+}

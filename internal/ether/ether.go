@@ -43,8 +43,10 @@ type Result struct {
 	Clock   iq.Clock
 }
 
-// Run executes the emulation.
-func Run(cfg Config) (*Result, error) {
+// schedule runs phase 1 of the emulation: every source schedules its
+// transmissions against the horizon, and the trace length is resolved
+// (auto-sized to the last transmission when cfg.Duration is 0).
+func schedule(cfg *Config) (iq.Clock, *dsp.Rand, []mac.Scheduled, iq.Tick, error) {
 	if cfg.NoiseFloorPower <= 0 {
 		cfg.NoiseFloorPower = 1.0
 	}
@@ -65,13 +67,12 @@ func Run(cfg Config) (*Result, error) {
 		SNRdB:    cfg.SNRdB,
 	}
 
-	// Phase 1: schedule everything so the trace can be auto-sized.
 	var placed []mac.Scheduled
 	var maxEnd iq.Tick
 	for _, src := range cfg.Sources {
 		scheds, err := src.Schedule(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("ether: %s: %w", src.Name(), err)
+			return clock, nil, nil, 0, fmt.Errorf("ether: %s: %w", src.Name(), err)
 		}
 		for _, sc := range scheds {
 			placed = append(placed, sc)
@@ -89,6 +90,15 @@ func Run(cfg Config) (*Result, error) {
 		if length <= 0 {
 			length = iq.Tick(clock.Rate / 100) // 10 ms of pure noise
 		}
+	}
+	return clock, rng, placed, length, nil
+}
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	clock, rng, placed, length, err := schedule(&cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 2: mix.
@@ -116,6 +126,113 @@ func Run(cfg Config) (*Result, error) {
 
 	ts.MarkCollisions()
 	return &Result{Samples: stream, Truth: ts, Clock: clock}, nil
+}
+
+// Sensor is one monitor position in a multi-sensor rendering: the same
+// ether heard through a different channel. Path loss attenuates every
+// burst's SNR at this sensor; clock skew shifts where the bursts land
+// on its sample timeline (sensors do not share a sampling clock).
+type Sensor struct {
+	// Name labels the sensor's outputs ("sensor0" when empty).
+	Name string
+	// PathLossdB is subtracted from each burst's scheduled SNR at this
+	// sensor (0 = the reference position).
+	PathLossdB float64
+	// ClockSkew offsets this sensor's sample clock in ticks: a burst
+	// scheduled at t lands at t+ClockSkew in this sensor's trace.
+	ClockSkew iq.Tick
+	// Seed drives this sensor's independent receiver noise (0 derives
+	// one from the run seed and the sensor index — two radios never
+	// share a noise floor).
+	Seed uint64
+}
+
+// SensorResult is one sensor's rendering: its trace and the ground
+// truth in its own clock (spans skew-shifted, SNRs after path loss).
+type SensorResult struct {
+	Sensor  Sensor
+	Samples iq.Samples
+	Truth   *truth.Set
+}
+
+// MultiResult is a completed multi-sensor emulation. Truth is the
+// master ground truth in the schedule's reference clock (what actually
+// happened on the air); each SensorResult holds the same events as
+// that sensor observed them.
+type MultiResult struct {
+	Sensors []*SensorResult
+	Truth   *truth.Set
+	Clock   iq.Clock
+}
+
+// RunSensors executes one emulation heard at N sensor positions: a
+// single MAC schedule (one shared reality), rendered once per sensor
+// with per-sensor path loss, clock skew and independent receiver
+// noise. This is the cluster-test substrate — N synchronized traces
+// whose detections should fuse back into exactly the master truth.
+func RunSensors(cfg Config, sensors []Sensor) (*MultiResult, error) {
+	if len(sensors) == 0 {
+		sensors = []Sensor{{}}
+	}
+	clock, _, placed, length, err := schedule(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	master := &truth.Set{TraceLen: length, Clock: clock}
+	for _, sc := range placed {
+		master.Add(truth.Record{
+			Proto:   sc.Burst.Proto,
+			Kind:    sc.Burst.Kind,
+			Span:    iq.Interval{Start: sc.Start, End: sc.End()},
+			Channel: sc.Burst.Channel,
+			SNRdB:   sc.Chan.SNRdB,
+			Frame:   sc.Burst.Frame,
+			Visible: sc.Visible,
+		})
+	}
+	master.MarkCollisions()
+
+	out := &MultiResult{Truth: master, Clock: clock}
+	for i, sen := range sensors {
+		if sen.Name == "" {
+			sen.Name = fmt.Sprintf("sensor%d", i)
+		}
+		seed := sen.Seed
+		if seed == 0 {
+			seed = cfg.Seed*0x9e3779b9 + uint64(i) + 1
+		}
+		rng := dsp.NewRand(seed)
+		stream := make(iq.Samples, length)
+		ts := &truth.Set{TraceLen: length, Clock: clock}
+		for _, sc := range placed {
+			start := sc.Start + sen.ClockSkew
+			ts.Add(truth.Record{
+				Proto:   sc.Burst.Proto,
+				Kind:    sc.Burst.Kind,
+				Span:    iq.Interval{Start: start, End: start + iq.Tick(len(sc.Burst.Samples))},
+				Channel: sc.Burst.Channel,
+				SNRdB:   sc.Chan.SNRdB - sen.PathLossdB,
+				Frame:   sc.Burst.Frame,
+				Visible: sc.Visible,
+			})
+			if !sc.Visible {
+				continue
+			}
+			// Channel.Apply scales the burst in place, so each sensor
+			// renders a private copy of the scheduled waveform.
+			b := *sc.Burst
+			b.Samples = sc.Burst.Samples.Clone()
+			ch := sc.Chan
+			ch.SNRdB -= sen.PathLossdB
+			ch.Apply(&b, cfg.NoiseFloorPower, clock.Rate)
+			stream.Add(start, b.Samples)
+		}
+		dsp.AWGN(rng, stream, cfg.NoiseFloorPower)
+		ts.MarkCollisions()
+		out.Sensors = append(out.Sensors, &SensorResult{Sensor: sen, Samples: stream, Truth: ts})
+	}
+	return out, nil
 }
 
 // Utilization returns the fraction of trace samples covered by visible

@@ -6,8 +6,10 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	"rfdump/internal/cluster"
 	"rfdump/internal/core"
 	"rfdump/internal/demod"
 	"rfdump/internal/ether"
@@ -16,22 +18,26 @@ import (
 	"rfdump/internal/iq"
 	"rfdump/internal/mac"
 	"rfdump/internal/protocols"
+	"rfdump/internal/server"
 	"rfdump/internal/wire"
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
-// by rfbench -json. Bump the suffix on incompatible changes. v4 adds
-// the sustained ingest-while-querying row (detection streaming into the
-// disk-backed history store under concurrent query load); v3 added the
-// scaling matrix (cores vs throughput for the sharded demod stage); v2
-// added allocation accounting (allocs_per_op/bytes_per_op). Older
-// documents (without the newer fields) still validate.
-const BenchSchema = "rfdump-bench/v4"
+// by rfbench -json. Bump the suffix on incompatible changes. v5 adds
+// the aggregation-tier row (cross-sensor detection fusion over the
+// sightings of two simulated nodes); v4 added the sustained
+// ingest-while-querying row (detection streaming into the disk-backed
+// history store under concurrent query load); v3 added the scaling
+// matrix (cores vs throughput for the sharded demod stage); v2 added
+// allocation accounting (allocs_per_op/bytes_per_op). Older documents
+// (without the newer fields) still validate.
+const BenchSchema = "rfdump-bench/v5"
 
-// BenchSchemaV3, BenchSchemaV2 and BenchSchemaV1 are the previous
-// schema tags, still accepted by Validate so committed historical
-// BENCH_*.json documents keep validating in CI.
+// BenchSchemaV4 through BenchSchemaV1 are the previous schema tags,
+// still accepted by Validate so committed historical BENCH_*.json
+// documents keep validating in CI.
 const (
+	BenchSchemaV4 = "rfdump-bench/v4"
 	BenchSchemaV3 = "rfdump-bench/v3"
 	BenchSchemaV2 = "rfdump-bench/v2"
 	BenchSchemaV1 = "rfdump-bench/v1"
@@ -40,8 +46,14 @@ const (
 // BenchRowIngestQuery is the Table 1 row name of the DVR contention
 // measurement: streaming detection appending every record to a segment
 // store while a client continuously pages the query API. Required at
-// schema v4.
+// schema v4+.
 const BenchRowIngestQuery = "Sustained ingest while querying (segment store)"
+
+// BenchRowFusedIngest is the Table 1 row name of the aggregation-tier
+// measurement: the real detections from the benchmark trace offered as
+// the overlapping sightings of two sensor nodes, fused and republished
+// on a live broker — the rfdumpc hot path. Required at schema v5.
+const BenchRowFusedIngest = "Fused ingest (2-node aggregation)"
 
 // BenchRecord is one measured row: a GNU-Radio-equivalent block
 // (Table 1) or a full architecture configuration (Figure 9).
@@ -106,10 +118,10 @@ func (r *BenchReport) Validate() error {
 		return fmt.Errorf("bench: nil report")
 	}
 	switch r.Schema {
-	case BenchSchema, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1:
+	case BenchSchema, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1:
 	default:
-		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q, %q)",
-			r.Schema, BenchSchema, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1)
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q, %q, %q)",
+			r.Schema, BenchSchema, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1)
 	}
 	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
@@ -146,21 +158,27 @@ func (r *BenchReport) Validate() error {
 	if err := check("figure9", r.Figure9); err != nil {
 		return err
 	}
-	if r.Schema == BenchSchema || r.Schema == BenchSchemaV3 {
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV4 || r.Schema == BenchSchemaV3 {
 		if len(r.Scaling) == 0 {
 			return fmt.Errorf("bench: schema %s document without a scaling matrix", r.Schema)
 		}
 	}
-	if r.Schema == BenchSchema {
-		found := false
+	requireRow := func(name string) error {
 		for _, rec := range r.Table1 {
-			if rec.Name == BenchRowIngestQuery {
-				found = true
-				break
+			if rec.Name == name {
+				return nil
 			}
 		}
-		if !found {
-			return fmt.Errorf("bench: schema %s document without the %q table1 row", BenchSchema, BenchRowIngestQuery)
+		return fmt.Errorf("bench: schema %s document without the %q table1 row", r.Schema, name)
+	}
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV4 {
+		if err := requireRow(BenchRowIngestQuery); err != nil {
+			return err
+		}
+	}
+	if r.Schema == BenchSchema {
+		if err := requireRow(BenchRowFusedIngest); err != nil {
+			return err
 		}
 	}
 	for i, rec := range r.Scaling {
@@ -265,9 +283,23 @@ func BenchJSON(o Options) (*BenchReport, error) {
 
 	// Streaming row: one warm-up session fills the block/scratch pools so
 	// the recorded pass reflects steady state — its allocs_per_op is the
-	// regression number for the zero-copy block path.
+	// regression number for the zero-copy block path. The warm-up pass
+	// doubles as the sighting capture for the fused-ingest row: the real
+	// detections the trace produces, recorded once, replayed later as
+	// two sensors' overlapping reports.
 	eng := core.NewEngine(res.Clock, core.TimingOnly())
-	warm, err := eng.NewSession(core.StreamConfig{})
+	var sightings []history.DetectionRecord
+	warm, err := eng.NewSession(core.StreamConfig{
+		OnDetection: func(d core.Detection) {
+			sightings = append(sightings, history.DetectionRecord{
+				Seq: uint64(len(sightings) + 1), Stream: 1,
+				TimeS:  float64(d.Span.Start) / float64(res.Clock.Rate),
+				Family: d.Family.FamilyName(), Detector: d.Detector,
+				AbsStart: int64(d.Span.Start), AbsEnd: int64(d.Span.End),
+				Confidence: d.Confidence, Channel: d.Channel,
+			})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -372,6 +404,28 @@ func BenchJSON(o Options) (*BenchReport, error) {
 		return nil, err
 	}
 
+	// Aggregation-tier row (schema v5): the captured detections offered
+	// as the interleaved live feeds of two sensor nodes with a small
+	// clock skew between them — every fused result republished on a
+	// broker with two draining subscribers, the rfdumpc ingest hot path
+	// end to end. The sighting list is prepared here so the recorded
+	// pass measures fusion and fan-out, not setup.
+	if len(sightings) == 0 {
+		return nil, fmt.Errorf("bench: warm-up pass produced no detections to fuse")
+	}
+	type sighting struct {
+		node string
+		rec  history.DetectionRecord
+	}
+	fusedFeed := make([]sighting, 0, 2*len(sightings))
+	for _, s := range sightings {
+		b := s
+		b.AbsStart += 24 // the second sensor's clock skew
+		b.AbsEnd += 24
+		b.Confidence *= 0.97 // heard a shade weaker at the far position
+		fusedFeed = append(fusedFeed, sighting{"node-a", s}, sighting{"node-b", b})
+	}
+
 	table1 := []struct {
 		name string
 		fn   func() error
@@ -439,6 +493,45 @@ func BenchJSON(o Options) (*BenchReport, error) {
 				err = qerr
 			}
 			return err
+		}},
+		{BenchRowFusedIngest, func() error {
+			fuser := cluster.NewFuser(cluster.MatchConfig{}, nil)
+			broker := server.NewBroker(256, -1, nil)
+			subs := make([]*server.Subscriber, 2)
+			var drained sync.WaitGroup
+			for i := range subs {
+				subs[i] = broker.Subscribe()
+				drained.Add(1)
+				go func(sub *server.Subscriber) {
+					defer drained.Done()
+					for range sub.Events() {
+					}
+				}(subs[i])
+			}
+			created := 0
+			for i := range fusedFeed {
+				s := &fusedFeed[i]
+				fd, res := fuser.Ingest(s.node, 1, &s.rec)
+				if res == cluster.Duplicate {
+					continue
+				}
+				typ := "detection"
+				if res == cluster.Merged {
+					typ = "detection-update"
+				}
+				broker.Publish(server.Event{Seq: fd.Seq, Type: typ, Stream: 1, Detection: &s.rec})
+				if res == cluster.Created {
+					created++
+				}
+			}
+			for _, sub := range subs {
+				broker.Unsubscribe(sub)
+			}
+			drained.Wait()
+			if created == 0 || created > len(sightings) {
+				return fmt.Errorf("bench: fused %d detections from %d sightings", created, len(sightings))
+			}
+			return nil
 		}},
 	}
 	for _, entry := range table1 {

@@ -68,8 +68,24 @@ type DiskConfig struct {
 	// CompactEvery is the background retention cadence (default 15 s;
 	// bytes-based retention also runs inline at every segment roll).
 	CompactEvery time.Duration
+	// TimeIndexStride spaces the per-segment sparse time index: one
+	// entry per this many committed bytes (default 64 KiB). Time-bounded
+	// queries (?from=) binary-search the index and start scanning at the
+	// last entry known to precede the window instead of at byte 0.
+	// Negative disables the index (every query scans whole segments —
+	// the pre-index behavior, kept reachable for benchmarking).
+	TimeIndexStride int64
 	// Registry receives history/* instruments; may be nil.
 	Registry *metrics.Registry
+}
+
+// tIdxEntry is one sparse time-index entry: every frame before off has
+// a record time ≤ maxT. maxT is a running maximum, not the time of the
+// frame at off, so the guarantee holds even when record timestamps
+// arrive out of order (multi-stream segments interleave timelines).
+type tIdxEntry struct {
+	maxT float64
+	off  int64
 }
 
 // segMeta is the in-memory index of one segment file.
@@ -84,6 +100,26 @@ type segMeta struct {
 	byType   [frameSnippet + 1]int64 // record counts indexed by frame type
 	mtime    time.Time
 	snipKeys []snipKey
+	// tIndex is the sparse time→offset index (ascending off, and maxT
+	// nondecreasing because it is a running max); idxAnchor is the
+	// offset of the newest entry, pacing the stride.
+	tIndex    []tIdxEntry
+	idxAnchor int64
+}
+
+// seekOffset returns the byte offset a scan for records with time ≥
+// from may start at: the last index entry whose running-max time is
+// still below from. Every skipped frame has a record time < from, so
+// no matching record is ever jumped over.
+func (seg *segMeta) seekOffset(from float64) int64 {
+	off := int64(0)
+	for _, e := range seg.tIndex {
+		if e.maxT >= from {
+			break
+		}
+		off = e.off
+	}
+	return off
 }
 
 // snipLoc locates one snippet frame for random access.
@@ -135,6 +171,9 @@ func OpenDisk(cfg DiskConfig) (*Disk, error) {
 	}
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 15 * time.Second
+	}
+	if cfg.TimeIndexStride == 0 {
+		cfg.TimeIndexStride = 64 << 10
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("history: %w", err)
@@ -255,6 +294,21 @@ func parseFrame(buf []byte, off int64) (ftype byte, payload []byte, next int64, 
 	return body[0], body[1:], off + 8 + length, true
 }
 
+// maybeIndexTime appends a sparse time-index entry for the frame about
+// to be indexed at off. It runs before the frame's own time folds into
+// meta.maxT, so the entry's running max covers exactly the frames
+// preceding off.
+func (d *Disk) maybeIndexTime(meta *segMeta, off int64) {
+	if d.cfg.TimeIndexStride <= 0 || meta.records == 0 {
+		return
+	}
+	if off-meta.idxAnchor < d.cfg.TimeIndexStride {
+		return
+	}
+	meta.tIndex = append(meta.tIndex, tIdxEntry{maxT: meta.maxT, off: off})
+	meta.idxAnchor = off
+}
+
 // indexFrame folds one decoded frame into the segment metadata.
 func (d *Disk) indexFrame(meta *segMeta, ftype byte, payload []byte, off int64) error {
 	var seq uint64
@@ -292,6 +346,7 @@ func (d *Disk) indexFrame(meta *segMeta, ftype byte, payload []byte, off int64) 
 		return fmt.Errorf("history: unknown frame type %d", ftype)
 	}
 	_ = stream
+	d.maybeIndexTime(meta, off)
 	meta.records++
 	meta.byType[ftype]++
 	if seq > meta.lastSeq {
@@ -352,6 +407,7 @@ func (d *Disk) append(ftype byte, seq *uint64, t float64, encode func() []byte, 
 	if _, err := d.f.Write(frame); err != nil {
 		return fmt.Errorf("history: %w", err)
 	}
+	d.maybeIndexTime(seg, off)
 	// The frame is fully on the file before the committed size moves, so
 	// a concurrent reader clipping at seg.size never sees half a frame.
 	seg.size += int64(len(frame))
@@ -547,13 +603,24 @@ func (d *Disk) snapshotSegs() []segMeta {
 // of the committed size; a segment deleted underneath them simply
 // yields nothing.
 func scanRecords(seg segMeta, want byte, fn func(payload []byte) bool) {
-	buf, err := os.ReadFile(seg.path)
+	scanRecordsFrom(seg, want, 0, fn)
+}
+
+// scanRecordsFrom is scanRecords starting at a frame-aligned byte
+// offset (a sparse time-index entry): only the tail of the file from
+// startOff to the committed size is read and parsed.
+func scanRecordsFrom(seg segMeta, want byte, startOff int64, fn func(payload []byte) bool) {
+	if startOff >= seg.size {
+		return
+	}
+	f, err := os.Open(seg.path)
 	if err != nil {
 		return
 	}
-	if int64(len(buf)) > seg.size {
-		buf = buf[:seg.size]
-	}
+	buf := make([]byte, seg.size-startOff)
+	n, _ := f.ReadAt(buf, startOff)
+	f.Close()
+	buf = buf[:n]
 	for off := int64(0); off < int64(len(buf)); {
 		ftype, payload, next, ok := parseFrame(buf, off)
 		if !ok {
@@ -591,7 +658,13 @@ func queryDisk[T any](d *Disk, want byte, q Query,
 		if !segMatches(seg, q) {
 			continue
 		}
-		scanRecords(seg, want, func(payload []byte) bool {
+		// Time-bounded queries seek via the sparse index instead of
+		// scanning the whole segment.
+		startOff := int64(0)
+		if q.From > 0 {
+			startOff = seg.seekOffset(q.From)
+		}
+		scanRecordsFrom(seg, want, startOff, func(payload []byte) bool {
 			v, ok := decode(payload)
 			if !ok {
 				return true

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rfdump/internal/metrics"
+)
+
+// TestBrokerFanout10k is the aggregation-tier scaling gate: 10k+
+// concurrent SSE subscribers must not unbound the ingest path. Half the
+// subscribers drain continuously; half never read, so every publish
+// exercises both the delivery and the drop-and-count branch. The test
+// asserts (1) publish latency stays bounded at p99 — the ingest-side
+// callback must not stall behind fan-out — and (2) drop accounting is
+// exact: each stalled subscriber keeps its queue-full events and drops
+// the rest, and the registry total equals the per-subscriber sum.
+func TestBrokerFanout10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-subscriber load test skipped in -short")
+	}
+	const (
+		nSubs   = 10_000
+		queue   = 8
+		publish = 100
+	)
+	reg := metrics.NewRegistry()
+	b := NewBroker(queue, 0, reg) // eviction off: exact drop ledger
+	if b.Shards() < 1 {
+		t.Fatalf("broker has %d shards", b.Shards())
+	}
+
+	// Stalled half: subscribe and never read. Deterministic ledger:
+	// exactly `queue` events buffered, publish-queue drops each.
+	stalled := make([]*Subscriber, 0, nSubs/2)
+	for i := 0; i < nSubs/2; i++ {
+		stalled = append(stalled, b.Subscribe())
+	}
+	// Draining half: a pool of readers consuming as fast as they can.
+	var wg sync.WaitGroup
+	var drainTotal int64
+	drained := make([]int64, nSubs/2)
+	for i := 0; i < nSubs/2; i++ {
+		s := b.Subscribe()
+		wg.Add(1)
+		go func(i int, s *Subscriber) {
+			defer wg.Done()
+			for range s.Events() {
+				drained[i]++
+			}
+		}(i, s)
+	}
+	if got := b.Subscribers(); got != nSubs {
+		t.Fatalf("Subscribers() = %d, want %d", got, nSubs)
+	}
+
+	// While publishing, keep subscriber churn running on the side: the
+	// sharded maps must absorb Subscribe/Unsubscribe without stalling
+	// the publish path behind a global write lock.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for {
+				select {
+				case <-churnStop:
+					return
+				default:
+				}
+				s := b.Subscribe("packet") // filtered out: no ledger impact
+				b.Unsubscribe(s)
+			}
+		}()
+	}
+
+	lat := make([]time.Duration, publish)
+	ev := Event{Type: "detection", Detection: &DetectionRecord{Family: "wifi"}}
+	for i := 0; i < publish; i++ {
+		ev.Seq = uint64(i + 1)
+		start := time.Now()
+		b.Publish(ev)
+		lat[i] = time.Since(start)
+	}
+	close(churnStop)
+	churnWG.Wait()
+
+	// Exact ledger on the stalled half: queue events retained, the rest
+	// dropped, per subscriber and in aggregate.
+	wantDrop := int64(publish - queue)
+	var totalDropped int64
+	for i, s := range stalled {
+		if got := s.Dropped(); got != wantDrop {
+			t.Fatalf("stalled sub %d: Dropped() = %d, want %d", i, got, wantDrop)
+		}
+		if got := len(s.ch); got != queue {
+			t.Fatalf("stalled sub %d: %d queued, want %d", i, got, queue)
+		}
+		totalDropped += s.Dropped()
+		b.Unsubscribe(s)
+	}
+	// Draining half: readers may also drop under burst, but every event
+	// is accounted for exactly once — delivered or dropped. Close their
+	// channels so the readers exit, then sum the ledgers.
+	var drainDropped int64
+	subsSnapshot := make([]*Subscriber, 0, nSubs/2)
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for s := range sh.subs {
+			subsSnapshot = append(subsSnapshot, s)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, s := range subsSnapshot {
+		b.Unsubscribe(s)
+	}
+	wg.Wait()
+	for i := range drained {
+		drainTotal += drained[i]
+	}
+	for _, s := range subsSnapshot {
+		drainDropped += s.Dropped()
+	}
+	if got, want := drainTotal+drainDropped, int64(nSubs/2*publish); got != want {
+		t.Fatalf("draining half accounting: delivered %d + dropped %d = %d, want %d",
+			drainTotal, drainDropped, got, want)
+	}
+	regDropped := reg.Counter("server/sse/dropped_events").Load()
+	if got, want := regDropped, totalDropped+drainDropped; got != want {
+		t.Fatalf("registry dropped_events = %d, want per-subscriber sum %d", got, want)
+	}
+	if got := reg.Counter("server/sse/events").Load(); got != publish {
+		t.Fatalf("registry sse/events = %d, want %d", got, publish)
+	}
+	if got := b.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() = %d after teardown, want 0", got)
+	}
+
+	// Bounded ingest-path latency: p99 of a 10k-wide fan-out publish.
+	// The bound is deliberately loose (CI machines vary wildly) — it
+	// exists to catch a publish path that blocks on a subscriber or a
+	// churn lock, which shows up as seconds, not milliseconds.
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99 := lat[publish/2], lat[publish*99/100-1]
+	t.Logf("fanout %d subs × %d events on %d shards (%d cores): publish p50=%v p99=%v",
+		nSubs, publish, b.Shards(), runtime.GOMAXPROCS(0), p50, p99)
+	if limit := 250 * time.Millisecond; p99 > limit {
+		t.Fatalf("publish p99 = %v exceeds %v: ingest path is not bounded", p99, limit)
+	}
+}
+
+// TestBrokerShardDistribution pins the round-robin shard assignment:
+// subscribers spread evenly, so no shard becomes the old global lock in
+// disguise.
+func TestBrokerShardDistribution(t *testing.T) {
+	b := NewBrokerSharded(1, 0, 8, nil)
+	const n = 800
+	for i := 0; i < n; i++ {
+		b.Subscribe()
+	}
+	for i, sh := range b.shards {
+		sh.mu.RLock()
+		got := len(sh.subs)
+		sh.mu.RUnlock()
+		if got != n/8 {
+			t.Fatalf("shard %d holds %d subscribers, want %d", i, got, n/8)
+		}
+	}
+}
+
+// TestBrokerShardedEviction re-checks the consecutive-drop eviction
+// contract on a multi-shard broker: eviction must use the subscriber's
+// home shard, not whichever shard the publisher is iterating.
+func TestBrokerShardedEviction(t *testing.T) {
+	b := NewBrokerSharded(1, 3, 4, nil)
+	subs := make([]*Subscriber, 16)
+	for i := range subs {
+		subs[i] = b.Subscribe()
+	}
+	for i := 0; i < 4; i++ {
+		b.Publish(Event{Seq: uint64(i + 1), Type: "detection"})
+	}
+	// Queue length 1: first publish delivered, next three dropped →
+	// every subscriber crosses the 3-consecutive-drop budget.
+	for i, s := range subs {
+		if !s.Evicted() {
+			t.Fatalf("sub %d not evicted after 3 consecutive drops", i)
+		}
+		if _, ok := <-s.ch; ok {
+			// first buffered event
+		} else {
+			t.Fatalf("sub %d: channel closed before buffered event read", i)
+		}
+		if _, ok := <-s.ch; ok {
+			t.Fatalf("sub %d: unexpected second event", i)
+		}
+	}
+	if got := b.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() = %d after eviction, want 0", got)
+	}
+}

@@ -14,6 +14,7 @@
 package server
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +63,7 @@ type (
 type Subscriber struct {
 	ch      chan Event
 	types   map[string]bool // nil = all types
+	shard   *brokerShard    // home shard, for O(1) unsubscribe
 	dropped atomic.Int64
 	lag     atomic.Int64 // consecutive drops; reset on delivery
 	evicted atomic.Bool
@@ -84,6 +86,15 @@ func (s *Subscriber) wants(ev Event) bool { return s.wantsType(ev.Type) }
 // synthesized events through the same subscription filter).
 func (s *Subscriber) wantsType(t string) bool { return s.types == nil || s.types[t] }
 
+// brokerShard is one shared-nothing slice of the subscriber set: its
+// own map under its own lock. Nothing is shared between shards but the
+// broker's counters (which are atomic), so subscriber churn on one
+// shard never contends with publishes draining another.
+type brokerShard struct {
+	mu   sync.RWMutex
+	subs map[*Subscriber]struct{}
+}
+
 // Broker fans events out to subscribers with per-subscriber bounded
 // queues. Publish never blocks: a full queue means the event is dropped
 // for that subscriber and counted, both per-subscriber and in the
@@ -93,12 +104,23 @@ func (s *Subscriber) wantsType(t string) bool { return s.types == nil || s.types
 // broker also enforces bounded lag: a subscriber that drops evictAfter
 // events consecutively is evicted — unsubscribed, channel closed,
 // counted in "server/conns_evicted".
+//
+// The subscriber set is sharded: round-robin assignment into N
+// shared-nothing maps, each under its own RWMutex. With one map and one
+// lock, every Subscribe/Unsubscribe (write lock) serializes against
+// every in-flight Publish (read lock) — at aggregation-tier fan-out
+// (tens of thousands of SSE clients connecting and disconnecting
+// continuously) that single lock is the ingest path's bottleneck.
+// Sharding cuts the contention domain by N: churn on one shard stalls
+// only 1/N of a publish, and publishes hold each shard lock only long
+// enough to drain that shard's subscribers.
 type Broker struct {
 	queue      int
 	evictAfter int // consecutive drops before eviction; 0 disables
 
-	mu   sync.RWMutex
-	subs map[*Subscriber]struct{}
+	shards []*brokerShard
+	rr     atomic.Uint64 // round-robin shard assignment
+	count  atomic.Int64  // live subscribers across all shards
 
 	published  *metrics.Counter
 	dropped    *metrics.Counter
@@ -106,81 +128,123 @@ type Broker struct {
 	gauge      *metrics.Gauge
 }
 
+// defaultBrokerShards sizes the shard set to the machine: one shard per
+// core, capped — past ~16 shards the per-shard maps are so small that
+// more sharding only adds iteration overhead.
+func defaultBrokerShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
 // NewBroker returns a broker handing each subscriber a queue of the
-// given length (minimum 1). evictAfter is the consecutive-drop budget
-// before a subscriber is evicted (0 disables eviction). reg may be nil.
+// given length (minimum 1), sharded for this machine's core count.
+// evictAfter is the consecutive-drop budget before a subscriber is
+// evicted (0 disables eviction). reg may be nil.
 func NewBroker(queue, evictAfter int, reg *metrics.Registry) *Broker {
+	return NewBrokerSharded(queue, evictAfter, 0, reg)
+}
+
+// NewBrokerSharded is NewBroker with an explicit shard count (≤0 takes
+// the machine default).
+func NewBrokerSharded(queue, evictAfter, shards int, reg *metrics.Registry) *Broker {
 	if queue < 1 {
 		queue = 1
 	}
 	if evictAfter < 0 {
 		evictAfter = 0
 	}
-	return &Broker{
+	if shards <= 0 {
+		shards = defaultBrokerShards()
+	}
+	b := &Broker{
 		queue:      queue,
 		evictAfter: evictAfter,
-		subs:       make(map[*Subscriber]struct{}),
+		shards:     make([]*brokerShard, shards),
 		published:  reg.Counter("server/sse/events"),
 		dropped:    reg.Counter("server/sse/dropped_events"),
 		evictCount: reg.Counter("server/conns_evicted"),
 		gauge:      reg.Gauge("server/sse/subscribers"),
 	}
+	for i := range b.shards {
+		b.shards[i] = &brokerShard{subs: make(map[*Subscriber]struct{})}
+	}
+	return b
 }
+
+// Shards returns the shard count (observability; fixed for the
+// broker's lifetime).
+func (b *Broker) Shards() int { return len(b.shards) }
+
+// Subscribers returns the current live subscriber count.
+func (b *Broker) Subscribers() int64 { return b.count.Load() }
 
 // Subscribe registers a new queue. An empty types list subscribes to
 // every event type.
 func (b *Broker) Subscribe(types ...string) *Subscriber {
-	s := &Subscriber{ch: make(chan Event, b.queue)}
+	sh := b.shards[b.rr.Add(1)%uint64(len(b.shards))]
+	s := &Subscriber{ch: make(chan Event, b.queue), shard: sh}
 	if len(types) > 0 {
 		s.types = make(map[string]bool, len(types))
 		for _, t := range types {
 			s.types[t] = true
 		}
 	}
-	b.mu.Lock()
-	b.subs[s] = struct{}{}
-	b.gauge.Set(int64(len(b.subs)))
-	b.mu.Unlock()
+	sh.mu.Lock()
+	sh.subs[s] = struct{}{}
+	sh.mu.Unlock()
+	b.gauge.Set(b.count.Add(1))
 	return s
 }
 
 // Unsubscribe removes the queue and closes its channel.
 func (b *Broker) Unsubscribe(s *Subscriber) {
-	b.mu.Lock()
-	if _, ok := b.subs[s]; ok {
-		delete(b.subs, s)
+	sh := s.shard
+	sh.mu.Lock()
+	_, ok := sh.subs[s]
+	if ok {
+		delete(sh.subs, s)
 		close(s.ch)
 	}
-	b.gauge.Set(int64(len(b.subs)))
-	b.mu.Unlock()
+	sh.mu.Unlock()
+	if ok {
+		b.gauge.Set(b.count.Add(-1))
+	}
 }
 
 // Publish delivers the event to every subscriber whose queue has room;
 // the rest drop-and-count, and a subscriber that exhausts the
 // consecutive-drop budget is evicted. It runs on pipeline callback
 // goroutines and must never block — evictions are collected under the
-// read lock and applied after it.
+// per-shard read locks and applied after them.
 func (b *Broker) Publish(ev Event) {
 	b.published.Inc()
 	var evictees []*Subscriber
-	b.mu.RLock()
-	for s := range b.subs {
-		if !s.wants(ev) {
-			continue
-		}
-		select {
-		case s.ch <- ev:
-			s.lag.Store(0)
-		default:
-			s.dropped.Add(1)
-			b.dropped.Inc()
-			if b.evictAfter > 0 && s.lag.Add(1) >= int64(b.evictAfter) &&
-				s.evicted.CompareAndSwap(false, true) {
-				evictees = append(evictees, s)
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for s := range sh.subs {
+			if !s.wants(ev) {
+				continue
+			}
+			select {
+			case s.ch <- ev:
+				s.lag.Store(0)
+			default:
+				s.dropped.Add(1)
+				b.dropped.Inc()
+				if b.evictAfter > 0 && s.lag.Add(1) >= int64(b.evictAfter) &&
+					s.evicted.CompareAndSwap(false, true) {
+					evictees = append(evictees, s)
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
-	b.mu.RUnlock()
 	for _, s := range evictees {
 		b.evictCount.Inc()
 		b.Unsubscribe(s)
