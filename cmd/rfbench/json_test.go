@@ -53,8 +53,9 @@ func validateFile(t *testing.T, path string) {
 		t.Errorf("%s: figure9 has %d rows, want 9 architectures", path, len(report.Figure9))
 	}
 	// v2 added the streaming zero-copy and wire-ingest rows; v4 added
-	// the ingest-while-querying DVR row; v5 adds the fused-ingest row.
-	wantTable1 := 7
+	// the ingest-while-querying DVR row; v5 added the fused-ingest row;
+	// v6 adds the broker-tree row.
+	wantTable1 := 8
 	switch report.Schema {
 	case experiments.BenchSchemaV1:
 		wantTable1 = 3
@@ -62,6 +63,8 @@ func validateFile(t *testing.T, path string) {
 		wantTable1 = 5
 	case experiments.BenchSchemaV4:
 		wantTable1 = 6
+	case experiments.BenchSchemaV5:
+		wantTable1 = 7
 	}
 	if len(report.Table1) != wantTable1 {
 		t.Errorf("%s: table1 has %d rows, want %d blocks", path, len(report.Table1), wantTable1)

@@ -1,22 +1,28 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
-	"strings"
-	"sync"
 	"time"
 
+	"rfdump/internal/history"
 	"rfdump/internal/metrics"
 	"rfdump/internal/server"
+	"rfdump/internal/serving"
 )
 
 // AggregatorConfig configures the fleet aggregator.
 type AggregatorConfig struct {
 	// Match tunes cross-sensor fusion (zero value = defaults).
 	Match MatchConfig
+	// Store persists the fused ledger WAL (nil = in-memory; a
+	// disk-backed store survives SIGKILL with bounds, seqs and dedup
+	// state intact). The aggregator owns it and closes it in Close.
+	Store history.Store
 	// SSEQueue / EvictAfter / Shards configure the fan-out broker
 	// (defaults 64 / 256 / per-core).
 	SSEQueue   int
@@ -26,11 +32,23 @@ type AggregatorConfig struct {
 	// down this long (default 5s). /healthz degrades while any node is
 	// past it and recovers when the manager reconnects.
 	StallAfter time.Duration
+	// StreamsTimeout bounds the per-node /api/streams fan-out poll
+	// (default 2s): one stalled node delays the merged view at most
+	// this long and lands in the response's per-node error map instead
+	// of hanging every caller.
+	StreamsTimeout time.Duration
+	// QueryRPS / QueryBurst rate-limit the DVR query endpoints per
+	// client host, as on rfdumpd (defaults 20 rps, burst 40; negative
+	// RPS disables).
+	QueryRPS   float64
+	QueryBurst int
 	// Client, backoff and seed pass through to the Manager.
 	Client     *http.Client
 	MinBackoff time.Duration
 	MaxBackoff time.Duration
 	Seed       uint64
+	// Clock passes through to the Manager (default SystemClock).
+	Clock Clock
 	// Registry receives all cluster/* and server/sse/* metrics; nil
 	// disables metrics (the /api/metricz endpoint then serves an empty
 	// snapshot).
@@ -38,27 +56,29 @@ type AggregatorConfig struct {
 }
 
 // Aggregator is the rfdumpc core: a Manager subscribed to every known
-// rfdumpd node, a Fuser deduplicating their overlapping detections,
-// and the same /api surface rfdumpd serves — streams, detections,
-// live SSE, health — so a fleet looks to clients like one big
-// monitor. Node-local stream ids collide across a fleet, so the
-// aggregator assigns each (node, stream) pair a fleet-unique fused
-// stream id on first sight and rewrites all exported records with it.
+// node, a durable FusedLedger deduplicating their overlapping
+// detections, and the same serving surface rfdumpd exports — streams,
+// detections, live SSE with store catch-up, DVR queries, health — so a
+// fleet looks to clients like one big monitor. Because the surface is
+// identical (it is the same serving.Core code), an aggregator can
+// subscribe to other aggregators: broker trees of any depth need no
+// new wire concepts, and fusion stays idempotent level over level.
+//
+// Node-local stream ids collide across a fleet, so the ledger assigns
+// each (node, stream) pair a fleet-unique fused stream id on first
+// sight and rewrites all exported records with it.
 type Aggregator struct {
 	cfg     AggregatorConfig
 	manager *Manager
-	fuser   *Fuser
-	broker  *server.Broker
+	ledger  *FusedLedger
+	broker  *serving.Broker
+	quota   *serving.Quota
 	reg     *metrics.Registry
-
-	mu      sync.Mutex
-	streams map[string]map[uint64]uint64 // node → node stream id → fused id
-	origin  map[uint64][2]string         // fused id → {node, node stream id}
-	nextID  uint64
 }
 
-// NewAggregator builds an aggregator; Add or Discovered feed it nodes.
-func NewAggregator(cfg AggregatorConfig) *Aggregator {
+// NewAggregator builds an aggregator (recovering the fused ledger from
+// cfg.Store when it holds one); Add or Discovered feed it nodes.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.SSEQueue <= 0 {
 		cfg.SSEQueue = 64
 	}
@@ -68,27 +88,42 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 	if cfg.StallAfter <= 0 {
 		cfg.StallAfter = 5 * time.Second
 	}
+	if cfg.StreamsTimeout <= 0 {
+		cfg.StreamsTimeout = 2 * time.Second
+	}
+	broker := serving.NewBrokerSharded(cfg.SSEQueue, cfg.EvictAfter, cfg.Shards, cfg.Registry)
+	ledger, err := NewFusedLedger(LedgerConfig{
+		Match:    cfg.Match,
+		Store:    cfg.Store,
+		Broker:   broker,
+		Registry: cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
 	a := &Aggregator{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		broker:  server.NewBrokerSharded(cfg.SSEQueue, cfg.EvictAfter, cfg.Shards, cfg.Registry),
-		fuser:   NewFuser(cfg.Match, cfg.Registry),
-		streams: make(map[string]map[uint64]uint64),
-		origin:  make(map[uint64][2]string),
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		broker: broker,
+		ledger: ledger,
+		quota:  serving.NewQuota(cfg.QueryRPS, cfg.QueryBurst, cfg.Registry),
 	}
 	a.manager = NewManager(ManagerConfig{
 		Client:     cfg.Client,
 		MinBackoff: cfg.MinBackoff,
 		MaxBackoff: cfg.MaxBackoff,
 		Seed:       cfg.Seed,
+		Clock:      cfg.Clock,
 		OnEvent:    a.onEvent,
 		OnState:    a.onState,
 		Registry:   cfg.Registry,
 	})
-	return a
+	return a, nil
 }
 
 // Add subscribes a node by id and API address (static fleet config).
+// The address may belong to another aggregator — the surfaces are
+// identical, which is what makes broker trees composable.
 func (a *Aggregator) Add(node, api string) { a.manager.Add(node, api) }
 
 // Remove drops a node from the fleet.
@@ -104,105 +139,88 @@ func (a *Aggregator) Discovered(rec NodeRecord, alive bool) {
 	}
 }
 
-// Fuser exposes the fused ledger (tests, rfbench).
-func (a *Aggregator) Fuser() *Fuser { return a.fuser }
+// Fuser exposes the fused in-memory ledger (tests, rfbench).
+func (a *Aggregator) Fuser() *Fuser { return a.ledger.Fuser() }
+
+// Ledger exposes the durable fused ledger.
+func (a *Aggregator) Ledger() *FusedLedger { return a.ledger }
 
 // Manager exposes subscription state (tests, health).
 func (a *Aggregator) Manager() *Manager { return a.manager }
 
-// Close stops all subscriptions.
-func (a *Aggregator) Close() { a.manager.Close() }
-
-// fusedStream maps a node-local stream id to its fleet-unique id,
-// allocating on first sight. Ids are stable for the aggregator's
-// lifetime, across node reconnects and restarts.
-func (a *Aggregator) fusedStream(node string, stream uint64) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	byNode, ok := a.streams[node]
-	if !ok {
-		byNode = make(map[uint64]uint64)
-		a.streams[node] = byNode
-	}
-	if id, ok := byNode[stream]; ok {
-		return id
-	}
-	a.nextID++
-	byNode[stream] = a.nextID
-	a.origin[a.nextID] = [2]string{node, strconv.FormatUint(stream, 10)}
-	return a.nextID
+// Close stops all subscriptions and releases the ledger store.
+func (a *Aggregator) Close() {
+	a.manager.Close()
+	_ = a.ledger.Close()
 }
 
-// onEvent is the manager sink: detections feed the fuser; fused
-// results republish on the aggregator's own live feed.
-func (a *Aggregator) onEvent(node string, ev server.Event) {
-	if ev.Type != "detection" || ev.Detection == nil {
+// onEvent is the manager sink: detections (and a child aggregator's
+// detection-updates) feed the ledger, which fuses, journals and
+// republishes on this tier's live feed in one step.
+func (a *Aggregator) onEvent(node string, ev serving.Event) {
+	if (ev.Type != "detection" && ev.Type != "detection-update") || ev.Detection == nil {
 		return
 	}
-	stream := a.fusedStream(node, ev.Stream)
-	fd, res := a.fuser.Ingest(node, stream, ev.Detection)
-	if res == Duplicate {
-		return // replayed sighting, nothing new to publish
-	}
-	rec := fd.record()
-	typ := "detection"
-	if res == Merged {
-		// Additional evidence on an already-published event: clients
-		// counting "detection" events per over-the-air packet must not
-		// double-count, so merges go out under their own type.
-		typ = "detection-update"
-	}
-	a.broker.Publish(server.Event{
-		Seq: fd.Seq, Type: typ, Stream: rec.Stream, Detection: &rec,
-	})
+	a.ledger.Ingest(node, ev.Stream, ev.Detection)
 }
 
-// onState republishes node connectivity edges on the live feed.
+// onState republishes node connectivity edges on the live feed. The
+// events carry no sequence number — connectivity is not part of the
+// replayable ledger — and seq-less events always pass the SSE catch-up
+// seam filter.
 func (a *Aggregator) onState(node string, connected bool) {
 	typ := "node-down"
 	if connected {
 		typ = "node-up"
 	}
-	a.broker.Publish(server.Event{Type: typ, Error: node})
+	a.broker.Publish(serving.Event{Type: typ, Error: node})
 }
 
-// Handler serves the aggregator API:
+// Handler serves the aggregator API: the fleet-specific routes
 //
-//	GET /api/streams    — every node's streams, fleet ids, node-tagged
+//	GET /api/streams    — every node's streams, fleet ids, node-tagged,
+//	                      polled in parallel under StreamsTimeout with
+//	                      per-node errors reported, not hidden
 //	GET /api/detections — fused detections (?limit=, ?evidence=1 for
 //	                      full per-sensor evidence)
-//	GET /api/live       — SSE fused feed (?types=, ?since= on fused seq)
 //	GET /api/nodes      — fleet membership + subscription status
-//	GET /api/history    — fused ledger bounds (same shape a node's
-//	                      store stats endpoint serves, so an aggregator
-//	                      can itself be aggregated)
-//	GET /api/metricz    — metrics snapshot (cluster/* + server/sse/*)
-//	GET /healthz        — 503 while any node subscription is down past
-//	                      StallAfter
-//	GET /readyz         — readiness (currently always 200)
+//
+// plus the shared serving core (identical to rfdumpd's, from the same
+// handler code): /api/live with ?since= catch-up over the fused WAL,
+// /api/history serving the WAL store's bounds, the quota'd DVR query
+// routes, /api/metricz, /healthz (503 while any node subscription is
+// down past StallAfter) and /readyz.
 func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/streams", a.handleStreams)
 	mux.HandleFunc("/api/detections", a.handleDetections)
-	mux.HandleFunc("/api/live", a.handleLive)
 	mux.HandleFunc("/api/nodes", a.handleNodes)
-	mux.HandleFunc("/api/history", a.handleHistory)
-	mux.Handle("/api/metricz", metrics.Handler(a.reg, a.refreshGauges))
-	mux.HandleFunc("/healthz", a.handleHealthz)
-	mux.HandleFunc("/readyz", a.handleReadyz)
+	a.core().Register(mux)
 	return mux
+}
+
+// core assembles the shared serving surface over the fused ledger's
+// WAL store. Live events are published under WAL sequence numbers, so
+// the SSE catch-up replay and the live tail meet without duplicates —
+// the same discipline rfdumpd's hub follows, which is what lets a
+// parent aggregator subscribe to this one with the same manager code.
+func (a *Aggregator) core() *serving.Core {
+	return &serving.Core{
+		Broker:      a.broker,
+		Ledger:      serving.StoreLedger{Store: a.ledger.Store()},
+		Store:       a.ledger.Store(),
+		Quota:       a.quota,
+		Registry:    a.reg,
+		Refresh:     a.refreshGauges,
+		FeedComment: ": rfdumpc fused feed",
+		Health:      a.healthProbe,
+		Ready:       a.readyProbe,
+	}
 }
 
 func (a *Aggregator) refreshGauges() {
 	a.reg.Gauge("cluster/nodes_connected").Set(int64(a.manager.Connected()))
-	a.reg.Gauge("cluster/ledger_size").Set(int64(a.fuser.Len()))
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	a.reg.Gauge("cluster/ledger_size").Set(int64(a.Fuser().Len()))
 }
 
 // fleetStream is a node's StreamInfo under its fleet id, tagged with
@@ -212,44 +230,86 @@ type fleetStream struct {
 	Node string `json:"node"`
 }
 
-// handleStreams polls every connected node's /api/streams and merges
-// the results under fleet ids. Nodes that fail to answer are skipped
-// (their subscription state shows on /api/nodes); the merged view is
-// best-effort by design — it is a monitoring surface, not a ledger.
+// handleStreams polls every connected node's /api/streams in parallel
+// and merges the results under fleet ids. The fan-out is bounded by
+// StreamsTimeout, so one stalled node cannot hang the merged view; a
+// node that fails or times out appears in the response's "errors" map
+// (node → message) while the rest of the fleet is served — partial
+// results over no results, with the partiality explicit.
 func (a *Aggregator) handleStreams(w http.ResponseWriter, r *http.Request) {
 	client := a.cfg.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	out := make([]fleetStream, 0)
+	ctx, cancel := context.WithTimeout(r.Context(), a.cfg.StreamsTimeout)
+	defer cancel()
+
+	type result struct {
+		node    string
+		streams []fleetStream
+		err     error
+	}
+	var pending int
+	results := make(chan result)
 	for _, st := range a.manager.Nodes() {
 		if !st.Connected {
 			continue
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-			fmt.Sprintf("http://%s/api/streams", st.API), nil)
-		if err != nil {
-			continue
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			continue
-		}
-		var body struct {
-			Streams []server.StreamInfo `json:"streams"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&body)
-		resp.Body.Close()
-		if err != nil {
-			continue
-		}
-		for _, si := range body.Streams {
-			fs := fleetStream{StreamInfo: si, Node: st.Node}
-			fs.ID = a.fusedStream(st.Node, si.ID)
-			out = append(out, fs)
-		}
+		pending++
+		go func(st NodeStatus) {
+			streams, err := a.fetchStreams(ctx, client, st)
+			results <- result{node: st.Node, streams: streams, err: err}
+		}(st)
 	}
-	writeJSON(w, map[string]any{"streams": out})
+
+	out := make([]fleetStream, 0)
+	errs := make(map[string]string)
+	for ; pending > 0; pending-- {
+		res := <-results
+		if res.err != nil {
+			errs[res.node] = res.err.Error()
+			continue
+		}
+		out = append(out, res.streams...)
+	}
+	// Parallel arrival order is nondeterministic; fleet ids are not.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	body := map[string]any{"streams": out}
+	if len(errs) > 0 {
+		body["errors"] = errs
+	}
+	serving.WriteJSON(w, body)
+}
+
+// fetchStreams polls one node's stream table and rewrites ids into the
+// fleet id space.
+func (a *Aggregator) fetchStreams(ctx context.Context, client *http.Client, st NodeStatus) ([]fleetStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("http://%s/api/streams", st.API), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Streams []server.StreamInfo `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	out := make([]fleetStream, 0, len(body.Streams))
+	for _, si := range body.Streams {
+		fs := fleetStream{StreamInfo: si, Node: st.Node}
+		fs.ID = a.ledger.FusedStream(st.Node, si.ID)
+		out = append(out, fs)
+	}
+	return out, nil
 }
 
 func (a *Aggregator) handleDetections(w http.ResponseWriter, r *http.Request) {
@@ -262,111 +322,22 @@ func (a *Aggregator) handleDetections(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = v
 	}
-	fused := a.fuser.Recent(limit)
+	fused := a.Fuser().Recent(limit)
 	if r.URL.Query().Get("evidence") != "" {
-		writeJSON(w, map[string]any{"detections": fused})
+		serving.WriteJSON(w, map[string]any{"detections": fused})
 		return
 	}
 	// Flattened single-node schema, so fleet-unaware clients work
 	// unchanged against the aggregator.
-	recs := make([]server.DetectionRecord, len(fused))
+	recs := make([]history.DetectionRecord, len(fused))
 	for i := range fused {
 		recs[i] = fused[i].record()
 	}
-	writeJSON(w, map[string]any{"detections": recs})
+	serving.WriteJSON(w, map[string]any{"detections": recs})
 }
 
 func (a *Aggregator) handleNodes(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"nodes": a.manager.Nodes()})
-}
-
-func (a *Aggregator) handleHistory(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"kind":       "fused",
-		"last_seq":   a.fuser.LastSeq(),
-		"detections": a.fuser.Len(),
-	})
-}
-
-// handleLive is the fused SSE feed, with the same contract as
-// rfdumpd's: ?types= filters, ?since= replays fused detections with
-// Seq > since from the ledger before tailing, and live events already
-// covered by the replay are skipped.
-func (a *Aggregator) handleLive(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	var types []string
-	if t := r.URL.Query().Get("types"); t != "" {
-		types = strings.Split(t, ",")
-	}
-	var since uint64
-	if s := r.URL.Query().Get("since"); s != "" {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			http.Error(w, "bad since", http.StatusBadRequest)
-			return
-		}
-		since = v
-	}
-	sub := a.broker.Subscribe(types...)
-	defer a.broker.Unsubscribe(sub)
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	fmt.Fprint(w, ": rfdumpc fused feed\n\n")
-
-	var replayed uint64
-	if r.URL.Query().Has("since") {
-		wants := func(t string) bool {
-			if len(types) == 0 {
-				return true
-			}
-			for _, x := range types {
-				if x == t {
-					return true
-				}
-			}
-			return false
-		}
-		if wants("detection") {
-			for _, fd := range a.fuser.Since(since) {
-				rec := fd.record()
-				ev := server.Event{Seq: fd.Seq, Type: "detection", Stream: rec.Stream, Detection: &rec}
-				if data, err := json.Marshal(ev); err == nil {
-					fmt.Fprintf(w, "event: detection\ndata: %s\n\n", data)
-				}
-				if fd.Seq > replayed {
-					replayed = fd.Seq
-				}
-			}
-		}
-	}
-	fl.Flush()
-
-	ctx := r.Context()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case ev, open := <-sub.Events():
-			if !open {
-				return
-			}
-			if ev.Type == "detection" && ev.Seq <= replayed {
-				continue // covered by the catch-up replay
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-			fl.Flush()
-		}
-	}
+	serving.WriteJSON(w, map[string]any{"nodes": a.manager.Nodes()})
 }
 
 // clusterHealth is the JSON body of the aggregator's /healthz.
@@ -406,24 +377,20 @@ func (a *Aggregator) health() clusterHealth {
 	return h
 }
 
-// handleHealthz degrades (503) while any fleet node's subscription has
-// been down past StallAfter — mirroring rfdumpd's stall probe — and
-// recovers the moment the manager reconnects.
-func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthProbe backs /healthz: degraded (503) while any fleet node's
+// subscription has been down past StallAfter — mirroring rfdumpd's
+// stall probe — recovering the moment the manager reconnects.
+func (a *Aggregator) healthProbe() (any, bool) {
 	h := a.health()
-	code := http.StatusOK
 	if len(h.Down) > 0 {
 		h.Status = "degraded"
-		code = http.StatusServiceUnavailable
+		return h, false
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(h)
+	return h, true
 }
 
-func (a *Aggregator) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	h := a.health()
-	writeJSON(w, h)
+// readyProbe backs /readyz (currently always ready; the body carries
+// the same fleet snapshot as /healthz).
+func (a *Aggregator) readyProbe() (any, bool) {
+	return a.health(), true
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func withStreams(n *fakeNode, streams ...server.StreamInfo) http.Handler {
 }
 
 func newTestAggregator(reg *metrics.Registry, stall time.Duration) *Aggregator {
-	return NewAggregator(AggregatorConfig{
+	agg, err := NewAggregator(AggregatorConfig{
 		SSEQueue: 64, EvictAfter: -1,
 		StallAfter: stall,
 		MinBackoff: time.Millisecond,
@@ -37,6 +38,10 @@ func newTestAggregator(reg *metrics.Registry, stall time.Duration) *Aggregator {
 		Seed:       1,
 		Registry:   reg,
 	})
+	if err != nil {
+		panic(err)
+	}
+	return agg
 }
 
 func getJSON(t *testing.T, url string, v any) int {
@@ -141,13 +146,17 @@ func TestAggregatorSurface(t *testing.T) {
 		t.Fatalf("node-local stream ids collided in the fleet view: %v", ids)
 	}
 
+	// /api/history now serves the fused WAL store's bounds — the same
+	// shape a node's store stats endpoint serves, which is what lets an
+	// aggregator itself be aggregated. Three sightings changed fused
+	// state (two creates + one cross-sensor merge) = three WAL records.
 	var hist struct {
 		Kind       string `json:"kind"`
 		LastSeq    uint64 `json:"last_seq"`
 		Detections int    `json:"detections"`
 	}
 	getJSON(t, api.URL+"/api/history", &hist)
-	if hist.Kind != "fused" || hist.LastSeq != 2 || hist.Detections != 2 {
+	if hist.Kind != "memory" || hist.LastSeq != 3 || hist.Detections != 3 {
 		t.Fatalf("history bounds: %+v", hist)
 	}
 
@@ -303,12 +312,82 @@ func TestAggregatorLiveReplay(t *testing.T) {
 
 	// Evidence from a second sighting of packet 4 arrives (same span,
 	// other detector): published as detection-update, never as a second
-	// "detection" — subscribers counting packets stay exact.
+	// "detection" — subscribers counting packets stay exact. The update
+	// is its own WAL record (seq 5) pointing back at fused id 4.
 	upd := detEvent(5, 9_000_000)
 	upd.Detection.Detector = "phase"
 	node.extend(upd)
-	if ev := next("detection-update"); ev.Type != "detection-update" || ev.Seq != 4 {
+	ev := next("detection-update")
+	if ev.Type != "detection-update" || ev.Seq != 5 {
 		t.Fatalf("merge event: %+v", ev)
+	}
+	if ev.Detection == nil || ev.Detection.Fused != 4 || !ev.Detection.Merge {
+		t.Fatalf("merge event record: %+v", ev.Detection)
+	}
+}
+
+// TestAggregatorStreamsStalledNode wedges one node's /api/streams and
+// asserts the fan-out contract: the merged view still returns within
+// StreamsTimeout carrying the healthy node's streams, and the stalled
+// node surfaces in the per-node "errors" map instead of hanging — or
+// silently truncating — the response.
+func TestAggregatorStreamsStalledNode(t *testing.T) {
+	good := &fakeNode{}
+	good.set([]server.Event{detEvent(1, 1_000_000)})
+	tsGood := httptest.NewServer(withStreams(good, server.StreamInfo{ID: 1, Remote: "radioA"}))
+	defer tsGood.Close()
+
+	stalled := &fakeNode{}
+	stalled.set(nil)
+	mux := http.NewServeMux()
+	mux.Handle("/", stalled.handler())
+	mux.HandleFunc("/api/streams", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // wedged: never answers the inventory poll
+	})
+	tsStalled := httptest.NewServer(mux)
+	defer tsStalled.Close()
+
+	reg := metrics.NewRegistry()
+	agg, err := NewAggregator(AggregatorConfig{
+		SSEQueue: 64, EvictAfter: -1,
+		StallAfter:     5 * time.Second,
+		StreamsTimeout: 100 * time.Millisecond,
+		MinBackoff:     time.Millisecond,
+		MaxBackoff:     10 * time.Millisecond,
+		Seed:           1,
+		Registry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	agg.Add("labA", strings.TrimPrefix(tsGood.URL, "http://"))
+	agg.Add("labB", strings.TrimPrefix(tsStalled.URL, "http://"))
+
+	api := httptest.NewServer(agg.Handler())
+	defer api.Close()
+	waitFor(t, "both nodes subscribed", func() bool { return agg.Manager().Connected() == 2 })
+
+	var body struct {
+		Streams []struct {
+			ID   uint64 `json:"id"`
+			Node string `json:"node"`
+		} `json:"streams"`
+		Errors map[string]string `json:"errors"`
+	}
+	begin := time.Now()
+	getJSON(t, api.URL+"/api/streams", &body)
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("merged view took %v; the stalled node must not hang it past StreamsTimeout", elapsed)
+	}
+	if len(body.Streams) != 1 || body.Streams[0].Node != "labA" {
+		t.Fatalf("healthy node's streams missing from partial result: %+v", body.Streams)
+	}
+	if msg, ok := body.Errors["labB"]; !ok || msg == "" {
+		t.Fatalf("stalled node not reported in errors map: %+v", body.Errors)
+	}
+	if _, ok := body.Errors["labA"]; ok {
+		t.Fatalf("healthy node wrongly reported failed: %+v", body.Errors)
 	}
 }
 
@@ -328,7 +407,7 @@ func TestAggregatorRecordFlattening(t *testing.T) {
 		Seq: 7, Stream: 3, TimeS: 0.25, Family: "wifi", Detector: "timing",
 		AbsStart: 5_000_000, AbsEnd: 5_020_000, Confidence: 0.9, Channel: 6,
 	}
-	if rec != want {
+	if !reflect.DeepEqual(rec, want) {
 		t.Fatalf("flattened record:\n got %+v\nwant %+v", rec, want)
 	}
 }

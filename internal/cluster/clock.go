@@ -1,0 +1,24 @@
+package cluster
+
+import "time"
+
+// Clock abstracts wall time for the cluster tier — discovery TTL
+// expiry, manager backoff sleeps and down-time accounting all go
+// through it, so tests drive them with a fake clock instead of real
+// sleeps (the difference between a deterministic suite and a flaky
+// one). The zero configuration everywhere takes SystemClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After fires once after d, like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+// SystemClock is the real wall clock.
+type SystemClock struct{}
+
+// Now returns time.Now().
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// After returns time.After(d).
+func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

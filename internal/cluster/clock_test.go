@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfdump/internal/metrics"
+)
+
+// fakeClock is a manually advanced Clock: Now is frozen until Advance,
+// and After-waiters fire only when Advance carries time past their
+// deadline. Tests drive TTL expiry and reconnect backoff through it
+// instead of sleeping out real durations.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	kept := c.waiters[:0]
+	var fire []chan time.Time
+	for _, w := range c.waiters {
+		if w.at.After(now) {
+			kept = append(kept, w)
+		} else {
+			fire = append(fire, w.ch)
+		}
+	}
+	c.waiters = kept
+	c.mu.Unlock()
+	for _, ch := range fire {
+		ch <- now
+	}
+}
+
+// TestDiscoveryExpireFakeClock replays the beacon TTL lifecycle on a
+// fake clock: with an hour-long TTL no real test run could expire the
+// node, so survival across a refresh and expiry after silence prove
+// the sweep reads the injected clock, not the wall.
+func TestDiscoveryExpireFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	reg := metrics.NewRegistry()
+	var mu sync.Mutex
+	var downs []string
+	disc, err := NewDiscoverer(DiscoverConfig{
+		Listen: "127.0.0.1:0",
+		TTL:    time.Hour,
+		Clock:  clk,
+		OnNode: func(rec NodeRecord, alive bool) {
+			if !alive {
+				mu.Lock()
+				downs = append(downs, rec.Node)
+				mu.Unlock()
+			}
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+
+	conn, err := net.Dial("udp", disc.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	beacon, _ := json.Marshal(NodeRecord{Magic: BeaconMagic, Node: "lab1", API: "127.0.0.1:7532"})
+	if _, err := conn.Write(beacon); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "node discovered", func() bool { return len(disc.Nodes()) == 1 })
+
+	// A refresh beacon 40 minutes in restarts the node's TTL window.
+	clk.Advance(40 * time.Minute)
+	if _, err := conn.Write(beacon); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "refresh beacon ingested", func() bool {
+		return reg.Counter("cluster/beacons_received").Load() >= 2
+	})
+
+	// 80 minutes after the first beacon — over TTL — but only 40 past
+	// the refresh: the sweep runs (the Advance releases its After) and
+	// must keep the node.
+	clk.Advance(40 * time.Minute)
+	time.Sleep(20 * time.Millisecond) // let the released sweep finish
+	if len(disc.Nodes()) != 1 {
+		t.Fatal("node expired despite a refresh beacon inside TTL")
+	}
+
+	// Silence. Advancing past TTL from the refresh expires it; no real
+	// time passes.
+	waitFor(t, "expiry under fake clock", func() bool {
+		clk.Advance(30 * time.Minute)
+		return len(disc.Nodes()) == 0
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(downs) != 1 || downs[0] != "lab1" {
+		t.Fatalf("down edges: %v, want exactly [lab1]", downs)
+	}
+	if got := reg.Counter("cluster/nodes_expired").Load(); got != 1 {
+		t.Fatalf("cluster/nodes_expired = %d, want 1", got)
+	}
+}
+
+// TestManagerBackoffFakeClock pins the manager's reconnect discipline
+// to the injected clock: after a failed subscription the loop parks on
+// Clock.After and retries exactly when the fake clock releases it —
+// never on its own — and down-time accounting (DownS) counts fake
+// seconds, not wall seconds.
+func TestManagerBackoffFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "not yet", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	m := NewManager(ManagerConfig{
+		MinBackoff: time.Second,
+		MaxBackoff: 8 * time.Second,
+		Jitter:     -1, // exact backoff: the test asserts precise release times
+		Clock:      clk,
+		Registry:   reg,
+	})
+	defer m.Close()
+
+	start := clk.Now()
+	m.Add("lab1", strings.TrimPrefix(srv.URL, "http://"))
+
+	// The first attempt needs no clock: Add dials immediately.
+	waitFor(t, "first attempt", func() bool { return hits.Load() == 1 })
+
+	// Frozen clock, parked loop: real time alone must not retry.
+	time.Sleep(50 * time.Millisecond)
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("retried %d times with the clock frozen, want the loop parked", got-1)
+	}
+
+	// Each release of the (jitterless) backoff yields exactly one more
+	// attempt; the loop may not have re-armed its After yet, so advance
+	// inside the poll.
+	waitFor(t, "second attempt", func() bool {
+		clk.Advance(time.Second)
+		return hits.Load() >= 2
+	})
+
+	// DownS is measured on the same clock: the node has been down for
+	// exactly the fake time elapsed since Add.
+	sts := m.Nodes()
+	if len(sts) != 1 || sts[0].Connected {
+		t.Fatalf("node status: %+v", sts)
+	}
+	if want := clk.Now().Sub(start).Seconds(); sts[0].DownS != want {
+		t.Fatalf("DownS = %v, want fake-clock elapsed %v", sts[0].DownS, want)
+	}
+}

@@ -72,29 +72,11 @@ func (r NodeRecord) validate() error {
 	return nil
 }
 
-// Evidence is one sensor's sighting of a fused detection: which node
-// and stream heard it, the detector that fired, and the per-sensor
-// signal measurements (confidence, and the span in that sensor's
-// sample clock — sensors disagree by path delay and clock skew, which
-// is exactly why the raw spans are kept).
-type Evidence struct {
-	Node   string `json:"node"`
-	Stream uint64 `json:"stream"` // fused (aggregator-scoped) stream id
-	Seq    uint64 `json:"seq"`    // node-local store seq of the sighting
-	Epoch  uint32 `json:"epoch,omitempty"`
-	// Detector and Confidence are the node-side detection verdict;
-	// confidence is the per-sensor signal-quality proxy (the detection
-	// records carry no calibrated RSSI, so the detector's confidence —
-	// which scales with SNR at the sensor — is the honest per-sensor
-	// strength evidence).
-	Detector   string  `json:"detector"`
-	Confidence float64 `json:"confidence"`
-	// TimeS / AbsStart / AbsEnd are the sighting's time and span in
-	// the sensor's own clock.
-	TimeS    float64 `json:"t"`
-	AbsStart int64   `json:"abs_start"`
-	AbsEnd   int64   `json:"abs_end"`
-}
+// Evidence is one sensor's sighting of a fused detection. It is the
+// history store's SensorEvidence — fused records persist through the
+// store WAL and carry their evidence with them, so the schema lives
+// where the persistence does.
+type Evidence = history.SensorEvidence
 
 // FusedDetection is one over-the-air event as the cluster understands
 // it: every sensor sighting the fuser matched together, under one

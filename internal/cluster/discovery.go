@@ -117,6 +117,10 @@ type DiscoverConfig struct {
 	// address changing) with alive=true, and expiry with alive=false.
 	// Called from the discoverer's goroutines; must not block.
 	OnNode func(rec NodeRecord, alive bool)
+	// Clock drives beacon timestamps and TTL sweeps (default
+	// SystemClock; tests expire nodes by advancing a fake clock instead
+	// of sleeping out real TTLs).
+	Clock Clock
 	// Registry receives cluster/discovery metrics; nil disables.
 	Registry *metrics.Registry
 }
@@ -151,6 +155,9 @@ type discovered struct {
 func NewDiscoverer(cfg DiscoverConfig) (*Discoverer, error) {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 6 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock{}
 	}
 	pc, err := net.ListenPacket("udp", cfg.Listen)
 	if err != nil {
@@ -217,7 +224,7 @@ func (d *Discoverer) ingest(buf []byte, src net.Addr) {
 
 	d.mu.Lock()
 	prev, had := d.nodes[rec.Node]
-	d.nodes[rec.Node] = discovered{rec: rec, seen: time.Now()}
+	d.nodes[rec.Node] = discovered{rec: rec, seen: d.cfg.Clock.Now()}
 	d.known.Set(int64(len(d.nodes)))
 	d.mu.Unlock()
 	if (!had || prev.rec.API != rec.API) && d.cfg.OnNode != nil {
@@ -225,15 +232,16 @@ func (d *Discoverer) ingest(buf []byte, src net.Addr) {
 	}
 }
 
-// sweep expires nodes whose beacons stopped.
+// sweep expires nodes whose beacons stopped. It sleeps through the
+// injected clock (TTL/3 a tick) so a fake clock drives expiry in
+// tests.
 func (d *Discoverer) sweep() {
-	tick := time.NewTicker(d.cfg.TTL / 3)
-	defer tick.Stop()
 	for {
 		select {
 		case <-d.stop:
 			return
-		case now := <-tick.C:
+		case <-d.cfg.Clock.After(d.cfg.TTL / 3):
+			now := d.cfg.Clock.Now()
 			var gone []NodeRecord
 			d.mu.Lock()
 			for id, n := range d.nodes {

@@ -82,13 +82,16 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 
 	reg := metrics.NewRegistry()
-	agg := NewAggregator(AggregatorConfig{
+	agg, err := NewAggregator(AggregatorConfig{
 		SSEQueue: 256, EvictAfter: -1,
 		MinBackoff: time.Millisecond,
 		MaxBackoff: 20 * time.Millisecond,
 		Seed:       1,
 		Registry:   reg,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer agg.Close()
 
 	// Two daemons, one per sensor; subscribe before streaming so the

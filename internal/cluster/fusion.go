@@ -113,10 +113,21 @@ func (f *Fuser) Ingest(node string, stream uint64, rec *history.DetectionRecord)
 		Detector: rec.Detector, Confidence: rec.Confidence,
 		TimeS: rec.TimeS, AbsStart: rec.AbsStart, AbsEnd: rec.AbsEnd,
 	}
+	return f.IngestEvidence(rec.Family, rec.Channel, ev)
+}
+
+// IngestEvidence is Ingest at the evidence granularity: one sighting
+// already in Evidence form, matched under the given family and
+// channel. This is what makes fusion idempotent across broker-tree
+// levels — an already-fused record arriving from a child aggregator is
+// ingested evidence entry by evidence entry, each passing the same
+// duplicate guard a raw sighting does, so evidence the parent already
+// holds is recognized instead of double-counted.
+func (f *Fuser) IngestEvidence(family string, channel int, ev Evidence) (FusedDetection, IngestResult) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	if fd := f.matchLocked(rec); fd != nil {
+	if fd := f.matchLocked(family, channel, ev.AbsStart, ev.AbsEnd); fd != nil {
 		// Duplicate evidence guard: a node whose history replayed after
 		// a restart re-offers sightings we already hold. Same node +
 		// same detector + near-identical span = the same sighting, not
@@ -135,8 +146,8 @@ func (f *Fuser) Ingest(node string, stream uint64, rec *history.DetectionRecord)
 		if ev.TimeS < fd.TimeS {
 			fd.TimeS = ev.TimeS
 		}
-		if fd.Channel < 0 && rec.Channel >= 0 {
-			fd.Channel = rec.Channel
+		if fd.Channel < 0 && channel >= 0 {
+			fd.Channel = channel
 		}
 		fd.Sensors = countSensors(fd.Evidence)
 		f.merged.Inc()
@@ -145,9 +156,9 @@ func (f *Fuser) Ingest(node string, stream uint64, rec *history.DetectionRecord)
 
 	f.seq++
 	fd := &FusedDetection{
-		Seq: f.seq, Family: rec.Family, Channel: rec.Channel,
-		TimeS: rec.TimeS, AbsStart: rec.AbsStart, AbsEnd: rec.AbsEnd,
-		Confidence: rec.Confidence, Sensors: 1,
+		Seq: f.seq, Family: family, Channel: channel,
+		TimeS: ev.TimeS, AbsStart: ev.AbsStart, AbsEnd: ev.AbsEnd,
+		Confidence: ev.Confidence, Sensors: 1,
 		Evidence: []Evidence{ev},
 	}
 	f.ring = append(f.ring, fd)
@@ -159,22 +170,41 @@ func (f *Fuser) Ingest(node string, stream uint64, rec *history.DetectionRecord)
 	return f.snapshotLocked(fd), Created
 }
 
+// Restore replaces the ledger with records reconstructed from a
+// persisted WAL (ascending fused seq) and seeds the seq allocator —
+// the recovery half of the durable fused ledger. The ring is trimmed
+// to LedgerCap (oldest first), mirroring what live ingestion would
+// have retained.
+func (f *Fuser) Restore(ring []*FusedDetection, seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(ring) > f.cfg.LedgerCap {
+		ring = ring[len(ring)-f.cfg.LedgerCap:]
+	}
+	f.ring = ring
+	if len(ring) > 0 && ring[len(ring)-1].Seq > seq {
+		seq = ring[len(ring)-1].Seq
+	}
+	f.seq = seq
+	f.size.Set(int64(len(f.ring)))
+}
+
 // matchLocked scans the lookback window, newest first, for a fused
-// record the sighting belongs to.
-func (f *Fuser) matchLocked(rec *history.DetectionRecord) *FusedDetection {
+// record a sighting with the given family/channel/span belongs to.
+func (f *Fuser) matchLocked(family string, channel int, absStart, absEnd int64) *FusedDetection {
 	lo := len(f.ring) - f.cfg.Lookback
 	if lo < 0 {
 		lo = 0
 	}
 	for i := len(f.ring) - 1; i >= lo; i-- {
 		fd := f.ring[i]
-		if fd.Family != rec.Family {
+		if fd.Family != family {
 			continue
 		}
-		if fd.Channel >= 0 && rec.Channel >= 0 && fd.Channel != rec.Channel {
+		if fd.Channel >= 0 && channel >= 0 && fd.Channel != channel {
 			continue
 		}
-		if f.overlaps(fd, rec) {
+		if f.overlaps(fd, absStart, absEnd) {
 			return fd
 		}
 	}
@@ -183,10 +213,10 @@ func (f *Fuser) matchLocked(rec *history.DetectionRecord) *FusedDetection {
 
 // overlaps applies the span test against every sighting already in the
 // record (any vantage may be the closest clock to the new one).
-func (f *Fuser) overlaps(fd *FusedDetection, rec *history.DetectionRecord) bool {
+func (f *Fuser) overlaps(fd *FusedDetection, absStart, absEnd int64) bool {
 	for i := range fd.Evidence {
 		e := &fd.Evidence[i]
-		if spanOverlap(e.AbsStart, e.AbsEnd, rec.AbsStart, rec.AbsEnd,
+		if spanOverlap(e.AbsStart, e.AbsEnd, absStart, absEnd,
 			f.cfg.SlackTicks, f.cfg.MinOverlap) {
 			return true
 		}

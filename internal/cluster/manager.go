@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"rfdump/internal/metrics"
-	"rfdump/internal/server"
+	"rfdump/internal/serving"
 )
 
 // ManagerConfig configures the fleet subscription manager.
@@ -24,7 +24,7 @@ type ManagerConfig struct {
 	// OnEvent receives every non-duplicate live event from every node,
 	// tagged with the node id. Called from per-node goroutines; must
 	// not block for long (it stalls only that node's feed).
-	OnEvent func(node string, ev server.Event)
+	OnEvent func(node string, ev serving.Event)
 	// OnState fires on connect (true) and disconnect (false) edges.
 	OnState func(node string, connected bool)
 	// Reconnect backoff, mirroring wire.ReconnectClient's semantics:
@@ -37,8 +37,13 @@ type ManagerConfig struct {
 	// Seed fixes the jitter sequence (0 = a fixed default; tests can
 	// pin it).
 	Seed uint64
-	// Types filters the subscription (default "detection").
+	// Types filters the subscription (default "detection" +
+	// "detection-update", so a subtree's evidence merges propagate up a
+	// broker tree).
 	Types []string
+	// Clock abstracts backoff sleeps and down-time accounting (default
+	// SystemClock; tests inject a fake).
+	Clock Clock
 	// Registry receives cluster/subscription metrics; nil disables.
 	Registry *metrics.Registry
 }
@@ -126,7 +131,10 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cfg.Jitter = 0.25
 	}
 	if len(cfg.Types) == 0 {
-		cfg.Types = []string{"detection"}
+		cfg.Types = []string{"detection", "detection-update"}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock{}
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -167,7 +175,7 @@ func (m *Manager) Add(node, api string) {
 		ctx, cancel := context.WithCancel(m.ctx)
 		ns := &nodeSub{node: node, api: api, cancel: cancel,
 			lastSeq: last, resets: resets, events: events, duplicates: dups,
-			downSince: time.Now()}
+			downSince: m.cfg.Clock.Now()}
 		m.nodes[node] = ns
 		m.mu.Unlock()
 		m.wg.Add(1)
@@ -175,7 +183,7 @@ func (m *Manager) Add(node, api string) {
 		return
 	}
 	ctx, cancel := context.WithCancel(m.ctx)
-	ns := &nodeSub{node: node, api: api, cancel: cancel, downSince: time.Now()}
+	ns := &nodeSub{node: node, api: api, cancel: cancel, downSince: m.cfg.Clock.Now()}
 	m.nodes[node] = ns
 	m.mu.Unlock()
 	m.wg.Add(1)
@@ -204,7 +212,7 @@ func (m *Manager) Nodes() []NodeStatus {
 	}
 	m.mu.Unlock()
 	out := make([]NodeStatus, 0, len(subs))
-	now := time.Now()
+	now := m.cfg.Clock.Now()
 	for _, ns := range subs {
 		ns.mu.Lock()
 		st := NodeStatus{
@@ -255,7 +263,7 @@ func (m *Manager) run(ctx context.Context, ns *nodeSub) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(m.jitter(backoff)):
+		case <-m.cfg.Clock.After(m.jitter(backoff)):
 		}
 		backoff *= 2
 		if backoff > m.cfg.MaxBackoff {
@@ -336,7 +344,7 @@ func (m *Manager) subscribe(ctx context.Context, ns *nodeSub) bool {
 		if !strings.HasPrefix(line, "data: ") {
 			continue // event: lines, comments, blank separators
 		}
-		var ev server.Event
+		var ev serving.Event
 		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
 			continue
 		}
@@ -392,7 +400,7 @@ func (m *Manager) setConnected(ns *nodeSub, up bool) {
 	changed := ns.connected != up
 	ns.connected = up
 	if changed && !up {
-		ns.downSince = time.Now()
+		ns.downSince = m.cfg.Clock.Now()
 	}
 	ns.mu.Unlock()
 	if !changed {

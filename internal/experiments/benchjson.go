@@ -19,24 +19,28 @@ import (
 	"rfdump/internal/mac"
 	"rfdump/internal/protocols"
 	"rfdump/internal/server"
+	"rfdump/internal/serving"
 	"rfdump/internal/wire"
 )
 
 // BenchSchema identifies the machine-readable benchmark format written
-// by rfbench -json. Bump the suffix on incompatible changes. v5 adds
-// the aggregation-tier row (cross-sensor detection fusion over the
-// sightings of two simulated nodes); v4 added the sustained
-// ingest-while-querying row (detection streaming into the disk-backed
-// history store under concurrent query load); v3 added the scaling
-// matrix (cores vs throughput for the sharded demod stage); v2 added
-// allocation accounting (allocs_per_op/bytes_per_op). Older documents
-// (without the newer fields) still validate.
-const BenchSchema = "rfdump-bench/v5"
+// by rfbench -json. Bump the suffix on incompatible changes. v6 adds
+// the broker-tree row (two chained fused ledgers, the mid tier's WAL
+// records re-fused at the root); v5 added the aggregation-tier row
+// (cross-sensor detection fusion over the sightings of two simulated
+// nodes); v4 added the sustained ingest-while-querying row (detection
+// streaming into the disk-backed history store under concurrent query
+// load); v3 added the scaling matrix (cores vs throughput for the
+// sharded demod stage); v2 added allocation accounting
+// (allocs_per_op/bytes_per_op). Older documents (without the newer
+// fields) still validate.
+const BenchSchema = "rfdump-bench/v6"
 
-// BenchSchemaV4 through BenchSchemaV1 are the previous schema tags,
+// BenchSchemaV5 through BenchSchemaV1 are the previous schema tags,
 // still accepted by Validate so committed historical BENCH_*.json
 // documents keep validating in CI.
 const (
+	BenchSchemaV5 = "rfdump-bench/v5"
 	BenchSchemaV4 = "rfdump-bench/v4"
 	BenchSchemaV3 = "rfdump-bench/v3"
 	BenchSchemaV2 = "rfdump-bench/v2"
@@ -52,8 +56,15 @@ const BenchRowIngestQuery = "Sustained ingest while querying (segment store)"
 // BenchRowFusedIngest is the Table 1 row name of the aggregation-tier
 // measurement: the real detections from the benchmark trace offered as
 // the overlapping sightings of two sensor nodes, fused and republished
-// on a live broker — the rfdumpc hot path. Required at schema v5.
+// on a live broker — the rfdumpc hot path. Required at schema v5+.
 const BenchRowFusedIngest = "Fused ingest (2-node aggregation)"
+
+// BenchRowTreeIngest is the Table 1 row name of the broker-tree
+// measurement: the same two-sensor sighting feed journaled through a
+// mid-tier fused ledger whose WAL records are re-fused by a root
+// ledger — one extra aggregation level, end to end, the way rfdumpc
+// stacks on rfdumpc. Required at schema v6.
+const BenchRowTreeIngest = "Tree ingest (2-level aggregation)"
 
 // BenchRecord is one measured row: a GNU-Radio-equivalent block
 // (Table 1) or a full architecture configuration (Figure 9).
@@ -118,10 +129,10 @@ func (r *BenchReport) Validate() error {
 		return fmt.Errorf("bench: nil report")
 	}
 	switch r.Schema {
-	case BenchSchema, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1:
+	case BenchSchema, BenchSchemaV5, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1:
 	default:
-		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q, %q, %q)",
-			r.Schema, BenchSchema, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1)
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q, %q, %q, %q)",
+			r.Schema, BenchSchema, BenchSchemaV5, BenchSchemaV4, BenchSchemaV3, BenchSchemaV2, BenchSchemaV1)
 	}
 	if r.Revision == "" || r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
 		return fmt.Errorf("bench: missing build stamp (revision/go/goos/goarch)")
@@ -158,7 +169,7 @@ func (r *BenchReport) Validate() error {
 	if err := check("figure9", r.Figure9); err != nil {
 		return err
 	}
-	if r.Schema == BenchSchema || r.Schema == BenchSchemaV4 || r.Schema == BenchSchemaV3 {
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV5 || r.Schema == BenchSchemaV4 || r.Schema == BenchSchemaV3 {
 		if len(r.Scaling) == 0 {
 			return fmt.Errorf("bench: schema %s document without a scaling matrix", r.Schema)
 		}
@@ -171,13 +182,18 @@ func (r *BenchReport) Validate() error {
 		}
 		return fmt.Errorf("bench: schema %s document without the %q table1 row", r.Schema, name)
 	}
-	if r.Schema == BenchSchema || r.Schema == BenchSchemaV4 {
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV5 || r.Schema == BenchSchemaV4 {
 		if err := requireRow(BenchRowIngestQuery); err != nil {
 			return err
 		}
 	}
-	if r.Schema == BenchSchema {
+	if r.Schema == BenchSchema || r.Schema == BenchSchemaV5 {
 		if err := requireRow(BenchRowFusedIngest); err != nil {
+			return err
+		}
+	}
+	if r.Schema == BenchSchema {
+		if err := requireRow(BenchRowTreeIngest); err != nil {
 			return err
 		}
 	}
@@ -530,6 +546,53 @@ func BenchJSON(o Options) (*BenchReport, error) {
 			drained.Wait()
 			if created == 0 || created > len(sightings) {
 				return fmt.Errorf("bench: fused %d detections from %d sightings", created, len(sightings))
+			}
+			return nil
+		}},
+		{BenchRowTreeIngest, func() error {
+			// The same two-sensor feed through a broker tree: a mid-tier
+			// fused ledger journals each sighting, and its WAL records
+			// (evidence deltas attached) are re-fused by a root ledger that
+			// republishes on a live broker — what one extra aggregation
+			// level costs end to end.
+			mid, err := cluster.NewFusedLedger(cluster.LedgerConfig{})
+			if err != nil {
+				return err
+			}
+			defer mid.Close()
+			broker := serving.NewBroker(256, -1, nil)
+			sub := broker.Subscribe()
+			var drained sync.WaitGroup
+			drained.Add(1)
+			go func() {
+				defer drained.Done()
+				for range sub.Events() {
+				}
+			}()
+			root, err := cluster.NewFusedLedger(cluster.LedgerConfig{Broker: broker})
+			if err != nil {
+				return err
+			}
+			defer root.Close()
+			created := 0
+			for i := range fusedFeed {
+				s := &fusedFeed[i]
+				wal, _ := mid.Ingest(s.node, 1, &s.rec)
+				if wal == nil {
+					continue // duplicate at the mid tier: nothing travels up
+				}
+				if _, res := root.Ingest("mid", wal.Stream, wal); res == cluster.Created {
+					created++
+				}
+			}
+			broker.Unsubscribe(sub)
+			drained.Wait()
+			if created == 0 || created > len(sightings) {
+				return fmt.Errorf("bench: tree fused %d detections from %d sightings", created, len(sightings))
+			}
+			if root.Fuser().Len() != mid.Fuser().Len() {
+				return fmt.Errorf("bench: tree levels disagree: root %d fused, mid %d",
+					root.Fuser().Len(), mid.Fuser().Len())
 			}
 			return nil
 		}},

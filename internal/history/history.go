@@ -55,6 +55,47 @@ type DetectionRecord struct {
 	AbsEnd     int64   `json:"abs_end"`
 	Confidence float64 `json:"confidence"`
 	Channel    int     `json:"channel"`
+
+	// The aggregation-tier provenance fields, zero on single-node
+	// records. A fused record written by the cluster WAL sets Fused to
+	// the fused-detection id it belongs to, Merge when the record adds
+	// evidence to an already-written fused detection (replayed as a
+	// "detection-update" event), Node/Origin to the sensor and its
+	// node-local stream id the triggering sighting came from, and
+	// Evidence to the per-sensor sightings this record contributed —
+	// the delta, so replaying the WAL reconstructs the fused ledger
+	// without double-counting evidence.
+	Fused    uint64           `json:"fused,omitempty"`
+	Merge    bool             `json:"merge,omitempty"`
+	Node     string           `json:"node,omitempty"`
+	Origin   uint64           `json:"origin,omitempty"`
+	Evidence []SensorEvidence `json:"evidence,omitempty"`
+}
+
+// SensorEvidence is one sensor's sighting of a fused detection: which
+// node and stream heard it, the detector that fired, and the
+// per-sensor signal measurements (confidence, and the span in that
+// sensor's sample clock — sensors disagree by path delay and clock
+// skew, which is exactly why the raw spans are kept). It lives here —
+// not in the cluster package — because fused records persist through
+// the history store and replay byte-identical at every tree level.
+type SensorEvidence struct {
+	Node   string `json:"node"`
+	Stream uint64 `json:"stream"` // fused (aggregator-scoped) stream id
+	Seq    uint64 `json:"seq"`    // node-local store seq of the sighting
+	Epoch  uint32 `json:"epoch,omitempty"`
+	// Detector and Confidence are the node-side detection verdict;
+	// confidence is the per-sensor signal-quality proxy (the detection
+	// records carry no calibrated RSSI, so the detector's confidence —
+	// which scales with SNR at the sensor — is the honest per-sensor
+	// strength evidence).
+	Detector   string  `json:"detector"`
+	Confidence float64 `json:"confidence"`
+	// TimeS / AbsStart / AbsEnd are the sighting's time and span in
+	// the sensor's own clock.
+	TimeS    float64 `json:"t"`
+	AbsStart int64   `json:"abs_start"`
+	AbsEnd   int64   `json:"abs_end"`
 }
 
 // PacketEvent is one decoded packet tagged with its stream — the

@@ -1,38 +1,39 @@
 package server
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
 	"time"
 
-	"rfdump/internal/history"
-	"rfdump/internal/metrics"
 	"rfdump/internal/protocols"
 	"rfdump/internal/report"
-	"rfdump/internal/trace"
+	"rfdump/internal/serving"
 )
 
-// APIHandler returns the daemon's HTTP surface:
+// APIHandler returns the daemon's HTTP surface. The node-specific
+// routes:
 //
 //	GET /api/streams     — every ingest stream with wire + pipeline counters
 //	GET /api/detections  — recent fast-detector verdicts (?stream=, ?limit=)
 //	GET /api/packets     — recent decoded packets, trace.PacketRecord schema
 //	GET /api/waterfall   — spectrogram of a stream's recent samples
-//	GET /api/live        — server-sent events feed (?types=detection,packet,
-//	                       ?since=<seq> replays stored history first)
-//	GET /api/metricz     — metrics registry snapshot (?format=text|json)
 //	GET /api/protocols   — the protocol module registry: every registered
 //	                       module with its detectors and capabilities
+//
+// plus the shared serving core (identical on rfdumpd and rfdumpc, so a
+// fleet client — or a parent aggregator in a broker tree — cannot tell
+// the tiers apart):
+//
+//	GET /api/live        — server-sent events feed (?types=detection,packet,
+//	                       ?since=<seq> replays stored history first)
+//	GET /api/history     — store kind, retention, bounds
+//	GET /api/metricz     — metrics registry snapshot (?format=text|json)
 //	GET /healthz         — liveness: 503 while any active ingest stream
 //	                       has been silent past the stall threshold
 //	GET /readyz          — readiness: 503 once draining has begun
 //
-// The spectrum-DVR query surface (cursor pagination over the history
-// store; per-host rate limited, 429 past the quota):
+// and the spectrum-DVR query surface (cursor pagination over the
+// history store; per-host rate limited, 429 past the quota):
 //
 //	GET /api/streams/{id}/detections     — ?from=&to=&limit=&cursor=
 //	GET /api/streams/{id}/packets        — same pagination
@@ -41,24 +42,33 @@ import (
 //	                                       detection seq {det}; JSON with
 //	                                       base64 IQ, or ?format=trace for
 //	                                       RFDT bytes rfdump can replay
-//	GET /api/history                     — store kind, retention, bounds
 func (d *Daemon) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/streams", d.handleStreams)
 	mux.HandleFunc("/api/detections", d.handleDetections)
 	mux.HandleFunc("/api/packets", d.handlePackets)
 	mux.HandleFunc("/api/waterfall", d.handleWaterfall)
-	mux.HandleFunc("/api/live", d.handleLive)
 	mux.HandleFunc("/api/protocols", d.handleProtocols)
-	mux.Handle("/api/metricz", metrics.Handler(d.reg, d.refreshGauges))
-	mux.HandleFunc("/healthz", d.handleHealthz)
-	mux.HandleFunc("/readyz", d.handleReadyz)
-	mux.HandleFunc("GET /api/streams/{id}/detections", d.quota.limit(d.handleStreamDetections))
-	mux.HandleFunc("GET /api/streams/{id}/packets", d.quota.limit(d.handleStreamPackets))
-	mux.HandleFunc("GET /api/streams/{id}/tiles", d.quota.limit(d.handleStreamTiles))
-	mux.HandleFunc("GET /api/streams/{id}/snippets/{det}", d.quota.limit(d.handleSnippet))
-	mux.HandleFunc("GET /api/history", d.handleHistory)
+	d.core().Register(mux)
 	return mux
+}
+
+// core assembles the shared serving surface over the daemon's broker
+// and history store. The node's ledger IS its store: live events are
+// published under store sequence numbers, so the SSE catch-up replay
+// and the live tail meet without duplicates.
+func (d *Daemon) core() *serving.Core {
+	return &serving.Core{
+		Broker:      d.hub.broker,
+		Ledger:      serving.StoreLedger{Store: d.hub.store},
+		Store:       d.hub.store,
+		Quota:       d.quota,
+		Registry:    d.reg,
+		Refresh:     d.refreshGauges,
+		FeedComment: ": rfdumpd live feed",
+		Health:      d.healthProbe,
+		Ready:       d.readyProbe,
+	}
 }
 
 // healthResponse is the JSON body of /healthz and /readyz: ingest
@@ -95,40 +105,29 @@ func (d *Daemon) health() healthResponse {
 	return resp
 }
 
-// handleHealthz reports ingest liveness: 200 while every active stream
-// has delivered a frame (heartbeats count) within the stall threshold,
-// 503 the moment one goes silent past it. A reconnect that stitches the
-// stream back brings it back to 200 — the probe an orchestrator should
-// restart the daemon on, not the one it should route traffic by.
-func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthProbe backs /healthz: not-ok (503) the moment any active
+// stream has gone silent past the stall threshold. A reconnect that
+// stitches the stream back brings it back to 200 — the probe an
+// orchestrator should restart the daemon on, not the one it should
+// route traffic by.
+func (d *Daemon) healthProbe() (any, bool) {
 	resp := d.health()
-	code := http.StatusOK
 	if len(resp.Stalled) > 0 {
 		resp.Status = "stalled"
-		code = http.StatusServiceUnavailable
+		return resp, false
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(resp)
+	return resp, true
 }
 
-// handleReadyz reports readiness to take traffic: 503 once a drain has
-// begun (existing sessions still flush, but new ingest is refused), 200
-// otherwise.
-func (d *Daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+// readyProbe backs /readyz: not-ok (503) once a drain has begun
+// (existing sessions still flush, but new ingest is refused).
+func (d *Daemon) readyProbe() (any, bool) {
 	resp := d.health()
-	code := http.StatusOK
 	if resp.Draining {
 		resp.Status = "draining"
-		code = http.StatusServiceUnavailable
+		return resp, false
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(resp)
+	return resp, true
 }
 
 // protocolInfo is the JSON shape of one registered module.
@@ -167,60 +166,39 @@ func (d *Daemon) handleProtocols(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, map[string]any{"protocols": out})
-}
-
-// writeJSON serves v with the standard headers.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// queryUint parses an optional numeric query parameter (0 when absent).
-func queryUint(r *http.Request, key string) (uint64, error) {
-	s := r.URL.Query().Get(key)
-	if s == "" {
-		return 0, nil
-	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s: %v", key, err)
-	}
-	return v, nil
+	serving.WriteJSON(w, map[string]any{"protocols": out})
 }
 
 func (d *Daemon) handleStreams(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"streams": d.hub.Streams()})
+	serving.WriteJSON(w, map[string]any{"streams": d.hub.Streams()})
 }
 
 func (d *Daemon) handleDetections(w http.ResponseWriter, r *http.Request) {
-	stream, err := queryUint(r, "stream")
+	stream, err := serving.QueryUint(r, "stream")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	limit, err := queryUint(r, "limit")
+	limit, err := serving.QueryUint(r, "limit")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, map[string]any{"detections": d.hub.Detections(stream, int(limit))})
+	serving.WriteJSON(w, map[string]any{"detections": d.hub.Detections(stream, int(limit))})
 }
 
 func (d *Daemon) handlePackets(w http.ResponseWriter, r *http.Request) {
-	stream, err := queryUint(r, "stream")
+	stream, err := serving.QueryUint(r, "stream")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	limit, err := queryUint(r, "limit")
+	limit, err := serving.QueryUint(r, "limit")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, map[string]any{"packets": d.hub.Packets(stream, int(limit))})
+	serving.WriteJSON(w, map[string]any{"packets": d.hub.Packets(stream, int(limit))})
 }
 
 // waterfallResponse is the JSON shape of /api/waterfall.
@@ -231,7 +209,7 @@ type waterfallResponse struct {
 }
 
 func (d *Daemon) handleWaterfall(w http.ResponseWriter, r *http.Request) {
-	id, err := queryUint(r, "stream")
+	id, err := serving.QueryUint(r, "stream")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -253,12 +231,12 @@ func (d *Daemon) handleWaterfall(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "waterfall disabled", http.StatusNotFound)
 		return
 	}
-	rows, err := queryUint(r, "rows")
+	rows, err := serving.QueryUint(r, "rows")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cols, err := queryUint(r, "cols")
+	cols, err := serving.QueryUint(r, "cols")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -280,290 +258,5 @@ func (d *Daemon) handleWaterfall(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "stream %d (%d samples seen)\n%s", st.ID(), st.ring.Total(), data.Render())
 		return
 	}
-	writeJSON(w, waterfallResponse{Stream: st.ID(), TotalSamples: st.ring.Total(), Waterfall: data})
-}
-
-// parseHistoryQuery reads the shared pagination parameters:
-// ?from=/to= (seconds, half-open [from, to)), ?limit= (page size),
-// ?cursor= (resume strictly after this sequence number).
-func parseHistoryQuery(r *http.Request, stream uint64) (history.Query, error) {
-	q := history.Query{Stream: stream}
-	var err error
-	if q.From, err = queryFloat(r, "from"); err != nil {
-		return q, err
-	}
-	if q.To, err = queryFloat(r, "to"); err != nil {
-		return q, err
-	}
-	limit, err := queryUint(r, "limit")
-	if err != nil {
-		return q, err
-	}
-	q.Limit = int(limit)
-	if q.Cursor, err = queryUint(r, "cursor"); err != nil {
-		return q, err
-	}
-	return q, nil
-}
-
-// queryFloat parses an optional float query parameter (0 when absent).
-func queryFloat(r *http.Request, key string) (float64, error) {
-	s := r.URL.Query().Get(key)
-	if s == "" {
-		return 0, nil
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s: %v", key, err)
-	}
-	return v, nil
-}
-
-// pathID parses the {id} wildcard (stream id; 0 = every stream).
-func pathID(r *http.Request, name string) (uint64, error) {
-	v, err := strconv.ParseUint(r.PathValue(name), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s: %v", name, err)
-	}
-	return v, nil
-}
-
-// pageResponse is the JSON envelope of every paginated history query:
-// pass next_cursor back as ?cursor= while more is true and no record is
-// ever served twice, even across retention eviction.
-func writePage(w http.ResponseWriter, field string, recs any, next uint64, more bool) {
-	writeJSON(w, map[string]any{field: recs, "next_cursor": next, "more": more})
-}
-
-func (d *Daemon) handleStreamDetections(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r, "id")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	q, err := parseHistoryQuery(r, id)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	recs, next, more, err := d.hub.store.QueryDetections(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writePage(w, "detections", recs, next, more)
-}
-
-func (d *Daemon) handleStreamPackets(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r, "id")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	q, err := parseHistoryQuery(r, id)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	recs, next, more, err := d.hub.store.QueryPackets(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writePage(w, "packets", recs, next, more)
-}
-
-func (d *Daemon) handleStreamTiles(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r, "id")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	q, err := parseHistoryQuery(r, id)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	recs, next, more, err := d.hub.store.QueryTiles(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writePage(w, "tiles", recs, next, more)
-}
-
-// handleSnippet serves the captured IQ burst behind one detection:
-// JSON (SnippetJSON, base64 IQ) by default, or ?format=trace for RFDT
-// bytes — a file rfdump -r reads directly, closing the DVR loop.
-func (d *Daemon) handleSnippet(w http.ResponseWriter, r *http.Request) {
-	id, err := pathID(r, "id")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	det, err := pathID(r, "det")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	snip, err := d.hub.store.Snippet(id, det)
-	if errors.Is(err, history.ErrNotFound) {
-		http.Error(w, "no snippet for that detection (not captured, or evicted)", http.StatusNotFound)
-		return
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if r.URL.Query().Get("format") == "trace" {
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Disposition",
-			fmt.Sprintf(`attachment; filename="snippet-%d-%d.rfd"`, id, det))
-		_ = trace.Write(w, snip.Rate, snip.IQ)
-		return
-	}
-	writeJSON(w, snip.JSON())
-}
-
-// handleHistory serves the store's retention snapshot (kind, counts,
-// bytes, segment count, sequence and time bounds).
-func (d *Daemon) handleHistory(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, d.hub.store.Stats())
-}
-
-// replayLimit bounds how much stored history one SSE ?since= catch-up
-// replays before handing over to the live feed.
-const replayLimit = 4096
-
-// replaySince pages the store for detection and packet records with
-// Seq > since and writes them as synthesized feed events, merged in
-// sequence order. Returns the newest sequence replayed.
-func (d *Daemon) replaySince(w http.ResponseWriter, since uint64, wants func(string) bool) uint64 {
-	last := since
-	var dets []DetectionRecord
-	var pkts []PacketEvent
-	if wants("detection") {
-		dets = d.queryAllDetections(since)
-	}
-	if wants("packet") {
-		pkts = d.queryAllPackets(since)
-	}
-	di, pi := 0, 0
-	for di < len(dets) || pi < len(pkts) {
-		var ev Event
-		if pi >= len(pkts) || (di < len(dets) && dets[di].Seq < pkts[pi].Seq) {
-			rec := dets[di]
-			di++
-			ev = Event{Seq: rec.Seq, Type: "detection", Stream: rec.Stream, Epoch: rec.Epoch, Detection: &rec}
-		} else {
-			pe := pkts[pi]
-			pi++
-			ev = Event{Seq: pe.Seq, Type: "packet", Stream: pe.Stream, Packet: &pe}
-		}
-		if data, err := json.Marshal(ev); err == nil {
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-		}
-		if ev.Seq > last {
-			last = ev.Seq
-		}
-	}
-	return last
-}
-
-func (d *Daemon) queryAllDetections(since uint64) []DetectionRecord {
-	var out []DetectionRecord
-	cursor := since
-	for len(out) < replayLimit {
-		recs, next, more, err := d.hub.store.QueryDetections(history.Query{Cursor: cursor})
-		if err != nil {
-			break
-		}
-		out = append(out, recs...)
-		cursor = next
-		if !more {
-			break
-		}
-	}
-	return out
-}
-
-func (d *Daemon) queryAllPackets(since uint64) []PacketEvent {
-	var out []PacketEvent
-	cursor := since
-	for len(out) < replayLimit {
-		recs, next, more, err := d.hub.store.QueryPackets(history.Query{Cursor: cursor})
-		if err != nil {
-			break
-		}
-		out = append(out, recs...)
-		cursor = next
-		if !more {
-			break
-		}
-	}
-	return out
-}
-
-// handleLive is the SSE feed. Each subscriber gets a bounded queue; a
-// client that stops reading loses events (and shows up in the dropped
-// counters) instead of slowing ingest. Events are framed as
-//
-//	event: <type>
-//	data: <Event JSON>
-//
-// ?since=<seq> replays stored detection/packet history strictly after
-// that sequence number before switching to the live tail — a client
-// that reconnects with the last seq it saw misses nothing the store
-// retained. The subscription opens before the replay, and live events
-// at or below the replay horizon are skipped, so the seam is
-// duplicate-free.
-func (d *Daemon) handleLive(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	var types []string
-	if t := r.URL.Query().Get("types"); t != "" {
-		types = strings.Split(t, ",")
-	}
-	since, err := queryUint(r, "since")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	sub := d.hub.broker.Subscribe(types...)
-	defer d.hub.broker.Unsubscribe(sub)
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	fmt.Fprint(w, ": rfdumpd live feed\n\n")
-
-	var replayed uint64
-	if r.URL.Query().Has("since") {
-		replayed = d.replaySince(w, since, sub.wantsType)
-	}
-	fl.Flush()
-
-	ctx := r.Context()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case ev, open := <-sub.Events():
-			if !open {
-				return
-			}
-			if ev.Seq <= replayed {
-				continue // already served by the catch-up replay
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-			fl.Flush()
-		}
-	}
+	serving.WriteJSON(w, waterfallResponse{Stream: st.ID(), TotalSamples: st.ring.Total(), Waterfall: data})
 }

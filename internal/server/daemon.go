@@ -16,6 +16,7 @@ import (
 	"rfdump/internal/history"
 	"rfdump/internal/iq"
 	"rfdump/internal/metrics"
+	"rfdump/internal/serving"
 	"rfdump/internal/wire"
 )
 
@@ -109,7 +110,7 @@ type Daemon struct {
 	hub      *Hub
 	wire     *wire.Server
 	faultCfg *faults.Config
-	quota    *hostQuota
+	quota    *serving.Quota
 	draining atomic.Bool
 
 	conns    *metrics.Counter
@@ -173,7 +174,7 @@ func NewDaemon(opt Options) (*Daemon, error) {
 		clock:    opt.Engine.Clock(),
 		reg:      opt.Registry,
 		hub:      hub,
-		quota:    newHostQuota(opt.QueryRPS, opt.QueryBurst, opt.Registry),
+		quota:    serving.NewQuota(opt.QueryRPS, opt.QueryBurst, opt.Registry),
 		conns:    opt.Registry.Counter("server/ingest/connections"),
 		rejected: opt.Registry.Counter("server/ingest/rejected"),
 		hbMissed: opt.Registry.Counter("server/heartbeats_missed"),

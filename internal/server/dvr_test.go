@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestHistoryQueryAPI(t *testing.T) {
 			t.Fatalf("record %d out of order: seq %d after %d", i, rec.Seq, prev)
 		}
 		prev = rec.Seq
-		if rec != recent.Detections[i] {
+		if !reflect.DeepEqual(rec, recent.Detections[i]) {
 			t.Fatalf("record %d differs between query and recent endpoints:\n%+v\n%+v", i, rec, recent.Detections[i])
 		}
 	}
@@ -401,7 +402,7 @@ func TestDaemonDiskStoreSurvivesRestart(t *testing.T) {
 		t.Fatalf("restart lost detections: %d before, %d after", len(before.Detections), len(after.Detections))
 	}
 	for i := range after.Detections {
-		if after.Detections[i] != before.Detections[i] {
+		if !reflect.DeepEqual(after.Detections[i], before.Detections[i]) {
 			t.Fatalf("detection %d changed across restart:\n%+v\n%+v", i, before.Detections[i], after.Detections[i])
 		}
 	}

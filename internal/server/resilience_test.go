@@ -217,13 +217,24 @@ func TestReconnectStitchingAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	streams := waitStreamsDone(t, ts.URL, 1)
-	if len(streams) != 1 {
-		t.Fatalf("got %d streams, want 1 (reconnect must stitch, not fork)", len(streams))
-	}
-	st := streams[0]
-	if st.Epoch != 1 || st.Reconnects != 1 {
-		t.Errorf("epoch/reconnects = %d/%d, want 1/1", st.Epoch, st.Reconnects)
+	// The daemon processes c2's resume asynchronously: the stream can
+	// look idle after the first epoch drains but before the stitch
+	// lands, so wait for the stitched epoch itself, not mere idleness.
+	var st StreamInfo
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		streams := waitStreamsDone(t, ts.URL, 1)
+		if len(streams) != 1 {
+			t.Fatalf("got %d streams, want 1 (reconnect must stitch, not fork)", len(streams))
+		}
+		st = streams[0]
+		if st.Epoch == 1 && st.Reconnects == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resume never stitched: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	if st.GapSamples != lost {
 		t.Errorf("GapSamples = %d, want %d", st.GapSamples, lost)

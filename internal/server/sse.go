@@ -6,247 +6,47 @@
 // listens where hcidump/tcpdump would read an interface, and any number
 // of observers watch without touching the sample path.
 //
-// The cardinal rule of the fan-out is that observers never apply
-// backpressure to ingest: every subscriber owns a bounded queue, and a
-// publisher that finds it full drops the event for that subscriber and
-// counts the drop. A stalled dashboard loses events; the 8 Msps sample
-// path loses nothing.
+// The serving machinery itself — the SSE broker, the per-host query
+// quota, the shared /api/live, /api/history, probe and DVR-query
+// handlers — lives in internal/serving, because the aggregation tier
+// (internal/cluster) exports the identical surface. This package keeps
+// aliases so daemon code and its clients read naturally.
 package server
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"rfdump/internal/history"
 	"rfdump/internal/metrics"
+	"rfdump/internal/serving"
 )
 
-// Event is one entry of the live feed. Type selects which payload field
-// is set: "detection", "packet", "stream-open", "stream-close",
-// "stream-resume" (a reconnecting transmitter stitched a new
-// connection onto an existing stream).
-type Event struct {
-	// Seq is the hub-wide event sequence number; a gap tells a
-	// subscriber it was too slow and events were dropped.
-	Seq uint64 `json:"seq"`
-	// Type is the event kind.
-	Type string `json:"type"`
-	// Stream is the hub stream id the event belongs to.
-	Stream uint64 `json:"stream"`
-	// Epoch is the stream's connection epoch at the event (0 for the
-	// first connection; reconnects increment it).
-	Epoch uint32 `json:"epoch,omitempty"`
-	// Detection is set for "detection" events.
-	Detection *DetectionRecord `json:"detection,omitempty"`
-	// Packet is set for "packet" events.
-	Packet *PacketEvent `json:"packet,omitempty"`
-	// Error carries the session error on "stream-close" (empty = clean).
-	Error string `json:"error,omitempty"`
-}
+// Event, Subscriber and Broker are the shared serving core's fan-out
+// types (see serving.Event for the feed framing and the
+// never-backpressure contract).
+type (
+	Event      = serving.Event
+	Subscriber = serving.Subscriber
+	Broker     = serving.Broker
+)
 
-// DetectionRecord and PacketEvent are the hub's record schemas, now
-// owned by the history store (the spectrum DVR): the same value the
-// live feed publishes is what the store persists and the query API
-// pages, so a replayed record is byte-identical to the one a live
-// subscriber saw.
+// DetectionRecord and PacketEvent are the hub's record schemas, owned
+// by the history store (the spectrum DVR): the same value the live feed
+// publishes is what the store persists and the query API pages, so a
+// replayed record is byte-identical to the one a live subscriber saw.
 type (
 	DetectionRecord = history.DetectionRecord
 	PacketEvent     = history.PacketEvent
 )
-
-// Subscriber is one bounded event queue. Read Events until it is
-// unsubscribed; Dropped counts events the publisher discarded because
-// the queue was full. A subscriber that falls so far behind that it
-// drops eviction-threshold events in a row is evicted: unsubscribed by
-// the broker, its channel closed.
-type Subscriber struct {
-	ch      chan Event
-	types   map[string]bool // nil = all types
-	shard   *brokerShard    // home shard, for O(1) unsubscribe
-	dropped atomic.Int64
-	lag     atomic.Int64 // consecutive drops; reset on delivery
-	evicted atomic.Bool
-}
-
-// Events returns the receive side of the queue.
-func (s *Subscriber) Events() <-chan Event { return s.ch }
-
-// Dropped returns how many events this subscriber lost to backpressure.
-func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
-
-// Evicted reports whether the broker kicked this subscriber for
-// sustained lag (its Events channel is closed).
-func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
-
-// wants reports whether the subscriber's type filter admits the event.
-func (s *Subscriber) wants(ev Event) bool { return s.wantsType(ev.Type) }
-
-// wantsType is wants by event type (the SSE catch-up replay filters
-// synthesized events through the same subscription filter).
-func (s *Subscriber) wantsType(t string) bool { return s.types == nil || s.types[t] }
-
-// brokerShard is one shared-nothing slice of the subscriber set: its
-// own map under its own lock. Nothing is shared between shards but the
-// broker's counters (which are atomic), so subscriber churn on one
-// shard never contends with publishes draining another.
-type brokerShard struct {
-	mu   sync.RWMutex
-	subs map[*Subscriber]struct{}
-}
-
-// Broker fans events out to subscribers with per-subscriber bounded
-// queues. Publish never blocks: a full queue means the event is dropped
-// for that subscriber and counted, both per-subscriber and in the
-// registry ("server/sse/dropped_events"), where the /api/metricz scrape
-// makes slow consumers visible. Drop-and-count alone lets a dead
-// consumer hold its queue (and its HTTP connection) forever, so the
-// broker also enforces bounded lag: a subscriber that drops evictAfter
-// events consecutively is evicted — unsubscribed, channel closed,
-// counted in "server/conns_evicted".
-//
-// The subscriber set is sharded: round-robin assignment into N
-// shared-nothing maps, each under its own RWMutex. With one map and one
-// lock, every Subscribe/Unsubscribe (write lock) serializes against
-// every in-flight Publish (read lock) — at aggregation-tier fan-out
-// (tens of thousands of SSE clients connecting and disconnecting
-// continuously) that single lock is the ingest path's bottleneck.
-// Sharding cuts the contention domain by N: churn on one shard stalls
-// only 1/N of a publish, and publishes hold each shard lock only long
-// enough to drain that shard's subscribers.
-type Broker struct {
-	queue      int
-	evictAfter int // consecutive drops before eviction; 0 disables
-
-	shards []*brokerShard
-	rr     atomic.Uint64 // round-robin shard assignment
-	count  atomic.Int64  // live subscribers across all shards
-
-	published  *metrics.Counter
-	dropped    *metrics.Counter
-	evictCount *metrics.Counter
-	gauge      *metrics.Gauge
-}
-
-// defaultBrokerShards sizes the shard set to the machine: one shard per
-// core, capped — past ~16 shards the per-shard maps are so small that
-// more sharding only adds iteration overhead.
-func defaultBrokerShards() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	if n > 16 {
-		n = 16
-	}
-	return n
-}
 
 // NewBroker returns a broker handing each subscriber a queue of the
 // given length (minimum 1), sharded for this machine's core count.
 // evictAfter is the consecutive-drop budget before a subscriber is
 // evicted (0 disables eviction). reg may be nil.
 func NewBroker(queue, evictAfter int, reg *metrics.Registry) *Broker {
-	return NewBrokerSharded(queue, evictAfter, 0, reg)
+	return serving.NewBroker(queue, evictAfter, reg)
 }
 
 // NewBrokerSharded is NewBroker with an explicit shard count (≤0 takes
 // the machine default).
 func NewBrokerSharded(queue, evictAfter, shards int, reg *metrics.Registry) *Broker {
-	if queue < 1 {
-		queue = 1
-	}
-	if evictAfter < 0 {
-		evictAfter = 0
-	}
-	if shards <= 0 {
-		shards = defaultBrokerShards()
-	}
-	b := &Broker{
-		queue:      queue,
-		evictAfter: evictAfter,
-		shards:     make([]*brokerShard, shards),
-		published:  reg.Counter("server/sse/events"),
-		dropped:    reg.Counter("server/sse/dropped_events"),
-		evictCount: reg.Counter("server/conns_evicted"),
-		gauge:      reg.Gauge("server/sse/subscribers"),
-	}
-	for i := range b.shards {
-		b.shards[i] = &brokerShard{subs: make(map[*Subscriber]struct{})}
-	}
-	return b
-}
-
-// Shards returns the shard count (observability; fixed for the
-// broker's lifetime).
-func (b *Broker) Shards() int { return len(b.shards) }
-
-// Subscribers returns the current live subscriber count.
-func (b *Broker) Subscribers() int64 { return b.count.Load() }
-
-// Subscribe registers a new queue. An empty types list subscribes to
-// every event type.
-func (b *Broker) Subscribe(types ...string) *Subscriber {
-	sh := b.shards[b.rr.Add(1)%uint64(len(b.shards))]
-	s := &Subscriber{ch: make(chan Event, b.queue), shard: sh}
-	if len(types) > 0 {
-		s.types = make(map[string]bool, len(types))
-		for _, t := range types {
-			s.types[t] = true
-		}
-	}
-	sh.mu.Lock()
-	sh.subs[s] = struct{}{}
-	sh.mu.Unlock()
-	b.gauge.Set(b.count.Add(1))
-	return s
-}
-
-// Unsubscribe removes the queue and closes its channel.
-func (b *Broker) Unsubscribe(s *Subscriber) {
-	sh := s.shard
-	sh.mu.Lock()
-	_, ok := sh.subs[s]
-	if ok {
-		delete(sh.subs, s)
-		close(s.ch)
-	}
-	sh.mu.Unlock()
-	if ok {
-		b.gauge.Set(b.count.Add(-1))
-	}
-}
-
-// Publish delivers the event to every subscriber whose queue has room;
-// the rest drop-and-count, and a subscriber that exhausts the
-// consecutive-drop budget is evicted. It runs on pipeline callback
-// goroutines and must never block — evictions are collected under the
-// per-shard read locks and applied after them.
-func (b *Broker) Publish(ev Event) {
-	b.published.Inc()
-	var evictees []*Subscriber
-	for _, sh := range b.shards {
-		sh.mu.RLock()
-		for s := range sh.subs {
-			if !s.wants(ev) {
-				continue
-			}
-			select {
-			case s.ch <- ev:
-				s.lag.Store(0)
-			default:
-				s.dropped.Add(1)
-				b.dropped.Inc()
-				if b.evictAfter > 0 && s.lag.Add(1) >= int64(b.evictAfter) &&
-					s.evicted.CompareAndSwap(false, true) {
-					evictees = append(evictees, s)
-				}
-			}
-		}
-		sh.mu.RUnlock()
-	}
-	for _, s := range evictees {
-		b.evictCount.Inc()
-		b.Unsubscribe(s)
-	}
+	return serving.NewBrokerSharded(queue, evictAfter, shards, reg)
 }

@@ -1,0 +1,323 @@
+// Package conformance is the executable contract of the shared serving
+// surface: one suite of HTTP-level assertions run verbatim against
+// both tiers (rfdumpd's daemon and rfdumpc's aggregator). Anything a
+// fleet client — or a parent aggregator in a broker tree — relies on
+// being identical between the tiers belongs here; a tier that drifts
+// fails its conformance test, not a production deployment.
+package conformance
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Options parameterizes the suite for the tier under test.
+type Options struct {
+	// MinDetections is how many detection records the caller primed the
+	// tier with before running the suite (at least 1 required — an empty
+	// ledger exercises nothing).
+	MinDetections int
+	// StreamID is a stream id whose DVR query surface holds the primed
+	// detections.
+	StreamID uint64
+	// Quota, when true, asserts the DVR query endpoints throttle: the
+	// caller configured a quota small enough that hammering one endpoint
+	// must produce 429 with a Retry-After header.
+	Quota bool
+}
+
+// event is the slice of the SSE event JSON the suite checks.
+type event struct {
+	Seq       uint64         `json:"seq"`
+	Type      string         `json:"type"`
+	Stream    uint64         `json:"stream"`
+	Detection map[string]any `json:"detection"`
+}
+
+// detectionKeys are the JSON keys every flattened detection record
+// carries on every tier — the schema fleet-unaware clients parse.
+var detectionKeys = []string{
+	"seq", "stream", "t", "family", "detector",
+	"abs_start", "abs_end", "confidence",
+}
+
+// Run drives the shared-surface assertions against baseURL. The tier
+// must be healthy (probes return ok) and primed per opt when called.
+func Run(t *testing.T, baseURL string, opt Options) {
+	t.Helper()
+	if opt.MinDetections < 1 {
+		t.Fatal("conformance: prime at least one detection before running the suite")
+	}
+
+	t.Run("history", func(t *testing.T) { checkHistory(t, baseURL, opt) })
+	t.Run("probes", func(t *testing.T) { checkProbes(t, baseURL) })
+	t.Run("metricz", func(t *testing.T) { checkMetricz(t, baseURL) })
+	t.Run("streams", func(t *testing.T) { checkStreams(t, baseURL) })
+	t.Run("live-replay", func(t *testing.T) { checkLiveReplay(t, baseURL, opt) })
+	t.Run("live-bad-since", func(t *testing.T) { checkStatus(t, baseURL+"/api/live?since=banana", http.StatusBadRequest) })
+	t.Run("query-pagination", func(t *testing.T) { checkPagination(t, baseURL, opt) })
+	t.Run("query-bad-id", func(t *testing.T) {
+		checkStatus(t, fmt.Sprintf("%s/api/streams/banana/detections", baseURL), http.StatusBadRequest)
+	})
+	t.Run("snippet-missing", func(t *testing.T) {
+		checkStatus(t, fmt.Sprintf("%s/api/streams/%d/snippets/999999999", baseURL, opt.StreamID), http.StatusNotFound)
+	})
+	if opt.Quota {
+		t.Run("query-quota", func(t *testing.T) { checkQuota(t, baseURL, opt) })
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func checkStatus(t *testing.T, url string, want int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
+}
+
+// checkHistory: /api/history serves a store retention snapshot on both
+// tiers — the aggregator's fused WAL answers with the same shape a
+// node's store does, which is what the cluster manager's restart probe
+// (and therefore broker trees) depends on.
+func checkHistory(t *testing.T, baseURL string, opt Options) {
+	var hist struct {
+		Kind       string  `json:"kind"`
+		LastSeq    *uint64 `json:"last_seq"`
+		Detections *int    `json:"detections"`
+	}
+	if code := getJSON(t, baseURL+"/api/history", &hist); code != http.StatusOK {
+		t.Fatalf("/api/history status %d", code)
+	}
+	if hist.Kind == "" {
+		t.Fatal("/api/history missing store kind")
+	}
+	if hist.LastSeq == nil || hist.Detections == nil {
+		t.Fatalf("/api/history missing bounds: %+v", hist)
+	}
+	if int(*hist.LastSeq) < opt.MinDetections || *hist.Detections < opt.MinDetections {
+		t.Fatalf("/api/history bounds below primed floor %d: %+v", opt.MinDetections, hist)
+	}
+}
+
+// checkProbes: both probes answer 200 with a JSON object carrying a
+// status field while the tier is healthy.
+func checkProbes(t *testing.T, baseURL string) {
+	for _, path := range []string{"/healthz", "/readyz"} {
+		var body struct {
+			Status string `json:"status"`
+		}
+		if code := getJSON(t, baseURL+path, &body); code != http.StatusOK {
+			t.Fatalf("%s status %d on a healthy tier", path, code)
+		}
+		if body.Status == "" {
+			t.Fatalf("%s body missing status field", path)
+		}
+	}
+}
+
+func checkMetricz(t *testing.T, baseURL string) {
+	resp, err := http.Get(baseURL + "/api/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/metricz status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		t.Fatal("/api/metricz snapshot empty")
+	}
+}
+
+// checkStreams: the stream inventory exists on both tiers, under the
+// same envelope key.
+func checkStreams(t *testing.T, baseURL string) {
+	var body struct {
+		Streams *[]map[string]any `json:"streams"`
+	}
+	if code := getJSON(t, baseURL+"/api/streams", &body); code != http.StatusOK {
+		t.Fatalf("/api/streams status %d", code)
+	}
+	if body.Streams == nil {
+		t.Fatal("/api/streams missing streams array")
+	}
+}
+
+// checkLiveReplay: ?since=0 replays the whole retained ledger before
+// tailing — sequence numbers strictly ascending, no duplicates, and
+// every detection event carrying the flattened record schema.
+func checkLiveReplay(t *testing.T, baseURL string, opt Options) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/api/live?since=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/live status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("/api/live Content-Type %q", ct)
+	}
+
+	var last uint64
+	detections := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for detections < opt.MinDetections && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			t.Fatalf("unparseable event payload %q: %v", line, err)
+		}
+		if ev.Seq == 0 {
+			continue // seq-less connectivity edges ride the feed legitimately
+		}
+		if ev.Seq <= last {
+			t.Fatalf("replay seq %d after %d: not strictly ascending", ev.Seq, last)
+		}
+		last = ev.Seq
+		switch ev.Type {
+		case "detection", "detection-update":
+			if ev.Detection == nil {
+				t.Fatalf("%s event without detection record: %+v", ev.Type, ev)
+			}
+			for _, key := range detectionKeys {
+				if _, ok := ev.Detection[key]; !ok {
+					t.Fatalf("detection record missing %q: %v", key, ev.Detection)
+				}
+			}
+			if ev.Type == "detection" {
+				detections++
+			}
+		case "packet":
+		default:
+			t.Fatalf("unknown replayed event type %q", ev.Type)
+		}
+	}
+	if detections < opt.MinDetections {
+		t.Fatalf("replay served %d detections before the stream ended, primed %d (%v)",
+			detections, opt.MinDetections, sc.Err())
+	}
+}
+
+// checkPagination walks the per-stream DVR query with limit=1: every
+// page carries the envelope, cursors never repeat a record, and the
+// walk terminates with at least the primed detections served.
+func checkPagination(t *testing.T, baseURL string, opt Options) {
+	var (
+		cursor uint64
+		total  int
+		last   uint64
+	)
+	for pages := 0; ; pages++ {
+		if pages > 10_000 {
+			t.Fatal("pagination never terminated")
+		}
+		var page struct {
+			Detections *[]struct {
+				Seq uint64 `json:"seq"`
+			} `json:"detections"`
+			NextCursor *uint64 `json:"next_cursor"`
+			More       *bool   `json:"more"`
+		}
+		url := fmt.Sprintf("%s/api/streams/%d/detections?limit=1&cursor=%d", baseURL, opt.StreamID, cursor)
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		if page.Detections == nil || page.NextCursor == nil || page.More == nil {
+			t.Fatalf("page envelope incomplete: %+v", page)
+		}
+		for _, rec := range *page.Detections {
+			if rec.Seq <= last {
+				t.Fatalf("pagination re-served seq %d after %d", rec.Seq, last)
+			}
+			last = rec.Seq
+			total++
+		}
+		if !*page.More {
+			break
+		}
+		if *page.NextCursor <= cursor {
+			t.Fatalf("cursor did not advance: %d -> %d", cursor, *page.NextCursor)
+		}
+		cursor = *page.NextCursor
+	}
+	if total < opt.MinDetections {
+		t.Fatalf("pagination walked %d detections, primed %d", total, opt.MinDetections)
+	}
+
+	// The sibling query surfaces exist even on a tier that persists
+	// only detections: empty pages, same envelope, never 404.
+	for _, sub := range []string{"packets", "tiles"} {
+		var page map[string]any
+		url := fmt.Sprintf("%s/api/streams/%d/%s", baseURL, opt.StreamID, sub)
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		for _, key := range []string{sub, "next_cursor", "more"} {
+			if _, ok := page[key]; !ok {
+				t.Fatalf("%s envelope missing %q: %v", url, key, page)
+			}
+		}
+	}
+}
+
+// checkQuota hammers one DVR query endpoint past the configured rate
+// and expects throttling with the standard retry hint.
+func checkQuota(t *testing.T, baseURL string, opt Options) {
+	url := fmt.Sprintf("%s/api/streams/%d/detections?limit=1", baseURL, opt.StreamID)
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+	}
+	t.Fatal("200 rapid queries never throttled despite a tiny quota")
+}

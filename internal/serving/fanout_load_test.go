@@ -1,4 +1,4 @@
-package server
+package serving
 
 import (
 	"runtime"
@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"rfdump/internal/history"
 	"rfdump/internal/metrics"
 )
 
@@ -79,7 +80,7 @@ func TestBrokerFanout10k(t *testing.T) {
 	}
 
 	lat := make([]time.Duration, publish)
-	ev := Event{Type: "detection", Detection: &DetectionRecord{Family: "wifi"}}
+	ev := Event{Type: "detection", Detection: &history.DetectionRecord{Family: "wifi"}}
 	for i := 0; i < publish; i++ {
 		ev.Seq = uint64(i + 1)
 		start := time.Now()
@@ -149,6 +150,82 @@ func TestBrokerFanout10k(t *testing.T) {
 	t.Logf("fanout %d subs × %d events on %d shards (%d cores): publish p50=%v p99=%v",
 		nSubs, publish, b.Shards(), runtime.GOMAXPROCS(0), p50, p99)
 	if limit := 250 * time.Millisecond; p99 > limit {
+		t.Fatalf("publish p99 = %v exceeds %v: ingest path is not bounded", p99, limit)
+	}
+}
+
+// TestBrokerFanout100k is the broker-tree scaling gate, an order of
+// magnitude past the 10k exact-ledger test: a root aggregator serving
+// 100k SSE subscribers (dashboards across a campus fleet) must still
+// publish in bounded time. Most subscribers are stalled — the worst
+// case for the publish loop, which walks every queue and takes the
+// drop branch — with a small draining minority keeping the delivery
+// branch hot. The assertion is purely about the ingest path: p99
+// publish latency stays bounded, i.e. fan-out width degrades throughput
+// linearly, never availability.
+func TestBrokerFanout100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-subscriber load test skipped in -short")
+	}
+	const (
+		nSubs   = 100_000
+		nDrain  = 1_000
+		queue   = 4
+		publish = 50
+	)
+	reg := metrics.NewRegistry()
+	b := NewBroker(queue, 0, reg)
+
+	for i := 0; i < nSubs-nDrain; i++ {
+		b.Subscribe()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nDrain; i++ {
+		s := b.Subscribe()
+		wg.Add(1)
+		go func(s *Subscriber) {
+			defer wg.Done()
+			for range s.Events() {
+			}
+		}(s)
+	}
+	if got := b.Subscribers(); got != nSubs {
+		t.Fatalf("Subscribers() = %d, want %d", got, nSubs)
+	}
+
+	lat := make([]time.Duration, publish)
+	ev := Event{Type: "detection", Detection: &history.DetectionRecord{Family: "wifi"}}
+	for i := 0; i < publish; i++ {
+		ev.Seq = uint64(i + 1)
+		start := time.Now()
+		b.Publish(ev)
+		lat[i] = time.Since(start)
+	}
+
+	// Tear down: unsubscribe everything so the drain readers exit.
+	subsSnapshot := make([]*Subscriber, 0, nSubs)
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for s := range sh.subs {
+			subsSnapshot = append(subsSnapshot, s)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, s := range subsSnapshot {
+		b.Unsubscribe(s)
+	}
+	wg.Wait()
+	if got := b.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() = %d after teardown, want 0", got)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99 := lat[publish/2], lat[publish*99/100-1]
+	t.Logf("fanout %d subs × %d events on %d shards (%d cores): publish p50=%v p99=%v",
+		nSubs, publish, b.Shards(), runtime.GOMAXPROCS(0), p50, p99)
+	// 100k stalled queues are pure drop-branch work; generous bound for
+	// CI, but a publish path that blocks shows up as seconds.
+	if limit := 2 * time.Second; p99 > limit {
 		t.Fatalf("publish p99 = %v exceeds %v: ingest path is not bounded", p99, limit)
 	}
 }

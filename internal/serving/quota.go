@@ -1,4 +1,4 @@
-package server
+package serving
 
 import (
 	"net"
@@ -9,14 +9,14 @@ import (
 	"rfdump/internal/metrics"
 )
 
-// hostQuota rate-limits the history query endpoints with one token
-// bucket per client host. History queries can fan out over segment
-// files; an unthrottled dashboard polling them would contend with the
-// ingest path for disk, so each host gets rps tokens per second with a
-// burst ceiling and a 429 (Retry-After: 1) past it. The legacy
-// endpoints the integration tooling polls (/api/streams, /api/live,
-// /healthz) are exempt — only the new store-backed routes pay.
-type hostQuota struct {
+// Quota rate-limits the history query endpoints with one token bucket
+// per client host. History queries can fan out over segment files; an
+// unthrottled dashboard polling them would contend with the ingest
+// path for disk, so each host gets rps tokens per second with a burst
+// ceiling and a 429 (Retry-After: 1) past it. The legacy endpoints the
+// integration tooling polls (/api/streams, /api/live, /healthz) are
+// exempt — only the store-backed routes pay.
+type Quota struct {
 	rps   float64
 	burst float64
 	now   func() time.Time // injected in tests
@@ -37,10 +37,10 @@ type bucket struct {
 // again within a burst).
 const quotaMaxHosts = 1024
 
-// newHostQuota resolves the configured rate (0 = default 20 rps, burst
+// NewQuota resolves the configured rate (0 = default 20 rps, burst
 // 2× the rate; negative disables, returning nil — nil receivers pass
 // every request).
-func newHostQuota(rps float64, burst int, reg *metrics.Registry) *hostQuota {
+func NewQuota(rps float64, burst int, reg *metrics.Registry) *Quota {
 	if rps < 0 {
 		return nil
 	}
@@ -50,7 +50,7 @@ func newHostQuota(rps float64, burst int, reg *metrics.Registry) *hostQuota {
 	if burst <= 0 {
 		burst = int(2 * rps)
 	}
-	return &hostQuota{
+	return &Quota{
 		rps:       rps,
 		burst:     float64(burst),
 		now:       time.Now,
@@ -60,7 +60,7 @@ func newHostQuota(rps float64, burst int, reg *metrics.Registry) *hostQuota {
 }
 
 // allow spends one token for host, refilling by elapsed wall time.
-func (q *hostQuota) allow(host string) bool {
+func (q *Quota) allow(host string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
@@ -85,8 +85,8 @@ func (q *hostQuota) allow(host string) bool {
 	return true
 }
 
-// limit wraps a handler with the quota; a nil quota passes through.
-func (q *hostQuota) limit(h http.HandlerFunc) http.HandlerFunc {
+// Limit wraps a handler with the quota; a nil quota passes through.
+func (q *Quota) Limit(h http.HandlerFunc) http.HandlerFunc {
 	if q == nil {
 		return h
 	}
